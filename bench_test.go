@@ -1,0 +1,410 @@
+package vidrec
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section (§6) — each regenerates the experiment at a reduced,
+// bench-friendly scale through exactly the code paths cmd/experiments uses —
+// plus micro-benchmarks for the production claims (millisecond serving,
+// high-throughput model updates, topology scalability).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks take seconds per iteration by design; use
+// -benchtime=1x for a quick pass.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"vidrec/internal/core"
+	"vidrec/internal/dataset"
+	"vidrec/internal/demographic"
+	"vidrec/internal/experiments"
+	"vidrec/internal/feedback"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/recommend"
+	"vidrec/internal/simtable"
+	"vidrec/internal/topology"
+)
+
+// benchScale is a further-reduced workload so each experiment iteration
+// stays in low single-digit seconds.
+func benchScale() experiments.Scale {
+	s := experiments.SmallScale()
+	s.Dataset.Users = 300
+	s.Dataset.Videos = 120
+	s.Dataset.EventsPerDay = 3000
+	s.Replicas = 1
+	return s
+}
+
+// --- Experiment benchmarks: Tables ---
+
+func BenchmarkTable3DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable3(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Actions == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+func BenchmarkTable4GroupStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable4(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Groups) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+func BenchmarkTable2GridSearch(b *testing.B) {
+	s := benchScale()
+	s.Dataset.EventsPerDay = 1500
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunGridSearch(s, []float64{0.05}, []float64{0.04}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5CTRLifts(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable5(s, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Fig7.Report.Variants) != 4 {
+			b.Fatal("missing variants")
+		}
+	}
+}
+
+// --- Experiment benchmarks: Figures ---
+
+func BenchmarkFig3GlobalVsGroups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig3(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 3 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+func BenchmarkFig4RecallAtN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig4(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Groups) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+func BenchmarkFig5AvgRank(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig5(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Ranks) == 0 {
+			b.Fatal("no ranks")
+		}
+	}
+}
+
+func BenchmarkFig7OnlineCTR(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7(s, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.Total["rMF"].Impressions == 0 {
+			b.Fatal("rMF served nothing")
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices DESIGN.md calls out) ---
+
+func BenchmarkAblationFreshness(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFreshness(s, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.Total["rMF-online"].Impressions == 0 {
+			b.Fatal("online variant served nothing")
+		}
+	}
+}
+
+func BenchmarkAblationDecay(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunDecayAblation(s, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.Total["decay-24h"].Impressions == 0 {
+			b.Fatal("decay variant served nothing")
+		}
+	}
+}
+
+// --- Production micro-benchmarks (§6's deployment claims) ---
+
+func benchActions(n int) []feedback.Action {
+	cfg := dataset.DefaultConfig()
+	cfg.Users = 500
+	cfg.Videos = 200
+	cfg.Days = 1
+	cfg.EventsPerDay = n
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d.AllActions()
+}
+
+// BenchmarkMFProcessAction measures single-step online model updates
+// (Algorithm 1) end to end through the key-value store.
+func BenchmarkMFProcessAction(b *testing.B) {
+	actions := benchActions(20000)
+	m, err := core.NewModel("bench", kvstore.NewLocal(64), core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ProcessAction(actions[i%len(actions)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMFStep measures the pure SGD arithmetic without storage.
+func BenchmarkMFStep(b *testing.B) {
+	p := core.DefaultParams()
+	s := core.State{
+		UserVec: make([]float64, p.Factors),
+		ItemVec: make([]float64, p.Factors),
+	}
+	for i := range s.UserVec {
+		s.UserVec[i] = 0.01 * float64(i%7)
+		s.ItemVec[i] = 0.02 * float64(i%5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s = p.Step(s, 0.5, 1, 2.5)
+	}
+}
+
+// BenchmarkScoreCandidates measures the serving hot path: one user against
+// 200 candidate videos (Eq. 2 each).
+func BenchmarkScoreCandidates(b *testing.B) {
+	actions := benchActions(5000)
+	m, _ := core.NewModel("bench", kvstore.NewLocal(64), core.DefaultParams())
+	for _, a := range actions {
+		m.ProcessAction(a)
+	}
+	candidates := make([]string, 200)
+	for i := range candidates {
+		candidates[i] = fmt.Sprintf("v%05d", i)
+	}
+	user := actions[0].UserID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ScoreCandidates(user, candidates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimTableUpdate measures one incremental similar-table write.
+func BenchmarkSimTableUpdate(b *testing.B) {
+	t, err := simtable.New("bench", kvstore.NewLocal(64), simtable.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		owner := fmt.Sprintf("v%03d", i%100)
+		other := fmt.Sprintf("v%03d", (i+1+i%37)%100)
+		if owner == other {
+			other = "vx"
+		}
+		if err := t.UpdateDirected(owner, other, 0.5, base.Add(time.Duration(i)*time.Second)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimTableQuery measures a similar-video lookup with decay.
+func BenchmarkSimTableQuery(b *testing.B) {
+	t, _ := simtable.New("bench", kvstore.NewLocal(64), simtable.DefaultConfig())
+	base := time.Unix(0, 0)
+	for i := 0; i < 50; i++ {
+		t.UpdateDirected("seed", fmt.Sprintf("v%03d", i), 0.9-0.01*float64(i), base)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.Similar("seed", 20, base.Add(time.Hour)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngest measures the sequential full-pipeline state transition per
+// action (model + history + hot + similar tables).
+func BenchmarkIngest(b *testing.B) {
+	actions := benchActions(20000)
+	sys, err := recommend.NewSystem(kvstore.NewLocal(64), core.DefaultParams(),
+		simtable.DefaultConfig(), recommend.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Ingest(actions[i%len(actions)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecommendLatency measures end-to-end request serving on a warm
+// system — the paper's "latency of milliseconds" claim.
+func BenchmarkRecommendLatency(b *testing.B) {
+	cfg := dataset.DefaultConfig()
+	cfg.Users = 400
+	cfg.Videos = 150
+	cfg.Days = 1
+	cfg.EventsPerDay = 8000
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := recommend.NewSystem(kvstore.NewLocal(64), core.DefaultParams(),
+		simtable.DefaultConfig(), recommend.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.FillCatalog(sys.Catalog)
+	d.FillProfiles(sys.Profiles)
+	for _, a := range d.AllActions() {
+		if err := sys.Ingest(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	users := d.Users()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.Recommend(recommend.Request{UserID: users[i%len(users)].ID, N: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkTopologyThroughput streams a fixed workload through the Figure 2
+// topology at two parallelism levels and reports actions/second.
+func BenchmarkTopologyThroughput(b *testing.B) {
+	actions := benchActions(4000)
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallelism-%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys, err := recommend.NewSystem(kvstore.NewLocal(64), core.DefaultParams(),
+					simtable.DefaultConfig(), recommend.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				par := topology.Parallelism{
+					Spout: 1, ComputeMF: p, MFStorage: p, UserHistory: p,
+					GetItemPairs: p, ItemPairSim: p, ResultStorage: p,
+				}
+				topo, err := topology.Build(sys,
+					func(int) topology.Source { return topology.SliceSource(actions) }, par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				start := time.Now()
+				if err := topo.Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(actions))/time.Since(start).Seconds(), "actions/s")
+			}
+		})
+	}
+}
+
+// BenchmarkKVStoreLocal measures the embedded store's core operations.
+func BenchmarkKVStoreLocal(b *testing.B) {
+	s := kvstore.NewLocal(64)
+	val := kvstore.EncodeFloats(make([]float64, 40))
+	b.Run("set", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Set(fmt.Sprintf("k%d", i%4096), val)
+		}
+	})
+	b.Run("get", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Get(fmt.Sprintf("k%d", i%4096))
+		}
+	})
+}
+
+// BenchmarkKVStoreNetwork measures a full TCP round trip to the networked
+// store deployment.
+func BenchmarkKVStoreNetwork(b *testing.B) {
+	srv, err := kvstore.NewServer(kvstore.NewLocal(64), "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := kvstore.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	val := kvstore.EncodeFloats(make([]float64, 40))
+	cli.Set("k", val)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cli.Get("k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotTracker measures demographic hot-list maintenance.
+func BenchmarkHotTracker(b *testing.B) {
+	h, err := demographic.NewHotTracker("bench", kvstore.NewLocal(16), 24*time.Hour, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(demographic.GlobalGroup, fmt.Sprintf("v%03d", i%300), 1.5,
+			base.Add(time.Duration(i)*time.Second))
+	}
+}

@@ -1,0 +1,187 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic workload. Each subcommand prints the
+// same rows/series the paper reports; EXPERIMENTS.md records a reference run.
+//
+// Usage:
+//
+//	experiments [-scale small|paper] [-days N] <experiment>
+//
+// where <experiment> is one of:
+//
+//	table1 table2 table3 table4 table5 fig3 fig4 fig5 fig7 grid
+//	ablation-freshness ablation-decay ablation-diversity all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vidrec/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "small", "workload scale: small or paper")
+		days      = flag.Int("days", 10, "A/B test length in days (fig7/table5)")
+		csvDir    = flag.String("csv", "", "also write figure series as CSV into this directory (fig3/fig4/fig5/fig7)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <table1|table2|table3|table4|table5|fig3|fig4|fig5|fig7|grid|ablation-freshness|ablation-decay|ablation-diversity|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiments.SmallScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	if err := run(flag.Arg(0), scale, *days, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type csvWriter interface {
+	WriteCSV(w io.Writer) error
+}
+
+// writeCSV saves a figure's series into dir/<name>.csv when dir is set.
+func writeCSV(dir, name string, r csvWriter) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("[series written to %s]\n", path)
+	return nil
+}
+
+func run(name string, scale experiments.Scale, days int, csvDir string) error {
+	started := time.Now()
+	switch name {
+	case "table1":
+		fmt.Println(experiments.Table1())
+	case "table2":
+		fmt.Println(experiments.Table2())
+	case "table3":
+		res, err := experiments.RunTable3(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "table4":
+		res, err := experiments.RunTable4(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "table5":
+		res, err := experiments.RunTable5(scale, days)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "fig3":
+		res, err := experiments.RunFig3(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if err := writeCSV(csvDir, "fig3", res); err != nil {
+			return err
+		}
+	case "fig4":
+		res, err := experiments.RunFig4(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if err := writeCSV(csvDir, "fig4", res); err != nil {
+			return err
+		}
+	case "fig5":
+		res, err := experiments.RunFig5(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if err := writeCSV(csvDir, "fig5", res); err != nil {
+			return err
+		}
+	case "fig7":
+		res, err := experiments.RunFig7(scale, days)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if err := writeCSV(csvDir, "fig7", res); err != nil {
+			return err
+		}
+	case "ablation-freshness":
+		res, err := experiments.RunFreshness(scale, days)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "ablation-decay":
+		res, err := experiments.RunDecayAblation(scale, days)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "ablation-diversity":
+		res, err := experiments.RunDiversityAblation(scale, days)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "grid":
+		res, err := experiments.RunGridSearch(scale,
+			[]float64{0.02, 0.05, 0.1}, []float64{0, 0.01, 0.02, 0.05})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "all":
+		for _, sub := range []string{
+			"table1", "table2", "table3", "table4",
+			"fig3", "fig4", "fig5", "fig7", "table5",
+		} {
+			if err := run(sub, scale, days, csvDir); err != nil {
+				return fmt.Errorf("%s: %w", sub, err)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	fmt.Printf("[%s done in %v]\n", name, time.Since(started).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,55 @@
+// Command kvserver runs the distributed memory-based key-value store as a
+// standalone TCP service (§5.1's storage tier). Point recserve at it with
+// -kv to split the pipeline across processes:
+//
+//	kvserver -addr 127.0.0.1:7700 &
+//	recserve -kv 127.0.0.1:7700
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vidrec/internal/kvstore"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7700", "TCP listen address")
+		shards = flag.Int("shards", 64, "shard count (rounded up to a power of two)")
+		report = flag.Duration("report", time.Minute, "stats reporting interval (0 disables)")
+	)
+	flag.Parse()
+
+	backing := kvstore.NewLocal(*shards)
+	srv, err := kvstore.NewServer(backing, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvserver:", err)
+		os.Exit(1)
+	}
+	log.Printf("kvstore serving on %s with %d shards", srv.Addr(), backing.Shards())
+
+	if *report > 0 {
+		go func() {
+			for range time.Tick(*report) {
+				snap := backing.Stats().Snapshot()
+				keys, _ := backing.Len()
+				log.Printf("keys=%d gets=%d sets=%d hit_rate=%.3f",
+					keys, snap.Gets, snap.Sets, snap.HitRate())
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+}

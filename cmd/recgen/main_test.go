@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vidrec/internal/dataset"
+)
+
+func TestRunWritesReadableTSVs(t *testing.T) {
+	dir := t.TempDir()
+	cfg := dataset.DefaultConfig()
+	cfg.Users = 50
+	cfg.Videos = 30
+	cfg.Days = 1
+	cfg.EventsPerDay = 300
+	if err := run(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"actions.tsv", "catalog.tsv", "profiles.tsv"} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	// Everything written must parse back and match the generator.
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, err := os.Open(filepath.Join(dir, "actions.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer af.Close()
+	actions, err := dataset.ReadActions(af)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := d.AllActions(); len(actions) != len(want) {
+		t.Errorf("actions round trip: %d vs %d", len(actions), len(want))
+	}
+	cf, err := os.Open(filepath.Join(dir, "catalog.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	videos, err := dataset.ReadCatalog(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(videos) != cfg.Videos {
+		t.Errorf("catalog round trip: %d vs %d", len(videos), cfg.Videos)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := dataset.DefaultConfig()
+	cfg.Users = 0
+	if err := run(cfg, t.TempDir()); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

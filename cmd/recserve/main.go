@@ -1,0 +1,317 @@
+// Command recserve runs the full real-time recommendation pipeline as an
+// HTTP service: it generates (or loads) an action stream, feeds it through
+// the Figure 2 topology in the background, and serves recommendation
+// requests against the live state — the deployment shape of §5, collapsed
+// onto one machine.
+//
+// Endpoints:
+//
+//	GET /recommend?user=u00001&n=10[&video=v00042]   ranked recommendations
+//	POST /action    body: TSV action line             ingest one action
+//	GET /similar?video=v00042&n=10                    similar-video table
+//	GET /stats                                        pipeline counters
+//	GET /healthz                                      liveness
+//
+// Usage:
+//
+//	recserve -addr :8080 [-data ./data] [-replay] [-kv remote_addr] [-snapshot state.snap]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"vidrec/internal/core"
+	"vidrec/internal/dataset"
+	"vidrec/internal/demographic"
+	"vidrec/internal/feedback"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/recommend"
+	"vidrec/internal/simtable"
+	"vidrec/internal/storm"
+	"vidrec/internal/topology"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "HTTP listen address")
+		data   = flag.String("data", "", "TSV data directory from recgen (empty: generate a small workload)")
+		replay = flag.Bool("replay", true, "stream the workload through the topology at startup")
+		kvAddr = flag.String("kv", "", "remote kvstore server address (empty: embedded store)")
+		snap   = flag.String("snapshot", "", "snapshot file for the embedded store: loaded at startup if present, saved on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, *data, *replay, *kvAddr, *snap); err != nil {
+		fmt.Fprintln(os.Stderr, "recserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataDir string, replay bool, kvAddr, snapshot string) error {
+	var kv kvstore.Store
+	var local *kvstore.Local
+	if kvAddr == "" {
+		local = kvstore.NewLocal(64)
+		kv = local
+	} else {
+		cli, err := kvstore.Dial(kvAddr)
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		kv = cli
+	}
+	if snapshot != "" && local != nil {
+		if err := local.LoadSnapshot(snapshot); err != nil {
+			log.Printf("snapshot not loaded (%v); starting cold", err)
+		} else {
+			n, _ := local.Len()
+			log.Printf("warm start: %d keys from %s", n, snapshot)
+			replay = false // state restored; no need to re-stream
+		}
+	}
+
+	params := core.DefaultParams()
+	sys, err := recommend.NewSystem(kv, params, simtable.DefaultConfig(), recommend.DefaultOptions())
+	if err != nil {
+		return err
+	}
+
+	actions, err := loadWorkload(sys, dataDir)
+	if err != nil {
+		return err
+	}
+
+	var replayMetrics map[string]storm.MetricsSnapshot
+	if replay && len(actions) > 0 {
+		log.Printf("replaying %d actions through the topology...", len(actions))
+		start := time.Now()
+		topo, err := topology.Build(sys,
+			func(int) topology.Source { return topology.SliceSource(actions) },
+			topology.DefaultParallelism())
+		if err != nil {
+			return err
+		}
+		if err := topo.Run(context.Background()); err != nil {
+			return err
+		}
+		log.Printf("replay done in %v", time.Since(start).Round(time.Millisecond))
+		replayMetrics = make(map[string]storm.MetricsSnapshot)
+		for _, name := range topo.Components() {
+			m, _ := topo.MetricsFor(name)
+			replayMetrics[name] = m
+		}
+	}
+
+	mux := newMux(sys, kv, replayMetrics)
+	srv := &http.Server{Addr: addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving on %s", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case <-sig:
+		log.Print("shutting down")
+		if snapshot != "" && local != nil {
+			if err := local.SaveSnapshot(snapshot); err != nil {
+				log.Printf("snapshot save failed: %v", err)
+			} else {
+				log.Printf("state saved to %s", snapshot)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}
+
+// newMux builds the HTTP API over an assembled system. replayMetrics may be
+// nil when no startup replay ran.
+func newMux(sys *recommend.System, kv kvstore.Store, replayMetrics map[string]storm.MetricsSnapshot) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /recommend", func(w http.ResponseWriter, r *http.Request) {
+		user := r.URL.Query().Get("user")
+		if user == "" {
+			http.Error(w, "missing user parameter", http.StatusBadRequest)
+			return
+		}
+		n := queryInt(r, "n", 10)
+		res, err := sys.Recommend(recommend.Request{
+			UserID:       user,
+			CurrentVideo: r.URL.Query().Get("video"),
+			N:            n,
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"videos":     res.Videos,
+			"seeds":      res.Seeds,
+			"candidates": res.Candidates,
+			"hot_merged": res.HotMerged,
+			"latency_us": res.Latency.Microseconds(),
+		})
+	})
+	mux.HandleFunc("GET /similar", func(w http.ResponseWriter, r *http.Request) {
+		video := r.URL.Query().Get("video")
+		if video == "" {
+			http.Error(w, "missing video parameter", http.StatusBadRequest)
+			return
+		}
+		tables, err := sys.Tables.For(demographic.GlobalGroup)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		entries, err := tables.Similar(video, queryInt(r, "n", 10), sys.Now())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, entries)
+	})
+	mux.HandleFunc("POST /action", func(w http.ResponseWriter, r *http.Request) {
+		defer r.Body.Close()
+		parsed, err := readBodyActions(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, a := range parsed {
+			if err := sys.Ingest(a); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		writeJSON(w, map[string]int{"ingested": len(parsed)})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		lat := sys.Latency.Snapshot()
+		stats := map[string]any{
+			"now": sys.Now(),
+			"serving_latency": map[string]any{
+				"count":   lat.Count,
+				"mean_us": lat.Mean.Microseconds(),
+				"p50_us":  lat.P50.Microseconds(),
+				"p99_us":  lat.P99.Microseconds(),
+				"max_us":  lat.Max.Microseconds(),
+			},
+		}
+		if replayMetrics != nil {
+			stats["replay_topology"] = replayMetrics
+		}
+		if local, ok := kv.(*kvstore.Local); ok {
+			snap := local.Stats().Snapshot()
+			keys, _ := local.Len()
+			stats["kv"] = map[string]any{
+				"keys": keys, "gets": snap.Gets, "sets": snap.Sets,
+				"hit_rate": snap.HitRate(),
+			}
+		}
+		writeJSON(w, stats)
+	})
+	return mux
+}
+
+// loadWorkload reads TSV data from recgen, or generates a small workload
+// when no directory is given. Catalog and profiles are loaded into the
+// system either way.
+func loadWorkload(sys *recommend.System, dir string) ([]feedback.Action, error) {
+	if dir == "" {
+		cfg := dataset.DefaultConfig()
+		cfg.Users = 500
+		cfg.Videos = 200
+		cfg.Days = 3
+		cfg.EventsPerDay = 5000
+		d, err := dataset.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.FillCatalog(sys.Catalog); err != nil {
+			return nil, err
+		}
+		if err := d.FillProfiles(sys.Profiles); err != nil {
+			return nil, err
+		}
+		return d.AllActions(), nil
+	}
+
+	catFile, err := os.Open(filepath.Join(dir, "catalog.tsv"))
+	if err != nil {
+		return nil, err
+	}
+	defer catFile.Close()
+	videos, err := dataset.ReadCatalog(catFile)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range videos {
+		if err := sys.Catalog.Put(v); err != nil {
+			return nil, err
+		}
+	}
+
+	profFile, err := os.Open(filepath.Join(dir, "profiles.tsv"))
+	if err != nil {
+		return nil, err
+	}
+	defer profFile.Close()
+	profiles, err := dataset.ReadProfiles(profFile)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range profiles {
+		if err := sys.Profiles.Put(p); err != nil {
+			return nil, err
+		}
+	}
+
+	actFile, err := os.Open(filepath.Join(dir, "actions.tsv"))
+	if err != nil {
+		return nil, err
+	}
+	defer actFile.Close()
+	return dataset.ReadActions(actFile)
+}
+
+func readBodyActions(r *http.Request) ([]feedback.Action, error) {
+	return dataset.ReadActions(r.Body)
+}
+
+func queryInt(r *http.Request, key string, def int) int {
+	v := strings.TrimSpace(r.URL.Query().Get(key))
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return def
+	}
+	return n
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("recserve: encode response: %v", err)
+	}
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vidrec/internal/catalog"
+	"vidrec/internal/core"
+	"vidrec/internal/feedback"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/recommend"
+	"vidrec/internal/simtable"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *recommend.System) {
+	t.Helper()
+	kv := kvstore.NewLocal(16)
+	params := core.DefaultParams()
+	params.Factors = 8
+	sys, err := recommend.NewSystem(kv, params, simtable.DefaultConfig(), recommend.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		sys.Catalog.Put(catalog.Video{ID: id, Type: "movie", Length: 30 * time.Minute})
+	}
+	base := time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC)
+	min := 0
+	for _, u := range []string{"u1", "u2", "u3"} {
+		for _, v := range []string{"a", "b"} {
+			sys.Ingest(feedback.Action{
+				UserID: u, VideoID: v, Type: feedback.PlayTime,
+				ViewTime: 30 * time.Minute, VideoLength: 30 * time.Minute,
+				Timestamp: base.Add(time.Duration(min) * time.Minute),
+			})
+			min++
+		}
+	}
+	srv := httptest.NewServer(newMux(sys, kv, nil))
+	t.Cleanup(srv.Close)
+	return srv, sys
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := testServer(t)
+	resp := getJSON(t, srv.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestRecommendEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	var body struct {
+		Videos []struct {
+			ID    string
+			Score float64
+		}
+		Seeds     int
+		LatencyUS int64 `json:"latency_us"`
+	}
+	// A visitor with no history, watching "a": the co-watched "b" should
+	// surface.
+	resp := getJSON(t, srv.URL+"/recommend?user=visitor&video=a&n=2", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(body.Videos) == 0 {
+		t.Fatal("no videos returned")
+	}
+	for _, v := range body.Videos {
+		if v.ID == "a" {
+			t.Error("current video recommended")
+		}
+	}
+}
+
+func TestRecommendRequiresUser(t *testing.T) {
+	srv, _ := testServer(t)
+	resp := getJSON(t, srv.URL+"/recommend", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSimilarEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	var entries []struct {
+		ID    string
+		Score float64
+	}
+	resp := getJSON(t, srv.URL+"/similar?video=a&n=5", &entries)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(entries) == 0 || entries[0].ID != "b" {
+		t.Errorf("similar(a) = %+v, want b first", entries)
+	}
+	if resp := getJSON(t, srv.URL+"/similar", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing video param: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestActionIngestEndpoint(t *testing.T) {
+	srv, sys := testServer(t)
+	line := "1457308800000\tu9\tc\tclick\t0\t0\n"
+	resp, err := http.Post(srv.URL+"/action", "text/tab-separated-values", strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Ingested int
+	}
+	json.NewDecoder(resp.Body).Decode(&body)
+	if body.Ingested != 1 {
+		t.Errorf("ingested = %d, want 1", body.Ingested)
+	}
+	recent, _ := sys.History.RecentVideos("u9", 5)
+	if len(recent) != 1 || recent[0] != "c" {
+		t.Errorf("history after POST = %v", recent)
+	}
+	// Malformed body is a 400.
+	resp2, err := http.Post(srv.URL+"/action", "text/plain", strings.NewReader("garbage\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status = %d, want 400", resp2.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	getJSON(t, srv.URL+"/recommend?user=u1&n=3", nil) // generate a latency sample
+	var stats map[string]any
+	resp := getJSON(t, srv.URL+"/stats", &stats)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if _, ok := stats["kv"]; !ok {
+		t.Error("stats missing kv section for a local store")
+	}
+	lat, ok := stats["serving_latency"].(map[string]any)
+	if !ok || lat["count"].(float64) < 1 {
+		t.Errorf("stats missing latency samples: %v", stats["serving_latency"])
+	}
+}
+
+func TestQueryIntDefaults(t *testing.T) {
+	req := httptest.NewRequest("GET", "/x?n=abc&m=-3&k=7", nil)
+	if got := queryInt(req, "n", 10); got != 10 {
+		t.Errorf("non-numeric = %d, want default", got)
+	}
+	if got := queryInt(req, "m", 10); got != 10 {
+		t.Errorf("negative = %d, want default", got)
+	}
+	if got := queryInt(req, "k", 10); got != 7 {
+		t.Errorf("valid = %d, want 7", got)
+	}
+	if got := queryInt(req, "absent", 5); got != 5 {
+		t.Errorf("absent = %d, want default", got)
+	}
+}

@@ -1,0 +1,21 @@
+// Package vidrec is a from-scratch Go reproduction of "Real-time Video
+// Recommendation Exploration" (Huang, Cui, Jiang, Hong, Zhang, Xie —
+// SIGMOD 2016): Tencent Video's production real-time recommender.
+//
+// The system comprises an online adjustable matrix-factorization model for
+// implicit feedback (internal/core), similar-video tables fusing CF, type
+// and time-decay similarity (internal/simtable), real-time top-N
+// recommendation generation with demographic filtering (internal/recommend,
+// internal/demographic), a Storm-style stream-processing engine
+// (internal/storm) running the paper's Figure 2 topology
+// (internal/topology) over a distributed in-memory key-value store
+// (internal/kvstore), the three production baselines Hot/AR/SimHash
+// (internal/baseline), a synthetic Tencent-shaped workload generator
+// (internal/dataset), and the paper's full offline and online evaluation
+// harness (internal/eval, internal/abtest, internal/experiments).
+//
+// See DESIGN.md for the system inventory and per-experiment index,
+// EXPERIMENTS.md for paper-vs-measured results, and README.md to get
+// started. The benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation section at a reduced scale.
+package vidrec

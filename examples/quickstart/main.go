@@ -1,0 +1,108 @@
+// Quickstart: assemble the recommendation system, feed it a handful of user
+// actions, and ask for recommendations in both of the paper's scenarios —
+// "related videos" (watching something right now) and "guess you like"
+// (history-seeded).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vidrec/internal/catalog"
+	"vidrec/internal/core"
+	"vidrec/internal/feedback"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/recommend"
+	"vidrec/internal/simtable"
+)
+
+func main() {
+	// 1. One shared key-value store holds all pipeline state (§5.1).
+	kv := kvstore.NewLocal(16)
+
+	// 2. Assemble the system: online MF model (Algorithm 1), similar-video
+	// tables (Eq. 9-12), histories, demographic hot lists.
+	sys, err := recommend.NewSystem(kv, core.DefaultParams(), simtable.DefaultConfig(), recommend.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Register a tiny catalog: ids, fine-grained types, lengths.
+	for _, v := range []catalog.Video{
+		{ID: "kungfu-1", Type: "movie.action", Length: 95 * time.Minute},
+		{ID: "kungfu-2", Type: "movie.action", Length: 102 * time.Minute},
+		{ID: "kungfu-3", Type: "movie.action", Length: 88 * time.Minute},
+		{ID: "news-1", Type: "news.daily", Length: 12 * time.Minute},
+		{ID: "cooking-1", Type: "life.cooking", Length: 25 * time.Minute},
+	} {
+		if err := sys.Catalog.Put(v); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 4. Stream user actions. Each Ingest performs one single-step model
+	// update — the model is usable immediately after every action.
+	base := time.Now().Add(-2 * time.Hour)
+	watch := func(user, video string, minutes int, at time.Duration) feedback.Action {
+		length := 95 * time.Minute
+		return feedback.Action{
+			UserID: user, VideoID: video, Type: feedback.PlayTime,
+			ViewTime: time.Duration(minutes) * time.Minute, VideoLength: length,
+			Timestamp: base.Add(at),
+		}
+	}
+	actions := []feedback.Action{
+		// Action-movie fans co-watch the kungfu series.
+		watch("alice", "kungfu-1", 90, 0),
+		watch("alice", "kungfu-2", 95, 10*time.Minute),
+		watch("bob", "kungfu-1", 85, 20*time.Minute),
+		watch("bob", "kungfu-3", 80, 30*time.Minute),
+		watch("carol", "kungfu-2", 90, 40*time.Minute),
+		watch("carol", "kungfu-3", 85, 50*time.Minute),
+		// Dave is into the news.
+		watch("dave", "news-1", 11, 60*time.Minute),
+	}
+	for _, a := range actions {
+		if err := sys.Ingest(a); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 5a. "Related videos": erin is watching kungfu-1 right now.
+	res, err := sys.Recommend(recommend.Request{UserID: "erin", CurrentVideo: "kungfu-1", N: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("related to kungfu-1 (for erin, watching now):")
+	for i, e := range res.Videos {
+		fmt.Printf("  %d. %-10s score=%.4f\n", i+1, e.ID, e.Score)
+	}
+	fmt.Printf("  [%d candidates, %d hot-merged, served in %v]\n\n",
+		res.Candidates, res.HotMerged, res.Latency)
+
+	// 5b. "Guess you like": alice opens the site; her history seeds the
+	// expansion.
+	res, err = sys.Recommend(recommend.Request{UserID: "alice", N: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("guess-you-like for alice (history-seeded):")
+	for i, e := range res.Videos {
+		fmt.Printf("  %d. %-10s score=%.4f\n", i+1, e.ID, e.Score)
+	}
+
+	// 5c. A brand-new user falls back to the hot list (§5.2.1).
+	res, err = sys.Recommend(recommend.Request{UserID: "stranger", N: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncold-start list for a brand-new user (demographic filtering):")
+	for i, e := range res.Videos {
+		fmt.Printf("  %d. %-10s score=%.4f\n", i+1, e.ID, e.Score)
+	}
+}

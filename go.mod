@@ -1,0 +1,3 @@
+module vidrec
+
+go 1.22

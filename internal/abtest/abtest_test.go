@@ -1,0 +1,281 @@
+package abtest
+
+import (
+	"testing"
+	"time"
+
+	"vidrec/internal/dataset"
+	"vidrec/internal/eval"
+	"vidrec/internal/feedback"
+)
+
+func smallDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.Users = 120
+	cfg.Videos = 60
+	cfg.Days = 3
+	cfg.EventsPerDay = 800
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func constRec(videos ...string) eval.Recommender {
+	return eval.RecommenderFunc(func(_ string, n int) ([]string, error) {
+		if n > len(videos) {
+			n = len(videos)
+		}
+		return videos[:n], nil
+	})
+}
+
+func TestConfigValidate(t *testing.T) {
+	for i, mutate := range []func(*Config){
+		func(c *Config) { c.Days = 0 },
+		func(c *Config) { c.RequestsPerDay = 0 },
+		func(c *Config) { c.N = 0 },
+	} {
+		c := DefaultConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRunValidatesVariants(t *testing.T) {
+	d := smallDataset(t)
+	cfg := Config{Days: 1, RequestsPerDay: 10, N: 2, Seed: 1}
+	if _, err := Run(d, nil, cfg); err == nil {
+		t.Error("no variants accepted")
+	}
+	if _, err := Run(d, []Variant{{Name: "x"}}, cfg); err == nil {
+		t.Error("variant without recommender accepted")
+	}
+	vs := []Variant{
+		{Name: "a", Recommender: constRec("v00001")},
+		{Name: "a", Recommender: constRec("v00002")},
+	}
+	if _, err := Run(d, vs, cfg); err == nil {
+		t.Error("duplicate variant names accepted")
+	}
+}
+
+func TestRunProducesDailySeries(t *testing.T) {
+	d := smallDataset(t)
+	videos := d.Videos()
+	cfg := Config{Days: 4, RequestsPerDay: 300, N: 5, Seed: 3}
+	report, err := Run(d, []Variant{
+		{Name: "A", Recommender: constRec(videos[0].Meta.ID, videos[1].Meta.ID, videos[2].Meta.ID, videos[3].Meta.ID, videos[4].Meta.ID)},
+		{Name: "B", Recommender: constRec(videos[5].Meta.ID, videos[6].Meta.ID, videos[7].Meta.ID, videos[8].Meta.ID, videos[9].Meta.ID)},
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Daily) != 4 {
+		t.Fatalf("daily records = %d, want 4", len(report.Daily))
+	}
+	for day, rec := range report.Daily {
+		total := rec["A"].Impressions + rec["B"].Impressions
+		if total != cfg.RequestsPerDay*cfg.N {
+			t.Errorf("day %d impressions = %d, want %d", day, total, cfg.RequestsPerDay*cfg.N)
+		}
+	}
+	if got := report.CTRSeries("A"); len(got) != 4 {
+		t.Errorf("CTRSeries length = %d", len(got))
+	}
+	sumA := report.Total["A"]
+	if sumA.Impressions == 0 {
+		t.Error("variant A served nothing")
+	}
+}
+
+func TestBucketingIsStable(t *testing.T) {
+	if bucketOf("user-42", 4) != bucketOf("user-42", 4) {
+		t.Error("bucket assignment not deterministic")
+	}
+	spread := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		spread[bucketOf(string(rune('a'+i%26))+string(rune('0'+i/26)), 4)] = true
+	}
+	if len(spread) < 2 {
+		t.Error("all users hash to one bucket")
+	}
+}
+
+// TestGroundTruthOracleWinsCTR: a recommender with oracle access to the
+// hidden preferences must beat a deliberately awful one — the core validity
+// property of the CTR simulation.
+func TestGroundTruthOracleWinsCTR(t *testing.T) {
+	d := smallDataset(t)
+	oracle := eval.RecommenderFunc(func(u string, n int) ([]string, error) {
+		type vp struct {
+			id string
+			p  float64
+		}
+		var all []vp
+		for _, v := range d.Videos() {
+			all = append(all, vp{v.Meta.ID, d.Preference(u, v.Meta.ID)})
+		}
+		for i := 0; i < n; i++ { // partial selection sort
+			maxI := i
+			for j := i + 1; j < len(all); j++ {
+				if all[j].p > all[maxI].p {
+					maxI = j
+				}
+			}
+			all[i], all[maxI] = all[maxI], all[i]
+		}
+		out := make([]string, n)
+		for i := 0; i < n; i++ {
+			out[i] = all[i].id
+		}
+		return out, nil
+	})
+	awful := eval.RecommenderFunc(func(u string, n int) ([]string, error) {
+		type vp struct {
+			id string
+			p  float64
+		}
+		var all []vp
+		for _, v := range d.Videos() {
+			all = append(all, vp{v.Meta.ID, d.Preference(u, v.Meta.ID)})
+		}
+		for i := 0; i < n; i++ {
+			minI := i
+			for j := i + 1; j < len(all); j++ {
+				if all[j].p < all[minI].p {
+					minI = j
+				}
+			}
+			all[i], all[minI] = all[minI], all[i]
+		}
+		out := make([]string, n)
+		for i := 0; i < n; i++ {
+			out[i] = all[i].id
+		}
+		return out, nil
+	})
+	report, err := Run(d, []Variant{
+		{Name: "oracle", Recommender: oracle},
+		{Name: "awful", Recommender: awful},
+	}, Config{Days: 2, RequestsPerDay: 500, N: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Total["oracle"].CTR() <= report.Total["awful"].CTR() {
+		t.Errorf("oracle CTR %v not above awful %v",
+			report.Total["oracle"].CTR(), report.Total["awful"].CTR())
+	}
+	lifts := report.Lifts()
+	if len(lifts) == 0 || lifts[0].Better != "oracle" {
+		t.Errorf("Lifts = %+v", lifts)
+	}
+	if report.Improvement("oracle", "awful") <= 0 {
+		t.Error("Improvement(oracle, awful) not positive")
+	}
+}
+
+func TestIngestAndTrainDailyHooksFire(t *testing.T) {
+	d := smallDataset(t)
+	var ingested int
+	var trained int
+	var lastNow time.Time
+	v := Variant{
+		Name:        "hooked",
+		Recommender: constRec(d.Videos()[0].Meta.ID),
+		Ingest: func(a feedback.Action) error {
+			ingested++
+			return nil
+		},
+		TrainDaily: func(history []feedback.Action) error {
+			trained++
+			if len(history) != ingested {
+				t.Errorf("history %d != ingested %d", len(history), ingested)
+			}
+			return nil
+		},
+		SetNow: func(now time.Time) { lastNow = now },
+	}
+	_, err := Run(d, []Variant{v}, Config{Days: 3, RequestsPerDay: 5, N: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ingested == 0 {
+		t.Error("Ingest never fired")
+	}
+	if trained != 3 {
+		t.Errorf("TrainDaily fired %d times, want 3", trained)
+	}
+	// SetNow fires at day starts and before each interleaved request; the
+	// last call must fall inside the final day.
+	lo := d.Config().Start.Add(2 * 24 * time.Hour)
+	hi := d.Config().Start.Add(3 * 24 * time.Hour)
+	if lastNow.Before(lo) || lastNow.After(hi) {
+		t.Errorf("last SetNow = %v, want within (%v, %v]", lastNow, lo, hi)
+	}
+}
+
+func TestDayCTRZeroImpressions(t *testing.T) {
+	if (DayCTR{}).CTR() != 0 {
+		t.Error("CTR of zero impressions should be 0")
+	}
+}
+
+func TestWarmupDaysServeNoRequests(t *testing.T) {
+	d := smallDataset(t)
+	var ingested int
+	v := Variant{
+		Name:        "w",
+		Recommender: constRec(d.Videos()[0].Meta.ID),
+		Ingest: func(feedback.Action) error {
+			ingested++
+			return nil
+		},
+	}
+	report, err := Run(d, []Variant{v}, Config{
+		Days: 2, WarmupDays: 1, RequestsPerDay: 20, N: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Daily) != 2 {
+		t.Fatalf("daily records = %d, want 2 (warmup excluded)", len(report.Daily))
+	}
+	if ingested == 0 {
+		t.Error("warmup day trained nothing")
+	}
+	total := report.Total["w"]
+	if total.Impressions != 2*20*1 {
+		t.Errorf("impressions = %d, want 40", total.Impressions)
+	}
+	if _, err := Run(d, []Variant{v}, Config{Days: 1, WarmupDays: -1, RequestsPerDay: 1, N: 1}); err == nil {
+		t.Error("negative warmup accepted")
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	d := smallDataset(t)
+	cfg := Config{Days: 2, RequestsPerDay: 200, N: 3, Seed: 9}
+	vs := func() []Variant {
+		return []Variant{{Name: "a", Recommender: constRec(
+			d.Videos()[0].Meta.ID, d.Videos()[1].Meta.ID, d.Videos()[2].Meta.ID)}}
+	}
+	r1, err := Run(d, vs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(d, vs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day := range r1.Daily {
+		if r1.Daily[day]["a"] != r2.Daily[day]["a"] {
+			t.Fatalf("day %d differs across identical runs: %+v vs %+v",
+				day, r1.Daily[day]["a"], r2.Daily[day]["a"])
+		}
+	}
+}

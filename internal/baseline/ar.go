@@ -1,0 +1,191 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+
+	"vidrec/internal/feedback"
+	"vidrec/internal/topn"
+)
+
+// AR is the association-rule recommender (§6.2): pairwise rules i → j mined
+// from users' positive actions, "trained in batch mode for every day".
+// A rule's strength is its confidence count(i,j)/count(i), gated by a
+// minimum support; recommendations expand the user's recent videos through
+// the strongest rules.
+type AR struct {
+	// MinSupport is the minimum co-occurrence count for a rule to exist.
+	MinSupport int
+	// RulesPerItem bounds how many consequents are kept per antecedent.
+	RulesPerItem int
+	// SeedWindow is how many of the user's most recent videos seed the
+	// expansion at recommendation time.
+	SeedWindow int
+
+	weights feedback.Weights
+
+	mu sync.RWMutex
+	// rules[i] lists the strongest consequents of i with confidences.
+	rules map[string][]topn.Entry
+	// recent[u] holds the user's positive videos, newest first, from the
+	// training window.
+	recent map[string][]string
+	// watched[u] is the user's full positive set, used to exclude
+	// already-consumed videos from recommendations.
+	watched map[string]map[string]bool
+}
+
+// NewAR returns an untrained association-rule recommender with production-
+// shaped defaults.
+func NewAR() *AR {
+	return &AR{
+		MinSupport:   3,
+		RulesPerItem: 30,
+		SeedWindow:   10,
+		weights:      feedback.DefaultWeights(),
+		rules:        make(map[string][]topn.Entry),
+		recent:       make(map[string][]string),
+		watched:      make(map[string]map[string]bool),
+	}
+}
+
+// Train rebuilds the rule base from a batch of actions (the daily batch job
+// of the production AR method). Previous rules are replaced wholesale.
+// Actions must be in stream order for the recency of user seeds to hold.
+func (ar *AR) Train(actions []feedback.Action) error {
+	if ar.MinSupport < 1 {
+		return fmt.Errorf("baseline: AR MinSupport must be >= 1, got %d", ar.MinSupport)
+	}
+	// Collect each user's distinct positive videos, in first-touch order.
+	userItems := make(map[string][]string)
+	seen := make(map[string]map[string]bool)
+	for _, a := range actions {
+		if ar.weights.Weight(a) <= 0 {
+			continue
+		}
+		s := seen[a.UserID]
+		if s == nil {
+			s = make(map[string]bool)
+			seen[a.UserID] = s
+		}
+		if s[a.VideoID] {
+			continue
+		}
+		s[a.VideoID] = true
+		userItems[a.UserID] = append(userItems[a.UserID], a.VideoID)
+	}
+
+	itemCount := make(map[string]int)
+	pairCount := make(map[[2]string]int)
+	for _, items := range userItems {
+		for _, v := range items {
+			itemCount[v]++
+		}
+		// Pair every co-consumed (i, j), both directions. Baskets are
+		// bounded to keep mining quadratic only in a small constant: very
+		// long histories contribute their most recent items.
+		const maxBasket = 50
+		if len(items) > maxBasket {
+			items = items[len(items)-maxBasket:]
+		}
+		for x := 0; x < len(items); x++ {
+			for y := x + 1; y < len(items); y++ {
+				pairCount[[2]string{items[x], items[y]}]++
+				pairCount[[2]string{items[y], items[x]}]++
+			}
+		}
+	}
+
+	rules := make(map[string]*topn.List)
+	for pair, n := range pairCount {
+		if n < ar.MinSupport {
+			continue
+		}
+		i, j := pair[0], pair[1]
+		conf := float64(n) / float64(itemCount[i])
+		l := rules[i]
+		if l == nil {
+			l = topn.NewList(ar.RulesPerItem)
+			rules[i] = l
+		}
+		l.Update(j, conf)
+	}
+
+	compiled := make(map[string][]topn.Entry, len(rules))
+	for i, l := range rules {
+		compiled[i] = l.All()
+	}
+	watchedAll := make(map[string]map[string]bool, len(seen))
+	for u, s := range seen {
+		watchedAll[u] = s
+	}
+	recent := make(map[string][]string, len(userItems))
+	for u, items := range userItems {
+		// newest last in first-touch order; reverse into newest-first.
+		w := ar.SeedWindow
+		if w > len(items) {
+			w = len(items)
+		}
+		r := make([]string, 0, w)
+		for k := len(items) - 1; k >= len(items)-w; k-- {
+			r = append(r, items[k])
+		}
+		recent[u] = r
+	}
+
+	ar.mu.Lock()
+	ar.rules = compiled
+	ar.recent = recent
+	ar.watched = watchedAll
+	ar.mu.Unlock()
+	return nil
+}
+
+// RuleCount returns the number of antecedents with at least one rule.
+func (ar *AR) RuleCount() int {
+	ar.mu.RLock()
+	defer ar.mu.RUnlock()
+	return len(ar.rules)
+}
+
+// Consequents returns the rules fired by one antecedent, strongest first.
+func (ar *AR) Consequents(video string) []topn.Entry {
+	ar.mu.RLock()
+	defer ar.mu.RUnlock()
+	return append([]topn.Entry(nil), ar.rules[video]...)
+}
+
+// Recommend implements eval.Recommender: fire the rules of the user's recent
+// videos, sum confidences per candidate, exclude already-watched videos, and
+// return the top n.
+func (ar *AR) Recommend(userID string, n int) ([]string, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("baseline: n must be positive, got %d", n)
+	}
+	ar.mu.RLock()
+	defer ar.mu.RUnlock()
+	seeds := ar.recent[userID]
+	watched := ar.watched[userID]
+	scores := make(map[string]float64)
+	for _, s := range seeds {
+		for _, rule := range ar.rules[s] {
+			if watched[rule.ID] {
+				continue
+			}
+			scores[rule.ID] += rule.Score
+		}
+	}
+	entries := make([]topn.Entry, 0, len(scores))
+	for v, s := range scores {
+		entries = append(entries, topn.Entry{ID: v, Score: s})
+	}
+	topn.SortEntriesDesc(entries)
+	if len(entries) > n {
+		entries = entries[:n]
+	}
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.ID
+	}
+	return out, nil
+}

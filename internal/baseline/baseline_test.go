@@ -1,0 +1,259 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"vidrec/internal/feedback"
+	"vidrec/internal/kvstore"
+)
+
+func click(u, v string, ts time.Time) feedback.Action {
+	return feedback.Action{UserID: u, VideoID: v, Type: feedback.Click, Timestamp: ts}
+}
+
+func watch(u, v string, ts time.Time) feedback.Action {
+	return feedback.Action{
+		UserID: u, VideoID: v, Type: feedback.PlayTime,
+		ViewTime: time.Hour, VideoLength: time.Hour, Timestamp: ts,
+	}
+}
+
+func impress(u, v string, ts time.Time) feedback.Action {
+	return feedback.Action{UserID: u, VideoID: v, Type: feedback.Impress, Timestamp: ts}
+}
+
+var t0 = time.Unix(1_000_000, 0)
+
+func TestHotRanksByDecayedPopularity(t *testing.T) {
+	h, err := NewHot(kvstore.NewLocal(4), 24*time.Hour, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		h.Record(watch("u1", "popular", t0))
+	}
+	h.Record(click("u2", "meh", t0))
+	got, err := h.Recommend("anyone", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "popular" || got[1] != "meh" {
+		t.Errorf("Recommend = %v", got)
+	}
+	// Personalization-free: every user sees the same list.
+	other, _ := h.Recommend("someone-else", 2)
+	if len(other) != 2 || other[0] != got[0] {
+		t.Error("Hot list differs across users")
+	}
+}
+
+func TestHotIgnoresImpressions(t *testing.T) {
+	h, _ := NewHot(kvstore.NewLocal(4), 24*time.Hour, 50)
+	h.Record(impress("u1", "shown", t0))
+	if got, _ := h.Recommend("u", 5); len(got) != 0 {
+		t.Errorf("impression heated a video: %v", got)
+	}
+}
+
+func TestHotTracksTrendShift(t *testing.T) {
+	h, _ := NewHot(kvstore.NewLocal(4), 12*time.Hour, 50)
+	for i := 0; i < 4; i++ {
+		h.Record(watch("u1", "yesterday", t0))
+	}
+	for i := 0; i < 2; i++ {
+		h.Record(watch("u2", "today", t0.Add(36*time.Hour)))
+	}
+	got, _ := h.Recommend("u", 2)
+	if got[0] != "today" {
+		t.Errorf("Recommend = %v, want today first after decay", got)
+	}
+}
+
+func TestARTrainAndRecommend(t *testing.T) {
+	ar := NewAR()
+	ar.MinSupport = 2
+	var actions []feedback.Action
+	// u1..u3 co-watch a and b; u1, u2 also watch c.
+	for _, u := range []string{"u1", "u2", "u3"} {
+		actions = append(actions, watch(u, "a", t0), watch(u, "b", t0.Add(time.Minute)))
+	}
+	actions = append(actions, watch("u1", "c", t0.Add(2*time.Minute)))
+	actions = append(actions, watch("u2", "c", t0.Add(2*time.Minute)))
+	if err := ar.Train(actions); err != nil {
+		t.Fatal(err)
+	}
+	if ar.RuleCount() == 0 {
+		t.Fatal("no rules mined")
+	}
+	// Rule a→b has confidence 3/3; a→c has 2/3.
+	cons := ar.Consequents("a")
+	if len(cons) != 2 || cons[0].ID != "b" || cons[1].ID != "c" {
+		t.Fatalf("Consequents(a) = %+v", cons)
+	}
+	if cons[0].Score != 1.0 || cons[1].Score < 0.66 || cons[1].Score > 0.67 {
+		t.Errorf("confidences = %v, %v", cons[0].Score, cons[1].Score)
+	}
+	// u4 watched a only → recommend b then c; a itself excluded.
+	ar.Train(append(actions, watch("u4", "a", t0.Add(3*time.Minute))))
+	got, err := ar.Recommend("u4", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 2 || got[0] != "b" {
+		t.Errorf("Recommend(u4) = %v, want b first", got)
+	}
+	for _, v := range got {
+		if v == "a" {
+			t.Error("recommended an already-watched video")
+		}
+	}
+}
+
+func TestARMinSupportGates(t *testing.T) {
+	ar := NewAR()
+	ar.MinSupport = 3
+	actions := []feedback.Action{
+		watch("u1", "a", t0), watch("u1", "b", t0),
+		watch("u2", "a", t0), watch("u2", "b", t0),
+	}
+	ar.Train(actions)
+	if ar.RuleCount() != 0 {
+		t.Errorf("pair with support 2 produced rules at MinSupport 3")
+	}
+	ar.MinSupport = 0
+	if err := ar.Train(actions); err == nil {
+		t.Error("MinSupport 0 accepted")
+	}
+}
+
+func TestARUnknownUserGetsNothing(t *testing.T) {
+	ar := NewAR()
+	ar.Train([]feedback.Action{watch("u1", "a", t0), watch("u1", "b", t0)})
+	got, err := ar.Recommend("stranger", 5)
+	if err != nil || len(got) != 0 {
+		t.Errorf("Recommend(stranger) = %v, %v", got, err)
+	}
+	if _, err := ar.Recommend("u1", 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestARIgnoresImpressions(t *testing.T) {
+	ar := NewAR()
+	ar.MinSupport = 1
+	ar.Train([]feedback.Action{
+		impress("u1", "a", t0), impress("u1", "b", t0),
+		impress("u2", "a", t0), impress("u2", "b", t0),
+	})
+	if ar.RuleCount() != 0 {
+		t.Error("impressions mined into rules")
+	}
+}
+
+func TestSimHashSignatureProperties(t *testing.T) {
+	a := map[string]float64{"x": 1, "y": 2, "z": 1}
+	b := map[string]float64{"x": 1, "y": 2, "z": 1}
+	if signature(a) != signature(b) {
+		t.Error("identical sets produced different signatures")
+	}
+	// Near-identical sets should be closer than disjoint ones, on average.
+	c := map[string]float64{"x": 1, "y": 2, "w": 1}
+	d := map[string]float64{"p": 1, "q": 2, "r": 1}
+	near := Hamming(signature(a), signature(c))
+	far := Hamming(signature(a), signature(d))
+	if near >= far {
+		t.Errorf("overlapping sets distance %d not below disjoint %d", near, far)
+	}
+}
+
+func TestSimHashNeighborsAndRecommend(t *testing.T) {
+	sh := NewSimHash()
+	var actions []feedback.Action
+	// Cohort A watches {a1..a5}; cohort B watches {b1..b5}.
+	for _, u := range []string{"ua1", "ua2", "ua3"} {
+		for _, v := range []string{"a1", "a2", "a3", "a4", "a5"} {
+			actions = append(actions, watch(u, v, t0))
+		}
+	}
+	for _, u := range []string{"ub1", "ub2", "ub3"} {
+		for _, v := range []string{"b1", "b2", "b3", "b4", "b5"} {
+			actions = append(actions, watch(u, v, t0))
+		}
+	}
+	// ua1 additionally watched a6, which ua2/ua3 have not seen.
+	actions = append(actions, watch("ua1", "a6", t0))
+	if err := sh.Train(actions); err != nil {
+		t.Fatal(err)
+	}
+	neigh := sh.Neighbors("ua2", 10)
+	for _, v := range neigh {
+		if v == "ua2" {
+			t.Error("user is their own neighbour")
+		}
+	}
+	hasCohortMate := false
+	for _, v := range neigh {
+		if v == "ua1" || v == "ua3" {
+			hasCohortMate = true
+		}
+	}
+	if !hasCohortMate {
+		t.Errorf("Neighbors(ua2) = %v, expected a cohort mate", neigh)
+	}
+	recs, err := sh.Recommend("ua2", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range recs {
+		switch v {
+		case "a1", "a2", "a3", "a4", "a5":
+			t.Errorf("recommended already-watched %s", v)
+		}
+	}
+	found := false
+	for _, v := range recs {
+		if v == "a6" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Recommend(ua2) = %v, want a6 (cohort novelty)", recs)
+	}
+}
+
+func TestSimHashUnknownUser(t *testing.T) {
+	sh := NewSimHash()
+	sh.Train([]feedback.Action{watch("u1", "a", t0)})
+	got, err := sh.Recommend("stranger", 5)
+	if err != nil || len(got) != 0 {
+		t.Errorf("Recommend(stranger) = %v, %v", got, err)
+	}
+	if got := sh.Neighbors("stranger", 5); got != nil {
+		t.Errorf("Neighbors(stranger) = %v", got)
+	}
+}
+
+func TestSimHashBandsValidation(t *testing.T) {
+	sh := NewSimHash()
+	sh.Bands = 0
+	if err := sh.Train(nil); err == nil {
+		t.Error("Bands=0 accepted")
+	}
+	sh.Bands = 5
+	if err := sh.Train(nil); err == nil {
+		t.Error("Bands=5 accepted")
+	}
+}
+
+func TestHammingBasics(t *testing.T) {
+	if Hamming(0, 0) != 0 {
+		t.Error("Hamming(0,0) != 0")
+	}
+	if Hamming(0, ^uint64(0)) != 64 {
+		t.Error("Hamming(0,~0) != 64")
+	}
+	if Hamming(0b1010, 0b0110) != 2 {
+		t.Error("Hamming(1010,0110) != 2")
+	}
+}

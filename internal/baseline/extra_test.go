@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"vidrec/internal/core"
+	"vidrec/internal/feedback"
+)
+
+// Tests for the extension baselines: offline BatchMF (the "retrained at
+// regular intervals" model of the paper's introduction) and item-based CF.
+
+func coWatchStream() []feedback.Action {
+	var actions []feedback.Action
+	min := 0
+	add := func(u, v string) {
+		actions = append(actions, watch(u, v, t0.Add(time.Duration(min)*time.Minute)))
+		min++
+	}
+	// Cohort co-watches a+b; c is watched alone by one user; impressions
+	// keep the global mean meaningful.
+	for _, u := range []string{"u1", "u2", "u3", "u4"} {
+		add(u, "a")
+		add(u, "b")
+		actions = append(actions, impress(u, "x", t0.Add(time.Duration(min)*time.Minute)))
+	}
+	add("u5", "c")
+	add("u5", "a")
+	return actions
+}
+
+func TestBatchMFUntrainedServesNothing(t *testing.T) {
+	p := core.DefaultParams()
+	p.Factors = 8
+	b := NewBatchMF(p)
+	if b.Trained() {
+		t.Error("untrained model reports trained")
+	}
+	got, err := b.Recommend("u1", 5)
+	if err != nil || got != nil {
+		t.Errorf("untrained Recommend = %v, %v", got, err)
+	}
+	if _, err := b.Recommend("u1", 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestBatchMFTrainAndRecommend(t *testing.T) {
+	p := core.DefaultParams()
+	p.Factors = 8
+	b := NewBatchMF(p)
+	if err := b.Train(coWatchStream()); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Trained() {
+		t.Fatal("Train did not install a model")
+	}
+	// u5 watched c and a; b should surface (co-watched with a), and the
+	// watched videos must not.
+	got, err := b.Recommend("u5", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v == "a" || v == "c" {
+			t.Errorf("already-watched %s recommended", v)
+		}
+	}
+	if len(got) == 0 || got[0] != "b" {
+		t.Errorf("Recommend(u5) = %v, want b first", got)
+	}
+}
+
+func TestBatchMFValidatesPasses(t *testing.T) {
+	p := core.DefaultParams()
+	p.Factors = 4
+	b := NewBatchMF(p)
+	b.Passes = 0
+	if err := b.Train(nil); err == nil {
+		t.Error("zero passes accepted")
+	}
+}
+
+func TestBatchMFRetrainReplacesModel(t *testing.T) {
+	p := core.DefaultParams()
+	p.Factors = 8
+	b := NewBatchMF(p)
+	b.Train(coWatchStream())
+	// Retrain on a disjoint corpus: old videos must disappear.
+	var second []feedback.Action
+	for i, u := range []string{"w1", "w2", "w3"} {
+		second = append(second, watch(u, "z1", t0.Add(time.Duration(i)*time.Minute)))
+		second = append(second, watch(u, "z2", t0.Add(time.Duration(i)*time.Minute+time.Second)))
+	}
+	if err := b.Train(second); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.Recommend("w1", 5)
+	for _, v := range got {
+		if v == "a" || v == "b" || v == "c" {
+			t.Errorf("stale corpus video %s survived retrain", v)
+		}
+	}
+}
+
+func TestItemCFTrainAndRecommend(t *testing.T) {
+	cf := NewItemCF()
+	if err := cf.Train(coWatchStream()); err != nil {
+		t.Fatal(err)
+	}
+	sim := cf.Similar("a")
+	if len(sim) == 0 || sim[0].ID != "b" {
+		t.Fatalf("Similar(a) = %+v, want b first", sim)
+	}
+	// Cosine: c_ab=4, c_a=5, c_b=4 → 4/√20 ≈ 0.894.
+	if sim[0].Score < 0.85 || sim[0].Score > 0.95 {
+		t.Errorf("sim(a,b) = %v, want ≈ 0.894", sim[0].Score)
+	}
+	got, err := cf.Recommend("u5", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || got[0] != "b" {
+		t.Errorf("Recommend(u5) = %v, want [b]", got)
+	}
+	for _, v := range got {
+		if v == "a" || v == "c" {
+			t.Errorf("already-watched %s recommended", v)
+		}
+	}
+}
+
+func TestItemCFMinCoCountGates(t *testing.T) {
+	cf := NewItemCF()
+	cf.MinCoCount = 10
+	cf.Train(coWatchStream())
+	if got := cf.Similar("a"); len(got) != 0 {
+		t.Errorf("pairs below support produced neighbors: %+v", got)
+	}
+	cf.MinCoCount = 0
+	if err := cf.Train(nil); err == nil {
+		t.Error("MinCoCount 0 accepted")
+	}
+}
+
+func TestItemCFUnknownUser(t *testing.T) {
+	cf := NewItemCF()
+	cf.Train(coWatchStream())
+	got, err := cf.Recommend("stranger", 5)
+	if err != nil || len(got) != 0 {
+		t.Errorf("Recommend(stranger) = %v, %v", got, err)
+	}
+	if _, err := cf.Recommend("u1", -1); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestItemCFSymmetry(t *testing.T) {
+	cf := NewItemCF()
+	cf.Train(coWatchStream())
+	ab := 0.0
+	for _, e := range cf.Similar("a") {
+		if e.ID == "b" {
+			ab = e.Score
+		}
+	}
+	ba := 0.0
+	for _, e := range cf.Similar("b") {
+		if e.ID == "a" {
+			ba = e.Score
+		}
+	}
+	if ab == 0 || ab != ba {
+		t.Errorf("cosine similarity not symmetric: %v vs %v", ab, ba)
+	}
+}

@@ -1,0 +1,77 @@
+// Package baseline implements the three competing recommenders the paper
+// A/B-tests its real-time MF system against in production (§6.2):
+//
+//   - Hot: the most popular videos right now — "a simple but powerful
+//     method, where the computation is in real-time".
+//   - AR: association rules mined from co-play behaviour, retrained in
+//     batch mode daily.
+//   - SimHash: user-based collaborative filtering with SimHash signatures
+//     bucketing similar users, retrained at regular intervals.
+//
+// All three implement eval.Recommender, so the offline harness and the A/B
+// simulator treat them interchangeably with the rMF pipeline.
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vidrec/internal/demographic"
+	"vidrec/internal/feedback"
+	"vidrec/internal/kvstore"
+)
+
+// Hot recommends the currently most popular videos to everyone. It is a
+// thin personalization-free wrapper around a decayed popularity tracker and
+// updates in real time like the production Hot method.
+type Hot struct {
+	tracker *demographic.HotTracker
+	weights feedback.Weights
+
+	mu  sync.RWMutex
+	now time.Time
+}
+
+// NewHot returns a Hot recommender with the given popularity half-life.
+func NewHot(kv kvstore.Store, halfLife time.Duration, capacity int) (*Hot, error) {
+	tracker, err := demographic.NewHotTracker("baseline", kv, halfLife, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Hot{tracker: tracker, weights: feedback.DefaultWeights()}, nil
+}
+
+// Record folds one action into the popularity counters in real time and
+// advances the recommender's clock.
+func (h *Hot) Record(a feedback.Action) error {
+	h.mu.Lock()
+	if a.Timestamp.After(h.now) {
+		h.now = a.Timestamp
+	}
+	h.mu.Unlock()
+	return h.tracker.Record(demographic.GlobalGroup, a.VideoID, h.weights.Weight(a), a.Timestamp)
+}
+
+// SetNow advances the clock explicitly (the A/B simulator moves days).
+func (h *Hot) SetNow(t time.Time) {
+	h.mu.Lock()
+	h.now = t
+	h.mu.Unlock()
+}
+
+// Recommend implements eval.Recommender: everyone gets the global hot list.
+func (h *Hot) Recommend(_ string, n int) ([]string, error) {
+	h.mu.RLock()
+	now := h.now
+	h.mu.RUnlock()
+	entries, err := h.tracker.Hot(demographic.GlobalGroup, n, now)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: hot list: %w", err)
+	}
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.ID
+	}
+	return out, nil
+}

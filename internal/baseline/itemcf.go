@@ -1,0 +1,168 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"vidrec/internal/feedback"
+	"vidrec/internal/topn"
+)
+
+// ItemCF is the neighborhood-based item-to-item collaborative filter the
+// paper's related work builds on ([17], [26]): cosine-normalized
+// co-occurrence similarity between videos, recommendations aggregated from
+// the similar lists of a user's recent videos. Like AR and SimHash it
+// retrains in batch; it rounds out the baseline family with the method most
+// production systems of the era actually ran.
+type ItemCF struct {
+	// NeighborsPerItem bounds each video's similar list.
+	NeighborsPerItem int
+	// SeedWindow is how many recent videos seed a recommendation.
+	SeedWindow int
+	// MinCoCount gates pairs below a co-occurrence support threshold.
+	MinCoCount int
+
+	weights feedback.Weights
+
+	mu      sync.RWMutex
+	sim     map[string][]topn.Entry
+	recent  map[string][]string
+	watched map[string]map[string]bool
+}
+
+// NewItemCF returns an untrained item-based CF with production-shaped
+// defaults.
+func NewItemCF() *ItemCF {
+	return &ItemCF{
+		NeighborsPerItem: 50,
+		SeedWindow:       10,
+		MinCoCount:       2,
+		weights:          feedback.DefaultWeights(),
+	}
+}
+
+// Train rebuilds the similarity lists from a batch of actions using cosine
+// co-occurrence: sim(i, j) = c_ij / √(c_i · c_j).
+func (cf *ItemCF) Train(actions []feedback.Action) error {
+	if cf.MinCoCount < 1 {
+		return fmt.Errorf("baseline: ItemCF MinCoCount must be >= 1, got %d", cf.MinCoCount)
+	}
+	userItems := make(map[string][]string)
+	seen := make(map[string]map[string]bool)
+	for _, a := range actions {
+		if cf.weights.Weight(a) <= 0 {
+			continue
+		}
+		s := seen[a.UserID]
+		if s == nil {
+			s = make(map[string]bool)
+			seen[a.UserID] = s
+		}
+		if s[a.VideoID] {
+			continue
+		}
+		s[a.VideoID] = true
+		userItems[a.UserID] = append(userItems[a.UserID], a.VideoID)
+	}
+	itemCount := make(map[string]int)
+	coCount := make(map[[2]string]int)
+	for _, items := range userItems {
+		for _, v := range items {
+			itemCount[v]++
+		}
+		const maxBasket = 50
+		if len(items) > maxBasket {
+			items = items[len(items)-maxBasket:]
+		}
+		for x := 0; x < len(items); x++ {
+			for y := x + 1; y < len(items); y++ {
+				i, j := items[x], items[y]
+				if j < i {
+					i, j = j, i
+				}
+				coCount[[2]string{i, j}]++
+			}
+		}
+	}
+	lists := make(map[string]*topn.List)
+	add := func(i, j string, s float64) {
+		l := lists[i]
+		if l == nil {
+			l = topn.NewList(cf.NeighborsPerItem)
+			lists[i] = l
+		}
+		l.Update(j, s)
+	}
+	for pair, n := range coCount {
+		if n < cf.MinCoCount {
+			continue
+		}
+		i, j := pair[0], pair[1]
+		s := float64(n) / math.Sqrt(float64(itemCount[i])*float64(itemCount[j]))
+		add(i, j, s)
+		add(j, i, s)
+	}
+	sim := make(map[string][]topn.Entry, len(lists))
+	for v, l := range lists {
+		sim[v] = l.All()
+	}
+	recent := make(map[string][]string, len(userItems))
+	for u, items := range userItems {
+		w := cf.SeedWindow
+		if w > len(items) {
+			w = len(items)
+		}
+		r := make([]string, 0, w)
+		for k := len(items) - 1; k >= len(items)-w; k-- {
+			r = append(r, items[k])
+		}
+		recent[u] = r
+	}
+	cf.mu.Lock()
+	cf.sim = sim
+	cf.recent = recent
+	cf.watched = seen
+	cf.mu.Unlock()
+	return nil
+}
+
+// Similar returns a video's neighbor list, most similar first.
+func (cf *ItemCF) Similar(video string) []topn.Entry {
+	cf.mu.RLock()
+	defer cf.mu.RUnlock()
+	return append([]topn.Entry(nil), cf.sim[video]...)
+}
+
+// Recommend implements eval.Recommender: sum neighbor similarities over the
+// user's recent videos, excluding everything already watched.
+func (cf *ItemCF) Recommend(userID string, n int) ([]string, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("baseline: n must be positive, got %d", n)
+	}
+	cf.mu.RLock()
+	defer cf.mu.RUnlock()
+	watched := cf.watched[userID]
+	scores := make(map[string]float64)
+	for _, s := range cf.recent[userID] {
+		for _, e := range cf.sim[s] {
+			if watched[e.ID] {
+				continue
+			}
+			scores[e.ID] += e.Score
+		}
+	}
+	entries := make([]topn.Entry, 0, len(scores))
+	for v, s := range scores {
+		entries = append(entries, topn.Entry{ID: v, Score: s})
+	}
+	topn.SortEntriesDesc(entries)
+	if len(entries) > n {
+		entries = entries[:n]
+	}
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.ID
+	}
+	return out, nil
+}

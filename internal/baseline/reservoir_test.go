@@ -1,0 +1,116 @@
+package baseline
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"vidrec/internal/core"
+	"vidrec/internal/feedback"
+)
+
+func reservoirParams() core.Params {
+	p := core.DefaultParams()
+	p.Factors = 8
+	return p
+}
+
+func TestNewReservoirMFValidation(t *testing.T) {
+	if _, err := NewReservoirMF(reservoirParams(), 0, 1); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	bad := reservoirParams()
+	bad.Factors = 0
+	if _, err := NewReservoirMF(bad, 10, 1); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestReservoirFillsThenSamples(t *testing.T) {
+	r, err := NewReservoirMF(reservoirParams(), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ReplayEvery = 0 // isolate reservoir mechanics
+	for i := 0; i < 100; i++ {
+		a := watch("u1", "v"+string(rune('a'+i%20)), t0.Add(time.Duration(i)*time.Minute))
+		if err := r.Ingest(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.ReservoirLen(); got != 10 {
+		t.Errorf("reservoir length = %d, want 10 (bounded)", got)
+	}
+}
+
+func TestReservoirIgnoresImpressions(t *testing.T) {
+	r, _ := NewReservoirMF(reservoirParams(), 10, 1)
+	r.ReplayEvery = 0
+	for i := 0; i < 20; i++ {
+		r.Ingest(impress("u1", "v1", t0))
+	}
+	if got := r.ReservoirLen(); got != 0 {
+		t.Errorf("impressions entered the reservoir: %d", got)
+	}
+}
+
+func TestReservoirRecommends(t *testing.T) {
+	r, _ := NewReservoirMF(reservoirParams(), 50, 1)
+	r.ReplayEvery = 30
+	min := 0
+	for _, u := range []string{"u1", "u2", "u3", "u4"} {
+		for _, v := range []string{"a", "b"} {
+			r.Ingest(watch(u, v, t0.Add(time.Duration(min)*time.Minute)))
+			min++
+		}
+		r.Ingest(impress(u, "x", t0.Add(time.Duration(min)*time.Minute)))
+	}
+	r.Ingest(watch("u5", "a", t0.Add(time.Duration(min)*time.Minute)))
+	got, err := r.Recommend("u5", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || got[0] != "b" {
+		t.Errorf("Recommend(u5) = %v, want b first", got)
+	}
+	for _, v := range got {
+		if v == "a" {
+			t.Error("watched video recommended")
+		}
+	}
+	if _, err := r.Recommend("u5", 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestReservoirSampleIsUniformish(t *testing.T) {
+	// With capacity 50 over 500 distinct positives, early and late actions
+	// should both survive sometimes — the defining property vs a sliding
+	// window.
+	r, _ := NewReservoirMF(reservoirParams(), 50, 3)
+	r.ReplayEvery = 0
+	for i := 0; i < 500; i++ {
+		v := "v" + strconv.Itoa(i)
+		r.Ingest(feedback.Action{
+			UserID: "u1", VideoID: v, Type: feedback.Click,
+			Timestamp: t0.Add(time.Duration(i) * time.Minute),
+		})
+	}
+	early, late := 0, 0
+	r.mu.RLock()
+	for _, a := range r.reservoir {
+		n, err := strconv.Atoi(a.VideoID[1:])
+		if err != nil {
+			t.Fatalf("unexpected reservoir id %q", a.VideoID)
+		}
+		if n < 250 {
+			early++
+		} else {
+			late++
+		}
+	}
+	r.mu.RUnlock()
+	if early == 0 || late == 0 {
+		t.Errorf("reservoir not spanning history: early=%d late=%d", early, late)
+	}
+}

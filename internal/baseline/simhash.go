@@ -1,0 +1,208 @@
+package baseline
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"vidrec/internal/feedback"
+	"vidrec/internal/topn"
+)
+
+// SimHash is the user-based CF baseline of §6.2: each user's watch set is
+// compressed into a 64-bit SimHash signature (random-hyperplane LSH, [4] in
+// the paper), users are bucketed by signature bands, and recommendations
+// aggregate what near-duplicate users watched. Like the production system it
+// replaces brute-force user-to-user similarity — O(U²) — with hash lookups,
+// and is "offline": the model retrains at regular intervals via Train.
+type SimHash struct {
+	// Bands is the number of signature bands used for bucketing; a pair of
+	// users is considered neighbours if any band matches. More bands find
+	// more (looser) neighbours.
+	Bands int
+	// MaxNeighbors bounds how many neighbours score candidates per user.
+	MaxNeighbors int
+
+	weights feedback.Weights
+
+	mu sync.RWMutex
+	// sig[u] is the user's signature; items[u] their weighted watch set.
+	sig   map[string]uint64
+	items map[string]map[string]float64
+	// buckets[band][key] lists users whose band bits equal key.
+	buckets []map[uint16][]string
+}
+
+// NewSimHash returns an untrained SimHash recommender with 4 bands of 16
+// bits.
+func NewSimHash() *SimHash {
+	return &SimHash{
+		Bands:        4,
+		MaxNeighbors: 50,
+		weights:      feedback.DefaultWeights(),
+	}
+}
+
+// signature computes the 64-bit random-hyperplane SimHash of a weighted item
+// set: each (item, bit) hash contributes ±weight to the bit's accumulator.
+func signature(items map[string]float64) uint64 {
+	var acc [64]float64
+	for item, w := range items {
+		h := fnv.New64a()
+		h.Write([]byte(item))
+		x := h.Sum64()
+		// Expand the 64-bit item hash into 64 pseudo-random signs via a
+		// SplitMix64 step per word of the accumulator.
+		for b := 0; b < 64; b++ {
+			z := x + uint64(b)*0x9E3779B97F4A7C15
+			z ^= z >> 30
+			z *= 0xBF58476D1CE4E5B9
+			z ^= z >> 27
+			if z&1 == 1 {
+				acc[b] += w
+			} else {
+				acc[b] -= w
+			}
+		}
+	}
+	var sig uint64
+	for b := 0; b < 64; b++ {
+		if acc[b] > 0 {
+			sig |= 1 << b
+		}
+	}
+	return sig
+}
+
+// Hamming returns the Hamming distance between two signatures.
+func Hamming(a, b uint64) int { return bits.OnesCount64(a ^ b) }
+
+// Train rebuilds signatures and buckets from a batch of actions — the
+// regular-interval batch retrain of the production SimHash method.
+func (s *SimHash) Train(actions []feedback.Action) error {
+	if s.Bands < 1 || s.Bands > 4 {
+		return fmt.Errorf("baseline: SimHash Bands must be in [1,4], got %d", s.Bands)
+	}
+	items := make(map[string]map[string]float64)
+	for _, a := range actions {
+		w := s.weights.Weight(a)
+		if w <= 0 {
+			continue
+		}
+		m := items[a.UserID]
+		if m == nil {
+			m = make(map[string]float64)
+			items[a.UserID] = m
+		}
+		if w > m[a.VideoID] {
+			m[a.VideoID] = w
+		}
+	}
+	sig := make(map[string]uint64, len(items))
+	buckets := make([]map[uint16][]string, s.Bands)
+	for b := range buckets {
+		buckets[b] = make(map[uint16][]string)
+	}
+	users := make([]string, 0, len(items))
+	for u := range items {
+		users = append(users, u)
+	}
+	sort.Strings(users) // deterministic bucket membership order
+	for _, u := range users {
+		g := signature(items[u])
+		sig[u] = g
+		for b := 0; b < s.Bands; b++ {
+			key := uint16(g >> (16 * b))
+			buckets[b][key] = append(buckets[b][key], u)
+		}
+	}
+	s.mu.Lock()
+	s.sig = sig
+	s.items = items
+	s.buckets = buckets
+	s.mu.Unlock()
+	return nil
+}
+
+// Neighbors returns up to k users sharing at least one signature band with
+// u, nearest (by Hamming distance) first.
+func (s *SimHash) Neighbors(u string, k int) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.neighborsLocked(u, k)
+}
+
+func (s *SimHash) neighborsLocked(u string, k int) []string {
+	g, ok := s.sig[u]
+	if !ok {
+		return nil
+	}
+	seen := map[string]bool{u: true}
+	type cand struct {
+		user string
+		dist int
+	}
+	var cands []cand
+	for b := 0; b < len(s.buckets); b++ {
+		key := uint16(g >> (16 * b))
+		for _, v := range s.buckets[b][key] {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			cands = append(cands, cand{v, Hamming(g, s.sig[v])})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].user < cands[j].user
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].user
+	}
+	return out
+}
+
+// Recommend implements eval.Recommender: score candidates by neighbour
+// watches weighted by signature similarity, excluding the user's own
+// watched set.
+func (s *SimHash) Recommend(userID string, n int) ([]string, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("baseline: n must be positive, got %d", n)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	own := s.items[userID]
+	scores := make(map[string]float64)
+	for _, v := range s.neighborsLocked(userID, s.MaxNeighbors) {
+		// Similarity from Hamming distance: 1 − d/64 ∈ [0, 1].
+		sim := 1 - float64(Hamming(s.sig[userID], s.sig[v]))/64
+		for item, w := range s.items[v] {
+			if _, watched := own[item]; watched {
+				continue
+			}
+			scores[item] += sim * w
+		}
+	}
+	entries := make([]topn.Entry, 0, len(scores))
+	for v, sc := range scores {
+		entries = append(entries, topn.Entry{ID: v, Score: sc})
+	}
+	topn.SortEntriesDesc(entries)
+	if len(entries) > n {
+		entries = entries[:n]
+	}
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.ID
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package catalog
+
+import (
+	"testing"
+	"time"
+
+	"vidrec/internal/kvstore"
+)
+
+func newCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := New("t", kvstore.NewLocal(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", kvstore.NewLocal(1)); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New("c", nil); err == nil {
+		t.Error("nil store accepted")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := newCatalog(t)
+	want := Video{ID: "v1", Type: "movie.action", Length: 95 * time.Minute}
+	if err := c.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get("v1")
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v", ok, err)
+	}
+	if got != want {
+		t.Errorf("Get = %+v, want %+v", got, want)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	c := newCatalog(t)
+	_, ok, err := c.Get("nope")
+	if err != nil || ok {
+		t.Errorf("Get(missing) = %v, %v; want false, nil", ok, err)
+	}
+}
+
+func TestPutRejectsEmptyID(t *testing.T) {
+	c := newCatalog(t)
+	if err := c.Put(Video{Type: "x"}); err == nil {
+		t.Error("empty id accepted")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := newCatalog(t)
+	c.Put(Video{ID: "v1", Type: "old", Length: time.Minute})
+	c.Put(Video{ID: "v1", Type: "new", Length: 2 * time.Minute})
+	got, _, _ := c.Get("v1")
+	if got.Type != "new" || got.Length != 2*time.Minute {
+		t.Errorf("after replace Get = %+v", got)
+	}
+}
+
+func TestTypeLookup(t *testing.T) {
+	c := newCatalog(t)
+	c.Put(Video{ID: "v1", Type: "tv.drama", Length: time.Hour})
+	if typ, err := c.Type("v1"); err != nil || typ != "tv.drama" {
+		t.Errorf("Type(v1) = %q, %v", typ, err)
+	}
+	if typ, err := c.Type("unknown"); err != nil || typ != "" {
+		t.Errorf("Type(unknown) = %q, %v; want empty", typ, err)
+	}
+}

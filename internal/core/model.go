@@ -1,0 +1,455 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync/atomic"
+
+	"vidrec/internal/feedback"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/vecmath"
+)
+
+// State is the subset of model parameters one SGD step touches: the acting
+// user's vector and bias and the target video's vector and bias.
+type State struct {
+	UserVec  []float64
+	UserBias float64
+	ItemVec  []float64
+	ItemBias float64
+}
+
+// Step applies one update of Algorithm 1 to s and returns the new state.
+// The inputs are the global mean μ and the action's binary rating and
+// confidence weight; the rule-specific learning rate (Eq. 8) and training
+// target are derived from p. Step is pure: it never mutates its input
+// vectors, so callers (the ComputeMF bolt) can safely hand the results to a
+// different worker for storage.
+func (p Params) Step(s State, mu, rating, weight float64) State {
+	eta := p.LearningRate(weight)
+	target := p.TrainingRating(rating, weight)
+	// e_ui = r_ui − μ − b_u − b_i − x_uᵀ y_i   (Eq. 4)
+	err := target - mu - s.UserBias - s.ItemBias - vecmath.Dot(s.UserVec, s.ItemVec)
+	next := State{
+		UserVec:  vecmath.Clone(s.UserVec),
+		ItemVec:  vecmath.Clone(s.ItemVec),
+		UserBias: vecmath.BiasStep(eta, err, p.Lambda, s.UserBias),
+		ItemBias: vecmath.BiasStep(eta, err, p.Lambda, s.ItemBias),
+	}
+	// Both vectors move using the pre-update value of the other
+	// (Algorithm 1 lines 13–14 read the old x_u, y_i).
+	vecmath.SGDStep(eta, err, p.Lambda, next.UserVec, s.ItemVec)
+	vecmath.SGDStep(eta, err, p.Lambda, next.ItemVec, s.UserVec)
+	return next
+}
+
+// PredictState evaluates Eq. 2 for a (user, item) state pair under global
+// mean mu.
+func PredictState(s State, mu float64) float64 {
+	return mu + s.UserBias + s.ItemBias + vecmath.Dot(s.UserVec, s.ItemVec)
+}
+
+// Stats counts the actions a model has seen, split by outcome.
+type Stats struct {
+	// Received counts every action handed to ProcessAction.
+	Received atomic.Uint64
+	// Trained counts actions that updated parameters (rating 1).
+	Trained atomic.Uint64
+	// Skipped counts actions with rating 0 (impressions).
+	Skipped atomic.Uint64
+	// NewUsers and NewItems count cold-start initializations.
+	NewUsers atomic.Uint64
+	NewItems atomic.Uint64
+	// Diverged counts updates discarded because they produced non-finite
+	// parameters (runaway learning rate, corrupt input). The previous
+	// state is kept, so one bad action cannot poison the store.
+	Diverged atomic.Uint64
+}
+
+// Model is the online MF model bound to a key-value store. Multiple models
+// (the per-demographic-group models of §5.2.2) can share one store: each
+// model namespaces its keys with its name.
+//
+// Model is safe for concurrent use, but two concurrent updates touching the
+// same user or item can interleave their read-modify-write cycles; the
+// production deployment avoids that by fields-grouping the action stream so
+// each key has a single writer (§5.1). Within one process Model additionally
+// relies on the store's per-key Update atomicity for the global-mean counter.
+type Model struct {
+	name   string
+	store  kvstore.Store
+	params Params
+	stats  Stats
+
+	nsUserVec  string
+	nsItemVec  string
+	nsUserBias string
+	nsItemBias string
+	keyMean    string
+}
+
+// NewModel creates or reattaches a model named name on the given store.
+func NewModel(name string, store kvstore.Store, p Params) (*Model, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: model name must not be empty")
+	}
+	if store == nil {
+		return nil, fmt.Errorf("core: store must not be nil")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{
+		name:       name,
+		store:      store,
+		params:     p,
+		nsUserVec:  name + ".uv",
+		nsItemVec:  name + ".iv",
+		nsUserBias: name + ".ub",
+		nsItemBias: name + ".ib",
+		keyMean:    kvstore.Key(name+".meta", "mean"),
+	}, nil
+}
+
+// Name returns the model's namespace name.
+func (m *Model) Name() string { return m.name }
+
+// Params returns the model's hyper-parameters.
+func (m *Model) Params() Params { return m.params }
+
+// Stats exposes the model's action counters.
+func (m *Model) Stats() *Stats { return &m.stats }
+
+// initVector deterministically initializes a latent vector for a new entity.
+// Components are pseudo-random in [-InitScale, InitScale]/√f, derived from
+// FNV-64 hashes of (kind, id, dim): deterministic across runs and safe under
+// concurrency without locks, unlike a shared rand.Source.
+func (p Params) initVector(kind, id string) []float64 {
+	v := make([]float64, p.Factors)
+	scale := p.InitScale / math.Sqrt(float64(p.Factors))
+	h := fnv.New64a()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(id))
+	base := h.Sum64()
+	x := base
+	for i := range v {
+		// SplitMix64 finalizer over (base + dim) gives well-mixed bits.
+		x = base + uint64(i)*0x9E3779B97F4A7C15
+		z := x
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		u := float64(z>>11) / float64(1<<53) // [0,1)
+		v[i] = (2*u - 1) * scale
+	}
+	return v
+}
+
+// userState loads (or cold-start initializes) the user's vector and bias.
+// The returned bool reports whether the user was new.
+func (m *Model) userState(id string) ([]float64, float64, bool, error) {
+	vb, ok, err := m.store.Get(kvstore.Key(m.nsUserVec, id))
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("core: load user vector %s: %w", id, err)
+	}
+	if !ok {
+		return m.params.initVector("u", id), 0, true, nil
+	}
+	vec, err := kvstore.DecodeFloats(vb)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("core: decode user vector %s: %w", id, err)
+	}
+	bias, err := m.loadBias(m.nsUserBias, id)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return vec, bias, false, nil
+}
+
+func (m *Model) itemState(id string) ([]float64, float64, bool, error) {
+	vb, ok, err := m.store.Get(kvstore.Key(m.nsItemVec, id))
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("core: load item vector %s: %w", id, err)
+	}
+	if !ok {
+		return m.params.initVector("i", id), 0, true, nil
+	}
+	vec, err := kvstore.DecodeFloats(vb)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("core: decode item vector %s: %w", id, err)
+	}
+	bias, err := m.loadBias(m.nsItemBias, id)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return vec, bias, false, nil
+}
+
+func (m *Model) loadBias(ns, id string) (float64, error) {
+	b, ok, err := m.store.Get(kvstore.Key(ns, id))
+	if err != nil {
+		return 0, fmt.Errorf("core: load bias %s:%s: %w", ns, id, err)
+	}
+	if !ok {
+		return 0, nil
+	}
+	v, err := kvstore.DecodeFloat(b)
+	if err != nil {
+		return 0, fmt.Errorf("core: decode bias %s:%s: %w", ns, id, err)
+	}
+	return v, nil
+}
+
+// Load fetches the current state for a (user, item) pair, initializing
+// vectors for entities not yet seen. newUser/newItem report cold starts.
+func (m *Model) Load(userID, itemID string) (s State, newUser, newItem bool, err error) {
+	s.UserVec, s.UserBias, newUser, err = m.userState(userID)
+	if err != nil {
+		return State{}, false, false, err
+	}
+	s.ItemVec, s.ItemBias, newItem, err = m.itemState(itemID)
+	if err != nil {
+		return State{}, false, false, err
+	}
+	return s, newUser, newItem, nil
+}
+
+// StoreState persists a (user, item) state pair. Exposed for the MFStorage
+// bolt, which receives freshly computed vectors from ComputeMF and owns all
+// writes for its key partition.
+func (m *Model) StoreState(userID, itemID string, s State) error {
+	if err := m.StoreUser(userID, s.UserVec, s.UserBias); err != nil {
+		return err
+	}
+	return m.StoreItem(itemID, s.ItemVec, s.ItemBias)
+}
+
+// StoreUser persists one user's vector and bias.
+func (m *Model) StoreUser(id string, vec []float64, bias float64) error {
+	if err := m.store.Set(kvstore.Key(m.nsUserVec, id), kvstore.EncodeFloats(vec)); err != nil {
+		return fmt.Errorf("core: store user vector %s: %w", id, err)
+	}
+	if err := m.store.Set(kvstore.Key(m.nsUserBias, id), kvstore.EncodeFloat(bias)); err != nil {
+		return fmt.Errorf("core: store user bias %s: %w", id, err)
+	}
+	return nil
+}
+
+// StoreItem persists one item's vector and bias.
+func (m *Model) StoreItem(id string, vec []float64, bias float64) error {
+	if err := m.store.Set(kvstore.Key(m.nsItemVec, id), kvstore.EncodeFloats(vec)); err != nil {
+		return fmt.Errorf("core: store item vector %s: %w", id, err)
+	}
+	if err := m.store.Set(kvstore.Key(m.nsItemBias, id), kvstore.EncodeFloat(bias)); err != nil {
+		return fmt.Errorf("core: store item bias %s: %w", id, err)
+	}
+	return nil
+}
+
+// globalMean returns μ. When TrackGlobalMean is off it is 0, reducing Eq. 2
+// to the bias-plus-interaction form.
+func (m *Model) globalMean() (float64, error) {
+	if !m.params.TrackGlobalMean {
+		return 0, nil
+	}
+	b, ok, err := m.store.Get(m.keyMean)
+	if err != nil {
+		return 0, fmt.Errorf("core: load global mean: %w", err)
+	}
+	if !ok {
+		return 0, nil
+	}
+	vals, err := kvstore.DecodeFloats(b)
+	if err != nil || len(vals) != 2 {
+		return 0, fmt.Errorf("core: corrupt global mean record: %v", err)
+	}
+	if vals[1] == 0 {
+		return 0, nil
+	}
+	return vals[0] / vals[1], nil
+}
+
+// ObserveRating folds one action's binary rating into the running global
+// mean without touching any other parameter. ProcessAction calls it
+// internally; the ComputeMF bolt calls it directly because it performs the
+// load-step-emit cycle itself.
+func (m *Model) ObserveRating(r float64) error {
+	if !m.params.TrackGlobalMean {
+		return nil
+	}
+	return m.store.Update(m.keyMean, func(cur []byte, ok bool) ([]byte, bool) {
+		sum, n := 0.0, 0.0
+		if ok {
+			if vals, err := kvstore.DecodeFloats(cur); err == nil && len(vals) == 2 {
+				sum, n = vals[0], vals[1]
+			}
+		}
+		return kvstore.EncodeFloats([]float64{sum + r, n + 1}), true
+	})
+}
+
+// GlobalMean returns the current μ (0 when tracking is disabled or nothing
+// has been observed).
+func (m *Model) GlobalMean() (float64, error) { return m.globalMean() }
+
+// ProcessAction runs Algorithm 1 for one user action: compute r_ui and w_ui,
+// skip if r_ui = 0, otherwise initialize any new entities, take one adjusted
+// SGD step, and write the new state back to the store. It reports whether
+// the model was updated.
+func (m *Model) ProcessAction(a feedback.Action) (bool, error) {
+	m.stats.Received.Add(1)
+	rating, weight := m.params.Weights.Confidence(a)
+	// μ tracks the mean of the ratings this rule actually regresses to
+	// (binary for Binary/Combine, the confidence weight for Conf), so the
+	// error term is centred identically across rules.
+	observed := 0.0
+	if rating > 0 {
+		observed = m.params.TrainingRating(rating, weight)
+	}
+	if err := m.ObserveRating(observed); err != nil {
+		return false, err
+	}
+	if rating == 0 {
+		m.stats.Skipped.Add(1)
+		return false, nil
+	}
+	s, newUser, newItem, err := m.Load(a.UserID, a.VideoID)
+	if err != nil {
+		return false, err
+	}
+	if newUser {
+		m.stats.NewUsers.Add(1)
+	}
+	if newItem {
+		m.stats.NewItems.Add(1)
+	}
+	mu, err := m.globalMean()
+	if err != nil {
+		return false, err
+	}
+	next := m.params.Step(s, mu, rating, weight)
+	if !StateFinite(next) {
+		// Online training has no second chance to undo a written NaN:
+		// every later read would propagate it. Drop the update instead.
+		m.stats.Diverged.Add(1)
+		return false, nil
+	}
+	if err := m.StoreState(a.UserID, a.VideoID, next); err != nil {
+		return false, err
+	}
+	m.stats.Trained.Add(1)
+	return true, nil
+}
+
+// MaxParamMagnitude bounds any stored model parameter. Healthy online MF
+// parameters live near the unit scale; values beyond this bound mean the
+// optimization exploded, and even finite ones would overflow later inner
+// products.
+const MaxParamMagnitude = 1e8
+
+// StateFinite reports whether every parameter in s is finite and within
+// MaxParamMagnitude. The ComputeMF bolt applies the same check before
+// emitting vectors for storage.
+func StateFinite(s State) bool {
+	ok := func(v float64) bool {
+		return !math.IsNaN(v) && math.Abs(v) <= MaxParamMagnitude
+	}
+	if !ok(s.UserBias) || !ok(s.ItemBias) {
+		return false
+	}
+	for _, v := range s.UserVec {
+		if !ok(v) {
+			return false
+		}
+	}
+	for _, v := range s.ItemVec {
+		if !ok(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Predict evaluates Eq. 2 for a (user, item) pair using stored state.
+// Entities never seen before contribute their deterministic cold-start
+// vectors, whose inner products are near zero — the prediction degrades to
+// μ plus known biases, which is the desired cold-start behaviour.
+func (m *Model) Predict(userID, itemID string) (float64, error) {
+	s, _, _, err := m.Load(userID, itemID)
+	if err != nil {
+		return 0, err
+	}
+	mu, err := m.globalMean()
+	if err != nil {
+		return 0, err
+	}
+	return PredictState(s, mu), nil
+}
+
+// UserVector returns the user's latent vector and bias, reporting whether
+// the user has been trained on (false ⇒ cold-start values).
+func (m *Model) UserVector(id string) (vec []float64, bias float64, known bool, err error) {
+	vec, bias, isNew, err := m.userState(id)
+	return vec, bias, !isNew, err
+}
+
+// ItemVector returns the item's latent vector and bias, reporting whether
+// the item has been trained on (false ⇒ cold-start values).
+func (m *Model) ItemVector(id string) (vec []float64, bias float64, known bool, err error) {
+	vec, bias, isNew, err := m.itemState(id)
+	return vec, bias, !isNew, err
+}
+
+// ScoreCandidates evaluates Eq. 2 for one user against many candidate items
+// with a single user-state load and a batched item fetch — the hot path of
+// real-time recommendation generation (Fig. 1's "SORT&SELECT WITH User
+// vector"). The result is parallel to items.
+func (m *Model) ScoreCandidates(userID string, items []string) ([]float64, error) {
+	uvec, ubias, _, err := m.userState(userID)
+	if err != nil {
+		return nil, err
+	}
+	mu, err := m.globalMean()
+	if err != nil {
+		return nil, err
+	}
+	vecKeys := make([]string, len(items))
+	biasKeys := make([]string, len(items))
+	for i, id := range items {
+		vecKeys[i] = kvstore.Key(m.nsItemVec, id)
+		biasKeys[i] = kvstore.Key(m.nsItemBias, id)
+	}
+	vecs, err := m.store.MGet(vecKeys)
+	if err != nil {
+		return nil, fmt.Errorf("core: batch load item vectors: %w", err)
+	}
+	biases, err := m.store.MGet(biasKeys)
+	if err != nil {
+		return nil, fmt.Errorf("core: batch load item biases: %w", err)
+	}
+	scores := make([]float64, len(items))
+	for i, id := range items {
+		var ivec []float64
+		if vecs[i] != nil {
+			ivec, err = kvstore.DecodeFloats(vecs[i])
+			if err != nil {
+				return nil, fmt.Errorf("core: decode item vector %s: %w", id, err)
+			}
+		} else {
+			ivec = m.params.initVector("i", id)
+		}
+		var ibias float64
+		if biases[i] != nil {
+			ibias, err = kvstore.DecodeFloat(biases[i])
+			if err != nil {
+				return nil, fmt.Errorf("core: decode item bias %s: %w", id, err)
+			}
+		}
+		scores[i] = mu + ubias + ibias + vecmath.Dot(uvec, ivec)
+	}
+	return scores, nil
+}

@@ -1,0 +1,148 @@
+// Package core implements the paper's primary contribution: an online
+// matrix-factorization collaborative-filtering model for implicit feedback
+// with an adjustable single-step SGD updating strategy (§3, Algorithm 1).
+//
+// The model follows the biased MF formulation of Eq. 2,
+//
+//	r̂_ui = μ + b_u + b_i + x_uᵀ y_i,
+//
+// and updates all four components one user action at a time — no passes over
+// a dataset, no convergence criterion — with a per-action learning rate
+//
+//	η_ui = η0 + α·w_ui          (Eq. 8)
+//
+// scaled by the action's confidence w_ui, so that high-confidence actions
+// (long watches, comments) move the model more than noisy ones (bare
+// clicks). Only actions with binary rating r_ui = 1 train the model;
+// impressions never do (Algorithm 1 line 2).
+//
+// All model state lives in a kvstore.Store, exactly as in the paper's
+// production deployment where Storm bolts share a distributed memory
+// key-value store (§5.1). The update arithmetic itself is exposed as the
+// pure function Params.Step so the ComputeMF bolt can compute new vectors
+// and hand them to the MFStorage bolt for writing (Fig. 2).
+package core
+
+import (
+	"fmt"
+
+	"vidrec/internal/feedback"
+)
+
+// UpdateRule selects how an action's rating and confidence drive the SGD
+// step. The three rules are exactly the ablation models of §6.1.2.
+type UpdateRule uint8
+
+const (
+	// RuleCombine is the paper's ultimate model ("CombineModel"): binary
+	// ratings, with the confidence level adjusting the learning rate via
+	// Eq. 8.
+	RuleCombine UpdateRule = iota
+	// RuleBinary ("BinaryModel") uses binary ratings and ignores
+	// confidence: the learning rate is the fixed η0 for every action.
+	RuleBinary
+	// RuleConfidence ("ConfModel") uses the confidence weight itself as
+	// the rating (r_ui = w_ui) with a fixed learning rate — the naive
+	// implicit-feedback treatment the paper shows is noise-sensitive.
+	RuleConfidence
+)
+
+// String returns the paper's name for the rule.
+func (r UpdateRule) String() string {
+	switch r {
+	case RuleCombine:
+		return "CombineModel"
+	case RuleBinary:
+		return "BinaryModel"
+	case RuleConfidence:
+		return "ConfModel"
+	default:
+		return fmt.Sprintf("updaterule(%d)", uint8(r))
+	}
+}
+
+// Params are the hyper-parameters of the online MF model (Table 2).
+type Params struct {
+	// Factors is the latent dimensionality f. The paper notes production
+	// dimensionalities of 20–200; Table 2's grid search selects 40.
+	Factors int
+	// Lambda is the L2 regularization strength λ of Eq. 3.
+	Lambda float64
+	// Eta0 is the basic learning rate η0 of Eq. 8.
+	Eta0 float64
+	// Alpha scales the confidence contribution to the learning rate
+	// (Eq. 8). Only RuleCombine uses it.
+	Alpha float64
+	// InitScale bounds the uniform initialization of new latent vectors;
+	// each component is drawn deterministically from
+	// [-InitScale, InitScale] / √f (see initVector).
+	InitScale float64
+	// Rule selects the update strategy (§6.1.2's three models).
+	Rule UpdateRule
+	// TrackGlobalMean, when set, maintains μ as the running mean of the
+	// binary ratings of *all* received actions, impressions included.
+	// Impressions still never touch b, x or y — they only inform the
+	// global statistic, keeping μ in (0,1) rather than pinning it at 1 as
+	// training exclusively on positives otherwise would.
+	TrackGlobalMean bool
+	// Weights configures the implicit-feedback confidence mapping.
+	Weights feedback.Weights
+}
+
+// DefaultParams returns the hyper-parameters of Table 2. The paper's text
+// pins f=40 and, via Table 1's [1.5, 2.5] PlayTime band, a=2.5 and b=1.0;
+// the remaining values follow the paper's procedure — grid search on the
+// workload (RunGridSearch reproduces it on the synthetic streams).
+func DefaultParams() Params {
+	return Params{
+		Factors:         40,
+		Lambda:          0.05,
+		Eta0:            0.05,
+		Alpha:           0.04,
+		InitScale:       0.1,
+		Rule:            RuleCombine,
+		TrackGlobalMean: true,
+		Weights:         feedback.DefaultWeights(),
+	}
+}
+
+// Validate checks the parameters for self-consistency.
+func (p Params) Validate() error {
+	if p.Factors <= 0 {
+		return fmt.Errorf("core: Factors must be positive, got %d", p.Factors)
+	}
+	if p.Lambda < 0 {
+		return fmt.Errorf("core: Lambda must be non-negative, got %v", p.Lambda)
+	}
+	if p.Eta0 <= 0 {
+		return fmt.Errorf("core: Eta0 must be positive, got %v", p.Eta0)
+	}
+	if p.Alpha < 0 {
+		return fmt.Errorf("core: Alpha must be non-negative, got %v", p.Alpha)
+	}
+	if p.InitScale <= 0 {
+		return fmt.Errorf("core: InitScale must be positive, got %v", p.InitScale)
+	}
+	if p.Rule > RuleConfidence {
+		return fmt.Errorf("core: unknown update rule %d", p.Rule)
+	}
+	return p.Weights.Validate()
+}
+
+// LearningRate returns η_ui for an action with confidence weight w (Eq. 8).
+// RuleBinary and RuleConfidence use the fixed η0.
+func (p Params) LearningRate(weight float64) float64 {
+	if p.Rule == RuleCombine {
+		return p.Eta0 + p.Alpha*weight
+	}
+	return p.Eta0
+}
+
+// TrainingRating returns the rating value the SGD step regresses toward for
+// an action with binary rating r and confidence w, per the active rule.
+func (p Params) TrainingRating(rating, weight float64) float64 {
+	if p.Rule == RuleConfidence {
+		return weight
+	}
+	return rating
+}

@@ -1,0 +1,375 @@
+package dataset
+
+import (
+	"testing"
+	"time"
+
+	"vidrec/internal/catalog"
+	"vidrec/internal/demographic"
+	"vidrec/internal/feedback"
+	"vidrec/internal/kvstore"
+)
+
+func smallConfig() Config {
+	c := DefaultConfig()
+	c.Users = 200
+	c.Videos = 80
+	c.Days = 3
+	c.EventsPerDay = 2000
+	return c
+}
+
+func mustGenerate(t *testing.T, cfg Config) *Dataset {
+	t.Helper()
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Users = 0 },
+		func(c *Config) { c.Videos = 1 },
+		func(c *Config) { c.Types = 0 },
+		func(c *Config) { c.Factors = 0 },
+		func(c *Config) { c.Days = 0 },
+		func(c *Config) { c.EventsPerDay = 0 },
+		func(c *Config) { c.ZipfExponent = 0 },
+		func(c *Config) { c.TrendDriftPerDay = 1.5 },
+		func(c *Config) { c.RegisteredShare = -0.1 },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a := mustGenerate(t, cfg).AllActions()
+	b := mustGenerate(t, cfg).AllActions()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("action %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg := smallConfig()
+	a := mustGenerate(t, cfg).AllActions()
+	cfg.Seed = 999
+	b := mustGenerate(t, cfg).AllActions()
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical streams")
+		}
+	}
+}
+
+func TestStreamTimestampsWithinRangeAndOrdered(t *testing.T) {
+	cfg := smallConfig()
+	d := mustGenerate(t, cfg)
+	// Funnel offsets extend an event by up to a full video length (~85 min)
+	// past the day boundary.
+	end := cfg.Start.Add(time.Duration(cfg.Days)*24*time.Hour + 2*time.Hour)
+	var prevEvent time.Time
+	for _, a := range d.AllActions() {
+		if a.Timestamp.Before(cfg.Start) || a.Timestamp.After(end) {
+			t.Fatalf("timestamp %v outside stream window", a.Timestamp)
+		}
+		// Impress actions mark event starts; they must not go backwards by
+		// more than a funnel's internal spread.
+		if a.Type == feedback.Impress {
+			if a.Timestamp.Before(prevEvent.Add(-2 * time.Hour)) {
+				t.Fatalf("event time regressed: %v after %v", a.Timestamp, prevEvent)
+			}
+			prevEvent = a.Timestamp
+		}
+	}
+}
+
+func TestFunnelStructure(t *testing.T) {
+	d := mustGenerate(t, smallConfig())
+	counts := map[feedback.ActionType]int{}
+	for _, a := range d.AllActions() {
+		counts[a.Type]++
+		if a.Type == feedback.PlayTime {
+			if a.VideoLength <= 0 || a.ViewTime <= 0 || a.ViewTime > a.VideoLength {
+				t.Fatalf("malformed PlayTime action: %+v", a)
+			}
+		}
+	}
+	// The funnel must narrow monotonically.
+	if counts[feedback.Impress] <= counts[feedback.Click] {
+		t.Errorf("impressions %d not above clicks %d", counts[feedback.Impress], counts[feedback.Click])
+	}
+	if counts[feedback.Click] < counts[feedback.Play] {
+		t.Errorf("clicks %d below plays %d", counts[feedback.Click], counts[feedback.Play])
+	}
+	if counts[feedback.Play] < counts[feedback.PlayTime] {
+		t.Errorf("plays %d below playtimes %d", counts[feedback.Play], counts[feedback.PlayTime])
+	}
+	if counts[feedback.PlayTime] == 0 || counts[feedback.Comment] == 0 {
+		t.Error("funnel never reached deep engagement")
+	}
+	if counts[feedback.Comment] >= counts[feedback.PlayTime] {
+		t.Errorf("comments %d not rarer than playtimes %d", counts[feedback.Comment], counts[feedback.PlayTime])
+	}
+}
+
+func TestPreferenceProperties(t *testing.T) {
+	d := mustGenerate(t, smallConfig())
+	u := d.Users()[0].ID
+	for _, v := range d.Videos()[:20] {
+		p := d.Preference(u, v.Meta.ID)
+		if p <= 0 || p >= 1 {
+			t.Fatalf("preference %v outside (0,1)", p)
+		}
+	}
+	if p := d.Preference("ghost", d.Videos()[0].Meta.ID); p != 0.05 {
+		t.Errorf("unknown user preference = %v, want 0.05", p)
+	}
+}
+
+func TestPreferenceReflectsGroupTaste(t *testing.T) {
+	// Average preference for a type must vary across demographic groups —
+	// the signal demographic training exploits.
+	cfg := smallConfig()
+	cfg.GroupInfluence = 1.5
+	d := mustGenerate(t, cfg)
+	byGroup := map[string][]float64{}
+	for _, u := range d.Users() {
+		g := u.Profile.Group()
+		var sum float64
+		n := 0
+		for _, v := range d.Videos() {
+			if v.Meta.Type == "type01" {
+				sum += d.Preference(u.ID, v.Meta.ID)
+				n++
+			}
+		}
+		if n > 0 {
+			byGroup[g] = append(byGroup[g], sum/float64(n))
+		}
+	}
+	means := map[string]float64{}
+	for g, vals := range byGroup {
+		if len(vals) < 3 {
+			continue
+		}
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		means[g] = s / float64(len(vals))
+	}
+	var lo, hi = 2.0, -1.0
+	for _, m := range means {
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	if hi-lo < 0.05 {
+		t.Errorf("group taste spread %v too small; groups indistinguishable", hi-lo)
+	}
+}
+
+func TestTrendDriftChangesHotSet(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TrendDriftPerDay = 0.3
+	d := mustGenerate(t, cfg)
+	day0 := d.PopularOnDay(0, 10)
+	day2 := d.PopularOnDay(2, 10)
+	set0 := map[string]bool{}
+	for _, v := range day0 {
+		set0[v] = true
+	}
+	overlap := 0
+	for _, v := range day2 {
+		if set0[v] {
+			overlap++
+		}
+	}
+	if overlap == len(day2) {
+		t.Error("hot set identical across days despite drift")
+	}
+}
+
+func TestFillCatalogAndProfiles(t *testing.T) {
+	d := mustGenerate(t, smallConfig())
+	kv := kvstore.NewLocal(4)
+	cat, _ := catalog.New("c", kv)
+	if err := d.FillCatalog(cat); err != nil {
+		t.Fatal(err)
+	}
+	v := d.Videos()[3].Meta
+	got, ok, _ := cat.Get(v.ID)
+	if !ok || got != v {
+		t.Errorf("catalog record = %+v, %v; want %+v", got, ok, v)
+	}
+	profs, _ := demographic.NewProfiles("p", kv)
+	if err := d.FillProfiles(profs); err != nil {
+		t.Fatal(err)
+	}
+	regSeen, unregSeen := false, false
+	for _, u := range d.Users() {
+		_, ok, _ := profs.Get(u.ID)
+		if u.Profile.Registered {
+			regSeen = true
+			if !ok {
+				t.Fatalf("registered user %s missing profile", u.ID)
+			}
+		} else {
+			unregSeen = true
+			if ok {
+				t.Fatalf("unregistered user %s has a stored profile", u.ID)
+			}
+		}
+	}
+	if !regSeen || !unregSeen {
+		t.Error("dataset lacks a mix of registered and unregistered users")
+	}
+}
+
+func TestSplitByDay(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Days = 3
+	d := mustGenerate(t, cfg)
+	all := d.AllActions()
+	train, test := SplitByDay(all, cfg.Start, 2)
+	if len(train)+len(test) != len(all) {
+		t.Fatalf("split loses actions: %d + %d != %d", len(train), len(test), len(all))
+	}
+	if len(train) == 0 || len(test) == 0 {
+		t.Fatal("degenerate split")
+	}
+	cut := cfg.Start.Add(48 * time.Hour)
+	for _, a := range train {
+		if !a.Timestamp.Before(cut) {
+			t.Fatal("train action after the cut")
+		}
+	}
+	for _, a := range test {
+		if a.Timestamp.Before(cut) {
+			t.Fatal("test action before the cut")
+		}
+	}
+}
+
+func TestFilterActive(t *testing.T) {
+	mk := func(u, v string) feedback.Action {
+		return feedback.Action{UserID: u, VideoID: v, Type: feedback.Click}
+	}
+	var actions []feedback.Action
+	// u1: 4 actions on v1; u2: 1 action on v1; u3: 4 actions spread thin.
+	for i := 0; i < 4; i++ {
+		actions = append(actions, mk("u1", "v1"))
+	}
+	actions = append(actions, mk("u2", "v1"))
+	actions = append(actions, mk("u3", "v1"), mk("u3", "v2"), mk("u3", "v3"), mk("u3", "v4"))
+
+	got := FilterActive(actions, 4, 5)
+	// u2 is dropped (1 action). v1 keeps 8 actions from u1+u3 ≥ 5; v2-v4
+	// have 1 each and are dropped.
+	if len(got) != 5 {
+		t.Fatalf("FilterActive kept %d actions, want 5", len(got))
+	}
+	for _, a := range got {
+		if a.UserID == "u2" || a.VideoID != "v1" {
+			t.Errorf("unexpected surviving action %+v", a)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	mk := func(u, v string) feedback.Action {
+		return feedback.Action{UserID: u, VideoID: v}
+	}
+	train := []feedback.Action{mk("u1", "v1"), mk("u1", "v2"), mk("u2", "v1")}
+	test := []feedback.Action{mk("u1", "v2")}
+	s := ComputeStats(train, test)
+	if s.Users != 2 || s.Videos != 2 || s.Actions != 3 || s.TestActions != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Sparsity != 3.0/4.0 {
+		t.Errorf("sparsity = %v, want 0.75", s.Sparsity)
+	}
+}
+
+func TestGroupByAndLargestGroups(t *testing.T) {
+	groupOf := func(u string) string {
+		switch u {
+		case "a", "b":
+			return "g1"
+		case "c":
+			return "g2"
+		default:
+			return "global"
+		}
+	}
+	actions := []feedback.Action{
+		{UserID: "a"}, {UserID: "a"}, {UserID: "b"},
+		{UserID: "c"},
+		{UserID: "z"}, {UserID: "z"}, {UserID: "z"}, {UserID: "z"},
+	}
+	byGroup := GroupBy(actions, groupOf)
+	if len(byGroup["g1"]) != 3 || len(byGroup["g2"]) != 1 || len(byGroup["global"]) != 4 {
+		t.Errorf("GroupBy sizes = %d/%d/%d", len(byGroup["g1"]), len(byGroup["g2"]), len(byGroup["global"]))
+	}
+	top := LargestGroups(byGroup, 2)
+	// global is excluded; g1 (3) then g2 (1).
+	if len(top) != 2 || top[0] != "g1" || top[1] != "g2" {
+		t.Errorf("LargestGroups = %v", top)
+	}
+}
+
+func TestGroupSparsityDenserThanGlobal(t *testing.T) {
+	// The premise of demographic training (§5.2.2, Table 4): per-group
+	// matrices are denser than the global one.
+	cfg := smallConfig()
+	cfg.EventsPerDay = 4000
+	d := mustGenerate(t, cfg)
+	all := d.AllActions()
+	filtered := FilterActive(all, 20, 20)
+	if len(filtered) == 0 {
+		t.Skip("filter removed everything at this scale")
+	}
+	global := ComputeStats(filtered, nil)
+	byGroup := GroupBy(filtered, d.GroupOf)
+	groups := LargestGroups(byGroup, 3)
+	if len(groups) == 0 {
+		t.Fatal("no demographic groups found")
+	}
+	denser := 0
+	for _, g := range groups {
+		gs := ComputeStats(byGroup[g], nil)
+		if gs.Sparsity > global.Sparsity {
+			denser++
+		}
+	}
+	if denser == 0 {
+		t.Errorf("no group denser than global (global sparsity %v)", global.Sparsity)
+	}
+}

@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"vidrec/internal/catalog"
+	"vidrec/internal/demographic"
+	"vidrec/internal/feedback"
+)
+
+// TSV serialization for action streams and entity tables, so generated
+// workloads can be inspected, versioned, and replayed by external tools.
+// One action per line:
+//
+//	ts_ms <TAB> user <TAB> video <TAB> action <TAB> view_ms <TAB> length_ms
+
+// WriteActions writes actions as TSV.
+func WriteActions(w io.Writer, actions []feedback.Action) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range actions {
+		_, err := fmt.Fprintf(bw, "%d\t%s\t%s\t%s\t%d\t%d\n",
+			a.Timestamp.UnixMilli(), a.UserID, a.VideoID, a.Type,
+			a.ViewTime.Milliseconds(), a.VideoLength.Milliseconds())
+		if err != nil {
+			return fmt.Errorf("dataset: write action: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadActions parses a TSV action stream written by WriteActions.
+func ReadActions(r io.Reader) ([]feedback.Action, error) {
+	var out []feedback.Action
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 6 {
+			return nil, fmt.Errorf("dataset: line %d: %d fields, want 6", line, len(fields))
+		}
+		ts, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad timestamp: %w", line, err)
+		}
+		typ, err := feedback.ParseActionType(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		view, err := strconv.ParseInt(fields[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad view time: %w", line, err)
+		}
+		length, err := strconv.ParseInt(fields[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad video length: %w", line, err)
+		}
+		out = append(out, feedback.Action{
+			UserID:      fields[1],
+			VideoID:     fields[2],
+			Type:        typ,
+			ViewTime:    time.Duration(view) * time.Millisecond,
+			VideoLength: time.Duration(length) * time.Millisecond,
+			Timestamp:   time.UnixMilli(ts),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read actions: %w", err)
+	}
+	return out, nil
+}
+
+// WriteCatalog writes the video catalog as TSV: id, type, length_ms.
+func WriteCatalog(w io.Writer, videos []Video) error {
+	bw := bufio.NewWriter(w)
+	for i := range videos {
+		m := videos[i].Meta
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%d\n", m.ID, m.Type, m.Length.Milliseconds()); err != nil {
+			return fmt.Errorf("dataset: write catalog: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCatalog parses a TSV catalog written by WriteCatalog.
+func ReadCatalog(r io.Reader) ([]catalog.Video, error) {
+	var out []catalog.Video
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("dataset: catalog line %d: %d fields, want 3", line, len(fields))
+		}
+		ms, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: catalog line %d: bad length: %w", line, err)
+		}
+		out = append(out, catalog.Video{
+			ID: fields[0], Type: fields[1],
+			Length: time.Duration(ms) * time.Millisecond,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read catalog: %w", err)
+	}
+	return out, nil
+}
+
+// WriteProfiles writes registered users' profiles as TSV:
+// user, gender, age, education.
+func WriteProfiles(w io.Writer, users []User) error {
+	bw := bufio.NewWriter(w)
+	for i := range users {
+		p := users[i].Profile
+		if !p.Registered {
+			continue
+		}
+		_, err := fmt.Fprintf(bw, "%s\t%d\t%d\t%d\n", p.UserID, p.Gender, p.Age, p.Education)
+		if err != nil {
+			return fmt.Errorf("dataset: write profiles: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadProfiles parses a TSV profile table written by WriteProfiles.
+func ReadProfiles(r io.Reader) ([]demographic.Profile, error) {
+	var out []demographic.Profile
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("dataset: profile line %d: %d fields, want 4", line, len(fields))
+		}
+		nums := make([]int, 3)
+		for i := 0; i < 3; i++ {
+			n, err := strconv.Atoi(fields[i+1])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: profile line %d: %w", line, err)
+			}
+			nums[i] = n
+		}
+		out = append(out, demographic.Profile{
+			UserID:     fields[0],
+			Registered: true,
+			Gender:     demographic.Gender(nums[0]),
+			Age:        demographic.AgeBand(nums[1]),
+			Education:  demographic.Education(nums[2]),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read profiles: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package dataset
+
+import (
+	"time"
+
+	"vidrec/internal/feedback"
+)
+
+// This file implements the paper's experimental protocol (§6.1): collect one
+// week of data, "reserve users who have more than 50 actions and videos with
+// more than 50 related actions", train on the first six days and test on the
+// last (Table 3), and report per-demographic-group statistics with sparsity
+// = #Actions / (#Users × #Videos) (Table 4).
+
+// SplitByDay partitions actions into the first trainDays (train) and the
+// rest (test), measuring days from start.
+func SplitByDay(actions []feedback.Action, start time.Time, trainDays int) (train, test []feedback.Action) {
+	cut := start.Add(time.Duration(trainDays) * 24 * time.Hour)
+	for _, a := range actions {
+		if a.Timestamp.Before(cut) {
+			train = append(train, a)
+		} else {
+			test = append(test, a)
+		}
+	}
+	return train, test
+}
+
+// FilterActive applies the paper's cleaning rule: keep only users with at
+// least minUser actions and videos with at least minVideo actions. Counting
+// precedes filtering (one pass each, user rule first), matching the paper's
+// single cleaning step rather than a fixpoint.
+func FilterActive(actions []feedback.Action, minUser, minVideo int) []feedback.Action {
+	userCount := make(map[string]int)
+	for _, a := range actions {
+		userCount[a.UserID]++
+	}
+	videoCount := make(map[string]int)
+	for _, a := range actions {
+		if userCount[a.UserID] >= minUser {
+			videoCount[a.VideoID]++
+		}
+	}
+	out := make([]feedback.Action, 0, len(actions))
+	for _, a := range actions {
+		if userCount[a.UserID] >= minUser && videoCount[a.VideoID] >= minVideo {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Stats summarizes a train/test split the way Table 3 reports it.
+type Stats struct {
+	Users       int
+	Videos      int
+	Actions     int
+	TestActions int
+	// Sparsity is #Actions / (#Users × #Videos), as a fraction (Table 4
+	// prints it in percent).
+	Sparsity float64
+}
+
+// ComputeStats derives Table 3-style statistics from a split.
+func ComputeStats(train, test []feedback.Action) Stats {
+	users := make(map[string]bool)
+	videos := make(map[string]bool)
+	for _, a := range train {
+		users[a.UserID] = true
+		videos[a.VideoID] = true
+	}
+	s := Stats{
+		Users:       len(users),
+		Videos:      len(videos),
+		Actions:     len(train),
+		TestActions: len(test),
+	}
+	if s.Users > 0 && s.Videos > 0 {
+		s.Sparsity = float64(s.Actions) / (float64(s.Users) * float64(s.Videos))
+	}
+	return s
+}
+
+// GroupBy partitions actions by the group each action's user belongs to,
+// using the supplied resolver (typically demographic.Profiles.GroupOf or
+// Dataset.GroupOf).
+func GroupBy(actions []feedback.Action, groupOf func(userID string) string) map[string][]feedback.Action {
+	out := make(map[string][]feedback.Action)
+	for _, a := range actions {
+		g := groupOf(a.UserID)
+		out[g] = append(out[g], a)
+	}
+	return out
+}
+
+// GroupOf returns the demographic group of a generated user (ground truth,
+// no store round trip).
+func (d *Dataset) GroupOf(userID string) string {
+	ui, ok := d.userIdx[userID]
+	if !ok {
+		return ""
+	}
+	return d.users[ui].Profile.Group()
+}
+
+// LargestGroups returns the k groups with the most actions, descending,
+// excluding the global group — the paper selects the "three largest
+// demographic groups" for Table 4 and Figures 3–5.
+func LargestGroups(byGroup map[string][]feedback.Action, k int) []string {
+	type gc struct {
+		g string
+		n int
+	}
+	var all []gc
+	for g, acts := range byGroup {
+		if g == "" || g == "global" {
+			continue
+		}
+		all = append(all, gc{g, len(acts)})
+	}
+	for i := 0; i < len(all); i++ { // selection sort: k is tiny
+		maxIdx := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].n > all[maxIdx].n || (all[j].n == all[maxIdx].n && all[j].g < all[maxIdx].g) {
+				maxIdx = j
+			}
+		}
+		all[i], all[maxIdx] = all[maxIdx], all[i]
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].g
+	}
+	return out
+}

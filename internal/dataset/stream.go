@@ -1,0 +1,255 @@
+package dataset
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"vidrec/internal/feedback"
+)
+
+// Stream lazily produces the dataset's action tuples in timestamp order.
+// Each selection event expands into an engagement funnel whose depth follows
+// the hidden preference: every shown video yields an Impress, interested
+// users click, play, watch some fraction (PlayTime), and the most engaged
+// comment, like or share — mirroring the action inventory of Table 1.
+type Stream struct {
+	d    *Dataset
+	rng  *rand.Rand
+	day  int
+	evt  int
+	qpos int
+	que  []feedback.Action
+
+	userCum     []float64 // cumulative activity weights for user sampling
+	userCumSum  float64
+	zipfCum     []float64 // cumulative zipf weights for rank sampling
+	rankToVideo []int
+}
+
+// Stream returns a fresh deterministic action stream over the configured
+// days. Multiple streams from one dataset are identical.
+func (d *Dataset) Stream() *Stream {
+	s := &Stream{
+		d:   d,
+		rng: rand.New(rand.NewPCG(d.cfg.Seed^0xA5A5A5A5A5A5A5A5, d.cfg.Seed+17)),
+	}
+	s.userCum = make([]float64, len(d.users))
+	for i, u := range d.users {
+		s.userCumSum += 0.05 + u.activity // floor keeps every user reachable
+		s.userCum[i] = s.userCumSum
+	}
+	s.zipfCum = make([]float64, len(d.zipfW))
+	var acc float64
+	for i, w := range d.zipfW {
+		acc += w
+		s.zipfCum[i] = acc
+	}
+	s.rankToVideo = make([]int, len(d.videos))
+	for vi := range d.videos {
+		s.rankToVideo[d.videos[vi].rank] = vi
+	}
+	return s
+}
+
+// Next returns the next action and whether one was available.
+func (s *Stream) Next() (feedback.Action, bool) {
+	for s.qpos >= len(s.que) {
+		if s.day >= s.d.cfg.Days {
+			return feedback.Action{}, false
+		}
+		s.que = s.que[:0]
+		s.qpos = 0
+		s.emitEvent()
+		s.evt++
+		if s.evt >= s.d.cfg.EventsPerDay {
+			s.evt = 0
+			s.day++
+		}
+	}
+	a := s.que[s.qpos]
+	s.qpos++
+	return a, true
+}
+
+// All drains the stream into a slice.
+func (s *Stream) All() []feedback.Action {
+	var out []feedback.Action
+	for {
+		a, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}
+
+// AllActions generates the complete stream as a slice.
+func (d *Dataset) AllActions() []feedback.Action { return d.Stream().All() }
+
+func (s *Stream) pickUser() int {
+	x := s.rng.Float64() * s.userCumSum
+	return sort.SearchFloat64s(s.userCum, x)
+}
+
+// pickByPopularity samples a video with day-drifted Zipf weights.
+func (s *Stream) pickByPopularity(day int) int {
+	x := s.rng.Float64() * s.zipfCum[len(s.zipfCum)-1]
+	effRank := sort.SearchFloat64s(s.zipfCum, x)
+	shift := int(float64(day) * s.d.cfg.TrendDriftPerDay * float64(s.d.cfg.Videos))
+	baseRank := ((effRank-shift)%len(s.rankToVideo) + len(s.rankToVideo)) % len(s.rankToVideo)
+	return s.rankToVideo[baseRank]
+}
+
+// emitEvent simulates one visit: the user examines a small candidate panel
+// (popular videos mixed with random discoveries), every examined video is
+// impressed, and the best-liked one goes through the engagement funnel.
+func (s *Stream) emitEvent() {
+	d := s.d
+	ui := s.pickUser()
+	ts := d.cfg.Start.
+		Add(time.Duration(s.day) * 24 * time.Hour).
+		Add(time.Duration(float64(s.evt) / float64(d.cfg.EventsPerDay) * float64(24*time.Hour)))
+
+	const panel = 6
+	best := -1
+	bestScore := -1e18
+	bestCasual := false
+	examined := make([]int, 0, panel)
+	for k := 0; k < panel; k++ {
+		var vi int
+		trending := k < panel/2
+		if trending {
+			vi = s.pickByPopularity(s.day)
+		} else {
+			vi = s.rng.IntN(len(d.videos))
+		}
+		dup := false
+		for _, e := range examined {
+			if e == vi {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		examined = append(examined, vi)
+		// Gumbel-noised choice: preference-driven but stochastic, with a
+		// curiosity bonus for trending videos — people click what everyone
+		// clicks.
+		score := d.preference(ui, vi) + 0.25*gumbel(s.rng)
+		if trending {
+			score += 0.12
+		}
+		if score > bestScore {
+			bestScore, best, bestCasual = score, vi, trending
+		}
+	}
+	user := d.users[ui].ID
+	// Impressions for the examined panel, in examination order.
+	for i, vi := range examined {
+		s.que = append(s.que, feedback.Action{
+			UserID: user, VideoID: d.videos[vi].Meta.ID,
+			Type: feedback.Impress, Timestamp: ts.Add(time.Duration(i) * time.Millisecond),
+		})
+	}
+	if best < 0 {
+		return
+	}
+	s.funnel(ui, best, ts.Add(time.Second), bestCasual)
+}
+
+// funnel expands one chosen video into the engagement cascade. Casual
+// (trend-following) watches click like everyone else but engage shallowly:
+// the video was chosen because it was everywhere, not out of deep interest.
+// This is the systematic gap between click traffic and engagement depth that
+// makes confidence weights an unreliable *rating*: tomorrow's most-watched
+// videos earn today's lowest weights.
+func (s *Stream) funnel(ui, vi int, ts time.Time, casual bool) {
+	d := s.d
+	p := d.preference(ui, vi)
+	// Clicks follow choice propensity; engagement depth is what casual
+	// trend-watching cuts.
+	depth := p
+	if casual {
+		depth *= 0.55
+	}
+	user := d.users[ui].ID
+	video := d.videos[vi].Meta
+
+	emit := func(typ feedback.ActionType, offset time.Duration, view time.Duration) {
+		s.que = append(s.que, feedback.Action{
+			UserID: user, VideoID: video.ID, Type: typ,
+			ViewTime: view, VideoLength: video.Length,
+			Timestamp: ts.Add(offset),
+		})
+	}
+
+	if s.rng.Float64() >= 0.08+0.84*p {
+		return // impressed but never clicked
+	}
+	emit(feedback.Click, 0, 0)
+	if s.rng.Float64() >= 0.92 {
+		return // clicked but playback never started
+	}
+	emit(feedback.Play, time.Second, 0)
+	// View rate is a noisy, *confounded* witness of interest (§3.2): "the
+	// fact that a user watched a video in its entirety is not enough to
+	// conclude that he actually liked it, while a user may watch a
+	// favorite video for just a short period because of time limitation.
+	// Both the video length and the user engagement level influence the
+	// signal quality." We model exactly that: every view is capped by an
+	// exponential session time budget (long videos rarely finish even when
+	// loved; short ones finish regardless), and a quarter of plays are
+	// distracted views whose length says nothing at all.
+	var vrate float64
+	if s.rng.Float64() < 0.55 {
+		vrate = s.rng.Float64()
+	} else {
+		vrate = depth*(0.45+0.75*s.rng.Float64()) + 0.05*s.rng.NormFloat64()
+	}
+	budgetMin := s.rng.ExpFloat64() * 25 // session budget, mean 25 minutes
+	if cap := budgetMin / video.Length.Minutes(); vrate > cap {
+		vrate = cap
+	}
+	if vrate < 0.01 {
+		vrate = 0.01
+	}
+	if vrate > 1 {
+		vrate = 1
+	}
+	view := time.Duration(vrate * float64(video.Length))
+	emit(feedback.PlayTime, time.Second+view, view)
+	after := 2*time.Second + view
+	// Comments happen on any play and are complaint-dominated: disliked
+	// videos draw more comments than loved ones. Table 1's weight of 3 for
+	// comments is therefore exactly the kind of "inappropriate guess" §3.2
+	// warns about — a strong positive rating assigned to a behaviour that,
+	// in truth, skews negative. Models that trust weight magnitudes
+	// inherit this systematic error.
+	if s.rng.Float64() < 0.02+0.10*(1-p) {
+		emit(feedback.Comment, after, 0)
+	}
+	if vrate > 0.5 {
+		// Likes and shares remain genuine endorsements, gated on having
+		// actually watched, with a small bot/misclick floor.
+		if s.rng.Float64() < 0.02+0.25*depth {
+			emit(feedback.Like, after+time.Second, 0)
+		}
+		if s.rng.Float64() < 0.02+0.10*depth {
+			emit(feedback.Share, after+2*time.Second, 0)
+		}
+	}
+}
+
+// gumbel draws standard Gumbel noise (argmax of noised scores ≈ softmax
+// choice).
+func gumbel(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return -math.Log(-math.Log(u))
+}

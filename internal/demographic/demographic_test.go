@@ -1,0 +1,360 @@
+package demographic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"vidrec/internal/core"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/simtable"
+)
+
+func TestAgeBandOf(t *testing.T) {
+	tests := []struct {
+		years int
+		want  AgeBand
+	}{
+		{0, AgeUnknown}, {-3, AgeUnknown},
+		{10, AgeUnder18}, {17, AgeUnder18},
+		{18, Age18to24}, {24, Age18to24},
+		{25, Age25to34}, {34, Age25to34},
+		{35, Age35to49}, {49, Age35to49},
+		{50, Age50Plus}, {90, Age50Plus},
+	}
+	for _, tt := range tests {
+		if got := AgeBandOf(tt.years); got != tt.want {
+			t.Errorf("AgeBandOf(%d) = %v, want %v", tt.years, got, tt.want)
+		}
+	}
+}
+
+func TestProfileGroup(t *testing.T) {
+	reg := Profile{UserID: "u", Registered: true, Gender: GenderFemale, Age: Age18to24, Education: EduBachelor}
+	if got := reg.Group(); got != "f:18-24:ba" {
+		t.Errorf("Group = %q", got)
+	}
+	unreg := Profile{UserID: "u"}
+	if got := unreg.Group(); got != GlobalGroup {
+		t.Errorf("unregistered group = %q, want global", got)
+	}
+	unknownAll := Profile{UserID: "u", Registered: true}
+	if got := unknownAll.Group(); got != GlobalGroup {
+		t.Errorf("all-unknown group = %q, want global", got)
+	}
+	partial := Profile{UserID: "u", Registered: true, Gender: GenderMale}
+	if got := partial.Group(); got != "m:?:?" {
+		t.Errorf("partial group = %q", got)
+	}
+}
+
+func TestAttributeStrings(t *testing.T) {
+	if GenderMale.String() != "m" || GenderFemale.String() != "f" || GenderUnknown.String() != "?" {
+		t.Error("gender tokens wrong")
+	}
+	for band, want := range map[AgeBand]string{
+		AgeUnknown: "?", AgeUnder18: "u18", Age18to24: "18-24",
+		Age25to34: "25-34", Age35to49: "35-49", Age50Plus: "50+",
+	} {
+		if band.String() != want {
+			t.Errorf("AgeBand(%d).String() = %q, want %q", band, band, want)
+		}
+	}
+	for edu, want := range map[Education]string{
+		EduUnknown: "?", EduSecondary: "sec", EduBachelor: "ba", EduPostgraduate: "pg",
+	} {
+		if edu.String() != want {
+			t.Errorf("Education(%d).String() = %q, want %q", edu, edu, want)
+		}
+	}
+}
+
+func TestSetConstructorsValidate(t *testing.T) {
+	kv := kvstore.NewLocal(1)
+	params := core.DefaultParams()
+	params.Factors = 4
+	if _, err := NewModelSet("", kv, params); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewModelSet("m", nil, params); err == nil {
+		t.Error("nil store accepted")
+	}
+	bad := params
+	bad.Factors = 0
+	if _, err := NewModelSet("m", kv, bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := NewTableSet("", kv, simtable.DefaultConfig()); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewTableSet("t", nil, simtable.DefaultConfig()); err == nil {
+		t.Error("nil store accepted")
+	}
+	badCfg := simtable.DefaultConfig()
+	badCfg.TableSize = 0
+	if _, err := NewTableSet("t", kv, badCfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+	set, _ := NewTableSet("t", kv, simtable.DefaultConfig())
+	if _, err := set.For(""); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
+func TestProfilesRoundTrip(t *testing.T) {
+	p, err := NewProfiles("t", kvstore.NewLocal(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Profile{UserID: "u1", Registered: true, Gender: GenderMale, Age: Age35to49, Education: EduPostgraduate}
+	if err := p.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := p.Get("u1")
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v", ok, err)
+	}
+	if got != want {
+		t.Errorf("Get = %+v, want %+v", got, want)
+	}
+}
+
+func TestProfilesValidation(t *testing.T) {
+	if _, err := NewProfiles("", kvstore.NewLocal(1)); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewProfiles("p", nil); err == nil {
+		t.Error("nil store accepted")
+	}
+	p, _ := NewProfiles("t", kvstore.NewLocal(1))
+	if err := p.Put(Profile{}); err == nil {
+		t.Error("empty user id accepted")
+	}
+}
+
+func TestGroupOfFallsBackToGlobal(t *testing.T) {
+	p, _ := NewProfiles("t", kvstore.NewLocal(4))
+	if g, err := p.GroupOf("stranger"); err != nil || g != GlobalGroup {
+		t.Errorf("GroupOf(stranger) = %q, %v", g, err)
+	}
+	p.Put(Profile{UserID: "u1", Registered: true, Gender: GenderFemale, Age: Age25to34, Education: EduSecondary})
+	if g, _ := p.GroupOf("u1"); g != "f:25-34:sec" {
+		t.Errorf("GroupOf(u1) = %q", g)
+	}
+}
+
+func at(h int) time.Time { return time.Unix(0, 0).Add(time.Duration(h) * time.Hour) }
+
+func newTracker(t *testing.T) *HotTracker {
+	t.Helper()
+	h, err := NewHotTracker("t", kvstore.NewLocal(4), 24*time.Hour, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHotTrackerValidation(t *testing.T) {
+	kv := kvstore.NewLocal(1)
+	if _, err := NewHotTracker("", kv, time.Hour, 5); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewHotTracker("h", nil, time.Hour, 5); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := NewHotTracker("h", kv, 0, 5); err == nil {
+		t.Error("zero half-life accepted")
+	}
+	if _, err := NewHotTracker("h", kv, time.Hour, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestHotAccumulatesWeight(t *testing.T) {
+	h := newTracker(t)
+	h.Record(GlobalGroup, "a", 1, at(0))
+	h.Record(GlobalGroup, "a", 2.5, at(0))
+	h.Record(GlobalGroup, "b", 3, at(0))
+	got, err := h.Hot(GlobalGroup, 5, at(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "a" || got[0].Score != 3.5 {
+		t.Errorf("Hot = %+v, want a=3.5 first", got)
+	}
+}
+
+func TestHotDecays(t *testing.T) {
+	h := newTracker(t)
+	h.Record(GlobalGroup, "old", 4, at(0))
+	h.Record(GlobalGroup, "fresh", 3, at(24)) // old has halved to 2
+	got, _ := h.Hot(GlobalGroup, 5, at(24))
+	if got[0].ID != "fresh" {
+		t.Errorf("Hot = %+v, want fresh first (trend shift)", got)
+	}
+	if diff := got[1].Score - 2; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("old decayed to %v, want 2", got[1].Score)
+	}
+}
+
+func TestHotIgnoresImpressions(t *testing.T) {
+	h := newTracker(t)
+	if err := h.Record(GlobalGroup, "a", 0, at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := h.Hot(GlobalGroup, 5, at(0)); len(got) != 0 {
+		t.Errorf("zero-weight record heated a video: %+v", got)
+	}
+}
+
+func TestHotGroupsIsolated(t *testing.T) {
+	h := newTracker(t)
+	h.Record("g1", "a", 1, at(0))
+	h.Record("g2", "b", 1, at(0))
+	got, _ := h.Hot("g1", 5, at(0))
+	if len(got) != 1 || got[0].ID != "a" {
+		t.Errorf("g1 hot = %+v, want [a]", got)
+	}
+}
+
+func TestHotUnknownGroupEmpty(t *testing.T) {
+	h := newTracker(t)
+	if got, err := h.Hot("nobody", 5, at(0)); err != nil || got != nil {
+		t.Errorf("Hot(nobody) = %v, %v", got, err)
+	}
+}
+
+func TestHotSizeBound(t *testing.T) {
+	h, _ := NewHotTracker("t", kvstore.NewLocal(4), 24*time.Hour, 3)
+	for i := 0; i < 6; i++ {
+		h.Record(GlobalGroup, fmt.Sprintf("v%d", i), float64(i+1), at(0))
+	}
+	got, _ := h.Hot(GlobalGroup, 10, at(0))
+	if len(got) != 3 || got[0].ID != "v5" {
+		t.Errorf("bounded hot = %+v", got)
+	}
+}
+
+// TestHotMatchesReferenceDecayModel property-checks the tracker against a
+// naive reference that re-decays every counter on each event.
+func TestHotMatchesReferenceDecayModel(t *testing.T) {
+	const halfLife = 4 * time.Hour
+	h, _ := NewHotTracker("t", kvstore.NewLocal(4), halfLife, 50)
+	type ref struct {
+		score float64
+		at    time.Time
+	}
+	model := map[string]ref{}
+	decayTo := func(r ref, now time.Time) float64 {
+		age := now.Sub(r.at)
+		if age <= 0 {
+			return r.score
+		}
+		return r.score * math.Exp2(-float64(age)/float64(halfLife))
+	}
+	rng := rand.New(rand.NewSource(11))
+	now := at(0)
+	for i := 0; i < 300; i++ {
+		now = now.Add(time.Duration(rng.Intn(120)) * time.Minute)
+		video := fmt.Sprintf("v%d", rng.Intn(12))
+		w := 0.5 + 3*rng.Float64()
+		if err := h.Record(GlobalGroup, video, w, now); err != nil {
+			t.Fatal(err)
+		}
+		r := model[video]
+		model[video] = ref{score: decayTo(r, now) + w, at: now}
+	}
+	got, err := h.Hot(GlobalGroup, 50, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("empty hot list")
+	}
+	for _, e := range got {
+		want := decayTo(model[e.ID], now)
+		if math.Abs(e.Score-want) > 1e-6*math.Max(1, want) {
+			t.Errorf("%s score %v, reference %v", e.ID, e.Score, want)
+		}
+	}
+}
+
+func TestModelSetLazyAndIsolated(t *testing.T) {
+	p := core.DefaultParams()
+	p.Factors = 4
+	set, err := NewModelSet("t", kvstore.NewLocal(4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := set.For("g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _ := set.For("g1")
+	if g1 != again {
+		t.Error("For returned a new model for an existing group")
+	}
+	g2, _ := set.For("g2")
+	if g1 == g2 {
+		t.Error("groups share a model")
+	}
+	if g1.Name() == g2.Name() {
+		t.Error("group models share a namespace")
+	}
+	groups := set.Groups()
+	if len(groups) != 2 || groups[0] != "g1" || groups[1] != "g2" {
+		t.Errorf("Groups = %v", groups)
+	}
+	if _, err := set.For(""); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
+func TestModelSetConcurrentFor(t *testing.T) {
+	p := core.DefaultParams()
+	p.Factors = 4
+	set, _ := NewModelSet("t", kvstore.NewLocal(4), p)
+	var wg sync.WaitGroup
+	models := make([]*core.Model, 16)
+	for i := range models {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := set.For("shared")
+			if err != nil {
+				t.Error(err)
+			}
+			models[i] = m
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(models); i++ {
+		if models[i] != models[0] {
+			t.Fatal("concurrent For created distinct models for one group")
+		}
+	}
+}
+
+func TestTableSetLazy(t *testing.T) {
+	set, err := NewTableSet("t", kvstore.NewLocal(4), simtable.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := set.For("g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1again, _ := set.For("g1")
+	if t1 != t1again {
+		t.Error("For returned a new table set for an existing group")
+	}
+	// Writes to one group's table must not appear in another's.
+	t2, _ := set.For("g2")
+	t1.UpdateDirected("a", "b", 0.5, at(0))
+	if got, _ := t2.Similar("a", 5, at(0)); len(got) != 0 {
+		t.Errorf("g2 sees g1's similarity data: %+v", got)
+	}
+}

@@ -1,0 +1,125 @@
+package demographic
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"vidrec/internal/kvstore"
+	"vidrec/internal/topn"
+)
+
+// HotTracker maintains per-group hot-video lists: exponentially decayed
+// popularity counters, bounded to the top N videos per group. It implements
+// the demographic-based (DB) algorithm of §5.2.1 — "we compute the hot
+// videos for each demographic group" — and, applied to the global group,
+// doubles as the Hot baseline of the online experiments (§6.2).
+//
+// Decay uses the same normalize-to-last-update scheme as the similar-video
+// tables: every write first decays all counters to the write's timestamp, so
+// reads only apply one shared residual factor and never reorder entries.
+type HotTracker struct {
+	kv       kvstore.Store
+	ns       string
+	halfLife time.Duration
+	size     int
+	floor    float64
+}
+
+// NewHotTracker returns a tracker whose counters halve every halfLife and
+// whose per-group lists keep at most size videos.
+func NewHotTracker(name string, kv kvstore.Store, halfLife time.Duration, size int) (*HotTracker, error) {
+	if name == "" {
+		return nil, fmt.Errorf("demographic: name must not be empty")
+	}
+	if kv == nil {
+		return nil, fmt.Errorf("demographic: store must not be nil")
+	}
+	if halfLife <= 0 {
+		return nil, fmt.Errorf("demographic: half-life must be positive, got %v", halfLife)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("demographic: size must be positive, got %d", size)
+	}
+	return &HotTracker{kv: kv, ns: name + ".hot", halfLife: halfLife, size: size, floor: 1e-6}, nil
+}
+
+func (h *HotTracker) damp(age time.Duration) float64 {
+	if age <= 0 {
+		return 1
+	}
+	return math.Exp2(-float64(age) / float64(h.halfLife))
+}
+
+// Record adds weight to a video's popularity in the group at time ts.
+// Weight is the action's confidence w_ui, so a full watch heats a video more
+// than a bare click.
+func (h *HotTracker) Record(group, videoID string, weight float64, ts time.Time) error {
+	if group == "" || videoID == "" {
+		return fmt.Errorf("demographic: group and video ids must not be empty")
+	}
+	if weight <= 0 {
+		return nil // impressions carry no popularity signal
+	}
+	key := kvstore.Key(h.ns, group)
+	return h.kv.Update(key, func(cur []byte, ok bool) ([]byte, bool) {
+		updatedAt := ts
+		list := topn.NewList(h.size)
+		if ok && len(cur) >= 8 {
+			if ms, err := kvstore.DecodeInt64(cur[:8]); err == nil {
+				prev := time.UnixMilli(ms)
+				factor := h.damp(ts.Sub(prev))
+				if factor > 1 {
+					factor = 1
+				}
+				if ts.Before(prev) {
+					updatedAt = prev
+				}
+				if entries, err := kvstore.DecodeEntries(cur[8:]); err == nil {
+					for _, e := range entries {
+						if v := e.Score * factor; v >= h.floor {
+							list.Update(e.ID, v)
+						}
+					}
+				}
+			}
+		}
+		prevScore, _ := list.Score(videoID)
+		list.Update(videoID, prevScore+weight)
+		buf := kvstore.EncodeInt64(updatedAt.UnixMilli())
+		return append(buf, kvstore.EncodeEntries(list.All())...), true
+	})
+}
+
+// Hot returns up to k hot videos for the group at time now, hottest first.
+func (h *HotTracker) Hot(group string, k int, now time.Time) ([]topn.Entry, error) {
+	raw, ok, err := h.kv.Get(kvstore.Key(h.ns, group))
+	if err != nil {
+		return nil, fmt.Errorf("demographic: get hot %s: %w", group, err)
+	}
+	if !ok || len(raw) < 8 {
+		return nil, nil
+	}
+	ms, err := kvstore.DecodeInt64(raw[:8])
+	if err != nil {
+		return nil, fmt.Errorf("demographic: corrupt hot record for %s: %w", group, err)
+	}
+	entries, err := kvstore.DecodeEntries(raw[8:])
+	if err != nil {
+		return nil, fmt.Errorf("demographic: corrupt hot entries for %s: %w", group, err)
+	}
+	factor := h.damp(now.Sub(time.UnixMilli(ms)))
+	if factor > 1 {
+		factor = 1
+	}
+	out := make([]topn.Entry, 0, min(k, len(entries)))
+	for _, e := range entries {
+		if len(out) == k {
+			break
+		}
+		if v := e.Score * factor; v >= h.floor {
+			out = append(out, topn.Entry{ID: e.ID, Score: v})
+		}
+	}
+	return out, nil
+}

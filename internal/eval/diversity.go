@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Diversity metrics for §5.2.1's claim that demographic filtering broadens
+// recommendations ("we broaden the span of recommendations and provide
+// chances for users to discover new interests"): accuracy metrics cannot
+// see whether every user receives the same narrow slice of the catalog.
+
+// DiversityStats summarizes how broad a recommender's output is across a
+// user population.
+type DiversityStats struct {
+	// CatalogCoverage is the fraction of the catalog that appeared in at
+	// least one user's list — aggregate diversity.
+	CatalogCoverage float64
+	// MeanTypesPerList is the average number of distinct video types
+	// within one user's list — intra-list diversity.
+	MeanTypesPerList float64
+	// Gini measures how unevenly recommendations concentrate on few
+	// videos (0 = perfectly even exposure, →1 = everything goes to one
+	// video) — the popularity-feedback-loop indicator.
+	Gini float64
+	// UsersEvaluated counts users who received a non-empty list.
+	UsersEvaluated int
+}
+
+// MeasureDiversity runs the recommender for every user and summarizes the
+// spread of its output. catalogSize is the total number of recommendable
+// videos; typeOf resolves a video's category ("" allowed for unknown).
+func MeasureDiversity(rec Recommender, users []string, n, catalogSize int, typeOf func(string) string) (DiversityStats, error) {
+	if n <= 0 {
+		return DiversityStats{}, fmt.Errorf("eval: n must be positive, got %d", n)
+	}
+	if catalogSize <= 0 {
+		return DiversityStats{}, fmt.Errorf("eval: catalogSize must be positive, got %d", catalogSize)
+	}
+	exposure := make(map[string]int)
+	var typeSum float64
+	served := 0
+	for _, u := range users {
+		recs, err := rec.Recommend(u, n)
+		if err != nil {
+			return DiversityStats{}, fmt.Errorf("eval: recommend for %s: %w", u, err)
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		served++
+		types := make(map[string]bool, len(recs))
+		for _, v := range recs {
+			exposure[v]++
+			types[typeOf(v)] = true
+		}
+		typeSum += float64(len(types))
+	}
+	stats := DiversityStats{UsersEvaluated: served}
+	if served == 0 {
+		return stats, nil
+	}
+	stats.CatalogCoverage = float64(len(exposure)) / float64(catalogSize)
+	stats.MeanTypesPerList = typeSum / float64(served)
+	stats.Gini = gini(exposure)
+	return stats, nil
+}
+
+// gini computes the Gini coefficient of the exposure counts.
+func gini(exposure map[string]int) float64 {
+	if len(exposure) <= 1 {
+		return 0
+	}
+	counts := make([]float64, 0, len(exposure))
+	var total float64
+	for _, c := range exposure {
+		counts = append(counts, float64(c))
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Float64s(counts)
+	// G = (2·Σ i·x_i / (n·Σ x_i)) − (n+1)/n with 1-based ranks i over the
+	// sorted values.
+	var weighted float64
+	for i, x := range counts {
+		weighted += float64(i+1) * x
+	}
+	n := float64(len(counts))
+	return 2*weighted/(n*total) - (n+1)/n
+}

@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+func typeByPrefix(v string) string {
+	if len(v) == 0 {
+		return ""
+	}
+	return v[:1]
+}
+
+func TestMeasureDiversityValidation(t *testing.T) {
+	rec := fixedRec(nil)
+	if _, err := MeasureDiversity(rec, nil, 0, 10, typeByPrefix); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := MeasureDiversity(rec, nil, 5, 0, typeByPrefix); err == nil {
+		t.Error("catalogSize=0 accepted")
+	}
+}
+
+func TestMeasureDiversityEmpty(t *testing.T) {
+	stats, err := MeasureDiversity(fixedRec(nil), []string{"u1"}, 5, 10, typeByPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.UsersEvaluated != 0 || stats.CatalogCoverage != 0 {
+		t.Errorf("stats for empty recommender = %+v", stats)
+	}
+}
+
+func TestMeasureDiversityNarrowVsBroad(t *testing.T) {
+	users := make([]string, 20)
+	for i := range users {
+		users[i] = "u" + strconv.Itoa(i)
+	}
+	// Narrow: everyone gets the same two same-type videos.
+	narrow := fixedRec(func() map[string][]string {
+		m := map[string][]string{}
+		for _, u := range users {
+			m[u] = []string{"a1", "a2"}
+		}
+		return m
+	}())
+	// Broad: each user gets their own pair spanning two types.
+	broad := fixedRec(func() map[string][]string {
+		m := map[string][]string{}
+		for i, u := range users {
+			m[u] = []string{"a" + strconv.Itoa(i), "b" + strconv.Itoa(i)}
+		}
+		return m
+	}())
+	const catalog = 100
+	ns, err := MeasureDiversity(narrow, users, 2, catalog, typeByPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := MeasureDiversity(broad, users, 2, catalog, typeByPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.CatalogCoverage >= bs.CatalogCoverage {
+		t.Errorf("narrow coverage %v not below broad %v", ns.CatalogCoverage, bs.CatalogCoverage)
+	}
+	if ns.MeanTypesPerList >= bs.MeanTypesPerList {
+		t.Errorf("narrow type diversity %v not below broad %v", ns.MeanTypesPerList, bs.MeanTypesPerList)
+	}
+	if want := 2.0 / catalog; math.Abs(ns.CatalogCoverage-want) > 1e-12 {
+		t.Errorf("narrow coverage = %v, want %v", ns.CatalogCoverage, want)
+	}
+	if bs.MeanTypesPerList != 2 {
+		t.Errorf("broad types per list = %v, want 2", bs.MeanTypesPerList)
+	}
+	// Exposure is perfectly even in both constructions → Gini ≈ 0.
+	if bs.Gini > 1e-9 {
+		t.Errorf("broad Gini = %v, want 0", bs.Gini)
+	}
+}
+
+func TestGiniConcentration(t *testing.T) {
+	if g := gini(map[string]int{"a": 10}); g != 0 {
+		t.Errorf("single-item Gini = %v, want 0", g)
+	}
+	even := gini(map[string]int{"a": 5, "b": 5, "c": 5, "d": 5})
+	if math.Abs(even) > 1e-9 {
+		t.Errorf("even Gini = %v, want 0", even)
+	}
+	skewed := gini(map[string]int{"a": 97, "b": 1, "c": 1, "d": 1})
+	if skewed <= 0.5 {
+		t.Errorf("skewed Gini = %v, want > 0.5", skewed)
+	}
+	if skewed <= even {
+		t.Error("skewed exposure not above even exposure")
+	}
+}

@@ -1,0 +1,222 @@
+// Package eval implements the paper's offline evaluation protocol (§6.1):
+// top-N recommendation quality measured by recall (Eq. 13) and by the
+// percentile average rank (Eq. 14) against a held-out test day.
+//
+// Note on Eq. 13: the paper's formula divides each user's hit count by N
+// (the recommendation list length) and averages over test users — despite
+// the name, that is precision@N in standard terminology. We implement the
+// formula as printed, since the figures were produced with it; the relative
+// comparisons (which model wins) are unaffected by the naming.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"vidrec/internal/feedback"
+)
+
+// Recommender produces a ranked top-n recommendation list for a user.
+// All evaluated systems (the rMF pipeline and every baseline) implement it.
+type Recommender interface {
+	Recommend(userID string, n int) ([]string, error)
+}
+
+// TestSet holds, for every test user, the videos they liked in the test
+// period with the confidence level of the strongest action — the "ordered
+// interested video list ... ranked by the corresponding user actions'
+// confidence levels" of Eq. 14.
+type TestSet struct {
+	liked map[string]map[string]float64
+	// ordered caches each user's interest list sorted by confidence
+	// descending (ties broken by video id for determinism).
+	ordered map[string][]string
+}
+
+// BuildTestSet derives the per-user liked sets from raw test actions: a
+// video is liked if any action on it carries a positive confidence (binary
+// rating 1, Eq. 7), and its interest level is the maximum confidence seen.
+func BuildTestSet(actions []feedback.Action, w feedback.Weights) *TestSet {
+	ts := &TestSet{
+		liked:   make(map[string]map[string]float64),
+		ordered: make(map[string][]string),
+	}
+	for _, a := range actions {
+		weight := w.Weight(a)
+		if weight <= 0 {
+			continue
+		}
+		m := ts.liked[a.UserID]
+		if m == nil {
+			m = make(map[string]float64)
+			ts.liked[a.UserID] = m
+		}
+		if weight > m[a.VideoID] {
+			m[a.VideoID] = weight
+		}
+	}
+	for u, m := range ts.liked {
+		vids := make([]string, 0, len(m))
+		for v := range m {
+			vids = append(vids, v)
+		}
+		sort.Slice(vids, func(i, j int) bool {
+			if m[vids[i]] != m[vids[j]] {
+				return m[vids[i]] > m[vids[j]]
+			}
+			return vids[i] < vids[j]
+		})
+		ts.ordered[u] = vids
+	}
+	return ts
+}
+
+// Users returns the test users, sorted for deterministic iteration.
+func (t *TestSet) Users() []string {
+	out := make([]string, 0, len(t.liked))
+	for u := range t.liked {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Liked reports whether user u liked video v in the test period.
+func (t *TestSet) Liked(u, v string) bool {
+	_, ok := t.liked[u][v]
+	return ok
+}
+
+// LikedCount returns how many videos u liked.
+func (t *TestSet) LikedCount(u string) int { return len(t.liked[u]) }
+
+// Interest returns u's interest list, strongest first.
+func (t *TestSet) Interest(u string) []string { return t.ordered[u] }
+
+// Metrics bundles the two offline quality measures.
+type Metrics struct {
+	// Recall is Eq. 13 at the evaluated N.
+	Recall float64
+	// AvgRank is Eq. 14; lower is better, ~0.5 means recommended videos
+	// sit mid-list in users' true interest ordering. It is 0 (undefined)
+	// when no recommended video appears in any user's test interests.
+	AvgRank float64
+	// UsersEvaluated counts test users for whom a recommendation list was
+	// produced.
+	UsersEvaluated int
+}
+
+// Evaluate computes recall@n and average rank for a recommender over the
+// test set with a single recommendation pass per user.
+func Evaluate(rec Recommender, ts *TestSet, n int) (Metrics, error) {
+	if n <= 0 {
+		return Metrics{}, fmt.Errorf("eval: n must be positive, got %d", n)
+	}
+	var (
+		recallSum   float64
+		rankNum     float64
+		rankDen     float64
+		usersScored int
+	)
+	for _, u := range ts.Users() {
+		recs, err := rec.Recommend(u, n)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("eval: recommend for %s: %w", u, err)
+		}
+		usersScored++
+		// Eq. 13 numerator for this user: hits / N.
+		hits := 0
+		for _, v := range recs {
+			if ts.Liked(u, v) {
+				hits++
+			}
+		}
+		recallSum += float64(hits) / float64(n)
+
+		// Eq. 14 iterates the user's test videos: each liked video i gets
+		// the weight 1 − rank_ui, where rank_ui is i's percentile in the
+		// recommendation list (1, hence weight 0, when not recommended),
+		// and is scored by rank^t_ui, its percentile in the user's true
+		// interest ordering. The average answers: of the test videos the
+		// model surfaced, how deep in the user's real preference list do
+		// they sit? ~0.5 means mid-list, lower is better.
+		recPos := make(map[string]int, len(recs))
+		for k, v := range recs {
+			recPos[v] = k
+		}
+		interest := ts.Interest(u)
+		for i, v := range interest {
+			k, ok := recPos[v]
+			if !ok {
+				continue // rank_ui = 1 ⇒ weight 0
+			}
+			w := 1 - float64(k)/float64(len(recs))
+			rt := 0.0
+			if len(interest) > 1 {
+				rt = float64(i) / float64(len(interest)-1)
+			}
+			rankNum += w * rt
+			rankDen += w
+		}
+	}
+	m := Metrics{UsersEvaluated: usersScored}
+	if usersScored > 0 {
+		m.Recall = recallSum / float64(usersScored)
+	}
+	if rankDen > 0 {
+		m.AvgRank = rankNum / rankDen
+	}
+	return m, nil
+}
+
+// RecallAtN computes only Eq. 13.
+func RecallAtN(rec Recommender, ts *TestSet, n int) (float64, error) {
+	m, err := Evaluate(rec, ts, n)
+	return m.Recall, err
+}
+
+// AverageRank computes only Eq. 14.
+func AverageRank(rec Recommender, ts *TestSet, n int) (float64, error) {
+	m, err := Evaluate(rec, ts, n)
+	return m.AvgRank, err
+}
+
+// RecallCurve computes recall@n for every n in 1..maxN with a single
+// recommendation pass per user (each recall@n is evaluated on the length-n
+// prefix of the top-maxN list) — the data behind the paper's Figure 4.
+func RecallCurve(rec Recommender, ts *TestSet, maxN int) ([]float64, error) {
+	if maxN <= 0 {
+		return nil, fmt.Errorf("eval: maxN must be positive, got %d", maxN)
+	}
+	sums := make([]float64, maxN)
+	users := 0
+	for _, u := range ts.Users() {
+		recs, err := rec.Recommend(u, maxN)
+		if err != nil {
+			return nil, fmt.Errorf("eval: recommend for %s: %w", u, err)
+		}
+		users++
+		hits := 0
+		for k := 0; k < maxN; k++ {
+			if k < len(recs) && ts.Liked(u, recs[k]) {
+				hits++
+			}
+			sums[k] += float64(hits) / float64(k+1)
+		}
+	}
+	if users == 0 {
+		return make([]float64, maxN), nil
+	}
+	for k := range sums {
+		sums[k] /= float64(users)
+	}
+	return sums, nil
+}
+
+// RecommenderFunc adapts a function to the Recommender interface.
+type RecommenderFunc func(userID string, n int) ([]string, error)
+
+// Recommend implements Recommender.
+func (f RecommenderFunc) Recommend(userID string, n int) ([]string, error) {
+	return f(userID, n)
+}

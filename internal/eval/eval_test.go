@@ -1,0 +1,257 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vidrec/internal/feedback"
+)
+
+func action(u, v string, typ feedback.ActionType) feedback.Action {
+	return feedback.Action{UserID: u, VideoID: v, Type: typ}
+}
+
+func fullWatch(u, v string) feedback.Action {
+	return feedback.Action{
+		UserID: u, VideoID: v, Type: feedback.PlayTime,
+		ViewTime: time.Hour, VideoLength: time.Hour,
+	}
+}
+
+func fixedRec(lists map[string][]string) Recommender {
+	return RecommenderFunc(func(u string, n int) ([]string, error) {
+		l := lists[u]
+		if len(l) > n {
+			l = l[:n]
+		}
+		return l, nil
+	})
+}
+
+func TestBuildTestSetLikesOnlyPositive(t *testing.T) {
+	w := feedback.DefaultWeights()
+	ts := BuildTestSet([]feedback.Action{
+		action("u1", "a", feedback.Click),
+		action("u1", "b", feedback.Impress), // weight 0, not liked
+		action("u2", "c", feedback.Share),
+	}, w)
+	if !ts.Liked("u1", "a") || ts.Liked("u1", "b") {
+		t.Error("liked set wrong for u1")
+	}
+	if !ts.Liked("u2", "c") {
+		t.Error("liked set wrong for u2")
+	}
+	if got := ts.Users(); len(got) != 2 || got[0] != "u1" || got[1] != "u2" {
+		t.Errorf("Users = %v", got)
+	}
+	if ts.LikedCount("u1") != 1 {
+		t.Errorf("LikedCount(u1) = %d", ts.LikedCount("u1"))
+	}
+}
+
+func TestInterestOrderedByConfidence(t *testing.T) {
+	w := feedback.DefaultWeights()
+	ts := BuildTestSet([]feedback.Action{
+		action("u1", "clicked", feedback.Click), // weight 1
+		fullWatch("u1", "watched"),              // weight 2.5
+		action("u1", "shared", feedback.Share),  // weight 4
+		action("u1", "watched", feedback.Click), // weaker action must not demote
+	}, w)
+	got := ts.Interest("u1")
+	want := []string{"shared", "watched", "clicked"}
+	if len(got) != 3 {
+		t.Fatalf("Interest = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Interest = %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+func TestRecallEquation13(t *testing.T) {
+	w := feedback.DefaultWeights()
+	ts := BuildTestSet([]feedback.Action{
+		action("u1", "a", feedback.Click),
+		action("u1", "b", feedback.Click),
+		action("u2", "c", feedback.Click),
+	}, w)
+	// u1 gets [a, x, b, y, z] (2 hits), u2 gets [p, q, r, s, t] (0 hits).
+	rec := fixedRec(map[string][]string{
+		"u1": {"a", "x", "b", "y", "z"},
+		"u2": {"p", "q", "r", "s", "t"},
+	})
+	got, err := RecallAtN(rec, ts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (2.0/5.0 + 0.0/5.0) / 2.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("recall = %v, want %v", got, want)
+	}
+}
+
+func TestPerfectRecommenderBeatsRandom(t *testing.T) {
+	w := feedback.DefaultWeights()
+	actions := []feedback.Action{
+		action("u1", "a", feedback.Share),
+		action("u1", "b", feedback.Click),
+		action("u2", "a", feedback.Click),
+	}
+	ts := BuildTestSet(actions, w)
+	perfect := fixedRec(map[string][]string{
+		"u1": {"a", "b"},
+		"u2": {"a", "x"},
+	})
+	awful := fixedRec(map[string][]string{
+		"u1": {"x", "y"},
+		"u2": {"y", "z"},
+	})
+	mp, _ := Evaluate(perfect, ts, 2)
+	ma, _ := Evaluate(awful, ts, 2)
+	if mp.Recall <= ma.Recall {
+		t.Errorf("perfect recall %v not above awful %v", mp.Recall, ma.Recall)
+	}
+	// A recommender that never surfaces a test video has an undefined
+	// (zero) avg rank: no (u,i) pair carries weight.
+	if ma.AvgRank != 0 {
+		t.Errorf("never-hit recommender avg rank = %v, want 0 (undefined)", ma.AvgRank)
+	}
+	// Ranking the interest list worst-first must score worse than
+	// best-first.
+	reversed := fixedRec(map[string][]string{
+		"u1": {"b", "a"},
+		"u2": {"x", "a"},
+	})
+	mr, _ := Evaluate(reversed, ts, 2)
+	if mp.AvgRank >= mr.AvgRank {
+		t.Errorf("perfect avg rank %v not below reversed %v", mp.AvgRank, mr.AvgRank)
+	}
+}
+
+func TestAvgRankEquation14Weighting(t *testing.T) {
+	w := feedback.DefaultWeights()
+	// u1's true interest order: shared (4) > watched (2.5) > clicked (1).
+	ts := BuildTestSet([]feedback.Action{
+		action("u1", "clicked", feedback.Click),
+		fullWatch("u1", "watched"),
+		action("u1", "shared", feedback.Share),
+	}, w)
+	// Recommending the interest list in true order: positions k=0,1,2 with
+	// weights 1, 2/3, 1/3 and true percentiles 0, 0.5, 1.
+	rec := fixedRec(map[string][]string{"u1": {"shared", "watched", "clicked"}})
+	got, err := AverageRank(rec, ts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1.0*0 + (2.0/3)*0.5 + (1.0/3)*1) / (1 + 2.0/3 + 1.0/3)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("avg rank = %v, want %v", got, want)
+	}
+	// Recommending in reverse order must score strictly worse.
+	reverse := fixedRec(map[string][]string{"u1": {"clicked", "watched", "shared"}})
+	gotRev, _ := AverageRank(reverse, ts, 3)
+	if gotRev <= got {
+		t.Errorf("reversed order rank %v not above in-order rank %v", gotRev, got)
+	}
+}
+
+func TestRecallCurveMatchesEvaluatePrefixes(t *testing.T) {
+	w := feedback.DefaultWeights()
+	ts := BuildTestSet([]feedback.Action{
+		action("u1", "a", feedback.Click),
+		action("u1", "b", feedback.Click),
+		action("u2", "a", feedback.Click),
+	}, w)
+	rec := fixedRec(map[string][]string{
+		"u1": {"x", "a", "b", "y", "z"},
+		"u2": {"a", "p", "q", "r", "s"},
+	})
+	curve, err := RecallCurve(rec, ts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 5 {
+		t.Fatalf("curve length = %d", len(curve))
+	}
+	// Each curve point must equal Evaluate's recall at that N, because the
+	// fixed recommender's prefix property holds by construction.
+	for n := 1; n <= 5; n++ {
+		m, err := Evaluate(rec, ts, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(curve[n-1]-m.Recall) > 1e-12 {
+			t.Errorf("curve[%d] = %v, Evaluate recall = %v", n-1, curve[n-1], m.Recall)
+		}
+	}
+	// Hand-check n=2: u1 hits {a} → 1/2; u2 hits {a} → 1/2; mean 1/2.
+	if math.Abs(curve[1]-0.5) > 1e-12 {
+		t.Errorf("recall@2 = %v, want 0.5", curve[1])
+	}
+}
+
+func TestRecallCurveValidation(t *testing.T) {
+	ts := BuildTestSet(nil, feedback.DefaultWeights())
+	if _, err := RecallCurve(fixedRec(nil), ts, 0); err == nil {
+		t.Error("maxN=0 accepted")
+	}
+	curve, err := RecallCurve(fixedRec(nil), ts, 3)
+	if err != nil || len(curve) != 3 {
+		t.Errorf("empty test set curve = %v, %v", curve, err)
+	}
+}
+
+func TestRecallCurveShortLists(t *testing.T) {
+	w := feedback.DefaultWeights()
+	ts := BuildTestSet([]feedback.Action{action("u1", "a", feedback.Click)}, w)
+	// Recommender returns fewer items than requested.
+	rec := fixedRec(map[string][]string{"u1": {"a"}})
+	curve, err := RecallCurve(rec, ts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0.5, 1.0 / 3, 0.25}
+	for i := range want {
+		if math.Abs(curve[i]-want[i]) > 1e-12 {
+			t.Errorf("curve = %v, want %v", curve, want)
+			break
+		}
+	}
+}
+
+func TestEvaluateRejectsBadN(t *testing.T) {
+	ts := BuildTestSet(nil, feedback.DefaultWeights())
+	if _, err := Evaluate(fixedRec(nil), ts, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestEvaluateEmptyTestSet(t *testing.T) {
+	ts := BuildTestSet(nil, feedback.DefaultWeights())
+	m, err := Evaluate(fixedRec(nil), ts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Recall != 0 || m.AvgRank != 0 || m.UsersEvaluated != 0 {
+		t.Errorf("empty test set metrics = %+v", m)
+	}
+}
+
+func TestEvaluatePropagatesRecommenderError(t *testing.T) {
+	ts := BuildTestSet([]feedback.Action{action("u1", "a", feedback.Click)}, feedback.DefaultWeights())
+	rec := RecommenderFunc(func(string, int) ([]string, error) {
+		return nil, errTest
+	})
+	if _, err := Evaluate(rec, ts, 5); err == nil {
+		t.Error("recommender error swallowed")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }

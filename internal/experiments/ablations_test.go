@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func ablationScale() Scale {
+	s := SmallScale()
+	s.Dataset.Users = 250
+	s.Dataset.Videos = 100
+	s.Dataset.EventsPerDay = 2000
+	return s
+}
+
+func TestFreshnessAblationOnlineWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("A/B simulation")
+	}
+	res, err := RunFreshness(ablationScale(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online := res.Report.Total["rMF-online"].CTR()
+	batch := res.Report.Total["MF-daily-batch"].CTR()
+	if online <= batch {
+		t.Errorf("online CTR %v not above daily-batch %v (the paper's core motivation)", online, batch)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "freshness lift") {
+		t.Error("Render missing lift line")
+	}
+}
+
+func TestDiversityAblationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("A/B simulation")
+	}
+	res, err := RunDiversityAblation(ablationScale(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithFiltering.UsersEvaluated == 0 || res.WithoutFiltering.UsersEvaluated == 0 {
+		t.Fatalf("diversity not measured: %+v", res)
+	}
+	// Demographic filtering must not collapse accuracy (it is a diversity
+	// mechanism, not a ranking one)...
+	if res.CTRWith < 0.85*res.CTRWithout {
+		t.Errorf("filtering cost too much CTR: %v vs %v", res.CTRWith, res.CTRWithout)
+	}
+	// ...and must keep intra-list type diversity at least comparable
+	// (§5.2.1 claims it broadens lists; exact margins are scale-noisy).
+	if res.WithFiltering.MeanTypesPerList < res.WithoutFiltering.MeanTypesPerList-0.5 {
+		t.Errorf("filtering reduced per-list diversity: %v vs %v",
+			res.WithFiltering.MeanTypesPerList, res.WithoutFiltering.MeanTypesPerList)
+	}
+	if !strings.Contains(res.Render(), "coverage") {
+		t.Error("Render missing columns")
+	}
+}
+
+func TestDecayAblationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("A/B simulation")
+	}
+	res, err := RunDecayAblation(ablationScale(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both variants must serve traffic; the decayed variant must not be
+	// meaningfully worse (the time factor exists to help under drift, and
+	// at worst is neutral on short horizons).
+	withDecay := res.Report.Total["decay-24h"].CTR()
+	without := res.Report.Total["decay-off"].CTR()
+	if withDecay == 0 || without == 0 {
+		t.Fatalf("variant served nothing: %v / %v", withDecay, without)
+	}
+	if withDecay < 0.9*without {
+		t.Errorf("decay-24h CTR %v well below decay-off %v", withDecay, without)
+	}
+	if !strings.Contains(res.Render(), "decay-24h") {
+		t.Error("Render missing variant names")
+	}
+}

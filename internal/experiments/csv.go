@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV exports for the figure series, so the reproduced curves can be plotted
+// directly against the paper's. Each writer emits one flat table with a
+// header row.
+
+// WriteCSV emits Figure 3's rows: model, scope (global/groups), recall,
+// avgrank.
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"model", "scope", "recall", "avgrank"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{row.Rule.String(), "global", csvFloat(row.GlobalRecall), csvFloat(row.GlobalAvgRank)}); err != nil {
+			return err
+		}
+		if err := cw.Write([]string{row.Rule.String(), "groups", csvFloat(row.GroupRecall), csvFloat(row.GroupAvgRank)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits Figure 4's curves: group, model, n, recall.
+func (r *Fig4Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"group", "model", "n", "recall"}); err != nil {
+		return err
+	}
+	for _, g := range r.Groups {
+		for _, rule := range Rules() {
+			for n, v := range r.Curves[g][rule] {
+				rec := []string{g, rule.String(), strconv.Itoa(n + 1), csvFloat(v)}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits Figure 5's bars: group, model, avgrank.
+func (r *Fig5Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"group", "model", "avgrank"}); err != nil {
+		return err
+	}
+	for _, g := range r.Groups {
+		for _, rule := range Rules() {
+			if err := cw.Write([]string{g, rule.String(), csvFloat(r.Ranks[g][rule])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits Figure 7's daily series: day, method, impressions, clicks,
+// ctr.
+func (r *Fig7Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"day", "method", "impressions", "clicks", "ctr"}); err != nil {
+		return err
+	}
+	for day, rec := range r.Report.Daily {
+		for _, name := range r.Report.Variants {
+			d := rec[name]
+			row := []string{
+				strconv.Itoa(day + 1), name,
+				strconv.Itoa(d.Impressions), strconv.Itoa(d.Clicks), csvFloat(d.CTR()),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func csvFloat(v float64) string { return fmt.Sprintf("%.6f", v) }

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"vidrec/internal/abtest"
+	"vidrec/internal/core"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestFig3CSV(t *testing.T) {
+	res := &Fig3Result{
+		Rows: []Fig3Row{
+			{Rule: core.RuleBinary, GlobalRecall: 0.1, GroupRecall: 0.2, GlobalAvgRank: 0.5, GroupAvgRank: 0.4},
+		},
+		Groups:   []string{"g1"},
+		Replicas: 1,
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 3 { // header + global + groups
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[1][0] != "BinaryModel" || rows[1][1] != "global" || !strings.HasPrefix(rows[1][2], "0.1") {
+		t.Errorf("row = %v", rows[1])
+	}
+	if rows[2][1] != "groups" || !strings.HasPrefix(rows[2][3], "0.4") {
+		t.Errorf("row = %v", rows[2])
+	}
+}
+
+func TestFig4CSV(t *testing.T) {
+	res := &Fig4Result{
+		Groups: []string{"g1"},
+		Curves: map[string]map[core.UpdateRule][]float64{
+			"g1": {
+				core.RuleBinary:     {0.1, 0.2},
+				core.RuleConfidence: {0.3, 0.4},
+				core.RuleCombine:    {0.5, 0.6},
+			},
+		},
+		TopN: 2,
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 1+3*2 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	if rows[1][0] != "g1" || rows[1][2] != "1" {
+		t.Errorf("first data row = %v", rows[1])
+	}
+}
+
+func TestFig5CSV(t *testing.T) {
+	res := &Fig5Result{
+		Groups: []string{"g1", "g2"},
+		Ranks: map[string]map[core.UpdateRule]float64{
+			"g1": {core.RuleBinary: 0.5, core.RuleConfidence: 0.4, core.RuleCombine: 0.3},
+			"g2": {core.RuleBinary: 0.6, core.RuleConfidence: 0.5, core.RuleCombine: 0.4},
+		},
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 1+2*3 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+}
+
+func TestFig7CSV(t *testing.T) {
+	report := &abtest.Report{
+		Variants: []string{"Hot", "rMF"},
+		Daily: []map[string]abtest.DayCTR{
+			{"Hot": {Impressions: 10, Clicks: 1}, "rMF": {Impressions: 10, Clicks: 2}},
+			{"Hot": {Impressions: 10, Clicks: 2}, "rMF": {Impressions: 10, Clicks: 3}},
+		},
+		Total: map[string]abtest.DayCTR{
+			"Hot": {Impressions: 20, Clicks: 3},
+			"rMF": {Impressions: 20, Clicks: 5},
+		},
+	}
+	res := &Fig7Result{Report: report, Days: 2}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 1+2*2 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	if rows[2][1] != "rMF" || rows[2][4] != "0.200000" {
+		t.Errorf("rMF day-1 row = %v", rows[2])
+	}
+}

@@ -1,0 +1,236 @@
+// Package experiments implements every table and figure of the paper's
+// evaluation (§6) as reusable drivers shared by cmd/experiments and the
+// repository-level benchmarks. Each RunX function is deterministic in its
+// scale's seed and returns a structured result with a Render method that
+// prints the same rows/series the paper reports.
+//
+// See DESIGN.md §2 for the experiment index and the expected result shapes.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vidrec/internal/core"
+	"vidrec/internal/dataset"
+	"vidrec/internal/eval"
+	"vidrec/internal/feedback"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/topn"
+)
+
+// Scale sizes an experiment's synthetic workload. The offline protocol
+// (clean → split → train → test) follows §6.1 at any scale.
+type Scale struct {
+	Dataset dataset.Config
+	// MinUserActions / MinVideoActions are the cleaning thresholds; the
+	// paper uses 50 at production volume.
+	MinUserActions, MinVideoActions int
+	// TrainDays is the training prefix; the rest of the stream is test.
+	TrainDays int
+	// TopN is the recommendation list length for recall@N sweeps.
+	TopN int
+	// Replicas is how many independently seeded datasets the model-ablation
+	// figures (3-5) average over. The paper runs once on a production-scale
+	// dataset; at laptop scale, replica averaging is the statistically
+	// equivalent way to stabilize the orderings.
+	Replicas int
+}
+
+// replicas returns the replica count, defaulting to 1.
+func (s Scale) replicas() int {
+	if s.Replicas <= 0 {
+		return 1
+	}
+	return s.Replicas
+}
+
+// withSeed returns a copy of the scale with the dataset seed offset by i.
+func (s Scale) withSeed(i int) Scale {
+	s.Dataset.Seed += uint64(i) * 7919
+	return s
+}
+
+// SmallScale is sized for unit tests and benchmarks: runs in seconds while
+// preserving the workload's statistical shape.
+func SmallScale() Scale {
+	cfg := dataset.DefaultConfig()
+	cfg.Users = 600
+	cfg.Videos = 200
+	cfg.Days = 7
+	cfg.EventsPerDay = 8000
+	return Scale{
+		Dataset:         cfg,
+		MinUserActions:  20,
+		MinVideoActions: 20,
+		TrainDays:       6,
+		TopN:            10,
+		Replicas:        3,
+	}
+}
+
+// PaperScale mimics the paper's protocol proportions at a laptop-feasible
+// volume (the original is a week of Tencent production traffic).
+func PaperScale() Scale {
+	cfg := dataset.DefaultConfig() // 2000 users, 600 videos, 7 days
+	return Scale{
+		Dataset:         cfg,
+		MinUserActions:  50,
+		MinVideoActions: 50,
+		TrainDays:       6,
+		TopN:            10,
+		Replicas:        3,
+	}
+}
+
+// Corpus is a prepared offline experiment input: cleaned and split actions
+// plus the generating dataset for ground-truth queries.
+type Corpus struct {
+	Data  *dataset.Dataset
+	Train []feedback.Action
+	Test  []feedback.Action
+}
+
+// Prepare generates, cleans and splits a workload per §6.1's protocol.
+func Prepare(s Scale) (*Corpus, error) {
+	d, err := dataset.Generate(s.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	all := d.AllActions()
+	cleaned := dataset.FilterActive(all, s.MinUserActions, s.MinVideoActions)
+	train, test := dataset.SplitByDay(cleaned, s.Dataset.Start, s.TrainDays)
+	if len(train) == 0 || len(test) == 0 {
+		return nil, fmt.Errorf("experiments: degenerate split (train %d, test %d) — scale too small for the cleaning thresholds", len(train), len(test))
+	}
+	return &Corpus{Data: d, Train: train, Test: test}, nil
+}
+
+// TrainModel trains one online MF model variant over a stream of actions,
+// one single-step update per action (Algorithm 1), and returns it.
+func TrainModel(name string, rule core.UpdateRule, factors int, actions []feedback.Action) (*core.Model, error) {
+	params := core.DefaultParams()
+	params.Rule = rule
+	params.Factors = factors
+	m, err := core.NewModel(name, kvstore.NewLocal(64), params)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range actions {
+		if _, err := m.ProcessAction(a); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// ModelRecommender ranks a fixed candidate corpus with a trained model,
+// excluding each user's training-time watches. It isolates model quality
+// for the §6.1 ablations (the full pipeline's candidate generation is
+// evaluated separately, via the online test).
+type ModelRecommender struct {
+	model   *core.Model
+	videos  []string
+	watched map[string]map[string]bool
+}
+
+// NewModelRecommender builds a recommender over the videos appearing in the
+// training actions.
+func NewModelRecommender(m *core.Model, train []feedback.Action, w feedback.Weights) *ModelRecommender {
+	videoSet := make(map[string]bool)
+	watched := make(map[string]map[string]bool)
+	for _, a := range train {
+		videoSet[a.VideoID] = true
+		if w.Weight(a) <= 0 {
+			continue
+		}
+		wm := watched[a.UserID]
+		if wm == nil {
+			wm = make(map[string]bool)
+			watched[a.UserID] = wm
+		}
+		wm[a.VideoID] = true
+	}
+	videos := make([]string, 0, len(videoSet))
+	for v := range videoSet {
+		videos = append(videos, v)
+	}
+	sort.Strings(videos)
+	return &ModelRecommender{model: m, videos: videos, watched: watched}
+}
+
+// Recommend implements eval.Recommender.
+func (r *ModelRecommender) Recommend(userID string, n int) ([]string, error) {
+	scores, err := r.model.ScoreCandidates(userID, r.videos)
+	if err != nil {
+		return nil, err
+	}
+	list := topn.NewList(n)
+	seen := r.watched[userID]
+	for i, v := range r.videos {
+		if seen[v] {
+			continue
+		}
+		list.Update(v, scores[i])
+	}
+	entries := list.All()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.ID
+	}
+	return out, nil
+}
+
+// Rules lists the three §6.1.2 model variants in presentation order.
+func Rules() []core.UpdateRule {
+	return []core.UpdateRule{core.RuleBinary, core.RuleConfidence, core.RuleCombine}
+}
+
+// evaluateRule trains one rule on actions and evaluates it against a test
+// set, returning recall@TopN and avg rank.
+func evaluateRule(rule core.UpdateRule, factors int, train, test []feedback.Action, topN int) (eval.Metrics, error) {
+	m, err := TrainModel("exp", rule, factors, train)
+	if err != nil {
+		return eval.Metrics{}, err
+	}
+	w := m.Params().Weights
+	rec := NewModelRecommender(m, train, w)
+	ts := eval.BuildTestSet(test, w)
+	return eval.Evaluate(rec, ts, topN)
+}
+
+// renderTable pretty-prints rows with aligned columns for terminal output.
+func renderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

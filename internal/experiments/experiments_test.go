@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vidrec/internal/core"
+)
+
+// The experiment tests assert the *shapes* the paper reports (DESIGN.md §2):
+// who wins, in which direction, within sane ranges — not absolute values,
+// which depend on the synthetic substrate.
+
+// testScale shrinks the workload for the cheap experiments (tables, grid,
+// online test); the model-ablation figures use full SmallScale because their
+// orderings only stabilize with enough test users per group.
+func testScale() Scale {
+	s := SmallScale()
+	s.Dataset.Users = 250
+	s.Dataset.Videos = 100
+	s.Dataset.EventsPerDay = 2500
+	return s
+}
+
+func TestPrepareProtocol(t *testing.T) {
+	c, err := Prepare(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Train) == 0 || len(c.Test) == 0 {
+		t.Fatal("empty split")
+	}
+	// Train strictly precedes test.
+	lastTrain := c.Train[len(c.Train)-1].Timestamp
+	firstTest := c.Test[0].Timestamp
+	if lastTrain.After(firstTest) {
+		t.Errorf("train action at %v after first test action %v", lastTrain, firstTest)
+	}
+}
+
+func TestTable1RendersAllActions(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"impress", "click", "play", "playtime", "comment", "[1.5,2.5]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2RendersParameters(t *testing.T) {
+	out := Table2()
+	for _, want := range []string{"f", "lambda", "40", "0.05", "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	res, err := RunTable3(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Users == 0 || st.Videos == 0 || st.Actions == 0 || st.TestActions == 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+	// The synthetic universe is far denser than Tencent's (small-universe
+	// effect, documented in EXPERIMENTS.md); the bound only catches
+	// degenerate generation. The paper-relevant density *shape* — groups
+	// denser than global — is asserted by TestTable4GroupsDenser.
+	if st.Sparsity <= 0 || st.Sparsity > 20 {
+		t.Errorf("sparsity %v outside plausible range", st.Sparsity)
+	}
+	if !strings.Contains(res.Render(), "Table 3") {
+		t.Error("Render missing caption")
+	}
+}
+
+func TestTable4GroupsDenser(t *testing.T) {
+	res, err := RunTable4(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Fatal("no groups")
+	}
+	denser := 0
+	for _, g := range res.Groups {
+		if g.Stats.Sparsity > res.Global.Sparsity {
+			denser++
+		}
+	}
+	if denser < (len(res.Groups)+1)/2 {
+		t.Errorf("only %d/%d groups denser than global (%.4f)", denser, len(res.Groups), res.Global.Sparsity)
+	}
+	if !strings.Contains(res.Render(), "Sparsity") {
+		t.Error("Render missing sparsity column")
+	}
+}
+
+func TestFig3DemographicTrainingHelps(t *testing.T) {
+	res, err := RunFig3(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	var combine Fig3Row
+	for _, row := range res.Rows {
+		if row.Rule == core.RuleCombine {
+			combine = row
+		}
+		if row.GlobalAvgRank < 0 || row.GlobalAvgRank > 1 || row.GroupAvgRank < 0 || row.GroupAvgRank > 1 {
+			t.Errorf("%v avg ranks out of [0,1]: %+v", row.Rule, row)
+		}
+	}
+	// The paper's headline: group training beats global for the ultimate
+	// model ("the performance of group-models is steadily superior").
+	if combine.GroupRecall <= combine.GlobalRecall {
+		t.Errorf("CombineModel group recall %v not above global %v",
+			combine.GroupRecall, combine.GlobalRecall)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "CombineModel") {
+		t.Error("Render missing model names")
+	}
+}
+
+func TestFig4CombineBeatsBinary(t *testing.T) {
+	res, err := RunFig4(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Fatal("no groups")
+	}
+	// Average over groups and N: the adjustable CombineModel must beat the
+	// fixed-rate BinaryModel (§6.1.2's headline), and must not fall
+	// meaningfully behind ConfModel (on this substrate Conf is stronger
+	// than in the paper — see EXPERIMENTS.md's deviation note — so only a
+	// tolerance bound is asserted for that pair).
+	avg := func(rule core.UpdateRule) float64 {
+		var sum float64
+		var n int
+		for _, g := range res.Groups {
+			for _, v := range res.Curves[g][rule] {
+				sum += v
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	combine, binary, conf := avg(core.RuleCombine), avg(core.RuleBinary), avg(core.RuleConfidence)
+	if combine <= binary {
+		t.Errorf("CombineModel mean recall %v not above BinaryModel %v", combine, binary)
+	}
+	if combine < 0.6*conf {
+		t.Errorf("CombineModel mean recall %v collapsed versus ConfModel %v", combine, conf)
+	}
+	for _, g := range res.Groups {
+		for rule, curve := range res.Curves[g] {
+			if len(curve) != res.TopN {
+				t.Errorf("group %s rule %v curve length %d", g, rule, len(curve))
+			}
+		}
+	}
+}
+
+func TestFig5RanksMidList(t *testing.T) {
+	res, err := RunFig5(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var combineSum, binarySum float64
+	n := 0
+	for _, g := range res.Groups {
+		for rule, rank := range res.Ranks[g] {
+			if rank < 0 || rank > 1 {
+				t.Errorf("group %s rule %v rank %v out of [0,1]", g, rule, rank)
+			}
+			// The paper reports ranks "around 0.5" — recommended videos
+			// sit mid-list in users' true interest ordering.
+			if rank < 0.15 || rank > 0.85 {
+				t.Errorf("group %s rule %v rank %v far from the paper's ~0.5 band", g, rule, rank)
+			}
+			switch rule {
+			case core.RuleCombine:
+				combineSum += rank
+				n++
+			case core.RuleBinary:
+				binarySum += rank
+			}
+		}
+	}
+	// Lower rank is better; the adjustable model must not lose to the
+	// fixed-rate one beyond noise.
+	if combineSum > binarySum*1.1 {
+		t.Errorf("CombineModel total rank %v well above BinaryModel %v", combineSum, binarySum)
+	}
+	_ = n
+}
+
+func TestFig7OnlineOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online simulation is the slowest experiment")
+	}
+	s := testScale()
+	res, err := RunFig7(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if len(rep.Daily) != 4 {
+		t.Fatalf("days = %d, want 4", len(rep.Daily))
+	}
+	rmf := rep.Total["rMF"].CTR()
+	hot := rep.Total["Hot"].CTR()
+	if rmf <= hot {
+		t.Errorf("rMF CTR %v not above Hot %v (paper's headline online result)", rmf, hot)
+	}
+	for _, name := range rep.Variants {
+		if rep.Total[name].Impressions == 0 {
+			t.Errorf("variant %s served nothing", name)
+		}
+	}
+	if !strings.Contains(res.Render(), "rMF") {
+		t.Error("Render missing method names")
+	}
+}
+
+func TestTable5LiftsDeriveFromFig7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online simulation is the slowest experiment")
+	}
+	res, err := RunTable5(testScale(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifts := res.Fig7.Report.Lifts()
+	if len(lifts) == 0 {
+		t.Fatal("no pairwise lifts")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "vs") {
+		t.Error("Render missing comparisons")
+	}
+}
+
+func TestGridSearchFindsFiniteOptimum(t *testing.T) {
+	s := testScale()
+	s.Dataset.EventsPerDay = 1200
+	res, err := RunGridSearch(s, []float64{0.02, 0.08}, []float64{0, 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	if res.Best.Recall <= 0 {
+		t.Errorf("best recall %v not positive", res.Best.Recall)
+	}
+	if !strings.Contains(res.Render(), "best") {
+		t.Error("Render missing best marker")
+	}
+}

@@ -1,0 +1,424 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vidrec/internal/abtest"
+	"vidrec/internal/baseline"
+	"vidrec/internal/core"
+	"vidrec/internal/dataset"
+	"vidrec/internal/eval"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/recommend"
+	"vidrec/internal/simtable"
+)
+
+// Fig3Row holds one model variant's global-vs-group comparison.
+type Fig3Row struct {
+	Rule          core.UpdateRule
+	GlobalRecall  float64
+	GroupRecall   float64 // mean over the three largest groups
+	GlobalAvgRank float64
+	GroupAvgRank  float64
+}
+
+// Fig3Result reproduces Figure 3: the effectiveness of demographic training,
+// comparing globally trained models against group-trained ones for all three
+// update-rule variants. Metrics are averaged over Scale.Replicas
+// independently seeded datasets.
+type Fig3Result struct {
+	Rows   []Fig3Row
+	Groups []string
+	// Replicas is how many datasets the averages cover.
+	Replicas int
+}
+
+// RunFig3 trains each variant once globally and once per demographic group
+// (the three largest), evaluating each group model on its own group's test
+// actions, averaged over the scale's replicas.
+func RunFig3(s Scale) (*Fig3Result, error) {
+	agg := &Fig3Result{Replicas: s.replicas()}
+	for _, rule := range Rules() {
+		agg.Rows = append(agg.Rows, Fig3Row{Rule: rule})
+	}
+	for rep := 0; rep < s.replicas(); rep++ {
+		one, err := runFig3Once(s.withSeed(rep))
+		if err != nil {
+			return nil, err
+		}
+		if rep == 0 {
+			agg.Groups = one.Groups
+		}
+		for i := range agg.Rows {
+			agg.Rows[i].GlobalRecall += one.Rows[i].GlobalRecall
+			agg.Rows[i].GroupRecall += one.Rows[i].GroupRecall
+			agg.Rows[i].GlobalAvgRank += one.Rows[i].GlobalAvgRank
+			agg.Rows[i].GroupAvgRank += one.Rows[i].GroupAvgRank
+		}
+	}
+	n := float64(s.replicas())
+	for i := range agg.Rows {
+		agg.Rows[i].GlobalRecall /= n
+		agg.Rows[i].GroupRecall /= n
+		agg.Rows[i].GlobalAvgRank /= n
+		agg.Rows[i].GroupAvgRank /= n
+	}
+	return agg, nil
+}
+
+func runFig3Once(s Scale) (*Fig3Result, error) {
+	c, err := Prepare(s)
+	if err != nil {
+		return nil, err
+	}
+	trainByGroup := dataset.GroupBy(c.Train, c.Data.GroupOf)
+	testByGroup := dataset.GroupBy(c.Test, c.Data.GroupOf)
+	groups := dataset.LargestGroups(trainByGroup, 3)
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("experiments: no demographic groups in the cleaned data")
+	}
+	res := &Fig3Result{Groups: groups}
+	for _, rule := range Rules() {
+		var row Fig3Row
+		row.Rule = rule
+
+		m, err := TrainModel("global", rule, s.Dataset.Factors, c.Train)
+		if err != nil {
+			return nil, err
+		}
+		w := m.Params().Weights
+
+		// Both models are evaluated per group on the same test users and
+		// the same candidate corpus (the group's training videos): the
+		// only difference is which actions trained the model — training
+		// locality, the variable Figure 3 isolates.
+		var gRecall, gRank, glRecall, glRank, weightSum float64
+		for _, g := range groups {
+			ts := eval.BuildTestSet(testByGroup[g], w)
+
+			globalMetrics, err := eval.Evaluate(
+				NewModelRecommender(m, trainByGroup[g], w), ts, s.TopN)
+			if err != nil {
+				return nil, err
+			}
+			gm, err := TrainModel("group-"+g, rule, s.Dataset.Factors, trainByGroup[g])
+			if err != nil {
+				return nil, err
+			}
+			metrics, err := eval.Evaluate(
+				NewModelRecommender(gm, trainByGroup[g], w), ts, s.TopN)
+			if err != nil {
+				return nil, err
+			}
+			wgt := float64(metrics.UsersEvaluated)
+			gRecall += metrics.Recall * wgt
+			gRank += metrics.AvgRank * wgt
+			glRecall += globalMetrics.Recall * wgt
+			glRank += globalMetrics.AvgRank * wgt
+			weightSum += wgt
+		}
+		if weightSum > 0 {
+			row.GroupRecall = gRecall / weightSum
+			row.GroupAvgRank = gRank / weightSum
+			row.GlobalRecall = glRecall / weightSum
+			row.GlobalAvgRank = glRank / weightSum
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints Figure 3's bars as rows with improvement percentages.
+func (r *Fig3Result) Render() string {
+	header := []string{"Model", "recall(global)", "recall(groups)", "recall gain(%)",
+		"avgrank(global)", "avgrank(groups)", "avgrank gain(%)"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		recallGain := 0.0
+		if row.GlobalRecall > 0 {
+			recallGain = (row.GroupRecall - row.GlobalRecall) / row.GlobalRecall * 100
+		}
+		rankGain := 0.0
+		if row.GlobalAvgRank > 0 {
+			rankGain = (row.GlobalAvgRank - row.GroupAvgRank) / row.GlobalAvgRank * 100
+		}
+		rows = append(rows, []string{
+			row.Rule.String(),
+			fmt.Sprintf("%.4f", row.GlobalRecall),
+			fmt.Sprintf("%.4f", row.GroupRecall),
+			fmt.Sprintf("%+.1f", recallGain),
+			fmt.Sprintf("%.4f", row.GlobalAvgRank),
+			fmt.Sprintf("%.4f", row.GroupAvgRank),
+			fmt.Sprintf("%+.1f", rankGain),
+		})
+	}
+	return fmt.Sprintf("Figure 3: Comparison of Global vs Groups (mean of %d runs; run-1 groups: %s)\n",
+		r.Replicas, strings.Join(r.Groups, ", ")) + renderTable(header, rows)
+}
+
+// Fig4Result reproduces Figure 4: recall@N for N = 1..TopN for the three
+// model variants, per demographic-group rank (Group1 = each replica's
+// largest group), averaged over Scale.Replicas datasets.
+type Fig4Result struct {
+	// Groups labels the group ranks; the names are the first replica's.
+	Groups []string
+	// Curves[group][rule] is recall@1..TopN.
+	Curves map[string]map[core.UpdateRule][]float64
+	TopN   int
+	// Replicas is how many datasets the averages cover.
+	Replicas int
+}
+
+// RunFig4 trains each variant per group and sweeps recall@N, averaging
+// curves across replicas by group rank.
+func RunFig4(s Scale) (*Fig4Result, error) {
+	res := &Fig4Result{
+		Curves:   make(map[string]map[core.UpdateRule][]float64),
+		TopN:     s.TopN,
+		Replicas: s.replicas(),
+	}
+	for rep := 0; rep < s.replicas(); rep++ {
+		rs := s.withSeed(rep)
+		c, err := Prepare(rs)
+		if err != nil {
+			return nil, err
+		}
+		trainByGroup := dataset.GroupBy(c.Train, c.Data.GroupOf)
+		testByGroup := dataset.GroupBy(c.Test, c.Data.GroupOf)
+		groups := dataset.LargestGroups(trainByGroup, 3)
+		if len(groups) == 0 {
+			return nil, fmt.Errorf("experiments: no demographic groups in the cleaned data")
+		}
+		if rep == 0 {
+			res.Groups = groups
+			for _, g := range groups {
+				res.Curves[g] = make(map[core.UpdateRule][]float64)
+				for _, rule := range Rules() {
+					res.Curves[g][rule] = make([]float64, s.TopN)
+				}
+			}
+		}
+		for gi, g := range groups {
+			if gi >= len(res.Groups) {
+				break
+			}
+			slot := res.Groups[gi]
+			for _, rule := range Rules() {
+				m, err := TrainModel("fig4", rule, rs.Dataset.Factors, trainByGroup[g])
+				if err != nil {
+					return nil, err
+				}
+				w := m.Params().Weights
+				curve, err := eval.RecallCurve(
+					NewModelRecommender(m, trainByGroup[g], w),
+					eval.BuildTestSet(testByGroup[g], w), s.TopN)
+				if err != nil {
+					return nil, err
+				}
+				for n := range curve {
+					res.Curves[slot][rule][n] += curve[n] / float64(s.replicas())
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints one recall@N series block per group, as Figure 4's three
+// panels.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: recall@N Comparison of Alternative Models\n")
+	for gi, g := range r.Groups {
+		fmt.Fprintf(&b, "(%c) Group%d [%s]\n", 'a'+gi, gi+1, g)
+		header := []string{"N"}
+		for _, rule := range Rules() {
+			header = append(header, rule.String())
+		}
+		var rows [][]string
+		for n := 1; n <= r.TopN; n++ {
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, rule := range Rules() {
+				row = append(row, fmt.Sprintf("%.4f", r.Curves[g][rule][n-1]))
+			}
+			rows = append(rows, row)
+		}
+		b.WriteString(renderTable(header, rows))
+	}
+	return b.String()
+}
+
+// Fig5Result reproduces Figure 5: the rank metric for the three variants per
+// demographic-group rank, averaged over Scale.Replicas datasets.
+type Fig5Result struct {
+	// Groups labels the group ranks; the names are the first replica's.
+	Groups []string
+	// Ranks[group][rule] is avg rank at TopN.
+	Ranks map[string]map[core.UpdateRule]float64
+	// Replicas is how many datasets the averages cover.
+	Replicas int
+}
+
+// RunFig5 trains each variant per group and reports avg rank (Eq. 14),
+// averaged across replicas by group rank.
+func RunFig5(s Scale) (*Fig5Result, error) {
+	res := &Fig5Result{
+		Ranks:    make(map[string]map[core.UpdateRule]float64),
+		Replicas: s.replicas(),
+	}
+	for rep := 0; rep < s.replicas(); rep++ {
+		rs := s.withSeed(rep)
+		c, err := Prepare(rs)
+		if err != nil {
+			return nil, err
+		}
+		trainByGroup := dataset.GroupBy(c.Train, c.Data.GroupOf)
+		testByGroup := dataset.GroupBy(c.Test, c.Data.GroupOf)
+		groups := dataset.LargestGroups(trainByGroup, 3)
+		if len(groups) == 0 {
+			return nil, fmt.Errorf("experiments: no demographic groups in the cleaned data")
+		}
+		if rep == 0 {
+			res.Groups = groups
+			for _, g := range groups {
+				res.Ranks[g] = make(map[core.UpdateRule]float64)
+			}
+		}
+		for gi, g := range groups {
+			if gi >= len(res.Groups) {
+				break
+			}
+			slot := res.Groups[gi]
+			for _, rule := range Rules() {
+				m, err := TrainModel("fig5", rule, rs.Dataset.Factors, trainByGroup[g])
+				if err != nil {
+					return nil, err
+				}
+				w := m.Params().Weights
+				metrics, err := eval.Evaluate(
+					NewModelRecommender(m, trainByGroup[g], w),
+					eval.BuildTestSet(testByGroup[g], w), s.TopN)
+				if err != nil {
+					return nil, err
+				}
+				res.Ranks[slot][rule] += metrics.AvgRank / float64(s.replicas())
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints Figure 5's grouped bars as a table.
+func (r *Fig5Result) Render() string {
+	header := []string{"Group"}
+	for _, rule := range Rules() {
+		header = append(header, rule.String())
+	}
+	var rows [][]string
+	for gi, g := range r.Groups {
+		row := []string{fmt.Sprintf("Group%d [%s]", gi+1, g)}
+		for _, rule := range Rules() {
+			row = append(row, fmt.Sprintf("%.4f", r.Ranks[g][rule]))
+		}
+		rows = append(rows, row)
+	}
+	return "Figure 5: rank Comparison of Alternative Models\n" + renderTable(header, rows)
+}
+
+// Fig7Result reproduces Figure 7: CTR of the four production methods over a
+// simulated multi-day A/B test.
+type Fig7Result struct {
+	Report *abtest.Report
+	Days   int
+}
+
+// RunFig7 assembles the four §6.2 methods — Hot, AR, SimHash and rMF — and
+// runs the A/B simulation over the given number of days.
+func RunFig7(s Scale, days int) (*Fig7Result, error) {
+	if days <= 0 {
+		days = 10
+	}
+	abCfg := abtest.DefaultConfig()
+	abCfg.Days = days
+	abCfg.N = s.TopN
+	// The online test streams the dataset's full length; extend the
+	// dataset's day count to cover warmup plus the test period.
+	cfg := s.Dataset
+	cfg.Days = days + abCfg.WarmupDays
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	hot, err := baseline.NewHot(kvstore.NewLocal(16), 24*time.Hour, 200)
+	if err != nil {
+		return nil, err
+	}
+	ar := baseline.NewAR()
+	simhash := baseline.NewSimHash()
+
+	params := core.DefaultParams()
+	params.Factors = s.Dataset.Factors
+	sys, err := recommend.NewSystem(kvstore.NewLocal(64), params, simtable.DefaultConfig(), recommend.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	if err := d.FillCatalog(sys.Catalog); err != nil {
+		return nil, err
+	}
+	if err := d.FillProfiles(sys.Profiles); err != nil {
+		return nil, err
+	}
+	// The system's clock follows its ingest stream: requests interleaved
+	// with organic traffic see the state as of the triggering action.
+	variants := []abtest.Variant{
+		{
+			Name:        "Hot",
+			Recommender: hot,
+			Ingest:      hot.Record,
+			SetNow:      hot.SetNow,
+		},
+		{
+			Name:        "AR",
+			Recommender: ar,
+			TrainDaily:  ar.Train,
+		},
+		{
+			Name:        "SimHash",
+			Recommender: simhash,
+			TrainDaily:  simhash.Train,
+		},
+		{
+			Name:        "rMF",
+			Recommender: recommend.EvalAdapter{S: sys},
+			Ingest:      sys.Ingest,
+		},
+	}
+	report, err := abtest.Run(d, variants, abCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7Result{Report: report, Days: days}, nil
+}
+
+// Render prints the daily CTR series (Figure 7) and period totals.
+func (r *Fig7Result) Render() string {
+	header := []string{"Day"}
+	header = append(header, r.Report.Variants...)
+	var rows [][]string
+	for day := 0; day < len(r.Report.Daily); day++ {
+		row := []string{fmt.Sprintf("%d", day+1)}
+		for _, name := range r.Report.Variants {
+			row = append(row, fmt.Sprintf("%.4f", r.Report.Daily[day][name].CTR()))
+		}
+		rows = append(rows, row)
+	}
+	total := []string{"all"}
+	for _, name := range r.Report.Variants {
+		total = append(total, fmt.Sprintf("%.4f", r.Report.Total[name].CTR()))
+	}
+	rows = append(rows, total)
+	return "Figure 7: Online CTR of comparative methods (A/B test)\n" + renderTable(header, rows)
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vidrec/internal/core"
+	"vidrec/internal/dataset"
+	"vidrec/internal/eval"
+	"vidrec/internal/feedback"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/simtable"
+)
+
+// Table1 renders the user-action weight settings in force (the paper's
+// Table 1 plus the heavier engagement actions of §3.2).
+func Table1() string {
+	w := feedback.DefaultWeights()
+	header := []string{"Action", "Weight"}
+	var rows [][]string
+	for _, at := range feedback.ActionTypes() {
+		weight := fmt.Sprintf("%.1f", w.Static[at])
+		if at == feedback.PlayTime {
+			lo := w.Weight(feedback.Action{Type: feedback.PlayTime, ViewTime: 1, VideoLength: 10})
+			hi := w.Weight(feedback.Action{Type: feedback.PlayTime, ViewTime: 10, VideoLength: 10})
+			weight = fmt.Sprintf("[%.1f,%.1f]", lo, hi)
+		}
+		rows = append(rows, []string{at.String(), weight})
+	}
+	return "Table 1: User Action Weight Settings\n" + renderTable(header, rows)
+}
+
+// Table2 renders the hyper-parameter settings (the paper's Table 2; values
+// legible in the paper are used verbatim, the rest grid-searched on the
+// synthetic workload — see RunGridSearch).
+func Table2() string {
+	p := core.DefaultParams()
+	s := simtable.DefaultConfig()
+	header := []string{"f", "lambda", "a", "b", "eta0", "alpha", "beta", "xi"}
+	rows := [][]string{{
+		fmt.Sprintf("%d", p.Factors),
+		fmt.Sprintf("%g", p.Lambda),
+		fmt.Sprintf("%g", p.Weights.A),
+		fmt.Sprintf("%g", p.Weights.B),
+		fmt.Sprintf("%g", p.Eta0),
+		fmt.Sprintf("%g", p.Alpha),
+		fmt.Sprintf("%g", s.Beta),
+		s.Xi.String(),
+	}}
+	return "Table 2: Parameter Settings\n" + renderTable(header, rows)
+}
+
+// Table3Result is the dataset statistics of the cleaned one-week workload.
+type Table3Result struct {
+	Stats dataset.Stats
+}
+
+// RunTable3 reproduces Table 3: generate a week of actions, apply the
+// cleaning rule, split 6+1 days, and report counts.
+func RunTable3(s Scale) (*Table3Result, error) {
+	c, err := Prepare(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Table3Result{Stats: dataset.ComputeStats(c.Train, c.Test)}, nil
+}
+
+// Render prints the paper's Table 3 row.
+func (r *Table3Result) Render() string {
+	st := r.Stats
+	return "Table 3: DataSet Statistics\n" + renderTable(
+		[]string{"Users", "Videos", "Actions", "Test Actions", "Sparsity(%)"},
+		[][]string{{
+			fmt.Sprintf("%d", st.Users),
+			fmt.Sprintf("%d", st.Videos),
+			fmt.Sprintf("%d", st.Actions),
+			fmt.Sprintf("%d", st.TestActions),
+			fmt.Sprintf("%.2f", st.Sparsity*100),
+		}},
+	)
+}
+
+// GroupStats is one demographic group's row of Table 4.
+type GroupStats struct {
+	Group string
+	Stats dataset.Stats
+}
+
+// Table4Result compares the global matrix with the three largest
+// demographic groups.
+type Table4Result struct {
+	Global dataset.Stats
+	Groups []GroupStats
+}
+
+// RunTable4 reproduces Table 4: per-group dataset statistics and sparsity
+// for the three largest demographic groups.
+func RunTable4(s Scale) (*Table4Result, error) {
+	c, err := Prepare(s)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{Global: dataset.ComputeStats(c.Train, c.Test)}
+	trainByGroup := dataset.GroupBy(c.Train, c.Data.GroupOf)
+	testByGroup := dataset.GroupBy(c.Test, c.Data.GroupOf)
+	for _, g := range dataset.LargestGroups(trainByGroup, 3) {
+		res.Groups = append(res.Groups, GroupStats{
+			Group: g,
+			Stats: dataset.ComputeStats(trainByGroup[g], testByGroup[g]),
+		})
+	}
+	if len(res.Groups) == 0 {
+		return nil, fmt.Errorf("experiments: no demographic groups in the cleaned data")
+	}
+	return res, nil
+}
+
+// Render prints the paper's Table 4 rows (plus the global row for
+// reference).
+func (r *Table4Result) Render() string {
+	header := []string{"", "#Users", "#Videos", "#Actions", "Sparsity(%)"}
+	row := func(name string, st dataset.Stats) []string {
+		return []string{
+			name,
+			fmt.Sprintf("%d", st.Users),
+			fmt.Sprintf("%d", st.Videos),
+			fmt.Sprintf("%d", st.Actions),
+			fmt.Sprintf("%.2f", st.Sparsity*100),
+		}
+	}
+	rows := [][]string{row("Global", r.Global)}
+	for i, g := range r.Groups {
+		rows = append(rows, row(fmt.Sprintf("Group%d (%s)", i+1, g.Group), g.Stats))
+	}
+	return "Table 4: DataSet Statistics of Groups\n" + renderTable(header, rows)
+}
+
+// GridPoint is one hyper-parameter combination's offline score.
+type GridPoint struct {
+	Eta0, Alpha float64
+	Recall      float64
+	AvgRank     float64
+}
+
+// GridSearchResult records a sweep over (η0, α), the two knobs the paper
+// determines "by experiments" for the adjustable updating strategy.
+type GridSearchResult struct {
+	Points []GridPoint
+	Best   GridPoint
+}
+
+// RunGridSearch evaluates CombineModel across an (η0, α) grid on the
+// offline protocol — the procedure behind Table 2's "determined by using
+// grid search".
+func RunGridSearch(s Scale, eta0s, alphas []float64) (*GridSearchResult, error) {
+	c, err := Prepare(s)
+	if err != nil {
+		return nil, err
+	}
+	res := &GridSearchResult{}
+	res.Best.Recall = -1
+	for _, eta0 := range eta0s {
+		for _, alpha := range alphas {
+			params := core.DefaultParams()
+			params.Rule = core.RuleCombine
+			params.Factors = s.Dataset.Factors
+			params.Eta0 = eta0
+			params.Alpha = alpha
+			m, err := trainWithParams("grid", params, c.Train)
+			if err != nil {
+				return nil, err
+			}
+			rec := NewModelRecommender(m, c.Train, params.Weights)
+			ts := eval.BuildTestSet(c.Test, params.Weights)
+			metrics, err := eval.Evaluate(rec, ts, s.TopN)
+			if err != nil {
+				return nil, err
+			}
+			pt := GridPoint{Eta0: eta0, Alpha: alpha, Recall: metrics.Recall, AvgRank: metrics.AvgRank}
+			res.Points = append(res.Points, pt)
+			if pt.Recall > res.Best.Recall {
+				res.Best = pt
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the grid as rows with the winner marked.
+func (r *GridSearchResult) Render() string {
+	header := []string{"eta0", "alpha", "recall@N", "avgrank", ""}
+	var rows [][]string
+	for _, p := range r.Points {
+		mark := ""
+		if p == r.Best {
+			mark = "<- best"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%g", p.Eta0),
+			fmt.Sprintf("%g", p.Alpha),
+			fmt.Sprintf("%.4f", p.Recall),
+			fmt.Sprintf("%.4f", p.AvgRank),
+			mark,
+		})
+	}
+	return "Grid search over (eta0, alpha) — Table 2 procedure\n" + renderTable(header, rows)
+}
+
+// Table5Result is the pairwise CTR improvement table derived from the
+// online test (the paper's Table 5).
+type Table5Result struct {
+	Fig7 *Fig7Result
+}
+
+// RunTable5 runs the online A/B simulation and derives pairwise lifts.
+func RunTable5(s Scale, days int) (*Table5Result, error) {
+	fig7, err := RunFig7(s, days)
+	if err != nil {
+		return nil, err
+	}
+	return &Table5Result{Fig7: fig7}, nil
+}
+
+// Render prints the pairwise improvement rows.
+func (r *Table5Result) Render() string {
+	header := []string{"Comparison", "CTR improvement(%)"}
+	var rows [][]string
+	for _, l := range r.Fig7.Report.Lifts() {
+		rows = append(rows, []string{
+			fmt.Sprintf("%s vs %s", l.Better, l.Worse),
+			fmt.Sprintf("%+.1f", l.Lift*100),
+		})
+	}
+	return "Table 5: Performance improvement for methods comparison\n" + renderTable(header, rows)
+}
+
+// trainWithParams trains a model with explicit params over actions.
+func trainWithParams(name string, params core.Params, actions []feedback.Action) (*core.Model, error) {
+	m, err := core.NewModel(name, kvstore.NewLocal(64), params)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range actions {
+		if _, err := m.ProcessAction(a); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,38 @@
+package feedback_test
+
+import (
+	"fmt"
+	"time"
+
+	"vidrec/internal/feedback"
+)
+
+// The confidence weighting of Table 1 / Eq. 6: a 45-minute watch of a
+// 90-minute film carries weight 2.5 + log10(0.5) ≈ 2.2, between a bare play
+// (1.5) and a comment (3).
+func ExampleWeights_Weight() {
+	w := feedback.DefaultWeights()
+	a := feedback.Action{
+		UserID:      "alice",
+		VideoID:     "film-1",
+		Type:        feedback.PlayTime,
+		ViewTime:    45 * time.Minute,
+		VideoLength: 90 * time.Minute,
+	}
+	fmt.Printf("weight %.3f\n", w.Weight(a))
+	rating, conf := w.Confidence(a)
+	fmt.Printf("rating %.0f confidence %.3f\n", rating, conf)
+	// Output:
+	// weight 2.199
+	// rating 1 confidence 2.199
+}
+
+// Impressions carry no interest signal: weight 0, rating 0, and Algorithm 1
+// never trains on them.
+func ExampleWeights_Rating() {
+	w := feedback.DefaultWeights()
+	impression := feedback.Action{UserID: "u", VideoID: "v", Type: feedback.Impress}
+	click := feedback.Action{UserID: "u", VideoID: "v", Type: feedback.Click}
+	fmt.Println(w.Rating(impression), w.Rating(click))
+	// Output: 0 1
+}

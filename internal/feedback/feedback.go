@@ -1,0 +1,209 @@
+// Package feedback implements the paper's implicit-feedback solution (§3.2):
+// mapping raw user actions to confidence weights (Table 1 and Eq. 6) and to
+// the binary ratings with confidence levels (Eq. 7) that drive the adjustable
+// online training.
+//
+// The key idea is that implicit signals are ordered by how strongly they
+// witness interest — an impression witnesses nothing, a click a little, a
+// long watch a lot — and the weight w_ui encodes that confidence. Ratings
+// themselves stay binary: r_ui = 1 whenever the user interacted at all
+// (w_ui > 0), 0 otherwise, which the paper found far more robust than using
+// the weights as ratings directly (the ConfModel ablation, §6.1.2).
+package feedback
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// ActionType enumerates the user behaviours Tencent Video logs. The set
+// follows Table 1 plus the heavier engagement actions mentioned in §3.2
+// (comment, and the like/share family commonly logged alongside it).
+type ActionType uint8
+
+const (
+	// Impress records that a video was displayed to the user. It carries no
+	// interest signal (weight 0) and never updates the model (Alg. 1).
+	Impress ActionType = iota
+	// Click records the user clicking through to a video page.
+	Click
+	// Play records the user starting playback.
+	Play
+	// PlayTime reports how long the user watched; its weight depends on the
+	// fraction of the video viewed (Eq. 6).
+	PlayTime
+	// Comment records the user commenting on a video — the "three star"
+	// example of §3.2.
+	Comment
+	// Like records an explicit thumbs-up style endorsement.
+	Like
+	// Share records the user sharing the video.
+	Share
+
+	numActionTypes
+)
+
+var actionNames = [numActionTypes]string{
+	Impress:  "impress",
+	Click:    "click",
+	Play:     "play",
+	PlayTime: "playtime",
+	Comment:  "comment",
+	Like:     "like",
+	Share:    "share",
+}
+
+// String returns the lower-case wire name of the action type.
+func (a ActionType) String() string {
+	if int(a) < len(actionNames) {
+		return actionNames[a]
+	}
+	return fmt.Sprintf("actiontype(%d)", uint8(a))
+}
+
+// ParseActionType converts a wire name back to an ActionType.
+func ParseActionType(s string) (ActionType, error) {
+	for i, n := range actionNames {
+		if n == s {
+			return ActionType(i), nil
+		}
+	}
+	return 0, fmt.Errorf("feedback: unknown action type %q", s)
+}
+
+// ActionTypes returns all defined action types in declaration order.
+func ActionTypes() []ActionType {
+	out := make([]ActionType, numActionTypes)
+	for i := range out {
+		out[i] = ActionType(i)
+	}
+	return out
+}
+
+// Action is one user-behaviour tuple from the stream: user u acted on video i.
+// It is the unit of work for the entire pipeline — the spout emits Actions,
+// the MF model trains on them one at a time, and the similar-video tables
+// update from them.
+type Action struct {
+	UserID  string
+	VideoID string
+	Type    ActionType
+	// ViewTime and VideoLength are set for PlayTime actions: how long the
+	// user watched and the full length of the video (Eq. 6 uses their
+	// ratio, the view rate).
+	ViewTime    time.Duration
+	VideoLength time.Duration
+	// Timestamp is when the action happened; the similar-video tables'
+	// time factor (Eq. 11) measures decay from it.
+	Timestamp time.Time
+}
+
+// ViewRate returns the fraction of the video watched, clamped to [0, 1].
+// It returns 0 when the video length is unknown.
+func (a Action) ViewRate() float64 {
+	if a.VideoLength <= 0 {
+		return 0
+	}
+	r := float64(a.ViewTime) / float64(a.VideoLength)
+	return math.Max(0, math.Min(1, r))
+}
+
+// Weights holds the per-action-type confidence settings of Table 1 and the
+// PlayTime curve parameters of Eq. 6.
+type Weights struct {
+	// Static weights per action type (Table 1). PlayTime's entry is the
+	// floor used for inefficient views (view rate below MinViewRate).
+	Static [numActionTypes]float64
+	// A and B parametrize the PlayTime weight a + b·log10(vrate), Eq. 6.
+	// The paper's constraint a ≥ b keeps the weight positive on the
+	// admissible range, and the published grid-search values are a=2.5,
+	// b=1.0 (Table 2).
+	A, B float64
+	// MinViewRate is the noise cutoff: views shorter than this fraction of
+	// the video are treated as bare Play actions (§3.2 sets 0.1).
+	MinViewRate float64
+}
+
+// DefaultWeights returns the paper's production settings: Table 1's weights
+// (Impress 0, Click 1, Play 1.5, PlayTime in [1.5, 2.5]) with Eq. 6's a=2.5,
+// b=1.0 from Table 2, and weights 3/3.5/4 for the heavier comment/like/share
+// engagement actions (§3.2's "a comment behavior equals a three star
+// rating").
+func DefaultWeights() Weights {
+	var w Weights
+	w.Static[Impress] = 0
+	w.Static[Click] = 1
+	w.Static[Play] = 1.5
+	w.Static[PlayTime] = 1.5 // floor; Eq. 6 raises it up to 2.5
+	w.Static[Comment] = 3
+	w.Static[Like] = 3.5
+	w.Static[Share] = 4
+	w.A = 2.5
+	w.B = 1.0
+	w.MinViewRate = 0.1
+	return w
+}
+
+// Validate checks the configuration for self-consistency.
+func (w Weights) Validate() error {
+	if w.A < w.B {
+		return fmt.Errorf("feedback: PlayTime parameters require a >= b, got a=%v b=%v", w.A, w.B)
+	}
+	if w.MinViewRate <= 0 || w.MinViewRate > 1 {
+		return fmt.Errorf("feedback: MinViewRate must be in (0, 1], got %v", w.MinViewRate)
+	}
+	for t, v := range w.Static {
+		if v < 0 {
+			return fmt.Errorf("feedback: negative weight %v for %s", v, ActionType(t))
+		}
+	}
+	if w.Static[Impress] != 0 {
+		return fmt.Errorf("feedback: Impress weight must be 0 (impressions carry no interest signal), got %v", w.Static[Impress])
+	}
+	return nil
+}
+
+// Weight returns the confidence w_ui of an action.
+//
+// For PlayTime actions with view rate ≥ MinViewRate it evaluates Eq. 6,
+//
+//	w = a + b·log10(vrate),  vrate ∈ [MinViewRate, 1],
+//
+// which with the default a=2.5, b=1, MinViewRate=0.1 spans exactly Table 1's
+// [1.5, 2.5] band. PlayTime views below the cutoff are "inefficient ones"
+// and fall back to the Play weight, as §3.2 specifies. Every other action
+// type uses its static Table 1 weight.
+func (w Weights) Weight(a Action) float64 {
+	if a.Type != PlayTime {
+		if int(a.Type) < len(w.Static) {
+			return w.Static[a.Type]
+		}
+		return 0
+	}
+	vrate := a.ViewRate()
+	if vrate < w.MinViewRate {
+		return w.Static[Play]
+	}
+	return w.A + w.B*math.Log10(vrate)
+}
+
+// Rating returns the binary preference r_ui of Eq. 7: 1 if the action
+// carries any interest signal (weight > 0), 0 otherwise. Only actions with
+// rating 1 update the model (Alg. 1 line 2).
+func (w Weights) Rating(a Action) float64 {
+	if w.Weight(a) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Confidence bundles Weight and Rating for one action, the two quantities
+// Algorithm 1 computes on line 1.
+func (w Weights) Confidence(a Action) (rating, weight float64) {
+	weight = w.Weight(a)
+	if weight > 0 {
+		rating = 1
+	}
+	return rating, weight
+}

@@ -1,0 +1,186 @@
+package feedback
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func playTimeAction(viewed, length time.Duration) Action {
+	return Action{UserID: "u", VideoID: "v", Type: PlayTime, ViewTime: viewed, VideoLength: length}
+}
+
+func TestDefaultWeightsValid(t *testing.T) {
+	if err := DefaultWeights().Validate(); err != nil {
+		t.Fatalf("DefaultWeights().Validate() = %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	w := DefaultWeights()
+	w.A, w.B = 1, 2
+	if w.Validate() == nil {
+		t.Error("a < b accepted")
+	}
+	w = DefaultWeights()
+	w.MinViewRate = 0
+	if w.Validate() == nil {
+		t.Error("MinViewRate 0 accepted")
+	}
+	w = DefaultWeights()
+	w.Static[Click] = -1
+	if w.Validate() == nil {
+		t.Error("negative weight accepted")
+	}
+	w = DefaultWeights()
+	w.Static[Impress] = 0.5
+	if w.Validate() == nil {
+		t.Error("nonzero Impress weight accepted")
+	}
+}
+
+// TestTable1Weights pins the static mapping of Table 1.
+func TestTable1Weights(t *testing.T) {
+	w := DefaultWeights()
+	tests := []struct {
+		typ  ActionType
+		want float64
+	}{
+		{Impress, 0},
+		{Click, 1},
+		{Play, 1.5},
+		{Comment, 3},
+		{Like, 3.5},
+		{Share, 4},
+	}
+	for _, tt := range tests {
+		a := Action{Type: tt.typ}
+		if got := w.Weight(a); got != tt.want {
+			t.Errorf("Weight(%s) = %v, want %v", tt.typ, got, tt.want)
+		}
+	}
+}
+
+// TestPlayTimeWeightEquation6 checks w = a + b·log10(vrate) at known points.
+func TestPlayTimeWeightEquation6(t *testing.T) {
+	w := DefaultWeights()
+	tests := []struct {
+		name   string
+		viewed time.Duration
+		length time.Duration
+		want   float64
+	}{
+		{"full view", 100 * time.Second, 100 * time.Second, 2.5}, // log10(1)=0
+		{"half view", 50 * time.Second, 100 * time.Second, 2.5 - math.Log10(2)},
+		{"cutoff exactly", 10 * time.Second, 100 * time.Second, 1.5}, // log10(0.1)=-1
+		{"below cutoff falls back to Play", 5 * time.Second, 100 * time.Second, 1.5},
+		{"unknown length falls back to Play", 5 * time.Second, 0, 1.5},
+		{"overlong view clamps to rate 1", 200 * time.Second, 100 * time.Second, 2.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := w.Weight(playTimeAction(tt.viewed, tt.length))
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Weight = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestPlayTimeWeightBand checks the paper's Table 1 claim that PlayTime
+// weights span [1.5, 2.5] and never drop below the Play weight.
+func TestPlayTimeWeightBand(t *testing.T) {
+	w := DefaultWeights()
+	f := func(viewedMs, lengthMs uint32) bool {
+		a := playTimeAction(time.Duration(viewedMs)*time.Millisecond,
+			time.Duration(lengthMs)*time.Millisecond)
+		got := w.Weight(a)
+		return got >= 1.5-1e-12 && got <= 2.5+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlayTimeWeightMonotone: more of the video watched must never lower the
+// confidence.
+func TestPlayTimeWeightMonotone(t *testing.T) {
+	w := DefaultWeights()
+	length := 100 * time.Second
+	prev := -math.MaxFloat64
+	for s := 0; s <= 100; s++ {
+		got := w.Weight(playTimeAction(time.Duration(s)*time.Second, length))
+		if got < prev-1e-12 {
+			t.Fatalf("weight decreased at %ds: %v < %v", s, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestConfidenceOrdering checks the semantic ordering §3.2 relies on:
+// stronger engagement ⇒ weakly higher confidence.
+func TestConfidenceOrdering(t *testing.T) {
+	w := DefaultWeights()
+	order := []Action{
+		{Type: Impress},
+		{Type: Click},
+		{Type: Play},
+		playTimeAction(100*time.Second, 100*time.Second),
+		{Type: Comment},
+		{Type: Like},
+		{Type: Share},
+	}
+	for i := 1; i < len(order); i++ {
+		if w.Weight(order[i]) <= w.Weight(order[i-1]) {
+			t.Errorf("weight of %s (%v) not above %s (%v)",
+				order[i].Type, w.Weight(order[i]),
+				order[i-1].Type, w.Weight(order[i-1]))
+		}
+	}
+}
+
+// TestRatingEquation7: binary rating is 1 iff weight > 0.
+func TestRatingEquation7(t *testing.T) {
+	w := DefaultWeights()
+	if got := w.Rating(Action{Type: Impress}); got != 0 {
+		t.Errorf("Rating(Impress) = %v, want 0", got)
+	}
+	if got := w.Rating(Action{Type: Click}); got != 1 {
+		t.Errorf("Rating(Click) = %v, want 1", got)
+	}
+	r, wt := w.Confidence(Action{Type: Share})
+	if r != 1 || wt != 4 {
+		t.Errorf("Confidence(Share) = %v,%v want 1,4", r, wt)
+	}
+	r, wt = w.Confidence(Action{Type: Impress})
+	if r != 0 || wt != 0 {
+		t.Errorf("Confidence(Impress) = %v,%v want 0,0", r, wt)
+	}
+}
+
+func TestViewRateClamps(t *testing.T) {
+	a := playTimeAction(-5*time.Second, 100*time.Second)
+	if got := a.ViewRate(); got != 0 {
+		t.Errorf("negative view time rate = %v, want 0", got)
+	}
+	a = playTimeAction(500*time.Second, 100*time.Second)
+	if got := a.ViewRate(); got != 1 {
+		t.Errorf("overlong view rate = %v, want 1", got)
+	}
+}
+
+func TestActionTypeStringRoundTrip(t *testing.T) {
+	for _, at := range ActionTypes() {
+		parsed, err := ParseActionType(at.String())
+		if err != nil || parsed != at {
+			t.Errorf("round trip of %s = %v, %v", at, parsed, err)
+		}
+	}
+	if _, err := ParseActionType("bogus"); err == nil {
+		t.Error("ParseActionType(bogus) succeeded")
+	}
+	if s := ActionType(200).String(); s != "actiontype(200)" {
+		t.Errorf("unknown type String = %q", s)
+	}
+}

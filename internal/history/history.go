@@ -1,0 +1,134 @@
+// Package history maintains per-user behaviour histories — the state the
+// UserHistory bolt of Figure 2 records in the key-value store. Histories
+// serve two consumers: the GetItemPairs bolt pairs a new action's video with
+// the user's recent videos to drive similar-video updates, and the
+// recommendation service uses recent videos as seeds when the user is not
+// currently watching anything ("Guess you like", §6.2).
+package history
+
+import (
+	"fmt"
+	"time"
+
+	"vidrec/internal/kvstore"
+	"vidrec/internal/topn"
+)
+
+// Event is one remembered interaction: the video and when it happened.
+type Event struct {
+	VideoID string
+	Time    time.Time
+}
+
+// Store keeps bounded recency-ordered histories in a key-value store.
+type Store struct {
+	kv    kvstore.Store
+	ns    string
+	limit int
+}
+
+// New returns a history store under the given namespace keeping at most
+// limit events per user.
+func New(name string, kv kvstore.Store, limit int) (*Store, error) {
+	if name == "" {
+		return nil, fmt.Errorf("history: name must not be empty")
+	}
+	if kv == nil {
+		return nil, fmt.Errorf("history: store must not be nil")
+	}
+	if limit <= 0 {
+		return nil, fmt.Errorf("history: limit must be positive, got %d", limit)
+	}
+	return &Store{kv: kv, ns: name + ".hist", limit: limit}, nil
+}
+
+// Histories are stored as scored entry lists: ID = video, Score = unix
+// milliseconds. Reusing the entry codec keeps one binary format per store.
+
+func encode(events []Event) []byte {
+	entries := make([]topn.Entry, len(events))
+	for i, e := range events {
+		entries[i] = topn.Entry{ID: e.VideoID, Score: float64(e.Time.UnixMilli())}
+	}
+	return kvstore.EncodeEntries(entries)
+}
+
+func decode(raw []byte) ([]Event, error) {
+	entries, err := kvstore.DecodeEntries(raw)
+	if err != nil {
+		return nil, err
+	}
+	events := make([]Event, len(entries))
+	for i, e := range entries {
+		events[i] = Event{VideoID: e.ID, Time: time.UnixMilli(int64(e.Score))}
+	}
+	return events, nil
+}
+
+// Append records an interaction, newest first. A video already present moves
+// to the front with the new timestamp rather than duplicating: the history
+// answers "which distinct videos did this user touch recently", and repeated
+// plays of one video should not crowd out the rest.
+func (s *Store) Append(userID, videoID string, ts time.Time) error {
+	if userID == "" || videoID == "" {
+		return fmt.Errorf("history: user and video ids must not be empty")
+	}
+	key := kvstore.Key(s.ns, userID)
+	return s.kv.Update(key, func(cur []byte, ok bool) ([]byte, bool) {
+		var events []Event
+		if ok {
+			if dec, err := decode(cur); err == nil {
+				events = dec
+			}
+			// A corrupt record is dropped and rebuilt; histories are
+			// advisory state, not a ledger.
+		}
+		out := make([]Event, 0, len(events)+1)
+		out = append(out, Event{VideoID: videoID, Time: ts})
+		for _, e := range events {
+			if e.VideoID == videoID {
+				continue
+			}
+			out = append(out, e)
+		}
+		if len(out) > s.limit {
+			out = out[:s.limit]
+		}
+		return encode(out), true
+	})
+}
+
+// Recent returns up to k events, newest first.
+func (s *Store) Recent(userID string, k int) ([]Event, error) {
+	raw, ok, err := s.kv.Get(kvstore.Key(s.ns, userID))
+	if err != nil {
+		return nil, fmt.Errorf("history: get %s: %w", userID, err)
+	}
+	if !ok {
+		return nil, nil
+	}
+	events, err := decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("history: corrupt record for %s: %w", userID, err)
+	}
+	if k >= 0 && k < len(events) {
+		events = events[:k]
+	}
+	return events, nil
+}
+
+// RecentVideos returns up to k distinct video ids, newest first.
+func (s *Store) RecentVideos(userID string, k int) ([]string, error) {
+	events, err := s.Recent(userID, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(events))
+	for i, e := range events {
+		out[i] = e.VideoID
+	}
+	return out, nil
+}
+
+// Limit returns the configured per-user bound.
+func (s *Store) Limit() int { return s.limit }

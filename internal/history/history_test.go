@@ -1,0 +1,170 @@
+package history
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"vidrec/internal/kvstore"
+)
+
+func newStore(t *testing.T, limit int) *Store {
+	t.Helper()
+	s, err := New("t", kvstore.NewLocal(4), limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func at(sec int) time.Time { return time.Unix(int64(sec), 0) }
+
+func TestNewValidation(t *testing.T) {
+	kv := kvstore.NewLocal(1)
+	if _, err := New("", kv, 5); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New("h", nil, 5); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := New("h", kv, 0); err == nil {
+		t.Error("zero limit accepted")
+	}
+}
+
+func TestAppendRecentOrder(t *testing.T) {
+	s := newStore(t, 10)
+	s.Append("u1", "a", at(1))
+	s.Append("u1", "b", at(2))
+	s.Append("u1", "c", at(3))
+	got, err := s.RecentVideos("u1", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"c", "b", "a"}
+	if len(got) != 3 {
+		t.Fatalf("RecentVideos = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("RecentVideos = %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+func TestAppendDeduplicatesMoveToFront(t *testing.T) {
+	s := newStore(t, 10)
+	s.Append("u1", "a", at(1))
+	s.Append("u1", "b", at(2))
+	s.Append("u1", "a", at(3)) // rewatching a moves it to the front
+	got, _ := s.RecentVideos("u1", 10)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("RecentVideos = %v, want [a b]", got)
+	}
+	events, _ := s.Recent("u1", 1)
+	if !events[0].Time.Equal(at(3)) {
+		t.Errorf("front timestamp = %v, want %v", events[0].Time, at(3))
+	}
+}
+
+func TestAppendEnforcesLimit(t *testing.T) {
+	s := newStore(t, 3)
+	for i := 1; i <= 5; i++ {
+		s.Append("u1", fmt.Sprintf("v%d", i), at(i))
+	}
+	got, _ := s.RecentVideos("u1", 10)
+	if len(got) != 3 || got[0] != "v5" || got[2] != "v3" {
+		t.Errorf("RecentVideos = %v, want [v5 v4 v3]", got)
+	}
+}
+
+func TestRecentK(t *testing.T) {
+	s := newStore(t, 10)
+	for i := 1; i <= 5; i++ {
+		s.Append("u1", fmt.Sprintf("v%d", i), at(i))
+	}
+	got, _ := s.RecentVideos("u1", 2)
+	if len(got) != 2 || got[0] != "v5" || got[1] != "v4" {
+		t.Errorf("RecentVideos(2) = %v", got)
+	}
+}
+
+func TestRecentUnknownUser(t *testing.T) {
+	s := newStore(t, 10)
+	got, err := s.Recent("ghost", 5)
+	if err != nil || got != nil {
+		t.Errorf("Recent(ghost) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestAppendRejectsEmptyIDs(t *testing.T) {
+	s := newStore(t, 10)
+	if err := s.Append("", "v", at(1)); err == nil {
+		t.Error("empty user accepted")
+	}
+	if err := s.Append("u", "", at(1)); err == nil {
+		t.Error("empty video accepted")
+	}
+}
+
+func TestUsersAreIsolated(t *testing.T) {
+	s := newStore(t, 10)
+	s.Append("u1", "a", at(1))
+	s.Append("u2", "b", at(1))
+	got, _ := s.RecentVideos("u1", 10)
+	if len(got) != 1 || got[0] != "a" {
+		t.Errorf("u1 history = %v, want [a]", got)
+	}
+}
+
+func TestConcurrentAppendsSameUser(t *testing.T) {
+	// The store's per-key Update serializes appends, so concurrent writers
+	// must never lose the bound or corrupt the record — even though
+	// ordering between them is unspecified.
+	s := newStore(t, 20)
+	var wg sync.WaitGroup
+	const workers, per = 8, 30
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := fmt.Sprintf("w%d-v%d", w, i)
+				if err := s.Append("u1", v, at(w*per+i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got, err := s.RecentVideos("u1", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Errorf("history length = %d, want the 20-entry bound", len(got))
+	}
+	seen := map[string]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Errorf("duplicate %s in history", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestCorruptRecordIsRebuilt(t *testing.T) {
+	kv := kvstore.NewLocal(1)
+	s, _ := New("t", kv, 5)
+	kv.Set("t.hist:u1", []byte{0xFF, 0xFF}) // garbage
+	if err := s.Append("u1", "a", at(1)); err != nil {
+		t.Fatalf("Append over corrupt record = %v", err)
+	}
+	got, err := s.RecentVideos("u1", 5)
+	if err != nil || len(got) != 1 || got[0] != "a" {
+		t.Errorf("after rebuild = %v, %v", got, err)
+	}
+}

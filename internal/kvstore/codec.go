@@ -1,0 +1,154 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"vidrec/internal/topn"
+)
+
+// Binary encodings for the value types the pipeline stores. All encodings are
+// little-endian and length-prefixed where needed, designed to be compact and
+// allocation-predictable rather than self-describing: every namespace stores
+// exactly one value type, so the reader always knows the format.
+
+// EncodeFloats encodes a float64 slice as 8 bytes per element.
+func EncodeFloats(v []float64) []byte {
+	buf := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(f))
+	}
+	return buf
+}
+
+// DecodeFloats decodes a value produced by EncodeFloats.
+func DecodeFloats(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("kvstore: float slice encoding has %d bytes, not a multiple of 8", len(b))
+	}
+	v := make([]float64, len(b)/8)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return v, nil
+}
+
+// EncodeFloat encodes a single float64.
+func EncodeFloat(f float64) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(f))
+	return buf
+}
+
+// DecodeFloat decodes a value produced by EncodeFloat.
+func DecodeFloat(b []byte) (float64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("kvstore: float encoding has %d bytes, want 8", len(b))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// EncodeEntries encodes a scored list (similar-video tables, hot lists):
+// a uvarint count, then per entry a uvarint-length-prefixed ID and an 8-byte
+// score.
+func EncodeEntries(entries []topn.Entry) []byte {
+	size := binary.MaxVarintLen64
+	for _, e := range entries {
+		size += binary.MaxVarintLen64 + len(e.ID) + 8
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = binary.AppendUvarint(buf, uint64(len(e.ID)))
+		buf = append(buf, e.ID...)
+		var sb [8]byte
+		binary.LittleEndian.PutUint64(sb[:], math.Float64bits(e.Score))
+		buf = append(buf, sb[:]...)
+	}
+	return buf
+}
+
+// DecodeEntries decodes a value produced by EncodeEntries.
+func DecodeEntries(b []byte) ([]topn.Entry, error) {
+	n, off := binary.Uvarint(b)
+	if off <= 0 {
+		return nil, fmt.Errorf("kvstore: corrupt entry list header")
+	}
+	if n > uint64(len(b)) { // each entry needs at least 1 byte; cheap sanity bound
+		return nil, fmt.Errorf("kvstore: entry list claims %d entries in %d bytes", n, len(b))
+	}
+	entries := make([]topn.Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, m := binary.Uvarint(b[off:])
+		if m <= 0 {
+			return nil, fmt.Errorf("kvstore: corrupt entry %d length", i)
+		}
+		off += m
+		if uint64(len(b)-off) < l+8 {
+			return nil, fmt.Errorf("kvstore: truncated entry %d", i)
+		}
+		id := string(b[off : off+int(l)])
+		off += int(l)
+		score := math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+		entries = append(entries, topn.Entry{ID: id, Score: score})
+	}
+	return entries, nil
+}
+
+// EncodeStrings encodes a string slice (user histories as plain ID lists):
+// uvarint count, then uvarint-length-prefixed strings.
+func EncodeStrings(ss []string) []byte {
+	size := binary.MaxVarintLen64
+	for _, s := range ss {
+		size += binary.MaxVarintLen64 + len(s)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, uint64(len(ss)))
+	for _, s := range ss {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+// DecodeStrings decodes a value produced by EncodeStrings.
+func DecodeStrings(b []byte) ([]string, error) {
+	n, off := binary.Uvarint(b)
+	if off <= 0 {
+		return nil, fmt.Errorf("kvstore: corrupt string list header")
+	}
+	if n > uint64(len(b)) {
+		return nil, fmt.Errorf("kvstore: string list claims %d entries in %d bytes", n, len(b))
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, m := binary.Uvarint(b[off:])
+		if m <= 0 {
+			return nil, fmt.Errorf("kvstore: corrupt string %d length", i)
+		}
+		off += m
+		if uint64(len(b)-off) < l {
+			return nil, fmt.Errorf("kvstore: truncated string %d", i)
+		}
+		out = append(out, string(b[off:off+int(l)]))
+		off += int(l)
+	}
+	return out, nil
+}
+
+// EncodeInt64 encodes a signed 64-bit integer (timestamps, counters).
+func EncodeInt64(v int64) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(v))
+	return buf
+}
+
+// DecodeInt64 decodes a value produced by EncodeInt64.
+func DecodeInt64(b []byte) (int64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("kvstore: int64 encoding has %d bytes, want 8", len(b))
+	}
+	return int64(binary.LittleEndian.Uint64(b)), nil
+}

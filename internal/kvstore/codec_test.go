@@ -1,0 +1,146 @@
+package kvstore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vidrec/internal/topn"
+)
+
+func TestFloatsRoundTrip(t *testing.T) {
+	f := func(v []float64) bool {
+		got, err := DecodeFloats(EncodeFloats(v))
+		if err != nil || len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			// NaN compares unequal to itself; compare bit patterns instead.
+			if math.Float64bits(got[i]) != math.Float64bits(v[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeFloatsRejectsBadLength(t *testing.T) {
+	if _, err := DecodeFloats(make([]byte, 9)); err == nil {
+		t.Error("expected error for non-multiple-of-8 length")
+	}
+}
+
+func TestFloatScalarRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -math.Pi, math.MaxFloat64, math.Inf(-1)} {
+		got, err := DecodeFloat(EncodeFloat(v))
+		if err != nil || got != v {
+			t.Errorf("round trip of %v = %v, %v", v, got, err)
+		}
+	}
+	if _, err := DecodeFloat([]byte{1, 2}); err == nil {
+		t.Error("expected error for short scalar encoding")
+	}
+}
+
+func TestEntriesRoundTrip(t *testing.T) {
+	entries := []topn.Entry{
+		{ID: "video:1", Score: 0.75},
+		{ID: "", Score: -1},
+		{ID: "日本語", Score: math.SmallestNonzeroFloat64},
+	}
+	got, err := DecodeEntries(EncodeEntries(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestEntriesRoundTripQuick(t *testing.T) {
+	f := func(ids []string, scores []float64) bool {
+		n := len(ids)
+		if len(scores) < n {
+			n = len(scores)
+		}
+		entries := make([]topn.Entry, n)
+		for i := 0; i < n; i++ {
+			entries[i] = topn.Entry{ID: ids[i], Score: scores[i]}
+		}
+		got, err := DecodeEntries(EncodeEntries(entries))
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range entries {
+			if got[i].ID != entries[i].ID ||
+				math.Float64bits(got[i].Score) != math.Float64bits(entries[i].Score) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeEntriesRejectsCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},                   // empty
+		{0x05},               // claims 5 entries, no data
+		{0x01, 0x10, 'a'},    // entry length exceeds remaining bytes
+		{0x01, 0x01, 'a', 1}, // truncated score
+	}
+	for i, b := range cases {
+		if _, err := DecodeEntries(b); err == nil {
+			t.Errorf("case %d: corrupt input decoded without error", i)
+		}
+	}
+}
+
+func TestStringsRoundTrip(t *testing.T) {
+	f := func(ss []string) bool {
+		got, err := DecodeStrings(EncodeStrings(ss))
+		if err != nil || len(got) != len(ss) {
+			return false
+		}
+		for i := range ss {
+			if got[i] != ss[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeStringsRejectsCorrupt(t *testing.T) {
+	if _, err := DecodeStrings([]byte{}); err == nil {
+		t.Error("empty input decoded without error")
+	}
+	if _, err := DecodeStrings([]byte{0x02, 0x01, 'a'}); err == nil {
+		t.Error("truncated list decoded without error")
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	for _, v := range []int64{0, -1, 1 << 62, math.MinInt64} {
+		got, err := DecodeInt64(EncodeInt64(v))
+		if err != nil || got != v {
+			t.Errorf("round trip %d = %d, %v", v, got, err)
+		}
+	}
+	if _, err := DecodeInt64([]byte{1}); err == nil {
+		t.Error("short input decoded without error")
+	}
+}

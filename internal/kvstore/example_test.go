@@ -1,0 +1,40 @@
+package kvstore_test
+
+import (
+	"fmt"
+
+	"vidrec/internal/kvstore"
+)
+
+// The store holds raw bytes; the codec helpers encode the pipeline's value
+// types. Update is an atomic per-key read-modify-write.
+func ExampleLocal() {
+	store := kvstore.NewLocal(16)
+	key := kvstore.Key("uv", "alice")
+	store.Set(key, kvstore.EncodeFloats([]float64{0.1, 0.2}))
+
+	store.Update(key, func(cur []byte, exists bool) ([]byte, bool) {
+		vec, _ := kvstore.DecodeFloats(cur)
+		vec[0] += 1
+		return kvstore.EncodeFloats(vec), true
+	})
+
+	raw, _, _ := store.Get(key)
+	vec, _ := kvstore.DecodeFloats(raw)
+	fmt.Println(vec)
+	// Output: [1.1 0.2]
+}
+
+// The same interface runs over TCP for the distributed deployment.
+func ExampleDial() {
+	server, _ := kvstore.NewServer(kvstore.NewLocal(8), "127.0.0.1:0")
+	defer server.Close()
+
+	client, _ := kvstore.Dial(server.Addr())
+	defer client.Close()
+
+	client.Set("greeting", []byte("hello over the wire"))
+	v, ok, _ := client.Get("greeting")
+	fmt.Println(ok, string(v))
+	// Output: true hello over the wire
+}

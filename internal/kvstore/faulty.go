@@ -1,0 +1,122 @@
+package kvstore
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faulty wraps a Store with deterministic fault and latency injection, for
+// testing how the pipeline behaves when the storage tier degrades — the
+// production failure mode a 100-node deployment sees daily. Faults are
+// driven by a seeded PRNG so failing runs reproduce exactly.
+type Faulty struct {
+	inner Store
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// FailRate is the probability in [0,1] that an operation returns
+	// ErrInjected instead of executing.
+	failRate atomic.Uint64 // float64 bits
+	// latency is added to every operation.
+	latency atomic.Int64 // nanoseconds
+
+	injected atomic.Uint64
+}
+
+// ErrInjected is returned by operations the injector chose to fail.
+var ErrInjected = fmt.Errorf("kvstore: injected fault")
+
+// NewFaulty wraps inner with fault injection driven by seed.
+func NewFaulty(inner Store, seed uint64) *Faulty {
+	return &Faulty{inner: inner, rng: rand.New(rand.NewPCG(seed, seed^0xF00D))}
+}
+
+// SetFailRate sets the per-operation failure probability.
+func (f *Faulty) SetFailRate(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	f.failRate.Store(floatBits(p))
+}
+
+// SetLatency sets the artificial per-operation latency.
+func (f *Faulty) SetLatency(d time.Duration) { f.latency.Store(int64(d)) }
+
+// Injected reports how many operations were failed so far.
+func (f *Faulty) Injected() uint64 { return f.injected.Load() }
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+
+func (f *Faulty) fault() error {
+	if d := f.latency.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	p := math.Float64frombits(f.failRate.Load())
+	if p <= 0 {
+		return nil
+	}
+	f.mu.Lock()
+	roll := f.rng.Float64()
+	f.mu.Unlock()
+	if roll < p {
+		f.injected.Add(1)
+		return ErrInjected
+	}
+	return nil
+}
+
+// Get implements Store.
+func (f *Faulty) Get(key string) ([]byte, bool, error) {
+	if err := f.fault(); err != nil {
+		return nil, false, err
+	}
+	return f.inner.Get(key)
+}
+
+// Set implements Store.
+func (f *Faulty) Set(key string, val []byte) error {
+	if err := f.fault(); err != nil {
+		return err
+	}
+	return f.inner.Set(key, val)
+}
+
+// Delete implements Store.
+func (f *Faulty) Delete(key string) (bool, error) {
+	if err := f.fault(); err != nil {
+		return false, err
+	}
+	return f.inner.Delete(key)
+}
+
+// MGet implements Store.
+func (f *Faulty) MGet(keys []string) ([][]byte, error) {
+	if err := f.fault(); err != nil {
+		return nil, err
+	}
+	return f.inner.MGet(keys)
+}
+
+// Update implements Store.
+func (f *Faulty) Update(key string, fn func(cur []byte, exists bool) ([]byte, bool)) error {
+	if err := f.fault(); err != nil {
+		return err
+	}
+	return f.inner.Update(key, fn)
+}
+
+// Len implements Store.
+func (f *Faulty) Len() (int, error) {
+	if err := f.fault(); err != nil {
+		return 0, err
+	}
+	return f.inner.Len()
+}

@@ -1,0 +1,108 @@
+package kvstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultyPassthroughWhenHealthy(t *testing.T) {
+	f := NewFaulty(NewLocal(4), 1)
+	if err := f.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := f.Get("k")
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get = %q,%v,%v", v, ok, err)
+	}
+	if n, _ := f.Len(); n != 1 {
+		t.Errorf("Len = %d", n)
+	}
+	if ok, _ := f.Delete("k"); !ok {
+		t.Error("Delete = false")
+	}
+	if f.Injected() != 0 {
+		t.Errorf("injected %d faults at rate 0", f.Injected())
+	}
+}
+
+func TestFaultyInjectsAtRate(t *testing.T) {
+	f := NewFaulty(NewLocal(4), 42)
+	f.SetFailRate(0.5)
+	failures := 0
+	const tries = 400
+	for i := 0; i < tries; i++ {
+		if err := f.Set("k", nil); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures < tries/4 || failures > tries*3/4 {
+		t.Errorf("failures = %d/%d, want roughly half", failures, tries)
+	}
+	if f.Injected() != uint64(failures) {
+		t.Errorf("Injected = %d, want %d", f.Injected(), failures)
+	}
+}
+
+func TestFaultyAlwaysFails(t *testing.T) {
+	f := NewFaulty(NewLocal(1), 7)
+	f.SetFailRate(1)
+	if _, _, err := f.Get("k"); !errors.Is(err, ErrInjected) {
+		t.Error("Get did not fail at rate 1")
+	}
+	if _, err := f.MGet([]string{"k"}); !errors.Is(err, ErrInjected) {
+		t.Error("MGet did not fail at rate 1")
+	}
+	if err := f.Update("k", func([]byte, bool) ([]byte, bool) { return nil, true }); !errors.Is(err, ErrInjected) {
+		t.Error("Update did not fail at rate 1")
+	}
+	if _, err := f.Len(); !errors.Is(err, ErrInjected) {
+		t.Error("Len did not fail at rate 1")
+	}
+	if _, err := f.Delete("k"); !errors.Is(err, ErrInjected) {
+		t.Error("Delete did not fail at rate 1")
+	}
+}
+
+func TestFaultyRateClamps(t *testing.T) {
+	f := NewFaulty(NewLocal(1), 7)
+	f.SetFailRate(-0.5)
+	if err := f.Set("k", nil); err != nil {
+		t.Error("negative rate did not clamp to 0")
+	}
+	f.SetFailRate(2)
+	if err := f.Set("k", nil); err == nil {
+		t.Error("rate above 1 did not clamp to 1")
+	}
+}
+
+func TestFaultyLatency(t *testing.T) {
+	f := NewFaulty(NewLocal(1), 7)
+	f.SetLatency(20 * time.Millisecond)
+	start := time.Now()
+	f.Get("k")
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("latency injection too fast: %v", elapsed)
+	}
+}
+
+func TestFaultyDeterministic(t *testing.T) {
+	run := func() []bool {
+		f := NewFaulty(NewLocal(1), 99)
+		f.SetFailRate(0.3)
+		var outcomes []bool
+		for i := 0; i < 50; i++ {
+			outcomes = append(outcomes, f.Set("k", nil) != nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("fault sequence not reproducible across runs with one seed")
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocalGetSetDelete(t *testing.T) {
+	s := NewLocal(4)
+	if _, ok, _ := s.Get("missing"); ok {
+		t.Error("Get on empty store reported a hit")
+	}
+	if err := s.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("k")
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get = %q,%v,%v", v, ok, err)
+	}
+	if n, _ := s.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1", n)
+	}
+	if ok, _ := s.Delete("k"); !ok {
+		t.Error("Delete existing = false")
+	}
+	if ok, _ := s.Delete("k"); ok {
+		t.Error("Delete missing = true")
+	}
+}
+
+func TestLocalCopySemantics(t *testing.T) {
+	s := NewLocal(1)
+	val := []byte{1, 2, 3}
+	s.Set("k", val)
+	val[0] = 99 // mutating the caller's slice must not affect the store
+	got, _, _ := s.Get("k")
+	if got[0] != 1 {
+		t.Error("Set did not copy its input")
+	}
+	got[1] = 99 // mutating the returned slice must not affect the store
+	again, _, _ := s.Get("k")
+	if again[1] != 2 {
+		t.Error("Get did not copy its output")
+	}
+}
+
+func TestLocalUpdate(t *testing.T) {
+	s := NewLocal(2)
+	// Create via Update.
+	err := s.Update("c", func(cur []byte, exists bool) ([]byte, bool) {
+		if exists {
+			t.Error("Update on missing key reported exists=true")
+		}
+		return []byte{1}, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Modify via Update.
+	s.Update("c", func(cur []byte, exists bool) ([]byte, bool) {
+		if !exists || cur[0] != 1 {
+			t.Errorf("Update got cur=%v exists=%v", cur, exists)
+		}
+		return []byte{cur[0] + 1}, true
+	})
+	v, _, _ := s.Get("c")
+	if v[0] != 2 {
+		t.Errorf("after updates value = %v, want [2]", v)
+	}
+	// Delete via Update.
+	s.Update("c", func([]byte, bool) ([]byte, bool) { return nil, false })
+	if _, ok, _ := s.Get("c"); ok {
+		t.Error("Update delete left the key present")
+	}
+}
+
+func TestLocalUpdateIsAtomic(t *testing.T) {
+	s := NewLocal(1) // single shard maximizes contention
+	s.Set("n", EncodeInt64(0))
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Update("n", func(cur []byte, _ bool) ([]byte, bool) {
+					n, _ := DecodeInt64(cur)
+					return EncodeInt64(n + 1), true
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	v, _, _ := s.Get("n")
+	n, _ := DecodeInt64(v)
+	if n != workers*perWorker {
+		t.Errorf("counter = %d, want %d (lost updates)", n, workers*perWorker)
+	}
+}
+
+func TestLocalMGet(t *testing.T) {
+	s := NewLocal(4)
+	s.Set("a", []byte("1"))
+	s.Set("c", []byte("3"))
+	vals, err := s.MGet([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vals[0]) != "1" || vals[1] != nil || string(vals[2]) != "3" {
+		t.Errorf("MGet = %q", vals)
+	}
+}
+
+func TestLocalStats(t *testing.T) {
+	s := NewLocal(2)
+	s.Set("a", nil)
+	s.Get("a")
+	s.Get("b")
+	snap := s.Stats().Snapshot()
+	if snap.Sets != 1 || snap.Gets != 2 || snap.Hits != 1 {
+		t.Errorf("stats = %+v", snap)
+	}
+	if hr := snap.HitRate(); hr != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", hr)
+	}
+}
+
+func TestShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 1}, {1, 1}, {3, 4}, {4, 4}, {5, 8}} {
+		if got := NewLocal(tc.in).Shards(); got != tc.want {
+			t.Errorf("NewLocal(%d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	s := NewLocal(4)
+	for i := 0; i < 10; i++ {
+		s.Set(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	seen := 0
+	s.ForEach(func(string, []byte) bool { seen++; return true })
+	if seen != 10 {
+		t.Errorf("ForEach visited %d keys, want 10", seen)
+	}
+	seen = 0
+	s.ForEach(func(string, []byte) bool { seen++; return seen < 3 })
+	if seen != 3 {
+		t.Errorf("ForEach with early stop visited %d, want 3", seen)
+	}
+}
+
+func TestKeyNamespace(t *testing.T) {
+	k := Key("uv", "user:42") // ids may themselves contain the separator
+	ns, id, err := SplitKey(k)
+	if err != nil || ns != "uv" || id != "user:42" {
+		t.Errorf("SplitKey(%q) = %q,%q,%v", k, ns, id, err)
+	}
+	if _, _, err := SplitKey("noseparator"); err == nil {
+		t.Error("SplitKey without separator must error")
+	}
+}
+
+// TestLocalMatchesMapModel property-checks the sharded store against a plain
+// map under a random op sequence.
+func TestLocalMatchesMapModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+		Val  []byte
+	}
+	f := func(ops []op) bool {
+		s := NewLocal(4)
+		model := map[string][]byte{}
+		for _, o := range ops {
+			k := fmt.Sprintf("k%d", o.Key%16)
+			switch o.Kind % 3 {
+			case 0:
+				s.Set(k, o.Val)
+				model[k] = append([]byte(nil), o.Val...)
+			case 1:
+				gv, gok, _ := s.Get(k)
+				mv, mok := model[k]
+				if gok != mok || string(gv) != string(mv) {
+					return false
+				}
+			case 2:
+				dok, _ := s.Delete(k)
+				_, mok := model[k]
+				delete(model, k)
+				if dok != mok {
+					return false
+				}
+			}
+		}
+		n, _ := s.Len()
+		return n == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,320 @@
+package kvstore
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Networked deployment of the store. The paper's production system keeps all
+// model state in a distributed memory-based key-value service that the Storm
+// workers talk to over the network; Server/Client reproduce that deployment
+// shape with a small gob-encoded request/response protocol over TCP. Each
+// client connection is a session with its own encoder/decoder pair; requests
+// on one connection are processed in order.
+
+type opCode uint8
+
+const (
+	opGet opCode = iota + 1
+	opSet
+	opDelete
+	opMGet
+	opLen
+)
+
+type request struct {
+	Op   opCode
+	Key  string
+	Keys []string
+	Val  []byte
+}
+
+type response struct {
+	OK     bool
+	Val    []byte
+	Vals   [][]byte
+	N      int
+	ErrMsg string
+}
+
+// Server exposes a backing Store over TCP.
+type Server struct {
+	backing  Store
+	listener net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts serving the backing store on addr (e.g. "127.0.0.1:0").
+// It returns once the listener is bound; connection handling proceeds in the
+// background until Close.
+func NewServer(backing Store, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: listen %s: %w", addr, err)
+	}
+	s := &Server{backing: backing, listener: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the address the server is listening on.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the listener and closes every open connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.listener.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupt stream
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *request) *response {
+	var resp response
+	switch req.Op {
+	case opGet:
+		v, ok, err := s.backing.Get(req.Key)
+		resp.Val, resp.OK = v, ok
+		setErr(&resp, err)
+	case opSet:
+		setErr(&resp, s.backing.Set(req.Key, req.Val))
+		resp.OK = true
+	case opDelete:
+		ok, err := s.backing.Delete(req.Key)
+		resp.OK = ok
+		setErr(&resp, err)
+	case opMGet:
+		vals, err := s.backing.MGet(req.Keys)
+		resp.Vals = vals
+		resp.OK = true
+		setErr(&resp, err)
+	case opLen:
+		n, err := s.backing.Len()
+		resp.N = n
+		resp.OK = true
+		setErr(&resp, err)
+	default:
+		resp.ErrMsg = fmt.Sprintf("kvstore: unknown op %d", req.Op)
+	}
+	return &resp
+}
+
+func setErr(resp *response, err error) {
+	if err != nil {
+		resp.ErrMsg = err.Error()
+	}
+}
+
+// Client is a Store backed by a remote Server. It maintains a small pool of
+// connections; each request checks one out for its round trip, so the client
+// is safe for concurrent use by many topology workers.
+type Client struct {
+	addr string
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	closed bool
+}
+
+type clientConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a Server at addr. The initial connection is established
+// eagerly so that configuration errors surface immediately.
+func Dial(addr string) (*Client, error) {
+	c := &Client{addr: addr}
+	cc, err := c.newConn()
+	if err != nil {
+		return nil, err
+	}
+	c.put(cc)
+	return c, nil
+}
+
+func (c *Client) newConn() (*clientConn, error) {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: dial %s: %w", c.addr, err)
+	}
+	return &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+func (c *Client) get() (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("kvstore: client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+	return c.newConn()
+}
+
+func (c *Client) put(cc *clientConn) {
+	c.mu.Lock()
+	if c.closed || len(c.idle) >= 16 {
+		c.mu.Unlock()
+		cc.conn.Close()
+		return
+	}
+	c.idle = append(c.idle, cc)
+	c.mu.Unlock()
+}
+
+// Close closes all pooled connections; in-flight requests may fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, cc := range c.idle {
+		cc.conn.Close()
+	}
+	c.idle = nil
+	return nil
+}
+
+func (c *Client) roundTrip(req *request) (*response, error) {
+	cc, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := cc.enc.Encode(req); err != nil {
+		cc.conn.Close()
+		return nil, fmt.Errorf("kvstore: send: %w", err)
+	}
+	if err := cc.dec.Decode(&resp); err != nil {
+		cc.conn.Close()
+		return nil, fmt.Errorf("kvstore: recv: %w", err)
+	}
+	c.put(cc)
+	if resp.ErrMsg != "" {
+		return nil, errors.New(resp.ErrMsg)
+	}
+	return &resp, nil
+}
+
+// Get implements Store.
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	resp, err := c.roundTrip(&request{Op: opGet, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Val, resp.OK, nil
+}
+
+// Set implements Store.
+func (c *Client) Set(key string, val []byte) error {
+	_, err := c.roundTrip(&request{Op: opSet, Key: key, Val: val})
+	return err
+}
+
+// Delete implements Store.
+func (c *Client) Delete(key string) (bool, error) {
+	resp, err := c.roundTrip(&request{Op: opDelete, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// MGet implements Store.
+func (c *Client) MGet(keys []string) ([][]byte, error) {
+	resp, err := c.roundTrip(&request{Op: opMGet, Keys: keys})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Vals, nil
+}
+
+// Update implements Store as a get-modify-set sequence. This is linearizable
+// only under the topology's single-writer-per-key discipline (fields grouping
+// guarantees exactly one worker updates a given key), matching the paper's
+// correctness argument in §5.1.
+func (c *Client) Update(key string, fn func(cur []byte, exists bool) ([]byte, bool)) error {
+	cur, ok, err := c.Get(key)
+	if err != nil {
+		return err
+	}
+	next, keep := fn(cur, ok)
+	if !keep {
+		_, err := c.Delete(key)
+		return err
+	}
+	return c.Set(key, next)
+}
+
+// Len implements Store.
+func (c *Client) Len() (int, error) {
+	resp, err := c.roundTrip(&request{Op: opLen})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}

@@ -1,0 +1,183 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Snapshot persistence for the Local store: the whole keyspace serialized to
+// a length-prefixed binary stream with a checksummed header. Production
+// memory stores checkpoint for warm restarts — a cold recommender serves
+// hot-list fallbacks only until the stream repopulates it, so reload time
+// is directly user-visible. recserve's -snapshot flag uses this.
+//
+// Format: magic "VRKV1", uint32 entry count, then per entry a uvarint key
+// length + key + uvarint value length + value, and a trailing CRC-32
+// (Castagnoli) over everything after the magic.
+
+var snapshotMagic = []byte("VRKV1")
+
+// WriteSnapshot serializes every key/value pair to w.
+func (l *Local) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic); err != nil {
+		return fmt.Errorf("kvstore: write snapshot magic: %w", err)
+	}
+	crc := crc32.New(crc32.MakeTable(crc32.Castagnoli))
+	out := io.MultiWriter(bw, crc)
+
+	// Collect under shard read locks; values are copied by the iteration
+	// contract, so writes concurrent with the snapshot yield a consistent
+	// per-key (not cross-key) view, like production checkpoints.
+	type kv struct {
+		k string
+		v []byte
+	}
+	var entries []kv
+	l.ForEach(func(k string, v []byte) bool {
+		entries = append(entries, kv{k, append([]byte(nil), v...)})
+		return true
+	})
+
+	var count [4]byte
+	binary.LittleEndian.PutUint32(count[:], uint32(len(entries)))
+	if _, err := out.Write(count[:]); err != nil {
+		return fmt.Errorf("kvstore: write snapshot count: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, e := range entries {
+		n := binary.PutUvarint(buf[:], uint64(len(e.k)))
+		if _, err := out.Write(buf[:n]); err != nil {
+			return fmt.Errorf("kvstore: write snapshot: %w", err)
+		}
+		if _, err := io.WriteString(out, e.k); err != nil {
+			return fmt.Errorf("kvstore: write snapshot: %w", err)
+		}
+		n = binary.PutUvarint(buf[:], uint64(len(e.v)))
+		if _, err := out.Write(buf[:n]); err != nil {
+			return fmt.Errorf("kvstore: write snapshot: %w", err)
+		}
+		if _, err := out.Write(e.v); err != nil {
+			return fmt.Errorf("kvstore: write snapshot: %w", err)
+		}
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := bw.Write(sum[:]); err != nil {
+		return fmt.Errorf("kvstore: write snapshot checksum: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot loads a snapshot produced by WriteSnapshot into the store,
+// overwriting existing keys. It validates the magic and checksum before
+// reporting success; a corrupt snapshot may leave a partial load behind, so
+// callers should treat an error as "start cold".
+func (l *Local) ReadSnapshot(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("kvstore: read snapshot magic: %w", err)
+	}
+	if string(magic) != string(snapshotMagic) {
+		return fmt.Errorf("kvstore: not a snapshot file (magic %q)", magic)
+	}
+	crc := crc32.New(crc32.MakeTable(crc32.Castagnoli))
+	in := io.TeeReader(br, crc)
+
+	var count [4]byte
+	if _, err := io.ReadFull(in, count[:]); err != nil {
+		return fmt.Errorf("kvstore: read snapshot count: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(count[:])
+	byteReader := &teeByteReader{r: in}
+	for i := uint32(0); i < n; i++ {
+		key, err := readBlob(byteReader, in)
+		if err != nil {
+			return fmt.Errorf("kvstore: snapshot entry %d key: %w", i, err)
+		}
+		val, err := readBlob(byteReader, in)
+		if err != nil {
+			return fmt.Errorf("kvstore: snapshot entry %d value: %w", i, err)
+		}
+		if err := l.Set(string(key), val); err != nil {
+			return err
+		}
+	}
+	want := crc.Sum32()
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return fmt.Errorf("kvstore: read snapshot checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
+		return fmt.Errorf("kvstore: snapshot checksum mismatch: %08x != %08x", got, want)
+	}
+	return nil
+}
+
+// SaveSnapshot writes the store to path atomically (temp file + rename).
+func (l *Local) SaveSnapshot(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("kvstore: create snapshot: %w", err)
+	}
+	if err := l.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("kvstore: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("kvstore: install snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads a snapshot file into the store.
+func (l *Local) LoadSnapshot(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("kvstore: open snapshot: %w", err)
+	}
+	defer f.Close()
+	return l.ReadSnapshot(f)
+}
+
+// teeByteReader adapts an io.Reader to io.ByteReader for Uvarint decoding
+// while keeping the CRC tee intact.
+type teeByteReader struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func (t *teeByteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(t.r, t.buf[:]); err != nil {
+		return 0, err
+	}
+	return t.buf[0], nil
+}
+
+func readBlob(br io.ByteReader, r io.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxBlob = 64 << 20 // sanity bound: no single value is >64 MiB
+	if n > maxBlob {
+		return nil, fmt.Errorf("blob length %d exceeds sanity bound", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

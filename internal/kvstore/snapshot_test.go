@@ -1,0 +1,145 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := NewLocal(8)
+	for i := 0; i < 100; i++ {
+		src.Set(fmt.Sprintf("key-%03d", i), []byte(fmt.Sprintf("value-%d", i*i)))
+	}
+	src.Set("empty-value", nil)
+	src.Set("", []byte("empty-key"))
+
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewLocal(2)
+	if err := dst.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	srcN, _ := src.Len()
+	dstN, _ := dst.Len()
+	if srcN != dstN {
+		t.Fatalf("lengths differ: %d vs %d", srcN, dstN)
+	}
+	src.ForEach(func(k string, v []byte) bool {
+		got, ok, _ := dst.Get(k)
+		if !ok || !bytes.Equal(got, v) {
+			t.Errorf("key %q: got %q ok=%v, want %q", k, got, ok, v)
+		}
+		return true
+	})
+}
+
+func TestSnapshotRoundTripQuick(t *testing.T) {
+	f := func(keys []string, vals [][]byte) bool {
+		src := NewLocal(4)
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			src.Set(keys[i], vals[i])
+		}
+		var buf bytes.Buffer
+		if err := src.WriteSnapshot(&buf); err != nil {
+			return false
+		}
+		dst := NewLocal(1)
+		if err := dst.ReadSnapshot(&buf); err != nil {
+			return false
+		}
+		a, _ := src.Len()
+		b, _ := dst.Len()
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	src := NewLocal(2)
+	src.Set("k", []byte("v"))
+	var buf bytes.Buffer
+	src.WriteSnapshot(&buf)
+	data := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte{}, data...)
+		bad[0] ^= 0xFF
+		if err := NewLocal(1).ReadSnapshot(bytes.NewReader(bad)); err == nil {
+			t.Error("bad magic accepted")
+		}
+	})
+	t.Run("flipped payload bit", func(t *testing.T) {
+		bad := append([]byte{}, data...)
+		bad[len(bad)-6] ^= 0x01 // inside the payload, before the checksum
+		if err := NewLocal(1).ReadSnapshot(bytes.NewReader(bad)); err == nil {
+			t.Error("corrupt payload accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if err := NewLocal(1).ReadSnapshot(bytes.NewReader(data[:len(data)-3])); err == nil {
+			t.Error("truncated snapshot accepted")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if err := NewLocal(1).ReadSnapshot(bytes.NewReader(nil)); err == nil {
+			t.Error("empty snapshot accepted")
+		}
+	})
+}
+
+func TestSaveLoadSnapshotFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.snap")
+	src := NewLocal(4)
+	src.Set("a", EncodeFloats([]float64{1, 2, 3}))
+	src.Set("b", EncodeFloat(4.5))
+	if err := src.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewLocal(4)
+	if err := dst.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok, _ := dst.Get("a")
+	if !ok {
+		t.Fatal("key a missing after load")
+	}
+	vec, err := DecodeFloats(raw)
+	if err != nil || len(vec) != 3 || vec[2] != 3 {
+		t.Errorf("decoded %v, %v", vec, err)
+	}
+	if err := dst.LoadSnapshot(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+}
+
+func TestSnapshotOverwritesExistingKeys(t *testing.T) {
+	src := NewLocal(2)
+	src.Set("k", []byte("new"))
+	var buf bytes.Buffer
+	src.WriteSnapshot(&buf)
+
+	dst := NewLocal(2)
+	dst.Set("k", []byte("old"))
+	dst.Set("other", []byte("kept"))
+	if err := dst.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := dst.Get("k")
+	if string(v) != "new" {
+		t.Errorf("k = %q, want overwritten", v)
+	}
+	if _, ok, _ := dst.Get("other"); !ok {
+		t.Error("unrelated key removed by snapshot load")
+	}
+}

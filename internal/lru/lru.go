@@ -1,0 +1,126 @@
+// Package lru implements a small TTL'd LRU cache — the "cache technique" of
+// §5.1: because fields grouping routes all pairs touching a given video to
+// the same ItemPairSim worker, that worker can cache the video's vector and
+// type locally and skip most key-value store reads. Entries expire after a
+// TTL so the cache tracks the continuously retrained vectors closely enough
+// (a pair similarity computed from a vector a second stale is well within
+// the model's own noise).
+package lru
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+)
+
+// Cache is a fixed-capacity LRU with per-entry TTL.
+//
+// It is NOT safe for concurrent use: the intended owner is a single bolt
+// task (one goroutine), per Storm's execution model. Give each task its own
+// Cache.
+type Cache[K comparable, V any] struct {
+	capacity int
+	ttl      time.Duration
+	clock    func() time.Time
+
+	order *list.List // front = most recent
+	items map[K]*list.Element
+
+	hits, misses uint64
+}
+
+type entry[K comparable, V any] struct {
+	key     K
+	value   V
+	expires time.Time
+}
+
+// New returns a cache holding at most capacity entries, each valid for ttl.
+// A non-positive ttl disables expiry. It panics on non-positive capacity —
+// an accidental zero capacity would silently disable the optimization.
+func New[K comparable, V any](capacity int, ttl time.Duration) *Cache[K, V] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("lru: capacity must be positive, got %d", capacity))
+	}
+	return &Cache[K, V]{
+		capacity: capacity,
+		ttl:      ttl,
+		clock:    time.Now,
+		order:    list.New(),
+		items:    make(map[K]*list.Element, capacity),
+	}
+}
+
+// SetClock installs a time source (tests).
+func (c *Cache[K, V]) SetClock(fn func() time.Time) { c.clock = fn }
+
+// Get returns the cached value and whether it was present and fresh.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	var zero V
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return zero, false
+	}
+	e := el.Value.(*entry[K, V])
+	if c.ttl > 0 && c.clock().After(e.expires) {
+		c.order.Remove(el)
+		delete(c.items, key)
+		c.misses++
+		return zero, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return e.value, true
+}
+
+// Put inserts or refreshes a value, evicting the least recently used entry
+// when full.
+func (c *Cache[K, V]) Put(key K, value V) {
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry[K, V])
+		e.value = value
+		e.expires = c.clock().Add(c.ttl)
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.items, oldest.Value.(*entry[K, V]).key)
+		}
+	}
+	el := c.order.PushFront(&entry[K, V]{key: key, value: value, expires: c.clock().Add(c.ttl)})
+	c.items[key] = el
+}
+
+// GetOrLoad returns the cached value or loads, caches and returns it.
+func (c *Cache[K, V]) GetOrLoad(key K, load func() (V, error)) (V, error) {
+	if v, ok := c.Get(key); ok {
+		return v, nil
+	}
+	v, err := load()
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	c.Put(key, v)
+	return v, nil
+}
+
+// Len returns the number of live entries (possibly including expired ones
+// not yet touched).
+func (c *Cache[K, V]) Len() int { return c.order.Len() }
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache[K, V]) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (c *Cache[K, V]) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

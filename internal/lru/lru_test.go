@@ -1,0 +1,112 @@
+package lru
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 accepted")
+		}
+	}()
+	New[string, int](0, time.Second)
+}
+
+func TestGetPut(t *testing.T) {
+	c := New[string, int](4, 0)
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache hit")
+	}
+	c.Put("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("Get(a) = %d,%v", v, ok)
+	}
+	c.Put("a", 2) // refresh
+	if v, _ := c.Get("a"); v != 2 {
+		t.Errorf("refreshed value = %d, want 2", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (no duplicate)", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int, int](3, 0)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Put(3, 3)
+	c.Get(1)    // 1 becomes most recent; 2 is now oldest
+	c.Put(4, 4) // evicts 2
+	if _, ok := c.Get(2); ok {
+		t.Error("LRU entry not evicted")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %d wrongly evicted", k)
+		}
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := New[string, int](4, time.Second)
+	c.SetClock(func() time.Time { return now })
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := c.Get("a"); ok {
+		t.Error("expired entry served")
+	}
+	// Re-putting revives it.
+	c.Put("a", 2)
+	if v, ok := c.Get("a"); !ok || v != 2 {
+		t.Errorf("revived entry = %d,%v", v, ok)
+	}
+}
+
+func TestGetOrLoad(t *testing.T) {
+	c := New[string, int](4, 0)
+	loads := 0
+	load := func() (int, error) { loads++; return 42, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrLoad("k", load)
+		if err != nil || v != 42 {
+			t.Fatalf("GetOrLoad = %d, %v", v, err)
+		}
+	}
+	if loads != 1 {
+		t.Errorf("loader ran %d times, want 1", loads)
+	}
+	// Errors pass through and are not cached.
+	boom := fmt.Errorf("boom")
+	if _, err := c.GetOrLoad("bad", func() (int, error) { return 0, boom }); err != boom {
+		t.Errorf("error not propagated: %v", err)
+	}
+	if _, ok := c.Get("bad"); ok {
+		t.Error("failed load cached")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New[string, int](2, 0)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("a")
+	c.Get("miss")
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("stats = %d/%d, want 2/1", hits, misses)
+	}
+	if hr := c.HitRate(); hr < 0.66 || hr > 0.67 {
+		t.Errorf("HitRate = %v, want 2/3", hr)
+	}
+	empty := New[string, int](2, 0)
+	if empty.HitRate() != 0 {
+		t.Error("HitRate of untouched cache not 0")
+	}
+}

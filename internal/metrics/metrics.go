@@ -1,0 +1,133 @@
+// Package metrics provides a small lock-free latency histogram for the
+// serving path. The paper's production claim — "it can provide accurate
+// real-time video recommendations steadily, handling millions of user
+// requests every day, with latency of milliseconds" — is a tail-latency
+// statement; this histogram records request latencies with bounded memory
+// and answers quantile queries without retaining samples.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// bucketCount covers 1µs to ~1000s in exponential buckets (×2 per bucket).
+const bucketCount = 32
+
+// Histogram is a fixed-bucket exponential latency histogram. The zero value
+// is ready to use. All methods are safe for concurrent use.
+type Histogram struct {
+	buckets [bucketCount]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // total nanoseconds
+	max     atomic.Int64
+}
+
+// bucketFor maps a duration to its bucket index: bucket i covers
+// [1µs·2^i, 1µs·2^(i+1)).
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := int(math.Log2(float64(us)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= bucketCount {
+		b = bucketCount - 1
+	}
+	return b
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i.
+func bucketUpper(i int) time.Duration {
+	return time.Duration(1<<uint(i+1)) * time.Microsecond
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean latency (0 with no samples).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(uint64(h.sum.Load()) / n)
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) at bucket
+// resolution. With no samples it returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < bucketCount; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(bucketCount - 1)
+}
+
+// Snapshot summarizes the histogram for reporting.
+type Snapshot struct {
+	Count    uint64
+	Mean     time.Duration
+	P50, P99 time.Duration
+	Max      time.Duration
+}
+
+// Snapshot returns a point-in-time summary.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.5),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the snapshot compactly.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v p50≤%v p99≤%v max=%v", s.Count, s.Mean, s.P50, s.P99, s.Max)
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("zero-value histogram not empty")
+	}
+}
+
+func TestObserveBasics(t *testing.T) {
+	var h Histogram
+	h.Observe(1 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	if h.Count() != 3 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 2*time.Millisecond {
+		t.Errorf("Mean = %v, want 2ms", got)
+	}
+	if got := h.Max(); got != 3*time.Millisecond {
+		t.Errorf("Max = %v, want 3ms", got)
+	}
+}
+
+func TestNegativeClampsToZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Max() != 0 {
+		t.Errorf("Max after negative observation = %v", h.Max())
+	}
+}
+
+// TestQuantileBounds: the reported quantile is an upper bound within one
+// bucket (×2) of the true value.
+func TestQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(50 * time.Millisecond)
+	p50 := h.Quantile(0.5)
+	if p50 < 100*time.Microsecond || p50 > 200*time.Microsecond {
+		t.Errorf("p50 = %v, want within [100µs, 200µs]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 > 200*time.Microsecond {
+		t.Errorf("p99 = %v, want ≤ 200µs (99/100 samples are 100µs)", p99)
+	}
+	p100 := h.Quantile(1)
+	if p100 < 50*time.Millisecond {
+		t.Errorf("p100 = %v, want ≥ 50ms", p100)
+	}
+}
+
+// TestQuantileMonotone property-checks that quantiles never decrease in q.
+func TestQuantileMonotone(t *testing.T) {
+	f := func(samplesUs []uint16, qa, qb float64) bool {
+		var h Histogram
+		for _, us := range samplesUs {
+			h.Observe(time.Duration(us) * time.Microsecond)
+		}
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileClampsQ(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	if h.Quantile(-1) > h.Quantile(0) {
+		t.Error("q < 0 not clamped")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Error("q > 1 not clamped")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("Count = %d, want %d (lost samples)", h.Count(), workers*per)
+	}
+	if h.Max() != workers*time.Millisecond {
+		t.Errorf("Max = %v", h.Max())
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.P50 == 0 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestBucketExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(0)              // below first bucket
+	h.Observe(24 * time.Hour) // beyond last bucket
+	if h.Count() != 2 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Quantile(1) == 0 {
+		t.Error("overflow bucket not counted in quantiles")
+	}
+}

@@ -1,0 +1,290 @@
+// Package recommend implements real-time top-N recommendation generation
+// (§4.1, Figure 1): receive a request, pick seed videos (the video being
+// watched, or the user's recent history), expand seeds into candidates
+// through the similar-video tables, score candidates with the MF model
+// (Eq. 2), and rank — with the demographic-filtering merge of §5.2.1
+// broadening the list and covering cold-start users.
+//
+// The package also provides the sequential ingest path (System.Ingest): the
+// same state transitions the Figure 2 topology performs, applied inline.
+// Offline experiments use it to train without stream-processing overhead;
+// the topology package wires the identical component calls into Storm bolts.
+package recommend
+
+import (
+	"fmt"
+	"time"
+
+	"vidrec/internal/catalog"
+	"vidrec/internal/core"
+	"vidrec/internal/demographic"
+	"vidrec/internal/feedback"
+	"vidrec/internal/history"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/metrics"
+	"vidrec/internal/simtable"
+)
+
+// Options configure the recommendation pipeline.
+type Options struct {
+	// SeedCount is how many recent history videos seed candidate expansion
+	// when no current video is given ("Guess you like").
+	SeedCount int
+	// CandidatesPerSeed bounds the similar videos fetched per seed.
+	CandidatesPerSeed int
+	// MaxCandidates bounds the total candidate set — the paper's key
+	// real-time constraint: never score the whole video corpus.
+	MaxCandidates int
+	// HotShare is the fraction of each list reserved for demographic hot
+	// videos (§5.2.1's diversity merge); hot videos also fill any slots
+	// the MF path cannot, which is the whole list for brand-new users.
+	HotShare float64
+	// HistoryLimit bounds stored per-user history.
+	HistoryLimit int
+	// PairWindow is how many recent history videos pair with each new
+	// action for similar-table updates (the GetItemPairs bolt).
+	PairWindow int
+	// DemographicTraining enables per-group models and tables (§5.2.2) in
+	// addition to the global ones.
+	DemographicTraining bool
+	// DemographicFiltering enables the hot-video merge (§5.2.1).
+	DemographicFiltering bool
+	// HotHalfLife is the popularity decay of the demographic hot lists.
+	HotHalfLife time.Duration
+	// HotCapacity bounds each group's hot list.
+	HotCapacity int
+}
+
+// DefaultOptions returns production-shaped settings.
+func DefaultOptions() Options {
+	return Options{
+		SeedCount:         5,
+		CandidatesPerSeed: 20,
+		MaxCandidates:     200,
+		HotShare:          0.2,
+		// HistoryLimit doubles as the re-recommendation dedup window;
+		// keep it deep enough that active users don't get re-served
+		// videos they watched earlier in the week.
+		HistoryLimit:         200,
+		PairWindow:           8,
+		DemographicTraining:  true,
+		DemographicFiltering: true,
+		HotHalfLife:          24 * time.Hour,
+		HotCapacity:          100,
+	}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	switch {
+	case o.SeedCount <= 0:
+		return fmt.Errorf("recommend: SeedCount must be positive, got %d", o.SeedCount)
+	case o.CandidatesPerSeed <= 0:
+		return fmt.Errorf("recommend: CandidatesPerSeed must be positive, got %d", o.CandidatesPerSeed)
+	case o.MaxCandidates <= 0:
+		return fmt.Errorf("recommend: MaxCandidates must be positive, got %d", o.MaxCandidates)
+	case o.HotShare < 0 || o.HotShare > 1:
+		return fmt.Errorf("recommend: HotShare must be in [0,1], got %v", o.HotShare)
+	case o.HistoryLimit <= 0:
+		return fmt.Errorf("recommend: HistoryLimit must be positive, got %d", o.HistoryLimit)
+	case o.PairWindow <= 0:
+		return fmt.Errorf("recommend: PairWindow must be positive, got %d", o.PairWindow)
+	case o.HotHalfLife <= 0:
+		return fmt.Errorf("recommend: HotHalfLife must be positive, got %v", o.HotHalfLife)
+	case o.HotCapacity <= 0:
+		return fmt.Errorf("recommend: HotCapacity must be positive, got %d", o.HotCapacity)
+	}
+	return nil
+}
+
+// System bundles every pipeline component over one shared key-value store.
+type System struct {
+	kv       kvstore.Store
+	opts     Options
+	weights  feedback.Weights
+	Catalog  *catalog.Catalog
+	Profiles *demographic.Profiles
+	History  *history.Store
+	Models   *demographic.ModelSet
+	Tables   *demographic.TableSet
+	Hot      *demographic.HotTracker
+	// Latency records end-to-end serving latencies for every Recommend
+	// call (the paper's milliseconds-latency production claim is a tail
+	// statement; see metrics.Histogram).
+	Latency metrics.Histogram
+
+	clock func() time.Time
+	now   time.Time
+}
+
+// NewSystem assembles a recommendation system on the given store.
+func NewSystem(kv kvstore.Store, params core.Params, simCfg simtable.Config, opts Options) (*System, error) {
+	if kv == nil {
+		return nil, fmt.Errorf("recommend: store must not be nil")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	cat, err := catalog.New("sys", kv)
+	if err != nil {
+		return nil, err
+	}
+	profiles, err := demographic.NewProfiles("sys", kv)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := history.New("sys", kv, opts.HistoryLimit)
+	if err != nil {
+		return nil, err
+	}
+	models, err := demographic.NewModelSet("sys", kv, params)
+	if err != nil {
+		return nil, err
+	}
+	tables, err := demographic.NewTableSet("sys", kv, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	hot, err := demographic.NewHotTracker("sys", kv, opts.HotHalfLife, opts.HotCapacity)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		kv:       kv,
+		opts:     opts,
+		weights:  params.Weights,
+		Catalog:  cat,
+		Profiles: profiles,
+		History:  hist,
+		Models:   models,
+		Tables:   tables,
+		Hot:      hot,
+	}, nil
+}
+
+// Options returns the system configuration.
+func (s *System) Options() Options { return s.opts }
+
+// Weights returns the implicit-feedback confidence settings in force.
+func (s *System) Weights() feedback.Weights { return s.weights }
+
+// SetClock installs a time source for recommendation requests. Without one,
+// the system uses the timestamp of the latest ingested action — the natural
+// "now" of a replayed stream.
+func (s *System) SetClock(fn func() time.Time) { s.clock = fn }
+
+// Now returns the system's current notion of time.
+func (s *System) Now() time.Time {
+	if s.clock != nil {
+		return s.clock()
+	}
+	return s.now
+}
+
+func (s *System) groupOf(userID string) string {
+	g, err := s.Profiles.GroupOf(userID)
+	if err != nil || g == "" {
+		return demographic.GlobalGroup
+	}
+	return g
+}
+
+// Ingest applies one user action to all pipeline state — the sequential
+// equivalent of the Figure 2 topology: MF update (ComputeMF/MFStorage),
+// history append (UserHistory), similar-table refresh (GetItemPairs/
+// ItemPairSim/ResultStorage), and hot-list heating for demographic
+// filtering.
+func (s *System) Ingest(a feedback.Action) error {
+	if a.Timestamp.After(s.now) {
+		s.now = a.Timestamp
+	}
+	group := s.groupOf(a.UserID)
+
+	// Model updates: global always; the user's group additionally when
+	// demographic training is on.
+	global, err := s.Models.For(demographic.GlobalGroup)
+	if err != nil {
+		return err
+	}
+	if _, err := global.ProcessAction(a); err != nil {
+		return err
+	}
+	groupModel := global
+	if s.opts.DemographicTraining && group != demographic.GlobalGroup {
+		groupModel, err = s.Models.For(group)
+		if err != nil {
+			return err
+		}
+		if _, err := groupModel.ProcessAction(a); err != nil {
+			return err
+		}
+	}
+
+	weight := s.weights.Weight(a)
+	if weight <= 0 {
+		return nil // impressions update nothing beyond the global mean
+	}
+
+	if err := s.Hot.Record(demographic.GlobalGroup, a.VideoID, weight, a.Timestamp); err != nil {
+		return err
+	}
+	if s.opts.DemographicFiltering && group != demographic.GlobalGroup {
+		if err := s.Hot.Record(group, a.VideoID, weight, a.Timestamp); err != nil {
+			return err
+		}
+	}
+
+	// Pair generation needs the history *before* this action joins it.
+	recent, err := s.History.RecentVideos(a.UserID, s.opts.PairWindow)
+	if err != nil {
+		return err
+	}
+	if err := s.History.Append(a.UserID, a.VideoID, a.Timestamp); err != nil {
+		return err
+	}
+	for _, pair := range simtable.Pairs(a.VideoID, recent) {
+		if err := s.updatePair(groupModel, group, pair[0], pair[1], a.Timestamp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// updatePair recomputes one touched pair's similarity and writes it in both
+// directions into the group's tables (and the global tables when they
+// differ).
+func (s *System) updatePair(model *core.Model, group, i, j string, ts time.Time) error {
+	tables, err := s.Tables.For(group)
+	if err != nil {
+		return err
+	}
+	score, err := tables.PairScore(model, s.Catalog, i, j)
+	if err != nil {
+		return err
+	}
+	if err := tables.UpdateDirected(i, j, score, ts); err != nil {
+		return err
+	}
+	if err := tables.UpdateDirected(j, i, score, ts); err != nil {
+		return err
+	}
+	if group == demographic.GlobalGroup || !s.opts.DemographicTraining {
+		return nil
+	}
+	globalTables, err := s.Tables.For(demographic.GlobalGroup)
+	if err != nil {
+		return err
+	}
+	globalModel, err := s.Models.For(demographic.GlobalGroup)
+	if err != nil {
+		return err
+	}
+	gscore, err := globalTables.PairScore(globalModel, s.Catalog, i, j)
+	if err != nil {
+		return err
+	}
+	if err := globalTables.UpdateDirected(i, j, gscore, ts); err != nil {
+		return err
+	}
+	return globalTables.UpdateDirected(j, i, gscore, ts)
+}

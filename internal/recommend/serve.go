@@ -1,0 +1,224 @@
+package recommend
+
+import (
+	"fmt"
+	"time"
+
+	"vidrec/internal/demographic"
+	"vidrec/internal/topn"
+)
+
+// Request is one recommendation query.
+type Request struct {
+	// UserID identifies the requesting user (possibly unknown/unregistered).
+	UserID string
+	// CurrentVideo, when set, is the video the user is watching — the
+	// "related videos" scenario of Figure 6(b). When empty, the user's
+	// recent history seeds the expansion — "Guess you like", Figure 6(a).
+	CurrentVideo string
+	// N is the list length to return.
+	N int
+}
+
+// Result is a ranked recommendation list with provenance counters.
+type Result struct {
+	// Videos is the final ranked list: predicted preference (Eq. 2)
+	// descending for the MF-sourced part, followed by the demographic
+	// hot-video merge.
+	Videos []topn.Entry
+	// Seeds is the number of seed videos used.
+	Seeds int
+	// Candidates is how many distinct candidates the similar tables
+	// produced before ranking.
+	Candidates int
+	// HotMerged counts entries contributed by demographic filtering.
+	HotMerged int
+	// Latency is the end-to-end serving time.
+	Latency time.Duration
+}
+
+// Recommend runs the full Figure 1 pipeline for one request.
+func (s *System) Recommend(req Request) (*Result, error) {
+	start := time.Now()
+	if req.N <= 0 {
+		return nil, fmt.Errorf("recommend: N must be positive, got %d", req.N)
+	}
+	if req.UserID == "" {
+		return nil, fmt.Errorf("recommend: user id must not be empty")
+	}
+	now := s.Now()
+	group := s.groupOf(req.UserID)
+
+	// 1. Seed videos: the current video, else recent history.
+	var seeds []string
+	if req.CurrentVideo != "" {
+		seeds = []string{req.CurrentVideo}
+	} else {
+		var err error
+		seeds, err = s.History.RecentVideos(req.UserID, s.opts.SeedCount)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Exclusion set: never recommend the seeds or anything in the user's
+	// stored watch history — re-serving watched content wastes slots and
+	// triggers fatigue.
+	exclude := make(map[string]bool, s.opts.HistoryLimit+1)
+	for _, v := range seeds {
+		exclude[v] = true
+	}
+	if watchedAll, err := s.History.RecentVideos(req.UserID, s.opts.HistoryLimit); err == nil {
+		for _, v := range watchedAll {
+			exclude[v] = true
+		}
+	}
+
+	// 2. Candidate expansion through the group's similar-video tables
+	// (fall back to the global tables when group training is off).
+	tableGroup := group
+	if !s.opts.DemographicTraining {
+		tableGroup = demographic.GlobalGroup
+	}
+	tables, err := s.Tables.For(tableGroup)
+	if err != nil {
+		return nil, err
+	}
+	candSet := make(map[string]bool)
+	var candidates []string
+	for _, seed := range seeds {
+		similar, err := tables.Similar(seed, s.opts.CandidatesPerSeed, now)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range similar {
+			if exclude[e.ID] || candSet[e.ID] {
+				continue
+			}
+			candSet[e.ID] = true
+			candidates = append(candidates, e.ID)
+			if len(candidates) >= s.opts.MaxCandidates {
+				break
+			}
+		}
+		if len(candidates) >= s.opts.MaxCandidates {
+			break
+		}
+	}
+
+	// 3. Preference prediction (Eq. 2) over candidates only — the whole
+	// corpus is never scored.
+	model, err := s.Models.For(tableGroup)
+	if err != nil {
+		return nil, err
+	}
+	scores, err := model.ScoreCandidates(req.UserID, candidates)
+	if err != nil {
+		return nil, err
+	}
+
+	// 4. Ranking.
+	ranked := topn.NewList(req.N)
+	for i, id := range candidates {
+		ranked.Update(id, scores[i])
+	}
+	videos := ranked.All()
+
+	// 5. Demographic filtering: reserve part of the list for the group's
+	// hot videos, and fill every slot MF could not (new users get a full
+	// hot list — the paper's cold-start answer).
+	hotMerged := 0
+	if s.opts.DemographicFiltering {
+		reserve := int(s.opts.HotShare * float64(req.N))
+		deficit := req.N - len(videos)
+		want := reserve
+		if deficit > want {
+			want = deficit
+		}
+		if want > 0 {
+			hot, err := s.hotFor(group, req.N+len(exclude), now)
+			if err != nil {
+				return nil, err
+			}
+			inList := make(map[string]bool, len(videos))
+			for _, e := range videos {
+				inList[e.ID] = true
+			}
+			var mergeIDs []string
+			for _, e := range hot {
+				if len(mergeIDs) == want {
+					break
+				}
+				if exclude[e.ID] || inList[e.ID] {
+					continue
+				}
+				mergeIDs = append(mergeIDs, e.ID)
+			}
+			// Re-score merged videos with the model so every entry's Score
+			// has one meaning: predicted preference (Eq. 2). The merge
+			// order (popularity) is preserved — that is the DB algorithm's
+			// ranking for its slots.
+			mergeScores, err := model.ScoreCandidates(req.UserID, mergeIDs)
+			if err != nil {
+				return nil, err
+			}
+			if keep := req.N - len(mergeIDs); len(videos) > keep {
+				videos = videos[:keep]
+			}
+			for i, id := range mergeIDs {
+				videos = append(videos, topn.Entry{ID: id, Score: mergeScores[i]})
+			}
+			hotMerged = len(mergeIDs)
+		}
+	}
+
+	elapsed := time.Since(start)
+	s.Latency.Observe(elapsed)
+	return &Result{
+		Videos:     videos,
+		Seeds:      len(seeds),
+		Candidates: len(candidates),
+		HotMerged:  hotMerged,
+		Latency:    elapsed,
+	}, nil
+}
+
+// hotFor fetches the group's hot list, falling back to the global group when
+// the group has none — "for new unregistered users, we generate the hot
+// videos of global demographic group".
+func (s *System) hotFor(group string, k int, now time.Time) ([]topn.Entry, error) {
+	if group != demographic.GlobalGroup {
+		hot, err := s.Hot.Hot(group, k, now)
+		if err != nil {
+			return nil, err
+		}
+		if len(hot) > 0 {
+			return hot, nil
+		}
+	}
+	return s.Hot.Hot(demographic.GlobalGroup, k, now)
+}
+
+// RecommendIDs implements eval.Recommender over the history-seeded scenario.
+func (s *System) RecommendIDs(userID string, n int) ([]string, error) {
+	res, err := s.Recommend(Request{UserID: userID, N: n})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(res.Videos))
+	for i, e := range res.Videos {
+		out[i] = e.ID
+	}
+	return out, nil
+}
+
+// Recommend implements eval.Recommender (history-seeded scenario) so a
+// System can be handed directly to the offline harness. The method name
+// collision with the Request-based API is resolved by signature at the call
+// site; this wrapper exists for the eval.Recommender interface.
+type EvalAdapter struct{ S *System }
+
+// Recommend implements eval.Recommender.
+func (a EvalAdapter) Recommend(userID string, n int) ([]string, error) {
+	return a.S.RecommendIDs(userID, n)
+}

@@ -1,0 +1,41 @@
+package simtable_test
+
+import (
+	"fmt"
+	"time"
+
+	"vidrec/internal/kvstore"
+	"vidrec/internal/simtable"
+)
+
+// Eq. 11's time factor halves a pair's similarity every ξ without new
+// supporting actions — "the past similar videos should be gradually
+// forgotten".
+func ExampleConfig_Damp() {
+	cfg := simtable.DefaultConfig() // ξ = 24h
+	for _, age := range []time.Duration{0, 24 * time.Hour, 72 * time.Hour} {
+		fmt.Printf("after %3.0fh: ×%.3f\n", age.Hours(), cfg.Damp(age))
+	}
+	// Output:
+	// after   0h: ×1.000
+	// after  24h: ×0.500
+	// after  72h: ×0.125
+}
+
+// A similar-video table serves decayed scores: the pair refreshed most
+// recently wins even against a once-stronger stale pair.
+func ExampleTables_Similar() {
+	tables, _ := simtable.New("demo", kvstore.NewLocal(4), simtable.DefaultConfig())
+	t0 := time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC)
+
+	tables.UpdateDirected("seed", "old-hit", 0.9, t0)
+	tables.UpdateDirected("seed", "fresh", 0.5, t0.Add(48*time.Hour))
+
+	similar, _ := tables.Similar("seed", 2, t0.Add(48*time.Hour))
+	for _, e := range similar {
+		fmt.Printf("%s %.3f\n", e.ID, e.Score)
+	}
+	// Output:
+	// fresh 0.500
+	// old-hit 0.225
+}

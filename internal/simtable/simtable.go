@@ -1,0 +1,281 @@
+// Package simtable builds and serves the similar-video tables of §4.2: for
+// every video, a bounded list of the videos a user is most likely to watch
+// next, ranked by a fused similarity of three factors —
+//
+//	collaborative-filtering similarity  s1_ij = y_iᵀ y_j        (Eq. 9)
+//	type similarity                     s2_ij ∈ {0, 1}          (Eq. 10)
+//	time factor                         d_ij  = 2^(−Δt/ξ)       (Eq. 11)
+//	fused                               sim_ij = d_ij·((1−β)·s1_ij + β·s2_ij)   (Eq. 12)
+//
+// Tables are updated incrementally: a pair (i, j) is recomputed only when a
+// new user action touches i or j (the GetItemPairs / ItemPairSim /
+// ResultStorage bolts of Fig. 2), resetting its damping clock; untouched
+// pairs decay and are eventually forgotten.
+//
+// Decay is implemented without per-entry clocks by keeping each video's list
+// normalized to its last update instant: every write first decays all stored
+// scores to "now", so afterwards every entry decays at the same rate and the
+// stored order remains the true order at any future read time. Reads apply
+// the residual decay (now − listUpdatedAt), which scales all entries equally
+// and therefore never reorders them.
+package simtable
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"vidrec/internal/catalog"
+	"vidrec/internal/core"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/topn"
+	"vidrec/internal/vecmath"
+)
+
+// Config holds the similarity-fusion parameters of Eq. 11–12.
+type Config struct {
+	// Beta is the weight β of type similarity in the fusion (Eq. 12);
+	// 1−β weights the CF similarity. Table 2's grid search selects a
+	// modest β — CF similarity dominates, type acts as a tiebreaker.
+	Beta float64
+	// Xi is the decay parameter ξ of Eq. 11: a pair untouched for Xi
+	// halves its similarity.
+	Xi time.Duration
+	// TableSize bounds each video's similar list (top-N).
+	TableSize int
+	// ScoreFloor prunes entries whose decayed score falls below it; fully
+	// forgotten pairs should not occupy table space forever.
+	ScoreFloor float64
+}
+
+// DefaultConfig returns the production-shaped parameters: β=0.3, ξ=24h,
+// 50-entry tables.
+func DefaultConfig() Config {
+	return Config{Beta: 0.3, Xi: 24 * time.Hour, TableSize: 50, ScoreFloor: 1e-6}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Beta < 0 || c.Beta > 1 {
+		return fmt.Errorf("simtable: Beta must be in [0,1], got %v", c.Beta)
+	}
+	if c.Xi <= 0 {
+		return fmt.Errorf("simtable: Xi must be positive, got %v", c.Xi)
+	}
+	if c.TableSize <= 0 {
+		return fmt.Errorf("simtable: TableSize must be positive, got %d", c.TableSize)
+	}
+	if c.ScoreFloor < 0 {
+		return fmt.Errorf("simtable: ScoreFloor must be non-negative, got %v", c.ScoreFloor)
+	}
+	return nil
+}
+
+// Damp evaluates the time factor of Eq. 11 for a pair last updated age ago.
+func (c Config) Damp(age time.Duration) float64 {
+	if age <= 0 {
+		return 1
+	}
+	return math.Exp2(-float64(age) / float64(c.Xi))
+}
+
+// Fuse combines the CF and type similarities per Eq. 12 (without the time
+// factor, which Damp supplies).
+func (c Config) Fuse(cfSim, typeSim float64) float64 {
+	return (1-c.Beta)*cfSim + c.Beta*typeSim
+}
+
+// TypeSimilarity evaluates Eq. 10 for two category labels: 1 when equal and
+// known, else 0.
+func TypeSimilarity(a, b string) float64 {
+	if a != "" && a == b {
+		return 1
+	}
+	return 0
+}
+
+// CFSimilarity evaluates Eq. 9 — the inner product of the two videos' latent
+// vectors under the given MF model. Videos the model has not trained on
+// contribute their cold-start vectors, whose products are effectively zero.
+func CFSimilarity(m *core.Model, i, j string) (float64, error) {
+	yi, _, _, err := m.ItemVector(i)
+	if err != nil {
+		return 0, err
+	}
+	yj, _, _, err := m.ItemVector(j)
+	if err != nil {
+		return 0, err
+	}
+	return vecmath.Dot(yi, yj), nil
+}
+
+// Tables is the kvstore-backed similar-video table set.
+type Tables struct {
+	kv  kvstore.Store
+	ns  string
+	cfg Config
+}
+
+// New returns tables stored under the given namespace.
+func New(name string, kv kvstore.Store, cfg Config) (*Tables, error) {
+	if name == "" {
+		return nil, fmt.Errorf("simtable: name must not be empty")
+	}
+	if kv == nil {
+		return nil, fmt.Errorf("simtable: store must not be nil")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tables{kv: kv, ns: name + ".sim", cfg: cfg}, nil
+}
+
+// Config returns the table configuration.
+func (t *Tables) Config() Config { return t.cfg }
+
+// table is the stored form of one video's similar list.
+type table struct {
+	updatedAt time.Time
+	entries   []topn.Entry
+}
+
+func encodeTable(tb table) []byte {
+	buf := kvstore.EncodeInt64(tb.updatedAt.UnixMilli())
+	return append(buf, kvstore.EncodeEntries(tb.entries)...)
+}
+
+func decodeTable(raw []byte) (table, error) {
+	if len(raw) < 8 {
+		return table{}, fmt.Errorf("simtable: truncated table record")
+	}
+	ms, err := kvstore.DecodeInt64(raw[:8])
+	if err != nil {
+		return table{}, err
+	}
+	entries, err := kvstore.DecodeEntries(raw[8:])
+	if err != nil {
+		return table{}, err
+	}
+	return table{updatedAt: time.UnixMilli(ms), entries: entries}, nil
+}
+
+// UpdateDirected records a freshly computed (undamped) similarity score for
+// the pair (owner, other) in owner's list at time ts. Existing entries are
+// first decayed to ts (resetting the list's clock), the pair's entry is
+// replaced with the fresh score (its damping clock restarts, d=1), and
+// entries decayed below the floor are pruned.
+//
+// The topology emits each pair in both directions, fields-grouped by owner,
+// so each list has a single writer; UpdateDirected relies on the store's
+// per-key Update for safety against other writers.
+func (t *Tables) UpdateDirected(owner, other string, score float64, ts time.Time) error {
+	if owner == other {
+		return fmt.Errorf("simtable: self-pair %q", owner)
+	}
+	key := kvstore.Key(t.ns, owner)
+	return t.kv.Update(key, func(cur []byte, ok bool) ([]byte, bool) {
+		tb := table{updatedAt: ts}
+		if ok {
+			dec, err := decodeTable(cur)
+			if err == nil {
+				// Decay stored scores to ts. A negative age (out-of-order
+				// action) leaves scores unscaled rather than amplifying.
+				factor := t.cfg.Damp(ts.Sub(dec.updatedAt))
+				if factor > 1 {
+					factor = 1
+				}
+				list := topn.NewList(t.cfg.TableSize)
+				for _, e := range dec.entries {
+					decayed := e.Score * factor
+					if decayed >= t.cfg.ScoreFloor {
+						list.Update(e.ID, decayed)
+					}
+				}
+				tb.entries = list.All()
+				if ts.Before(dec.updatedAt) {
+					tb.updatedAt = dec.updatedAt
+				}
+			}
+		}
+		list := topn.FromEntries(t.cfg.TableSize, tb.entries)
+		if score >= t.cfg.ScoreFloor {
+			list.Update(other, score)
+		} else {
+			list.Remove(other)
+		}
+		tb.entries = list.All()
+		return encodeTable(tb), true
+	})
+}
+
+// Similar returns up to k similar videos for the given video with scores
+// decayed to now, best first. A video with no table yields an empty list.
+func (t *Tables) Similar(video string, k int, now time.Time) ([]topn.Entry, error) {
+	raw, ok, err := t.kv.Get(kvstore.Key(t.ns, video))
+	if err != nil {
+		return nil, fmt.Errorf("simtable: get %s: %w", video, err)
+	}
+	if !ok {
+		return nil, nil
+	}
+	tb, err := decodeTable(raw)
+	if err != nil {
+		return nil, fmt.Errorf("simtable: corrupt table for %s: %w", video, err)
+	}
+	factor := t.cfg.Damp(now.Sub(tb.updatedAt))
+	if factor > 1 {
+		factor = 1
+	}
+	out := make([]topn.Entry, 0, min(k, len(tb.entries)))
+	for _, e := range tb.entries {
+		if len(out) == k {
+			break
+		}
+		decayed := e.Score * factor
+		if decayed < t.cfg.ScoreFloor {
+			break // entries are sorted; the rest are below the floor too
+		}
+		out = append(out, topn.Entry{ID: e.ID, Score: decayed})
+	}
+	return out, nil
+}
+
+// PairScore computes the undamped fused similarity for (i, j) from the MF
+// model's item vectors and the catalog's types — the work of the ItemPairSim
+// bolt for one pair.
+func (t *Tables) PairScore(m *core.Model, cat *catalog.Catalog, i, j string) (float64, error) {
+	cf, err := CFSimilarity(m, i, j)
+	if err != nil {
+		return 0, err
+	}
+	ti, err := cat.Type(i)
+	if err != nil {
+		return 0, err
+	}
+	tj, err := cat.Type(j)
+	if err != nil {
+		return 0, err
+	}
+	return t.cfg.Fuse(cf, TypeSimilarity(ti, tj)), nil
+}
+
+// FuseVectors computes the undamped fused similarity directly from item
+// vectors and types — the cache-friendly form of PairScore used by workers
+// that hold vectors locally (§5.1's cache technique).
+func (c Config) FuseVectors(yi, yj []float64, ti, tj string) float64 {
+	return c.Fuse(vecmath.Dot(yi, yj), TypeSimilarity(ti, tj))
+}
+
+// Pairs lists the item pairs a new action generates: the acted-on video
+// against each of the user's recent distinct videos (the GetItemPairs bolt).
+// Self-pairs are skipped.
+func Pairs(videoID string, recent []string) [][2]string {
+	out := make([][2]string, 0, len(recent))
+	for _, r := range recent {
+		if r == videoID {
+			continue
+		}
+		out = append(out, [2]string{videoID, r})
+	}
+	return out
+}

@@ -1,0 +1,466 @@
+package storm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+)
+
+// Topology is an executable instance of a Builder definition. Build it with
+// Builder.Build and run it with Run; a Topology is single-use.
+type Topology struct {
+	name       string
+	queueSize  int
+	maxPending int
+	comps      []*component
+	byName     map[string]*component
+	acker      *acker
+
+	errMu  sync.Mutex
+	errs   []error
+	ranYet atomic.Bool
+}
+
+type component struct {
+	def     *componentDef
+	tasks   []*task
+	metrics Metrics
+	// consumers lists the subscriptions of downstream components reading
+	// this component's output, resolved at build time.
+	consumers []*consumerLink
+	// pendingProducers counts upstream tasks still running; when it hits
+	// zero the component's input queues close (drain protocol).
+	pendingProducers atomic.Int64
+}
+
+type consumerLink struct {
+	sub  subscription
+	comp *component
+}
+
+type task struct {
+	comp  *component
+	index int
+	in    chan *Tuple
+	spout Spout
+	bolt  Bolt
+	// shuffle counters, one per consumer link, for round-robin routing.
+	rr []atomic.Uint64
+	// notices delivers completed/failed root notifications to spout tasks
+	// without ever blocking the acker (see notifier).
+	notices *notifier
+	// pendingRoots counts this spout task's unresolved tracked tuples.
+	pendingRoots int64
+	msgIDs       map[int64]any // root -> spout message id
+}
+
+type ackNotice struct {
+	root   int64
+	failed bool
+}
+
+// Metrics are per-component counters, updated atomically while the topology
+// runs.
+type Metrics struct {
+	// Emitted counts tuples emitted by the component (before fan-out).
+	Emitted atomic.Uint64
+	// Delivered counts tuple instances enqueued to consumers.
+	Delivered atomic.Uint64
+	// Executed counts bolt Execute calls.
+	Executed atomic.Uint64
+	// Failed counts bolt Execute calls that returned an error.
+	Failed atomic.Uint64
+	// Acked counts spout tuple trees fully processed.
+	Acked atomic.Uint64
+	// FailedTrees counts spout tuple trees that failed.
+	FailedTrees atomic.Uint64
+}
+
+// MetricsSnapshot is a point-in-time copy of Metrics.
+type MetricsSnapshot struct {
+	Emitted, Delivered, Executed, Failed, Acked, FailedTrees uint64
+	// QueueDepth is the number of tuples currently buffered across the
+	// component's task queues — the backpressure gauge an operator watches
+	// to find the bottleneck bolt.
+	QueueDepth int
+}
+
+// Build validates the definition and instantiates every task.
+func (b *Builder) Build() (*Topology, error) {
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	t := &Topology{
+		name:       b.name,
+		queueSize:  b.queueSize,
+		maxPending: b.maxPending,
+		byName:     make(map[string]*component, len(b.order)),
+	}
+	for _, name := range b.order {
+		c := &component{def: b.components[name]}
+		t.comps = append(t.comps, c)
+		t.byName[name] = c
+	}
+	// Resolve subscriptions into producer→consumer links and count
+	// producers per consumer.
+	for _, c := range t.comps {
+		for _, sub := range c.def.inputs {
+			producer := t.byName[sub.producer]
+			producer.consumers = append(producer.consumers, &consumerLink{sub: sub, comp: c})
+			c.pendingProducers.Add(int64(producer.def.parallelism))
+		}
+	}
+	// Instantiate tasks.
+	for _, c := range t.comps {
+		c.tasks = make([]*task, c.def.parallelism)
+		for i := range c.tasks {
+			tk := &task{comp: c, index: i, rr: make([]atomic.Uint64, len(c.consumers))}
+			if c.def.spoutFn != nil {
+				tk.spout = c.def.spoutFn()
+				tk.notices = newNotifier()
+				tk.msgIDs = make(map[int64]any)
+			} else {
+				tk.bolt = c.def.boltFn()
+				tk.in = make(chan *Tuple, b.queueSize)
+			}
+			c.tasks[i] = tk
+		}
+	}
+	t.acker = newAcker()
+	return t, nil
+}
+
+// Run executes the topology until every spout is exhausted (NextTuple
+// returned false) or ctx is cancelled, then drains all in-flight tuples and
+// shuts down cleanly. It returns the combined errors raised by component
+// lifecycles; bolt Execute errors fail tuple trees and are counted in
+// metrics but do not abort the run.
+func (t *Topology) Run(ctx context.Context) error {
+	if t.ranYet.Swap(true) {
+		return fmt.Errorf("storm: topology %q has already run", t.name)
+	}
+	t.acker.start()
+
+	var wg sync.WaitGroup
+	for _, c := range t.comps {
+		for _, tk := range c.tasks {
+			wg.Add(1)
+			go func(tk *task) {
+				defer wg.Done()
+				if tk.spout != nil {
+					t.runSpout(ctx, tk)
+				} else {
+					t.runBolt(tk)
+				}
+			}(tk)
+		}
+	}
+	wg.Wait()
+	t.acker.stop()
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return errors.Join(t.errs...)
+}
+
+func (t *Topology) recordErr(err error) {
+	t.errMu.Lock()
+	t.errs = append(t.errs, err)
+	t.errMu.Unlock()
+}
+
+// taskFinished implements the drain protocol: when the last producer task of
+// a consumer component finishes, that component's input queues close, which
+// lets its tasks drain and finish, cascading downstream.
+func (t *Topology) taskFinished(c *component) {
+	for _, link := range c.consumers {
+		if link.comp.pendingProducers.Add(-int64(1)) == 0 {
+			for _, tk := range link.comp.tasks {
+				close(tk.in)
+			}
+		}
+	}
+}
+
+func (t *Topology) runSpout(ctx context.Context, tk *task) {
+	defer t.taskFinished(tk.comp)
+	collector := &SpoutCollector{topo: t, task: tk}
+	cctx := &Context{Component: tk.comp.def.name, Task: tk.index, Parallelism: tk.comp.def.parallelism}
+	if err := tk.spout.Open(cctx, collector); err != nil {
+		t.recordErr(fmt.Errorf("storm: spout %s[%d] open: %w", tk.comp.def.name, tk.index, err))
+		return
+	}
+	defer func() {
+		if err := tk.spout.Close(); err != nil {
+			t.recordErr(fmt.Errorf("storm: spout %s[%d] close: %w", tk.comp.def.name, tk.index, err))
+		}
+	}()
+
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		default:
+		}
+		tk.drainAcks(false)
+		// Max-spout-pending: hold off emitting while too many tracked
+		// trees are unresolved. Resolution is guaranteed because bolts
+		// keep draining, so this wait always terminates.
+		for t.maxPending > 0 && tk.pendingRoots >= int64(t.maxPending) {
+			if !tk.drainAcks(true) {
+				break loop
+			}
+		}
+		more, err := tk.spout.NextTuple()
+		if err != nil {
+			t.recordErr(fmt.Errorf("storm: spout %s[%d] next: %w", tk.comp.def.name, tk.index, err))
+			break
+		}
+		if !more {
+			break
+		}
+	}
+	// Linger until every tracked tuple tree this task emitted resolves.
+	// Downstream components keep draining after spouts stop, so resolution
+	// is guaranteed for finite queues.
+	for tk.pendingRoots > 0 {
+		if !tk.drainAcks(true) {
+			break
+		}
+	}
+}
+
+// drainAcks dispatches pending ack notices to the spout's hooks on the
+// spout's own goroutine (Storm's threading contract). When block is true it
+// waits for at least one notice. It reports whether progress is still
+// possible (false only if the notifier has been closed).
+func (tk *task) drainAcks(block bool) bool {
+	ack, _ := tk.spout.(Acknowledger)
+	for {
+		n, ok := tk.notices.get(block)
+		if !ok {
+			if block {
+				return false
+			}
+			return true
+		}
+		block = false
+		msgID := tk.msgIDs[n.root]
+		delete(tk.msgIDs, n.root)
+		tk.pendingRoots--
+		if n.failed {
+			tk.comp.metrics.FailedTrees.Add(1)
+			if ack != nil {
+				ack.Fail(msgID)
+			}
+		} else {
+			tk.comp.metrics.Acked.Add(1)
+			if ack != nil {
+				ack.Ack(msgID)
+			}
+		}
+	}
+}
+
+func (t *Topology) runBolt(tk *task) {
+	defer t.taskFinished(tk.comp)
+	collector := &BoltCollector{topo: t, task: tk}
+	cctx := &Context{Component: tk.comp.def.name, Task: tk.index, Parallelism: tk.comp.def.parallelism}
+	if err := tk.bolt.Prepare(cctx, collector); err != nil {
+		t.recordErr(fmt.Errorf("storm: bolt %s[%d] prepare: %w", tk.comp.def.name, tk.index, err))
+		// The task must still drain its queue or upstream would block.
+		for range tk.in {
+		}
+		return
+	}
+	for tuple := range tk.in {
+		collector.current = tuple
+		collector.emittedXor = 0
+		err := tk.bolt.Execute(tuple)
+		collector.current = nil
+		tk.comp.metrics.Executed.Add(1)
+		if err != nil {
+			tk.comp.metrics.Failed.Add(1)
+			if tuple.root != 0 {
+				t.acker.fail(tuple.root)
+			}
+			continue
+		}
+		if tuple.root != 0 {
+			// Ack: XOR of the consumed edge and all anchored emissions.
+			t.acker.ack(tuple.root, tuple.edge^collector.emittedXor)
+		}
+	}
+	if err := tk.bolt.Cleanup(); err != nil {
+		t.recordErr(fmt.Errorf("storm: bolt %s[%d] cleanup: %w", tk.comp.def.name, tk.index, err))
+	}
+}
+
+// route fans an emission out to every consumer of the producing component.
+// It returns the XOR of the edge ids assigned to tracked deliveries.
+func (t *Topology) route(tk *task, values Values, root int64) uint64 {
+	c := tk.comp
+	c.metrics.Emitted.Add(1)
+	var xor uint64
+	for li, link := range c.consumers {
+		targets := link.targets(tk, li, values, c.def.outFields)
+		for _, target := range targets {
+			tuple := &Tuple{
+				Values: values,
+				Source: c.def.name,
+				schema: c.def.outFields,
+				root:   root,
+			}
+			if root != 0 {
+				tuple.edge = rand.Uint64() | 1 // never 0: 0 means untracked
+				xor ^= tuple.edge
+			}
+			target.in <- tuple
+			c.metrics.Delivered.Add(1)
+		}
+	}
+	return xor
+}
+
+// targets selects the destination task(s) for one delivery under the link's
+// grouping.
+func (l *consumerLink) targets(from *task, linkIdx int, values Values, schema []string) []*task {
+	tasks := l.comp.tasks
+	switch l.sub.kind {
+	case groupShuffle:
+		i := from.rr[linkIdx].Add(1)
+		return tasks[int(i)%len(tasks) : int(i)%len(tasks)+1]
+	case groupFields:
+		h := fnv.New64a()
+		for _, f := range l.sub.fields {
+			for i, name := range schema {
+				if name == f {
+					hashValue(h, values[i])
+					break
+				}
+			}
+		}
+		idx := int(h.Sum64() % uint64(len(tasks)))
+		return tasks[idx : idx+1]
+	case groupAll:
+		return tasks
+	case groupGlobal:
+		return tasks[0:1]
+	default:
+		panic(fmt.Sprintf("storm: unknown grouping %v", l.sub.kind))
+	}
+}
+
+func hashValue(h interface{ Write([]byte) (int, error) }, v any) {
+	switch x := v.(type) {
+	case string:
+		h.Write([]byte(x))
+	case []byte:
+		h.Write(x)
+	case int:
+		writeUint64(h, uint64(x))
+	case int64:
+		writeUint64(h, uint64(x))
+	case uint64:
+		writeUint64(h, x)
+	case float64:
+		writeUint64(h, uint64(int64(x*1e6)))
+	case bool:
+		if x {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	case fmt.Stringer:
+		h.Write([]byte(x.String()))
+	default:
+		fmt.Fprintf(h.(interface{ Write([]byte) (int, error) }), "%v", x)
+	}
+}
+
+func writeUint64(h interface{ Write([]byte) (int, error) }, v uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+}
+
+// MetricsFor returns a snapshot of the named component's counters.
+func (t *Topology) MetricsFor(component string) (MetricsSnapshot, error) {
+	c, ok := t.byName[component]
+	if !ok {
+		return MetricsSnapshot{}, fmt.Errorf("storm: unknown component %q", component)
+	}
+	m := &c.metrics
+	snap := MetricsSnapshot{
+		Emitted:     m.Emitted.Load(),
+		Delivered:   m.Delivered.Load(),
+		Executed:    m.Executed.Load(),
+		Failed:      m.Failed.Load(),
+		Acked:       m.Acked.Load(),
+		FailedTrees: m.FailedTrees.Load(),
+	}
+	for _, tk := range c.tasks {
+		if tk.in != nil {
+			snap.QueueDepth += len(tk.in)
+		}
+	}
+	return snap, nil
+}
+
+// Components returns the component names in declaration order.
+func (t *Topology) Components() []string {
+	out := make([]string, len(t.comps))
+	for i, c := range t.comps {
+		out[i] = c.def.name
+	}
+	return out
+}
+
+// SpoutCollector emits tuples on behalf of one spout task.
+type SpoutCollector struct {
+	topo *Topology
+	task *task
+}
+
+// Emit sends an untracked tuple downstream: no ack tree is built and the
+// spout receives no completion callback. This is the high-throughput mode.
+func (c *SpoutCollector) Emit(values Values) {
+	c.topo.route(c.task, values, 0)
+}
+
+// EmitTracked sends a tuple with reliability tracking. When every descendant
+// tuple has been processed the spout's Ack(msgID) hook fires; if any bolt
+// execution on the tree fails, Fail(msgID) fires instead.
+func (c *SpoutCollector) EmitTracked(msgID any, values Values) {
+	root := c.topo.acker.newRoot(c.task)
+	c.task.msgIDs[root] = msgID
+	c.task.pendingRoots++
+	xor := c.topo.route(c.task, values, root)
+	c.topo.acker.initWithOrigin(root, xor, c.task)
+}
+
+// BoltCollector emits tuples on behalf of one bolt task. Tuples emitted
+// during Execute are anchored to the input tuple's ack tree.
+type BoltCollector struct {
+	topo       *Topology
+	task       *task
+	current    *Tuple
+	emittedXor uint64
+}
+
+// Emit sends a tuple downstream, anchored to the tuple currently being
+// executed (if any, and if that tuple is tracked).
+func (c *BoltCollector) Emit(values Values) {
+	root := int64(0)
+	if c.current != nil {
+		root = c.current.root
+	}
+	xor := c.topo.route(c.task, values, root)
+	c.emittedXor ^= xor
+}

@@ -1,0 +1,278 @@
+package storm
+
+import (
+	"fmt"
+)
+
+// Spout produces the input streams of a topology. One Spout instance is
+// created per task by the factory passed to SetSpout.
+type Spout interface {
+	// Open is called once before the first NextTuple, with the task's
+	// context and the collector to emit through.
+	Open(ctx *Context, out *SpoutCollector) error
+	// NextTuple emits zero or more tuples through the collector and
+	// reports whether more input may follow. Returning false ends the
+	// task; the runtime then drains downstream components. NextTuple is
+	// called from a single goroutine.
+	NextTuple() (more bool, err error)
+	// Close is called when the task ends.
+	Close() error
+}
+
+// Acknowledger is optionally implemented by Spouts that emit tracked tuples
+// (EmitTracked). Ack fires when every tuple in the tree rooted at the
+// message has been processed; Fail fires as soon as any execution in the
+// tree returns an error.
+type Acknowledger interface {
+	Ack(msgID any)
+	Fail(msgID any)
+}
+
+// Bolt consumes input streams and optionally emits new ones. One Bolt
+// instance is created per task by the factory passed to SetBolt.
+type Bolt interface {
+	// Prepare is called once before the first Execute.
+	Prepare(ctx *Context, out *BoltCollector) error
+	// Execute processes one input tuple. Emitting through the collector
+	// anchors new tuples to the input's ack tree. Returning an error
+	// fails the input's tuple tree (the spout's Fail hook fires) but does
+	// not stop the topology. Execute is called from a single goroutine.
+	Execute(t *Tuple) error
+	// Cleanup is called when the task's input stream is exhausted.
+	Cleanup() error
+}
+
+// Context carries per-task information into Open/Prepare.
+type Context struct {
+	// Component is the name the component was registered under.
+	Component string
+	// Task is this instance's index in [0, Parallelism).
+	Task int
+	// Parallelism is the component's task count.
+	Parallelism int
+}
+
+// subscription connects a consumer component to one producer stream.
+type subscription struct {
+	producer string
+	kind     groupingKind
+	fields   []string
+}
+
+type componentDef struct {
+	name        string
+	parallelism int
+	outFields   []string
+	spoutFn     func() Spout
+	boltFn      func() Bolt
+	inputs      []subscription
+}
+
+// Builder accumulates a topology definition: components, parallelism,
+// output schemas and groupings. It mirrors Storm's TopologyBuilder.
+type Builder struct {
+	name       string
+	components map[string]*componentDef
+	order      []string // declaration order, for deterministic setup
+	queueSize  int
+	maxPending int
+}
+
+// NewBuilder returns an empty topology definition with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:       name,
+		components: make(map[string]*componentDef),
+		queueSize:  1024,
+	}
+}
+
+// SetQueueSize sets the per-task input queue capacity (default 1024).
+// Smaller queues propagate backpressure sooner.
+func (b *Builder) SetQueueSize(n int) *Builder {
+	if n > 0 {
+		b.queueSize = n
+	}
+	return b
+}
+
+// SetMaxSpoutPending caps the number of unresolved tracked tuple trees per
+// spout task (Storm's topology.max.spout.pending): a spout with the cap
+// reached waits for acks before emitting more, bounding in-flight work.
+// Zero (the default) means unbounded. Only EmitTracked counts against the
+// cap.
+func (b *Builder) SetMaxSpoutPending(n int) *Builder {
+	if n >= 0 {
+		b.maxPending = n
+	}
+	return b
+}
+
+// SpoutDecl configures a spout being added to the topology.
+type SpoutDecl struct{ def *componentDef }
+
+// BoltDecl configures a bolt being added to the topology.
+type BoltDecl struct{ def *componentDef }
+
+// SetSpout registers a spout component. factory is invoked once per task.
+func (b *Builder) SetSpout(name string, factory func() Spout, parallelism int) *SpoutDecl {
+	def := b.add(name, parallelism)
+	def.spoutFn = factory
+	return &SpoutDecl{def: def}
+}
+
+// SetBolt registers a bolt component. factory is invoked once per task.
+func (b *Builder) SetBolt(name string, factory func() Bolt, parallelism int) *BoltDecl {
+	def := b.add(name, parallelism)
+	def.boltFn = factory
+	return &BoltDecl{def: def}
+}
+
+func (b *Builder) add(name string, parallelism int) *componentDef {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	def := &componentDef{name: name, parallelism: parallelism}
+	if _, dup := b.components[name]; !dup {
+		b.order = append(b.order, name)
+	}
+	b.components[name] = def
+	return def
+}
+
+// OutputFields declares the spout's tuple schema.
+func (s *SpoutDecl) OutputFields(fields ...string) *SpoutDecl {
+	s.def.outFields = fields
+	return s
+}
+
+// OutputFields declares the bolt's tuple schema. Bolts that only store
+// results (terminal bolts) can omit it.
+func (d *BoltDecl) OutputFields(fields ...string) *BoltDecl {
+	d.def.outFields = fields
+	return d
+}
+
+// ShuffleGrouping subscribes the bolt to producer with round-robin routing.
+func (d *BoltDecl) ShuffleGrouping(producer string) *BoltDecl {
+	d.def.inputs = append(d.def.inputs, subscription{producer: producer, kind: groupShuffle})
+	return d
+}
+
+// FieldsGrouping subscribes the bolt to producer, routing tuples with equal
+// values of the named fields to the same task — the single-writer guarantee
+// of §5.1.
+func (d *BoltDecl) FieldsGrouping(producer string, fields ...string) *BoltDecl {
+	d.def.inputs = append(d.def.inputs, subscription{producer: producer, kind: groupFields, fields: fields})
+	return d
+}
+
+// AllGrouping subscribes the bolt to producer, replicating every tuple to
+// every task.
+func (d *BoltDecl) AllGrouping(producer string) *BoltDecl {
+	d.def.inputs = append(d.def.inputs, subscription{producer: producer, kind: groupAll})
+	return d
+}
+
+// GlobalGrouping subscribes the bolt to producer, routing every tuple to
+// task 0.
+func (d *BoltDecl) GlobalGrouping(producer string) *BoltDecl {
+	d.def.inputs = append(d.def.inputs, subscription{producer: producer, kind: groupGlobal})
+	return d
+}
+
+// validate checks the definition is a well-formed DAG with resolvable
+// subscriptions and grouping fields.
+func (b *Builder) validate() error {
+	if len(b.order) == 0 {
+		return fmt.Errorf("storm: topology %q has no components", b.name)
+	}
+	spouts := 0
+	for _, name := range b.order {
+		def := b.components[name]
+		if def.spoutFn != nil {
+			spouts++
+			if len(def.inputs) > 0 {
+				return fmt.Errorf("storm: spout %q cannot subscribe to streams", name)
+			}
+			if len(def.outFields) == 0 {
+				return fmt.Errorf("storm: spout %q declares no output fields", name)
+			}
+		}
+		for _, sub := range def.inputs {
+			producer, ok := b.components[sub.producer]
+			if !ok {
+				return fmt.Errorf("storm: %q subscribes to unknown component %q", name, sub.producer)
+			}
+			if sub.kind == groupFields {
+				if len(sub.fields) == 0 {
+					return fmt.Errorf("storm: %q fields-grouping on %q names no fields", name, sub.producer)
+				}
+				for _, f := range sub.fields {
+					if !contains(producer.outFields, f) {
+						return fmt.Errorf("storm: %q groups on field %q absent from %q's schema %v",
+							name, f, sub.producer, producer.outFields)
+					}
+				}
+			}
+		}
+		if def.boltFn != nil && len(def.inputs) == 0 {
+			return fmt.Errorf("storm: bolt %q has no input subscriptions", name)
+		}
+	}
+	if spouts == 0 {
+		return fmt.Errorf("storm: topology %q has no spouts", b.name)
+	}
+	return b.checkAcyclic()
+}
+
+// checkAcyclic rejects cycles: the drain protocol closes input queues in
+// producer order and would deadlock on a cyclic topology.
+func (b *Builder) checkAcyclic() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(b.components))
+	// consumers[p] = components subscribed to p
+	consumers := make(map[string][]string)
+	for _, name := range b.order {
+		for _, sub := range b.components[name].inputs {
+			consumers[sub.producer] = append(consumers[sub.producer], name)
+		}
+	}
+	var visit func(string) error
+	visit = func(n string) error {
+		color[n] = gray
+		for _, next := range consumers[n] {
+			switch color[next] {
+			case gray:
+				return fmt.Errorf("storm: topology %q contains a cycle through %q", b.name, next)
+			case white:
+				if err := visit(next); err != nil {
+					return err
+				}
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for _, name := range b.order {
+		if color[name] == white {
+			if err := visit(name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,26 @@
+package topn_test
+
+import (
+	"fmt"
+
+	"vidrec/internal/topn"
+)
+
+// A bounded score list keeps only the best entries: updating an existing id
+// re-ranks it, and a full list admits newcomers only above its minimum.
+func ExampleList() {
+	l := topn.NewList(3)
+	l.Update("a", 0.2)
+	l.Update("b", 0.9)
+	l.Update("c", 0.5)
+	l.Update("d", 0.1) // rejected: worse than the current minimum
+	l.Update("a", 0.7) // re-ranked, not duplicated
+
+	for _, e := range l.All() {
+		fmt.Printf("%s %.1f\n", e.ID, e.Score)
+	}
+	// Output:
+	// b 0.9
+	// a 0.7
+	// c 0.5
+}

@@ -1,0 +1,510 @@
+// Package topology wires the paper's Figure 2 onto the storm engine: one
+// spout parsing the raw action stream, and the three processing lines —
+//
+//	spout ─▶ ComputeMF ─▶ MFStorage            (model updates)
+//	spout ─▶ UserHistory                        (behaviour histories + hot lists)
+//	spout ─▶ GetItemPairs ─▶ ItemPairSim ─▶ ResultStorage   (similar-video tables)
+//
+// with the groupings the paper specifies: action tuples are fields-grouped
+// by user id, freshly computed vectors are regrouped by their storage key on
+// the way to MFStorage (the single-writer guarantee of §5.1), and pair
+// similarities are grouped by the owning video before storage.
+//
+// The bolts operate on the exact same components as recommend.System's
+// sequential Ingest; the topology is the scalable deployment of the same
+// state machine.
+package topology
+
+import (
+	"fmt"
+	"time"
+
+	"vidrec/internal/core"
+	"vidrec/internal/demographic"
+	"vidrec/internal/feedback"
+	"vidrec/internal/lru"
+	"vidrec/internal/recommend"
+	"vidrec/internal/simtable"
+	"vidrec/internal/storm"
+)
+
+// Component names, as in Figure 2.
+const (
+	SpoutName         = "spout"
+	ComputeMFName     = "ComputeMF"
+	MFStorageName     = "MFStorage"
+	UserHistoryName   = "UserHistory"
+	GetItemPairsName  = "GetItemPairs"
+	ItemPairSimName   = "ItemPairSim"
+	ResultStorageName = "ResultStorage"
+)
+
+// Parallelism sets per-component task counts (the "parallelism of different
+// spout or bolts is determined by the data set").
+type Parallelism struct {
+	Spout, ComputeMF, MFStorage, UserHistory, GetItemPairs, ItemPairSim, ResultStorage int
+}
+
+// DefaultParallelism returns a small-machine layout.
+func DefaultParallelism() Parallelism {
+	return Parallelism{
+		Spout:         1,
+		ComputeMF:     4,
+		MFStorage:     4,
+		UserHistory:   2,
+		GetItemPairs:  2,
+		ItemPairSim:   4,
+		ResultStorage: 4,
+	}
+}
+
+// Source supplies actions to one spout task. Next reports false when the
+// stream is exhausted.
+type Source interface {
+	Next() (feedback.Action, bool)
+}
+
+// SourceFunc adapts a function to Source.
+type SourceFunc func() (feedback.Action, bool)
+
+// Next implements Source.
+func (f SourceFunc) Next() (feedback.Action, bool) { return f() }
+
+// SliceSource replays a fixed slice of actions.
+func SliceSource(actions []feedback.Action) Source {
+	i := 0
+	return SourceFunc(func() (feedback.Action, bool) {
+		if i >= len(actions) {
+			return feedback.Action{}, false
+		}
+		a := actions[i]
+		i++
+		return a, true
+	})
+}
+
+// Build assembles the Figure 2 topology over the system's components.
+// sources is invoked once per spout task.
+func Build(sys *recommend.System, sources func(task int) Source, par Parallelism) (*storm.Topology, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("topology: system must not be nil")
+	}
+	if sources == nil {
+		return nil, fmt.Errorf("topology: source factory must not be nil")
+	}
+	b := storm.NewBuilder("rt-video-recommendation")
+
+	spoutTask := 0
+	b.SetSpout(SpoutName, func() storm.Spout {
+		s := &actionSpout{}
+		s.src = sources(spoutTask)
+		spoutTask++
+		return s
+	}, par.Spout).OutputFields("user", "video", "action")
+
+	b.SetBolt(ComputeMFName, func() storm.Bolt { return &computeMFBolt{sys: sys} }, par.ComputeMF).
+		FieldsGrouping(SpoutName, "user").
+		OutputFields("key", "kind", "group", "id", "vec", "bias")
+
+	b.SetBolt(MFStorageName, func() storm.Bolt { return &mfStorageBolt{sys: sys} }, par.MFStorage).
+		FieldsGrouping(ComputeMFName, "key")
+
+	b.SetBolt(UserHistoryName, func() storm.Bolt { return &userHistoryBolt{sys: sys} }, par.UserHistory).
+		FieldsGrouping(SpoutName, "user")
+
+	b.SetBolt(GetItemPairsName, func() storm.Bolt { return &getItemPairsBolt{sys: sys} }, par.GetItemPairs).
+		FieldsGrouping(SpoutName, "user").
+		OutputFields("video1", "video2", "group", "tsms")
+
+	b.SetBolt(ItemPairSimName, func() storm.Bolt { return &itemPairSimBolt{sys: sys} }, par.ItemPairSim).
+		FieldsGrouping(GetItemPairsName, "video1", "video2").
+		OutputFields("video1", "video2", "sim", "group", "tsms")
+
+	b.SetBolt(ResultStorageName, func() storm.Bolt { return &resultStorageBolt{sys: sys} }, par.ResultStorage).
+		FieldsGrouping(ItemPairSimName, "video1")
+
+	return b.Build()
+}
+
+// actionSpout parses and emits the raw action stream: "the spout gets data
+// ..., parses the raw message, filters the unqualified data tuples".
+type actionSpout struct {
+	src Source
+	out *storm.SpoutCollector
+}
+
+func (s *actionSpout) Open(_ *storm.Context, out *storm.SpoutCollector) error {
+	s.out = out
+	return nil
+}
+func (s *actionSpout) Close() error { return nil }
+
+func (s *actionSpout) NextTuple() (bool, error) {
+	a, ok := s.src.Next()
+	if !ok {
+		return false, nil
+	}
+	if a.UserID == "" || a.VideoID == "" {
+		return true, nil // unqualified tuple: filter, keep streaming
+	}
+	s.out.Emit(storm.Values{a.UserID, a.VideoID, a})
+	return true, nil
+}
+
+func actionOf(t *storm.Tuple) (feedback.Action, error) {
+	v, err := t.Field("action")
+	if err != nil {
+		return feedback.Action{}, err
+	}
+	a, ok := v.(feedback.Action)
+	if !ok {
+		return feedback.Action{}, fmt.Errorf("topology: action field is %T", v)
+	}
+	return a, nil
+}
+
+// computeMFBolt runs Algorithm 1's arithmetic and emits the new vectors,
+// regrouped by storage key, to MFStorage — compute and storage are separated
+// exactly as in §5.1 so that each key has a single writer.
+type computeMFBolt struct {
+	sys *recommend.System
+	out *storm.BoltCollector
+}
+
+func (b *computeMFBolt) Prepare(_ *storm.Context, out *storm.BoltCollector) error {
+	b.out = out
+	return nil
+}
+func (b *computeMFBolt) Cleanup() error { return nil }
+
+func (b *computeMFBolt) Execute(t *storm.Tuple) error {
+	a, err := actionOf(t)
+	if err != nil {
+		return err
+	}
+	group, err := b.sys.Profiles.GroupOf(a.UserID)
+	if err != nil {
+		return err
+	}
+	if err := b.step(demographic.GlobalGroup, a); err != nil {
+		return err
+	}
+	if b.sys.Options().DemographicTraining && group != demographic.GlobalGroup {
+		return b.step(group, a)
+	}
+	return nil
+}
+
+// step computes one model's update for the action and emits the new state.
+func (b *computeMFBolt) step(group string, a feedback.Action) error {
+	model, err := b.sys.Models.For(group)
+	if err != nil {
+		return err
+	}
+	rating, weight := model.Params().Weights.Confidence(a)
+	// The global-mean counter is shared state with per-key atomic update;
+	// it is observed here (compute side) for every action, using the
+	// rule's own training-rating scale exactly as ProcessAction does.
+	observed := 0.0
+	if rating > 0 {
+		observed = model.Params().TrainingRating(rating, weight)
+	}
+	if err := model.ObserveRating(observed); err != nil {
+		return err
+	}
+	if rating == 0 {
+		return nil
+	}
+	state, _, _, err := model.Load(a.UserID, a.VideoID)
+	if err != nil {
+		return err
+	}
+	mu, err := model.GlobalMean()
+	if err != nil {
+		return err
+	}
+	next := model.Params().Step(state, mu, rating, weight)
+	if !core.StateFinite(next) {
+		model.Stats().Diverged.Add(1)
+		return nil // drop the update rather than store non-finite vectors
+	}
+	b.out.Emit(storm.Values{group + "|u|" + a.UserID, "user", group, a.UserID, next.UserVec, next.UserBias})
+	b.out.Emit(storm.Values{group + "|i|" + a.VideoID, "item", group, a.VideoID, next.ItemVec, next.ItemBias})
+	return nil
+}
+
+// mfStorageBolt writes freshly computed vectors; fields grouping by key
+// guarantees it is the only writer for that vector.
+type mfStorageBolt struct{ sys *recommend.System }
+
+func (b *mfStorageBolt) Prepare(*storm.Context, *storm.BoltCollector) error { return nil }
+func (b *mfStorageBolt) Cleanup() error                                     { return nil }
+
+func (b *mfStorageBolt) Execute(t *storm.Tuple) error {
+	kind, err := t.String("kind")
+	if err != nil {
+		return err
+	}
+	group, err := t.String("group")
+	if err != nil {
+		return err
+	}
+	id, err := t.String("id")
+	if err != nil {
+		return err
+	}
+	vecAny, err := t.Field("vec")
+	if err != nil {
+		return err
+	}
+	vec, ok := vecAny.([]float64)
+	if !ok {
+		return fmt.Errorf("topology: vec field is %T", vecAny)
+	}
+	biasAny, err := t.Field("bias")
+	if err != nil {
+		return err
+	}
+	bias, ok := biasAny.(float64)
+	if !ok {
+		return fmt.Errorf("topology: bias field is %T", biasAny)
+	}
+	model, err := b.sys.Models.For(group)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case "user":
+		return model.StoreUser(id, vec, bias)
+	case "item":
+		return model.StoreItem(id, vec, bias)
+	default:
+		return fmt.Errorf("topology: unknown vector kind %q", kind)
+	}
+}
+
+// userHistoryBolt records behaviour histories and heats the demographic hot
+// lists.
+type userHistoryBolt struct{ sys *recommend.System }
+
+func (b *userHistoryBolt) Prepare(*storm.Context, *storm.BoltCollector) error { return nil }
+func (b *userHistoryBolt) Cleanup() error                                     { return nil }
+
+func (b *userHistoryBolt) Execute(t *storm.Tuple) error {
+	a, err := actionOf(t)
+	if err != nil {
+		return err
+	}
+	weight := weightOf(b.sys, a)
+	if weight <= 0 {
+		return nil
+	}
+	if err := b.sys.History.Append(a.UserID, a.VideoID, a.Timestamp); err != nil {
+		return err
+	}
+	if err := b.sys.Hot.Record(demographic.GlobalGroup, a.VideoID, weight, a.Timestamp); err != nil {
+		return err
+	}
+	if b.sys.Options().DemographicFiltering {
+		group, err := b.sys.Profiles.GroupOf(a.UserID)
+		if err != nil {
+			return err
+		}
+		if group != demographic.GlobalGroup {
+			return b.sys.Hot.Record(group, a.VideoID, weight, a.Timestamp)
+		}
+	}
+	return nil
+}
+
+func weightOf(sys *recommend.System, a feedback.Action) float64 {
+	return sys.Weights().Weight(a)
+}
+
+// getItemPairsBolt expands each positive action into (video, recent video)
+// pairs, emitted in both directions so each video's table has an owner task.
+type getItemPairsBolt struct {
+	sys *recommend.System
+	out *storm.BoltCollector
+}
+
+func (b *getItemPairsBolt) Prepare(_ *storm.Context, out *storm.BoltCollector) error {
+	b.out = out
+	return nil
+}
+func (b *getItemPairsBolt) Cleanup() error { return nil }
+
+func (b *getItemPairsBolt) Execute(t *storm.Tuple) error {
+	a, err := actionOf(t)
+	if err != nil {
+		return err
+	}
+	if weightOf(b.sys, a) <= 0 {
+		return nil
+	}
+	group, err := b.sys.Profiles.GroupOf(a.UserID)
+	if err != nil {
+		return err
+	}
+	recent, err := b.sys.History.RecentVideos(a.UserID, b.sys.Options().PairWindow)
+	if err != nil {
+		return err
+	}
+	ts := a.Timestamp.UnixMilli()
+	for _, pair := range simtable.Pairs(a.VideoID, recent) {
+		b.out.Emit(storm.Values{pair[0], pair[1], group, ts})
+		b.out.Emit(storm.Values{pair[1], pair[0], group, ts})
+	}
+	return nil
+}
+
+// itemPairSimBolt computes the fused pair similarity (Eq. 9–12's undamped
+// part) for the pair's group — and for the global group when they differ.
+//
+// The bolt applies §5.1's cache technique: fields grouping routes all pairs
+// with the same video1 to this task, so the task caches item vectors and
+// catalog types locally with a short TTL and skips most store reads. A
+// vector up to vectorCacheTTL stale shifts a pair score well within the
+// online model's own step-to-step movement.
+type itemPairSimBolt struct {
+	sys     *recommend.System
+	out     *storm.BoltCollector
+	vectors *lru.Cache[string, []float64] // key: group|video
+	types   *lru.Cache[string, string]    // key: video
+}
+
+// Cache sizing for the ItemPairSim task (§5.1's cache technique).
+const (
+	vectorCacheSize = 4096
+	vectorCacheTTL  = 2 * time.Second
+)
+
+func (b *itemPairSimBolt) Prepare(_ *storm.Context, out *storm.BoltCollector) error {
+	b.out = out
+	b.vectors = lru.New[string, []float64](vectorCacheSize, vectorCacheTTL)
+	b.types = lru.New[string, string](vectorCacheSize, 0) // types are immutable
+	return nil
+}
+func (b *itemPairSimBolt) Cleanup() error { return nil }
+
+func (b *itemPairSimBolt) Execute(t *storm.Tuple) error {
+	v1, err := t.String("video1")
+	if err != nil {
+		return err
+	}
+	v2, err := t.String("video2")
+	if err != nil {
+		return err
+	}
+	group, err := t.String("group")
+	if err != nil {
+		return err
+	}
+	tsAny, err := t.Field("tsms")
+	if err != nil {
+		return err
+	}
+	ts, ok := tsAny.(int64)
+	if !ok {
+		return fmt.Errorf("topology: tsms field is %T", tsAny)
+	}
+	groups := []string{group}
+	if b.sys.Options().DemographicTraining && group != demographic.GlobalGroup {
+		groups = append(groups, demographic.GlobalGroup)
+	}
+	for _, g := range groups {
+		score, err := b.pairScore(g, v1, v2)
+		if err != nil {
+			return err
+		}
+		b.out.Emit(storm.Values{v1, v2, score, g, ts})
+	}
+	return nil
+}
+
+func (b *itemPairSimBolt) pairScore(group, v1, v2 string) (float64, error) {
+	tables, err := b.sys.Tables.For(group)
+	if err != nil {
+		return 0, err
+	}
+	y1, err := b.itemVector(group, v1)
+	if err != nil {
+		return 0, err
+	}
+	y2, err := b.itemVector(group, v2)
+	if err != nil {
+		return 0, err
+	}
+	t1, err := b.videoType(v1)
+	if err != nil {
+		return 0, err
+	}
+	t2, err := b.videoType(v2)
+	if err != nil {
+		return 0, err
+	}
+	return tables.Config().FuseVectors(y1, y2, t1, t2), nil
+}
+
+// itemVector reads a video's latent vector through the task-local TTL cache.
+func (b *itemPairSimBolt) itemVector(group, video string) ([]float64, error) {
+	return b.vectors.GetOrLoad(group+"|"+video, func() ([]float64, error) {
+		model, err := b.sys.Models.For(group)
+		if err != nil {
+			return nil, err
+		}
+		vec, _, _, err := model.ItemVector(video)
+		return vec, err
+	})
+}
+
+// videoType reads a video's category through the task-local cache; catalog
+// records are immutable, so no TTL is needed.
+func (b *itemPairSimBolt) videoType(video string) (string, error) {
+	return b.types.GetOrLoad(video, func() (string, error) {
+		return b.sys.Catalog.Type(video)
+	})
+}
+
+// resultStorageBolt persists the top-N similar list updates; fields grouping
+// by the owning video serializes writers per list.
+type resultStorageBolt struct{ sys *recommend.System }
+
+func (b *resultStorageBolt) Prepare(*storm.Context, *storm.BoltCollector) error { return nil }
+func (b *resultStorageBolt) Cleanup() error                                     { return nil }
+
+func (b *resultStorageBolt) Execute(t *storm.Tuple) error {
+	v1, err := t.String("video1")
+	if err != nil {
+		return err
+	}
+	v2, err := t.String("video2")
+	if err != nil {
+		return err
+	}
+	group, err := t.String("group")
+	if err != nil {
+		return err
+	}
+	simAny, err := t.Field("sim")
+	if err != nil {
+		return err
+	}
+	score, ok := simAny.(float64)
+	if !ok {
+		return fmt.Errorf("topology: sim field is %T", simAny)
+	}
+	tsAny, err := t.Field("tsms")
+	if err != nil {
+		return err
+	}
+	ts, ok := tsAny.(int64)
+	if !ok {
+		return fmt.Errorf("topology: tsms field is %T", tsAny)
+	}
+	tables, err := b.sys.Tables.For(group)
+	if err != nil {
+		return err
+	}
+	return tables.UpdateDirected(v1, v2, score, time.UnixMilli(ts))
+}

@@ -1,0 +1,109 @@
+// Package vecmath provides the small set of dense-vector operations used by
+// the matrix-factorization model and the similar-video tables.
+//
+// All operations work on []float64 slices of equal length. Functions that
+// combine two vectors panic on length mismatch: a mismatch always indicates a
+// programming error (vectors of one model share a single dimensionality), and
+// silently truncating would corrupt the model.
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b.
+//
+// The inner product x_u · y_i is the interaction term of the paper's
+// preference prediction (Eq. 2) and the collaborative-filtering similarity
+// between two item vectors (Eq. 9).
+func Dot(a, b []float64) float64 {
+	checkLen(a, b)
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of a.
+func Norm(a []float64) float64 {
+	return math.Sqrt(Dot(a, a))
+}
+
+// Cosine returns the cosine similarity of a and b, or 0 when either vector is
+// all-zero (a fresh, untrained vector carries no similarity signal).
+func Cosine(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// AXPY computes a += alpha*x in place and returns a.
+func AXPY(alpha float64, x, a []float64) []float64 {
+	checkLen(a, x)
+	for i := range a {
+		a[i] += alpha * x[i]
+	}
+	return a
+}
+
+// Scale multiplies a by alpha in place and returns a.
+func Scale(alpha float64, a []float64) []float64 {
+	for i := range a {
+		a[i] *= alpha
+	}
+	return a
+}
+
+// Clone returns a copy of a. A nil input yields a nil output.
+func Clone(a []float64) []float64 {
+	if a == nil {
+		return nil
+	}
+	c := make([]float64, len(a))
+	copy(c, a)
+	return c
+}
+
+// SGDStep applies one regularized stochastic-gradient step to dst:
+//
+//	dst += eta * (err*grad - lambda*dst)
+//
+// which is the update form of Algorithm 1 lines 11–14 (with grad being the
+// paired vector for latent factors, or implicitly 1 for biases — see
+// BiasStep). dst is modified in place and returned.
+func SGDStep(eta, err, lambda float64, dst, grad []float64) []float64 {
+	checkLen(dst, grad)
+	for i := range dst {
+		dst[i] += eta * (err*grad[i] - lambda*dst[i])
+	}
+	return dst
+}
+
+// BiasStep applies the scalar form of the regularized SGD step used for the
+// user and item bias terms (Algorithm 1 lines 11–12):
+//
+//	b + eta*(err - lambda*b)
+func BiasStep(eta, err, lambda, b float64) float64 {
+	return b + eta*(err-lambda*b)
+}
+
+// IsFinite reports whether every element of a is finite (no NaN or ±Inf).
+// The online model uses it to detect divergence under hostile learning rates.
+func IsFinite(a []float64) bool {
+	for _, v := range a {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func checkLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: dimension mismatch %d != %d", len(a), len(b)))
+	}
+}

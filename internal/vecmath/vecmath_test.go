@@ -1,0 +1,170 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDot(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"empty", nil, nil, 0},
+		{"ones", []float64{1, 1, 1}, []float64{1, 1, 1}, 3},
+		{"orthogonal", []float64{1, 0}, []float64{0, 1}, 0},
+		{"mixed", []float64{1, -2, 3}, []float64{4, 5, -6}, 4 - 10 - 18},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dot(tt.a, tt.b); !almostEq(got, tt.want) {
+				t.Errorf("Dot(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm(t *testing.T) {
+	if got := Norm([]float64{3, 4}); !almostEq(got, 5) {
+		t.Errorf("Norm([3 4]) = %v, want 5", got)
+	}
+	if got := Norm(nil); got != 0 {
+		t.Errorf("Norm(nil) = %v, want 0", got)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine([]float64{1, 0}, []float64{2, 0}); !almostEq(got, 1) {
+		t.Errorf("Cosine parallel = %v, want 1", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{0, 3}); !almostEq(got, 0) {
+		t.Errorf("Cosine orthogonal = %v, want 0", got)
+	}
+	if got := Cosine([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Errorf("Cosine with zero vector = %v, want 0", got)
+	}
+}
+
+func TestCosineRange(t *testing.T) {
+	// Latent-factor vectors live near the unit ball; constrain inputs so the
+	// intermediate inner products cannot overflow float64.
+	f := func(a, b [8]float64) bool {
+		for i := range a {
+			a[i] = math.Mod(a[i], 100)
+			b[i] = math.Mod(b[i], 100)
+		}
+		c := Cosine(a[:], b[:])
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	a := []float64{1, 2, 3}
+	got := AXPY(2, []float64{1, 1, 1}, a)
+	want := []float64{3, 4, 5}
+	for i := range want {
+		if !almostEq(got[i], want[i]) {
+			t.Fatalf("AXPY = %v, want %v", got, want)
+		}
+	}
+	if &got[0] != &a[0] {
+		t.Error("AXPY must operate in place")
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := []float64{1, -2}
+	Scale(-3, a)
+	if a[0] != -3 || a[1] != 6 {
+		t.Errorf("Scale = %v, want [-3 6]", a)
+	}
+}
+
+func TestClone(t *testing.T) {
+	if Clone(nil) != nil {
+		t.Error("Clone(nil) must be nil")
+	}
+	a := []float64{1, 2}
+	c := Clone(a)
+	c[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone must not alias its input")
+	}
+}
+
+// TestSGDStepMatchesScalarForm checks the vector step against an elementwise
+// reference implementation of Algorithm 1's update rule.
+func TestSGDStepMatchesScalarForm(t *testing.T) {
+	f := func(dst, grad [6]float64) bool {
+		const eta, err, lambda = 0.02, 0.7, 0.05
+		want := dst
+		for i := range want {
+			want[i] += eta * (err*grad[i] - lambda*want[i])
+		}
+		got := SGDStep(eta, err, lambda, Clone(dst[:]), grad[:])
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSGDStepReducesError verifies the defining property of a gradient step:
+// for a small enough learning rate, prediction error shrinks.
+func TestSGDStepReducesError(t *testing.T) {
+	x := []float64{0.1, 0.2, -0.1}
+	y := []float64{0.3, -0.2, 0.4}
+	const r, lambda, eta = 1.0, 0.01, 0.1
+	before := math.Abs(r - Dot(x, y))
+	// Mirror the paired update of Algorithm 1: both vectors move using the
+	// pre-update value of the other.
+	x0 := Clone(x)
+	errv := r - Dot(x, y)
+	SGDStep(eta, errv, lambda, x, y)
+	SGDStep(eta, errv, lambda, y, x0)
+	after := math.Abs(r - Dot(x, y))
+	if after >= before {
+		t.Errorf("error did not decrease: before %v after %v", before, after)
+	}
+}
+
+func TestBiasStep(t *testing.T) {
+	got := BiasStep(0.1, 0.5, 0.2, 1.0)
+	want := 1.0 + 0.1*(0.5-0.2*1.0)
+	if !almostEq(got, want) {
+		t.Errorf("BiasStep = %v, want %v", got, want)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !IsFinite([]float64{1, -2, 0}) {
+		t.Error("finite vector reported non-finite")
+	}
+	if IsFinite([]float64{1, math.NaN()}) {
+		t.Error("NaN not detected")
+	}
+	if IsFinite([]float64{math.Inf(1)}) {
+		t.Error("+Inf not detected")
+	}
+}
