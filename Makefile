@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race vet fmt lint check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race tier is a standing requirement: the topology, acker, and kvstore
+# are exercised concurrently by their tests, so this catches real interleaving
+# bugs, not just annotation drift. -count=1 defeats the test cache on purpose.
+race:
+	$(GO) test -race -count=1 ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# vidlint is the repo's own analyzer (internal/lint): lockcheck, atomiccheck,
+# errcheck, goroutinecheck. Zero findings is the merge bar.
+lint:
+	$(GO) run ./cmd/vidlint ./...
+
+check: build vet fmt lint test

@@ -74,7 +74,7 @@ func writeCSV(dir, name string, r csvWriter) error {
 		return err
 	}
 	if err := r.WriteCSV(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is already being returned
 		return err
 	}
 	if err := f.Close(); err != nil {

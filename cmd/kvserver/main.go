@@ -12,6 +12,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -34,13 +35,24 @@ func main() {
 	}
 	log.Printf("kvstore serving on %s with %d shards", srv.Addr(), backing.Shards())
 
+	stopReport := make(chan struct{})
+	var reportWG sync.WaitGroup
 	if *report > 0 {
+		reportWG.Add(1)
 		go func() {
-			for range time.Tick(*report) {
-				snap := backing.Stats().Snapshot()
-				keys, _ := backing.Len()
-				log.Printf("keys=%d gets=%d sets=%d hit_rate=%.3f",
-					keys, snap.Gets, snap.Sets, snap.HitRate())
+			defer reportWG.Done()
+			ticker := time.NewTicker(*report)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopReport:
+					return
+				case <-ticker.C:
+					snap := backing.Stats().Snapshot()
+					keys, _ := backing.Len() // Local.Len cannot fail
+					log.Printf("keys=%d gets=%d sets=%d hit_rate=%.3f",
+						keys, snap.Gets, snap.Sets, snap.HitRate())
+				}
 			}
 		}()
 	}
@@ -49,6 +61,8 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
+	close(stopReport)
+	reportWG.Wait()
 	if err := srv.Close(); err != nil {
 		log.Printf("close: %v", err)
 	}

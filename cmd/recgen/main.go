@@ -80,7 +80,7 @@ func writeFile(path string, fn func(*os.File) error) error {
 		return err
 	}
 	if err := fn(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is already being returned
 		return err
 	}
 	return f.Close()

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -69,14 +70,14 @@ func run(addr, dataDir string, replay bool, kvAddr, snapshot string) error {
 		if err != nil {
 			return err
 		}
-		defer cli.Close()
+		defer func() { _ = cli.Close() }() // process exit: pooled conns die either way
 		kv = cli
 	}
 	if snapshot != "" && local != nil {
 		if err := local.LoadSnapshot(snapshot); err != nil {
 			log.Printf("snapshot not loaded (%v); starting cold", err)
 		} else {
-			n, _ := local.Len()
+			n, _ := local.Len() // Local.Len cannot fail
 			log.Printf("warm start: %d keys from %s", n, snapshot)
 			replay = false // state restored; no need to re-stream
 		}
@@ -109,7 +110,7 @@ func run(addr, dataDir string, replay bool, kvAddr, snapshot string) error {
 		log.Printf("replay done in %v", time.Since(start).Round(time.Millisecond))
 		replayMetrics = make(map[string]storm.MetricsSnapshot)
 		for _, name := range topo.Components() {
-			m, _ := topo.MetricsFor(name)
+			m, _ := topo.MetricsFor(name) // name comes from Components, always known
 			replayMetrics[name] = m
 		}
 	}
@@ -145,7 +146,7 @@ func run(addr, dataDir string, replay bool, kvAddr, snapshot string) error {
 func newMux(sys *recommend.System, kv kvstore.Store, replayMetrics map[string]storm.MetricsSnapshot) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+		_, _ = fmt.Fprintln(w, "ok") // best-effort: a vanished client needs no liveness reply
 	})
 	mux.HandleFunc("GET /recommend", func(w http.ResponseWriter, r *http.Request) {
 		user := r.URL.Query().Get("user")
@@ -190,7 +191,7 @@ func newMux(sys *recommend.System, kv kvstore.Store, replayMetrics map[string]st
 		writeJSON(w, entries)
 	})
 	mux.HandleFunc("POST /action", func(w http.ResponseWriter, r *http.Request) {
-		defer r.Body.Close()
+		defer func() { _ = r.Body.Close() }() // net/http closes the body anyway; this just frees it early
 		parsed, err := readBodyActions(r)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -221,7 +222,7 @@ func newMux(sys *recommend.System, kv kvstore.Store, replayMetrics map[string]st
 		}
 		if local, ok := kv.(*kvstore.Local); ok {
 			snap := local.Stats().Snapshot()
-			keys, _ := local.Len()
+			keys, _ := local.Len() // Local.Len cannot fail
 			stats["kv"] = map[string]any{
 				"keys": keys, "gets": snap.Gets, "sets": snap.Sets,
 				"hit_rate": snap.HitRate(),
@@ -255,12 +256,7 @@ func loadWorkload(sys *recommend.System, dir string) ([]feedback.Action, error) 
 		return d.AllActions(), nil
 	}
 
-	catFile, err := os.Open(filepath.Join(dir, "catalog.tsv"))
-	if err != nil {
-		return nil, err
-	}
-	defer catFile.Close()
-	videos, err := dataset.ReadCatalog(catFile)
+	videos, err := readTSV(filepath.Join(dir, "catalog.tsv"), dataset.ReadCatalog)
 	if err != nil {
 		return nil, err
 	}
@@ -270,12 +266,7 @@ func loadWorkload(sys *recommend.System, dir string) ([]feedback.Action, error) 
 		}
 	}
 
-	profFile, err := os.Open(filepath.Join(dir, "profiles.tsv"))
-	if err != nil {
-		return nil, err
-	}
-	defer profFile.Close()
-	profiles, err := dataset.ReadProfiles(profFile)
+	profiles, err := readTSV(filepath.Join(dir, "profiles.tsv"), dataset.ReadProfiles)
 	if err != nil {
 		return nil, err
 	}
@@ -285,12 +276,18 @@ func loadWorkload(sys *recommend.System, dir string) ([]feedback.Action, error) 
 		}
 	}
 
-	actFile, err := os.Open(filepath.Join(dir, "actions.tsv"))
+	return readTSV(filepath.Join(dir, "actions.tsv"), dataset.ReadActions)
+}
+
+// readTSV opens path and parses it with parse. The file is opened read-only,
+// so its Close result carries no data-loss information and is dropped.
+func readTSV[T any](path string, parse func(io.Reader) ([]T, error)) ([]T, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer actFile.Close()
-	return dataset.ReadActions(actFile)
+	defer func() { _ = f.Close() }() // read-only descriptor
+	return parse(f)
 }
 
 func readBodyActions(r *http.Request) ([]feedback.Action, error) {

@@ -1,0 +1,153 @@
+// Command vidlint is vidrec's in-tree static analyzer: it loads and
+// type-checks every package in the module using only the standard library
+// and runs the concurrency/error-discipline passes registered in
+// internal/lint (lockcheck, atomiccheck, errcheck, goroutinecheck).
+//
+// Usage:
+//
+//	vidlint [-json] [-tests] [-pass name[,name...]] [packages]
+//
+// With no package arguments (or "./..."), the whole module is linted.
+// Package arguments are module-relative directory prefixes, e.g.
+// "internal/kvstore". The exit status is 1 when findings are reported, 2
+// when loading or type-checking fails, and 0 on a clean tree — so `go run
+// ./cmd/vidlint ./...` slots directly into CI and the Makefile.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vidrec/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		tests    = flag.Bool("tests", false, "also lint _test.go files")
+		passList = flag.String("pass", "", "comma-separated passes to run (default: all)")
+		list     = flag.Bool("list", false, "list registered passes and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range lint.Passes() {
+			fmt.Printf("%-16s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	passes, err := selectPasses(*passList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidlint:", err)
+		os.Exit(2)
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidlint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidlint:", err)
+		os.Exit(2)
+	}
+	loader.IncludeTests = *tests
+	units, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vidlint:", err)
+		os.Exit(2)
+	}
+	units = filterUnits(units, flag.Args())
+
+	findings := lint.Run(units, passes)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "vidlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if n := len(findings); n > 0 {
+			fmt.Fprintf(os.Stderr, "vidlint: %d finding(s)\n", n)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func selectPasses(spec string) ([]*lint.Pass, error) {
+	if spec == "" {
+		return lint.Passes(), nil
+	}
+	var out []*lint.Pass
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		p := lint.PassByName(name)
+		if p == nil {
+			return nil, fmt.Errorf("unknown pass %q (use -list)", name)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// filterUnits keeps units matching the module-relative prefixes in args.
+// "./..." (or no args) keeps everything; "./x/..." and "x" both mean the
+// subtree at x.
+func filterUnits(units []*lint.Unit, args []string) []*lint.Unit {
+	var prefixes []string
+	for _, a := range args {
+		a = strings.TrimSuffix(a, "...")
+		a = strings.TrimSuffix(a, "/")
+		a = strings.TrimPrefix(a, "./")
+		if a == "" || a == "." {
+			return units
+		}
+		prefixes = append(prefixes, filepath.ToSlash(a))
+	}
+	if len(prefixes) == 0 {
+		return units
+	}
+	var out []*lint.Unit
+	for _, u := range units {
+		for _, p := range prefixes {
+			if u.RelPath == p || strings.HasPrefix(u.RelPath, p+"/") {
+				out = append(out, u)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -19,7 +19,7 @@ type ModelSet struct {
 	params core.Params
 
 	mu     sync.RWMutex
-	models map[string]*core.Model
+	models map[string]*core.Model // guarded by mu
 }
 
 // NewModelSet returns an empty set that creates group models on demand with
@@ -82,7 +82,7 @@ type TableSet struct {
 	cfg  simtable.Config
 
 	mu     sync.RWMutex
-	tables map[string]*simtable.Tables
+	tables map[string]*simtable.Tables // guarded by mu
 }
 
 // NewTableSet returns an empty set that creates group tables on demand.

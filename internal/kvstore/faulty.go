@@ -17,7 +17,7 @@ type Faulty struct {
 	inner Store
 
 	mu  sync.Mutex
-	rng *rand.Rand
+	rng *rand.Rand // guarded by mu
 
 	// FailRate is the probability in [0,1] that an operation returns
 	// ErrInjected instead of executing.

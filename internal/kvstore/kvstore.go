@@ -90,7 +90,7 @@ type Local struct {
 
 type shard struct {
 	mu sync.RWMutex
-	m  map[string][]byte
+	m  map[string][]byte // guarded by mu
 }
 
 // NewLocal returns a Local store with the given shard count, rounded up to a
@@ -158,7 +158,7 @@ func (l *Local) Delete(key string) (bool, error) {
 func (l *Local) MGet(keys []string) ([][]byte, error) {
 	out := make([][]byte, len(keys))
 	for i, k := range keys {
-		v, ok, _ := l.Get(k)
+		v, ok, _ := l.Get(k) // Local.Get cannot fail
 		if ok {
 			out[i] = v
 		}

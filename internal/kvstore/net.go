@@ -46,8 +46,8 @@ type Server struct {
 	listener net.Listener
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
+	conns  map[net.Conn]struct{} // guarded by mu
+	closed bool                  // guarded by mu
 	wg     sync.WaitGroup
 }
 
@@ -78,7 +78,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	err := s.listener.Close()
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close() // teardown: per-conn close errors don't outrank the listener's
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -95,7 +95,7 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // racing shutdown: the session never started
 			return
 		}
 		s.conns[conn] = struct{}{}
@@ -108,7 +108,7 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
-		conn.Close()
+		_ = conn.Close() // session over; the peer sees EOF either way
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -170,8 +170,8 @@ type Client struct {
 	addr string
 
 	mu     sync.Mutex
-	idle   []*clientConn
-	closed bool
+	idle   []*clientConn // guarded by mu
+	closed bool          // guarded by mu
 }
 
 type clientConn struct {
@@ -220,7 +220,7 @@ func (c *Client) put(cc *clientConn) {
 	c.mu.Lock()
 	if c.closed || len(c.idle) >= 16 {
 		c.mu.Unlock()
-		cc.conn.Close()
+		_ = cc.conn.Close() // surplus conn: nothing in flight to lose
 		return
 	}
 	c.idle = append(c.idle, cc)
@@ -233,7 +233,7 @@ func (c *Client) Close() error {
 	defer c.mu.Unlock()
 	c.closed = true
 	for _, cc := range c.idle {
-		cc.conn.Close()
+		_ = cc.conn.Close() // pool teardown: idle conns carry no in-flight requests
 	}
 	c.idle = nil
 	return nil
@@ -246,11 +246,11 @@ func (c *Client) roundTrip(req *request) (*response, error) {
 	}
 	var resp response
 	if err := cc.enc.Encode(req); err != nil {
-		cc.conn.Close()
+		_ = cc.conn.Close() // conn is poisoned; the encode error is what matters
 		return nil, fmt.Errorf("kvstore: send: %w", err)
 	}
 	if err := cc.dec.Decode(&resp); err != nil {
-		cc.conn.Close()
+		_ = cc.conn.Close() // conn is poisoned; the decode error is what matters
 		return nil, fmt.Errorf("kvstore: recv: %w", err)
 	}
 	c.put(cc)

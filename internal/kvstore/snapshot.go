@@ -127,16 +127,16 @@ func (l *Local) SaveSnapshot(path string) error {
 		return fmt.Errorf("kvstore: create snapshot: %w", err)
 	}
 	if err := l.WriteSnapshot(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()      // the write error is already being returned
+		_ = os.Remove(tmp) // best-effort cleanup of the partial temp file
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp) // best-effort cleanup of the partial temp file
 		return fmt.Errorf("kvstore: close snapshot: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp) // best-effort cleanup of the orphaned temp file
 		return fmt.Errorf("kvstore: install snapshot: %w", err)
 	}
 	return nil
@@ -148,7 +148,7 @@ func (l *Local) LoadSnapshot(path string) error {
 	if err != nil {
 		return fmt.Errorf("kvstore: open snapshot: %w", err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only descriptor; checksum already validated the data
 	return l.ReadSnapshot(f)
 }
 

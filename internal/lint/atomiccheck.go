@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomiccheck enforces two rules about sync/atomic typed values
+// (atomic.Int64, atomic.Uint64, atomic.Bool, ...):
+//
+//  1. they must only be touched through their methods — a plain read
+//     (x := c.count), plain write (c.count = v), or any other value use
+//     bypasses the memory-ordering guarantees and races with concurrent
+//     Load/Add callers;
+//  2. values whose type *contains* atomic state (the Metrics / Stats /
+//     Histogram counter blocks) must not be copied by value: the copy tears
+//     concurrent updates and silently forks the counters.
+//
+// Taking the address (&c.count) and calling methods (c.count.Add(1)) are the
+// only sanctioned uses.
+
+func init() {
+	Register(&Pass{
+		Name: "atomiccheck",
+		Doc:  "sync/atomic values must be used via their methods and never copied",
+		Run:  runAtomiccheck,
+	})
+}
+
+func runAtomiccheck(u *Unit) []Finding {
+	c := &atomicChecker{u: u, seen: make(map[token.Pos]bool)}
+	for _, f := range u.Files {
+		// Declarations: by-value receivers, params, and results of types
+		// containing atomics are copies at every call.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				c.checkFieldList(x.Recv, "receiver")
+				if x.Type != nil {
+					c.checkFieldList(x.Type.Params, "parameter")
+					c.checkFieldList(x.Type.Results, "result")
+				}
+			case *ast.FuncLit:
+				c.checkFieldList(x.Type.Params, "parameter")
+				c.checkFieldList(x.Type.Results, "result")
+			}
+			return true
+		})
+		walkStack(f, c.visit)
+	}
+	return c.findings
+}
+
+type atomicChecker struct {
+	u        *Unit
+	findings []Finding
+	seen     map[token.Pos]bool // dedupe: one finding per offending position
+}
+
+func (c *atomicChecker) report(n ast.Node, format string, args ...any) {
+	if c.seen[n.Pos()] {
+		return
+	}
+	c.seen[n.Pos()] = true
+	c.findings = append(c.findings, c.u.finding("atomiccheck", n.Pos(), format, args...))
+}
+
+func (c *atomicChecker) checkFieldList(fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		tv, ok := c.u.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if containsAtomic(tv.Type) {
+			c.report(field, "%s of type %s contains sync/atomic fields and is passed by value; use a pointer", kind, tv.Type)
+		}
+	}
+}
+
+func (c *atomicChecker) visit(n ast.Node, stack []ast.Node) bool {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		c.checkRangeValue(r)
+		return true
+	}
+	e, ok := n.(ast.Expr)
+	if !ok {
+		return true
+	}
+	tv, ok := c.u.Info.Types[e]
+	if !ok || tv.Type == nil || !tv.IsValue() {
+		return true
+	}
+	parent := ast.Node(nil)
+	if len(stack) > 0 {
+		parent = stack[len(stack)-1]
+	}
+	if isAtomicType(tv.Type) {
+		if !atomicUseOK(e, parent) {
+			c.report(e, "%s has type %s; use its Load/Store/Add/Swap methods instead of a plain value access",
+				exprString(e), tv.Type)
+		}
+		return true
+	}
+	// Copy rule: an existing location of a type containing atomics used as a
+	// value (assigned, passed, returned, or bound by range).
+	if containsAtomic(tv.Type) && isLocationExpr(e) && copiesValue(e, parent) {
+		c.report(e, "%s copies a %s by value, tearing its sync/atomic fields; use a pointer",
+			exprString(e), tv.Type)
+	}
+	return true
+}
+
+// atomicUseOK reports whether an atomic-typed expression appears in a
+// sanctioned context: as the receiver of a method selection, as the operand
+// of &, or as the X of a further selection/index that will itself be checked.
+func atomicUseOK(e ast.Expr, parent ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		return p.X == e // receiver of .Load()/.Store()/... (methods are its only members)
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	case *ast.StarExpr:
+		return true // *ptr: the deref result is checked at its own position
+	case *ast.ParenExpr:
+		return true // inner use is judged against the paren's parent
+	case *ast.KeyValueExpr:
+		return p.Key == e // struct-literal field name, not a value use
+	case nil:
+		return true
+	}
+	return false
+}
+
+// isLocationExpr reports whether e denotes an existing storage location
+// (rather than a freshly built value, whose copy is the initialization).
+func isLocationExpr(e ast.Expr) bool {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name != "_"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// copiesValue reports whether parent consumes e as a value copy.
+func copiesValue(e ast.Expr, parent ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range p.Rhs {
+			if rhs == e {
+				return true
+			}
+		}
+	case *ast.ValueSpec:
+		for _, v := range p.Values {
+			if v == e {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		for _, a := range p.Args {
+			if a == e {
+				return true
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range p.Results {
+			if r == e {
+				return true
+			}
+		}
+	case *ast.CompositeLit:
+		for _, el := range p.Elts {
+			if el == e {
+				return true
+			}
+		}
+	case *ast.KeyValueExpr:
+		return p.Value == e
+	}
+	return false
+}
+
+// checkRangeValue flags `for _, v := range xs` when binding v copies an
+// atomic-bearing element; iterate by index (or over pointers) instead.
+func (c *atomicChecker) checkRangeValue(r *ast.RangeStmt) {
+	v, ok := r.Value.(*ast.Ident)
+	if !ok || v.Name == "_" {
+		return
+	}
+	obj := c.u.Info.Defs[v]
+	if obj == nil {
+		if obj = c.u.Info.Uses[v]; obj == nil {
+			return
+		}
+	}
+	t := obj.Type()
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if containsAtomic(t) {
+		c.report(v, "range value %s copies a %s per iteration, tearing its sync/atomic fields; iterate by index", v.Name, t)
+	}
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errcheck forbids silently discarded error results in the layers where a
+// swallowed error corrupts state instead of crashing: the storage tier
+// (internal/kvstore), the topology runtime (internal/storm), the online
+// trainer (internal/core), and the commands (cmd/...). Three shapes are
+// flagged:
+//
+//   - a call whose error result is dropped on the floor (expression
+//     statement, go statement, or deferred call);
+//   - an error assigned to the blank identifier without a justification —
+//     `_ = f()` or `v, _ := g()` is only allowed when a comment on the same
+//     line (or the line above) says why the error is ignorable;
+//
+// Well-known never-failing writers (hash.Hash, strings.Builder,
+// bytes.Buffer, and the fmt print family on them or on the std streams) are
+// excluded, matching the contracts in their docs.
+
+func init() {
+	Register(&Pass{
+		Name:  "errcheck",
+		Doc:   "error results in kvstore/storm/core/cmd must be handled or justified",
+		Scope: []string{"internal/kvstore", "internal/storm", "internal/core", "cmd"},
+		Run:   runErrcheck,
+	})
+}
+
+func runErrcheck(u *Unit) []Finding {
+	c := &errChecker{u: u}
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+					c.checkDiscardedCall(call, "")
+				}
+			case *ast.DeferStmt:
+				c.checkDiscardedCall(s.Call, "deferred ")
+			case *ast.GoStmt:
+				c.checkDiscardedCall(s.Call, "goroutine ")
+			case *ast.AssignStmt:
+				c.checkAssign(s)
+			case *ast.ValueSpec:
+				c.checkValueSpec(s)
+			}
+			return true
+		})
+	}
+	return c.findings
+}
+
+type errChecker struct {
+	u        *Unit
+	findings []Finding
+}
+
+func (c *errChecker) report(n ast.Node, format string, args ...any) {
+	c.findings = append(c.findings, c.u.finding("errcheck", n.Pos(), format, args...))
+}
+
+func (c *errChecker) checkDiscardedCall(call *ast.CallExpr, kind string) {
+	errPos, _ := errorResults(c.u, call)
+	if len(errPos) == 0 || c.excluded(call) {
+		return
+	}
+	c.report(call, "%scall %s discards its error result; handle it or assign to _ with a justification comment",
+		kind, exprString(call.Fun))
+}
+
+// checkAssign flags error results landing in a blank identifier without a
+// justification comment.
+func (c *errChecker) checkAssign(s *ast.AssignStmt) {
+	// Tuple form: v, _ := f()
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		call, ok := unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		errPos, n := errorResults(c.u, call)
+		if n != len(s.Lhs) || c.excluded(call) {
+			return
+		}
+		for _, i := range errPos {
+			c.checkBlank(s.Lhs[i], call)
+		}
+		return
+	}
+	// Parallel form: a, b = x, y (including 1:1 `_ = f()`).
+	if len(s.Rhs) == len(s.Lhs) {
+		for i, rhs := range s.Rhs {
+			tv, ok := c.u.Info.Types[rhs]
+			if !ok || tv.Type == nil || !types.Identical(tv.Type, errorType) {
+				continue
+			}
+			if call, ok := unparen(rhs).(*ast.CallExpr); ok && c.excluded(call) {
+				continue
+			}
+			c.checkBlank(s.Lhs[i], rhs)
+		}
+	}
+}
+
+func (c *errChecker) checkValueSpec(s *ast.ValueSpec) {
+	if len(s.Values) == 1 && len(s.Names) > 1 {
+		call, ok := unparen(s.Values[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		errPos, n := errorResults(c.u, call)
+		if n != len(s.Names) || c.excluded(call) {
+			return
+		}
+		for _, i := range errPos {
+			c.checkBlank(s.Names[i], call)
+		}
+	}
+}
+
+func (c *errChecker) checkBlank(lhs ast.Expr, at ast.Node) {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok || id.Name != "_" {
+		return
+	}
+	if txt, ok := c.u.CommentAt(at.Pos()); ok && strings.TrimSpace(txt) != "" {
+		return // justified
+	}
+	c.report(at, "error discarded with _ and no justification comment; say why it is safe to ignore")
+}
+
+// excluded reports whether the call's error contract is "never fails" per
+// the standard library docs.
+func (c *errChecker) excluded(call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// fmt.Print family: errors only reflect the writer's errors.
+	if id, ok := unparen(sel.X).(*ast.Ident); ok {
+		if pkg, ok := c.u.Info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+			name := sel.Sel.Name
+			if name == "Print" || name == "Printf" || name == "Println" {
+				return true
+			}
+			if (name == "Fprint" || name == "Fprintf" || name == "Fprintln") && len(call.Args) > 0 {
+				return c.neverFailingWriter(call.Args[0])
+			}
+			return false
+		}
+	}
+	// Methods on never-failing writers: Write and friends on hash.Hash,
+	// strings.Builder, bytes.Buffer.
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return c.neverFailingWriter(sel.X)
+	}
+	return false
+}
+
+// neverFailingWriter reports whether e is a writer documented never to
+// return a write error: os.Stdout/os.Stderr (best-effort diagnostics),
+// *strings.Builder, *bytes.Buffer, or any hash.Hash implementation.
+func (c *errChecker) neverFailingWriter(e ast.Expr) bool {
+	if sel, ok := unparen(e).(*ast.SelectorExpr); ok {
+		if id, ok := unparen(sel.X).(*ast.Ident); ok {
+			if pkg, ok := c.u.Info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "os" {
+				if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+					return true
+				}
+			}
+		}
+	}
+	tv, ok := c.u.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if isPkgType(t, "strings", "Builder") || isPkgType(t, "bytes", "Buffer") {
+		return true
+	}
+	return implementsHash(t)
+}
+
+// implementsHash reports whether t satisfies hash.Hash structurally (Write +
+// Sum + Reset + Size + BlockSize), without importing the hash package at
+// lint time.
+func implementsHash(t types.Type) bool {
+	need := map[string]bool{"Write": false, "Sum": false, "Reset": false, "Size": false, "BlockSize": false}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		name := ms.At(i).Obj().Name()
+		if _, ok := need[name]; ok {
+			need[name] = true
+		}
+	}
+	for _, got := range need {
+		if !got {
+			return false
+		}
+	}
+	return true
+}

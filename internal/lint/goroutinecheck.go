@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// goroutinecheck requires every goroutine launched in the topology runtime
+// (internal/storm), the storage tier (internal/kvstore), and the commands
+// (cmd/...) to be joinable: a fire-and-forget goroutine outlives shutdown,
+// races teardown, and leaks under test. A `go` statement passes when the
+// analysis can see one of:
+//
+//   - a sync.WaitGroup tie: the goroutine body calls Done/Add on a
+//     WaitGroup, or (for `go f(...)` calls) a wg.Add(...) appears in the
+//     statements immediately before the launch;
+//   - a channel tie: the body sends on, closes, or receives from a channel
+//     that outlives the goroutine (captured variable or field — channels
+//     created by the body itself, like time.Tick's, do not count);
+//   - a context tie: the body references a context.Context (ctx.Done
+//     selection included), or one is passed as an argument.
+//
+// The escape hatch is an explicit annotation on the `go` statement's line:
+// `// vidlint:detached <why>`.
+
+func init() {
+	Register(&Pass{
+		Name:  "goroutinecheck",
+		Doc:   "goroutines in storm/kvstore/cmd must be tied to a WaitGroup, channel, or context",
+		Scope: []string{"internal/storm", "internal/kvstore", "cmd"},
+		Run:   runGoroutinecheck,
+	})
+}
+
+func runGoroutinecheck(u *Unit) []Finding {
+	c := &goChecker{u: u}
+	for _, f := range u.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				c.checkGo(g, stack)
+			}
+			return true
+		})
+	}
+	return c.findings
+}
+
+type goChecker struct {
+	u        *Unit
+	findings []Finding
+}
+
+func (c *goChecker) checkGo(g *ast.GoStmt, stack []ast.Node) {
+	if txt, ok := c.u.CommentAt(g.Pos()); ok && strings.Contains(txt, "vidlint:detached") {
+		return
+	}
+	if lit, ok := unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if c.literalTied(lit) {
+			return
+		}
+	} else {
+		if c.callTied(g, stack) {
+			return
+		}
+	}
+	c.findings = append(c.findings, c.u.finding("goroutinecheck", g.Pos(),
+		"goroutine is not joinable: tie it to a WaitGroup, channel, or context (or annotate the launch '// vidlint:detached <why>')"))
+}
+
+// literalTied inspects a `go func(){...}` body for a join mechanism.
+func (c *goChecker) literalTied(lit *ast.FuncLit) bool {
+	tied := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if c.outlivesLiteral(x.Chan, lit) {
+				tied = true
+			}
+		case *ast.UnaryExpr:
+			// <-ch receive
+			if x.Op == token.ARROW && c.outlivesLiteral(x.X, lit) {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			if c.isChan(x.X) && c.outlivesLiteral(x.X, lit) {
+				tied = true
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if c.outlivesLiteral(x.Args[0], lit) {
+					tied = true
+				}
+			}
+			if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if c.isWaitGroupMethod(sel, "Done", "Add", "Wait") {
+					tied = true
+				}
+			}
+		case *ast.Ident:
+			if obj := c.u.Info.Uses[x]; obj != nil && isContextType(obj.Type()) {
+				tied = true
+			}
+		}
+		return !tied
+	})
+	return tied
+}
+
+// callTied handles `go f(a, b)` launches: joinable arguments, or a
+// WaitGroup.Add in the statements just before the launch (the
+// wg.Add(1); go s.loop() idiom).
+func (c *goChecker) callTied(g *ast.GoStmt, stack []ast.Node) bool {
+	for _, a := range g.Call.Args {
+		tv, ok := c.u.Info.Types[a]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		t := tv.Type
+		if c.chanType(t) || isContextType(t) || isPkgType(t, "sync", "WaitGroup") {
+			return true
+		}
+	}
+	// Look back a few statements in the enclosing block for wg.Add.
+	block := enclosingBlock(g, stack)
+	if block == nil {
+		return false
+	}
+	idx := -1
+	for i, s := range block {
+		if s == ast.Stmt(g) {
+			idx = i
+			break
+		}
+	}
+	for i := idx - 1; i >= 0 && i >= idx-3; i-- {
+		es, ok := block[i].(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := unparen(es.X).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && c.isWaitGroupMethod(sel, "Add") {
+			return true
+		}
+	}
+	return false
+}
+
+// outlivesLiteral reports whether the channel expression refers to state
+// from outside the literal: a field selection, or an identifier declared
+// before the literal's body. Direct call results (time.Tick(...)) and
+// body-local channels do not outlive the goroutine's launch site.
+func (c *goChecker) outlivesLiteral(e ast.Expr, lit *ast.FuncLit) bool {
+	switch x := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		// Field or method-call chain rooted outside (a.done, ctx.Done()).
+		return true
+	case *ast.CallExpr:
+		// ctx.Done() and friends: a method call on captured state counts;
+		// a plain function call result (time.Tick) does not.
+		if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok {
+			if tv, ok := c.u.Info.Types[sel.X]; ok && tv.Type != nil && !tv.IsType() {
+				if _, isPkg := c.u.Info.Uses[rootIdent(sel.X)].(*types.PkgName); !isPkg {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.Ident:
+		obj := c.u.Info.Uses[x]
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+	}
+	return false
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (c *goChecker) isChan(e ast.Expr) bool {
+	tv, ok := c.u.Info.Types[e]
+	return ok && tv.Type != nil && c.chanType(tv.Type)
+}
+
+func (c *goChecker) chanType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func (c *goChecker) isWaitGroupMethod(sel *ast.SelectorExpr, names ...string) bool {
+	found := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	tv, ok := c.u.Info.Types[sel.X]
+	return ok && tv.Type != nil && isPkgType(tv.Type, "sync", "WaitGroup")
+}
+
+func isContextType(t types.Type) bool {
+	n := namedFrom(t)
+	if n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context" {
+		return true
+	}
+	return false
+}
+
+// enclosingBlock returns the statement list that directly contains g.
+func enclosingBlock(g *ast.GoStmt, stack []ast.Node) []ast.Stmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			return b.List
+		case *ast.CaseClause:
+			return b.Body
+		case *ast.CommClause:
+			return b.Body
+		}
+	}
+	return nil
+}

@@ -1,0 +1,395 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// lockcheck enforces the repo's "// guarded by <mu>" annotation convention:
+// a struct field carrying that comment may only be read or written while the
+// named sibling sync.Mutex/RWMutex is held, and never mixed with bare
+// accesses. The analysis is a per-function abstract interpretation over the
+// AST: Lock/RLock on a tracked (variable, mutex) pair sets the held bit,
+// Unlock/RUnlock clears it, branches fork the state and merge by
+// intersection, and branches that terminate (return/break/panic) drop out of
+// the merge — which is exactly the shape of the early-return unlock pattern
+// the codebase uses. Deferred unlocks do not clear the bit, and goroutine
+// bodies start with nothing held.
+//
+// Escape hatches, in order of preference:
+//   - constructors (functions named new*/New*) are exempt: a value under
+//     construction is not yet shared;
+//   - a function whose doc comment says "caller holds <mu>" is checked as if
+//     <mu> were already held (the doc is the lock contract).
+
+func init() {
+	Register(&Pass{
+		Name: "lockcheck",
+		Doc:  "fields annotated '// guarded by <mu>' must be accessed with <mu> held",
+		Run:  runLockcheck,
+	})
+}
+
+var (
+	guardedByRe   = regexp.MustCompile(`guarded by (\w+)`)
+	callerHoldsRe = regexp.MustCompile(`caller (?:must )?holds? (\w+)`)
+)
+
+func runLockcheck(u *Unit) []Finding {
+	c := &lockChecker{u: u, guarded: make(map[types.Object]string)}
+	c.collectAnnotations()
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return c.findings
+}
+
+type lockKey struct {
+	base types.Object // the variable the struct is reached through
+	mu   string       // mutex field name
+}
+
+type lockState map[lockKey]bool
+
+func cloneState(st lockState) lockState {
+	out := make(lockState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+func intersectState(a, b lockState) lockState {
+	out := make(lockState)
+	for k, v := range a {
+		if v && b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+type lockChecker struct {
+	u        *Unit
+	guarded  map[types.Object]string // field object -> guarding mutex name
+	preHeld  map[string]bool         // mutex names held per the doc contract
+	findings []Finding
+}
+
+func (c *lockChecker) report(n ast.Node, format string, args ...any) {
+	c.findings = append(c.findings, c.u.finding("lockcheck", n.Pos(), format, args...))
+}
+
+// collectAnnotations finds guarded-field annotations and validates that the
+// named mutex exists as a sibling field.
+func (c *lockChecker) collectAnnotations() {
+	for _, f := range c.u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				txt := field.Doc.Text() + " " + field.Comment.Text()
+				m := guardedByRe.FindStringSubmatch(txt)
+				if m == nil {
+					continue
+				}
+				mu := m[1]
+				if !c.hasMutexField(st, mu) {
+					c.report(field, "annotation 'guarded by %s' names no sync.Mutex/RWMutex field in this struct", mu)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := c.u.Info.Defs[name]; obj != nil {
+						c.guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *lockChecker) hasMutexField(st *ast.StructType, mu string) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name != mu {
+				continue
+			}
+			if tv, ok := c.u.Info.Types[field.Type]; ok && isMutexType(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *lockChecker) checkFunc(fd *ast.FuncDecl) {
+	if len(c.guarded) == 0 {
+		return
+	}
+	name := fd.Name.Name
+	if len(name) >= 3 && (name[:3] == "new" || name[:3] == "New") {
+		return // construction happens before the value is shared
+	}
+	c.preHeld = make(map[string]bool)
+	for _, m := range callerHoldsRe.FindAllStringSubmatch(fd.Doc.Text(), -1) {
+		c.preHeld[m[1]] = true
+	}
+	c.block(fd.Body.List, make(lockState))
+}
+
+func (c *lockChecker) block(list []ast.Stmt, st lockState) lockState {
+	for _, s := range list {
+		st = c.stmt(s, st)
+	}
+	return st
+}
+
+func (c *lockChecker) stmt(s ast.Stmt, st lockState) lockState {
+	switch s := s.(type) {
+	case nil:
+		return st
+	case *ast.ExprStmt:
+		if key, held, ok := c.lockOp(s.X); ok {
+			st = cloneState(st)
+			st[key] = held
+			return st
+		}
+		c.expr(s.X, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.expr(e, st)
+		}
+		for _, e := range s.Lhs {
+			c.expr(e, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e, st)
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.X, st)
+	case *ast.SendStmt:
+		c.expr(s.Chan, st)
+		c.expr(s.Value, st)
+	case *ast.IfStmt:
+		st = c.stmt(s.Init, st)
+		c.expr(s.Cond, st)
+		thenOut := c.block(s.Body.List, cloneState(st))
+		thenTerm := terminates(s.Body.List)
+		elseOut := st
+		elseTerm := false
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseOut = c.block(e.List, cloneState(st))
+			elseTerm = terminates(e.List)
+		case *ast.IfStmt:
+			elseOut = c.stmt(e, cloneState(st))
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st // fallthrough is unreachable; keep entry state
+		case thenTerm:
+			return elseOut
+		case elseTerm:
+			return thenOut
+		default:
+			return intersectState(thenOut, elseOut)
+		}
+	case *ast.ForStmt:
+		st = c.stmt(s.Init, st)
+		c.expr(s.Cond, st)
+		c.block(s.Body.List, cloneState(st))
+		c.stmt(s.Post, cloneState(st))
+		return st // loops are assumed lock-balanced
+	case *ast.RangeStmt:
+		c.expr(s.X, st)
+		c.block(s.Body.List, cloneState(st))
+		return st
+	case *ast.BlockStmt:
+		return c.block(s.List, st)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+	case *ast.DeferStmt:
+		if _, _, ok := c.lockOp(s.Call); ok {
+			return st // deferred unlock releases at exit, not here
+		}
+		c.expr(s.Call, st)
+	case *ast.GoStmt:
+		// The spawned goroutine holds nothing, whatever the parent holds.
+		if lit, ok := unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			c.block(lit.Body.List, make(lockState))
+		} else {
+			c.expr(s.Call.Fun, st)
+		}
+		for _, a := range s.Call.Args {
+			c.expr(a, st)
+		}
+	case *ast.SwitchStmt:
+		st = c.stmt(s.Init, st)
+		c.expr(s.Tag, st)
+		return c.mergeClauses(s.Body.List, st)
+	case *ast.TypeSwitchStmt:
+		st = c.stmt(s.Init, st)
+		st = c.stmt(s.Assign, st)
+		return c.mergeClauses(s.Body.List, st)
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			comm := cc.(*ast.CommClause)
+			sub := cloneState(st)
+			sub = c.stmt(comm.Comm, sub)
+			c.block(comm.Body, sub)
+		}
+		return st
+	}
+	return st
+}
+
+// mergeClauses analyzes switch/type-switch case bodies and merges the states
+// of the clauses that fall through.
+func (c *lockChecker) mergeClauses(clauses []ast.Stmt, st lockState) lockState {
+	var merged lockState
+	hasDefault := false
+	for _, raw := range clauses {
+		cc, ok := raw.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			c.expr(e, st)
+		}
+		out := c.block(cc.Body, cloneState(st))
+		if terminates(cc.Body) {
+			continue
+		}
+		if merged == nil {
+			merged = out
+		} else {
+			merged = intersectState(merged, out)
+		}
+	}
+	if merged == nil {
+		return st
+	}
+	if !hasDefault {
+		merged = intersectState(merged, st)
+	}
+	return merged
+}
+
+// expr checks guarded-field accesses in an expression under state st.
+// Function literals are assumed to run synchronously and inherit the state
+// (go statements are handled in stmt and reset it).
+func (c *lockChecker) expr(e ast.Expr, st lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			c.block(x.Body.List, cloneState(st))
+			return false
+		case *ast.KeyValueExpr:
+			c.expr(x.Value, st) // keys of struct literals name fields, not accesses
+			return false
+		case *ast.SelectorExpr:
+			c.checkSel(x, st)
+		}
+		return true
+	})
+}
+
+func (c *lockChecker) checkSel(sel *ast.SelectorExpr, st lockState) {
+	info := c.u.Info.Selections[sel]
+	if info == nil || info.Kind() != types.FieldVal {
+		return
+	}
+	mu, guarded := c.guarded[info.Obj()]
+	if !guarded || c.preHeld[mu] {
+		return
+	}
+	base := unparen(sel.X)
+	if star, ok := base.(*ast.StarExpr); ok {
+		base = unparen(star.X)
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		c.report(sel, "field %q (guarded by %s) accessed through %s; bind the struct to a variable so the lock can be verified",
+			sel.Sel.Name, mu, exprString(sel.X))
+		return
+	}
+	obj := c.u.Info.Uses[id]
+	if obj == nil {
+		obj = c.u.Info.Defs[id]
+	}
+	if obj == nil {
+		return
+	}
+	if !st[lockKey{base: obj, mu: mu}] {
+		c.report(sel, "field %q accessed without holding %s.%s (declared '// guarded by %s')",
+			sel.Sel.Name, id.Name, mu, mu)
+	}
+}
+
+// lockOp recognizes v.mu.Lock / RLock / Unlock / RUnlock calls on a mutex
+// field reached through a simple variable, returning the tracked key and the
+// resulting held state.
+func (c *lockChecker) lockOp(e ast.Expr) (key lockKey, held bool, ok bool) {
+	call, isCall := unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return lockKey{}, false, false
+	}
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return lockKey{}, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		held = true
+	case "Unlock", "RUnlock":
+		held = false
+	default:
+		return lockKey{}, false, false
+	}
+	inner, isSel := unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel {
+		return lockKey{}, false, false
+	}
+	if tv, has := c.u.Info.Types[inner]; !has || !isMutexType(tv.Type) {
+		return lockKey{}, false, false
+	}
+	baseID, isID := unparen(inner.X).(*ast.Ident)
+	if !isID {
+		return lockKey{}, false, false
+	}
+	obj := c.u.Info.Uses[baseID]
+	if obj == nil {
+		obj = c.u.Info.Defs[baseID]
+	}
+	if obj == nil {
+		return lockKey{}, false, false
+	}
+	return lockKey{base: obj, mu: inner.Sel.Name}, held, true
+}

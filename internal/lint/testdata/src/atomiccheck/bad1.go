@@ -1,0 +1,20 @@
+// Package atomiccheck is a lint fixture: seeded misuses of sync/atomic
+// values. Expectations live in internal/lint/lint_test.go.
+package atomiccheck
+
+import "sync/atomic"
+
+type stats struct {
+	hits atomic.Uint64
+}
+
+// PlainWrite assigns through the atomic instead of calling Store.
+func PlainWrite(s *stats) {
+	s.hits = atomic.Uint64{}
+}
+
+// SnapshotCopy copies the whole atomic-bearing struct by value.
+func SnapshotCopy(s *stats) uint64 {
+	cp := *s
+	return cp.hits.Load()
+}

@@ -1,0 +1,21 @@
+package atomiccheck
+
+import "sync/atomic"
+
+type gauge struct {
+	v atomic.Int64
+}
+
+// ByValue receives the atomic-bearing struct by value.
+func ByValue(g gauge) int64 {
+	return g.v.Load()
+}
+
+// RangeCopy binds each element by value, copying the atomics per iteration.
+func RangeCopy(list []gauge) int64 {
+	var total int64
+	for _, g := range list {
+		total += g.v.Load()
+	}
+	return total
+}

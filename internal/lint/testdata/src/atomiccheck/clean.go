@@ -1,0 +1,35 @@
+package atomiccheck
+
+import "sync/atomic"
+
+type counter struct {
+	n atomic.Int64
+}
+
+// Touch exercises every legal use: method calls, address-of, and loads
+// through a pointer to the atomic.
+func Touch(c *counter) int64 {
+	c.n.Add(1)
+	c.n.Store(2)
+	p := &c.n
+	return p.Load()
+}
+
+// ByPointer iterates without copying the elements.
+func ByPointer(list []*counter) int64 {
+	var total int64
+	for _, c := range list {
+		total += c.n.Load()
+	}
+	return total
+}
+
+// Indexed addresses array elements in place.
+func Indexed(arr *[4]atomic.Int64) int64 {
+	arr[0].Add(1)
+	var total int64
+	for i := range arr {
+		total += arr[i].Load()
+	}
+	return total
+}

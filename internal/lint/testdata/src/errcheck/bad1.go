@@ -1,0 +1,27 @@
+// Package errcheck is a lint fixture: seeded discarded-error violations.
+// Expectations live in internal/lint/lint_test.go. Take care editing the
+// blank-assignment cases: a comment on (or directly above) those lines would
+// count as a justification and suppress the finding being tested.
+package errcheck
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+func failTwo() (int, error) { return 1, errors.New("boom") }
+
+// Dropped calls a failing function as a bare statement.
+func Dropped() {
+	fail() // a comment here is not an escape hatch for a dropped call
+}
+
+// DeferDropped drops the error of a deferred call.
+func DeferDropped() {
+	defer fail()
+}
+
+// BlankNoComment discards to blank with no stated reason.
+func BlankNoComment() {
+
+	_ = fail()
+}

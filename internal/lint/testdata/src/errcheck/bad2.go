@@ -1,0 +1,13 @@
+package errcheck
+
+// TupleBlank discards the error half of a tuple return with no reason.
+func TupleBlank() int {
+
+	v, _ := failTwo()
+	return v
+}
+
+// GoDropped launches a call whose error vanishes with the goroutine.
+func GoDropped() {
+	go fail()
+}

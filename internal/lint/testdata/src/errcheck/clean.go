@@ -1,0 +1,33 @@
+package errcheck
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+)
+
+// Handled propagates the error.
+func Handled() error {
+	if err := fail(); err != nil {
+		return fmt.Errorf("wrapped: %w", err)
+	}
+	return nil
+}
+
+// Justified documents why the discarded error is ignorable.
+func Justified() {
+	_ = fail() // error is injected only under test fault configs; safe to drop
+}
+
+// NeverFailingWriters exercises the excluded contracts: hash.Hash and
+// strings.Builder writes cannot fail, and the fmt print family is exempt.
+func NeverFailingWriters() string {
+	h := fnv.New64a()
+	h.Write([]byte("key"))
+	var b strings.Builder
+	b.WriteString("value")
+	fmt.Fprintln(os.Stderr, "status")
+	fmt.Println("done")
+	return b.String()
+}

@@ -1,0 +1,17 @@
+// Package goroutinecheck is a lint fixture: seeded unjoinable goroutine
+// launches. Expectations live in internal/lint/lint_test.go.
+package goroutinecheck
+
+func work() {}
+
+// FireAndForget launches an untracked call.
+func FireAndForget() {
+	go work()
+}
+
+// LiteralLeak launches an untracked literal.
+func LiteralLeak() {
+	go func() {
+		work()
+	}()
+}

@@ -1,0 +1,21 @@
+package goroutinecheck
+
+import "time"
+
+// TickerLeak ranges over a channel created inside the goroutine; nothing
+// outside can join or stop it.
+func TickerLeak() {
+	go func() { // nothing outside can stop this ticker loop
+		for range time.Tick(time.Second) {
+			work()
+		}
+	}()
+}
+
+// LocalChannel only touches a channel it made itself, so no one can join it.
+func LocalChannel() {
+	go func() { // the channel never escapes the literal
+		ch := make(chan int, 1)
+		ch <- 1
+	}()
+}

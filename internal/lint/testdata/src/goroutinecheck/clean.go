@@ -1,0 +1,51 @@
+package goroutinecheck
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	wg sync.WaitGroup
+}
+
+func (s *server) loop() {}
+
+// Start ties the worker to the server's WaitGroup via the preceding Add.
+func (s *server) Start() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+// WaitGroupTied joins through Done/Wait.
+func WaitGroupTied() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// ChannelTied hands results back on a channel the caller owns.
+func ChannelTied() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 1
+		close(out)
+	}()
+	return out
+}
+
+// ContextTied stops when the caller cancels.
+func ContextTied(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Detached uses the explicit escape hatch.
+func Detached() {
+	go work() // vidlint:detached demo of the explicit escape hatch
+}

@@ -1,0 +1,24 @@
+// Package lockcheck is a lint fixture: seeded violations of the
+// "// guarded by <mu>" annotation contract. Expectations live in
+// internal/lint/lint_test.go.
+package lockcheck
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// BareInc touches the guarded field with no lock at all.
+func (c *counter) BareInc() {
+	c.n++
+}
+
+// LeakAfterUnlock keeps using the field after releasing the mutex.
+func (c *counter) LeakAfterUnlock() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.n = 2
+}

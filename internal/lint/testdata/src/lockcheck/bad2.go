@@ -1,0 +1,24 @@
+package lockcheck
+
+import "sync"
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+// HalfLocked reads under the read lock, then again after releasing it.
+func (t *table) HalfLocked(k string) int {
+	t.mu.RLock()
+	v := t.m[k]
+	t.mu.RUnlock()
+	if v == 0 {
+		return t.m["default"]
+	}
+	return v
+}
+
+// orphan annotates a guard that does not exist as a sibling mutex field.
+type orphan struct {
+	n int // guarded by missing
+}

@@ -1,0 +1,45 @@
+package lockcheck
+
+import "sync"
+
+type gauge struct {
+	mu  sync.Mutex
+	val int // guarded by mu
+}
+
+// newGauge may touch the field bare: constructors run before the value is
+// shared, and lockcheck exempts them by name.
+func newGauge() *gauge {
+	g := &gauge{}
+	g.val = 1
+	return g
+}
+
+// Set holds the lock for the whole access via defer.
+func (g *gauge) Set(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.val = v
+}
+
+// EarlyReturn uses the unlock-before-return pattern on both paths.
+func (g *gauge) EarlyReturn(v int) int {
+	g.mu.Lock()
+	if v < 0 {
+		g.mu.Unlock()
+		return -1
+	}
+	out := g.val
+	g.mu.Unlock()
+	return out
+}
+
+// bump assumes the caller holds mu.
+func (g *gauge) bump() { g.val++ }
+
+// Bump exercises the caller-holds contract from the locked side.
+func (g *gauge) Bump() {
+	g.mu.Lock()
+	g.bump()
+	g.mu.Unlock()
+}

@@ -134,9 +134,9 @@ func (a *acker) finish(root int64, e *ackEntry, failed bool) {
 // buffers here instead of in a bounded channel.
 type notifier struct {
 	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []ackNotice
-	closed bool
+	cond   *sync.Cond  // set once at construction, immutable afterwards
+	queue  []ackNotice // guarded by mu
+	closed bool        // guarded by mu
 }
 
 func newNotifier() *notifier {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"math/rand/v2"
 	"sync"
@@ -21,7 +22,7 @@ type Topology struct {
 	acker      *acker
 
 	errMu  sync.Mutex
-	errs   []error
+	errs   []error // guarded by errMu
 	ranYet atomic.Bool
 }
 
@@ -355,7 +356,7 @@ func (l *consumerLink) targets(from *task, linkIdx int, values Values, schema []
 	}
 }
 
-func hashValue(h interface{ Write([]byte) (int, error) }, v any) {
+func hashValue(h hash.Hash, v any) {
 	switch x := v.(type) {
 	case string:
 		h.Write([]byte(x))
@@ -378,11 +379,11 @@ func hashValue(h interface{ Write([]byte) (int, error) }, v any) {
 	case fmt.Stringer:
 		h.Write([]byte(x.String()))
 	default:
-		fmt.Fprintf(h.(interface{ Write([]byte) (int, error) }), "%v", x)
+		fmt.Fprintf(h, "%v", x)
 	}
 }
 
-func writeUint64(h interface{ Write([]byte) (int, error) }, v uint64) {
+func writeUint64(h hash.Hash, v uint64) {
 	var b [8]byte
 	for i := 0; i < 8; i++ {
 		b[i] = byte(v >> (8 * i))
