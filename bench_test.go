@@ -194,7 +194,7 @@ func BenchmarkMFProcessAction(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.ProcessAction(actions[i%len(actions)]); err != nil {
+		if _, err := m.ProcessAction(context.Background(), actions[i%len(actions)]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -223,7 +223,7 @@ func BenchmarkScoreCandidates(b *testing.B) {
 	actions := benchActions(5000)
 	m, _ := core.NewModel("bench", kvstore.NewLocal(64), core.DefaultParams())
 	for _, a := range actions {
-		m.ProcessAction(a)
+		m.ProcessAction(context.Background(), a)
 	}
 	candidates := make([]string, 200)
 	for i := range candidates {
@@ -232,7 +232,7 @@ func BenchmarkScoreCandidates(b *testing.B) {
 	user := actions[0].UserID
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.ScoreCandidates(user, candidates); err != nil {
+		if _, err := m.ScoreCandidates(context.Background(), user, candidates); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -252,7 +252,7 @@ func BenchmarkSimTableUpdate(b *testing.B) {
 		if owner == other {
 			other = "vx"
 		}
-		if err := t.UpdateDirected(owner, other, 0.5, base.Add(time.Duration(i)*time.Second)); err != nil {
+		if err := t.UpdateDirected(context.Background(), owner, other, 0.5, base.Add(time.Duration(i)*time.Second)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -263,11 +263,11 @@ func BenchmarkSimTableQuery(b *testing.B) {
 	t, _ := simtable.New("bench", kvstore.NewLocal(64), simtable.DefaultConfig())
 	base := time.Unix(0, 0)
 	for i := 0; i < 50; i++ {
-		t.UpdateDirected("seed", fmt.Sprintf("v%03d", i), 0.9-0.01*float64(i), base)
+		t.UpdateDirected(context.Background(), "seed", fmt.Sprintf("v%03d", i), 0.9-0.01*float64(i), base)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := t.Similar("seed", 20, base.Add(time.Hour)); err != nil {
+		if _, err := t.Similar(context.Background(), "seed", 20, base.Add(time.Hour)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -284,7 +284,7 @@ func BenchmarkIngest(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := sys.Ingest(actions[i%len(actions)]); err != nil {
+		if err := sys.Ingest(context.Background(), actions[i%len(actions)]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -307,17 +307,17 @@ func BenchmarkRecommendLatency(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	d.FillCatalog(sys.Catalog)
-	d.FillProfiles(sys.Profiles)
+	d.FillCatalog(context.Background(), sys.Catalog)
+	d.FillProfiles(context.Background(), sys.Profiles)
 	for _, a := range d.AllActions() {
-		if err := sys.Ingest(a); err != nil {
+		if err := sys.Ingest(context.Background(), a); err != nil {
 			b.Fatal(err)
 		}
 	}
 	users := d.Users()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sys.Recommend(recommend.Request{UserID: users[i%len(users)].ID, N: 10})
+		res, err := sys.Recommend(context.Background(), recommend.Request{UserID: users[i%len(users)].ID, N: 10})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -362,12 +362,12 @@ func BenchmarkKVStoreLocal(b *testing.B) {
 	val := kvstore.EncodeFloats(make([]float64, 40))
 	b.Run("set", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			s.Set(fmt.Sprintf("k%d", i%4096), val)
+			s.Set(context.Background(), fmt.Sprintf("k%d", i%4096), val)
 		}
 	})
 	b.Run("get", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			s.Get(fmt.Sprintf("k%d", i%4096))
+			s.Get(context.Background(), fmt.Sprintf("k%d", i%4096))
 		}
 	})
 }
@@ -375,21 +375,21 @@ func BenchmarkKVStoreLocal(b *testing.B) {
 // BenchmarkKVStoreNetwork measures a full TCP round trip to the networked
 // store deployment.
 func BenchmarkKVStoreNetwork(b *testing.B) {
-	srv, err := kvstore.NewServer(kvstore.NewLocal(64), "127.0.0.1:0")
+	srv, err := kvstore.NewServer(context.Background(), kvstore.NewLocal(64), "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer srv.Close()
-	cli, err := kvstore.Dial(srv.Addr())
+	cli, err := kvstore.DialContext(context.Background(), srv.Addr())
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer cli.Close()
 	val := kvstore.EncodeFloats(make([]float64, 40))
-	cli.Set("k", val)
+	cli.Set(context.Background(), "k", val)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := cli.Get("k"); err != nil {
+		if _, _, err := cli.Get(context.Background(), "k"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -404,7 +404,7 @@ func BenchmarkHotTracker(b *testing.B) {
 	base := time.Unix(0, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		h.Record(demographic.GlobalGroup, fmt.Sprintf("v%03d", i%300), 1.5,
+		h.Record(context.Background(), demographic.GlobalGroup, fmt.Sprintf("v%03d", i%300), 1.5,
 			base.Add(time.Duration(i)*time.Second))
 	}
 }

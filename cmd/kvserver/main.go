@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,8 +28,13 @@ func main() {
 	)
 	flag.Parse()
 
+	// Root context for the process: cancelled on the first SIGINT/SIGTERM,
+	// which fails any backing-store call still in flight during shutdown.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	backing := kvstore.NewLocal(*shards)
-	srv, err := kvstore.NewServer(backing, *addr)
+	srv, err := kvstore.NewServer(ctx, backing, *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kvserver:", err)
 		os.Exit(1)
@@ -49,7 +55,7 @@ func main() {
 					return
 				case <-ticker.C:
 					snap := backing.Stats().Snapshot()
-					keys, _ := backing.Len() // Local.Len cannot fail
+					keys, _ := backing.Len(ctx) // fails only once ctx is cancelled
 					log.Printf("keys=%d gets=%d sets=%d hit_rate=%.3f",
 						keys, snap.Gets, snap.Sets, snap.HitRate())
 				}
@@ -57,9 +63,7 @@ func main() {
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	<-ctx.Done()
 	log.Print("shutting down")
 	close(stopReport)
 	reportWG.Wait()

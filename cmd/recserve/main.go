@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,20 +54,25 @@ func main() {
 		snap   = flag.String("snapshot", "", "snapshot file for the embedded store: loaded at startup if present, saved on shutdown")
 	)
 	flag.Parse()
-	if err := run(*addr, *data, *replay, *kvAddr, *snap); err != nil {
+	// Root context for the process: cancelled on the first SIGINT/SIGTERM.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, *addr, *data, *replay, *kvAddr, *snap); err != nil {
 		fmt.Fprintln(os.Stderr, "recserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, replay bool, kvAddr, snapshot string) error {
+func run(ctx context.Context, addr, dataDir string, replay bool, kvAddr, snapshot string) error {
 	var kv kvstore.Store
 	var local *kvstore.Local
 	if kvAddr == "" {
 		local = kvstore.NewLocal(64)
 		kv = local
 	} else {
-		cli, err := kvstore.Dial(kvAddr)
+		dialCtx, dialCancel := context.WithTimeout(ctx, 10*time.Second)
+		cli, err := kvstore.DialContext(dialCtx, kvAddr)
+		dialCancel()
 		if err != nil {
 			return err
 		}
@@ -74,10 +80,10 @@ func run(addr, dataDir string, replay bool, kvAddr, snapshot string) error {
 		kv = cli
 	}
 	if snapshot != "" && local != nil {
-		if err := local.LoadSnapshot(snapshot); err != nil {
+		if err := local.LoadSnapshot(ctx, snapshot); err != nil {
 			log.Printf("snapshot not loaded (%v); starting cold", err)
 		} else {
-			n, _ := local.Len() // Local.Len cannot fail
+			n, _ := local.Len(ctx) // fails only once ctx is cancelled
 			log.Printf("warm start: %d keys from %s", n, snapshot)
 			replay = false // state restored; no need to re-stream
 		}
@@ -89,7 +95,7 @@ func run(addr, dataDir string, replay bool, kvAddr, snapshot string) error {
 		return err
 	}
 
-	actions, err := loadWorkload(sys, dataDir)
+	actions, err := loadWorkload(ctx, sys, dataDir)
 	if err != nil {
 		return err
 	}
@@ -104,7 +110,7 @@ func run(addr, dataDir string, replay bool, kvAddr, snapshot string) error {
 		if err != nil {
 			return err
 		}
-		if err := topo.Run(context.Background()); err != nil {
+		if err := topo.Run(ctx); err != nil {
 			return err
 		}
 		log.Printf("replay done in %v", time.Since(start).Round(time.Millisecond))
@@ -116,17 +122,22 @@ func run(addr, dataDir string, replay bool, kvAddr, snapshot string) error {
 	}
 
 	mux := newMux(sys, kv, replayMetrics)
-	srv := &http.Server{Addr: addr, Handler: mux}
+	// BaseContext hands every request handler the process root context, so
+	// request-scoped store calls are cancelled by shutdown as well as by
+	// client disconnects.
+	srv := &http.Server{
+		Addr:        addr,
+		Handler:     mux,
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("serving on %s", addr)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		return err
-	case <-sig:
+	case <-ctx.Done():
 		log.Print("shutting down")
 		if snapshot != "" && local != nil {
 			if err := local.SaveSnapshot(snapshot); err != nil {
@@ -135,9 +146,9 @@ func run(addr, dataDir string, replay bool, kvAddr, snapshot string) error {
 				log.Printf("state saved to %s", snapshot)
 			}
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		return srv.Shutdown(ctx)
+		return srv.Shutdown(shutCtx)
 	}
 }
 
@@ -155,7 +166,7 @@ func newMux(sys *recommend.System, kv kvstore.Store, replayMetrics map[string]st
 			return
 		}
 		n := queryInt(r, "n", 10)
-		res, err := sys.Recommend(recommend.Request{
+		res, err := sys.Recommend(r.Context(), recommend.Request{
 			UserID:       user,
 			CurrentVideo: r.URL.Query().Get("video"),
 			N:            n,
@@ -183,7 +194,7 @@ func newMux(sys *recommend.System, kv kvstore.Store, replayMetrics map[string]st
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		entries, err := tables.Similar(video, queryInt(r, "n", 10), sys.Now())
+		entries, err := tables.Similar(r.Context(), video, queryInt(r, "n", 10), sys.Now())
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -198,7 +209,7 @@ func newMux(sys *recommend.System, kv kvstore.Store, replayMetrics map[string]st
 			return
 		}
 		for _, a := range parsed {
-			if err := sys.Ingest(a); err != nil {
+			if err := sys.Ingest(r.Context(), a); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
 			}
@@ -222,7 +233,7 @@ func newMux(sys *recommend.System, kv kvstore.Store, replayMetrics map[string]st
 		}
 		if local, ok := kv.(*kvstore.Local); ok {
 			snap := local.Stats().Snapshot()
-			keys, _ := local.Len() // Local.Len cannot fail
+			keys, _ := local.Len(r.Context()) // fails only on a cancelled request
 			stats["kv"] = map[string]any{
 				"keys": keys, "gets": snap.Gets, "sets": snap.Sets,
 				"hit_rate": snap.HitRate(),
@@ -236,7 +247,7 @@ func newMux(sys *recommend.System, kv kvstore.Store, replayMetrics map[string]st
 // loadWorkload reads TSV data from recgen, or generates a small workload
 // when no directory is given. Catalog and profiles are loaded into the
 // system either way.
-func loadWorkload(sys *recommend.System, dir string) ([]feedback.Action, error) {
+func loadWorkload(ctx context.Context, sys *recommend.System, dir string) ([]feedback.Action, error) {
 	if dir == "" {
 		cfg := dataset.DefaultConfig()
 		cfg.Users = 500
@@ -247,10 +258,10 @@ func loadWorkload(sys *recommend.System, dir string) ([]feedback.Action, error) 
 		if err != nil {
 			return nil, err
 		}
-		if err := d.FillCatalog(sys.Catalog); err != nil {
+		if err := d.FillCatalog(ctx, sys.Catalog); err != nil {
 			return nil, err
 		}
-		if err := d.FillProfiles(sys.Profiles); err != nil {
+		if err := d.FillProfiles(ctx, sys.Profiles); err != nil {
 			return nil, err
 		}
 		return d.AllActions(), nil
@@ -261,7 +272,7 @@ func loadWorkload(sys *recommend.System, dir string) ([]feedback.Action, error) 
 		return nil, err
 	}
 	for _, v := range videos {
-		if err := sys.Catalog.Put(v); err != nil {
+		if err := sys.Catalog.Put(ctx, v); err != nil {
 			return nil, err
 		}
 	}
@@ -271,7 +282,7 @@ func loadWorkload(sys *recommend.System, dir string) ([]feedback.Action, error) 
 		return nil, err
 	}
 	for _, p := range profiles {
-		if err := sys.Profiles.Put(p); err != nil {
+		if err := sys.Profiles.Put(ctx, p); err != nil {
 			return nil, err
 		}
 	}

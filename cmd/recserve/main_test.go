@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -26,13 +27,13 @@ func testServer(t *testing.T) (*httptest.Server, *recommend.System) {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"a", "b", "c"} {
-		sys.Catalog.Put(catalog.Video{ID: id, Type: "movie", Length: 30 * time.Minute})
+		sys.Catalog.Put(context.Background(), catalog.Video{ID: id, Type: "movie", Length: 30 * time.Minute})
 	}
 	base := time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC)
 	min := 0
 	for _, u := range []string{"u1", "u2", "u3"} {
 		for _, v := range []string{"a", "b"} {
-			sys.Ingest(feedback.Action{
+			sys.Ingest(context.Background(), feedback.Action{
 				UserID: u, VideoID: v, Type: feedback.PlayTime,
 				ViewTime: 30 * time.Minute, VideoLength: 30 * time.Minute,
 				Timestamp: base.Add(time.Duration(min) * time.Minute),
@@ -138,7 +139,7 @@ func TestActionIngestEndpoint(t *testing.T) {
 	if body.Ingested != 1 {
 		t.Errorf("ingested = %d, want 1", body.Ingested)
 	}
-	recent, _ := sys.History.RecentVideos("u9", 5)
+	recent, _ := sys.History.RecentVideos(context.Background(), "u9", 5)
 	if len(recent) != 1 || recent[0] != "c" {
 		t.Errorf("history after POST = %v", recent)
 	}

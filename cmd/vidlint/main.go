@@ -1,17 +1,23 @@
 // Command vidlint is vidrec's in-tree static analyzer: it loads and
 // type-checks every package in the module using only the standard library
-// and runs the concurrency/error-discipline passes registered in
-// internal/lint (lockcheck, atomiccheck, errcheck, goroutinecheck).
+// and runs the discipline passes registered in internal/lint — the
+// per-function concurrency/error checks (lockcheck, atomiccheck, errcheck,
+// goroutinecheck) and the dataflow suite (lockorder, numcheck, ctxcheck).
 //
 // Usage:
 //
-//	vidlint [-json] [-tests] [-pass name[,name...]] [packages]
+//	vidlint [-json] [-tests] [-pass name[,name...]] [-baseline file]
+//	        [-write-baseline file] [packages]
 //
 // With no package arguments (or "./..."), the whole module is linted.
 // Package arguments are module-relative directory prefixes, e.g.
-// "internal/kvstore". The exit status is 1 when findings are reported, 2
-// when loading or type-checking fails, and 0 on a clean tree — so `go run
-// ./cmd/vidlint ./...` slots directly into CI and the Makefile.
+// "internal/kvstore". -baseline suppresses the findings recorded in the
+// given file (missing file = empty baseline); -write-baseline records the
+// current findings there instead of failing, which is how a new pass lands
+// before its backlog is burned down. The exit status is 1 when new findings
+// are reported, 2 when loading or type-checking fails, and 0 on a clean
+// tree — so `go run ./cmd/vidlint ./...` slots directly into CI and the
+// Makefile.
 package main
 
 import (
@@ -31,6 +37,8 @@ func main() {
 		tests    = flag.Bool("tests", false, "also lint _test.go files")
 		passList = flag.String("pass", "", "comma-separated passes to run (default: all)")
 		list     = flag.Bool("list", false, "list registered passes and exit")
+		baseline = flag.String("baseline", "", "suppress findings recorded in this baseline file")
+		writeBl  = flag.String("write-baseline", "", "write current findings to this baseline file and exit clean")
 	)
 	flag.Parse()
 
@@ -66,6 +74,26 @@ func main() {
 	units = filterUnits(units, flag.Args())
 
 	findings := lint.Run(units, passes)
+	if *writeBl != "" {
+		if err := lint.WriteBaseline(*writeBl, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "vidlint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "vidlint: wrote %d finding(s) to %s\n", len(findings), *writeBl)
+		return
+	}
+	if *baseline != "" {
+		bl, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vidlint:", err)
+			os.Exit(2)
+		}
+		before := len(findings)
+		findings = bl.Filter(findings)
+		if n := before - len(findings); n > 0 {
+			fmt.Fprintf(os.Stderr, "vidlint: %d baselined finding(s) suppressed\n", n)
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -24,10 +24,13 @@ import (
 )
 
 func main() {
+	// Example binary: the process lifetime is the context.
+	ctx := context.Background()
+
 	// 1. The storage tier: a TCP key-value server (cmd/kvserver runs the
 	// same thing standalone).
 	backing := kvstore.NewLocal(64)
-	server, err := kvstore.NewServer(backing, "127.0.0.1:0")
+	server, err := kvstore.NewServer(ctx, backing, "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +39,7 @@ func main() {
 
 	// 2. The compute tier dials in; every read and write below crosses
 	// the socket.
-	client, err := kvstore.Dial(server.Addr())
+	client, err := kvstore.DialContext(ctx, server.Addr())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,10 +61,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := d.FillCatalog(sys.Catalog); err != nil {
+	if err := d.FillCatalog(ctx, sys.Catalog); err != nil {
 		log.Fatal(err)
 	}
-	if err := d.FillProfiles(sys.Profiles); err != nil {
+	if err := d.FillProfiles(ctx, sys.Profiles); err != nil {
 		log.Fatal(err)
 	}
 	actions := d.AllActions()
@@ -73,12 +76,12 @@ func main() {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	if err := topo.Run(context.Background()); err != nil {
+	if err := topo.Run(ctx); err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
 
-	keys, _ := backing.Len()
+	keys, _ := backing.Len(ctx)
 	snap := backing.Stats().Snapshot()
 	fmt.Printf("processed %d actions in %v (%.0f actions/s over TCP)\n",
 		len(actions), elapsed.Round(time.Millisecond),
@@ -90,7 +93,7 @@ func main() {
 	now := actions[len(actions)-1].Timestamp
 	sys.SetClock(func() time.Time { return now })
 	user := d.Users()[0].ID
-	res, err := sys.Recommend(recommend.Request{UserID: user, N: 5})
+	res, err := sys.Recommend(ctx, recommend.Request{UserID: user, N: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,6 +23,9 @@ import (
 )
 
 func main() {
+	// Example binary: the process lifetime is the context.
+	ctx := context.Background()
+
 	// 1. One shared key-value store holds all pipeline state (§5.1).
 	kv := kvstore.NewLocal(16)
 
@@ -40,7 +44,7 @@ func main() {
 		{ID: "news-1", Type: "news.daily", Length: 12 * time.Minute},
 		{ID: "cooking-1", Type: "life.cooking", Length: 25 * time.Minute},
 	} {
-		if err := sys.Catalog.Put(v); err != nil {
+		if err := sys.Catalog.Put(ctx, v); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -68,13 +72,13 @@ func main() {
 		watch("dave", "news-1", 11, 60*time.Minute),
 	}
 	for _, a := range actions {
-		if err := sys.Ingest(a); err != nil {
+		if err := sys.Ingest(ctx, a); err != nil {
 			log.Fatal(err)
 		}
 	}
 
 	// 5a. "Related videos": erin is watching kungfu-1 right now.
-	res, err := sys.Recommend(recommend.Request{UserID: "erin", CurrentVideo: "kungfu-1", N: 3})
+	res, err := sys.Recommend(ctx, recommend.Request{UserID: "erin", CurrentVideo: "kungfu-1", N: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,7 +91,7 @@ func main() {
 
 	// 5b. "Guess you like": alice opens the site; her history seeds the
 	// expansion.
-	res, err = sys.Recommend(recommend.Request{UserID: "alice", N: 3})
+	res, err = sys.Recommend(ctx, recommend.Request{UserID: "alice", N: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,7 +101,7 @@ func main() {
 	}
 
 	// 5c. A brand-new user falls back to the hot list (§5.2.1).
-	res, err = sys.Recommend(recommend.Request{UserID: "stranger", N: 3})
+	res, err = sys.Recommend(ctx, recommend.Request{UserID: "stranger", N: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

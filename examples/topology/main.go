@@ -24,6 +24,9 @@ import (
 )
 
 func main() {
+	// Example binary: the process lifetime is the context.
+	ctx := context.Background()
+
 	// A two-day synthetic workload standing in for the production stream.
 	cfg := dataset.DefaultConfig()
 	cfg.Users = 400
@@ -41,10 +44,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := d.FillCatalog(sys.Catalog); err != nil {
+	if err := d.FillCatalog(ctx, sys.Catalog); err != nil {
 		log.Fatal(err)
 	}
-	if err := d.FillProfiles(sys.Profiles); err != nil {
+	if err := d.FillProfiles(ctx, sys.Profiles); err != nil {
 		log.Fatal(err)
 	}
 
@@ -57,7 +60,7 @@ func main() {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	if err := topo.Run(context.Background()); err != nil {
+	if err := topo.Run(ctx); err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -77,7 +80,7 @@ func main() {
 	now := actions[len(actions)-1].Timestamp
 	tables, _ := sys.Tables.For(demographic.GlobalGroup)
 	video := d.Videos()[0].Meta.ID
-	similar, err := tables.Similar(video, 5, now)
+	similar, err := tables.Similar(ctx, video, 5, now)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,7 +92,7 @@ func main() {
 	// ...and a live recommendation.
 	sys.SetClock(func() time.Time { return now })
 	user := d.Users()[0].ID
-	res, err := sys.Recommend(recommend.Request{UserID: user, N: 5})
+	res, err := sys.Recommend(ctx, recommend.Request{UserID: user, N: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

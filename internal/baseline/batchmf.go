@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -49,9 +50,12 @@ func (b *BatchMF) Train(actions []feedback.Action) error {
 	if err != nil {
 		return err
 	}
+	// Offline retrain over a private in-memory store; the batch harness has
+	// no request to inherit a context from.
+	ctx := context.Background()
 	for pass := 0; pass < b.Passes; pass++ {
 		for _, a := range actions {
-			if _, err := model.ProcessAction(a); err != nil {
+			if _, err := model.ProcessAction(ctx, a); err != nil {
 				return err
 			}
 		}
@@ -102,7 +106,7 @@ func (b *BatchMF) Recommend(userID string, n int) ([]string, error) {
 	if b.model == nil {
 		return nil, nil
 	}
-	scores, err := b.model.ScoreCandidates(userID, b.videos)
+	scores, err := b.model.ScoreCandidates(context.Background(), userID, b.videos)
 	if err != nil {
 		return nil, err
 	}

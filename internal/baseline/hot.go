@@ -13,6 +13,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -50,7 +51,7 @@ func (h *Hot) Record(a feedback.Action) error {
 		h.now = a.Timestamp
 	}
 	h.mu.Unlock()
-	return h.tracker.Record(demographic.GlobalGroup, a.VideoID, h.weights.Weight(a), a.Timestamp)
+	return h.tracker.Record(context.Background(), demographic.GlobalGroup, a.VideoID, h.weights.Weight(a), a.Timestamp)
 }
 
 // SetNow advances the clock explicitly (the A/B simulator moves days).
@@ -65,7 +66,7 @@ func (h *Hot) Recommend(_ string, n int) ([]string, error) {
 	h.mu.RLock()
 	now := h.now
 	h.mu.RUnlock()
-	entries, err := h.tracker.Hot(demographic.GlobalGroup, n, now)
+	entries, err := h.tracker.Hot(context.Background(), demographic.GlobalGroup, n, now)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: hot list: %w", err)
 	}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -65,7 +66,7 @@ func NewReservoirMF(params core.Params, capacity int, seed uint64) (*ReservoirMF
 func (r *ReservoirMF) Ingest(a feedback.Action) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, err := r.model.ProcessAction(a); err != nil {
+	if _, err := r.model.ProcessAction(context.Background(), a); err != nil {
 		return err
 	}
 	if r.params.Weights.Weight(a) > 0 {
@@ -96,7 +97,7 @@ func (r *ReservoirMF) Ingest(a feedback.Action) error {
 // pass that anchors the model to long-term history.
 func (r *ReservoirMF) replayLocked() error {
 	for _, a := range r.reservoir {
-		if _, err := r.model.ProcessAction(a); err != nil {
+		if _, err := r.model.ProcessAction(context.Background(), a); err != nil {
 			return err
 		}
 	}
@@ -121,7 +122,7 @@ func (r *ReservoirMF) Recommend(userID string, n int) ([]string, error) {
 	for v := range r.videos {
 		candidates = append(candidates, v)
 	}
-	scores, err := r.model.ScoreCandidates(userID, candidates)
+	scores, err := r.model.ScoreCandidates(context.Background(), userID, candidates)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@
 package catalog
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -43,20 +44,20 @@ func New(name string, kv kvstore.Store) (*Catalog, error) {
 }
 
 // Put inserts or replaces a video record.
-func (c *Catalog) Put(v Video) error {
+func (c *Catalog) Put(ctx context.Context, v Video) error {
 	if v.ID == "" {
 		return fmt.Errorf("catalog: video id must not be empty")
 	}
 	enc := kvstore.EncodeStrings([]string{v.Type, strconv.FormatInt(int64(v.Length/time.Millisecond), 10)})
-	if err := c.kv.Set(kvstore.Key(c.ns, v.ID), enc); err != nil {
+	if err := c.kv.Set(ctx, kvstore.Key(c.ns, v.ID), enc); err != nil {
 		return fmt.Errorf("catalog: put %s: %w", v.ID, err)
 	}
 	return nil
 }
 
 // Get fetches a video record, reporting whether it exists.
-func (c *Catalog) Get(id string) (Video, bool, error) {
-	raw, ok, err := c.kv.Get(kvstore.Key(c.ns, id))
+func (c *Catalog) Get(ctx context.Context, id string) (Video, bool, error) {
+	raw, ok, err := c.kv.Get(ctx, kvstore.Key(c.ns, id))
 	if err != nil {
 		return Video{}, false, fmt.Errorf("catalog: get %s: %w", id, err)
 	}
@@ -77,8 +78,8 @@ func (c *Catalog) Get(id string) (Video, bool, error) {
 // Type returns the video's category, or "" when the video is unknown —
 // unknown types never match anything under Eq. 10, which is the right
 // cold-start behaviour.
-func (c *Catalog) Type(id string) (string, error) {
-	v, ok, err := c.Get(id)
+func (c *Catalog) Type(ctx context.Context, id string) (string, error) {
+	v, ok, err := c.Get(ctx, id)
 	if err != nil || !ok {
 		return "", err
 	}

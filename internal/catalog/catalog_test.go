@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -28,10 +29,10 @@ func TestNewValidation(t *testing.T) {
 func TestPutGetRoundTrip(t *testing.T) {
 	c := newCatalog(t)
 	want := Video{ID: "v1", Type: "movie.action", Length: 95 * time.Minute}
-	if err := c.Put(want); err != nil {
+	if err := c.Put(context.Background(), want); err != nil {
 		t.Fatal(err)
 	}
-	got, ok, err := c.Get("v1")
+	got, ok, err := c.Get(context.Background(), "v1")
 	if err != nil || !ok {
 		t.Fatalf("Get = %v, %v", ok, err)
 	}
@@ -42,7 +43,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 
 func TestGetMissing(t *testing.T) {
 	c := newCatalog(t)
-	_, ok, err := c.Get("nope")
+	_, ok, err := c.Get(context.Background(), "nope")
 	if err != nil || ok {
 		t.Errorf("Get(missing) = %v, %v; want false, nil", ok, err)
 	}
@@ -50,16 +51,16 @@ func TestGetMissing(t *testing.T) {
 
 func TestPutRejectsEmptyID(t *testing.T) {
 	c := newCatalog(t)
-	if err := c.Put(Video{Type: "x"}); err == nil {
+	if err := c.Put(context.Background(), Video{Type: "x"}); err == nil {
 		t.Error("empty id accepted")
 	}
 }
 
 func TestPutReplaces(t *testing.T) {
 	c := newCatalog(t)
-	c.Put(Video{ID: "v1", Type: "old", Length: time.Minute})
-	c.Put(Video{ID: "v1", Type: "new", Length: 2 * time.Minute})
-	got, _, _ := c.Get("v1")
+	c.Put(context.Background(), Video{ID: "v1", Type: "old", Length: time.Minute})
+	c.Put(context.Background(), Video{ID: "v1", Type: "new", Length: 2 * time.Minute})
+	got, _, _ := c.Get(context.Background(), "v1")
 	if got.Type != "new" || got.Length != 2*time.Minute {
 		t.Errorf("after replace Get = %+v", got)
 	}
@@ -67,11 +68,11 @@ func TestPutReplaces(t *testing.T) {
 
 func TestTypeLookup(t *testing.T) {
 	c := newCatalog(t)
-	c.Put(Video{ID: "v1", Type: "tv.drama", Length: time.Hour})
-	if typ, err := c.Type("v1"); err != nil || typ != "tv.drama" {
+	c.Put(context.Background(), Video{ID: "v1", Type: "tv.drama", Length: time.Hour})
+	if typ, err := c.Type(context.Background(), "v1"); err != nil || typ != "tv.drama" {
 		t.Errorf("Type(v1) = %q, %v", typ, err)
 	}
-	if typ, err := c.Type("unknown"); err != nil || typ != "" {
+	if typ, err := c.Type(context.Background(), "unknown"); err != nil || typ != "" {
 		t.Errorf("Type(unknown) = %q, %v; want empty", typ, err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -250,14 +251,14 @@ func TestNewModelValidation(t *testing.T) {
 
 func TestProcessActionSkipsImpressions(t *testing.T) {
 	m := newTestModel(t, RuleCombine)
-	updated, err := m.ProcessAction(impress("u1", "v1"))
+	updated, err := m.ProcessAction(context.Background(), impress("u1", "v1"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if updated {
 		t.Error("impression updated the model (Alg. 1 line 2 violated)")
 	}
-	if _, _, known, _ := m.UserVector("u1"); known {
+	if _, _, known, _ := m.UserVector(context.Background(), "u1"); known {
 		t.Error("impression created persistent user state")
 	}
 	snap := m.Stats()
@@ -269,17 +270,17 @@ func TestProcessActionSkipsImpressions(t *testing.T) {
 
 func TestProcessActionTrainsOnPositive(t *testing.T) {
 	m := newTestModel(t, RuleCombine)
-	updated, err := m.ProcessAction(click("u1", "v1"))
+	updated, err := m.ProcessAction(context.Background(), click("u1", "v1"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !updated {
 		t.Fatal("click did not update the model")
 	}
-	if _, _, known, _ := m.UserVector("u1"); !known {
+	if _, _, known, _ := m.UserVector(context.Background(), "u1"); !known {
 		t.Error("trained user not persisted")
 	}
-	if _, _, known, _ := m.ItemVector("v1"); !known {
+	if _, _, known, _ := m.ItemVector(context.Background(), "v1"); !known {
 		t.Error("trained item not persisted")
 	}
 	if m.Stats().NewUsers.Load() != 1 || m.Stats().NewItems.Load() != 1 {
@@ -287,7 +288,7 @@ func TestProcessActionTrainsOnPositive(t *testing.T) {
 			m.Stats().NewUsers.Load(), m.Stats().NewItems.Load())
 	}
 	// Second action on the same pair is not a cold start.
-	m.ProcessAction(click("u1", "v1"))
+	m.ProcessAction(context.Background(), click("u1", "v1"))
 	if m.Stats().NewUsers.Load() != 1 {
 		t.Error("existing user counted as new")
 	}
@@ -303,17 +304,17 @@ func TestTrainingRaisesPreference(t *testing.T) {
 	// push against (with positives only, every rating is 1 and μ=1 makes
 	// the model trivially converged).
 	for i := 0; i < 50; i++ {
-		if _, err := m.ProcessAction(fullWatch("u1", "liked")); err != nil {
+		if _, err := m.ProcessAction(context.Background(), fullWatch("u1", "liked")); err != nil {
 			t.Fatal(err)
 		}
-		m.ProcessAction(impress("u1", fmt.Sprintf("shown-%d", i)))
-		m.ProcessAction(impress("u1", "untouched"))
+		m.ProcessAction(context.Background(), impress("u1", fmt.Sprintf("shown-%d", i)))
+		m.ProcessAction(context.Background(), impress("u1", "untouched"))
 	}
-	liked, err := m.Predict("u1", "liked")
+	liked, err := m.Predict(context.Background(), "u1", "liked")
 	if err != nil {
 		t.Fatal(err)
 	}
-	other, err := m.Predict("u1", "untouched")
+	other, err := m.Predict(context.Background(), "u1", "untouched")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,10 +325,10 @@ func TestTrainingRaisesPreference(t *testing.T) {
 
 func TestGlobalMeanTracksImpressions(t *testing.T) {
 	m := newTestModel(t, RuleCombine)
-	m.ProcessAction(click("u1", "v1"))   // rating 1
-	m.ProcessAction(impress("u1", "v2")) // rating 0
-	m.ProcessAction(impress("u1", "v3")) // rating 0
-	mu, err := m.GlobalMean()
+	m.ProcessAction(context.Background(), click("u1", "v1"))   // rating 1
+	m.ProcessAction(context.Background(), impress("u1", "v2")) // rating 0
+	m.ProcessAction(context.Background(), impress("u1", "v3")) // rating 0
+	mu, err := m.GlobalMean(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,8 +341,8 @@ func TestGlobalMeanDisabled(t *testing.T) {
 	p := testParams()
 	p.TrackGlobalMean = false
 	m, _ := NewModel("t", kvstore.NewLocal(1), p)
-	m.ProcessAction(click("u1", "v1"))
-	if mu, _ := m.GlobalMean(); mu != 0 {
+	m.ProcessAction(context.Background(), click("u1", "v1"))
+	if mu, _ := m.GlobalMean(context.Background()); mu != 0 {
 		t.Errorf("global mean with tracking off = %v, want 0", mu)
 	}
 }
@@ -351,12 +352,12 @@ func TestModelPersistsAcrossReattach(t *testing.T) {
 	p := testParams()
 	m1, _ := NewModel("shared", store, p)
 	for i := 0; i < 20; i++ {
-		m1.ProcessAction(fullWatch("u1", "v1"))
+		m1.ProcessAction(context.Background(), fullWatch("u1", "v1"))
 	}
-	want, _ := m1.Predict("u1", "v1")
+	want, _ := m1.Predict(context.Background(), "u1", "v1")
 
 	m2, _ := NewModel("shared", store, p)
-	got, err := m2.Predict("u1", "v1")
+	got, err := m2.Predict(context.Background(), "u1", "v1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,9 +372,9 @@ func TestModelsAreNamespaced(t *testing.T) {
 	a, _ := NewModel("a", store, p)
 	b, _ := NewModel("b", store, p)
 	for i := 0; i < 10; i++ {
-		a.ProcessAction(fullWatch("u1", "v1"))
+		a.ProcessAction(context.Background(), fullWatch("u1", "v1"))
 	}
-	if _, _, known, _ := b.UserVector("u1"); known {
+	if _, _, known, _ := b.UserVector(context.Background(), "u1"); known {
 		t.Error("model b sees model a's user state")
 	}
 }
@@ -381,16 +382,16 @@ func TestModelsAreNamespaced(t *testing.T) {
 func TestScoreCandidatesMatchesPredict(t *testing.T) {
 	m := newTestModel(t, RuleCombine)
 	for i := 0; i < 10; i++ {
-		m.ProcessAction(fullWatch("u1", "v1"))
-		m.ProcessAction(click("u1", "v2"))
+		m.ProcessAction(context.Background(), fullWatch("u1", "v1"))
+		m.ProcessAction(context.Background(), click("u1", "v2"))
 	}
 	items := []string{"v1", "v2", "never-seen"}
-	scores, err := m.ScoreCandidates("u1", items)
+	scores, err := m.ScoreCandidates(context.Background(), "u1", items)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, id := range items {
-		want, _ := m.Predict("u1", id)
+		want, _ := m.Predict(context.Background(), "u1", id)
 		if math.Abs(scores[i]-want) > 1e-12 {
 			t.Errorf("ScoreCandidates[%s] = %v, Predict = %v", id, scores[i], want)
 		}
@@ -405,9 +406,9 @@ func TestCombineConvergesFasterThanBinary(t *testing.T) {
 		p.Rule = rule
 		m, _ := NewModel("t", kvstore.NewLocal(4), p)
 		for i := 0; i < 20; i++ {
-			m.ProcessAction(fullWatch("u1", "v1"))
+			m.ProcessAction(context.Background(), fullWatch("u1", "v1"))
 		}
-		pred, _ := m.Predict("u1", "v1")
+		pred, _ := m.Predict(context.Background(), "u1", "v1")
 		return pred
 	}
 	if combine, binary := run(RuleCombine), run(RuleBinary); combine <= binary {
@@ -434,34 +435,34 @@ func TestModelSurfacesStoreErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.ProcessAction(click("u1", "v1")) // healthy warmup
+	m.ProcessAction(context.Background(), click("u1", "v1")) // healthy warmup
 	faulty.SetFailRate(1)
 
-	if _, err := m.ProcessAction(click("u1", "v1")); err == nil {
+	if _, err := m.ProcessAction(context.Background(), click("u1", "v1")); err == nil {
 		t.Error("ProcessAction swallowed store failure")
 	}
-	if _, err := m.Predict("u1", "v1"); err == nil {
+	if _, err := m.Predict(context.Background(), "u1", "v1"); err == nil {
 		t.Error("Predict swallowed store failure")
 	}
-	if _, _, _, err := m.UserVector("u1"); err == nil {
+	if _, _, _, err := m.UserVector(context.Background(), "u1"); err == nil {
 		t.Error("UserVector swallowed store failure")
 	}
-	if _, _, _, err := m.ItemVector("v1"); err == nil {
+	if _, _, _, err := m.ItemVector(context.Background(), "v1"); err == nil {
 		t.Error("ItemVector swallowed store failure")
 	}
-	if _, _, _, err := m.Load("u1", "v1"); err == nil {
+	if _, _, _, err := m.Load(context.Background(), "u1", "v1"); err == nil {
 		t.Error("Load swallowed store failure")
 	}
-	if err := m.StoreUser("u1", make([]float64, 8), 0); err == nil {
+	if err := m.StoreUser(context.Background(), "u1", make([]float64, 8), 0); err == nil {
 		t.Error("StoreUser swallowed store failure")
 	}
-	if err := m.StoreItem("v1", make([]float64, 8), 0); err == nil {
+	if err := m.StoreItem(context.Background(), "v1", make([]float64, 8), 0); err == nil {
 		t.Error("StoreItem swallowed store failure")
 	}
-	if _, err := m.ScoreCandidates("u1", []string{"v1"}); err == nil {
+	if _, err := m.ScoreCandidates(context.Background(), "u1", []string{"v1"}); err == nil {
 		t.Error("ScoreCandidates swallowed store failure")
 	}
-	if _, err := m.GlobalMean(); err == nil {
+	if _, err := m.GlobalMean(context.Background()); err == nil {
 		t.Error("GlobalMean swallowed store failure")
 	}
 }
@@ -471,13 +472,13 @@ func TestModelSurfacesStoreErrors(t *testing.T) {
 func TestModelRejectsCorruptStoreRecords(t *testing.T) {
 	kv := kvstore.NewLocal(4)
 	m, _ := NewModel("t", kv, testParams())
-	m.ProcessAction(click("u1", "v1"))
-	kv.Set("t.uv:u1", []byte{1, 2, 3}) // not a multiple of 8
-	if _, _, _, err := m.UserVector("u1"); err == nil {
+	m.ProcessAction(context.Background(), click("u1", "v1"))
+	kv.Set(context.Background(), "t.uv:u1", []byte{1, 2, 3}) // not a multiple of 8
+	if _, _, _, err := m.UserVector(context.Background(), "u1"); err == nil {
 		t.Error("corrupt user vector decoded without error")
 	}
-	kv.Set("t.ib:v1", []byte{1}) // not 8 bytes
-	if _, _, _, err := m.ItemVector("v1"); err == nil {
+	kv.Set(context.Background(), "t.ib:v1", []byte{1}) // not 8 bytes
+	if _, _, _, err := m.ItemVector(context.Background(), "v1"); err == nil {
 		t.Error("corrupt item bias decoded without error")
 	}
 }
@@ -487,9 +488,9 @@ func TestModelRejectsCorruptStoreRecords(t *testing.T) {
 func TestLoadStoreStateRoundTrip(t *testing.T) {
 	m := newTestModel(t, RuleCombine)
 	for i := 0; i < 10; i++ {
-		m.ProcessAction(fullWatch("u1", "v1"))
+		m.ProcessAction(context.Background(), fullWatch("u1", "v1"))
 	}
-	s, newUser, newItem, err := m.Load("u1", "v1")
+	s, newUser, newItem, err := m.Load(context.Background(), "u1", "v1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -497,10 +498,10 @@ func TestLoadStoreStateRoundTrip(t *testing.T) {
 		t.Fatal("trained entities reported as new")
 	}
 	// Store under different ids, reload, compare exactly.
-	if err := m.StoreState("u2", "v2", s); err != nil {
+	if err := m.StoreState(context.Background(), "u2", "v2", s); err != nil {
 		t.Fatal(err)
 	}
-	s2, newUser, newItem, err := m.Load("u2", "v2")
+	s2, newUser, newItem, err := m.Load(context.Background(), "u2", "v2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -516,7 +517,7 @@ func TestLoadStoreStateRoundTrip(t *testing.T) {
 		}
 	}
 	// PredictState over loaded state must equal Predict.
-	mu, _ := m.GlobalMean()
+	mu, _ := m.GlobalMean(context.Background())
 	if got, want := PredictState(s2, mu), mustPredict(t, m, "u2", "v2"); math.Abs(got-want) > 1e-12 {
 		t.Errorf("PredictState = %v, Predict = %v", got, want)
 	}
@@ -524,7 +525,7 @@ func TestLoadStoreStateRoundTrip(t *testing.T) {
 
 func mustPredict(t *testing.T, m *Model, u, v string) float64 {
 	t.Helper()
-	p, err := m.Predict(u, v)
+	p, err := m.Predict(context.Background(), u, v)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -542,21 +543,21 @@ func TestDivergenceGuard(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if _, err := m.ProcessAction(fullWatch("u1", "v1")); err != nil {
+		if _, err := m.ProcessAction(context.Background(), fullWatch("u1", "v1")); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if m.Stats().Diverged.Load() == 0 {
 		t.Fatal("no diverged updates counted under an overflowing rate")
 	}
-	vec, bias, _, err := m.UserVector("u1")
+	vec, bias, _, err := m.UserVector(context.Background(), "u1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !vecmath.IsFinite(vec) || math.IsNaN(bias) || math.IsInf(bias, 0) {
 		t.Error("non-finite state reached the store despite the guard")
 	}
-	if pred, _ := m.Predict("u1", "v1"); math.IsNaN(pred) || math.IsInf(pred, 0) {
+	if pred, _ := m.Predict(context.Background(), "u1", "v1"); math.IsNaN(pred) || math.IsInf(pred, 0) {
 		t.Errorf("prediction non-finite: %v", pred)
 	}
 }
@@ -590,11 +591,11 @@ func TestStateStaysFinite(t *testing.T) {
 				VideoID: fmt.Sprintf("v%d", (raw>>2)%8),
 				Type:    types[(raw>>5)%4],
 			}
-			if _, err := m.ProcessAction(a); err != nil {
+			if _, err := m.ProcessAction(context.Background(), a); err != nil {
 				return false
 			}
 		}
-		vec, bias, _, err := m.UserVector("u0")
+		vec, bias, _, err := m.UserVector(context.Background(), "u0")
 		if err != nil {
 			return false
 		}

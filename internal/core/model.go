@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -126,6 +127,12 @@ func (m *Model) Stats() *Stats { return &m.stats }
 // FNV-64 hashes of (kind, id, dim): deterministic across runs and safe under
 // concurrency without locks, unlike a shared rand.Source.
 func (p Params) initVector(kind, id string) []float64 {
+	if p.Factors <= 0 {
+		// Degenerate config: zero factors has no components to initialize
+		// (and Sqrt(0) below would make scale Inf), while a negative count
+		// would panic in make. An empty vector is the only sane answer.
+		return nil
+	}
 	v := make([]float64, p.Factors)
 	scale := p.InitScale / math.Sqrt(float64(p.Factors))
 	h := fnv.New64a()
@@ -151,8 +158,8 @@ func (p Params) initVector(kind, id string) []float64 {
 
 // userState loads (or cold-start initializes) the user's vector and bias.
 // The returned bool reports whether the user was new.
-func (m *Model) userState(id string) ([]float64, float64, bool, error) {
-	vb, ok, err := m.store.Get(kvstore.Key(m.nsUserVec, id))
+func (m *Model) userState(ctx context.Context, id string) ([]float64, float64, bool, error) {
+	vb, ok, err := m.store.Get(ctx, kvstore.Key(m.nsUserVec, id))
 	if err != nil {
 		return nil, 0, false, fmt.Errorf("core: load user vector %s: %w", id, err)
 	}
@@ -163,15 +170,15 @@ func (m *Model) userState(id string) ([]float64, float64, bool, error) {
 	if err != nil {
 		return nil, 0, false, fmt.Errorf("core: decode user vector %s: %w", id, err)
 	}
-	bias, err := m.loadBias(m.nsUserBias, id)
+	bias, err := m.loadBias(ctx, m.nsUserBias, id)
 	if err != nil {
 		return nil, 0, false, err
 	}
 	return vec, bias, false, nil
 }
 
-func (m *Model) itemState(id string) ([]float64, float64, bool, error) {
-	vb, ok, err := m.store.Get(kvstore.Key(m.nsItemVec, id))
+func (m *Model) itemState(ctx context.Context, id string) ([]float64, float64, bool, error) {
+	vb, ok, err := m.store.Get(ctx, kvstore.Key(m.nsItemVec, id))
 	if err != nil {
 		return nil, 0, false, fmt.Errorf("core: load item vector %s: %w", id, err)
 	}
@@ -182,15 +189,15 @@ func (m *Model) itemState(id string) ([]float64, float64, bool, error) {
 	if err != nil {
 		return nil, 0, false, fmt.Errorf("core: decode item vector %s: %w", id, err)
 	}
-	bias, err := m.loadBias(m.nsItemBias, id)
+	bias, err := m.loadBias(ctx, m.nsItemBias, id)
 	if err != nil {
 		return nil, 0, false, err
 	}
 	return vec, bias, false, nil
 }
 
-func (m *Model) loadBias(ns, id string) (float64, error) {
-	b, ok, err := m.store.Get(kvstore.Key(ns, id))
+func (m *Model) loadBias(ctx context.Context, ns, id string) (float64, error) {
+	b, ok, err := m.store.Get(ctx, kvstore.Key(ns, id))
 	if err != nil {
 		return 0, fmt.Errorf("core: load bias %s:%s: %w", ns, id, err)
 	}
@@ -206,12 +213,12 @@ func (m *Model) loadBias(ns, id string) (float64, error) {
 
 // Load fetches the current state for a (user, item) pair, initializing
 // vectors for entities not yet seen. newUser/newItem report cold starts.
-func (m *Model) Load(userID, itemID string) (s State, newUser, newItem bool, err error) {
-	s.UserVec, s.UserBias, newUser, err = m.userState(userID)
+func (m *Model) Load(ctx context.Context, userID, itemID string) (s State, newUser, newItem bool, err error) {
+	s.UserVec, s.UserBias, newUser, err = m.userState(ctx, userID)
 	if err != nil {
 		return State{}, false, false, err
 	}
-	s.ItemVec, s.ItemBias, newItem, err = m.itemState(itemID)
+	s.ItemVec, s.ItemBias, newItem, err = m.itemState(ctx, itemID)
 	if err != nil {
 		return State{}, false, false, err
 	}
@@ -221,30 +228,30 @@ func (m *Model) Load(userID, itemID string) (s State, newUser, newItem bool, err
 // StoreState persists a (user, item) state pair. Exposed for the MFStorage
 // bolt, which receives freshly computed vectors from ComputeMF and owns all
 // writes for its key partition.
-func (m *Model) StoreState(userID, itemID string, s State) error {
-	if err := m.StoreUser(userID, s.UserVec, s.UserBias); err != nil {
+func (m *Model) StoreState(ctx context.Context, userID, itemID string, s State) error {
+	if err := m.StoreUser(ctx, userID, s.UserVec, s.UserBias); err != nil {
 		return err
 	}
-	return m.StoreItem(itemID, s.ItemVec, s.ItemBias)
+	return m.StoreItem(ctx, itemID, s.ItemVec, s.ItemBias)
 }
 
 // StoreUser persists one user's vector and bias.
-func (m *Model) StoreUser(id string, vec []float64, bias float64) error {
-	if err := m.store.Set(kvstore.Key(m.nsUserVec, id), kvstore.EncodeFloats(vec)); err != nil {
+func (m *Model) StoreUser(ctx context.Context, id string, vec []float64, bias float64) error {
+	if err := m.store.Set(ctx, kvstore.Key(m.nsUserVec, id), kvstore.EncodeFloats(vec)); err != nil {
 		return fmt.Errorf("core: store user vector %s: %w", id, err)
 	}
-	if err := m.store.Set(kvstore.Key(m.nsUserBias, id), kvstore.EncodeFloat(bias)); err != nil {
+	if err := m.store.Set(ctx, kvstore.Key(m.nsUserBias, id), kvstore.EncodeFloat(bias)); err != nil {
 		return fmt.Errorf("core: store user bias %s: %w", id, err)
 	}
 	return nil
 }
 
 // StoreItem persists one item's vector and bias.
-func (m *Model) StoreItem(id string, vec []float64, bias float64) error {
-	if err := m.store.Set(kvstore.Key(m.nsItemVec, id), kvstore.EncodeFloats(vec)); err != nil {
+func (m *Model) StoreItem(ctx context.Context, id string, vec []float64, bias float64) error {
+	if err := m.store.Set(ctx, kvstore.Key(m.nsItemVec, id), kvstore.EncodeFloats(vec)); err != nil {
 		return fmt.Errorf("core: store item vector %s: %w", id, err)
 	}
-	if err := m.store.Set(kvstore.Key(m.nsItemBias, id), kvstore.EncodeFloat(bias)); err != nil {
+	if err := m.store.Set(ctx, kvstore.Key(m.nsItemBias, id), kvstore.EncodeFloat(bias)); err != nil {
 		return fmt.Errorf("core: store item bias %s: %w", id, err)
 	}
 	return nil
@@ -252,11 +259,11 @@ func (m *Model) StoreItem(id string, vec []float64, bias float64) error {
 
 // globalMean returns μ. When TrackGlobalMean is off it is 0, reducing Eq. 2
 // to the bias-plus-interaction form.
-func (m *Model) globalMean() (float64, error) {
+func (m *Model) globalMean(ctx context.Context) (float64, error) {
 	if !m.params.TrackGlobalMean {
 		return 0, nil
 	}
-	b, ok, err := m.store.Get(m.keyMean)
+	b, ok, err := m.store.Get(ctx, m.keyMean)
 	if err != nil {
 		return 0, fmt.Errorf("core: load global mean: %w", err)
 	}
@@ -277,30 +284,31 @@ func (m *Model) globalMean() (float64, error) {
 // mean without touching any other parameter. ProcessAction calls it
 // internally; the ComputeMF bolt calls it directly because it performs the
 // load-step-emit cycle itself.
-func (m *Model) ObserveRating(r float64) error {
+func (m *Model) ObserveRating(ctx context.Context, r float64) error {
 	if !m.params.TrackGlobalMean {
 		return nil
 	}
-	return m.store.Update(m.keyMean, func(cur []byte, ok bool) ([]byte, bool) {
+	return m.store.Update(ctx, m.keyMean, func(cur []byte, ok bool) ([]byte, bool) {
 		sum, n := 0.0, 0.0
 		if ok {
 			if vals, err := kvstore.DecodeFloats(cur); err == nil && len(vals) == 2 {
 				sum, n = vals[0], vals[1]
 			}
 		}
-		return kvstore.EncodeFloats([]float64{sum + r, n + 1}), true
+		sum, n = sum+r, n+1
+		return kvstore.EncodeFloats([]float64{sum, n}), true
 	})
 }
 
 // GlobalMean returns the current μ (0 when tracking is disabled or nothing
 // has been observed).
-func (m *Model) GlobalMean() (float64, error) { return m.globalMean() }
+func (m *Model) GlobalMean(ctx context.Context) (float64, error) { return m.globalMean(ctx) }
 
 // ProcessAction runs Algorithm 1 for one user action: compute r_ui and w_ui,
 // skip if r_ui = 0, otherwise initialize any new entities, take one adjusted
 // SGD step, and write the new state back to the store. It reports whether
 // the model was updated.
-func (m *Model) ProcessAction(a feedback.Action) (bool, error) {
+func (m *Model) ProcessAction(ctx context.Context, a feedback.Action) (bool, error) {
 	m.stats.Received.Add(1)
 	rating, weight := m.params.Weights.Confidence(a)
 	// μ tracks the mean of the ratings this rule actually regresses to
@@ -310,14 +318,14 @@ func (m *Model) ProcessAction(a feedback.Action) (bool, error) {
 	if rating > 0 {
 		observed = m.params.TrainingRating(rating, weight)
 	}
-	if err := m.ObserveRating(observed); err != nil {
+	if err := m.ObserveRating(ctx, observed); err != nil {
 		return false, err
 	}
 	if rating == 0 {
 		m.stats.Skipped.Add(1)
 		return false, nil
 	}
-	s, newUser, newItem, err := m.Load(a.UserID, a.VideoID)
+	s, newUser, newItem, err := m.Load(ctx, a.UserID, a.VideoID)
 	if err != nil {
 		return false, err
 	}
@@ -327,7 +335,7 @@ func (m *Model) ProcessAction(a feedback.Action) (bool, error) {
 	if newItem {
 		m.stats.NewItems.Add(1)
 	}
-	mu, err := m.globalMean()
+	mu, err := m.globalMean(ctx)
 	if err != nil {
 		return false, err
 	}
@@ -338,7 +346,7 @@ func (m *Model) ProcessAction(a feedback.Action) (bool, error) {
 		m.stats.Diverged.Add(1)
 		return false, nil
 	}
-	if err := m.StoreState(a.UserID, a.VideoID, next); err != nil {
+	if err := m.StoreState(ctx, a.UserID, a.VideoID, next); err != nil {
 		return false, err
 	}
 	m.stats.Trained.Add(1)
@@ -378,12 +386,12 @@ func StateFinite(s State) bool {
 // Entities never seen before contribute their deterministic cold-start
 // vectors, whose inner products are near zero — the prediction degrades to
 // μ plus known biases, which is the desired cold-start behaviour.
-func (m *Model) Predict(userID, itemID string) (float64, error) {
-	s, _, _, err := m.Load(userID, itemID)
+func (m *Model) Predict(ctx context.Context, userID, itemID string) (float64, error) {
+	s, _, _, err := m.Load(ctx, userID, itemID)
 	if err != nil {
 		return 0, err
 	}
-	mu, err := m.globalMean()
+	mu, err := m.globalMean(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -392,15 +400,15 @@ func (m *Model) Predict(userID, itemID string) (float64, error) {
 
 // UserVector returns the user's latent vector and bias, reporting whether
 // the user has been trained on (false ⇒ cold-start values).
-func (m *Model) UserVector(id string) (vec []float64, bias float64, known bool, err error) {
-	vec, bias, isNew, err := m.userState(id)
+func (m *Model) UserVector(ctx context.Context, id string) (vec []float64, bias float64, known bool, err error) {
+	vec, bias, isNew, err := m.userState(ctx, id)
 	return vec, bias, !isNew, err
 }
 
 // ItemVector returns the item's latent vector and bias, reporting whether
 // the item has been trained on (false ⇒ cold-start values).
-func (m *Model) ItemVector(id string) (vec []float64, bias float64, known bool, err error) {
-	vec, bias, isNew, err := m.itemState(id)
+func (m *Model) ItemVector(ctx context.Context, id string) (vec []float64, bias float64, known bool, err error) {
+	vec, bias, isNew, err := m.itemState(ctx, id)
 	return vec, bias, !isNew, err
 }
 
@@ -408,12 +416,12 @@ func (m *Model) ItemVector(id string) (vec []float64, bias float64, known bool, 
 // with a single user-state load and a batched item fetch — the hot path of
 // real-time recommendation generation (Fig. 1's "SORT&SELECT WITH User
 // vector"). The result is parallel to items.
-func (m *Model) ScoreCandidates(userID string, items []string) ([]float64, error) {
-	uvec, ubias, _, err := m.userState(userID)
+func (m *Model) ScoreCandidates(ctx context.Context, userID string, items []string) ([]float64, error) {
+	uvec, ubias, _, err := m.userState(ctx, userID)
 	if err != nil {
 		return nil, err
 	}
-	mu, err := m.globalMean()
+	mu, err := m.globalMean(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -423,11 +431,11 @@ func (m *Model) ScoreCandidates(userID string, items []string) ([]float64, error
 		vecKeys[i] = kvstore.Key(m.nsItemVec, id)
 		biasKeys[i] = kvstore.Key(m.nsItemBias, id)
 	}
-	vecs, err := m.store.MGet(vecKeys)
+	vecs, err := m.store.MGet(ctx, vecKeys)
 	if err != nil {
 		return nil, fmt.Errorf("core: batch load item vectors: %w", err)
 	}
-	biases, err := m.store.MGet(biasKeys)
+	biases, err := m.store.MGet(ctx, biasKeys)
 	if err != nil {
 		return nil, fmt.Errorf("core: batch load item biases: %w", err)
 	}

@@ -24,6 +24,7 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -325,9 +326,9 @@ func (d *Dataset) PopularOnDay(day, k int) []string {
 }
 
 // FillCatalog writes every video's metadata into a catalog.
-func (d *Dataset) FillCatalog(cat *catalog.Catalog) error {
+func (d *Dataset) FillCatalog(ctx context.Context, cat *catalog.Catalog) error {
 	for i := range d.videos {
-		if err := cat.Put(d.videos[i].Meta); err != nil {
+		if err := cat.Put(ctx, d.videos[i].Meta); err != nil {
 			return err
 		}
 	}
@@ -336,12 +337,12 @@ func (d *Dataset) FillCatalog(cat *catalog.Catalog) error {
 
 // FillProfiles writes every registered user's profile into a profile table.
 // Unregistered users stay absent, exactly like production traffic.
-func (d *Dataset) FillProfiles(p *demographic.Profiles) error {
+func (d *Dataset) FillProfiles(ctx context.Context, p *demographic.Profiles) error {
 	for i := range d.users {
 		if !d.users[i].Profile.Registered {
 			continue
 		}
-		if err := p.Put(d.users[i].Profile); err != nil {
+		if err := p.Put(ctx, d.users[i].Profile); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -221,21 +222,21 @@ func TestFillCatalogAndProfiles(t *testing.T) {
 	d := mustGenerate(t, smallConfig())
 	kv := kvstore.NewLocal(4)
 	cat, _ := catalog.New("c", kv)
-	if err := d.FillCatalog(cat); err != nil {
+	if err := d.FillCatalog(context.Background(), cat); err != nil {
 		t.Fatal(err)
 	}
 	v := d.Videos()[3].Meta
-	got, ok, _ := cat.Get(v.ID)
+	got, ok, _ := cat.Get(context.Background(), v.ID)
 	if !ok || got != v {
 		t.Errorf("catalog record = %+v, %v; want %+v", got, ok, v)
 	}
 	profs, _ := demographic.NewProfiles("p", kv)
-	if err := d.FillProfiles(profs); err != nil {
+	if err := d.FillProfiles(context.Background(), profs); err != nil {
 		t.Fatal(err)
 	}
 	regSeen, unregSeen := false, false
 	for _, u := range d.Users() {
-		_, ok, _ := profs.Get(u.ID)
+		_, ok, _ := profs.Get(context.Background(), u.ID)
 		if u.Profile.Registered {
 			regSeen = true
 			if !ok {

@@ -13,6 +13,7 @@
 package demographic
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -159,7 +160,7 @@ func NewProfiles(name string, kv kvstore.Store) (*Profiles, error) {
 }
 
 // Put stores a profile.
-func (p *Profiles) Put(prof Profile) error {
+func (p *Profiles) Put(ctx context.Context, prof Profile) error {
 	if prof.UserID == "" {
 		return fmt.Errorf("demographic: user id must not be empty")
 	}
@@ -173,15 +174,15 @@ func (p *Profiles) Put(prof Profile) error {
 		fmt.Sprintf("%d", prof.Age),
 		fmt.Sprintf("%d", prof.Education),
 	})
-	if err := p.kv.Set(kvstore.Key(p.ns, prof.UserID), enc); err != nil {
+	if err := p.kv.Set(ctx, kvstore.Key(p.ns, prof.UserID), enc); err != nil {
 		return fmt.Errorf("demographic: put %s: %w", prof.UserID, err)
 	}
 	return nil
 }
 
 // Get fetches a profile, reporting whether one exists.
-func (p *Profiles) Get(userID string) (Profile, bool, error) {
-	raw, ok, err := p.kv.Get(kvstore.Key(p.ns, userID))
+func (p *Profiles) Get(ctx context.Context, userID string) (Profile, bool, error) {
+	raw, ok, err := p.kv.Get(ctx, kvstore.Key(p.ns, userID))
 	if err != nil {
 		return Profile{}, false, fmt.Errorf("demographic: get %s: %w", userID, err)
 	}
@@ -205,8 +206,8 @@ func (p *Profiles) Get(userID string) (Profile, bool, error) {
 
 // GroupOf resolves a user's demographic group, defaulting to the global
 // group for users without a stored profile (unregistered traffic).
-func (p *Profiles) GroupOf(userID string) (string, error) {
-	prof, ok, err := p.Get(userID)
+func (p *Profiles) GroupOf(ctx context.Context, userID string) (string, error) {
+	prof, ok, err := p.Get(ctx, userID)
 	if err != nil {
 		return "", err
 	}

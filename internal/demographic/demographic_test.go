@@ -1,6 +1,7 @@
 package demographic
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -110,10 +111,10 @@ func TestProfilesRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := Profile{UserID: "u1", Registered: true, Gender: GenderMale, Age: Age35to49, Education: EduPostgraduate}
-	if err := p.Put(want); err != nil {
+	if err := p.Put(context.Background(), want); err != nil {
 		t.Fatal(err)
 	}
-	got, ok, err := p.Get("u1")
+	got, ok, err := p.Get(context.Background(), "u1")
 	if err != nil || !ok {
 		t.Fatalf("Get = %v, %v", ok, err)
 	}
@@ -130,18 +131,18 @@ func TestProfilesValidation(t *testing.T) {
 		t.Error("nil store accepted")
 	}
 	p, _ := NewProfiles("t", kvstore.NewLocal(1))
-	if err := p.Put(Profile{}); err == nil {
+	if err := p.Put(context.Background(), Profile{}); err == nil {
 		t.Error("empty user id accepted")
 	}
 }
 
 func TestGroupOfFallsBackToGlobal(t *testing.T) {
 	p, _ := NewProfiles("t", kvstore.NewLocal(4))
-	if g, err := p.GroupOf("stranger"); err != nil || g != GlobalGroup {
+	if g, err := p.GroupOf(context.Background(), "stranger"); err != nil || g != GlobalGroup {
 		t.Errorf("GroupOf(stranger) = %q, %v", g, err)
 	}
-	p.Put(Profile{UserID: "u1", Registered: true, Gender: GenderFemale, Age: Age25to34, Education: EduSecondary})
-	if g, _ := p.GroupOf("u1"); g != "f:25-34:sec" {
+	p.Put(context.Background(), Profile{UserID: "u1", Registered: true, Gender: GenderFemale, Age: Age25to34, Education: EduSecondary})
+	if g, _ := p.GroupOf(context.Background(), "u1"); g != "f:25-34:sec" {
 		t.Errorf("GroupOf(u1) = %q", g)
 	}
 }
@@ -175,10 +176,10 @@ func TestHotTrackerValidation(t *testing.T) {
 
 func TestHotAccumulatesWeight(t *testing.T) {
 	h := newTracker(t)
-	h.Record(GlobalGroup, "a", 1, at(0))
-	h.Record(GlobalGroup, "a", 2.5, at(0))
-	h.Record(GlobalGroup, "b", 3, at(0))
-	got, err := h.Hot(GlobalGroup, 5, at(0))
+	h.Record(context.Background(), GlobalGroup, "a", 1, at(0))
+	h.Record(context.Background(), GlobalGroup, "a", 2.5, at(0))
+	h.Record(context.Background(), GlobalGroup, "b", 3, at(0))
+	got, err := h.Hot(context.Background(), GlobalGroup, 5, at(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,9 +190,9 @@ func TestHotAccumulatesWeight(t *testing.T) {
 
 func TestHotDecays(t *testing.T) {
 	h := newTracker(t)
-	h.Record(GlobalGroup, "old", 4, at(0))
-	h.Record(GlobalGroup, "fresh", 3, at(24)) // old has halved to 2
-	got, _ := h.Hot(GlobalGroup, 5, at(24))
+	h.Record(context.Background(), GlobalGroup, "old", 4, at(0))
+	h.Record(context.Background(), GlobalGroup, "fresh", 3, at(24)) // old has halved to 2
+	got, _ := h.Hot(context.Background(), GlobalGroup, 5, at(24))
 	if got[0].ID != "fresh" {
 		t.Errorf("Hot = %+v, want fresh first (trend shift)", got)
 	}
@@ -202,19 +203,19 @@ func TestHotDecays(t *testing.T) {
 
 func TestHotIgnoresImpressions(t *testing.T) {
 	h := newTracker(t)
-	if err := h.Record(GlobalGroup, "a", 0, at(0)); err != nil {
+	if err := h.Record(context.Background(), GlobalGroup, "a", 0, at(0)); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := h.Hot(GlobalGroup, 5, at(0)); len(got) != 0 {
+	if got, _ := h.Hot(context.Background(), GlobalGroup, 5, at(0)); len(got) != 0 {
 		t.Errorf("zero-weight record heated a video: %+v", got)
 	}
 }
 
 func TestHotGroupsIsolated(t *testing.T) {
 	h := newTracker(t)
-	h.Record("g1", "a", 1, at(0))
-	h.Record("g2", "b", 1, at(0))
-	got, _ := h.Hot("g1", 5, at(0))
+	h.Record(context.Background(), "g1", "a", 1, at(0))
+	h.Record(context.Background(), "g2", "b", 1, at(0))
+	got, _ := h.Hot(context.Background(), "g1", 5, at(0))
 	if len(got) != 1 || got[0].ID != "a" {
 		t.Errorf("g1 hot = %+v, want [a]", got)
 	}
@@ -222,7 +223,7 @@ func TestHotGroupsIsolated(t *testing.T) {
 
 func TestHotUnknownGroupEmpty(t *testing.T) {
 	h := newTracker(t)
-	if got, err := h.Hot("nobody", 5, at(0)); err != nil || got != nil {
+	if got, err := h.Hot(context.Background(), "nobody", 5, at(0)); err != nil || got != nil {
 		t.Errorf("Hot(nobody) = %v, %v", got, err)
 	}
 }
@@ -230,9 +231,9 @@ func TestHotUnknownGroupEmpty(t *testing.T) {
 func TestHotSizeBound(t *testing.T) {
 	h, _ := NewHotTracker("t", kvstore.NewLocal(4), 24*time.Hour, 3)
 	for i := 0; i < 6; i++ {
-		h.Record(GlobalGroup, fmt.Sprintf("v%d", i), float64(i+1), at(0))
+		h.Record(context.Background(), GlobalGroup, fmt.Sprintf("v%d", i), float64(i+1), at(0))
 	}
-	got, _ := h.Hot(GlobalGroup, 10, at(0))
+	got, _ := h.Hot(context.Background(), GlobalGroup, 10, at(0))
 	if len(got) != 3 || got[0].ID != "v5" {
 		t.Errorf("bounded hot = %+v", got)
 	}
@@ -261,13 +262,13 @@ func TestHotMatchesReferenceDecayModel(t *testing.T) {
 		now = now.Add(time.Duration(rng.Intn(120)) * time.Minute)
 		video := fmt.Sprintf("v%d", rng.Intn(12))
 		w := 0.5 + 3*rng.Float64()
-		if err := h.Record(GlobalGroup, video, w, now); err != nil {
+		if err := h.Record(context.Background(), GlobalGroup, video, w, now); err != nil {
 			t.Fatal(err)
 		}
 		r := model[video]
 		model[video] = ref{score: decayTo(r, now) + w, at: now}
 	}
-	got, err := h.Hot(GlobalGroup, 50, now)
+	got, err := h.Hot(context.Background(), GlobalGroup, 50, now)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,8 +354,23 @@ func TestTableSetLazy(t *testing.T) {
 	}
 	// Writes to one group's table must not appear in another's.
 	t2, _ := set.For("g2")
-	t1.UpdateDirected("a", "b", 0.5, at(0))
-	if got, _ := t2.Similar("a", 5, at(0)); len(got) != 0 {
+	t1.UpdateDirected(context.Background(), "a", "b", 0.5, at(0))
+	if got, _ := t2.Similar(context.Background(), "a", 5, at(0)); len(got) != 0 {
 		t.Errorf("g2 sees g1's similarity data: %+v", got)
+	}
+}
+
+// TestHotTrackerZeroValueDamp: a HotTracker that skipped NewHotTracker has
+// halfLife 0; its decay must be a finite 0, not a NaN from 0/0.
+func TestHotTrackerZeroValueDamp(t *testing.T) {
+	var h HotTracker
+	for _, age := range []time.Duration{0, time.Second, 24 * time.Hour} {
+		got := h.damp(age)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("damp(%v) = %v, not finite", age, got)
+		}
+		if got != 0 {
+			t.Errorf("damp(%v) = %v, want 0", age, got)
+		}
 	}
 }

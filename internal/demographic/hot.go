@@ -1,6 +1,7 @@
 package demographic
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -45,16 +46,21 @@ func NewHotTracker(name string, kv kvstore.Store, halfLife time.Duration, size i
 }
 
 func (h *HotTracker) damp(age time.Duration) float64 {
+	if h.halfLife <= 0 {
+		return 0 // zero-value tracker (skipped NewHotTracker): treat as fully decayed
+	}
 	if age <= 0 {
 		return 1
 	}
+	// halfLife > 0 is established above; the exponent is finite and
+	// nonpositive, so Exp2 lands in (0, 1].
 	return math.Exp2(-float64(age) / float64(h.halfLife))
 }
 
 // Record adds weight to a video's popularity in the group at time ts.
 // Weight is the action's confidence w_ui, so a full watch heats a video more
 // than a bare click.
-func (h *HotTracker) Record(group, videoID string, weight float64, ts time.Time) error {
+func (h *HotTracker) Record(ctx context.Context, group, videoID string, weight float64, ts time.Time) error {
 	if group == "" || videoID == "" {
 		return fmt.Errorf("demographic: group and video ids must not be empty")
 	}
@@ -62,7 +68,7 @@ func (h *HotTracker) Record(group, videoID string, weight float64, ts time.Time)
 		return nil // impressions carry no popularity signal
 	}
 	key := kvstore.Key(h.ns, group)
-	return h.kv.Update(key, func(cur []byte, ok bool) ([]byte, bool) {
+	return h.kv.Update(ctx, key, func(cur []byte, ok bool) ([]byte, bool) {
 		updatedAt := ts
 		list := topn.NewList(h.size)
 		if ok && len(cur) >= 8 {
@@ -92,8 +98,8 @@ func (h *HotTracker) Record(group, videoID string, weight float64, ts time.Time)
 }
 
 // Hot returns up to k hot videos for the group at time now, hottest first.
-func (h *HotTracker) Hot(group string, k int, now time.Time) ([]topn.Entry, error) {
-	raw, ok, err := h.kv.Get(kvstore.Key(h.ns, group))
+func (h *HotTracker) Hot(ctx context.Context, group string, k int, now time.Time) ([]topn.Entry, error) {
+	raw, ok, err := h.kv.Get(ctx, kvstore.Key(h.ns, group))
 	if err != nil {
 		return nil, fmt.Errorf("demographic: get hot %s: %w", group, err)
 	}

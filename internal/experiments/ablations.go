@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"vidrec/internal/core"
 	"vidrec/internal/dataset"
 	"vidrec/internal/eval"
+	"vidrec/internal/feedback"
 	"vidrec/internal/kvstore"
 	"vidrec/internal/recommend"
 	"vidrec/internal/simtable"
@@ -31,6 +33,8 @@ type FreshnessResult struct {
 
 // RunFreshness A/B-tests online rMF against daily-batch MF on live traffic.
 func RunFreshness(s Scale, days int) (*FreshnessResult, error) {
+	// Offline experiment harness: no caller-supplied deadline to inherit.
+	ctx := context.Background()
 	if days <= 0 {
 		days = 6
 	}
@@ -51,10 +55,10 @@ func RunFreshness(s Scale, days int) (*FreshnessResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := d.FillCatalog(sys.Catalog); err != nil {
+	if err := d.FillCatalog(ctx, sys.Catalog); err != nil {
 		return nil, err
 	}
-	if err := d.FillProfiles(sys.Profiles); err != nil {
+	if err := d.FillProfiles(ctx, sys.Profiles); err != nil {
 		return nil, err
 	}
 	batch := baseline.NewBatchMF(params)
@@ -67,8 +71,8 @@ func RunFreshness(s Scale, days int) (*FreshnessResult, error) {
 	variants := []abtest.Variant{
 		{
 			Name:        "rMF-online",
-			Recommender: recommend.EvalAdapter{S: sys},
-			Ingest:      sys.Ingest,
+			Recommender: recommend.EvalAdapter{S: sys, Ctx: ctx},
+			Ingest:      ingestWith(ctx, sys),
 		},
 		{
 			Name:        "MF-daily-batch",
@@ -126,6 +130,8 @@ type DecayResult struct {
 // RunDecayAblation A/B-tests the production similar-table decay (ξ = 24h)
 // against effectively disabled decay (ξ = 10000h).
 func RunDecayAblation(s Scale, days int) (*DecayResult, error) {
+	// Offline experiment harness: no caller-supplied deadline to inherit.
+	ctx := context.Background()
 	if days <= 0 {
 		days = 6
 	}
@@ -150,10 +156,10 @@ func RunDecayAblation(s Scale, days int) (*DecayResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := d.FillCatalog(sys.Catalog); err != nil {
+		if err := d.FillCatalog(ctx, sys.Catalog); err != nil {
 			return nil, err
 		}
-		if err := d.FillProfiles(sys.Profiles); err != nil {
+		if err := d.FillProfiles(ctx, sys.Profiles); err != nil {
 			return nil, err
 		}
 		return sys, nil
@@ -167,8 +173,8 @@ func RunDecayAblation(s Scale, days int) (*DecayResult, error) {
 		return nil, err
 	}
 	variants := []abtest.Variant{
-		{Name: "decay-24h", Recommender: recommend.EvalAdapter{S: withDecay}, Ingest: withDecay.Ingest},
-		{Name: "decay-off", Recommender: recommend.EvalAdapter{S: noDecay}, Ingest: noDecay.Ingest},
+		{Name: "decay-24h", Recommender: recommend.EvalAdapter{S: withDecay, Ctx: ctx}, Ingest: ingestWith(ctx, withDecay)},
+		{Name: "decay-off", Recommender: recommend.EvalAdapter{S: noDecay, Ctx: ctx}, Ingest: ingestWith(ctx, noDecay)},
 	}
 	report, err := abtest.Run(d, variants, abCfg)
 	if err != nil {
@@ -211,6 +217,8 @@ type DiversityResult struct {
 // RunDiversityAblation trains two otherwise-identical systems and measures
 // list diversity and CTR with demographic filtering on and off.
 func RunDiversityAblation(s Scale, days int) (*DiversityResult, error) {
+	// Offline experiment harness: no caller-supplied deadline to inherit.
+	ctx := context.Background()
 	if days <= 0 {
 		days = 3
 	}
@@ -233,10 +241,10 @@ func RunDiversityAblation(s Scale, days int) (*DiversityResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := d.FillCatalog(sys.Catalog); err != nil {
+		if err := d.FillCatalog(ctx, sys.Catalog); err != nil {
 			return nil, err
 		}
-		if err := d.FillProfiles(sys.Profiles); err != nil {
+		if err := d.FillProfiles(ctx, sys.Profiles); err != nil {
 			return nil, err
 		}
 		return sys, nil
@@ -250,8 +258,8 @@ func RunDiversityAblation(s Scale, days int) (*DiversityResult, error) {
 		return nil, err
 	}
 	report, err := abtest.Run(d, []abtest.Variant{
-		{Name: "filtering-on", Recommender: recommend.EvalAdapter{S: withF}, Ingest: withF.Ingest},
-		{Name: "filtering-off", Recommender: recommend.EvalAdapter{S: withoutF}, Ingest: withoutF.Ingest},
+		{Name: "filtering-on", Recommender: recommend.EvalAdapter{S: withF, Ctx: ctx}, Ingest: ingestWith(ctx, withF)},
+		{Name: "filtering-off", Recommender: recommend.EvalAdapter{S: withoutF, Ctx: ctx}, Ingest: ingestWith(ctx, withoutF)},
 	}, abCfg)
 	if err != nil {
 		return nil, err
@@ -266,7 +274,7 @@ func RunDiversityAblation(s Scale, days int) (*DiversityResult, error) {
 		users = append(users, u.ID)
 	}
 	typeOf := func(video string) string {
-		typ, _ := withF.Catalog.Type(video)
+		typ, _ := withF.Catalog.Type(ctx, video)
 		return typ
 	}
 	res := &DiversityResult{
@@ -275,12 +283,12 @@ func RunDiversityAblation(s Scale, days int) (*DiversityResult, error) {
 		CTRWithout: report.Total["filtering-off"].CTR(),
 	}
 	res.WithFiltering, err = eval.MeasureDiversity(
-		recommend.EvalAdapter{S: withF}, users, s.TopN, cfg.Videos, typeOf)
+		recommend.EvalAdapter{S: withF, Ctx: ctx}, users, s.TopN, cfg.Videos, typeOf)
 	if err != nil {
 		return nil, err
 	}
 	res.WithoutFiltering, err = eval.MeasureDiversity(
-		recommend.EvalAdapter{S: withoutF}, users, s.TopN, cfg.Videos, typeOf)
+		recommend.EvalAdapter{S: withoutF, Ctx: ctx}, users, s.TopN, cfg.Videos, typeOf)
 	if err != nil {
 		return nil, err
 	}
@@ -305,3 +313,9 @@ func itoa(n int) string { return strconv.Itoa(n) }
 func f4(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 
 func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+
+// ingestWith adapts a System's context-threaded Ingest to the ctx-free
+// abtest.Variant hook.
+func ingestWith(ctx context.Context, sys *recommend.System) func(feedback.Action) error {
+	return func(a feedback.Action) error { return sys.Ingest(ctx, a) }
+}

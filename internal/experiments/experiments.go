@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -118,7 +119,7 @@ func TrainModel(name string, rule core.UpdateRule, factors int, actions []feedba
 		return nil, err
 	}
 	for _, a := range actions {
-		if _, err := m.ProcessAction(a); err != nil {
+		if _, err := m.ProcessAction(context.Background(), a); err != nil {
 			return nil, err
 		}
 	}
@@ -162,7 +163,7 @@ func NewModelRecommender(m *core.Model, train []feedback.Action, w feedback.Weig
 
 // Recommend implements eval.Recommender.
 func (r *ModelRecommender) Recommend(userID string, n int) ([]string, error) {
-	scores, err := r.model.ScoreCandidates(userID, r.videos)
+	scores, err := r.model.ScoreCandidates(context.Background(), userID, r.videos)
 	if err != nil {
 		return nil, err
 	}

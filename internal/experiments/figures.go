@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -365,10 +366,12 @@ func RunFig7(s Scale, days int) (*Fig7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := d.FillCatalog(sys.Catalog); err != nil {
+	// Offline experiment harness: no caller-supplied deadline to inherit.
+	ctx := context.Background()
+	if err := d.FillCatalog(ctx, sys.Catalog); err != nil {
 		return nil, err
 	}
-	if err := d.FillProfiles(sys.Profiles); err != nil {
+	if err := d.FillProfiles(ctx, sys.Profiles); err != nil {
 		return nil, err
 	}
 	// The system's clock follows its ingest stream: requests interleaved
@@ -392,8 +395,8 @@ func RunFig7(s Scale, days int) (*Fig7Result, error) {
 		},
 		{
 			Name:        "rMF",
-			Recommender: recommend.EvalAdapter{S: sys},
-			Ingest:      sys.Ingest,
+			Recommender: recommend.EvalAdapter{S: sys, Ctx: ctx},
+			Ingest:      ingestWith(ctx, sys),
 		},
 	}
 	report, err := abtest.Run(d, variants, abCfg)

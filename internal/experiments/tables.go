@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vidrec/internal/core"
@@ -240,7 +241,7 @@ func trainWithParams(name string, params core.Params, actions []feedback.Action)
 		return nil, err
 	}
 	for _, a := range actions {
-		if _, err := m.ProcessAction(a); err != nil {
+		if _, err := m.ProcessAction(context.Background(), a); err != nil {
 			return nil, err
 		}
 	}

@@ -182,10 +182,23 @@ func (w Weights) Weight(a Action) float64 {
 		return 0
 	}
 	vrate := a.ViewRate()
-	if vrate < w.MinViewRate {
+	if vrate < w.MinViewRate || vrate <= 0 {
+		// The vrate <= 0 leg is load-bearing even though Validate rejects
+		// MinViewRate <= 0: a zero-value or hand-built Weights would otherwise
+		// send log10(0) = -Inf into the SGD update and poison every vector the
+		// action touches. It also absorbs VideoLength == 0, which ViewRate
+		// maps to 0.
 		return w.Static[Play]
 	}
-	return w.A + w.B*math.Log10(vrate)
+	// vrate ∈ (0, 1], so log10 is finite and nonpositive: the weight is
+	// bounded above by A. Clamp the low side to the Play floor so extreme
+	// (a, b) choices still keep a watched video at least as strong as a bare
+	// Play — with the defaults the clamp is exactly Eq. 6's lower band edge.
+	wgt := w.A + w.B*math.Log10(vrate)
+	if wgt < w.Static[Play] {
+		return w.Static[Play]
+	}
+	return wgt
 }
 
 // Rating returns the binary preference r_ui of Eq. 7: 1 if the action

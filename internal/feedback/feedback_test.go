@@ -184,3 +184,63 @@ func TestActionTypeStringRoundTrip(t *testing.T) {
 		t.Errorf("unknown type String = %q", s)
 	}
 }
+
+// TestWeightAlwaysFinite sweeps the full vrate range — including the
+// degenerate inputs Eq. 6 is undefined on — under both the default and
+// adversarial (unvalidated) configurations, and asserts the weight can
+// never leave a finite band. A -Inf here would poison every vector the
+// action touches via the SGD update.
+func TestWeightAlwaysFinite(t *testing.T) {
+	configs := map[string]Weights{
+		"default": DefaultWeights(),
+	}
+	zeroCut := DefaultWeights()
+	zeroCut.MinViewRate = 0 // invalid (Validate rejects it) but must still be safe
+	configs["zero-cutoff"] = zeroCut
+	steep := DefaultWeights()
+	steep.MinViewRate = 1e-12
+	steep.B = 50 // absurd slope: log term would reach -600 without the clamp
+	configs["steep-slope"] = steep
+	var zero Weights
+	configs["zero-value"] = zero
+
+	lengths := []time.Duration{0, -time.Second, time.Millisecond, 100 * time.Second, time.Hour}
+	for name, w := range configs {
+		for _, length := range lengths {
+			for i := 0; i <= 1000; i++ {
+				view := time.Duration(float64(length) * float64(i) / 1000)
+				a := playTimeAction(view, length)
+				got := w.Weight(a)
+				if math.IsNaN(got) || math.IsInf(got, 0) {
+					t.Fatalf("%s: Weight(view=%v len=%v) = %v, not finite", name, view, length, got)
+				}
+				if got < 0 || got > w.A+1 {
+					t.Fatalf("%s: Weight(view=%v len=%v) = %v, outside [0, %v]", name, view, length, got, w.A+1)
+				}
+			}
+		}
+		// The exact degenerate corners, spelled out.
+		for _, a := range []Action{
+			playTimeAction(0, 0),
+			playTimeAction(time.Minute, 0),
+			playTimeAction(0, time.Minute),
+			playTimeAction(-time.Minute, -time.Minute),
+		} {
+			if got := w.Weight(a); math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("%s: Weight(%+v) = %v, not finite", name, a, got)
+			}
+		}
+	}
+}
+
+// TestWeightClampFloor: a watched video never scores below a bare Play,
+// even when (a, b) would push Eq. 6 below the floor.
+func TestWeightClampFloor(t *testing.T) {
+	w := DefaultWeights()
+	w.MinViewRate = 1e-6
+	w.B = 10 // at vrate=1e-6, a + b·log10 = 2.5 - 60
+	got := w.Weight(playTimeAction(time.Microsecond, time.Second))
+	if got != w.Static[Play] {
+		t.Errorf("Weight = %v, want Play floor %v", got, w.Static[Play])
+	}
+}

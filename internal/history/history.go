@@ -7,6 +7,7 @@
 package history
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -69,12 +70,12 @@ func decode(raw []byte) ([]Event, error) {
 // to the front with the new timestamp rather than duplicating: the history
 // answers "which distinct videos did this user touch recently", and repeated
 // plays of one video should not crowd out the rest.
-func (s *Store) Append(userID, videoID string, ts time.Time) error {
+func (s *Store) Append(ctx context.Context, userID, videoID string, ts time.Time) error {
 	if userID == "" || videoID == "" {
 		return fmt.Errorf("history: user and video ids must not be empty")
 	}
 	key := kvstore.Key(s.ns, userID)
-	return s.kv.Update(key, func(cur []byte, ok bool) ([]byte, bool) {
+	return s.kv.Update(ctx, key, func(cur []byte, ok bool) ([]byte, bool) {
 		var events []Event
 		if ok {
 			if dec, err := decode(cur); err == nil {
@@ -99,8 +100,8 @@ func (s *Store) Append(userID, videoID string, ts time.Time) error {
 }
 
 // Recent returns up to k events, newest first.
-func (s *Store) Recent(userID string, k int) ([]Event, error) {
-	raw, ok, err := s.kv.Get(kvstore.Key(s.ns, userID))
+func (s *Store) Recent(ctx context.Context, userID string, k int) ([]Event, error) {
+	raw, ok, err := s.kv.Get(ctx, kvstore.Key(s.ns, userID))
 	if err != nil {
 		return nil, fmt.Errorf("history: get %s: %w", userID, err)
 	}
@@ -118,8 +119,8 @@ func (s *Store) Recent(userID string, k int) ([]Event, error) {
 }
 
 // RecentVideos returns up to k distinct video ids, newest first.
-func (s *Store) RecentVideos(userID string, k int) ([]string, error) {
-	events, err := s.Recent(userID, k)
+func (s *Store) RecentVideos(ctx context.Context, userID string, k int) ([]string, error) {
+	events, err := s.Recent(ctx, userID, k)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package history
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -35,10 +36,10 @@ func TestNewValidation(t *testing.T) {
 
 func TestAppendRecentOrder(t *testing.T) {
 	s := newStore(t, 10)
-	s.Append("u1", "a", at(1))
-	s.Append("u1", "b", at(2))
-	s.Append("u1", "c", at(3))
-	got, err := s.RecentVideos("u1", 10)
+	s.Append(context.Background(), "u1", "a", at(1))
+	s.Append(context.Background(), "u1", "b", at(2))
+	s.Append(context.Background(), "u1", "c", at(3))
+	got, err := s.RecentVideos(context.Background(), "u1", 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,14 +57,14 @@ func TestAppendRecentOrder(t *testing.T) {
 
 func TestAppendDeduplicatesMoveToFront(t *testing.T) {
 	s := newStore(t, 10)
-	s.Append("u1", "a", at(1))
-	s.Append("u1", "b", at(2))
-	s.Append("u1", "a", at(3)) // rewatching a moves it to the front
-	got, _ := s.RecentVideos("u1", 10)
+	s.Append(context.Background(), "u1", "a", at(1))
+	s.Append(context.Background(), "u1", "b", at(2))
+	s.Append(context.Background(), "u1", "a", at(3)) // rewatching a moves it to the front
+	got, _ := s.RecentVideos(context.Background(), "u1", 10)
 	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
 		t.Errorf("RecentVideos = %v, want [a b]", got)
 	}
-	events, _ := s.Recent("u1", 1)
+	events, _ := s.Recent(context.Background(), "u1", 1)
 	if !events[0].Time.Equal(at(3)) {
 		t.Errorf("front timestamp = %v, want %v", events[0].Time, at(3))
 	}
@@ -72,9 +73,9 @@ func TestAppendDeduplicatesMoveToFront(t *testing.T) {
 func TestAppendEnforcesLimit(t *testing.T) {
 	s := newStore(t, 3)
 	for i := 1; i <= 5; i++ {
-		s.Append("u1", fmt.Sprintf("v%d", i), at(i))
+		s.Append(context.Background(), "u1", fmt.Sprintf("v%d", i), at(i))
 	}
-	got, _ := s.RecentVideos("u1", 10)
+	got, _ := s.RecentVideos(context.Background(), "u1", 10)
 	if len(got) != 3 || got[0] != "v5" || got[2] != "v3" {
 		t.Errorf("RecentVideos = %v, want [v5 v4 v3]", got)
 	}
@@ -83,9 +84,9 @@ func TestAppendEnforcesLimit(t *testing.T) {
 func TestRecentK(t *testing.T) {
 	s := newStore(t, 10)
 	for i := 1; i <= 5; i++ {
-		s.Append("u1", fmt.Sprintf("v%d", i), at(i))
+		s.Append(context.Background(), "u1", fmt.Sprintf("v%d", i), at(i))
 	}
-	got, _ := s.RecentVideos("u1", 2)
+	got, _ := s.RecentVideos(context.Background(), "u1", 2)
 	if len(got) != 2 || got[0] != "v5" || got[1] != "v4" {
 		t.Errorf("RecentVideos(2) = %v", got)
 	}
@@ -93,7 +94,7 @@ func TestRecentK(t *testing.T) {
 
 func TestRecentUnknownUser(t *testing.T) {
 	s := newStore(t, 10)
-	got, err := s.Recent("ghost", 5)
+	got, err := s.Recent(context.Background(), "ghost", 5)
 	if err != nil || got != nil {
 		t.Errorf("Recent(ghost) = %v, %v; want nil, nil", got, err)
 	}
@@ -101,19 +102,19 @@ func TestRecentUnknownUser(t *testing.T) {
 
 func TestAppendRejectsEmptyIDs(t *testing.T) {
 	s := newStore(t, 10)
-	if err := s.Append("", "v", at(1)); err == nil {
+	if err := s.Append(context.Background(), "", "v", at(1)); err == nil {
 		t.Error("empty user accepted")
 	}
-	if err := s.Append("u", "", at(1)); err == nil {
+	if err := s.Append(context.Background(), "u", "", at(1)); err == nil {
 		t.Error("empty video accepted")
 	}
 }
 
 func TestUsersAreIsolated(t *testing.T) {
 	s := newStore(t, 10)
-	s.Append("u1", "a", at(1))
-	s.Append("u2", "b", at(1))
-	got, _ := s.RecentVideos("u1", 10)
+	s.Append(context.Background(), "u1", "a", at(1))
+	s.Append(context.Background(), "u2", "b", at(1))
+	got, _ := s.RecentVideos(context.Background(), "u1", 10)
 	if len(got) != 1 || got[0] != "a" {
 		t.Errorf("u1 history = %v, want [a]", got)
 	}
@@ -132,7 +133,7 @@ func TestConcurrentAppendsSameUser(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
 				v := fmt.Sprintf("w%d-v%d", w, i)
-				if err := s.Append("u1", v, at(w*per+i)); err != nil {
+				if err := s.Append(context.Background(), "u1", v, at(w*per+i)); err != nil {
 					t.Error(err)
 					return
 				}
@@ -140,7 +141,7 @@ func TestConcurrentAppendsSameUser(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	got, err := s.RecentVideos("u1", 100)
+	got, err := s.RecentVideos(context.Background(), "u1", 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,11 +160,11 @@ func TestConcurrentAppendsSameUser(t *testing.T) {
 func TestCorruptRecordIsRebuilt(t *testing.T) {
 	kv := kvstore.NewLocal(1)
 	s, _ := New("t", kv, 5)
-	kv.Set("t.hist:u1", []byte{0xFF, 0xFF}) // garbage
-	if err := s.Append("u1", "a", at(1)); err != nil {
+	kv.Set(context.Background(), "t.hist:u1", []byte{0xFF, 0xFF}) // garbage
+	if err := s.Append(context.Background(), "u1", "a", at(1)); err != nil {
 		t.Fatalf("Append over corrupt record = %v", err)
 	}
-	got, err := s.RecentVideos("u1", 5)
+	got, err := s.RecentVideos(context.Background(), "u1", 5)
 	if err != nil || len(got) != 1 || got[0] != "a" {
 		t.Errorf("after rebuild = %v, %v", got, err)
 	}

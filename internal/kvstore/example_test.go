@@ -1,6 +1,7 @@
 package kvstore_test
 
 import (
+	"context"
 	"fmt"
 
 	"vidrec/internal/kvstore"
@@ -11,30 +12,31 @@ import (
 func ExampleLocal() {
 	store := kvstore.NewLocal(16)
 	key := kvstore.Key("uv", "alice")
-	store.Set(key, kvstore.EncodeFloats([]float64{0.1, 0.2}))
+	store.Set(context.Background(), key, kvstore.EncodeFloats([]float64{0.1, 0.2}))
 
-	store.Update(key, func(cur []byte, exists bool) ([]byte, bool) {
+	store.Update(context.Background(), key, func(cur []byte, exists bool) ([]byte, bool) {
 		vec, _ := kvstore.DecodeFloats(cur)
 		vec[0] += 1
 		return kvstore.EncodeFloats(vec), true
 	})
 
-	raw, _, _ := store.Get(key)
+	raw, _, _ := store.Get(context.Background(), key)
 	vec, _ := kvstore.DecodeFloats(raw)
 	fmt.Println(vec)
 	// Output: [1.1 0.2]
 }
 
 // The same interface runs over TCP for the distributed deployment.
-func ExampleDial() {
-	server, _ := kvstore.NewServer(kvstore.NewLocal(8), "127.0.0.1:0")
+func ExampleDialContext() {
+	ctx := context.Background()
+	server, _ := kvstore.NewServer(ctx, kvstore.NewLocal(8), "127.0.0.1:0")
 	defer server.Close()
 
-	client, _ := kvstore.Dial(server.Addr())
+	client, _ := kvstore.DialContext(ctx, server.Addr())
 	defer client.Close()
 
-	client.Set("greeting", []byte("hello over the wire"))
-	v, ok, _ := client.Get("greeting")
+	client.Set(ctx, "greeting", []byte("hello over the wire"))
+	v, ok, _ := client.Get(ctx, "greeting")
 	fmt.Println(ok, string(v))
 	// Output: true hello over the wire
 }

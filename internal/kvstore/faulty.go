@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -55,9 +56,17 @@ func (f *Faulty) Injected() uint64 { return f.injected.Load() }
 
 func floatBits(v float64) uint64 { return math.Float64bits(v) }
 
-func (f *Faulty) fault() error {
+func (f *Faulty) fault(ctx context.Context) error {
 	if d := f.latency.Load(); d > 0 {
-		time.Sleep(time.Duration(d))
+		// Injected latency honours cancellation: a caller with a deadline
+		// sees the timeout it configured, not the injector's full delay.
+		t := time.NewTimer(time.Duration(d))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
 	}
 	p := math.Float64frombits(f.failRate.Load())
 	if p <= 0 {
@@ -74,49 +83,49 @@ func (f *Faulty) fault() error {
 }
 
 // Get implements Store.
-func (f *Faulty) Get(key string) ([]byte, bool, error) {
-	if err := f.fault(); err != nil {
+func (f *Faulty) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	if err := f.fault(ctx); err != nil {
 		return nil, false, err
 	}
-	return f.inner.Get(key)
+	return f.inner.Get(ctx, key)
 }
 
 // Set implements Store.
-func (f *Faulty) Set(key string, val []byte) error {
-	if err := f.fault(); err != nil {
+func (f *Faulty) Set(ctx context.Context, key string, val []byte) error {
+	if err := f.fault(ctx); err != nil {
 		return err
 	}
-	return f.inner.Set(key, val)
+	return f.inner.Set(ctx, key, val)
 }
 
 // Delete implements Store.
-func (f *Faulty) Delete(key string) (bool, error) {
-	if err := f.fault(); err != nil {
+func (f *Faulty) Delete(ctx context.Context, key string) (bool, error) {
+	if err := f.fault(ctx); err != nil {
 		return false, err
 	}
-	return f.inner.Delete(key)
+	return f.inner.Delete(ctx, key)
 }
 
 // MGet implements Store.
-func (f *Faulty) MGet(keys []string) ([][]byte, error) {
-	if err := f.fault(); err != nil {
+func (f *Faulty) MGet(ctx context.Context, keys []string) ([][]byte, error) {
+	if err := f.fault(ctx); err != nil {
 		return nil, err
 	}
-	return f.inner.MGet(keys)
+	return f.inner.MGet(ctx, keys)
 }
 
 // Update implements Store.
-func (f *Faulty) Update(key string, fn func(cur []byte, exists bool) ([]byte, bool)) error {
-	if err := f.fault(); err != nil {
+func (f *Faulty) Update(ctx context.Context, key string, fn func(cur []byte, exists bool) ([]byte, bool)) error {
+	if err := f.fault(ctx); err != nil {
 		return err
 	}
-	return f.inner.Update(key, fn)
+	return f.inner.Update(ctx, key, fn)
 }
 
 // Len implements Store.
-func (f *Faulty) Len() (int, error) {
-	if err := f.fault(); err != nil {
+func (f *Faulty) Len(ctx context.Context) (int, error) {
+	if err := f.fault(ctx); err != nil {
 		return 0, err
 	}
-	return f.inner.Len()
+	return f.inner.Len(ctx)
 }

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -8,17 +9,17 @@ import (
 
 func TestFaultyPassthroughWhenHealthy(t *testing.T) {
 	f := NewFaulty(NewLocal(4), 1)
-	if err := f.Set("k", []byte("v")); err != nil {
+	if err := f.Set(context.Background(), "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, err := f.Get("k")
+	v, ok, err := f.Get(context.Background(), "k")
 	if err != nil || !ok || string(v) != "v" {
 		t.Fatalf("Get = %q,%v,%v", v, ok, err)
 	}
-	if n, _ := f.Len(); n != 1 {
+	if n, _ := f.Len(context.Background()); n != 1 {
 		t.Errorf("Len = %d", n)
 	}
-	if ok, _ := f.Delete("k"); !ok {
+	if ok, _ := f.Delete(context.Background(), "k"); !ok {
 		t.Error("Delete = false")
 	}
 	if f.Injected() != 0 {
@@ -32,7 +33,7 @@ func TestFaultyInjectsAtRate(t *testing.T) {
 	failures := 0
 	const tries = 400
 	for i := 0; i < tries; i++ {
-		if err := f.Set("k", nil); err != nil {
+		if err := f.Set(context.Background(), "k", nil); err != nil {
 			if !errors.Is(err, ErrInjected) {
 				t.Fatalf("unexpected error type: %v", err)
 			}
@@ -50,19 +51,19 @@ func TestFaultyInjectsAtRate(t *testing.T) {
 func TestFaultyAlwaysFails(t *testing.T) {
 	f := NewFaulty(NewLocal(1), 7)
 	f.SetFailRate(1)
-	if _, _, err := f.Get("k"); !errors.Is(err, ErrInjected) {
+	if _, _, err := f.Get(context.Background(), "k"); !errors.Is(err, ErrInjected) {
 		t.Error("Get did not fail at rate 1")
 	}
-	if _, err := f.MGet([]string{"k"}); !errors.Is(err, ErrInjected) {
+	if _, err := f.MGet(context.Background(), []string{"k"}); !errors.Is(err, ErrInjected) {
 		t.Error("MGet did not fail at rate 1")
 	}
-	if err := f.Update("k", func([]byte, bool) ([]byte, bool) { return nil, true }); !errors.Is(err, ErrInjected) {
+	if err := f.Update(context.Background(), "k", func([]byte, bool) ([]byte, bool) { return nil, true }); !errors.Is(err, ErrInjected) {
 		t.Error("Update did not fail at rate 1")
 	}
-	if _, err := f.Len(); !errors.Is(err, ErrInjected) {
+	if _, err := f.Len(context.Background()); !errors.Is(err, ErrInjected) {
 		t.Error("Len did not fail at rate 1")
 	}
-	if _, err := f.Delete("k"); !errors.Is(err, ErrInjected) {
+	if _, err := f.Delete(context.Background(), "k"); !errors.Is(err, ErrInjected) {
 		t.Error("Delete did not fail at rate 1")
 	}
 }
@@ -70,11 +71,11 @@ func TestFaultyAlwaysFails(t *testing.T) {
 func TestFaultyRateClamps(t *testing.T) {
 	f := NewFaulty(NewLocal(1), 7)
 	f.SetFailRate(-0.5)
-	if err := f.Set("k", nil); err != nil {
+	if err := f.Set(context.Background(), "k", nil); err != nil {
 		t.Error("negative rate did not clamp to 0")
 	}
 	f.SetFailRate(2)
-	if err := f.Set("k", nil); err == nil {
+	if err := f.Set(context.Background(), "k", nil); err == nil {
 		t.Error("rate above 1 did not clamp to 1")
 	}
 }
@@ -83,7 +84,7 @@ func TestFaultyLatency(t *testing.T) {
 	f := NewFaulty(NewLocal(1), 7)
 	f.SetLatency(20 * time.Millisecond)
 	start := time.Now()
-	f.Get("k")
+	f.Get(context.Background(), "k")
 	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
 		t.Errorf("latency injection too fast: %v", elapsed)
 	}
@@ -95,7 +96,7 @@ func TestFaultyDeterministic(t *testing.T) {
 		f.SetFailRate(0.3)
 		var outcomes []bool
 		for i := 0; i < 50; i++ {
-			outcomes = append(outcomes, f.Set("k", nil) != nil)
+			outcomes = append(outcomes, f.Set(context.Background(), "k", nil) != nil)
 		}
 		return outcomes
 	}

@@ -18,6 +18,7 @@
 package kvstore
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -26,23 +27,31 @@ import (
 
 // Store is the key-value abstraction the recommendation pipeline runs on.
 // Implementations must be safe for concurrent use.
+//
+// Every operation takes a context: the network-backed implementation turns
+// its deadline into connection deadlines and its cancellation into an early
+// return, so a slow storage tier cannot wedge the serving path. The in-memory
+// implementation honours cancellation before touching a shard. Callers on the
+// serving and topology paths must thread the request or run context through —
+// the ctxcheck lint pass enforces that no new context roots appear outside
+// cmd/.
 type Store interface {
 	// Get returns a copy of the value stored under key.
-	Get(key string) ([]byte, bool, error)
+	Get(ctx context.Context, key string) ([]byte, bool, error)
 	// Set stores a copy of val under key.
-	Set(key string, val []byte) error
+	Set(ctx context.Context, key string, val []byte) error
 	// Delete removes key, reporting whether it existed.
-	Delete(key string) (bool, error)
+	Delete(ctx context.Context, key string) (bool, error)
 	// MGet returns values for all keys; missing keys yield nil entries.
-	MGet(keys []string) ([][]byte, error)
+	MGet(ctx context.Context, keys []string) ([][]byte, error)
 	// Update atomically applies fn to the current value (nil, false if
 	// absent). fn returns the new value, or ok=false to delete the key.
 	// The atomicity guarantee is per-key and only holds within a Local
 	// store; the network client implements Update as get-modify-set, which
 	// is safe under the topology's single-writer-per-key discipline.
-	Update(key string, fn func(cur []byte, exists bool) (next []byte, ok bool)) error
+	Update(ctx context.Context, key string, fn func(cur []byte, exists bool) (next []byte, ok bool)) error
 	// Len reports the number of stored keys.
-	Len() (int, error)
+	Len(ctx context.Context) (int, error)
 }
 
 // Stats are cumulative operation counters, updated atomically.
@@ -114,7 +123,10 @@ func (l *Local) shardFor(key string) *shard {
 }
 
 // Get implements Store.
-func (l *Local) Get(key string) ([]byte, bool, error) {
+func (l *Local) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	l.stats.Gets.Add(1)
 	s := l.shardFor(key)
 	s.mu.RLock()
@@ -132,7 +144,10 @@ func (l *Local) Get(key string) ([]byte, bool, error) {
 }
 
 // Set implements Store.
-func (l *Local) Set(key string, val []byte) error {
+func (l *Local) Set(ctx context.Context, key string, val []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	l.stats.Sets.Add(1)
 	cp := make([]byte, len(val))
 	copy(cp, val)
@@ -144,7 +159,10 @@ func (l *Local) Set(key string, val []byte) error {
 }
 
 // Delete implements Store.
-func (l *Local) Delete(key string) (bool, error) {
+func (l *Local) Delete(ctx context.Context, key string) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	l.stats.Deletes.Add(1)
 	s := l.shardFor(key)
 	s.mu.Lock()
@@ -155,10 +173,13 @@ func (l *Local) Delete(key string) (bool, error) {
 }
 
 // MGet implements Store.
-func (l *Local) MGet(keys []string) ([][]byte, error) {
+func (l *Local) MGet(ctx context.Context, keys []string) ([][]byte, error) {
 	out := make([][]byte, len(keys))
 	for i, k := range keys {
-		v, ok, _ := l.Get(k) // Local.Get cannot fail
+		v, ok, err := l.Get(ctx, k) // fails only on context cancellation
+		if err != nil {
+			return nil, err
+		}
 		if ok {
 			out[i] = v
 		}
@@ -168,7 +189,10 @@ func (l *Local) MGet(keys []string) ([][]byte, error) {
 
 // Update implements Store. The callback runs under the shard's write lock,
 // so concurrent updates of the same key serialize.
-func (l *Local) Update(key string, fn func(cur []byte, exists bool) ([]byte, bool)) error {
+func (l *Local) Update(ctx context.Context, key string, fn func(cur []byte, exists bool) ([]byte, bool)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	l.stats.Updates.Add(1)
 	s := l.shardFor(key)
 	s.mu.Lock()
@@ -191,7 +215,10 @@ func (l *Local) Update(key string, fn func(cur []byte, exists bool) ([]byte, boo
 }
 
 // Len implements Store.
-func (l *Local) Len() (int, error) {
+func (l *Local) Len(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	n := 0
 	for i := range l.shards {
 		s := &l.shards[i]

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -9,23 +10,23 @@ import (
 
 func TestLocalGetSetDelete(t *testing.T) {
 	s := NewLocal(4)
-	if _, ok, _ := s.Get("missing"); ok {
+	if _, ok, _ := s.Get(context.Background(), "missing"); ok {
 		t.Error("Get on empty store reported a hit")
 	}
-	if err := s.Set("k", []byte("v")); err != nil {
+	if err := s.Set(context.Background(), "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, err := s.Get("k")
+	v, ok, err := s.Get(context.Background(), "k")
 	if err != nil || !ok || string(v) != "v" {
 		t.Fatalf("Get = %q,%v,%v", v, ok, err)
 	}
-	if n, _ := s.Len(); n != 1 {
+	if n, _ := s.Len(context.Background()); n != 1 {
 		t.Errorf("Len = %d, want 1", n)
 	}
-	if ok, _ := s.Delete("k"); !ok {
+	if ok, _ := s.Delete(context.Background(), "k"); !ok {
 		t.Error("Delete existing = false")
 	}
-	if ok, _ := s.Delete("k"); ok {
+	if ok, _ := s.Delete(context.Background(), "k"); ok {
 		t.Error("Delete missing = true")
 	}
 }
@@ -33,14 +34,14 @@ func TestLocalGetSetDelete(t *testing.T) {
 func TestLocalCopySemantics(t *testing.T) {
 	s := NewLocal(1)
 	val := []byte{1, 2, 3}
-	s.Set("k", val)
+	s.Set(context.Background(), "k", val)
 	val[0] = 99 // mutating the caller's slice must not affect the store
-	got, _, _ := s.Get("k")
+	got, _, _ := s.Get(context.Background(), "k")
 	if got[0] != 1 {
 		t.Error("Set did not copy its input")
 	}
 	got[1] = 99 // mutating the returned slice must not affect the store
-	again, _, _ := s.Get("k")
+	again, _, _ := s.Get(context.Background(), "k")
 	if again[1] != 2 {
 		t.Error("Get did not copy its output")
 	}
@@ -49,7 +50,7 @@ func TestLocalCopySemantics(t *testing.T) {
 func TestLocalUpdate(t *testing.T) {
 	s := NewLocal(2)
 	// Create via Update.
-	err := s.Update("c", func(cur []byte, exists bool) ([]byte, bool) {
+	err := s.Update(context.Background(), "c", func(cur []byte, exists bool) ([]byte, bool) {
 		if exists {
 			t.Error("Update on missing key reported exists=true")
 		}
@@ -59,26 +60,26 @@ func TestLocalUpdate(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Modify via Update.
-	s.Update("c", func(cur []byte, exists bool) ([]byte, bool) {
+	s.Update(context.Background(), "c", func(cur []byte, exists bool) ([]byte, bool) {
 		if !exists || cur[0] != 1 {
 			t.Errorf("Update got cur=%v exists=%v", cur, exists)
 		}
 		return []byte{cur[0] + 1}, true
 	})
-	v, _, _ := s.Get("c")
+	v, _, _ := s.Get(context.Background(), "c")
 	if v[0] != 2 {
 		t.Errorf("after updates value = %v, want [2]", v)
 	}
 	// Delete via Update.
-	s.Update("c", func([]byte, bool) ([]byte, bool) { return nil, false })
-	if _, ok, _ := s.Get("c"); ok {
+	s.Update(context.Background(), "c", func([]byte, bool) ([]byte, bool) { return nil, false })
+	if _, ok, _ := s.Get(context.Background(), "c"); ok {
 		t.Error("Update delete left the key present")
 	}
 }
 
 func TestLocalUpdateIsAtomic(t *testing.T) {
 	s := NewLocal(1) // single shard maximizes contention
-	s.Set("n", EncodeInt64(0))
+	s.Set(context.Background(), "n", EncodeInt64(0))
 	const workers, perWorker = 8, 200
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -86,7 +87,7 @@ func TestLocalUpdateIsAtomic(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				s.Update("n", func(cur []byte, _ bool) ([]byte, bool) {
+				s.Update(context.Background(), "n", func(cur []byte, _ bool) ([]byte, bool) {
 					n, _ := DecodeInt64(cur)
 					return EncodeInt64(n + 1), true
 				})
@@ -94,7 +95,7 @@ func TestLocalUpdateIsAtomic(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	v, _, _ := s.Get("n")
+	v, _, _ := s.Get(context.Background(), "n")
 	n, _ := DecodeInt64(v)
 	if n != workers*perWorker {
 		t.Errorf("counter = %d, want %d (lost updates)", n, workers*perWorker)
@@ -103,9 +104,9 @@ func TestLocalUpdateIsAtomic(t *testing.T) {
 
 func TestLocalMGet(t *testing.T) {
 	s := NewLocal(4)
-	s.Set("a", []byte("1"))
-	s.Set("c", []byte("3"))
-	vals, err := s.MGet([]string{"a", "b", "c"})
+	s.Set(context.Background(), "a", []byte("1"))
+	s.Set(context.Background(), "c", []byte("3"))
+	vals, err := s.MGet(context.Background(), []string{"a", "b", "c"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,9 +117,9 @@ func TestLocalMGet(t *testing.T) {
 
 func TestLocalStats(t *testing.T) {
 	s := NewLocal(2)
-	s.Set("a", nil)
-	s.Get("a")
-	s.Get("b")
+	s.Set(context.Background(), "a", nil)
+	s.Get(context.Background(), "a")
+	s.Get(context.Background(), "b")
 	snap := s.Stats().Snapshot()
 	if snap.Sets != 1 || snap.Gets != 2 || snap.Hits != 1 {
 		t.Errorf("stats = %+v", snap)
@@ -139,7 +140,7 @@ func TestShardRounding(t *testing.T) {
 func TestForEach(t *testing.T) {
 	s := NewLocal(4)
 	for i := 0; i < 10; i++ {
-		s.Set(fmt.Sprintf("k%d", i), []byte{byte(i)})
+		s.Set(context.Background(), fmt.Sprintf("k%d", i), []byte{byte(i)})
 	}
 	seen := 0
 	s.ForEach(func(string, []byte) bool { seen++; return true })
@@ -179,16 +180,16 @@ func TestLocalMatchesMapModel(t *testing.T) {
 			k := fmt.Sprintf("k%d", o.Key%16)
 			switch o.Kind % 3 {
 			case 0:
-				s.Set(k, o.Val)
+				s.Set(context.Background(), k, o.Val)
 				model[k] = append([]byte(nil), o.Val...)
 			case 1:
-				gv, gok, _ := s.Get(k)
+				gv, gok, _ := s.Get(context.Background(), k)
 				mv, mok := model[k]
 				if gok != mok || string(gv) != string(mv) {
 					return false
 				}
 			case 2:
-				dok, _ := s.Delete(k)
+				dok, _ := s.Delete(context.Background(), k)
 				_, mok := model[k]
 				delete(model, k)
 				if dok != mok {
@@ -196,10 +197,20 @@ func TestLocalMatchesMapModel(t *testing.T) {
 				}
 			}
 		}
-		n, _ := s.Len()
+		n, _ := s.Len(context.Background())
 		return n == len(model)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestHitRateZeroGets: the hit rate of an untouched store is 0, not NaN.
+func TestHitRateZeroGets(t *testing.T) {
+	if hr := (StatsSnapshot{}).HitRate(); hr != 0 {
+		t.Errorf("HitRate with zero gets = %v, want 0", hr)
+	}
+	if hr := NewLocal(4).Stats().Snapshot().HitRate(); hr != 0 {
+		t.Errorf("fresh store HitRate = %v, want 0", hr)
 	}
 }

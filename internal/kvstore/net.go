@@ -1,11 +1,13 @@
 package kvstore
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Networked deployment of the store. The paper's production system keeps all
@@ -14,6 +16,12 @@ import (
 // shape with a small gob-encoded request/response protocol over TCP. Each
 // client connection is a session with its own encoder/decoder pair; requests
 // on one connection are processed in order.
+//
+// Context discipline: every client operation takes a context whose deadline
+// is pushed down onto the TCP connection, so a stalled server surfaces as a
+// timeout on the serving path instead of a wedged goroutine. The server
+// threads a base context (supplied at construction, normally the process
+// lifetime context) into every backing-store call.
 
 type opCode uint8
 
@@ -44,6 +52,7 @@ type response struct {
 type Server struct {
 	backing  Store
 	listener net.Listener
+	baseCtx  context.Context
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{} // guarded by mu
@@ -53,13 +62,15 @@ type Server struct {
 
 // NewServer starts serving the backing store on addr (e.g. "127.0.0.1:0").
 // It returns once the listener is bound; connection handling proceeds in the
-// background until Close.
-func NewServer(backing Store, addr string) (*Server, error) {
+// background until Close. ctx is the base context threaded into every
+// backing-store call; cancelling it fails in-flight requests but does not
+// stop the listener — use Close for shutdown.
+func NewServer(ctx context.Context, backing Store, addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: listen %s: %w", addr, err)
 	}
-	s := &Server{backing: backing, listener: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{backing: backing, listener: ln, baseCtx: ctx, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -85,9 +96,11 @@ func (s *Server) Close() error {
 	return err
 }
 
+// acceptLoop's lifetime is bounded by the listener: Close unblocks Accept.
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
+		// ctxcheck: lifecycle goroutine; shutdown is listener Close, not cancellation
 		conn, err := s.listener.Accept()
 		if err != nil {
 			return // listener closed
@@ -101,11 +114,11 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.serveConn(conn)
+		go s.serveConn(s.baseCtx, conn)
 	}
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
 		_ = conn.Close() // session over; the peer sees EOF either way
@@ -120,34 +133,34 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // connection closed or corrupt stream
 		}
-		resp := s.handle(&req)
+		resp := s.handle(ctx, &req)
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) handle(req *request) *response {
+func (s *Server) handle(ctx context.Context, req *request) *response {
 	var resp response
 	switch req.Op {
 	case opGet:
-		v, ok, err := s.backing.Get(req.Key)
+		v, ok, err := s.backing.Get(ctx, req.Key)
 		resp.Val, resp.OK = v, ok
 		setErr(&resp, err)
 	case opSet:
-		setErr(&resp, s.backing.Set(req.Key, req.Val))
+		setErr(&resp, s.backing.Set(ctx, req.Key, req.Val))
 		resp.OK = true
 	case opDelete:
-		ok, err := s.backing.Delete(req.Key)
+		ok, err := s.backing.Delete(ctx, req.Key)
 		resp.OK = ok
 		setErr(&resp, err)
 	case opMGet:
-		vals, err := s.backing.MGet(req.Keys)
+		vals, err := s.backing.MGet(ctx, req.Keys)
 		resp.Vals = vals
 		resp.OK = true
 		setErr(&resp, err)
 	case opLen:
-		n, err := s.backing.Len()
+		n, err := s.backing.Len(ctx)
 		resp.N = n
 		resp.OK = true
 		setErr(&resp, err)
@@ -180,11 +193,12 @@ type clientConn struct {
 	dec  *gob.Decoder
 }
 
-// Dial connects to a Server at addr. The initial connection is established
-// eagerly so that configuration errors surface immediately.
-func Dial(addr string) (*Client, error) {
+// DialContext connects to a Server at addr under ctx's deadline. The initial
+// connection is established eagerly so that configuration errors surface
+// immediately.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
 	c := &Client{addr: addr}
-	cc, err := c.newConn()
+	cc, err := c.newConn(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -192,15 +206,16 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
-func (c *Client) newConn() (*clientConn, error) {
-	conn, err := net.Dial("tcp", c.addr)
+func (c *Client) newConn(ctx context.Context) (*clientConn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: dial %s: %w", c.addr, err)
 	}
 	return &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
 }
 
-func (c *Client) get() (*clientConn, error) {
+func (c *Client) get(ctx context.Context) (*clientConn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -213,7 +228,7 @@ func (c *Client) get() (*clientConn, error) {
 		return cc, nil
 	}
 	c.mu.Unlock()
-	return c.newConn()
+	return c.newConn(ctx)
 }
 
 func (c *Client) put(cc *clientConn) {
@@ -239,10 +254,24 @@ func (c *Client) Close() error {
 	return nil
 }
 
-func (c *Client) roundTrip(req *request) (*response, error) {
-	cc, err := c.get()
+// roundTrip performs one request/response exchange. A context deadline is
+// pushed onto the connection for the exchange (and cleared before the conn
+// returns to the pool), so a stalled server fails the call instead of
+// blocking a worker forever. A deadline/cancellation failure poisons the
+// conn — the stream may hold a half-read response — so it is dropped.
+func (c *Client) roundTrip(ctx context.Context, req *request) (*response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cc, err := c.get(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := cc.conn.SetDeadline(deadline); err != nil {
+			_ = cc.conn.Close() // conn is unusable if deadlines can't be set
+			return nil, fmt.Errorf("kvstore: set deadline: %w", err)
+		}
 	}
 	var resp response
 	if err := cc.enc.Encode(req); err != nil {
@@ -253,6 +282,15 @@ func (c *Client) roundTrip(req *request) (*response, error) {
 		_ = cc.conn.Close() // conn is poisoned; the decode error is what matters
 		return nil, fmt.Errorf("kvstore: recv: %w", err)
 	}
+	if _, ok := ctx.Deadline(); ok {
+		if err := cc.conn.SetDeadline(time.Time{}); err != nil {
+			_ = cc.conn.Close() // cannot clear the deadline; don't pool it
+			if resp.ErrMsg != "" {
+				return nil, errors.New(resp.ErrMsg)
+			}
+			return &resp, nil
+		}
+	}
 	c.put(cc)
 	if resp.ErrMsg != "" {
 		return nil, errors.New(resp.ErrMsg)
@@ -261,8 +299,8 @@ func (c *Client) roundTrip(req *request) (*response, error) {
 }
 
 // Get implements Store.
-func (c *Client) Get(key string) ([]byte, bool, error) {
-	resp, err := c.roundTrip(&request{Op: opGet, Key: key})
+func (c *Client) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	resp, err := c.roundTrip(ctx, &request{Op: opGet, Key: key})
 	if err != nil {
 		return nil, false, err
 	}
@@ -270,14 +308,14 @@ func (c *Client) Get(key string) ([]byte, bool, error) {
 }
 
 // Set implements Store.
-func (c *Client) Set(key string, val []byte) error {
-	_, err := c.roundTrip(&request{Op: opSet, Key: key, Val: val})
+func (c *Client) Set(ctx context.Context, key string, val []byte) error {
+	_, err := c.roundTrip(ctx, &request{Op: opSet, Key: key, Val: val})
 	return err
 }
 
 // Delete implements Store.
-func (c *Client) Delete(key string) (bool, error) {
-	resp, err := c.roundTrip(&request{Op: opDelete, Key: key})
+func (c *Client) Delete(ctx context.Context, key string) (bool, error) {
+	resp, err := c.roundTrip(ctx, &request{Op: opDelete, Key: key})
 	if err != nil {
 		return false, err
 	}
@@ -285,8 +323,8 @@ func (c *Client) Delete(key string) (bool, error) {
 }
 
 // MGet implements Store.
-func (c *Client) MGet(keys []string) ([][]byte, error) {
-	resp, err := c.roundTrip(&request{Op: opMGet, Keys: keys})
+func (c *Client) MGet(ctx context.Context, keys []string) ([][]byte, error) {
+	resp, err := c.roundTrip(ctx, &request{Op: opMGet, Keys: keys})
 	if err != nil {
 		return nil, err
 	}
@@ -297,22 +335,22 @@ func (c *Client) MGet(keys []string) ([][]byte, error) {
 // only under the topology's single-writer-per-key discipline (fields grouping
 // guarantees exactly one worker updates a given key), matching the paper's
 // correctness argument in §5.1.
-func (c *Client) Update(key string, fn func(cur []byte, exists bool) ([]byte, bool)) error {
-	cur, ok, err := c.Get(key)
+func (c *Client) Update(ctx context.Context, key string, fn func(cur []byte, exists bool) ([]byte, bool)) error {
+	cur, ok, err := c.Get(ctx, key)
 	if err != nil {
 		return err
 	}
 	next, keep := fn(cur, ok)
 	if !keep {
-		_, err := c.Delete(key)
+		_, err := c.Delete(ctx, key)
 		return err
 	}
-	return c.Set(key, next)
+	return c.Set(ctx, key, next)
 }
 
 // Len implements Store.
-func (c *Client) Len() (int, error) {
-	resp, err := c.roundTrip(&request{Op: opLen})
+func (c *Client) Len(ctx context.Context) (int, error) {
+	resp, err := c.roundTrip(ctx, &request{Op: opLen})
 	if err != nil {
 		return 0, err
 	}

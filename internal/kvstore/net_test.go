@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -8,12 +9,12 @@ import (
 
 func newTestServer(t *testing.T) (*Server, *Client) {
 	t.Helper()
-	srv, err := NewServer(NewLocal(8), "127.0.0.1:0")
+	srv, err := NewServer(context.Background(), NewLocal(8), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { srv.Close() })
-	cli, err := Dial(srv.Addr())
+	cli, err := DialContext(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,32 +25,32 @@ func newTestServer(t *testing.T) (*Server, *Client) {
 func TestClientServerBasicOps(t *testing.T) {
 	_, cli := newTestServer(t)
 
-	if err := cli.Set("k", []byte("hello")); err != nil {
+	if err := cli.Set(context.Background(), "k", []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, err := cli.Get("k")
+	v, ok, err := cli.Get(context.Background(), "k")
 	if err != nil || !ok || string(v) != "hello" {
 		t.Fatalf("Get = %q,%v,%v", v, ok, err)
 	}
-	if _, ok, _ := cli.Get("missing"); ok {
+	if _, ok, _ := cli.Get(context.Background(), "missing"); ok {
 		t.Error("Get(missing) reported a hit")
 	}
-	if n, _ := cli.Len(); n != 1 {
+	if n, _ := cli.Len(context.Background()); n != 1 {
 		t.Errorf("Len = %d, want 1", n)
 	}
-	if ok, _ := cli.Delete("k"); !ok {
+	if ok, _ := cli.Delete(context.Background(), "k"); !ok {
 		t.Error("Delete = false, want true")
 	}
-	if n, _ := cli.Len(); n != 0 {
+	if n, _ := cli.Len(context.Background()); n != 0 {
 		t.Errorf("Len after delete = %d, want 0", n)
 	}
 }
 
 func TestClientServerMGet(t *testing.T) {
 	_, cli := newTestServer(t)
-	cli.Set("a", []byte("1"))
-	cli.Set("b", []byte("2"))
-	vals, err := cli.MGet([]string{"b", "x", "a"})
+	cli.Set(context.Background(), "a", []byte("1"))
+	cli.Set(context.Background(), "b", []byte("2"))
+	vals, err := cli.MGet(context.Background(), []string{"b", "x", "a"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,21 +61,21 @@ func TestClientServerMGet(t *testing.T) {
 
 func TestClientServerUpdate(t *testing.T) {
 	_, cli := newTestServer(t)
-	cli.Set("n", EncodeInt64(41))
-	err := cli.Update("n", func(cur []byte, exists bool) ([]byte, bool) {
+	cli.Set(context.Background(), "n", EncodeInt64(41))
+	err := cli.Update(context.Background(), "n", func(cur []byte, exists bool) ([]byte, bool) {
 		n, _ := DecodeInt64(cur)
 		return EncodeInt64(n + 1), true
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, _, _ := cli.Get("n")
+	v, _, _ := cli.Get(context.Background(), "n")
 	if n, _ := DecodeInt64(v); n != 42 {
 		t.Errorf("value after Update = %d, want 42", n)
 	}
 	// Update with ok=false deletes.
-	cli.Update("n", func([]byte, bool) ([]byte, bool) { return nil, false })
-	if _, ok, _ := cli.Get("n"); ok {
+	cli.Update(context.Background(), "n", func([]byte, bool) ([]byte, bool) { return nil, false })
+	if _, ok, _ := cli.Get(context.Background(), "n"); ok {
 		t.Error("Update delete left key present")
 	}
 }
@@ -89,11 +90,11 @@ func TestClientConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < keys; i++ {
 				key := fmt.Sprintf("w%d-k%d", w, i)
-				if err := cli.Set(key, []byte(key)); err != nil {
+				if err := cli.Set(context.Background(), key, []byte(key)); err != nil {
 					t.Error(err)
 					return
 				}
-				v, ok, err := cli.Get(key)
+				v, ok, err := cli.Get(context.Background(), key)
 				if err != nil || !ok || string(v) != key {
 					t.Errorf("Get(%s) = %q,%v,%v", key, v, ok, err)
 					return
@@ -102,29 +103,29 @@ func TestClientConcurrentAccess(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	if n, _ := cli.Len(); n != workers*keys {
+	if n, _ := cli.Len(context.Background()); n != workers*keys {
 		t.Errorf("Len = %d, want %d", n, workers*keys)
 	}
 }
 
 func TestClientAfterServerClose(t *testing.T) {
-	srv, err := NewServer(NewLocal(1), "127.0.0.1:0")
+	srv, err := NewServer(context.Background(), NewLocal(1), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	cli, err := Dial(srv.Addr())
+	cli, err := DialContext(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cli.Close()
 	srv.Close()
-	if err := cli.Set("k", nil); err == nil {
+	if err := cli.Set(context.Background(), "k", nil); err == nil {
 		t.Error("Set after server close succeeded, want error")
 	}
 }
 
 func TestDialRefused(t *testing.T) {
-	if _, err := Dial("127.0.0.1:1"); err == nil {
+	if _, err := DialContext(context.Background(), "127.0.0.1:1"); err == nil {
 		t.Error("Dial to closed port succeeded, want error")
 	}
 }
@@ -132,7 +133,7 @@ func TestDialRefused(t *testing.T) {
 func TestClientClosedRejectsOps(t *testing.T) {
 	_, cli := newTestServer(t)
 	cli.Close()
-	if _, _, err := cli.Get("k"); err == nil {
+	if _, _, err := cli.Get(context.Background(), "k"); err == nil {
 		t.Error("Get on closed client succeeded, want error")
 	}
 }

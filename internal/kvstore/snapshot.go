@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -76,8 +77,9 @@ func (l *Local) WriteSnapshot(w io.Writer) error {
 // ReadSnapshot loads a snapshot produced by WriteSnapshot into the store,
 // overwriting existing keys. It validates the magic and checksum before
 // reporting success; a corrupt snapshot may leave a partial load behind, so
-// callers should treat an error as "start cold".
-func (l *Local) ReadSnapshot(r io.Reader) error {
+// callers should treat an error as "start cold". Cancelling ctx abandons the
+// load mid-stream (also leaving a partial load).
+func (l *Local) ReadSnapshot(ctx context.Context, r io.Reader) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -104,7 +106,7 @@ func (l *Local) ReadSnapshot(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("kvstore: snapshot entry %d value: %w", i, err)
 		}
-		if err := l.Set(string(key), val); err != nil {
+		if err := l.Set(ctx, string(key), val); err != nil {
 			return err
 		}
 	}
@@ -143,13 +145,13 @@ func (l *Local) SaveSnapshot(path string) error {
 }
 
 // LoadSnapshot reads a snapshot file into the store.
-func (l *Local) LoadSnapshot(path string) error {
+func (l *Local) LoadSnapshot(ctx context.Context, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("kvstore: open snapshot: %w", err)
 	}
 	defer func() { _ = f.Close() }() // read-only descriptor; checksum already validated the data
-	return l.ReadSnapshot(f)
+	return l.ReadSnapshot(ctx, f)
 }
 
 // teeByteReader adapts an io.Reader to io.ByteReader for Uvarint decoding

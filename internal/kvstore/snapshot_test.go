@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
@@ -11,26 +12,26 @@ import (
 func TestSnapshotRoundTrip(t *testing.T) {
 	src := NewLocal(8)
 	for i := 0; i < 100; i++ {
-		src.Set(fmt.Sprintf("key-%03d", i), []byte(fmt.Sprintf("value-%d", i*i)))
+		src.Set(context.Background(), fmt.Sprintf("key-%03d", i), []byte(fmt.Sprintf("value-%d", i*i)))
 	}
-	src.Set("empty-value", nil)
-	src.Set("", []byte("empty-key"))
+	src.Set(context.Background(), "empty-value", nil)
+	src.Set(context.Background(), "", []byte("empty-key"))
 
 	var buf bytes.Buffer
 	if err := src.WriteSnapshot(&buf); err != nil {
 		t.Fatal(err)
 	}
 	dst := NewLocal(2)
-	if err := dst.ReadSnapshot(&buf); err != nil {
+	if err := dst.ReadSnapshot(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
-	srcN, _ := src.Len()
-	dstN, _ := dst.Len()
+	srcN, _ := src.Len(context.Background())
+	dstN, _ := dst.Len(context.Background())
 	if srcN != dstN {
 		t.Fatalf("lengths differ: %d vs %d", srcN, dstN)
 	}
 	src.ForEach(func(k string, v []byte) bool {
-		got, ok, _ := dst.Get(k)
+		got, ok, _ := dst.Get(context.Background(), k)
 		if !ok || !bytes.Equal(got, v) {
 			t.Errorf("key %q: got %q ok=%v, want %q", k, got, ok, v)
 		}
@@ -46,18 +47,18 @@ func TestSnapshotRoundTripQuick(t *testing.T) {
 			n = len(vals)
 		}
 		for i := 0; i < n; i++ {
-			src.Set(keys[i], vals[i])
+			src.Set(context.Background(), keys[i], vals[i])
 		}
 		var buf bytes.Buffer
 		if err := src.WriteSnapshot(&buf); err != nil {
 			return false
 		}
 		dst := NewLocal(1)
-		if err := dst.ReadSnapshot(&buf); err != nil {
+		if err := dst.ReadSnapshot(context.Background(), &buf); err != nil {
 			return false
 		}
-		a, _ := src.Len()
-		b, _ := dst.Len()
+		a, _ := src.Len(context.Background())
+		b, _ := dst.Len(context.Background())
 		return a == b
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
@@ -67,7 +68,7 @@ func TestSnapshotRoundTripQuick(t *testing.T) {
 
 func TestSnapshotRejectsCorruption(t *testing.T) {
 	src := NewLocal(2)
-	src.Set("k", []byte("v"))
+	src.Set(context.Background(), "k", []byte("v"))
 	var buf bytes.Buffer
 	src.WriteSnapshot(&buf)
 	data := buf.Bytes()
@@ -75,24 +76,24 @@ func TestSnapshotRejectsCorruption(t *testing.T) {
 	t.Run("bad magic", func(t *testing.T) {
 		bad := append([]byte{}, data...)
 		bad[0] ^= 0xFF
-		if err := NewLocal(1).ReadSnapshot(bytes.NewReader(bad)); err == nil {
+		if err := NewLocal(1).ReadSnapshot(context.Background(), bytes.NewReader(bad)); err == nil {
 			t.Error("bad magic accepted")
 		}
 	})
 	t.Run("flipped payload bit", func(t *testing.T) {
 		bad := append([]byte{}, data...)
 		bad[len(bad)-6] ^= 0x01 // inside the payload, before the checksum
-		if err := NewLocal(1).ReadSnapshot(bytes.NewReader(bad)); err == nil {
+		if err := NewLocal(1).ReadSnapshot(context.Background(), bytes.NewReader(bad)); err == nil {
 			t.Error("corrupt payload accepted")
 		}
 	})
 	t.Run("truncated", func(t *testing.T) {
-		if err := NewLocal(1).ReadSnapshot(bytes.NewReader(data[:len(data)-3])); err == nil {
+		if err := NewLocal(1).ReadSnapshot(context.Background(), bytes.NewReader(data[:len(data)-3])); err == nil {
 			t.Error("truncated snapshot accepted")
 		}
 	})
 	t.Run("empty", func(t *testing.T) {
-		if err := NewLocal(1).ReadSnapshot(bytes.NewReader(nil)); err == nil {
+		if err := NewLocal(1).ReadSnapshot(context.Background(), bytes.NewReader(nil)); err == nil {
 			t.Error("empty snapshot accepted")
 		}
 	})
@@ -101,16 +102,16 @@ func TestSnapshotRejectsCorruption(t *testing.T) {
 func TestSaveLoadSnapshotFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "state.snap")
 	src := NewLocal(4)
-	src.Set("a", EncodeFloats([]float64{1, 2, 3}))
-	src.Set("b", EncodeFloat(4.5))
+	src.Set(context.Background(), "a", EncodeFloats([]float64{1, 2, 3}))
+	src.Set(context.Background(), "b", EncodeFloat(4.5))
 	if err := src.SaveSnapshot(path); err != nil {
 		t.Fatal(err)
 	}
 	dst := NewLocal(4)
-	if err := dst.LoadSnapshot(path); err != nil {
+	if err := dst.LoadSnapshot(context.Background(), path); err != nil {
 		t.Fatal(err)
 	}
-	raw, ok, _ := dst.Get("a")
+	raw, ok, _ := dst.Get(context.Background(), "a")
 	if !ok {
 		t.Fatal("key a missing after load")
 	}
@@ -118,28 +119,28 @@ func TestSaveLoadSnapshotFile(t *testing.T) {
 	if err != nil || len(vec) != 3 || vec[2] != 3 {
 		t.Errorf("decoded %v, %v", vec, err)
 	}
-	if err := dst.LoadSnapshot(filepath.Join(t.TempDir(), "missing")); err == nil {
+	if err := dst.LoadSnapshot(context.Background(), filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Error("loading a missing file succeeded")
 	}
 }
 
 func TestSnapshotOverwritesExistingKeys(t *testing.T) {
 	src := NewLocal(2)
-	src.Set("k", []byte("new"))
+	src.Set(context.Background(), "k", []byte("new"))
 	var buf bytes.Buffer
 	src.WriteSnapshot(&buf)
 
 	dst := NewLocal(2)
-	dst.Set("k", []byte("old"))
-	dst.Set("other", []byte("kept"))
-	if err := dst.ReadSnapshot(&buf); err != nil {
+	dst.Set(context.Background(), "k", []byte("old"))
+	dst.Set(context.Background(), "other", []byte("kept"))
+	if err := dst.ReadSnapshot(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
-	v, _, _ := dst.Get("k")
+	v, _, _ := dst.Get(context.Background(), "k")
 	if string(v) != "new" {
 		t.Errorf("k = %q, want overwritten", v)
 	}
-	if _, ok, _ := dst.Get("other"); !ok {
+	if _, ok, _ := dst.Get(context.Background(), "other"); !ok {
 		t.Error("unrelated key removed by snapshot load")
 	}
 }

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline is a suppression list: known findings that predate a pass and are
+// accepted until fixed. It lets a new pass land and gate CI on *new*
+// findings immediately, while the backlog is burned down separately.
+//
+// Entries are keyed by (pass, file, message) — deliberately not by line, so
+// unrelated edits that shift code around don't invalidate the baseline. The
+// file format is one tab-separated entry per line:
+//
+//	pass<TAB>file<TAB>message
+//
+// Lines starting with '#' and blank lines are ignored. `vidlint
+// -write-baseline` regenerates the file from current findings; `make
+// lint-baseline` wraps that.
+type Baseline struct {
+	entries map[string]bool
+}
+
+func baselineKey(f Finding) string {
+	return f.Pass + "\t" + f.File + "\t" + f.Message
+}
+
+// LoadBaseline reads a baseline file. A missing file yields an empty
+// baseline — the zero state suppresses nothing.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{entries: make(map[string]bool)}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return b, nil
+		}
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	defer func() { _ = f.Close() }() // read-only descriptor
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") < 2 {
+			return nil, fmt.Errorf("lint: baseline: malformed entry %q (want pass<TAB>file<TAB>message)", line)
+		}
+		b.entries[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	return b, nil
+}
+
+// Len returns the number of suppressions.
+func (b *Baseline) Len() int { return len(b.entries) }
+
+// Filter returns the findings not covered by the baseline.
+func (b *Baseline) Filter(findings []Finding) []Finding {
+	if len(b.entries) == 0 {
+		return findings
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		if !b.entries[baselineKey(f)] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// WriteBaseline writes findings as a baseline file, sorted and deduplicated.
+func WriteBaseline(path string, findings []Finding) error {
+	keys := make([]string, 0, len(findings))
+	seen := make(map[string]bool, len(findings))
+	for _, f := range findings {
+		k := baselineKey(f)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("# vidlint baseline: accepted pre-existing findings (pass<TAB>file<TAB>message).\n")
+	sb.WriteString("# Regenerate with `make lint-baseline`. An empty file means the tree is clean.\n")
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		return fmt.Errorf("lint: baseline: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{Pass: "numcheck", File: "internal/core/model.go", Line: 10, Message: "division by x"},
+		{Pass: "numcheck", File: "internal/core/model.go", Line: 99, Message: "division by x"}, // same key, different line
+		{Pass: "ctxcheck", File: "internal/kvstore/net.go", Line: 3, Message: "blocking call"},
+	}
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	if err := WriteBaseline(path, findings); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (entries are keyed by pass/file/message, not line)", b.Len())
+	}
+	// Every original finding is suppressed — including the one on a
+	// different line, which is the point of line-free keys.
+	if left := b.Filter(append([]Finding(nil), findings...)); len(left) != 0 {
+		t.Fatalf("Filter left %d findings, want 0: %v", len(left), left)
+	}
+	// A new finding is not suppressed.
+	novel := Finding{Pass: "numcheck", File: "internal/core/model.go", Line: 10, Message: "something else"}
+	if left := b.Filter([]Finding{novel}); len(left) != 1 {
+		t.Fatalf("baseline swallowed a novel finding")
+	}
+}
+
+func TestBaselineMissingFile(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "does-not-exist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("missing baseline should be empty, got %d entries", b.Len())
+	}
+	f := []Finding{{Pass: "p", File: "f", Message: "m"}}
+	if left := b.Filter(f); len(left) != 1 {
+		t.Fatal("empty baseline must suppress nothing")
+	}
+}
+
+func TestBaselineMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	if err := os.WriteFile(path, []byte("# comment\n\nonly-one-field\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("malformed baseline entry should be an error, not silently ignored")
+	}
+}

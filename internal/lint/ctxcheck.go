@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ctxcheck enforces context-propagation discipline in the serving and
+// network layers. The recommend path is latency-bounded (the paper's
+// real-time requirement); a blocking call that cannot be cancelled turns a
+// slow peer into an unbounded stall, and a context.Background() deep in a
+// library resets every deadline the caller set. Two rules:
+//
+//  1. context.Background() / context.TODO() may only be minted in cmd/
+//     (process entry points own the root context). Everywhere else in scope,
+//     accept a ctx from the caller.
+//  2. Functions that invoke blocking primitives (time.Sleep, net.Dial,
+//     net.DialTimeout, (*net.Dialer).Dial, (net.Listener).Accept) must take
+//     a context.Context parameter, so the caller can bound the wait — and
+//     the author is pushed toward the cancellable variant (DialContext,
+//     timers selected against ctx.Done()).
+//
+// Lifecycle goroutines whose shutdown is structural (closing a listener)
+// rather than cancellation-based are silenced with a justification comment
+// on the line or the line above:
+//
+//	// ctxcheck: <why no context>
+func init() {
+	Register(&Pass{
+		Name: "ctxcheck",
+		Doc:  "serving/network paths thread context.Context; no context.Background() outside cmd/",
+		Scope: []string{
+			"internal/kvstore", "internal/recommend", "internal/storm", "internal/topology",
+			"cmd",
+			"fixtures/ctxcheck",
+		},
+		Run: runCtxcheck,
+	})
+}
+
+// blockingFuncs lists package-level functions whose call blocks without a
+// deadline, keyed by import path then name.
+var blockingFuncs = map[string]map[string]string{
+	"time": {"Sleep": "use a timer selected against ctx.Done()"},
+	"net": {
+		"Dial":        "use (&net.Dialer{}).DialContext",
+		"DialTimeout": "use (&net.Dialer{}).DialContext",
+	},
+}
+
+// blockingMethods lists methods that block, keyed by receiver type.
+var blockingMethods = map[string]map[string]string{
+	"net.Dialer":   {"Dial": "use DialContext"},
+	"net.Listener": {"Accept": "close the listener on shutdown, or annotate '// ctxcheck: <why>'"},
+	"net.TCPListener": {
+		"Accept":    "close the listener on shutdown, or annotate '// ctxcheck: <why>'",
+		"AcceptTCP": "close the listener on shutdown, or annotate '// ctxcheck: <why>'",
+	},
+}
+
+func runCtxcheck(u *Unit) []Finding {
+	c := &ctxChecker{u: u}
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return c.findings
+}
+
+type ctxChecker struct {
+	u        *Unit
+	findings []Finding
+}
+
+func (c *ctxChecker) hatch(pos token.Pos) bool {
+	txt, ok := c.u.CommentAt(pos)
+	return ok && strings.Contains(txt, "ctxcheck:")
+}
+
+func (c *ctxChecker) report(pos token.Pos, format string, args ...any) {
+	if c.hatch(pos) {
+		return
+	}
+	c.findings = append(c.findings, c.u.finding("ctxcheck", pos, format, args...))
+}
+
+func (c *ctxChecker) checkFunc(fd *ast.FuncDecl) {
+	hasCtx := funcTakesContext(c.u, fd.Type)
+	// Track whether we are inside a func literal that itself takes a ctx —
+	// then blocking calls inside it are that literal's business.
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Literals inherit the outer verdict unless they take their own
+			// context; either way recursion continues with the stack telling
+			// blockingOK which function owns the call.
+			return true
+		case *ast.CallExpr:
+			c.checkCall(x, hasCtx, stack)
+		}
+		return true
+	})
+}
+
+func (c *ctxChecker) checkCall(call *ast.CallExpr, outerHasCtx bool, stack []ast.Node) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Rule 1: context.Background()/TODO() outside cmd/.
+	if pkg, ok := unparen(sel.X).(*ast.Ident); ok {
+		if pn, ok := c.u.Info.Uses[pkg].(*types.PkgName); ok && pn.Imported().Path() == "context" {
+			if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+				if !strings.HasPrefix(c.u.RelPath, "cmd") {
+					c.report(call.Pos(), "context.%s() minted outside cmd/; accept a ctx from the caller so deadlines propagate (or annotate '// ctxcheck: <why>')", sel.Sel.Name)
+				}
+				return
+			}
+		}
+	}
+	name, advice, blocking := c.blockingCall(sel)
+	if !blocking {
+		return
+	}
+	if c.enclosingTakesContext(outerHasCtx, stack) {
+		// The surrounding function threads a context; calling a blocking
+		// primitive is still a smell, but the caller can at least bound the
+		// whole operation. Only the ctx-less case is a finding.
+		return
+	}
+	c.report(call.Pos(), "blocking call %s in a function without a context.Context parameter; %s", name, advice)
+}
+
+// blockingCall classifies sel as a known blocking primitive.
+func (c *ctxChecker) blockingCall(sel *ast.SelectorExpr) (name, advice string, blocking bool) {
+	// Package-level: time.Sleep, net.Dial, ...
+	if pkg, ok := unparen(sel.X).(*ast.Ident); ok {
+		if pn, ok := c.u.Info.Uses[pkg].(*types.PkgName); ok {
+			if m := blockingFuncs[pn.Imported().Path()]; m != nil {
+				if adv, ok := m[sel.Sel.Name]; ok {
+					return pn.Imported().Path() + "." + sel.Sel.Name, adv, true
+				}
+			}
+			return "", "", false
+		}
+	}
+	// Method: receiver type decides.
+	selInfo, ok := c.u.Info.Selections[sel]
+	if !ok {
+		return "", "", false
+	}
+	recv := namedFrom(selInfo.Recv())
+	if recv == nil || recv.Obj().Pkg() == nil {
+		// Interface types (net.Listener) are named too; namedFrom handles
+		// them. A nil here is an anonymous type — not ours.
+		return "", "", false
+	}
+	key := recv.Obj().Pkg().Path() + "." + recv.Obj().Name()
+	if m := blockingMethods[key]; m != nil {
+		if adv, ok := m[sel.Sel.Name]; ok {
+			return "(" + key + ")." + sel.Sel.Name, adv, true
+		}
+	}
+	return "", "", false
+}
+
+// enclosingTakesContext reports whether the function owning the call — the
+// innermost func literal on the stack, or the declaration itself — has a
+// context.Context parameter.
+func (c *ctxChecker) enclosingTakesContext(outerHasCtx bool, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if lit, ok := stack[i].(*ast.FuncLit); ok {
+			return funcTakesContext(c.u, lit.Type)
+		}
+	}
+	return outerHasCtx
+}
+
+// funcTakesContext reports whether any parameter has type context.Context.
+func funcTakesContext(u *Unit, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := u.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if isPkgType(tv.Type, "context", "Context") {
+			return true
+		}
+	}
+	return false
+}

@@ -15,8 +15,22 @@
 //   - goroutinecheck: goroutines in the topology runtime and commands must
 //     be joinable (WaitGroup, channel, or context).
 //
+// On top of the per-function checks sits the dataflow suite, which follows
+// facts across function and package boundaries through a static call graph
+// (callgraph.go):
+//
+//   - lockorder: the global lock-acquisition order must be acyclic; cycles
+//     are potential AB-BA deadlocks.
+//   - numcheck: the math-bearing packages may not introduce NaN/Inf —
+//     unguarded divisions, out-of-domain math calls, float equality, and
+//     unchecked model-state writes are findings.
+//   - ctxcheck: serving/network paths thread context.Context; root contexts
+//     are minted only in cmd/.
+//
 // New passes register themselves in an init function via Register; see
-// lockcheck.go for the shape. cmd/vidlint is the command-line driver.
+// lockcheck.go (per-unit) or lockorder.go (module-level) for the shape.
+// cmd/vidlint is the command-line driver; baseline.go lets a new pass gate
+// on new findings while a recorded backlog is burned down.
 package lint
 
 import (
@@ -24,6 +38,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -41,15 +57,19 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Message, f.Pass)
 }
 
-// Pass is one analysis. Run is invoked once per Unit whose RelPath matches
-// Scope.
+// Pass is one analysis. Exactly one of Run and RunModule is set: Run is
+// invoked once per Unit whose RelPath matches Scope; RunModule is invoked
+// once with the whole program, for passes whose property only exists across
+// package boundaries (lock-acquisition order through the call graph).
 type Pass struct {
 	Name string
 	Doc  string
 	// Scope lists module-relative path prefixes the pass applies to; nil
-	// means every package.
-	Scope []string
-	Run   func(u *Unit) []Finding
+	// means every package. RunModule passes receive every unit and apply
+	// their own scoping.
+	Scope     []string
+	Run       func(u *Unit) []Finding
+	RunModule func(p *Program) []Finding
 }
 
 // AppliesTo reports whether the pass runs on a package at the given
@@ -90,13 +110,23 @@ func PassByName(name string) *Pass {
 	return nil
 }
 
-// Run applies each pass to each unit it scopes to and returns all findings
-// sorted by position.
+// Run applies each pass to each unit it scopes to (module-level passes run
+// once over the whole program) and returns all findings sorted by position.
 func Run(units []*Unit, passes []*Pass) []Finding {
 	var findings []Finding
+	var prog *Program
+	for _, p := range passes {
+		if p.RunModule == nil {
+			continue
+		}
+		if prog == nil {
+			prog = NewProgram(units)
+		}
+		findings = append(findings, p.RunModule(prog)...)
+	}
 	for _, u := range units {
 		for _, p := range passes {
-			if p.AppliesTo(u.RelPath) {
+			if p.Run != nil && p.AppliesTo(u.RelPath) {
 				findings = append(findings, p.Run(u)...)
 			}
 		}
@@ -117,12 +147,20 @@ func Run(units []*Unit, passes []*Pass) []Finding {
 	return findings
 }
 
-// finding builds a Finding at pos.
+// finding builds a Finding at pos. The file is reported module-relative so
+// findings (and the baseline entries derived from them) are stable across
+// checkouts.
 func (u *Unit) finding(pass string, pos token.Pos, format string, args ...any) Finding {
 	p := u.Posn(pos)
+	file := p.Filename
+	if base := filepath.Base(file); u.RelPath != "" {
+		file = path.Join(u.RelPath, base)
+	} else {
+		file = base
+	}
 	return Finding{
 		Pass:    pass,
-		File:    p.Filename,
+		File:    file,
 		Line:    p.Line,
 		Col:     p.Column,
 		Message: fmt.Sprintf(format, args...),

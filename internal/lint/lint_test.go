@@ -67,7 +67,12 @@ func runFixture(t *testing.T, passName string, expects []expect) {
 	if p == nil {
 		t.Fatalf("pass %q not registered", passName)
 	}
-	findings := p.Run(u)
+	var findings []Finding
+	if p.Run != nil {
+		findings = p.Run(u)
+	} else {
+		findings = p.RunModule(NewProgram([]*Unit{u}))
+	}
 
 	type loc struct {
 		file string
@@ -144,6 +149,37 @@ func TestGoroutinecheckFixtures(t *testing.T) {
 		{"bad1.go", "go func() {", "not joinable"},
 		{"bad2.go", "stop this ticker loop", "not joinable"},
 		{"bad2.go", "never escapes the literal", "not joinable"},
+	})
+}
+
+func TestLockorderFixtures(t *testing.T) {
+	runFixture(t, "lockorder", []expect{
+		{"bad1.go", "half of the cycle", "cycle"},
+		{"bad1.go", "via the call graph", "lockorder.A.mu acquired while holding lockorder.B.mu"},
+		{"bad2.go", "contradicts the declared order", "contradicting declared"},
+		{"bad2.go", "contradicts the declared order", "cycle"},
+		{"bad2.go", "lockorder.Missing.mu", "unknown lock class"},
+	})
+}
+
+func TestNumcheckFixtures(t *testing.T) {
+	runFixture(t, "numcheck", []expect{
+		{"bad1.go", "unguarded division", "without a visible zero guard"},
+		{"bad1.go", "unguarded log", "math.Log2"},
+		{"bad1.go", "rounding-sensitive equality", "rounding-sensitive"},
+		{"bad1.go", "constant out of domain", "out-of-domain constant"},
+		{"bad2.go", "inline arithmetic into a state write", "bind and clamp"},
+		{"bad2.go", "guard mentions scale, not n", "without a visible zero guard"},
+	})
+}
+
+func TestCtxcheckFixtures(t *testing.T) {
+	runFixture(t, "ctxcheck", []expect{
+		{"bad1.go", "blocking sleep, no ctx parameter", "time.Sleep"},
+		{"bad1.go", "net.Dial, no ctx parameter", "net.Dial"},
+		{"bad1.go", "root context outside cmd/", "context.Background()"},
+		{"bad2.go", "blocking accept, no ctx and no hatch", "Accept"},
+		{"bad2.go", "literal has no ctx parameter", "time.Sleep"},
 	})
 }
 

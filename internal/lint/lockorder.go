@@ -1,0 +1,420 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// lockorder is the module-level deadlock detector: it builds a global
+// lock-acquisition graph — which mutex classes are taken while others are
+// held, following static calls across package boundaries — and reports
+// cycles as potential AB-BA deadlocks.
+//
+// A "lock class" is a mutex declaration site: a struct field of type
+// sync.Mutex/RWMutex (all instances of the struct share the class, which is
+// the right granularity for AB-BA between different types) or a package-level
+// mutex variable. An edge A -> B is recorded when B is acquired — directly
+// or transitively through a call — while A is held.
+//
+// The declaration convention: a comment anywhere in the module of the form
+//
+//	// lockorder: <A> before <B>
+//
+// (class names as reported in findings, e.g. "kvstore.Server.mu before
+// kvstore.Client.mu") declares the intended global order. Declared edges
+// join the graph, so a declared order plus a contradicting acquisition forms
+// a cycle and is reported even before a second code path closes the loop;
+// an acquisition that directly contradicts a declaration is additionally
+// reported on its own line.
+//
+// Like the call graph it runs on, the analysis under-approximates (calls
+// through function values and interface dispatch are not followed), so a
+// clean report is evidence, not proof — but every reported cycle is a real
+// ordering inversion in the source.
+
+func init() {
+	Register(&Pass{
+		Name:      "lockorder",
+		Doc:       "no cycles in the global lock-acquisition order (potential deadlocks)",
+		RunModule: runLockorder,
+	})
+}
+
+var lockorderDeclRe = regexp.MustCompile(`lockorder:\s*([\w.]+)\s+before\s+([\w.]+)`)
+
+// lockClass identifies one mutex declaration site.
+type lockClass struct {
+	obj  types.Object // field or package-level var
+	name string       // display name, e.g. "kvstore.Server.mu"
+}
+
+type lockEdge struct {
+	from, to *lockClass
+	pos      token.Pos // acquisition that created the edge
+	unit     *Unit
+	declared bool // edge from a lockorder: comment, not from code
+}
+
+type lockorderChecker struct {
+	prog    *Program
+	classes map[types.Object]*lockClass
+	byName  map[string]*lockClass
+	edges   []lockEdge
+	// acquires memoizes the transitive set of classes a function may
+	// acquire; nil value marks in-progress nodes (cycle in call graph).
+	acquires map[*types.Func]map[*lockClass]bool
+	findings []Finding
+}
+
+func runLockorder(prog *Program) []Finding {
+	c := &lockorderChecker{
+		prog:     prog,
+		classes:  make(map[types.Object]*lockClass),
+		byName:   make(map[string]*lockClass),
+		acquires: make(map[*types.Func]map[*lockClass]bool),
+	}
+	cg := prog.CallGraph()
+	fns := cg.Functions()
+	for _, fn := range fns {
+		c.transAcquires(fn)
+	}
+	for _, fn := range fns {
+		c.collectEdges(fn)
+	}
+	c.collectDeclarations()
+	c.checkContradictions()
+	c.checkCycles()
+	return c.findings
+}
+
+// classOf interns the lock class for the mutex reached by expression
+// recv.field (or a bare identifier for package-level mutexes), returning nil
+// when the expression is not a recognizable mutex.
+func (c *lockorderChecker) classOf(u *Unit, e ast.Expr) *lockClass {
+	switch x := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		sel := u.Info.Selections[x]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			// Could be pkg.Var.
+			if obj, ok := u.Info.Uses[x.Sel].(*types.Var); ok && isMutexType(obj.Type()) {
+				return c.intern(obj, obj.Pkg().Name()+"."+obj.Name())
+			}
+			return nil
+		}
+		field, ok := sel.Obj().(*types.Var)
+		if !ok || !isMutexType(field.Type()) {
+			return nil
+		}
+		name := field.Name()
+		if n := namedFrom(u.Info.Types[x.X].Type); n != nil {
+			name = n.Obj().Name() + "." + name
+		}
+		if field.Pkg() != nil {
+			name = field.Pkg().Name() + "." + name
+		}
+		return c.intern(field, name)
+	case *ast.Ident:
+		obj, _ := u.Info.Uses[x].(*types.Var)
+		if obj == nil {
+			obj, _ = u.Info.Defs[x].(*types.Var)
+		}
+		if obj == nil || !isMutexType(obj.Type()) {
+			return nil
+		}
+		name := obj.Name()
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			name = obj.Pkg().Name() + "." + name
+		}
+		return c.intern(obj, name)
+	}
+	return nil
+}
+
+func (c *lockorderChecker) intern(obj types.Object, name string) *lockClass {
+	if cl, ok := c.classes[obj]; ok {
+		return cl
+	}
+	cl := &lockClass{obj: obj, name: name}
+	c.classes[obj] = cl
+	c.byName[name] = cl
+	return cl
+}
+
+// acquireOp recognizes <mutex>.Lock() / RLock() calls and returns the class
+// acquired; release reports Unlock/RUnlock.
+func (c *lockorderChecker) acquireOp(u *Unit, call *ast.CallExpr) (cl *lockClass, acquire bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return nil, false
+	}
+	if tv, has := u.Info.Types[sel.X]; !has || !isMutexType(tv.Type) {
+		return nil, false
+	}
+	return c.classOf(u, sel.X), acquire
+}
+
+// transAcquires computes the set of lock classes fn may acquire, following
+// static calls. Call-graph cycles are cut by the in-progress marker.
+func (c *lockorderChecker) transAcquires(fn *types.Func) map[*lockClass]bool {
+	if got, ok := c.acquires[fn]; ok {
+		if got == nil {
+			return map[*lockClass]bool{} // recursion: contribute nothing extra
+		}
+		return got
+	}
+	c.acquires[fn] = nil // mark in progress
+	out := make(map[*lockClass]bool)
+	cg := c.prog.CallGraph()
+	u, fd := cg.DeclOf(fn)
+	if fd != nil {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if cl, acquire := c.acquireOp(u, call); cl != nil && acquire {
+				out[cl] = true
+			}
+			return true
+		})
+		for _, site := range cg.CalleesOf(fn) {
+			for cl := range c.transAcquires(site.Callee) {
+				out[cl] = true
+			}
+		}
+	}
+	c.acquires[fn] = out
+	return out
+}
+
+// collectEdges walks fn's body in source order tracking the held set, and
+// records an edge for every acquisition (direct or via call) under a held
+// lock. Deferred unlocks keep the lock held to the end of the function,
+// which is what the edge semantics want.
+func (c *lockorderChecker) collectEdges(fn *types.Func) {
+	cg := c.prog.CallGraph()
+	u, fd := cg.DeclOf(fn)
+	if fd == nil {
+		return
+	}
+	held := make(map[*lockClass]token.Pos) // class -> pos it was taken at
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			// A deferred Unlock runs at function exit, so the lock stays held
+			// for the remainder of the walk — skip the call rather than
+			// releasing early. Other deferred calls are walked normally.
+			if cl, acquire := c.acquireOp(u, d.Call); cl != nil && !acquire {
+				return false
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if cl, acquire := c.acquireOp(u, call); cl != nil {
+			if acquire {
+				for from := range held {
+					if from != cl {
+						c.edges = append(c.edges, lockEdge{from: from, to: cl, pos: call.Pos(), unit: u})
+					}
+				}
+				held[cl] = call.Pos()
+			} else {
+				delete(held, cl)
+			}
+			return true
+		}
+		if len(held) == 0 {
+			return true
+		}
+		if callee := resolveCallee(u, call); callee != nil && callee != fn {
+			for to := range c.transAcquires(callee) {
+				for from := range held {
+					if from != to {
+						c.edges = append(c.edges, lockEdge{from: from, to: to, pos: call.Pos(), unit: u})
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectDeclarations turns declaration comments (the "<A> before <B>" form
+// under the pass's comment prefix) into declared edges. Unknown class names
+// are reported — a stale declaration is itself a finding.
+func (c *lockorderChecker) collectDeclarations() {
+	for _, u := range c.prog.Units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, cm := range cg.List {
+					m := lockorderDeclRe.FindStringSubmatch(cm.Text)
+					if m == nil {
+						continue
+					}
+					from, okFrom := c.byName[m[1]]
+					to, okTo := c.byName[m[2]]
+					if !okFrom || !okTo {
+						missing := m[1]
+						if okFrom {
+							missing = m[2]
+						}
+						c.findings = append(c.findings, u.finding("lockorder", cm.Pos(),
+							"declaration 'lockorder: %s before %s' names unknown lock class %q", m[1], m[2], missing))
+						continue
+					}
+					c.edges = append(c.edges, lockEdge{from: from, to: to, pos: cm.Pos(), unit: u, declared: true})
+				}
+			}
+		}
+	}
+}
+
+// checkContradictions reports observed acquisitions that invert a declared
+// order — the earliest possible deadlock warning, before a second code path
+// completes the cycle.
+func (c *lockorderChecker) checkContradictions() {
+	declared := make(map[[2]*lockClass]bool)
+	for _, e := range c.edges {
+		if e.declared {
+			declared[[2]*lockClass{e.from, e.to}] = true
+		}
+	}
+	for _, e := range c.edges {
+		if e.declared {
+			continue
+		}
+		if declared[[2]*lockClass{e.to, e.from}] {
+			c.findings = append(c.findings, e.unit.finding("lockorder", e.pos,
+				"%s acquired while holding %s, contradicting declared 'lockorder: %s before %s'",
+				e.to.name, e.from.name, e.to.name, e.from.name))
+		}
+	}
+}
+
+// checkCycles finds strongly connected components of the acquisition graph
+// and reports every code edge inside one. Self-edges (A taken while A is
+// held) never arise here — collectEdges skips them — so any SCC of size >= 2
+// is a potential deadlock.
+func (c *lockorderChecker) checkCycles() {
+	// Adjacency over interned classes.
+	adj := make(map[*lockClass]map[*lockClass]bool)
+	for _, e := range c.edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[*lockClass]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	scc := stronglyConnected(adj)
+	for _, e := range c.edges {
+		if e.declared {
+			continue // the code edge carries the report; declarations are context
+		}
+		if scc[e.from] != 0 && scc[e.from] == scc[e.to] {
+			cycle := cycleNames(scc, scc[e.from])
+			c.findings = append(c.findings, e.unit.finding("lockorder", e.pos,
+				"lock order cycle (potential deadlock): %s acquired while holding %s; cycle members: %s",
+				e.to.name, e.from.name, cycle))
+		}
+	}
+}
+
+// sccIDs assigns each class in a multi-node SCC a nonzero component id.
+var sccNames map[int][]string // set by stronglyConnected for cycle reporting
+
+func stronglyConnected(adj map[*lockClass]map[*lockClass]bool) map[*lockClass]int {
+	// Tarjan's algorithm, iterative enough for lint-sized graphs via
+	// recursion (lock graphs are tiny).
+	index := make(map[*lockClass]int)
+	low := make(map[*lockClass]int)
+	onStack := make(map[*lockClass]bool)
+	var stack []*lockClass
+	comp := make(map[*lockClass]int)
+	sccNames = make(map[int][]string)
+	next, compID := 0, 0
+
+	nodes := make([]*lockClass, 0, len(adj))
+	seen := make(map[*lockClass]bool)
+	for from, tos := range adj {
+		if !seen[from] {
+			seen[from] = true
+			nodes = append(nodes, from)
+		}
+		for to := range tos {
+			if !seen[to] {
+				seen[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].name < nodes[j].name })
+
+	var visit func(v *lockClass)
+	visit = func(v *lockClass) {
+		next++
+		index[v] = next
+		low[v] = next
+		stack = append(stack, v)
+		onStack[v] = true
+		tos := make([]*lockClass, 0, len(adj[v]))
+		for to := range adj[v] {
+			tos = append(tos, to)
+		}
+		sort.Slice(tos, func(i, j int) bool { return tos[i].name < tos[j].name })
+		for _, w := range tos {
+			if index[w] == 0 {
+				visit(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []*lockClass
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) >= 2 {
+				compID++
+				var names []string
+				for _, m := range members {
+					comp[m] = compID
+					names = append(names, m.name)
+				}
+				sort.Strings(names)
+				sccNames[compID] = names
+			}
+		}
+	}
+	for _, v := range nodes {
+		if index[v] == 0 {
+			visit(v)
+		}
+	}
+	return comp
+}
+
+func cycleNames(comp map[*lockClass]int, id int) string {
+	return strings.Join(sccNames[id], ", ")
+}

@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// numcheck is the numeric-hygiene pass for the math-bearing packages. The
+// model invariant the repo guarantees — "model state is always finite" — dies
+// at exactly four kinds of sites, and this pass flags all of them:
+//
+//  1. float division whose denominator is neither a nonzero constant nor
+//     guarded by a visible zero/size check — the classic 0/0 = NaN factory
+//     (CTR with zero impressions, averages over empty slices);
+//  2. domain-restricted math calls (Log, Log2, Log10, Log1p, Sqrt) whose
+//     argument is not a provably in-domain constant and not guarded —
+//     log10(0) = -Inf is how an unclamped view rate poisons an SGD step;
+//  3. float == / != between two non-constant operands, which is almost
+//     always a rounding-sensitive bug (comparisons against a constant
+//     sentinel like 0 or 1 are allowed — those are exactness checks);
+//  4. arithmetic performed inline in the argument of an EncodeFloat /
+//     EncodeFloats call — model-state writes must store a named, clampable
+//     value, not a fresh expression nobody range-checked.
+//
+// A guard is an enclosing if whose condition mentions one of the operand's
+// identifiers, or an earlier same-block if that mentions one and always
+// terminates (the early-return idiom). The check is syntactic on purpose:
+// it forces the guard to be visibly near the use, which is also what a
+// human reviewer needs.
+//
+// False positives are silenced with a justification comment on the line or
+// the line above:
+//
+//	// numcheck: <why this is finite>
+func init() {
+	Register(&Pass{
+		Name: "numcheck",
+		Doc:  "no NaN/Inf sources: unguarded divisions, out-of-domain math calls, float equality, unchecked model-state writes",
+		Scope: []string{
+			"internal/core", "internal/feedback", "internal/simtable", "internal/vecmath",
+			"fixtures/numcheck",
+		},
+		Run: runNumcheck,
+	})
+}
+
+// domainFuncs maps math functions to the constant domain test their argument
+// must pass when it is constant. Non-constant arguments need a guard.
+var domainFuncs = map[string]func(v constant.Value) bool{
+	"Log":   func(v constant.Value) bool { return constant.Sign(v) > 0 },
+	"Log2":  func(v constant.Value) bool { return constant.Sign(v) > 0 },
+	"Log10": func(v constant.Value) bool { return constant.Sign(v) > 0 },
+	"Log1p": func(v constant.Value) bool { return constant.Compare(v, token.GTR, constant.MakeInt64(-1)) },
+	"Sqrt":  func(v constant.Value) bool { return constant.Sign(v) >= 0 },
+}
+
+func runNumcheck(u *Unit) []Finding {
+	c := &numChecker{u: u}
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walkStack(fd.Body, c.visit)
+		}
+	}
+	return c.findings
+}
+
+type numChecker struct {
+	u        *Unit
+	findings []Finding
+}
+
+func (c *numChecker) hatch(pos token.Pos) bool {
+	txt, ok := c.u.CommentAt(pos)
+	return ok && strings.Contains(txt, "numcheck:")
+}
+
+func (c *numChecker) report(pos token.Pos, format string, args ...any) {
+	if c.hatch(pos) {
+		return
+	}
+	c.findings = append(c.findings, c.u.finding("numcheck", pos, format, args...))
+}
+
+func (c *numChecker) visit(n ast.Node, stack []ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.QUO:
+			c.checkDivision(x, stack)
+		case token.EQL, token.NEQ:
+			c.checkFloatEquality(x)
+		}
+	case *ast.CallExpr:
+		c.checkMathDomain(x, stack)
+		c.checkEncodeWrite(x)
+	}
+	return true
+}
+
+// isFloat reports whether the expression has floating-point type.
+func (c *numChecker) isFloat(e ast.Expr) bool {
+	tv, ok := c.u.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// constVal returns the compile-time constant value of e, or nil.
+func (c *numChecker) constVal(e ast.Expr) constant.Value {
+	if tv, ok := c.u.Info.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+func (c *numChecker) checkDivision(div *ast.BinaryExpr, stack []ast.Node) {
+	if !c.isFloat(div) {
+		return // integer division by zero panics loudly; not this pass's problem
+	}
+	den := unparen(div.Y)
+	if v := c.constVal(den); v != nil {
+		if constant.Sign(v) != 0 {
+			return
+		}
+		c.report(div.Pos(), "division by constant zero")
+		return
+	}
+	if c.guarded(den, stack) {
+		return
+	}
+	c.report(div.Pos(), "float division by %s without a visible zero guard (0/0 is NaN; guard or annotate '// numcheck: <why>')", exprString(den))
+}
+
+func (c *numChecker) checkMathDomain(call *ast.CallExpr, stack []ast.Node) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	pkg, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := c.u.Info.Uses[pkg].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "math" {
+		return
+	}
+	inDomain, restricted := domainFuncs[sel.Sel.Name]
+	if !restricted {
+		return
+	}
+	arg := unparen(call.Args[0])
+	if v := c.constVal(arg); v != nil {
+		if inDomain(v) {
+			return
+		}
+		c.report(call.Pos(), "math.%s of out-of-domain constant %s yields NaN/Inf", sel.Sel.Name, v.String())
+		return
+	}
+	if c.guarded(arg, stack) {
+		return
+	}
+	c.report(call.Pos(), "math.%s(%s) without a visible domain guard (non-positive input yields NaN/Inf; guard or annotate '// numcheck: <why>')", sel.Sel.Name, exprString(arg))
+}
+
+func (c *numChecker) checkFloatEquality(cmp *ast.BinaryExpr) {
+	if !c.isFloat(cmp.X) && !c.isFloat(cmp.Y) {
+		return
+	}
+	if c.constVal(cmp.X) != nil || c.constVal(cmp.Y) != nil {
+		return // comparison against a constant sentinel is an exactness check
+	}
+	c.report(cmp.Pos(), "float %s between computed values is rounding-sensitive; compare against a tolerance or annotate '// numcheck: <why>'", cmp.Op)
+}
+
+// checkEncodeWrite flags EncodeFloat/EncodeFloats calls whose argument embeds
+// arithmetic: the value being persisted into model state was never a named
+// quantity anyone could clamp or validate.
+func (c *numChecker) checkEncodeWrite(call *ast.CallExpr) {
+	var name string
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return
+	}
+	if name != "EncodeFloat" && name != "EncodeFloats" {
+		return
+	}
+	for _, arg := range call.Args {
+		var bad ast.Node
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if bad != nil {
+				return false
+			}
+			if b, ok := n.(*ast.BinaryExpr); ok {
+				switch b.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+					bad = b
+					return false
+				}
+			}
+			return true
+		})
+		if bad != nil {
+			c.report(call.Pos(), "model-state write %s(...) computes its value inline; bind and clamp it first so the stored parameter is validated", name)
+			return
+		}
+	}
+}
+
+// guarded reports whether expr is protected by a visible condition: an
+// enclosing if whose condition mentions one of expr's identifiers, or an
+// earlier statement in an enclosing block that is an if mentioning one whose
+// body always terminates (early-return guard).
+func (c *numChecker) guarded(expr ast.Expr, stack []ast.Node) bool {
+	names := identNames(expr)
+	if len(names) == 0 {
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.IfStmt:
+			if condMentions(s.Cond, names) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// Which child of this block are we under?
+			var child ast.Node
+			if i+1 < len(stack) {
+				child = stack[i+1]
+			}
+			for _, st := range s.List {
+				if st == child {
+					break
+				}
+				ifs, ok := st.(*ast.IfStmt)
+				if ok && ifs.Body != nil && terminates(ifs.Body.List) && condMentions(ifs.Cond, names) {
+					return true
+				}
+			}
+		case *ast.FuncLit, *ast.FuncDecl:
+			// Don't look for guards outside the enclosing function: a check
+			// in the caller's frame is invisible at this site.
+			return false
+		}
+	}
+	return false
+}
+
+// identNames collects the identifier names appearing in e — variable roots,
+// selector fields, and len/cap operands — the vocabulary a guard condition
+// would use to talk about it.
+func identNames(e ast.Expr) map[string]bool {
+	names := make(map[string]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name != "float64" && id.Name != "float32" {
+			names[id.Name] = true
+		}
+		return true
+	})
+	return names
+}
+
+// condMentions reports whether the condition expression uses any of the
+// names.
+func condMentions(cond ast.Expr, names map[string]bool) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && names[id.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

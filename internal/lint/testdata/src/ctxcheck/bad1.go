@@ -1,0 +1,24 @@
+// Package ctxcheck fixture: context-propagation violations.
+package ctxcheck
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// poll blocks with no way for a caller to cancel the wait.
+func poll() {
+	time.Sleep(50 * time.Millisecond) // blocking sleep, no ctx parameter
+}
+
+// dial uses the non-cancellable dial in a function without a context.
+func dial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // net.Dial, no ctx parameter
+}
+
+// freshRoot mints a root context deep inside library code, severing every
+// deadline the caller set.
+func freshRoot() context.Context {
+	return context.Background() // root context outside cmd/
+}

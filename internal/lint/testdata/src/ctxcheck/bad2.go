@@ -1,0 +1,32 @@
+package ctxcheck
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+type server struct {
+	ln net.Listener
+}
+
+// serve accepts connections with no shutdown story and no justification.
+func (s *server) serve() error {
+	for {
+		conn, err := s.ln.Accept() // blocking accept, no ctx and no hatch
+		if err != nil {
+			return err
+		}
+		_ = conn.Close()
+	}
+}
+
+// run threads a context, but the goroutine body it spawns does not take it —
+// the literal is its own function and is judged on its own parameters.
+func run(ctx context.Context, done chan<- struct{}) {
+	go func() {
+		time.Sleep(time.Millisecond) // literal has no ctx parameter
+		done <- struct{}{}
+	}()
+	<-ctx.Done()
+}

@@ -1,0 +1,38 @@
+package ctxcheck
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// wait takes a context, so the caller can bound the whole operation even
+// though the sleep itself is plain.
+func wait(ctx context.Context) {
+	time.Sleep(time.Millisecond)
+	<-ctx.Done()
+}
+
+// dialWithDeadline uses the cancellable dialer; DialContext is not a
+// blocking primitive because the ctx bounds it.
+func dialWithDeadline(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+type loop struct {
+	ln net.Listener
+}
+
+// acceptLoop's shutdown is structural — the owner closes the listener — which
+// the justification comment records.
+func (l *loop) acceptLoop(handle func(net.Conn)) error {
+	for {
+		// ctxcheck: shutdown is l.ln.Close from the owner, not cancellation
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return err
+		}
+		handle(conn)
+	}
+}

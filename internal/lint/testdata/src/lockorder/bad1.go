@@ -1,0 +1,40 @@
+// Package lockorder fixture: lock-order inversions the pass must catch.
+package lockorder
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// TransferAB takes the locks in A-then-B order.
+func TransferAB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // edge A.mu -> B.mu: half of the cycle
+	a.n--
+	b.n++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// TransferBA inverts the order through a call: it holds B.mu while calling
+// lockedIncA, which acquires A.mu — the edge only exists across the call
+// graph.
+func TransferBA(a *A, b *B) {
+	b.mu.Lock()
+	lockedIncA(a) // edge B.mu -> A.mu, via the call graph
+	b.n--
+	b.mu.Unlock()
+}
+
+func lockedIncA(a *A) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}

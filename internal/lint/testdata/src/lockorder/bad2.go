@@ -1,0 +1,39 @@
+package lockorder
+
+import "sync"
+
+type C struct {
+	mu sync.Mutex
+	v  int
+}
+
+type D struct {
+	mu sync.Mutex
+	v  int
+}
+
+// The intended global order is declared below; Swap then violates it, so the
+// pass reports the contradiction without needing a second code path to close
+// the cycle.
+//
+// lockorder: lockorder.D.mu before lockorder.C.mu
+
+// Swap acquires C.mu first, inverting the declared order.
+func Swap(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock() // contradicts the declared order
+	c.v, d.v = d.v, c.v
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// A declaration naming a lock class that does not exist is stale and must be
+// reported too.
+//
+// lockorder: lockorder.Missing.mu before lockorder.C.mu
+
+func touch(c *C) {
+	c.mu.Lock()
+	c.v++
+	c.mu.Unlock()
+}

@@ -1,0 +1,39 @@
+package lockorder
+
+import "sync"
+
+type CleanA struct {
+	mu sync.Mutex
+	n  int
+}
+
+type CleanB struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockorder: lockorder.CleanA.mu before lockorder.CleanB.mu
+
+// MoveOne and MoveAll both follow the declared CleanA-then-CleanB order, so
+// the acquisition graph stays acyclic. MoveOne uses deferred unlocks, which
+// keep the lock held to function exit — the pass must not treat the defer as
+// an early release.
+func MoveOne(a *CleanA, b *CleanB) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.n--
+	b.n++
+}
+
+func MoveAll(a *CleanA, b *CleanB) {
+	a.mu.Lock()
+	b.mu.Lock()
+	for i := 0; i < 3; i++ {
+		a.n--
+		b.n++
+	}
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

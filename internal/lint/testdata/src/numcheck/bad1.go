@@ -1,0 +1,24 @@
+// Package numcheck fixture: NaN/Inf sources the pass must catch.
+package numcheck
+
+import "math"
+
+// CTR divides without checking the denominator: zero impressions make NaN.
+func CTR(clicks, impressions float64) float64 {
+	return clicks / impressions // unguarded division
+}
+
+// Entropy feeds an unguarded value to a domain-restricted function.
+func Entropy(p float64) float64 {
+	return -p * math.Log2(p) // unguarded log
+}
+
+// Converged compares two computed floats exactly.
+func Converged(prev, next float64) bool {
+	return prev == next // rounding-sensitive equality
+}
+
+// BadRoot passes a constant that is outside the domain.
+func BadRoot() float64 {
+	return math.Sqrt(-1) // constant out of domain
+}

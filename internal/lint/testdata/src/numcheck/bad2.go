@@ -1,0 +1,22 @@
+package numcheck
+
+// EncodeFloats is a stand-in for the model-state write path; the pass keys on
+// the function name, exactly as it does for kvcodec's real encoder.
+func EncodeFloats(vals ...float64) []byte {
+	return make([]byte, 8*len(vals))
+}
+
+// update writes a freshly computed expression straight into model state —
+// nothing ever range-checked the value being persisted.
+func update(w, g, lr float64) []byte {
+	return EncodeFloats(w - lr*g) // inline arithmetic into a state write
+}
+
+// wrongGuard checks one variable but divides by another; the guard must
+// mention the denominator to count.
+func wrongGuard(sum, n, scale float64) float64 {
+	if scale > 0 {
+		return sum / n // guard mentions scale, not n
+	}
+	return 0
+}

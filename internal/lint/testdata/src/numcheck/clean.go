@@ -1,0 +1,62 @@
+package numcheck
+
+import "math"
+
+const epsilon = 1e-9
+
+// SafeCTR guards the denominator with an enclosing if.
+func SafeCTR(clicks, impressions float64) float64 {
+	if impressions > 0 {
+		return clicks / impressions
+	}
+	return 0
+}
+
+// Mean uses the early-return guard idiom: the if terminates, so control only
+// reaches the division when the slice is non-empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Weight guards the log argument before taking it, the Eq. 6 idiom.
+func Weight(a, b, vrate float64) float64 {
+	if vrate <= 0 {
+		return 0
+	}
+	return a + b*math.Log10(vrate)
+}
+
+// Halve divides by a nonzero constant.
+func Halve(x float64) float64 { return x / 2 }
+
+// IsUnset compares against a constant sentinel, which is an exactness check.
+func IsUnset(x float64) bool { return x == 0 }
+
+// Near compares with a tolerance instead of ==.
+func Near(a, b float64) bool { return math.Abs(a-b) < epsilon }
+
+// EncodeFloat is the single-value stand-in for the state-write path.
+func EncodeFloat(v float64) []byte { return make([]byte, 8) }
+
+// checkedWrite binds and validates the value before persisting it, so the
+// stored parameter is a named, clamped quantity.
+func checkedWrite(w, g, lr float64) []byte {
+	next := w - lr*g
+	if math.IsNaN(next) || math.IsInf(next, 0) {
+		next = 0
+	}
+	return EncodeFloat(next)
+}
+
+// scaled is hatched: the justification comment vouches for the denominator.
+func scaled(x float64, n int) float64 {
+	// numcheck: n is a slice length from the caller, always >= 1 here
+	return x / float64(n)
+}

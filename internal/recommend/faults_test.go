@@ -5,6 +5,7 @@ package recommend
 // recovers — the behaviour a degraded distributed KV deployment demands.
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -29,9 +30,9 @@ func faultySystem(t *testing.T) (*System, *kvstore.Faulty) {
 
 func TestIngestSurfacesStoreErrors(t *testing.T) {
 	sys, faulty := faultySystem(t)
-	sys.Catalog.Put(catalog.Video{ID: "v", Type: "t", Length: time.Minute})
+	sys.Catalog.Put(context.Background(), catalog.Video{ID: "v", Type: "t", Length: time.Minute})
 	faulty.SetFailRate(1)
-	err := sys.Ingest(watch("u1", "v", 0))
+	err := sys.Ingest(context.Background(), watch("u1", "v", 0))
 	if err == nil {
 		t.Fatal("Ingest swallowed a total store outage")
 	}
@@ -42,12 +43,12 @@ func TestIngestSurfacesStoreErrors(t *testing.T) {
 
 func TestRecommendSurfacesStoreErrors(t *testing.T) {
 	sys, faulty := faultySystem(t)
-	sys.Catalog.Put(catalog.Video{ID: "v", Type: "t", Length: time.Minute})
-	if err := sys.Ingest(watch("u1", "v", 0)); err != nil {
+	sys.Catalog.Put(context.Background(), catalog.Video{ID: "v", Type: "t", Length: time.Minute})
+	if err := sys.Ingest(context.Background(), watch("u1", "v", 0)); err != nil {
 		t.Fatal(err)
 	}
 	faulty.SetFailRate(1)
-	if _, err := sys.Recommend(Request{UserID: "u1", N: 5}); err == nil {
+	if _, err := sys.Recommend(context.Background(), Request{UserID: "u1", N: 5}); err == nil {
 		t.Fatal("Recommend swallowed a total store outage")
 	}
 }
@@ -55,18 +56,18 @@ func TestRecommendSurfacesStoreErrors(t *testing.T) {
 func TestPipelineRecoversAfterOutage(t *testing.T) {
 	sys, faulty := faultySystem(t)
 	for _, v := range []string{"a", "b", "c"} {
-		sys.Catalog.Put(catalog.Video{ID: v, Type: "movie", Length: time.Minute})
+		sys.Catalog.Put(context.Background(), catalog.Video{ID: v, Type: "movie", Length: time.Minute})
 	}
 	// Healthy warmup.
 	min := 0
 	for _, u := range []string{"u1", "u2", "u3"} {
-		sys.Ingest(watch(u, "a", min))
-		sys.Ingest(watch(u, "b", min+1))
+		sys.Ingest(context.Background(), watch(u, "a", min))
+		sys.Ingest(context.Background(), watch(u, "b", min+1))
 		min += 2
 	}
 	// Outage: ingest fails, counted.
 	faulty.SetFailRate(1)
-	if err := sys.Ingest(watch("u4", "a", min)); err == nil {
+	if err := sys.Ingest(context.Background(), watch("u4", "a", min)); err == nil {
 		t.Fatal("outage ingest succeeded")
 	}
 	if faulty.Injected() == 0 {
@@ -74,10 +75,10 @@ func TestPipelineRecoversAfterOutage(t *testing.T) {
 	}
 	// Recovery: the same action applies cleanly and serving works again.
 	faulty.SetFailRate(0)
-	if err := sys.Ingest(watch("u4", "a", min)); err != nil {
+	if err := sys.Ingest(context.Background(), watch("u4", "a", min)); err != nil {
 		t.Fatalf("ingest after recovery: %v", err)
 	}
-	res, err := sys.Recommend(Request{UserID: "u4", CurrentVideo: "a", N: 2})
+	res, err := sys.Recommend(context.Background(), Request{UserID: "u4", CurrentVideo: "a", N: 2})
 	if err != nil {
 		t.Fatalf("recommend after recovery: %v", err)
 	}
@@ -92,18 +93,18 @@ func TestPipelineRecoversAfterOutage(t *testing.T) {
 func TestIngestUnderPartialFailure(t *testing.T) {
 	sys, faulty := faultySystem(t)
 	for _, v := range []string{"a", "b", "c", "d", "e", "f"} {
-		sys.Catalog.Put(catalog.Video{ID: v, Type: "movie", Length: time.Minute})
+		sys.Catalog.Put(context.Background(), catalog.Video{ID: v, Type: "movie", Length: time.Minute})
 	}
 	faulty.SetFailRate(0.1)
 	failed := 0
 	videos := []string{"a", "b", "c", "d"}
 	for i := 0; i < 200; i++ {
-		if err := sys.Ingest(watch("u1", videos[i%4], i)); err != nil {
+		if err := sys.Ingest(context.Background(), watch("u1", videos[i%4], i)); err != nil {
 			failed++
 		}
 		// Other users keep e and f hot, so u1 — who will have watched the
 		// whole a-d set — still has recommendable content afterwards.
-		if err := sys.Ingest(watch("u2", []string{"e", "f"}[i%2], i)); err != nil {
+		if err := sys.Ingest(context.Background(), watch("u2", []string{"e", "f"}[i%2], i)); err != nil {
 			failed++
 		}
 	}
@@ -114,7 +115,7 @@ func TestIngestUnderPartialFailure(t *testing.T) {
 		t.Fatal("every ingest failed at 10% fault rate")
 	}
 	faulty.SetFailRate(0)
-	res, err := sys.Recommend(Request{UserID: "u1", CurrentVideo: "a", N: 3})
+	res, err := sys.Recommend(context.Background(), Request{UserID: "u1", CurrentVideo: "a", N: 3})
 	if err != nil {
 		t.Fatalf("recommend after flaky period: %v", err)
 	}
@@ -125,10 +126,10 @@ func TestIngestUnderPartialFailure(t *testing.T) {
 
 func TestLatencyHistogramRecords(t *testing.T) {
 	sys, _ := faultySystem(t)
-	sys.Catalog.Put(catalog.Video{ID: "v", Type: "t", Length: time.Minute})
-	sys.Ingest(watch("u1", "v", 0))
+	sys.Catalog.Put(context.Background(), catalog.Video{ID: "v", Type: "t", Length: time.Minute})
+	sys.Ingest(context.Background(), watch("u1", "v", 0))
 	for i := 0; i < 5; i++ {
-		if _, err := sys.Recommend(Request{UserID: "u1", N: 3}); err != nil {
+		if _, err := sys.Recommend(context.Background(), Request{UserID: "u1", N: 3}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -12,6 +12,7 @@
 package recommend
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -181,8 +182,8 @@ func (s *System) Now() time.Time {
 	return s.now
 }
 
-func (s *System) groupOf(userID string) string {
-	g, err := s.Profiles.GroupOf(userID)
+func (s *System) groupOf(ctx context.Context, userID string) string {
+	g, err := s.Profiles.GroupOf(ctx, userID)
 	if err != nil || g == "" {
 		return demographic.GlobalGroup
 	}
@@ -194,11 +195,11 @@ func (s *System) groupOf(userID string) string {
 // history append (UserHistory), similar-table refresh (GetItemPairs/
 // ItemPairSim/ResultStorage), and hot-list heating for demographic
 // filtering.
-func (s *System) Ingest(a feedback.Action) error {
+func (s *System) Ingest(ctx context.Context, a feedback.Action) error {
 	if a.Timestamp.After(s.now) {
 		s.now = a.Timestamp
 	}
-	group := s.groupOf(a.UserID)
+	group := s.groupOf(ctx, a.UserID)
 
 	// Model updates: global always; the user's group additionally when
 	// demographic training is on.
@@ -206,7 +207,7 @@ func (s *System) Ingest(a feedback.Action) error {
 	if err != nil {
 		return err
 	}
-	if _, err := global.ProcessAction(a); err != nil {
+	if _, err := global.ProcessAction(ctx, a); err != nil {
 		return err
 	}
 	groupModel := global
@@ -215,7 +216,7 @@ func (s *System) Ingest(a feedback.Action) error {
 		if err != nil {
 			return err
 		}
-		if _, err := groupModel.ProcessAction(a); err != nil {
+		if _, err := groupModel.ProcessAction(ctx, a); err != nil {
 			return err
 		}
 	}
@@ -225,25 +226,25 @@ func (s *System) Ingest(a feedback.Action) error {
 		return nil // impressions update nothing beyond the global mean
 	}
 
-	if err := s.Hot.Record(demographic.GlobalGroup, a.VideoID, weight, a.Timestamp); err != nil {
+	if err := s.Hot.Record(ctx, demographic.GlobalGroup, a.VideoID, weight, a.Timestamp); err != nil {
 		return err
 	}
 	if s.opts.DemographicFiltering && group != demographic.GlobalGroup {
-		if err := s.Hot.Record(group, a.VideoID, weight, a.Timestamp); err != nil {
+		if err := s.Hot.Record(ctx, group, a.VideoID, weight, a.Timestamp); err != nil {
 			return err
 		}
 	}
 
 	// Pair generation needs the history *before* this action joins it.
-	recent, err := s.History.RecentVideos(a.UserID, s.opts.PairWindow)
+	recent, err := s.History.RecentVideos(ctx, a.UserID, s.opts.PairWindow)
 	if err != nil {
 		return err
 	}
-	if err := s.History.Append(a.UserID, a.VideoID, a.Timestamp); err != nil {
+	if err := s.History.Append(ctx, a.UserID, a.VideoID, a.Timestamp); err != nil {
 		return err
 	}
 	for _, pair := range simtable.Pairs(a.VideoID, recent) {
-		if err := s.updatePair(groupModel, group, pair[0], pair[1], a.Timestamp); err != nil {
+		if err := s.updatePair(ctx, groupModel, group, pair[0], pair[1], a.Timestamp); err != nil {
 			return err
 		}
 	}
@@ -253,19 +254,19 @@ func (s *System) Ingest(a feedback.Action) error {
 // updatePair recomputes one touched pair's similarity and writes it in both
 // directions into the group's tables (and the global tables when they
 // differ).
-func (s *System) updatePair(model *core.Model, group, i, j string, ts time.Time) error {
+func (s *System) updatePair(ctx context.Context, model *core.Model, group, i, j string, ts time.Time) error {
 	tables, err := s.Tables.For(group)
 	if err != nil {
 		return err
 	}
-	score, err := tables.PairScore(model, s.Catalog, i, j)
+	score, err := tables.PairScore(ctx, model, s.Catalog, i, j)
 	if err != nil {
 		return err
 	}
-	if err := tables.UpdateDirected(i, j, score, ts); err != nil {
+	if err := tables.UpdateDirected(ctx, i, j, score, ts); err != nil {
 		return err
 	}
-	if err := tables.UpdateDirected(j, i, score, ts); err != nil {
+	if err := tables.UpdateDirected(ctx, j, i, score, ts); err != nil {
 		return err
 	}
 	if group == demographic.GlobalGroup || !s.opts.DemographicTraining {
@@ -279,12 +280,12 @@ func (s *System) updatePair(model *core.Model, group, i, j string, ts time.Time)
 	if err != nil {
 		return err
 	}
-	gscore, err := globalTables.PairScore(globalModel, s.Catalog, i, j)
+	gscore, err := globalTables.PairScore(ctx, globalModel, s.Catalog, i, j)
 	if err != nil {
 		return err
 	}
-	if err := globalTables.UpdateDirected(i, j, gscore, ts); err != nil {
+	if err := globalTables.UpdateDirected(ctx, i, j, gscore, ts); err != nil {
 		return err
 	}
-	return globalTables.UpdateDirected(j, i, gscore, ts)
+	return globalTables.UpdateDirected(ctx, j, i, gscore, ts)
 }

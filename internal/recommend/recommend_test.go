@@ -1,6 +1,7 @@
 package recommend
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -29,7 +30,7 @@ func testSystem(t *testing.T, opts Options) *System {
 func seedCatalog(t *testing.T, s *System, videos ...catalog.Video) {
 	t.Helper()
 	for _, v := range videos {
-		if err := s.Catalog.Put(v); err != nil {
+		if err := s.Catalog.Put(context.Background(), v); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -75,10 +76,10 @@ func TestOptionsValidate(t *testing.T) {
 
 func TestRequestValidation(t *testing.T) {
 	s := testSystem(t, DefaultOptions())
-	if _, err := s.Recommend(Request{UserID: "u", N: 0}); err == nil {
+	if _, err := s.Recommend(context.Background(), Request{UserID: "u", N: 0}); err == nil {
 		t.Error("N=0 accepted")
 	}
-	if _, err := s.Recommend(Request{N: 5}); err == nil {
+	if _, err := s.Recommend(context.Background(), Request{N: 5}); err == nil {
 		t.Error("empty user accepted")
 	}
 }
@@ -92,14 +93,14 @@ func TestRelatedVideosScenario(t *testing.T) {
 	// Several users co-watch a and b.
 	min := 0
 	for _, u := range []string{"u1", "u2", "u3", "u4"} {
-		s.Ingest(watch(u, "a", min))
-		s.Ingest(watch(u, "b", min+1))
+		s.Ingest(context.Background(), watch(u, "a", min))
+		s.Ingest(context.Background(), watch(u, "b", min+1))
 		min += 2
 	}
 	// u9 watches c only, establishing an unrelated video.
-	s.Ingest(watch("u9", "c", min))
+	s.Ingest(context.Background(), watch("u9", "c", min))
 
-	res, err := s.Recommend(Request{UserID: "u5", CurrentVideo: "a", N: 3})
+	res, err := s.Recommend(context.Background(), Request{UserID: "u5", CurrentVideo: "a", N: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,16 +127,16 @@ func TestGuessYouLikeScenario(t *testing.T) {
 	seedCatalog(t, s, vid("a", "movie"), vid("b", "movie"), vid("c", "movie"))
 	min := 0
 	for _, u := range []string{"u1", "u2", "u3"} {
-		s.Ingest(watch(u, "a", min))
-		s.Ingest(watch(u, "b", min+1))
-		s.Ingest(watch(u, "c", min+2))
+		s.Ingest(context.Background(), watch(u, "a", min))
+		s.Ingest(context.Background(), watch(u, "b", min+1))
+		s.Ingest(context.Background(), watch(u, "c", min+2))
 		min += 3
 	}
 	// u4 watched a and b; c should be suggested via similarity to them.
-	s.Ingest(watch("u4", "a", min))
-	s.Ingest(watch("u4", "b", min+1))
+	s.Ingest(context.Background(), watch("u4", "a", min))
+	s.Ingest(context.Background(), watch("u4", "b", min+1))
 
-	res, err := s.Recommend(Request{UserID: "u4", N: 3})
+	res, err := s.Recommend(context.Background(), Request{UserID: "u4", N: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,11 +163,11 @@ func TestColdStartFallsBackToHot(t *testing.T) {
 	s := testSystem(t, DefaultOptions())
 	seedCatalog(t, s, vid("hit", "movie"), vid("meh", "movie"))
 	for i, u := range []string{"u1", "u2", "u3"} {
-		s.Ingest(watch(u, "hit", i))
+		s.Ingest(context.Background(), watch(u, "hit", i))
 	}
-	s.Ingest(watch("u4", "meh", 5))
+	s.Ingest(context.Background(), watch("u4", "meh", 5))
 
-	res, err := s.Recommend(Request{UserID: "brand-new-user", N: 2})
+	res, err := s.Recommend(context.Background(), Request{UserID: "brand-new-user", N: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,8 +188,8 @@ func TestDemographicFilteringOffNoHotMerge(t *testing.T) {
 	opts.DemographicFiltering = false
 	s := testSystem(t, opts)
 	seedCatalog(t, s, vid("hit", "movie"))
-	s.Ingest(watch("u1", "hit", 0))
-	res, err := s.Recommend(Request{UserID: "new-user", N: 3})
+	s.Ingest(context.Background(), watch("u1", "hit", 0))
+	res, err := s.Recommend(context.Background(), Request{UserID: "new-user", N: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,16 +212,16 @@ func TestHotReserveBroadensList(t *testing.T) {
 	min := 0
 	for _, u := range []string{"u1", "u2", "u3"} {
 		for _, v := range []string{"a", "b", "c", "d"} {
-			s.Ingest(watch(u, v, min))
+			s.Ingest(context.Background(), watch(u, v, min))
 			min++
 		}
 	}
 	// viral is hot but never co-watched with u4's history.
 	for i, u := range []string{"u7", "u8", "u9"} {
-		s.Ingest(watch(u, "viral", min+i))
+		s.Ingest(context.Background(), watch(u, "viral", min+i))
 	}
-	s.Ingest(watch("u4", "a", min+10))
-	res, err := s.Recommend(Request{UserID: "u4", CurrentVideo: "a", N: 4})
+	s.Ingest(context.Background(), watch("u4", "a", min+10))
+	res, err := s.Recommend(context.Background(), Request{UserID: "u4", CurrentVideo: "a", N: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,19 +250,19 @@ func TestDemographicTrainingGroupIsolation(t *testing.T) {
 		Gender:     demographic.GenderFemale, Age: demographic.Age18to24, Education: demographic.EduBachelor,
 	}
 	prof.UserID = "grp-1"
-	s.Profiles.Put(prof)
+	s.Profiles.Put(context.Background(), prof)
 	prof.UserID = "grp-2"
-	s.Profiles.Put(prof)
+	s.Profiles.Put(context.Background(), prof)
 	// grp-1 co-watches a,b inside the group; global users co-watch a,c.
-	s.Ingest(watch("grp-1", "a", 0))
-	s.Ingest(watch("grp-1", "b", 1))
+	s.Ingest(context.Background(), watch("grp-1", "a", 0))
+	s.Ingest(context.Background(), watch("grp-1", "b", 1))
 	for i, u := range []string{"u1", "u2", "u3"} {
-		s.Ingest(watch(u, "a", 2+2*i))
-		s.Ingest(watch(u, "c", 3+2*i))
+		s.Ingest(context.Background(), watch(u, "a", 2+2*i))
+		s.Ingest(context.Background(), watch(u, "c", 3+2*i))
 	}
 	// grp-2 (same group, empty history) asks for videos related to a: the
 	// group tables know only the a–b pair, never a–c.
-	res, err := s.Recommend(Request{UserID: "grp-2", CurrentVideo: "a", N: 2})
+	res, err := s.Recommend(context.Background(), Request{UserID: "grp-2", CurrentVideo: "a", N: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +274,7 @@ func TestDemographicTrainingGroupIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	similar, err := groupTables.Similar("a", 10, s.Now())
+	similar, err := groupTables.Similar(context.Background(), "a", 10, s.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestDemographicTrainingGroupIsolation(t *testing.T) {
 	}
 	// The global tables see both pairs (group actions contribute).
 	globalTables, _ := s.Tables.For(demographic.GlobalGroup)
-	globalSim, _ := globalTables.Similar("a", 10, s.Now())
+	globalSim, _ := globalTables.Similar(context.Background(), "a", 10, s.Now())
 	ids := map[string]bool{}
 	for _, e := range globalSim {
 		ids[e.ID] = true
@@ -311,14 +312,14 @@ func TestMaxCandidatesCapsScoring(t *testing.T) {
 	min := 0
 	for u := 0; u < 6; u++ {
 		user := fmt.Sprintf("u%d", u)
-		s.Ingest(watch(user, "hub", min))
+		s.Ingest(context.Background(), watch(user, "hub", min))
 		min++
 		for i := 0; i < 30; i += 2 {
-			s.Ingest(watch(user, fmt.Sprintf("n%02d", (i+u)%30), min))
+			s.Ingest(context.Background(), watch(user, fmt.Sprintf("n%02d", (i+u)%30), min))
 			min++
 		}
 	}
-	res, err := s.Recommend(Request{UserID: "fresh-user", CurrentVideo: "hub", N: 20})
+	res, err := s.Recommend(context.Background(), Request{UserID: "fresh-user", CurrentVideo: "hub", N: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +334,7 @@ func TestMaxCandidatesCapsScoring(t *testing.T) {
 func TestIngestAdvancesClock(t *testing.T) {
 	s := testSystem(t, DefaultOptions())
 	seedCatalog(t, s, vid("a", "movie"))
-	s.Ingest(watch("u1", "a", 90))
+	s.Ingest(context.Background(), watch("u1", "a", 90))
 	if got := s.Now(); !got.Equal(base.Add(90 * time.Minute).Add(31 * time.Minute)) {
 		// watch() sets ViewTime offsets inside timestamps? No: Timestamp is
 		// base+90min exactly.
@@ -350,7 +351,7 @@ func TestIngestAdvancesClock(t *testing.T) {
 func TestEvalAdapter(t *testing.T) {
 	s := testSystem(t, DefaultOptions())
 	seedCatalog(t, s, vid("hit", "movie"))
-	s.Ingest(watch("u1", "hit", 0))
+	s.Ingest(context.Background(), watch("u1", "hit", 0))
 	got, err := EvalAdapter{S: s}.Recommend("new-user", 1)
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package recommend
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -38,7 +39,7 @@ type Result struct {
 }
 
 // Recommend runs the full Figure 1 pipeline for one request.
-func (s *System) Recommend(req Request) (*Result, error) {
+func (s *System) Recommend(ctx context.Context, req Request) (*Result, error) {
 	start := time.Now()
 	if req.N <= 0 {
 		return nil, fmt.Errorf("recommend: N must be positive, got %d", req.N)
@@ -47,7 +48,7 @@ func (s *System) Recommend(req Request) (*Result, error) {
 		return nil, fmt.Errorf("recommend: user id must not be empty")
 	}
 	now := s.Now()
-	group := s.groupOf(req.UserID)
+	group := s.groupOf(ctx, req.UserID)
 
 	// 1. Seed videos: the current video, else recent history.
 	var seeds []string
@@ -55,7 +56,7 @@ func (s *System) Recommend(req Request) (*Result, error) {
 		seeds = []string{req.CurrentVideo}
 	} else {
 		var err error
-		seeds, err = s.History.RecentVideos(req.UserID, s.opts.SeedCount)
+		seeds, err = s.History.RecentVideos(ctx, req.UserID, s.opts.SeedCount)
 		if err != nil {
 			return nil, err
 		}
@@ -68,7 +69,7 @@ func (s *System) Recommend(req Request) (*Result, error) {
 	for _, v := range seeds {
 		exclude[v] = true
 	}
-	if watchedAll, err := s.History.RecentVideos(req.UserID, s.opts.HistoryLimit); err == nil {
+	if watchedAll, err := s.History.RecentVideos(ctx, req.UserID, s.opts.HistoryLimit); err == nil {
 		for _, v := range watchedAll {
 			exclude[v] = true
 		}
@@ -87,7 +88,7 @@ func (s *System) Recommend(req Request) (*Result, error) {
 	candSet := make(map[string]bool)
 	var candidates []string
 	for _, seed := range seeds {
-		similar, err := tables.Similar(seed, s.opts.CandidatesPerSeed, now)
+		similar, err := tables.Similar(ctx, seed, s.opts.CandidatesPerSeed, now)
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +113,7 @@ func (s *System) Recommend(req Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	scores, err := model.ScoreCandidates(req.UserID, candidates)
+	scores, err := model.ScoreCandidates(ctx, req.UserID, candidates)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +137,7 @@ func (s *System) Recommend(req Request) (*Result, error) {
 			want = deficit
 		}
 		if want > 0 {
-			hot, err := s.hotFor(group, req.N+len(exclude), now)
+			hot, err := s.hotFor(ctx, group, req.N+len(exclude), now)
 			if err != nil {
 				return nil, err
 			}
@@ -158,7 +159,7 @@ func (s *System) Recommend(req Request) (*Result, error) {
 			// has one meaning: predicted preference (Eq. 2). The merge
 			// order (popularity) is preserved — that is the DB algorithm's
 			// ranking for its slots.
-			mergeScores, err := model.ScoreCandidates(req.UserID, mergeIDs)
+			mergeScores, err := model.ScoreCandidates(ctx, req.UserID, mergeIDs)
 			if err != nil {
 				return nil, err
 			}
@@ -186,9 +187,9 @@ func (s *System) Recommend(req Request) (*Result, error) {
 // hotFor fetches the group's hot list, falling back to the global group when
 // the group has none — "for new unregistered users, we generate the hot
 // videos of global demographic group".
-func (s *System) hotFor(group string, k int, now time.Time) ([]topn.Entry, error) {
+func (s *System) hotFor(ctx context.Context, group string, k int, now time.Time) ([]topn.Entry, error) {
 	if group != demographic.GlobalGroup {
-		hot, err := s.Hot.Hot(group, k, now)
+		hot, err := s.Hot.Hot(ctx, group, k, now)
 		if err != nil {
 			return nil, err
 		}
@@ -196,12 +197,12 @@ func (s *System) hotFor(group string, k int, now time.Time) ([]topn.Entry, error
 			return hot, nil
 		}
 	}
-	return s.Hot.Hot(demographic.GlobalGroup, k, now)
+	return s.Hot.Hot(ctx, demographic.GlobalGroup, k, now)
 }
 
 // RecommendIDs implements eval.Recommender over the history-seeded scenario.
-func (s *System) RecommendIDs(userID string, n int) ([]string, error) {
-	res, err := s.Recommend(Request{UserID: userID, N: n})
+func (s *System) RecommendIDs(ctx context.Context, userID string, n int) ([]string, error) {
+	res, err := s.Recommend(ctx, Request{UserID: userID, N: n})
 	if err != nil {
 		return nil, err
 	}
@@ -212,13 +213,21 @@ func (s *System) RecommendIDs(userID string, n int) ([]string, error) {
 	return out, nil
 }
 
-// Recommend implements eval.Recommender (history-seeded scenario) so a
-// System can be handed directly to the offline harness. The method name
-// collision with the Request-based API is resolved by signature at the call
-// site; this wrapper exists for the eval.Recommender interface.
-type EvalAdapter struct{ S *System }
+// EvalAdapter bridges a System into the ctx-free eval.Recommender interface
+// the offline harness uses. Ctx is the run context every adapted call uses;
+// a zero Ctx means context.Background() — acceptable for the offline
+// harness, which sits outside the ctxcheck serving scope.
+type EvalAdapter struct {
+	S   *System
+	Ctx context.Context
+}
 
 // Recommend implements eval.Recommender.
 func (a EvalAdapter) Recommend(userID string, n int) ([]string, error) {
-	return a.S.RecommendIDs(userID, n)
+	ctx := a.Ctx
+	if ctx == nil {
+		// ctxcheck: offline-harness adapter; a zero Ctx means "no deadline"
+		ctx = context.Background()
+	}
+	return a.S.RecommendIDs(ctx, userID, n)
 }

@@ -1,6 +1,7 @@
 package simtable_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -28,10 +29,10 @@ func ExampleTables_Similar() {
 	tables, _ := simtable.New("demo", kvstore.NewLocal(4), simtable.DefaultConfig())
 	t0 := time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC)
 
-	tables.UpdateDirected("seed", "old-hit", 0.9, t0)
-	tables.UpdateDirected("seed", "fresh", 0.5, t0.Add(48*time.Hour))
+	tables.UpdateDirected(context.Background(), "seed", "old-hit", 0.9, t0)
+	tables.UpdateDirected(context.Background(), "seed", "fresh", 0.5, t0.Add(48*time.Hour))
 
-	similar, _ := tables.Similar("seed", 2, t0.Add(48*time.Hour))
+	similar, _ := tables.Similar(context.Background(), "seed", 2, t0.Add(48*time.Hour))
 	for _, e := range similar {
 		fmt.Printf("%s %.3f\n", e.ID, e.Score)
 	}

@@ -21,6 +21,7 @@
 package simtable
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -72,10 +73,18 @@ func (c Config) Validate() error {
 }
 
 // Damp evaluates the time factor of Eq. 11 for a pair last updated age ago.
+// A non-positive Xi (a Config that skipped Validate) yields 0 — the pair is
+// treated as fully forgotten — rather than a NaN that would poison every
+// decayed score downstream.
 func (c Config) Damp(age time.Duration) float64 {
+	if c.Xi <= 0 {
+		return 0
+	}
 	if age <= 0 {
 		return 1
 	}
+	// Xi > 0 is established above; the exponent is finite and nonpositive,
+	// so Exp2 lands in (0, 1].
 	return math.Exp2(-float64(age) / float64(c.Xi))
 }
 
@@ -97,12 +106,12 @@ func TypeSimilarity(a, b string) float64 {
 // CFSimilarity evaluates Eq. 9 — the inner product of the two videos' latent
 // vectors under the given MF model. Videos the model has not trained on
 // contribute their cold-start vectors, whose products are effectively zero.
-func CFSimilarity(m *core.Model, i, j string) (float64, error) {
-	yi, _, _, err := m.ItemVector(i)
+func CFSimilarity(ctx context.Context, m *core.Model, i, j string) (float64, error) {
+	yi, _, _, err := m.ItemVector(ctx, i)
 	if err != nil {
 		return 0, err
 	}
-	yj, _, _, err := m.ItemVector(j)
+	yj, _, _, err := m.ItemVector(ctx, j)
 	if err != nil {
 		return 0, err
 	}
@@ -168,12 +177,12 @@ func decodeTable(raw []byte) (table, error) {
 // The topology emits each pair in both directions, fields-grouped by owner,
 // so each list has a single writer; UpdateDirected relies on the store's
 // per-key Update for safety against other writers.
-func (t *Tables) UpdateDirected(owner, other string, score float64, ts time.Time) error {
+func (t *Tables) UpdateDirected(ctx context.Context, owner, other string, score float64, ts time.Time) error {
 	if owner == other {
 		return fmt.Errorf("simtable: self-pair %q", owner)
 	}
 	key := kvstore.Key(t.ns, owner)
-	return t.kv.Update(key, func(cur []byte, ok bool) ([]byte, bool) {
+	return t.kv.Update(ctx, key, func(cur []byte, ok bool) ([]byte, bool) {
 		tb := table{updatedAt: ts}
 		if ok {
 			dec, err := decodeTable(cur)
@@ -210,8 +219,8 @@ func (t *Tables) UpdateDirected(owner, other string, score float64, ts time.Time
 
 // Similar returns up to k similar videos for the given video with scores
 // decayed to now, best first. A video with no table yields an empty list.
-func (t *Tables) Similar(video string, k int, now time.Time) ([]topn.Entry, error) {
-	raw, ok, err := t.kv.Get(kvstore.Key(t.ns, video))
+func (t *Tables) Similar(ctx context.Context, video string, k int, now time.Time) ([]topn.Entry, error) {
+	raw, ok, err := t.kv.Get(ctx, kvstore.Key(t.ns, video))
 	if err != nil {
 		return nil, fmt.Errorf("simtable: get %s: %w", video, err)
 	}
@@ -243,16 +252,16 @@ func (t *Tables) Similar(video string, k int, now time.Time) ([]topn.Entry, erro
 // PairScore computes the undamped fused similarity for (i, j) from the MF
 // model's item vectors and the catalog's types — the work of the ItemPairSim
 // bolt for one pair.
-func (t *Tables) PairScore(m *core.Model, cat *catalog.Catalog, i, j string) (float64, error) {
-	cf, err := CFSimilarity(m, i, j)
+func (t *Tables) PairScore(ctx context.Context, m *core.Model, cat *catalog.Catalog, i, j string) (float64, error) {
+	cf, err := CFSimilarity(ctx, m, i, j)
 	if err != nil {
 		return 0, err
 	}
-	ti, err := cat.Type(i)
+	ti, err := cat.Type(ctx, i)
 	if err != nil {
 		return 0, err
 	}
-	tj, err := cat.Type(j)
+	tj, err := cat.Type(ctx, j)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package simtable
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -116,17 +117,17 @@ func TestCFSimilarityUsesItemVectors(t *testing.T) {
 	// Train two videos on the same user so their vectors correlate, and a
 	// third on a different user.
 	for i := 0; i < 60; i++ {
-		m.ProcessAction(feedback.Action{UserID: "u1", VideoID: "a", Type: feedback.Share})
-		m.ProcessAction(feedback.Action{UserID: "u1", VideoID: "b", Type: feedback.Share})
-		m.ProcessAction(feedback.Action{UserID: "u2", VideoID: "c", Type: feedback.Share})
-		m.ProcessAction(feedback.Action{UserID: "u1", VideoID: "x", Type: feedback.Impress})
-		m.ProcessAction(feedback.Action{UserID: "u2", VideoID: "y", Type: feedback.Impress})
+		m.ProcessAction(context.Background(), feedback.Action{UserID: "u1", VideoID: "a", Type: feedback.Share})
+		m.ProcessAction(context.Background(), feedback.Action{UserID: "u1", VideoID: "b", Type: feedback.Share})
+		m.ProcessAction(context.Background(), feedback.Action{UserID: "u2", VideoID: "c", Type: feedback.Share})
+		m.ProcessAction(context.Background(), feedback.Action{UserID: "u1", VideoID: "x", Type: feedback.Impress})
+		m.ProcessAction(context.Background(), feedback.Action{UserID: "u2", VideoID: "y", Type: feedback.Impress})
 	}
-	sAB, err := CFSimilarity(m, "a", "b")
+	sAB, err := CFSimilarity(context.Background(), m, "a", "b")
 	if err != nil {
 		t.Fatal(err)
 	}
-	sAC, err := CFSimilarity(m, "a", "c")
+	sAC, err := CFSimilarity(context.Background(), m, "a", "c")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,9 +139,9 @@ func TestCFSimilarityUsesItemVectors(t *testing.T) {
 func TestUpdateAndSimilar(t *testing.T) {
 	tb := newTables(t, testConfig())
 	now := at(0)
-	tb.UpdateDirected("a", "b", 0.9, now)
-	tb.UpdateDirected("a", "c", 0.5, now)
-	got, err := tb.Similar("a", 10, now)
+	tb.UpdateDirected(context.Background(), "a", "b", 0.9, now)
+	tb.UpdateDirected(context.Background(), "a", "c", 0.5, now)
+	got, err := tb.Similar(context.Background(), "a", 10, now)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestUpdateAndSimilar(t *testing.T) {
 
 func TestSimilarUnknownVideo(t *testing.T) {
 	tb := newTables(t, testConfig())
-	got, err := tb.Similar("ghost", 5, at(0))
+	got, err := tb.Similar(context.Background(), "ghost", 5, at(0))
 	if err != nil || got != nil {
 		t.Errorf("Similar(ghost) = %v, %v", got, err)
 	}
@@ -162,7 +163,7 @@ func TestSimilarUnknownVideo(t *testing.T) {
 
 func TestSelfPairRejected(t *testing.T) {
 	tb := newTables(t, testConfig())
-	if err := tb.UpdateDirected("a", "a", 1, at(0)); err == nil {
+	if err := tb.UpdateDirected(context.Background(), "a", "a", 1, at(0)); err == nil {
 		t.Error("self-pair accepted")
 	}
 }
@@ -172,8 +173,8 @@ func TestDecayAtRead(t *testing.T) {
 	cfg := testConfig()
 	cfg.Xi = 24 * time.Hour
 	tb := newTables(t, cfg)
-	tb.UpdateDirected("a", "b", 0.8, at(0))
-	got, _ := tb.Similar("a", 5, at(24))
+	tb.UpdateDirected(context.Background(), "a", "b", 0.8, at(0))
+	got, _ := tb.Similar(context.Background(), "a", 5, at(24))
 	if len(got) != 1 || math.Abs(got[0].Score-0.4) > 1e-12 {
 		t.Errorf("after ξ Similar = %+v, want score 0.4", got)
 	}
@@ -186,9 +187,9 @@ func TestUpdateResetsClockForTouchedPairOnly(t *testing.T) {
 	cfg := testConfig()
 	cfg.Xi = 24 * time.Hour
 	tb := newTables(t, cfg)
-	tb.UpdateDirected("a", "old", 0.9, at(0))
-	tb.UpdateDirected("a", "fresh", 0.5, at(48)) // old has decayed to 0.225
-	got, _ := tb.Similar("a", 5, at(48))
+	tb.UpdateDirected(context.Background(), "a", "old", 0.9, at(0))
+	tb.UpdateDirected(context.Background(), "a", "fresh", 0.5, at(48)) // old has decayed to 0.225
+	got, _ := tb.Similar(context.Background(), "a", 5, at(48))
 	if len(got) != 2 {
 		t.Fatalf("Similar = %+v", got)
 	}
@@ -205,15 +206,15 @@ func TestFloorPrunesForgottenPairs(t *testing.T) {
 	cfg.Xi = time.Hour
 	cfg.ScoreFloor = 0.01
 	tb := newTables(t, cfg)
-	tb.UpdateDirected("a", "b", 0.5, at(0))
+	tb.UpdateDirected(context.Background(), "a", "b", 0.5, at(0))
 	// After 10 half-lives the 0.5 score is ~0.0005, far below the floor.
-	got, _ := tb.Similar("a", 5, at(10))
+	got, _ := tb.Similar(context.Background(), "a", 5, at(10))
 	if len(got) != 0 {
 		t.Errorf("forgotten pair still served: %+v", got)
 	}
 	// A touch at t=10 must also prune it from storage.
-	tb.UpdateDirected("a", "c", 0.5, at(10))
-	got, _ = tb.Similar("a", 5, at(10))
+	tb.UpdateDirected(context.Background(), "a", "c", 0.5, at(10))
+	got, _ = tb.Similar(context.Background(), "a", 5, at(10))
 	if len(got) != 1 || got[0].ID != "c" {
 		t.Errorf("after prune Similar = %+v, want [c]", got)
 	}
@@ -224,11 +225,11 @@ func TestTableSizeBound(t *testing.T) {
 	cfg.TableSize = 3
 	tb := newTables(t, cfg)
 	now := at(0)
-	tb.UpdateDirected("a", "v1", 0.1, now)
-	tb.UpdateDirected("a", "v2", 0.4, now)
-	tb.UpdateDirected("a", "v3", 0.3, now)
-	tb.UpdateDirected("a", "v4", 0.2, now) // evicts v1
-	got, _ := tb.Similar("a", 10, now)
+	tb.UpdateDirected(context.Background(), "a", "v1", 0.1, now)
+	tb.UpdateDirected(context.Background(), "a", "v2", 0.4, now)
+	tb.UpdateDirected(context.Background(), "a", "v3", 0.3, now)
+	tb.UpdateDirected(context.Background(), "a", "v4", 0.2, now) // evicts v1
+	got, _ := tb.Similar(context.Background(), "a", 10, now)
 	if len(got) != 3 {
 		t.Fatalf("table size = %d, want 3", len(got))
 	}
@@ -243,9 +244,9 @@ func TestOutOfOrderUpdateDoesNotAmplify(t *testing.T) {
 	cfg := testConfig()
 	cfg.Xi = time.Hour
 	tb := newTables(t, cfg)
-	tb.UpdateDirected("a", "b", 0.5, at(10))
-	tb.UpdateDirected("a", "c", 0.5, at(8)) // late-arriving older action
-	got, _ := tb.Similar("a", 5, at(10))
+	tb.UpdateDirected(context.Background(), "a", "b", 0.5, at(10))
+	tb.UpdateDirected(context.Background(), "a", "c", 0.5, at(8)) // late-arriving older action
+	got, _ := tb.Similar(context.Background(), "a", 5, at(10))
 	for _, e := range got {
 		if e.Score > 0.5+1e-12 {
 			t.Errorf("entry %s amplified to %v", e.ID, e.Score)
@@ -259,18 +260,18 @@ func TestPairScoreCombinesFactors(t *testing.T) {
 	p.Factors = 8
 	m, _ := core.NewModel("m", kv, p)
 	cat, _ := catalog.New("c", kv)
-	cat.Put(catalog.Video{ID: "a", Type: "movie", Length: time.Hour})
-	cat.Put(catalog.Video{ID: "b", Type: "movie", Length: time.Hour})
-	cat.Put(catalog.Video{ID: "c", Type: "news", Length: time.Hour})
+	cat.Put(context.Background(), catalog.Video{ID: "a", Type: "movie", Length: time.Hour})
+	cat.Put(context.Background(), catalog.Video{ID: "b", Type: "movie", Length: time.Hour})
+	cat.Put(context.Background(), catalog.Video{ID: "c", Type: "news", Length: time.Hour})
 	cfg := testConfig()
 	cfg.Beta = 0.5
 	tb, _ := New("t", kv, cfg)
 
-	sameType, err := tb.PairScore(m, cat, "a", "b")
+	sameType, err := tb.PairScore(context.Background(), m, cat, "a", "b")
 	if err != nil {
 		t.Fatal(err)
 	}
-	diffType, err := tb.PairScore(m, cat, "a", "c")
+	diffType, err := tb.PairScore(context.Background(), m, cat, "a", "c")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,12 +309,12 @@ func TestNewValidation(t *testing.T) {
 func TestCorruptTableRecordErrors(t *testing.T) {
 	kv := kvstore.NewLocal(1)
 	tb, _ := New("t", kv, DefaultConfig())
-	kv.Set("t.sim:a", []byte{1, 2}) // shorter than the timestamp header
-	if _, err := tb.Similar("a", 5, at(0)); err == nil {
+	kv.Set(context.Background(), "t.sim:a", []byte{1, 2}) // shorter than the timestamp header
+	if _, err := tb.Similar(context.Background(), "a", 5, at(0)); err == nil {
 		t.Error("truncated table decoded without error")
 	}
-	kv.Set("t.sim:b", append(kvstore.EncodeInt64(0), 0xFF, 0xFF)) // bad entries
-	if _, err := tb.Similar("b", 5, at(0)); err == nil {
+	kv.Set(context.Background(), "t.sim:b", append(kvstore.EncodeInt64(0), 0xFF, 0xFF)) // bad entries
+	if _, err := tb.Similar(context.Background(), "b", 5, at(0)); err == nil {
 		t.Error("corrupt entries decoded without error")
 	}
 }
@@ -326,21 +327,21 @@ func TestFuseVectorsMatchesPairScore(t *testing.T) {
 	p.Factors = 8
 	m, _ := core.NewModel("m", kv, p)
 	cat, _ := catalog.New("c", kv)
-	cat.Put(catalog.Video{ID: "a", Type: "movie", Length: time.Hour})
-	cat.Put(catalog.Video{ID: "b", Type: "movie", Length: time.Hour})
+	cat.Put(context.Background(), catalog.Video{ID: "a", Type: "movie", Length: time.Hour})
+	cat.Put(context.Background(), catalog.Video{ID: "b", Type: "movie", Length: time.Hour})
 	for i := 0; i < 20; i++ {
-		m.ProcessAction(feedback.Action{UserID: "u1", VideoID: "a", Type: feedback.Share})
-		m.ProcessAction(feedback.Action{UserID: "u1", VideoID: "b", Type: feedback.Share})
+		m.ProcessAction(context.Background(), feedback.Action{UserID: "u1", VideoID: "a", Type: feedback.Share})
+		m.ProcessAction(context.Background(), feedback.Action{UserID: "u1", VideoID: "b", Type: feedback.Share})
 	}
 	tb, _ := New("t", kv, DefaultConfig())
-	want, err := tb.PairScore(m, cat, "a", "b")
+	want, err := tb.PairScore(context.Background(), m, cat, "a", "b")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ya, _, _, _ := m.ItemVector("a")
-	yb, _, _, _ := m.ItemVector("b")
-	ta, _ := cat.Type("a")
-	tbType, _ := cat.Type("b")
+	ya, _, _, _ := m.ItemVector(context.Background(), "a")
+	yb, _, _, _ := m.ItemVector(context.Background(), "b")
+	ta, _ := cat.Type(context.Background(), "a")
+	tbType, _ := cat.Type(context.Background(), "b")
 	got := tb.Config().FuseVectors(ya, yb, ta, tbType)
 	if math.Abs(got-want) > 1e-12 {
 		t.Errorf("FuseVectors = %v, PairScore = %v", got, want)
@@ -353,7 +354,7 @@ func TestCFSimilaritySurfacesStoreErrors(t *testing.T) {
 	p.Factors = 4
 	m, _ := core.NewModel("m", faulty, p)
 	faulty.SetFailRate(1)
-	if _, err := CFSimilarity(m, "a", "b"); err == nil {
+	if _, err := CFSimilarity(context.Background(), m, "a", "b"); err == nil {
 		t.Error("store failure swallowed")
 	}
 }
@@ -394,11 +395,11 @@ func TestTableInvariantsQuick(t *testing.T) {
 			if other == "seed" {
 				continue
 			}
-			if err := tb.UpdateDirected("seed", other, score, now); err != nil {
+			if err := tb.UpdateDirected(context.Background(), "seed", other, score, now); err != nil {
 				return false
 			}
 		}
-		got, err := tb.Similar("seed", 100, now)
+		got, err := tb.Similar(context.Background(), "seed", 100, now)
 		if err != nil || len(got) > cfg.TableSize {
 			return false
 		}
@@ -425,17 +426,34 @@ func TestSimilarOrderStableUnderSharedDecay(t *testing.T) {
 	cfg := testConfig()
 	cfg.ScoreFloor = 0 // keep entries visible at long horizons
 	tb := newTables(t, cfg)
-	tb.UpdateDirected("a", "x", 0.9, at(0))
-	tb.UpdateDirected("a", "y", 0.7, at(1))
-	tb.UpdateDirected("a", "z", 0.8, at(2))
-	first, _ := tb.Similar("a", 5, at(3))
-	later, _ := tb.Similar("a", 5, at(40))
+	tb.UpdateDirected(context.Background(), "a", "x", 0.9, at(0))
+	tb.UpdateDirected(context.Background(), "a", "y", 0.7, at(1))
+	tb.UpdateDirected(context.Background(), "a", "z", 0.8, at(2))
+	first, _ := tb.Similar(context.Background(), "a", 5, at(3))
+	later, _ := tb.Similar(context.Background(), "a", 5, at(40))
 	if len(first) != len(later) {
 		t.Fatalf("entry counts differ: %d vs %d", len(first), len(later))
 	}
 	for i := range first {
 		if first[i].ID != later[i].ID {
 			t.Errorf("rank %d changed: %s → %s", i, first[i].ID, later[i].ID)
+		}
+	}
+}
+
+// TestDampGuardsNonpositiveXi: a Config that skipped Validate must yield a
+// finite (fully-forgotten) damp factor, never NaN.
+func TestDampGuardsNonpositiveXi(t *testing.T) {
+	for _, xi := range []time.Duration{0, -time.Hour} {
+		c := Config{Xi: xi}
+		for _, age := range []time.Duration{0, time.Nanosecond, time.Hour, 365 * 24 * time.Hour} {
+			got := c.Damp(age)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("Damp(xi=%v, age=%v) = %v, not finite", xi, age, got)
+			}
+			if got != 0 {
+				t.Errorf("Damp(xi=%v, age=%v) = %v, want 0 (fully forgotten)", xi, age, got)
+			}
 		}
 	}
 }

@@ -155,7 +155,7 @@ func (t *Topology) Run(ctx context.Context) error {
 				if tk.spout != nil {
 					t.runSpout(ctx, tk)
 				} else {
-					t.runBolt(tk)
+					t.runBolt(ctx, tk)
 				}
 			}(tk)
 		}
@@ -189,7 +189,7 @@ func (t *Topology) taskFinished(c *component) {
 func (t *Topology) runSpout(ctx context.Context, tk *task) {
 	defer t.taskFinished(tk.comp)
 	collector := &SpoutCollector{topo: t, task: tk}
-	cctx := &Context{Component: tk.comp.def.name, Task: tk.index, Parallelism: tk.comp.def.parallelism}
+	cctx := &Context{Component: tk.comp.def.name, Task: tk.index, Parallelism: tk.comp.def.parallelism, Ctx: ctx}
 	if err := tk.spout.Open(cctx, collector); err != nil {
 		t.recordErr(fmt.Errorf("storm: spout %s[%d] open: %w", tk.comp.def.name, tk.index, err))
 		return
@@ -267,10 +267,10 @@ func (tk *task) drainAcks(block bool) bool {
 	}
 }
 
-func (t *Topology) runBolt(tk *task) {
+func (t *Topology) runBolt(ctx context.Context, tk *task) {
 	defer t.taskFinished(tk.comp)
 	collector := &BoltCollector{topo: t, task: tk}
-	cctx := &Context{Component: tk.comp.def.name, Task: tk.index, Parallelism: tk.comp.def.parallelism}
+	cctx := &Context{Component: tk.comp.def.name, Task: tk.index, Parallelism: tk.comp.def.parallelism, Ctx: ctx}
 	if err := tk.bolt.Prepare(cctx, collector); err != nil {
 		t.recordErr(fmt.Errorf("storm: bolt %s[%d] prepare: %w", tk.comp.def.name, tk.index, err))
 		// The task must still drain its queue or upstream would block.

@@ -1,6 +1,7 @@
 package storm
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -50,6 +51,12 @@ type Context struct {
 	Task int
 	// Parallelism is the component's task count.
 	Parallelism int
+	// Ctx is the run context passed to Topology.Run. Components must thread
+	// it into every blocking call (store reads/writes, network round trips)
+	// so that cancelling the run cannot leave a task wedged on a dead
+	// storage tier — the ctxcheck lint pass enforces this in the serving
+	// packages.
+	Ctx context.Context
 }
 
 // subscription connects a consumer component to one producer stream.

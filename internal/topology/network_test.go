@@ -21,12 +21,12 @@ import (
 // mean, hot lists) are only checked for presence.
 func TestTopologyAgainstNetworkedStore(t *testing.T) {
 	backing := kvstore.NewLocal(64)
-	srv, err := kvstore.NewServer(backing, "127.0.0.1:0")
+	srv, err := kvstore.NewServer(context.Background(), backing, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	cli, err := kvstore.Dial(srv.Addr())
+	cli, err := kvstore.DialContext(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,10 +39,10 @@ func TestTopologyAgainstNetworkedStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	d, actions := generatedActions(t)
-	if err := d.FillCatalog(sys.Catalog); err != nil {
+	if err := d.FillCatalog(context.Background(), sys.Catalog); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.FillProfiles(sys.Profiles); err != nil {
+	if err := d.FillProfiles(context.Background(), sys.Profiles); err != nil {
 		t.Fatal(err)
 	}
 
@@ -74,10 +74,10 @@ func TestTopologyAgainstNetworkedStore(t *testing.T) {
 			break
 		}
 	}
-	if _, _, known, err := global.UserVector(trainedUser); err != nil || !known {
+	if _, _, known, err := global.UserVector(context.Background(), trainedUser); err != nil || !known {
 		t.Errorf("user %s vector missing from remote store: known=%v err=%v", trainedUser, known, err)
 	}
-	vids, err := sys.History.RecentVideos(trainedUser, 5)
+	vids, err := sys.History.RecentVideos(context.Background(), trainedUser, 5)
 	if err != nil || len(vids) == 0 {
 		t.Errorf("history for %s missing: %v, %v", trainedUser, vids, err)
 	}
@@ -85,7 +85,7 @@ func TestTopologyAgainstNetworkedStore(t *testing.T) {
 	now := actions[len(actions)-1].Timestamp
 	found := false
 	for _, v := range d.Videos() {
-		sim, err := tables.Similar(v.Meta.ID, 3, now)
+		sim, err := tables.Similar(context.Background(), v.Meta.ID, 3, now)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +100,7 @@ func TestTopologyAgainstNetworkedStore(t *testing.T) {
 
 	// End-to-end: serving works against the remote store.
 	sys.SetClock(func() time.Time { return now })
-	res, err := sys.Recommend(recommend.Request{UserID: trainedUser, N: 5})
+	res, err := sys.Recommend(context.Background(), recommend.Request{UserID: trainedUser, N: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestTopologyAgainstNetworkedStore(t *testing.T) {
 	}
 
 	// Everything really lives server-side.
-	if n, _ := backing.Len(); n == 0 {
+	if n, _ := backing.Len(context.Background()); n == 0 {
 		t.Error("backing store empty — state did not cross the network")
 	}
 }

@@ -16,6 +16,7 @@
 package topology
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -168,10 +169,12 @@ func actionOf(t *storm.Tuple) (feedback.Action, error) {
 // exactly as in §5.1 so that each key has a single writer.
 type computeMFBolt struct {
 	sys *recommend.System
+	ctx context.Context
 	out *storm.BoltCollector
 }
 
-func (b *computeMFBolt) Prepare(_ *storm.Context, out *storm.BoltCollector) error {
+func (b *computeMFBolt) Prepare(cctx *storm.Context, out *storm.BoltCollector) error {
+	b.ctx = cctx.Ctx
 	b.out = out
 	return nil
 }
@@ -182,7 +185,7 @@ func (b *computeMFBolt) Execute(t *storm.Tuple) error {
 	if err != nil {
 		return err
 	}
-	group, err := b.sys.Profiles.GroupOf(a.UserID)
+	group, err := b.sys.Profiles.GroupOf(b.ctx, a.UserID)
 	if err != nil {
 		return err
 	}
@@ -209,17 +212,17 @@ func (b *computeMFBolt) step(group string, a feedback.Action) error {
 	if rating > 0 {
 		observed = model.Params().TrainingRating(rating, weight)
 	}
-	if err := model.ObserveRating(observed); err != nil {
+	if err := model.ObserveRating(b.ctx, observed); err != nil {
 		return err
 	}
 	if rating == 0 {
 		return nil
 	}
-	state, _, _, err := model.Load(a.UserID, a.VideoID)
+	state, _, _, err := model.Load(b.ctx, a.UserID, a.VideoID)
 	if err != nil {
 		return err
 	}
-	mu, err := model.GlobalMean()
+	mu, err := model.GlobalMean(b.ctx)
 	if err != nil {
 		return err
 	}
@@ -235,10 +238,16 @@ func (b *computeMFBolt) step(group string, a feedback.Action) error {
 
 // mfStorageBolt writes freshly computed vectors; fields grouping by key
 // guarantees it is the only writer for that vector.
-type mfStorageBolt struct{ sys *recommend.System }
+type mfStorageBolt struct {
+	sys *recommend.System
+	ctx context.Context
+}
 
-func (b *mfStorageBolt) Prepare(*storm.Context, *storm.BoltCollector) error { return nil }
-func (b *mfStorageBolt) Cleanup() error                                     { return nil }
+func (b *mfStorageBolt) Prepare(cctx *storm.Context, _ *storm.BoltCollector) error {
+	b.ctx = cctx.Ctx
+	return nil
+}
+func (b *mfStorageBolt) Cleanup() error { return nil }
 
 func (b *mfStorageBolt) Execute(t *storm.Tuple) error {
 	kind, err := t.String("kind")
@@ -275,9 +284,9 @@ func (b *mfStorageBolt) Execute(t *storm.Tuple) error {
 	}
 	switch kind {
 	case "user":
-		return model.StoreUser(id, vec, bias)
+		return model.StoreUser(b.ctx, id, vec, bias)
 	case "item":
-		return model.StoreItem(id, vec, bias)
+		return model.StoreItem(b.ctx, id, vec, bias)
 	default:
 		return fmt.Errorf("topology: unknown vector kind %q", kind)
 	}
@@ -285,10 +294,16 @@ func (b *mfStorageBolt) Execute(t *storm.Tuple) error {
 
 // userHistoryBolt records behaviour histories and heats the demographic hot
 // lists.
-type userHistoryBolt struct{ sys *recommend.System }
+type userHistoryBolt struct {
+	sys *recommend.System
+	ctx context.Context
+}
 
-func (b *userHistoryBolt) Prepare(*storm.Context, *storm.BoltCollector) error { return nil }
-func (b *userHistoryBolt) Cleanup() error                                     { return nil }
+func (b *userHistoryBolt) Prepare(cctx *storm.Context, _ *storm.BoltCollector) error {
+	b.ctx = cctx.Ctx
+	return nil
+}
+func (b *userHistoryBolt) Cleanup() error { return nil }
 
 func (b *userHistoryBolt) Execute(t *storm.Tuple) error {
 	a, err := actionOf(t)
@@ -299,19 +314,19 @@ func (b *userHistoryBolt) Execute(t *storm.Tuple) error {
 	if weight <= 0 {
 		return nil
 	}
-	if err := b.sys.History.Append(a.UserID, a.VideoID, a.Timestamp); err != nil {
+	if err := b.sys.History.Append(b.ctx, a.UserID, a.VideoID, a.Timestamp); err != nil {
 		return err
 	}
-	if err := b.sys.Hot.Record(demographic.GlobalGroup, a.VideoID, weight, a.Timestamp); err != nil {
+	if err := b.sys.Hot.Record(b.ctx, demographic.GlobalGroup, a.VideoID, weight, a.Timestamp); err != nil {
 		return err
 	}
 	if b.sys.Options().DemographicFiltering {
-		group, err := b.sys.Profiles.GroupOf(a.UserID)
+		group, err := b.sys.Profiles.GroupOf(b.ctx, a.UserID)
 		if err != nil {
 			return err
 		}
 		if group != demographic.GlobalGroup {
-			return b.sys.Hot.Record(group, a.VideoID, weight, a.Timestamp)
+			return b.sys.Hot.Record(b.ctx, group, a.VideoID, weight, a.Timestamp)
 		}
 	}
 	return nil
@@ -325,10 +340,12 @@ func weightOf(sys *recommend.System, a feedback.Action) float64 {
 // pairs, emitted in both directions so each video's table has an owner task.
 type getItemPairsBolt struct {
 	sys *recommend.System
+	ctx context.Context
 	out *storm.BoltCollector
 }
 
-func (b *getItemPairsBolt) Prepare(_ *storm.Context, out *storm.BoltCollector) error {
+func (b *getItemPairsBolt) Prepare(cctx *storm.Context, out *storm.BoltCollector) error {
+	b.ctx = cctx.Ctx
 	b.out = out
 	return nil
 }
@@ -342,11 +359,11 @@ func (b *getItemPairsBolt) Execute(t *storm.Tuple) error {
 	if weightOf(b.sys, a) <= 0 {
 		return nil
 	}
-	group, err := b.sys.Profiles.GroupOf(a.UserID)
+	group, err := b.sys.Profiles.GroupOf(b.ctx, a.UserID)
 	if err != nil {
 		return err
 	}
-	recent, err := b.sys.History.RecentVideos(a.UserID, b.sys.Options().PairWindow)
+	recent, err := b.sys.History.RecentVideos(b.ctx, a.UserID, b.sys.Options().PairWindow)
 	if err != nil {
 		return err
 	}
@@ -368,6 +385,7 @@ func (b *getItemPairsBolt) Execute(t *storm.Tuple) error {
 // online model's own step-to-step movement.
 type itemPairSimBolt struct {
 	sys     *recommend.System
+	ctx     context.Context
 	out     *storm.BoltCollector
 	vectors *lru.Cache[string, []float64] // key: group|video
 	types   *lru.Cache[string, string]    // key: video
@@ -379,7 +397,8 @@ const (
 	vectorCacheTTL  = 2 * time.Second
 )
 
-func (b *itemPairSimBolt) Prepare(_ *storm.Context, out *storm.BoltCollector) error {
+func (b *itemPairSimBolt) Prepare(cctx *storm.Context, out *storm.BoltCollector) error {
+	b.ctx = cctx.Ctx
 	b.out = out
 	b.vectors = lru.New[string, []float64](vectorCacheSize, vectorCacheTTL)
 	b.types = lru.New[string, string](vectorCacheSize, 0) // types are immutable
@@ -453,7 +472,7 @@ func (b *itemPairSimBolt) itemVector(group, video string) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		vec, _, _, err := model.ItemVector(video)
+		vec, _, _, err := model.ItemVector(b.ctx, video)
 		return vec, err
 	})
 }
@@ -462,16 +481,22 @@ func (b *itemPairSimBolt) itemVector(group, video string) ([]float64, error) {
 // records are immutable, so no TTL is needed.
 func (b *itemPairSimBolt) videoType(video string) (string, error) {
 	return b.types.GetOrLoad(video, func() (string, error) {
-		return b.sys.Catalog.Type(video)
+		return b.sys.Catalog.Type(b.ctx, video)
 	})
 }
 
 // resultStorageBolt persists the top-N similar list updates; fields grouping
 // by the owning video serializes writers per list.
-type resultStorageBolt struct{ sys *recommend.System }
+type resultStorageBolt struct {
+	sys *recommend.System
+	ctx context.Context
+}
 
-func (b *resultStorageBolt) Prepare(*storm.Context, *storm.BoltCollector) error { return nil }
-func (b *resultStorageBolt) Cleanup() error                                     { return nil }
+func (b *resultStorageBolt) Prepare(cctx *storm.Context, _ *storm.BoltCollector) error {
+	b.ctx = cctx.Ctx
+	return nil
+}
+func (b *resultStorageBolt) Cleanup() error { return nil }
 
 func (b *resultStorageBolt) Execute(t *storm.Tuple) error {
 	v1, err := t.String("video1")
@@ -506,5 +531,5 @@ func (b *resultStorageBolt) Execute(t *storm.Tuple) error {
 	if err != nil {
 		return err
 	}
-	return tables.UpdateDirected(v1, v2, score, time.UnixMilli(ts))
+	return tables.UpdateDirected(b.ctx, v1, v2, score, time.UnixMilli(ts))
 }

@@ -65,10 +65,10 @@ func TestBuildValidation(t *testing.T) {
 func TestTopologyProcessesFullStream(t *testing.T) {
 	sys := newSystem(t)
 	d, actions := generatedActions(t)
-	if err := d.FillCatalog(sys.Catalog); err != nil {
+	if err := d.FillCatalog(context.Background(), sys.Catalog); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.FillProfiles(sys.Profiles); err != nil {
+	if err := d.FillProfiles(context.Background(), sys.Profiles); err != nil {
 		t.Fatal(err)
 	}
 	topo := runTopology(t, sys, actions, DefaultParallelism())
@@ -121,7 +121,7 @@ func TestTopologyProcessesFullStream(t *testing.T) {
 			break
 		}
 	}
-	if _, _, known, _ := global.UserVector(trainedUser); !known {
+	if _, _, known, _ := global.UserVector(context.Background(), trainedUser); !known {
 		t.Errorf("user %s not trained by topology", trainedUser)
 	}
 	_ = positives
@@ -130,14 +130,14 @@ func TestTopologyProcessesFullStream(t *testing.T) {
 func TestTopologyPopulatesAllStateStores(t *testing.T) {
 	sys := newSystem(t)
 	d, actions := generatedActions(t)
-	d.FillCatalog(sys.Catalog)
-	d.FillProfiles(sys.Profiles)
+	d.FillCatalog(context.Background(), sys.Catalog)
+	d.FillProfiles(context.Background(), sys.Profiles)
 	runTopology(t, sys, actions, DefaultParallelism())
 
 	// Histories recorded.
 	histFound := false
 	for _, u := range d.Users()[:50] {
-		vids, err := sys.History.RecentVideos(u.ID, 5)
+		vids, err := sys.History.RecentVideos(context.Background(), u.ID, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -151,13 +151,13 @@ func TestTopologyPopulatesAllStateStores(t *testing.T) {
 	}
 
 	// Hot lists heated.
-	hot, err := sys.Hot.Hot(demographic.GlobalGroup, 10, sys.Now().Add(time.Hour))
+	hot, err := sys.Hot.Hot(context.Background(), demographic.GlobalGroup, 10, sys.Now().Add(time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(hot) == 0 {
 		// sys.Now is only advanced by Ingest; use the last action time.
-		hot, _ = sys.Hot.Hot(demographic.GlobalGroup, 10, actions[len(actions)-1].Timestamp)
+		hot, _ = sys.Hot.Hot(context.Background(), demographic.GlobalGroup, 10, actions[len(actions)-1].Timestamp)
 	}
 	if len(hot) == 0 {
 		t.Error("global hot list empty after topology run")
@@ -168,7 +168,7 @@ func TestTopologyPopulatesAllStateStores(t *testing.T) {
 	simFound := false
 	now := actions[len(actions)-1].Timestamp
 	for _, v := range d.Videos() {
-		similar, err := tables.Similar(v.Meta.ID, 5, now)
+		similar, err := tables.Similar(context.Background(), v.Meta.ID, 5, now)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,14 +187,14 @@ func TestTopologyPopulatesAllStateStores(t *testing.T) {
 func TestTopologyEndToEndRecommendations(t *testing.T) {
 	sys := newSystem(t)
 	d, actions := generatedActions(t)
-	d.FillCatalog(sys.Catalog)
-	d.FillProfiles(sys.Profiles)
+	d.FillCatalog(context.Background(), sys.Catalog)
+	d.FillProfiles(context.Background(), sys.Profiles)
 	runTopology(t, sys, actions, DefaultParallelism())
 	sys.SetClock(func() time.Time { return actions[len(actions)-1].Timestamp })
 
 	served := 0
 	for _, u := range d.Users()[:30] {
-		res, err := sys.Recommend(recommend.Request{UserID: u.ID, N: 10})
+		res, err := sys.Recommend(context.Background(), recommend.Request{UserID: u.ID, N: 10})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,29 +216,29 @@ func TestTopologyMatchesSequentialIngest(t *testing.T) {
 	d, actions := generatedActions(t)
 
 	topoSys := newSystem(t)
-	d.FillCatalog(topoSys.Catalog)
-	d.FillProfiles(topoSys.Profiles)
+	d.FillCatalog(context.Background(), topoSys.Catalog)
+	d.FillProfiles(context.Background(), topoSys.Profiles)
 	runTopology(t, topoSys, actions, DefaultParallelism())
 
 	seqSys := newSystem(t)
-	d.FillCatalog(seqSys.Catalog)
-	d.FillProfiles(seqSys.Profiles)
+	d.FillCatalog(context.Background(), seqSys.Catalog)
+	d.FillProfiles(context.Background(), seqSys.Profiles)
 	for _, a := range actions {
-		if err := seqSys.Ingest(a); err != nil {
+		if err := seqSys.Ingest(context.Background(), a); err != nil {
 			t.Fatal(err)
 		}
 	}
 
 	now := actions[len(actions)-1].Timestamp
 	for _, u := range d.Users() {
-		want, _ := seqSys.History.RecentVideos(u.ID, 50)
-		got, _ := topoSys.History.RecentVideos(u.ID, 50)
+		want, _ := seqSys.History.RecentVideos(context.Background(), u.ID, 50)
+		got, _ := topoSys.History.RecentVideos(context.Background(), u.ID, 50)
 		if len(want) != len(got) {
 			t.Fatalf("history length mismatch for %s: topo %d vs seq %d", u.ID, len(got), len(want))
 		}
 	}
-	wantHot, _ := seqSys.Hot.Hot(demographic.GlobalGroup, 10, now)
-	gotHot, _ := topoSys.Hot.Hot(demographic.GlobalGroup, 10, now)
+	wantHot, _ := seqSys.Hot.Hot(context.Background(), demographic.GlobalGroup, 10, now)
+	gotHot, _ := topoSys.Hot.Hot(context.Background(), demographic.GlobalGroup, 10, now)
 	if len(wantHot) == 0 || len(gotHot) == 0 {
 		t.Fatal("hot lists empty")
 	}
@@ -267,8 +267,8 @@ func TestTopologyParallelismSweep(t *testing.T) {
 			GetItemPairs: p, ItemPairSim: p, ResultStorage: p,
 		}
 		sys := newSystem(t)
-		d.FillCatalog(sys.Catalog)
-		d.FillProfiles(sys.Profiles)
+		d.FillCatalog(context.Background(), sys.Catalog)
+		d.FillProfiles(context.Background(), sys.Profiles)
 		topo := runTopology(t, sys, actions, par)
 		m, _ := topo.MetricsFor(ComputeMFName)
 		if m.Executed != uint64(len(actions)) {
@@ -283,8 +283,8 @@ func TestTopologyParallelismSweep(t *testing.T) {
 func TestTopologyGracefulCancellation(t *testing.T) {
 	sys := newSystem(t)
 	d, _ := generatedActions(t)
-	d.FillCatalog(sys.Catalog)
-	d.FillProfiles(sys.Profiles)
+	d.FillCatalog(context.Background(), sys.Catalog)
+	d.FillProfiles(context.Background(), sys.Profiles)
 
 	// An endless source: loops the generated stream forever.
 	endless := func(int) Source {
@@ -330,7 +330,7 @@ func TestTopologyGracefulCancellation(t *testing.T) {
 		}
 	}
 	// The partially built state still serves.
-	hot, err := sys.Hot.Hot("global", 5, sys.Now().Add(time.Hour))
+	hot, err := sys.Hot.Hot(context.Background(), "global", 5, sys.Now().Add(time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}
