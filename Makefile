@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint lint-baseline check
+.PHONY: build test race vet fmt lint lint-baseline test-sim fuzz check
 
 # Accepted pre-existing findings (pass<TAB>file<TAB>message). Kept empty when
 # the tree is clean; `make lint-baseline` regenerates it after a new pass
@@ -40,4 +40,22 @@ lint:
 lint-baseline:
 	$(GO) run ./cmd/vidlint -write-baseline $(LINT_BASELINE) ./...
 
-check: build vet fmt lint test
+# The deterministic end-to-end simulation tier (internal/sim): the full
+# scenario matrix — transports, KV/bolt fault schedules, load shapes — under
+# the race detector, including the replay-determinism byte-identical-state
+# check. -count=1 so a digest regression can never hide behind the cache.
+test-sim:
+	$(GO) test -race -count=1 ./internal/sim/
+
+# Fuzz smoke: each target briefly, as a regression gate over the committed
+# seeds plus a short exploration budget. Long exploratory runs are manual
+# (raise FUZZTIME).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/kvstore -run '^$$' -fuzz '^FuzzDecodeEntries$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/kvstore -run '^$$' -fuzz '^FuzzDecodeStrings$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/kvstore -run '^$$' -fuzz '^FuzzDecodeFloats$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/kvstore -run '^$$' -fuzz '^FuzzNetRequestFrame$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/feedback -run '^$$' -fuzz '^FuzzWeight$$' -fuzztime $(FUZZTIME)
+
+check: build vet fmt lint test race test-sim fuzz

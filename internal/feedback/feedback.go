@@ -145,17 +145,26 @@ func DefaultWeights() Weights {
 	return w
 }
 
-// Validate checks the configuration for self-consistency.
+// Validate checks the configuration for self-consistency. Beyond the
+// paper's a ≥ b constraint it demands finite parameters and b ≥ 0: those
+// two together bound Eq. 6 to [Static[Play], a], so a validated Weights can
+// never emit NaN or Inf into the SGD update (the property FuzzWeight pins).
 func (w Weights) Validate() error {
+	if math.IsNaN(w.A) || math.IsInf(w.A, 0) || math.IsNaN(w.B) || math.IsInf(w.B, 0) {
+		return fmt.Errorf("feedback: PlayTime parameters must be finite, got a=%v b=%v", w.A, w.B)
+	}
+	if w.B < 0 {
+		return fmt.Errorf("feedback: PlayTime parameter b must be non-negative, got %v", w.B)
+	}
 	if w.A < w.B {
 		return fmt.Errorf("feedback: PlayTime parameters require a >= b, got a=%v b=%v", w.A, w.B)
 	}
-	if w.MinViewRate <= 0 || w.MinViewRate > 1 {
+	if math.IsNaN(w.MinViewRate) || w.MinViewRate <= 0 || w.MinViewRate > 1 {
 		return fmt.Errorf("feedback: MinViewRate must be in (0, 1], got %v", w.MinViewRate)
 	}
 	for t, v := range w.Static {
-		if v < 0 {
-			return fmt.Errorf("feedback: negative weight %v for %s", v, ActionType(t))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("feedback: weight for %s must be finite and non-negative, got %v", ActionType(t), v)
 		}
 	}
 	if w.Static[Impress] != 0 {

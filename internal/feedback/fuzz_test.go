@@ -1,0 +1,64 @@
+package feedback
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzWeight pins the numeric safety contract of the confidence mapping: for
+// any action (arbitrary type byte, view/length durations) under any Weights
+// that pass Validate, the weight is finite, non-negative, and bounded by the
+// configuration — no NaN or Inf may ever reach the SGD update. Invalid
+// configurations are skipped; Validate is the gate production configs go
+// through (DefaultWeights composes it).
+func FuzzWeight(f *testing.F) {
+	// Seeds: each action type at the defaults, Eq. 6's interesting view
+	// rates, and hostile parameter corners.
+	for t := range int(numActionTypes) + 1 {
+		f.Add(uint8(t), int64(30*time.Second), int64(time.Minute), 2.5, 1.0, 0.1)
+	}
+	f.Add(uint8(PlayTime), int64(0), int64(0), 2.5, 1.0, 0.1)            // unknown length
+	f.Add(uint8(PlayTime), int64(-5), int64(100), 2.5, 1.0, 0.1)         // negative view time
+	f.Add(uint8(PlayTime), int64(1), int64(1e18), 2.5, 1.0, 1e-300)      // vanishing view rate
+	f.Add(uint8(PlayTime), int64(100), int64(100), math.NaN(), 1.0, 0.1) // NaN a — Validate must reject
+	f.Add(uint8(PlayTime), int64(100), int64(100), 2.5, math.Inf(1), 0.1)
+	f.Fuzz(func(t *testing.T, typ uint8, view, length int64, a, b, minRate float64) {
+		w := DefaultWeights()
+		w.A, w.B, w.MinViewRate = a, b, minRate
+		if w.Validate() != nil {
+			return
+		}
+		act := Action{
+			UserID:      "u",
+			VideoID:     "v",
+			Type:        ActionType(typ),
+			ViewTime:    time.Duration(view),
+			VideoLength: time.Duration(length),
+		}
+		wgt := w.Weight(act)
+		if math.IsNaN(wgt) || math.IsInf(wgt, 0) {
+			t.Fatalf("Weight(%+v) with a=%v b=%v min=%v is not finite: %v", act, a, b, minRate, wgt)
+		}
+		if wgt < 0 {
+			t.Fatalf("Weight(%+v) = %v, negative confidence", act, wgt)
+		}
+		// Validated parameters bound Eq. 6 above by a (log10(vrate) ≤ 0 and
+		// b ≥ 0), and every static weight is its own ceiling.
+		ceiling := math.Max(w.A, 0)
+		for _, s := range w.Static {
+			ceiling = math.Max(ceiling, s)
+		}
+		if wgt > ceiling {
+			t.Fatalf("Weight(%+v) = %v exceeds configuration ceiling %v", act, wgt, ceiling)
+		}
+		rating := w.Rating(act)
+		if rating != 0 && rating != 1 {
+			t.Fatalf("Rating(%+v) = %v, want 0 or 1", act, rating)
+		}
+		r2, w2 := w.Confidence(act)
+		if r2 != rating || w2 != wgt {
+			t.Fatalf("Confidence disagrees with Rating/Weight: (%v, %v) vs (%v, %v)", r2, w2, rating, wgt)
+		}
+	})
+}

@@ -17,8 +17,10 @@ import (
 type Faulty struct {
 	inner Store
 
-	mu  sync.Mutex
-	rng *rand.Rand // guarded by mu
+	mu       sync.Mutex
+	rng      *rand.Rand   // guarded by mu
+	schedule []FaultPhase // guarded by mu
+	opCount  uint64       // guarded by mu; operations seen since SetSchedule
 
 	// FailRate is the probability in [0,1] that an operation returns
 	// ErrInjected instead of executing.
@@ -27,6 +29,25 @@ type Faulty struct {
 	latency atomic.Int64 // nanoseconds
 
 	injected atomic.Uint64
+}
+
+// FaultPhase describes the injector's behaviour for a window of operations.
+// A schedule is a sequence of phases consumed by operation count, which makes
+// fault timing a deterministic function of the workload instead of wall time:
+// the same scenario replays the same faults on every run.
+type FaultPhase struct {
+	// Ops is how many operations the phase covers. 0 means "until the end
+	// of the run" (only sensible for the last phase).
+	Ops uint64
+	// FailRate is the probability in [0,1] that an operation in this phase
+	// returns ErrInjected.
+	FailRate float64
+	// Latency is added to every operation in this phase.
+	Latency time.Duration
+	// KeyPrefix, when non-empty, restricts the phase's effects to
+	// operations touching at least one key with this prefix — a partial
+	// outage (e.g. one namespace's shard) rather than a store-wide one.
+	KeyPrefix string
 }
 
 // ErrInjected is returned by operations the injector chose to fail.
@@ -51,16 +72,36 @@ func (f *Faulty) SetFailRate(p float64) {
 // SetLatency sets the artificial per-operation latency.
 func (f *Faulty) SetLatency(d time.Duration) { f.latency.Store(int64(d)) }
 
+// SetSchedule installs an operation-counted fault schedule, replacing the
+// flat SetFailRate/SetLatency knobs while non-empty. The operation counter
+// restarts at zero, so phases are relative to the installation point. A nil
+// or empty schedule reverts to the flat knobs.
+func (f *Faulty) SetSchedule(phases []FaultPhase) {
+	f.mu.Lock()
+	f.schedule = append([]FaultPhase(nil), phases...)
+	f.opCount = 0
+	f.mu.Unlock()
+}
+
 // Injected reports how many operations were failed so far.
 func (f *Faulty) Injected() uint64 { return f.injected.Load() }
 
+// Ops reports how many operations the injector has seen since the schedule
+// was installed (or since construction, when no schedule was ever set).
+func (f *Faulty) Ops() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.opCount
+}
+
 func floatBits(v float64) uint64 { return math.Float64bits(v) }
 
-func (f *Faulty) fault(ctx context.Context) error {
-	if d := f.latency.Load(); d > 0 {
+func (f *Faulty) fault(ctx context.Context, keys ...string) error {
+	latency, fail := f.decide(keys)
+	if latency > 0 {
 		// Injected latency honours cancellation: a caller with a deadline
 		// sees the timeout it configured, not the injector's full delay.
-		t := time.NewTimer(time.Duration(d))
+		t := time.NewTimer(latency)
 		select {
 		case <-t.C:
 		case <-ctx.Done():
@@ -68,23 +109,66 @@ func (f *Faulty) fault(ctx context.Context) error {
 			return ctx.Err()
 		}
 	}
-	p := math.Float64frombits(f.failRate.Load())
-	if p <= 0 {
-		return nil
-	}
-	f.mu.Lock()
-	roll := f.rng.Float64()
-	f.mu.Unlock()
-	if roll < p {
+	if fail {
 		f.injected.Add(1)
 		return ErrInjected
 	}
 	return nil
 }
 
+// decide resolves what happens to the current operation: added latency and
+// whether it fails. One RNG roll is consumed per operation regardless of the
+// outcome, so the fault pattern is a pure function of (seed, op sequence).
+func (f *Faulty) decide(keys []string) (time.Duration, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	op := f.opCount
+	f.opCount++
+	roll := f.rng.Float64()
+	if len(f.schedule) == 0 {
+		d := time.Duration(f.latency.Load())
+		p := math.Float64frombits(f.failRate.Load())
+		return d, p > 0 && roll < p
+	}
+	ph := phaseAt(f.schedule, op)
+	if ph == nil || !prefixMatches(ph.KeyPrefix, keys) {
+		return 0, false
+	}
+	return ph.Latency, ph.FailRate > 0 && roll < ph.FailRate
+}
+
+// phaseAt finds the phase covering operation index op, or nil when the
+// schedule has run out.
+func phaseAt(schedule []FaultPhase, op uint64) *FaultPhase {
+	var start uint64
+	for i := range schedule {
+		ph := &schedule[i]
+		if ph.Ops == 0 || op < start+ph.Ops {
+			return ph
+		}
+		start += ph.Ops
+	}
+	return nil
+}
+
+// prefixMatches reports whether the phase applies: an empty prefix matches
+// every operation (including key-less ones like Len), otherwise at least one
+// touched key must carry the prefix.
+func prefixMatches(prefix string, keys []string) bool {
+	if prefix == "" {
+		return true
+	}
+	for _, k := range keys {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
 // Get implements Store.
 func (f *Faulty) Get(ctx context.Context, key string) ([]byte, bool, error) {
-	if err := f.fault(ctx); err != nil {
+	if err := f.fault(ctx, key); err != nil {
 		return nil, false, err
 	}
 	return f.inner.Get(ctx, key)
@@ -92,7 +176,7 @@ func (f *Faulty) Get(ctx context.Context, key string) ([]byte, bool, error) {
 
 // Set implements Store.
 func (f *Faulty) Set(ctx context.Context, key string, val []byte) error {
-	if err := f.fault(ctx); err != nil {
+	if err := f.fault(ctx, key); err != nil {
 		return err
 	}
 	return f.inner.Set(ctx, key, val)
@@ -100,7 +184,7 @@ func (f *Faulty) Set(ctx context.Context, key string, val []byte) error {
 
 // Delete implements Store.
 func (f *Faulty) Delete(ctx context.Context, key string) (bool, error) {
-	if err := f.fault(ctx); err != nil {
+	if err := f.fault(ctx, key); err != nil {
 		return false, err
 	}
 	return f.inner.Delete(ctx, key)
@@ -108,7 +192,7 @@ func (f *Faulty) Delete(ctx context.Context, key string) (bool, error) {
 
 // MGet implements Store.
 func (f *Faulty) MGet(ctx context.Context, keys []string) ([][]byte, error) {
-	if err := f.fault(ctx); err != nil {
+	if err := f.fault(ctx, keys...); err != nil {
 		return nil, err
 	}
 	return f.inner.MGet(ctx, keys)
@@ -116,7 +200,7 @@ func (f *Faulty) MGet(ctx context.Context, keys []string) ([][]byte, error) {
 
 // Update implements Store.
 func (f *Faulty) Update(ctx context.Context, key string, fn func(cur []byte, exists bool) ([]byte, bool)) error {
-	if err := f.fault(ctx); err != nil {
+	if err := f.fault(ctx, key); err != nil {
 		return err
 	}
 	return f.inner.Update(ctx, key, fn)

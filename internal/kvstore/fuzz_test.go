@@ -1,0 +1,118 @@
+package kvstore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"vidrec/internal/topn"
+)
+
+// The fuzz targets cover the two decode surfaces that face untrusted bytes:
+// the value codecs (anything read back from a store another process wrote)
+// and the gob frames of the TCP transport. The contract under fuzzing is the
+// same everywhere: arbitrary input may be rejected with an error but must
+// never panic, and anything that decodes successfully must survive an
+// encode→decode round trip unchanged.
+
+func FuzzDecodeEntries(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeEntries(nil))
+	f.Add(EncodeEntries([]topn.Entry{{ID: "v00001", Score: 0.5}, {ID: "v00002", Score: -1.25}}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // huge uvarint count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeEntries(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeEntries(EncodeEntries(entries))
+		if err != nil {
+			t.Fatalf("re-decoding a freshly encoded list failed: %v", err)
+		}
+		if !reflect.DeepEqual(noneOrSame(entries), noneOrSame(again)) {
+			t.Fatalf("entry list changed across round trip:\n  first:  %#v\n  second: %#v", entries, again)
+		}
+	})
+}
+
+func FuzzDecodeStrings(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeStrings(nil))
+	f.Add(EncodeStrings([]string{"v00001", "", "a long history entry id"}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ss, err := DecodeStrings(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeStrings(EncodeStrings(ss))
+		if err != nil {
+			t.Fatalf("re-decoding a freshly encoded list failed: %v", err)
+		}
+		if !reflect.DeepEqual(noneOrSame(ss), noneOrSame(again)) {
+			t.Fatalf("string list changed across round trip: %q vs %q", ss, again)
+		}
+	})
+}
+
+func FuzzDecodeFloats(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeFloats([]float64{0, 1.5, -2.25}))
+	f.Add([]byte{1, 2, 3}) // not a multiple of 8
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeFloats(data)
+		if err != nil {
+			return
+		}
+		// The float codec is fixed-width and canonical: encode(decode(b))
+		// must reproduce the input bytes exactly (NaN payloads included).
+		if got := EncodeFloats(v); !bytes.Equal(got, data) {
+			t.Fatalf("float codec is not canonical: %x re-encoded as %x", data, got)
+		}
+	})
+}
+
+// FuzzNetRequestFrame feeds arbitrary bytes to the gob decoder the KV server
+// runs against every inbound connection: malformed frames must error, never
+// panic or tear state, and well-formed frames must round trip.
+func FuzzNetRequestFrame(f *testing.F) {
+	frame := func(req request) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add(frame(request{Op: opGet, Key: "sys/global.uv:u00001"}))
+	f.Add(frame(request{Op: opSet, Key: "sys.hot:global", Val: []byte{1, 2, 3}}))
+	f.Add(frame(request{Op: opMGet, Keys: []string{"a", "b"}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req request
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&req); err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
+			t.Fatalf("re-encoding a decoded request failed: %v", err)
+		}
+		var again request
+		if err := gob.NewDecoder(&buf).Decode(&again); err != nil {
+			t.Fatalf("decoding a freshly encoded request failed: %v", err)
+		}
+		if req.Op != again.Op || req.Key != again.Key ||
+			!reflect.DeepEqual(noneOrSame(req.Keys), noneOrSame(again.Keys)) ||
+			!bytes.Equal(req.Val, again.Val) {
+			t.Fatalf("request changed across round trip:\n  first:  %#v\n  second: %#v", req, again)
+		}
+	})
+}
+
+// noneOrSame maps a nil slice to its empty form so round-trip comparisons
+// ignore the nil-vs-empty distinction the codecs deliberately collapse.
+func noneOrSame[S ~[]E, E any](s S) S {
+	if len(s) == 0 {
+		return S{}
+	}
+	return s
+}

@@ -14,6 +14,8 @@
 //     may not be silently discarded.
 //   - goroutinecheck: goroutines in the topology runtime and commands must
 //     be joinable (WaitGroup, channel, or context).
+//   - clockcheck: packages on the simulation harness's replay path take
+//     injected clocks and seeded RNGs — no time.Now, no global math/rand.
 //
 // On top of the per-function checks sits the dataflow suite, which follows
 // facts across function and package boundaries through a static call graph

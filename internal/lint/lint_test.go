@@ -152,6 +152,17 @@ func TestGoroutinecheckFixtures(t *testing.T) {
 	})
 }
 
+func TestClockcheckFixtures(t *testing.T) {
+	runFixture(t, "clockcheck", []expect{
+		{"bad1.go", "clock: time.Now", "time.Now"},
+		{"bad1.go", "time.Since(start)", "time.Since"},
+		{"bad1.go", "time.Until(deadline)", "time.Until"},
+		{"bad2.go", "rand.Intn(n)", "process-global RNG"},
+		{"bad2.go", "rand.Float64()", "process-global RNG"},
+		{"bad2.go", "rand.Shuffle", "process-global RNG"},
+	})
+}
+
 func TestLockorderFixtures(t *testing.T) {
 	runFixture(t, "lockorder", []expect{
 		{"bad1.go", "half of the cycle", "cycle"},

@@ -1,0 +1,21 @@
+// Package clockcheck seeds wall-clock reads the pass must flag: ambient time
+// leaking into state that the simulation harness needs to replay bit-for-bit.
+package clockcheck
+
+import "time"
+
+type cache struct {
+	clock func() time.Time
+}
+
+func newCache() *cache {
+	return &cache{clock: time.Now} // bare reference, no hatch comment
+}
+
+func age(start time.Time) time.Duration {
+	return time.Since(start) // wall-clock read
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // wall-clock read
+}

@@ -1,0 +1,17 @@
+package clockcheck
+
+import "math/rand"
+
+// pickOne draws from the process-global RNG — unseedable from a scenario, so
+// two runs of the same seed diverge.
+func pickOne(n int) int {
+	return rand.Intn(n) // global RNG call
+}
+
+func jitterFactor() float64 {
+	return rand.Float64() // global RNG call
+}
+
+func shuffleAll(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,34 @@
+package clockcheck
+
+import (
+	"math/rand"
+	"time"
+)
+
+// sampler is the discipline the pass wants: an injected clock and a seeded
+// RNG instance, both pure functions of constructor arguments.
+type sampler struct {
+	rng   *rand.Rand
+	clock func() time.Time
+}
+
+func newSampler(seed int64, clock func() time.Time) *sampler {
+	// Constructors are allowed: rand.New/rand.NewSource build the seeded
+	// instance rather than touching the global RNG.
+	return &sampler{rng: rand.New(rand.NewSource(seed)), clock: clock}
+}
+
+func (s *sampler) pick(n int) int { return s.rng.Intn(n) } // method on a seeded instance
+
+func (s *sampler) now() time.Time { return s.clock() }
+
+// defaultClock shows the escape hatch: a production default that every
+// sim-covered caller overrides.
+func defaultClock() func() time.Time {
+	// clockcheck: production default; tests and the sim inject via newSampler.
+	return time.Now
+}
+
+func stampWithInlineHatch() time.Time {
+	return time.Now() // clockcheck: same-line hatch form
+}

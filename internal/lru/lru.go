@@ -45,9 +45,10 @@ func New[K comparable, V any](capacity int, ttl time.Duration) *Cache[K, V] {
 	return &Cache[K, V]{
 		capacity: capacity,
 		ttl:      ttl,
-		clock:    time.Now,
-		order:    list.New(),
-		items:    make(map[K]*list.Element, capacity),
+		// clockcheck: production default; tests and the sim inject via SetClock.
+		clock: time.Now,
+		order: list.New(),
+		items: make(map[K]*list.Element, capacity),
 	}
 }
 

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramConcurrentWriters hammers one histogram from many goroutines
+// and checks no increment is lost: the count, the per-bucket totals, the sum
+// (via Mean), and the max must all agree with the deterministic workload.
+// Under `make race` this doubles as the proof that Observe/Snapshot need no
+// external locking, which is what lets the serving path record latencies
+// inline.
+func TestHistogramConcurrentWriters(t *testing.T) {
+	const (
+		writers    = 16
+		perWriter  = 2000
+		totalCount = writers * perWriter
+	)
+	var h Histogram
+	var wg sync.WaitGroup
+	var wantSum int64
+	// Deterministic workload: writer g records latencies spread across the
+	// bucket range, including the maximum at a known position.
+	latency := func(g, i int) time.Duration {
+		return time.Duration((g*perWriter+i)%5000) * time.Microsecond
+	}
+	for g := 0; g < writers; g++ {
+		for i := 0; i < perWriter; i++ {
+			wantSum += int64(latency(g, i))
+		}
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(latency(g, i))
+				if i%100 == 0 {
+					_ = h.Snapshot() // concurrent readers must not tear
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := h.Count(); got != totalCount {
+		t.Errorf("Count() = %d, want %d — increments were lost", got, totalCount)
+	}
+	var bucketSum uint64
+	for i := range h.buckets {
+		bucketSum += h.buckets[i].Load()
+	}
+	if bucketSum != totalCount {
+		t.Errorf("bucket totals sum to %d, want %d", bucketSum, totalCount)
+	}
+	if want := time.Duration(wantSum / totalCount); h.Mean() != want {
+		t.Errorf("Mean() = %v, want %v — the sum drifted", h.Mean(), want)
+	}
+	if want := 4999 * time.Microsecond; h.Max() != want {
+		t.Errorf("Max() = %v, want %v", h.Max(), want)
+	}
+	snap := h.Snapshot()
+	if snap.Count != totalCount || snap.Max != h.Max() {
+		t.Errorf("Snapshot disagrees with accessors: %+v", snap)
+	}
+	if snap.P50 > snap.P99 || snap.P99 > bucketUpper(bucketCount-1) {
+		t.Errorf("quantiles out of order: p50 %v, p99 %v", snap.P50, snap.P99)
+	}
+}

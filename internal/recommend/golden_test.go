@@ -1,0 +1,214 @@
+package recommend_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vidrec/internal/core"
+	"vidrec/internal/dataset"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/recommend"
+	"vidrec/internal/simtable"
+)
+
+// The golden test pins the end-to-end serving output for a fixed seed: a
+// small synthetic dataset replayed sequentially through System.Ingest, then
+// a fixed request mix (history-seeded and current-video-seeded), compared
+// byte-for-byte against testdata/golden_topn.json. Any change to the ranking
+// math, the similar-table updates, or the hot-video merge shows up as a
+// golden diff — reviewable, and refreshed deliberately with
+//
+//	go test ./internal/recommend -run Golden -update
+//
+// Scores are rounded to 1e-9 before comparison so the file pins ranking
+// behaviour, not the last bits of float formatting.
+var update = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+const goldenPath = "testdata/golden_topn.json"
+
+// goldenEntry is one scored video in a golden list.
+type goldenEntry struct {
+	ID    string  `json:"id"`
+	Score float64 `json:"score"`
+}
+
+// goldenResult is one request and its full response provenance.
+type goldenResult struct {
+	User         string        `json:"user"`
+	CurrentVideo string        `json:"current_video,omitempty"`
+	Videos       []goldenEntry `json:"videos"`
+	Seeds        int           `json:"seeds"`
+	Candidates   int           `json:"candidates"`
+	HotMerged    int           `json:"hot_merged"`
+}
+
+type goldenFile struct {
+	Seed    uint64         `json:"seed"`
+	Actions int            `json:"actions"`
+	Results []goldenResult `json:"results"`
+}
+
+func buildGolden(t *testing.T) goldenFile {
+	t.Helper()
+	ctx := context.Background()
+	ds, err := dataset.Generate(dataset.Config{
+		Seed:             7,
+		Users:            24,
+		Videos:           48,
+		Types:            6,
+		Factors:          4,
+		Days:             1,
+		EventsPerDay:     80,
+		ZipfExponent:     1.05,
+		TrendDriftPerDay: 0.08,
+		GroupInfluence:   0.6,
+		RegisteredShare:  0.65,
+		Start:            time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	params := core.DefaultParams()
+	params.Factors = 8
+	sys, err := recommend.NewSystem(kvstore.NewLocal(16), params, simtable.DefaultConfig(), recommend.DefaultOptions())
+	if err != nil {
+		t.Fatalf("build system: %v", err)
+	}
+	if err := ds.FillCatalog(ctx, sys.Catalog); err != nil {
+		t.Fatalf("fill catalog: %v", err)
+	}
+	if err := ds.FillProfiles(ctx, sys.Profiles); err != nil {
+		t.Fatalf("fill profiles: %v", err)
+	}
+
+	// Sequential replay: Ingest is the single-threaded equivalent of the
+	// topology, so the resulting state is a pure function of the stream.
+	out := goldenFile{Seed: ds.Config().Seed}
+	stream := ds.Stream()
+	for {
+		a, ok := stream.Next()
+		if !ok {
+			break
+		}
+		if err := sys.Ingest(ctx, a); err != nil {
+			t.Fatalf("ingest action %d: %v", out.Actions, err)
+		}
+		out.Actions++
+	}
+
+	// Fixed request mix: each sampled user once history-seeded ("Guess you
+	// like") and once anchored on a current video ("related videos").
+	users := ds.Users()
+	videos := ds.Videos()
+	for i := 0; i < 8; i++ {
+		u := users[(i*3)%len(users)].ID
+		reqs := []recommend.Request{
+			{UserID: u, N: 5},
+			{UserID: u, N: 5, CurrentVideo: videos[(i*7)%len(videos)].Meta.ID},
+		}
+		for _, req := range reqs {
+			res, err := sys.Recommend(ctx, req)
+			if err != nil {
+				t.Fatalf("recommend %+v: %v", req, err)
+			}
+			g := goldenResult{
+				User:         req.UserID,
+				CurrentVideo: req.CurrentVideo,
+				Seeds:        res.Seeds,
+				Candidates:   res.Candidates,
+				HotMerged:    res.HotMerged,
+				Videos:       make([]goldenEntry, 0, len(res.Videos)),
+			}
+			for _, e := range res.Videos {
+				g.Videos = append(g.Videos, goldenEntry{ID: e.ID, Score: roundScore(e.Score)})
+			}
+			out.Results = append(out.Results, g)
+		}
+	}
+	return out
+}
+
+// roundScore quantizes to 1e-9 so the golden file is insensitive to
+// formatting-level float noise while still pinning the ranking math.
+func roundScore(s float64) float64 {
+	return math.Round(s*1e9) / 1e9
+}
+
+func TestGoldenTopN(t *testing.T) {
+	got := buildGolden(t)
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d results)", goldenPath, len(got.Results))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		var old goldenFile
+		if err := json.Unmarshal(want, &old); err != nil {
+			t.Fatalf("golden file is not valid JSON: %v", err)
+		}
+		t.Errorf("serving output diverged from %s — if the change is intended, refresh with -update", goldenPath)
+		logGoldenDiff(t, old, got)
+	}
+}
+
+// logGoldenDiff prints the first few per-request differences so a failure is
+// diagnosable without manual JSON diffing.
+func logGoldenDiff(t *testing.T, old, new goldenFile) {
+	t.Helper()
+	if old.Actions != new.Actions {
+		t.Logf("actions: golden %d, got %d", old.Actions, new.Actions)
+	}
+	shown := 0
+	for i := 0; i < len(old.Results) && i < len(new.Results) && shown < 4; i++ {
+		a, b := old.Results[i], new.Results[i]
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if !bytes.Equal(aj, bj) {
+			t.Logf("result %d (user %s, current %q):\n  golden: %s\n  got:    %s", i, a.User, a.CurrentVideo, aj, bj)
+			shown++
+		}
+	}
+	if len(old.Results) != len(new.Results) {
+		t.Logf("result count: golden %d, got %d", len(old.Results), len(new.Results))
+	}
+}
+
+// TestGoldenIsDeterministic guards the golden test's own premise: two
+// sequential replays of the same seed must produce identical output, or a
+// golden mismatch could be noise instead of signal.
+func TestGoldenIsDeterministic(t *testing.T) {
+	a, err := json.Marshal(buildGolden(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(buildGolden(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two same-seed sequential replays disagree — golden comparisons would be flaky")
+	}
+}

@@ -116,6 +116,11 @@ type System struct {
 
 	clock func() time.Time
 	now   time.Time
+	// wallClock times Recommend calls for the Latency histogram. Unlike
+	// clock (the model's notion of "now", which follows the replayed
+	// stream), wallClock measures real serving work; the simulation harness
+	// swaps in a virtual clock so latency accounting is deterministic.
+	wallClock func() time.Time
 }
 
 // NewSystem assembles a recommendation system on the given store.
@@ -160,6 +165,8 @@ func NewSystem(kv kvstore.Store, params core.Params, simCfg simtable.Config, opt
 		Models:   models,
 		Tables:   tables,
 		Hot:      hot,
+		// clockcheck: default wall clock; tests and the sim use SetWallClock.
+		wallClock: time.Now,
 	}, nil
 }
 
@@ -173,6 +180,18 @@ func (s *System) Weights() feedback.Weights { return s.weights }
 // the system uses the timestamp of the latest ingested action — the natural
 // "now" of a replayed stream.
 func (s *System) SetClock(fn func() time.Time) { s.clock = fn }
+
+// SetWallClock installs the time source used to measure serving latency.
+// The default is the real wall clock; the simulation harness injects its
+// virtual clock so the Latency histogram is a deterministic function of the
+// scenario. A nil fn restores the default.
+func (s *System) SetWallClock(fn func() time.Time) {
+	if fn == nil {
+		// clockcheck: restoring the default wall clock for latency measurement.
+		fn = time.Now
+	}
+	s.wallClock = fn
+}
 
 // Now returns the system's current notion of time.
 func (s *System) Now() time.Time {

@@ -40,7 +40,7 @@ type Result struct {
 
 // Recommend runs the full Figure 1 pipeline for one request.
 func (s *System) Recommend(ctx context.Context, req Request) (*Result, error) {
-	start := time.Now()
+	start := s.wallClock()
 	if req.N <= 0 {
 		return nil, fmt.Errorf("recommend: N must be positive, got %d", req.N)
 	}
@@ -173,7 +173,7 @@ func (s *System) Recommend(ctx context.Context, req Request) (*Result, error) {
 		}
 	}
 
-	elapsed := time.Since(start)
+	elapsed := s.wallClock().Sub(start)
 	s.Latency.Observe(elapsed)
 	return &Result{
 		Videos:     videos,

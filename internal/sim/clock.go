@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// VirtualClock is the single time source of a simulation run. Every
+// component that would otherwise consult the wall clock — the recommender's
+// "now", the serving-latency measurement, the ItemPairSim TTL caches — reads
+// it instead, so a scenario's behaviour is a pure function of its inputs: a
+// run on a loaded CI box replays exactly like a run on an idle laptop.
+//
+// The clock only moves when the harness moves it: the replay source advances
+// it to each action's timestamp, and the serving phase advances it
+// explicitly between requests.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time // guarded by mu
+}
+
+// NewVirtualClock returns a clock frozen at start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (negative d is ignored).
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// SetAtLeast moves the clock to t if t is later than the current time —
+// the replay source uses it so out-of-order action timestamps never move
+// time backwards.
+func (c *VirtualClock) SetAtLeast(t time.Time) {
+	c.mu.Lock()
+	if t.After(c.now) {
+		c.now = t
+	}
+	c.mu.Unlock()
+}

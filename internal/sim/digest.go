@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+
+	"vidrec/internal/kvstore"
+)
+
+// CanonicalState serializes the full contents of a Local store into a
+// byte string that is independent of map iteration order: entries sorted by
+// key, each key and value length-prefixed (uvarint) so the encoding is
+// unambiguous. Two runs of the same scenario must produce identical
+// canonical state — this is the replay-determinism oracle.
+//
+// Local.WriteSnapshot is NOT usable for this: it walks shard maps in Go's
+// randomized iteration order, so two snapshots of identical state differ
+// byte-wise.
+func CanonicalState(l *kvstore.Local) []byte {
+	type kv struct {
+		k string
+		v []byte
+	}
+	var all []kv
+	l.ForEach(func(key string, val []byte) bool {
+		cp := make([]byte, len(val))
+		copy(cp, val)
+		all = append(all, kv{k: key, v: cp})
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].k < all[j].k })
+
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	for _, e := range all {
+		n := binary.PutUvarint(tmp[:], uint64(len(e.k)))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, e.k...)
+		n = binary.PutUvarint(tmp[:], uint64(len(e.v)))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, e.v...)
+	}
+	return buf
+}
+
+// StateDigest returns the hex SHA-256 of CanonicalState — a compact handle
+// for "these two runs produced the same model".
+func StateDigest(l *kvstore.Local) string {
+	sum := sha256.Sum256(CanonicalState(l))
+	return hex.EncodeToString(sum[:])
+}

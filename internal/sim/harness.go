@@ -1,0 +1,293 @@
+// Package sim is the deterministic end-to-end simulation harness: it wires
+// dataset replay → storm topology (the Figure 2 train bolts) → kvstore
+// (in-process, or real gob-over-TCP) → simtable → recommend, drives the
+// whole assembly from a virtual clock and a seeded fault schedule, and then
+// turns invariant checkers loose on the result — every stored parameter
+// finite and bounded, every spouted tuple acked or failed exactly once,
+// every top-N list sorted/deduped/within catalog, every served request
+// accounted in the latency histogram.
+//
+// A run is a pure function of its Scenario: same seed ⇒ byte-identical
+// encoded model state (see CanonicalState), which is what lets the scenario
+// matrix double as a regression oracle for every future perf or scaling
+// change. Determinism rests on three legs: the virtual clock (no component
+// on the sim-covered path consults time.Now), seeded RNGs everywhere (the
+// dataset stream, the storm edge ids, the fault injector — no global
+// math/rand), and a fully serialized pipeline for the determinism scenarios
+// (parallelism 1 + max-spout-pending 1 + tracked emission, so each action's
+// tuple tree completes before the next begins).
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"vidrec/internal/core"
+	"vidrec/internal/dataset"
+	"vidrec/internal/feedback"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/recommend"
+	"vidrec/internal/simtable"
+	"vidrec/internal/storm"
+	"vidrec/internal/topology"
+)
+
+// Report is the outcome of one scenario run: raw accounting from every
+// layer plus the invariant violations found. An empty Violations slice is
+// the pass criterion; the counters exist so tests can assert the scenario
+// actually exercised what it claims (faults were injected, trees did fail).
+type Report struct {
+	Scenario Scenario
+
+	// Replay accounting.
+	Actions     int    // actions pulled from the dataset stream
+	Spouted     uint64 // tuples the spout emitted
+	Acked       uint64 // tuple trees fully processed (tracked runs)
+	FailedTrees uint64 // tuple trees failed (tracked runs)
+	Unresolved  int    // trees neither acked nor failed at shutdown
+
+	// Storage accounting.
+	KVOps          uint64 // operations seen by the fault injector
+	InjectedFaults uint64 // operations it failed
+
+	// Serving accounting.
+	Recommends      int // successful Recommend calls
+	RecommendErrors int // Recommend calls that returned an error
+
+	// Digest is the SHA-256 of the canonical encoded model state; two runs
+	// of the same scenario must produce the same digest.
+	Digest string
+
+	// Violations lists every invariant breach, empty on a healthy run.
+	Violations []string
+}
+
+// Run executes one scenario end to end and returns its report. An error
+// means the harness itself could not run the scenario (bad configuration,
+// topology build failure); invariant breaches are reported in
+// Report.Violations, not as errors.
+func Run(ctx context.Context, sc Scenario) (*Report, error) {
+	sc, err := sc.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cfg := dataset.Config{
+		Seed:             sc.Seed,
+		Users:            sc.Users,
+		Videos:           sc.Videos,
+		Types:            6,
+		Factors:          4,
+		Days:             sc.Days,
+		EventsPerDay:     sc.EventsPerDay,
+		ZipfExponent:     1.05,
+		TrendDriftPerDay: 0.08,
+		GroupInfluence:   0.6,
+		RegisteredShare:  0.65,
+		Start:            time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC),
+	}
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sim: generate dataset: %w", err)
+	}
+	vclock := NewVirtualClock(cfg.Start)
+
+	// Storage chain: Local, optionally behind the real gob-over-TCP pair,
+	// with the fault injector outermost so faults hit whichever transport
+	// the scenario chose.
+	base := kvstore.NewLocal(32)
+	var store kvstore.Store = base
+	if sc.Transport == TransportTCP {
+		server, err := kvstore.NewServer(ctx, base, "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("sim: start kv server: %w", err)
+		}
+		defer func() {
+			_ = server.Close() // shutdown path; Close errors carry no state
+		}()
+		client, err := kvstore.DialContext(ctx, server.Addr())
+		if err != nil {
+			return nil, fmt.Errorf("sim: dial kv server: %w", err)
+		}
+		defer func() {
+			_ = client.Close() // shutdown path; Close errors carry no state
+		}()
+		store = client
+	}
+	faulty := kvstore.NewFaulty(store, sc.Seed^0x5EED)
+
+	params := core.DefaultParams()
+	params.Factors = 8
+	opts := recommend.DefaultOptions()
+	sys, err := recommend.NewSystem(faulty, params, simtable.DefaultConfig(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("sim: build system: %w", err)
+	}
+	sys.SetClock(vclock.Now)
+	sys.SetWallClock(vclock.Now)
+
+	// Seed catalog and profiles while the injector is quiet, then arm the
+	// schedule so phase op-counts start at the first replay operation.
+	if err := ds.FillCatalog(ctx, sys.Catalog); err != nil {
+		return nil, fmt.Errorf("sim: fill catalog: %w", err)
+	}
+	if err := ds.FillProfiles(ctx, sys.Profiles); err != nil {
+		return nil, fmt.Errorf("sim: fill profiles: %w", err)
+	}
+	faulty.SetSchedule(sc.KVFaults)
+
+	src := &clockSource{stream: ds.Stream(), clock: vclock}
+	topo, err := topology.BuildWithOptions(sys,
+		func(int) topology.Source { return src },
+		sc.Parallelism,
+		topology.Options{
+			Tracked:     sc.Tracked,
+			QueueSize:   sc.QueueSize,
+			MaxPending:  sc.MaxPending,
+			Synchronous: sc.Synchronous,
+			Seed:        sc.Seed ^ 0xED6E,
+			CacheClock:  vclock.Now,
+			WrapBolt:    boltWrapper(sc.BoltFaults),
+		})
+	if err != nil {
+		return nil, fmt.Errorf("sim: build topology: %w", err)
+	}
+	if err := topo.Run(ctx); err != nil {
+		return nil, fmt.Errorf("sim: topology run: %w", err)
+	}
+
+	rep := &Report{Scenario: sc, Actions: src.count()}
+	spout, err := topo.MetricsFor(topology.SpoutName)
+	if err != nil {
+		return nil, err
+	}
+	rep.Spouted = spout.Emitted
+	rep.Acked = spout.Acked
+	rep.FailedTrees = spout.FailedTrees
+	rep.Unresolved = topo.UnresolvedTrees()
+
+	// Serving phase: deterministic request sequence over the universe,
+	// the virtual clock ticking between requests.
+	vclock.Advance(time.Minute)
+	users := ds.Users()
+	videos := ds.Videos()
+	results := make([]*recommend.Result, 0, sc.Recommends)
+	for i := 0; i < sc.Recommends; i++ {
+		req := recommend.Request{UserID: users[i%len(users)].ID, N: sc.TopN}
+		if i%2 == 1 {
+			req.CurrentVideo = videos[i%len(videos)].Meta.ID
+		}
+		res, err := sys.Recommend(ctx, req)
+		if err != nil {
+			rep.RecommendErrors++
+		} else {
+			results = append(results, res)
+		}
+		vclock.Advance(time.Second)
+	}
+	rep.Recommends = len(results)
+	rep.KVOps = faulty.Ops()
+	rep.InjectedFaults = faulty.Injected()
+
+	// Invariant checkers.
+	rep.Violations = append(rep.Violations, checkConservation(sc, topo, rep)...)
+	rep.Violations = append(rep.Violations, checkStore(ds, base, params, opts, simtable.DefaultConfig())...)
+	rep.Violations = append(rep.Violations, checkResults(ds, results, sc.TopN)...)
+	rep.Violations = append(rep.Violations, checkLatency(sys, len(results))...)
+
+	rep.Digest = StateDigest(base)
+	return rep, nil
+}
+
+// clockSource feeds the spout from the dataset stream, advancing the
+// virtual clock to each action's timestamp so pipeline time follows replay
+// time instead of wall time.
+type clockSource struct {
+	mu      sync.Mutex
+	stream  *dataset.Stream // guarded by mu
+	clock   *VirtualClock
+	actions int // guarded by mu
+}
+
+// Next implements topology.Source.
+func (s *clockSource) Next() (feedback.Action, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.stream.Next()
+	if !ok {
+		return feedback.Action{}, false
+	}
+	s.actions++
+	s.clock.SetAtLeast(a.Timestamp)
+	return a, true
+}
+
+func (s *clockSource) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.actions
+}
+
+// errBoltDown is returned by executions inside a scheduled crash window.
+var errBoltDown = fmt.Errorf("sim: bolt worker down (scheduled fault)")
+
+// boltWrapper builds the topology WrapBolt hook for the scenario's bolt
+// fault schedule, or nil when there is none.
+func boltWrapper(faults []BoltFault) func(string, storm.Bolt) storm.Bolt {
+	if len(faults) == 0 {
+		return nil
+	}
+	return func(name string, inner storm.Bolt) storm.Bolt {
+		for _, f := range faults {
+			if f.Bolt == name {
+				return &faultyBolt{inner: inner, cfg: f}
+			}
+		}
+		return inner
+	}
+}
+
+// faultyBolt decorates one bolt task with a crash window and an optional
+// per-tuple delay. Executions inside the window fail their tuple trees —
+// the spout sees Fail, at-least-once semantics — and the first execution
+// after the window re-prepares the inner bolt, modelling a restarted worker
+// that lost its in-memory caches.
+type faultyBolt struct {
+	inner storm.Bolt
+	cfg   BoltFault
+	n     uint64
+	down  bool
+	cctx  *storm.Context
+	out   *storm.BoltCollector
+}
+
+func (b *faultyBolt) Prepare(cctx *storm.Context, out *storm.BoltCollector) error {
+	b.cctx, b.out = cctx, out
+	return b.inner.Prepare(cctx, out)
+}
+
+func (b *faultyBolt) Execute(t *storm.Tuple) error {
+	if b.cfg.Delay > 0 {
+		time.Sleep(b.cfg.Delay)
+	}
+	b.n++
+	if b.cfg.DownFor > 0 && b.n > b.cfg.AfterTuples && b.n <= b.cfg.AfterTuples+b.cfg.DownFor {
+		b.down = true
+		return errBoltDown
+	}
+	if b.down {
+		// The worker comes back: a restarted task runs Prepare afresh and
+		// starts with cold caches.
+		if err := b.inner.Cleanup(); err != nil {
+			return err
+		}
+		if err := b.inner.Prepare(b.cctx, b.out); err != nil {
+			return err
+		}
+		b.down = false
+	}
+	return b.inner.Execute(t)
+}
+
+func (b *faultyBolt) Cleanup() error { return b.inner.Cleanup() }

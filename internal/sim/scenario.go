@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"vidrec/internal/kvstore"
+	"vidrec/internal/topology"
+)
+
+// Transport selects how the pipeline reaches the key-value store.
+type Transport string
+
+const (
+	// TransportLocal runs against the in-process sharded store.
+	TransportLocal Transport = "local"
+	// TransportTCP puts the real gob-over-TCP server/client pair between
+	// the pipeline and the store, with the fault injector wrapping the
+	// client — dropped connections and network latency then hit the same
+	// code paths a two-process deployment exercises.
+	TransportTCP Transport = "tcp"
+)
+
+// BoltFault schedules a failure window for one bolt component, modelling a
+// worker crash + restart: executions in the window fail their tuple trees
+// (the spout's Fail hook fires — at-least-once semantics), and when the
+// window closes the bolt is re-prepared from scratch, losing any in-memory
+// caches exactly like a restarted task.
+type BoltFault struct {
+	// Bolt is the component name (topology.ComputeMFName, ...).
+	Bolt string
+	// AfterTuples is how many executions succeed before the crash.
+	AfterTuples uint64
+	// DownFor is how many executions fail while the worker is down.
+	DownFor uint64
+	// Delay is added to every execution (a slow bolt rather than a dead
+	// one); it composes with the crash window.
+	Delay time.Duration
+}
+
+// Scenario declares one end-to-end simulation: workload shape, pipeline
+// configuration, fault schedule, and serving phase. The zero value is not
+// runnable; use the named constructors in scenarios.go or fill at least
+// Name and Seed and let defaults cover the rest.
+type Scenario struct {
+	Name string
+	Seed uint64
+
+	// Workload shape (dataset.Config knobs the scenarios vary).
+	Users, Videos int
+	Days          int
+	EventsPerDay  int
+
+	// Pipeline configuration.
+	Parallelism topology.Parallelism // zero value = topology.DefaultParallelism
+	QueueSize   int                  // 0 = engine default
+	MaxPending  int                  // max-spout-pending; 0 = unbounded
+	Tracked     bool                 // acker tracking per action
+	Synchronous bool                 // single-goroutine deterministic scheduler
+	Transport   Transport            // "" = TransportLocal
+
+	// Fault schedule.
+	KVFaults   []kvstore.FaultPhase
+	BoltFaults []BoltFault
+
+	// Serving phase: Recommends requests of size TopN after the replay.
+	Recommends int
+	TopN       int
+}
+
+// withDefaults fills unset fields with the harness defaults: a workload
+// small enough that the full matrix runs under -race in CI seconds, yet
+// large enough that every namespace (models, tables, histories, hot lists)
+// gets real traffic.
+func (s Scenario) withDefaults() (Scenario, error) {
+	if s.Name == "" {
+		return s, fmt.Errorf("sim: scenario must be named")
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Users <= 0 {
+		s.Users = 40
+	}
+	if s.Videos <= 0 {
+		s.Videos = 80
+	}
+	if s.Days <= 0 {
+		s.Days = 2
+	}
+	if s.EventsPerDay <= 0 {
+		s.EventsPerDay = 120
+	}
+	if (s.Parallelism == topology.Parallelism{}) {
+		s.Parallelism = topology.DefaultParallelism()
+	}
+	if s.Parallelism.Spout != 1 {
+		// One spout task keeps the replay order identical to the stream
+		// order; the harness has no second stream to feed more tasks.
+		return s, fmt.Errorf("sim: scenario %q needs Parallelism.Spout == 1, got %d", s.Name, s.Parallelism.Spout)
+	}
+	if s.Transport == "" {
+		s.Transport = TransportLocal
+	}
+	if s.Transport != TransportLocal && s.Transport != TransportTCP {
+		return s, fmt.Errorf("sim: scenario %q has unknown transport %q", s.Name, s.Transport)
+	}
+	if s.Recommends <= 0 {
+		s.Recommends = 30
+	}
+	if s.TopN <= 0 {
+		s.TopN = 10
+	}
+	return s, nil
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"time"
+
+	"vidrec/internal/kvstore"
+	"vidrec/internal/topology"
+)
+
+// serialParallelism is the fully serialized layout replay determinism
+// requires: one task per component, so tuple routing and store write order
+// are a function of the stream alone.
+func serialParallelism() topology.Parallelism {
+	return topology.Parallelism{
+		Spout: 1, ComputeMF: 1, MFStorage: 1, UserHistory: 1,
+		GetItemPairs: 1, ItemPairSim: 1, ResultStorage: 1,
+	}
+}
+
+// Scenarios returns the named scenario matrix — the suite `make test-sim`
+// runs. Every scenario must finish with zero invariant violations; the
+// matrix spans transports, fault classes, and load shapes so a regression
+// anywhere in the pipeline trips at least one of them.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			// The baseline: default parallelism, no faults, tracked so the
+			// acker conservation law is checked action by action.
+			Name:    "happy-path",
+			Seed:    101,
+			Tracked: true,
+		},
+		{
+			// Same seed ⇒ byte-identical model state. Runs on the storm
+			// engine's synchronous scheduler: execution order is a pure
+			// function of the stream, because even single-task components
+			// race on shared store keys under the concurrent scheduler
+			// (history append vs. pair-window read, vector write vs. pair
+			// score read). The test runs this twice and compares digests.
+			Name:        "replay-determinism",
+			Seed:        202,
+			Parallelism: serialParallelism(),
+			MaxPending:  1,
+			Tracked:     true,
+			Synchronous: true,
+		},
+		{
+			// Every ~20th store operation fails, forever. Bolts fail their
+			// tuple trees, serving requests error — but nothing panics, no
+			// tree leaks, and durable state stays well-formed.
+			Name:     "kv-flaky",
+			Seed:     303,
+			Tracked:  true,
+			KVFaults: []kvstore.FaultPhase{{FailRate: 0.05}},
+		},
+		{
+			// A latency spike in the middle of the replay: 200 operations
+			// slowed by 2ms after a quiet lead-in. Exercises timer paths and
+			// proves slow storage stalls, not corrupts.
+			Name:    "kv-latency-spike",
+			Seed:    404,
+			Tracked: true,
+			KVFaults: []kvstore.FaultPhase{
+				{Ops: 300},
+				{Ops: 200, Latency: 2 * time.Millisecond},
+				{Ops: 0},
+			},
+		},
+		{
+			// A partial partition: the global similar-video tables become
+			// unreachable for a 300-op window while every other namespace
+			// keeps working — the per-group tables and models train through.
+			Name:    "kv-partition",
+			Seed:    505,
+			Tracked: true,
+			// The outage starts mid-replay and holds to the end: early
+			// operations are model and history writes — similar-table
+			// traffic only picks up once users have accumulated history,
+			// so an early window would never hit the partitioned namespace.
+			KVFaults: []kvstore.FaultPhase{
+				{Ops: 12000},
+				{FailRate: 1, KeyPrefix: "sys/global.sim"},
+			},
+		},
+		{
+			// One bolt runs slow (per-tuple delay in ItemPairSim, the widest
+			// fan-in). Backpressure propagates through the bounded queues;
+			// the run completes with full accounting.
+			Name:       "slow-bolt",
+			Seed:       606,
+			Tracked:    true,
+			BoltFaults: []BoltFault{{Bolt: topology.ItemPairSimName, Delay: 200 * time.Microsecond}},
+		},
+		{
+			// A ComputeMF worker crashes after 50 tuples, drops 10 on the
+			// floor (their trees fail — at-least-once), then restarts with
+			// cold caches and keeps training.
+			Name:       "bolt-restart",
+			Seed:       707,
+			Tracked:    true,
+			BoltFaults: []BoltFault{{Bolt: topology.ComputeMFName, AfterTuples: 50, DownFor: 10}},
+		},
+		{
+			// A day's worth of traffic compressed into tiny queues:
+			// backpressure instead of drops, untracked emission (the
+			// fire-and-forget configuration production spouts default to).
+			Name:         "burst-traffic",
+			Seed:         808,
+			Days:         1,
+			EventsPerDay: 300,
+			QueueSize:    4,
+		},
+		{
+			// Nearly no training data, then more requests than users: new
+			// users must be served from the demographic hot lists without a
+			// single invariant breach.
+			Name:         "cold-start",
+			Seed:         909,
+			Users:        30,
+			Videos:       60,
+			Days:         1,
+			EventsPerDay: 30,
+			Recommends:   60,
+			Tracked:      true,
+		},
+		{
+			// The baseline again, but through the real gob-over-TCP
+			// server/client pair — same invariants across the wire.
+			Name:      "tcp-happy",
+			Seed:      1010,
+			Tracked:   true,
+			Transport: TransportTCP,
+		},
+		{
+			// Fault injection on top of the network transport: failures now
+			// model dropped requests between pipeline and store.
+			Name:      "tcp-flaky",
+			Seed:      1111,
+			Tracked:   true,
+			Transport: TransportTCP,
+			KVFaults:  []kvstore.FaultPhase{{FailRate: 0.03}},
+		},
+	}
+}

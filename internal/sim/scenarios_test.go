@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"vidrec/internal/kvstore"
+	"vidrec/internal/topology"
+)
+
+// expectations holds the per-scenario assertions that prove a run actually
+// exercised what its name claims — a fault scenario with zero injected
+// faults would pass the invariants vacuously.
+var expectations = map[string]func(t *testing.T, rep *Report){
+	"happy-path": func(t *testing.T, rep *Report) {
+		if rep.FailedTrees != 0 {
+			t.Errorf("happy path failed %d trees, want 0", rep.FailedTrees)
+		}
+		if rep.RecommendErrors != 0 {
+			t.Errorf("happy path had %d recommend errors, want 0", rep.RecommendErrors)
+		}
+	},
+	"kv-flaky": func(t *testing.T, rep *Report) {
+		if rep.InjectedFaults == 0 {
+			t.Error("flaky store injected no faults — scenario is vacuous")
+		}
+	},
+	"kv-partition": func(t *testing.T, rep *Report) {
+		if rep.InjectedFaults == 0 {
+			t.Error("partition injected no faults — scenario is vacuous")
+		}
+		if rep.FailedTrees == 0 {
+			t.Error("partition failed no tuple trees — writes never hit the partitioned namespace")
+		}
+	},
+	"bolt-restart": func(t *testing.T, rep *Report) {
+		if rep.FailedTrees == 0 {
+			t.Error("bolt crash window failed no tuple trees")
+		}
+		if rep.Acked == 0 {
+			t.Error("no tuple trees acked — the bolt never recovered")
+		}
+	},
+	"cold-start": func(t *testing.T, rep *Report) {
+		if rep.Recommends == 0 {
+			t.Error("cold start served nothing — hot-list fallback is broken")
+		}
+	},
+}
+
+// TestScenarios runs the full matrix: every named scenario must complete
+// with zero invariant violations, and the fault scenarios must prove they
+// actually injected faults.
+func TestScenarios(t *testing.T) {
+	for _, sc := range Scenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			rep, err := Run(ctx, sc)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for _, violation := range rep.Violations {
+				t.Errorf("invariant violated: %s", violation)
+			}
+			if rep.Actions == 0 || rep.Spouted == 0 {
+				t.Errorf("scenario replayed nothing: %d actions, %d spouted", rep.Actions, rep.Spouted)
+			}
+			if check := expectations[sc.Name]; check != nil {
+				check(t, rep)
+			}
+			t.Logf("actions=%d spouted=%d acked=%d failedTrees=%d kvOps=%d faults=%d recommends=%d/%d digest=%s",
+				rep.Actions, rep.Spouted, rep.Acked, rep.FailedTrees,
+				rep.KVOps, rep.InjectedFaults, rep.Recommends, rep.Recommends+rep.RecommendErrors,
+				rep.Digest[:12])
+		})
+	}
+}
+
+// TestReplayDeterminism runs the determinism scenario twice and demands
+// byte-identical canonical model state (compared through its SHA-256) and
+// identical accounting — the property every future optimisation must
+// preserve to claim behavioural equivalence.
+func TestReplayDeterminism(t *testing.T) {
+	var sc Scenario
+	for _, s := range Scenarios() {
+		if s.Name == "replay-determinism" {
+			sc = s
+		}
+	}
+	if sc.Name == "" {
+		t.Fatal("replay-determinism scenario missing from matrix")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	first, err := Run(ctx, sc)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	second, err := Run(ctx, sc)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if first.Digest != second.Digest {
+		t.Errorf("state digests differ across same-seed runs:\n  first:  %s\n  second: %s", first.Digest, second.Digest)
+	}
+	if first.Spouted != second.Spouted || first.Acked != second.Acked || first.FailedTrees != second.FailedTrees {
+		t.Errorf("accounting differs: first {spouted %d acked %d failed %d}, second {spouted %d acked %d failed %d}",
+			first.Spouted, first.Acked, first.FailedTrees, second.Spouted, second.Acked, second.FailedTrees)
+	}
+	if first.Recommends != second.Recommends {
+		t.Errorf("recommend successes differ: %d vs %d", first.Recommends, second.Recommends)
+	}
+}
+
+// TestDifferentSeedsDiverge is the negative control for the determinism
+// oracle: two seeds must not land on the same state digest, otherwise the
+// digest is insensitive and the determinism test proves nothing.
+func TestDifferentSeedsDiverge(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	base := Scenario{Name: "diverge-a", Seed: 1, Parallelism: serialParallelism(), MaxPending: 1, Tracked: true, Synchronous: true}
+	other := base
+	other.Name, other.Seed = "diverge-b", 2
+
+	a, err := Run(ctx, base)
+	if err != nil {
+		t.Fatalf("seed 1 run: %v", err)
+	}
+	b, err := Run(ctx, other)
+	if err != nil {
+		t.Fatalf("seed 2 run: %v", err)
+	}
+	if a.Digest == b.Digest {
+		t.Errorf("different seeds produced identical digest %s — oracle is blind", a.Digest)
+	}
+}
+
+// TestScenarioValidation pins the withDefaults error cases.
+func TestScenarioValidation(t *testing.T) {
+	if _, err := (Scenario{}).withDefaults(); err == nil {
+		t.Error("unnamed scenario accepted")
+	}
+	bad := Scenario{Name: "two-spouts", Parallelism: topology.Parallelism{
+		Spout: 2, ComputeMF: 1, MFStorage: 1, UserHistory: 1, GetItemPairs: 1, ItemPairSim: 1, ResultStorage: 1,
+	}}
+	if _, err := bad.withDefaults(); err == nil {
+		t.Error("multi-spout scenario accepted — replay order would be nondeterministic")
+	}
+	if _, err := (Scenario{Name: "x", Transport: "carrier-pigeon"}).withDefaults(); err == nil {
+		t.Error("unknown transport accepted")
+	}
+}
+
+// TestFaultScheduleScoping pins the fault-phase semantics the scenarios
+// depend on: op-counted phases and key-prefix scoping.
+func TestFaultScheduleScoping(t *testing.T) {
+	ctx := context.Background()
+	f := kvstore.NewFaulty(kvstore.NewLocal(4), 42)
+	f.SetSchedule([]kvstore.FaultPhase{
+		{Ops: 2},
+		{Ops: 0, FailRate: 1, KeyPrefix: "sys.hot"},
+	})
+	// Phase one: everything succeeds.
+	if err := f.Set(ctx, "sys.hot:g", []byte("x")); err != nil {
+		t.Fatalf("op 1 failed inside quiet phase: %v", err)
+	}
+	if err := f.Set(ctx, "sys.hist:u", []byte("x")); err != nil {
+		t.Fatalf("op 2 failed inside quiet phase: %v", err)
+	}
+	// Phase two: only the hot namespace fails.
+	if err := f.Set(ctx, "sys.hot:g", []byte("x")); err == nil {
+		t.Error("prefixed key survived a FailRate-1 phase")
+	}
+	if err := f.Set(ctx, "sys.hist:u", []byte("x")); err != nil {
+		t.Errorf("non-prefixed key failed in a scoped phase: %v", err)
+	}
+}

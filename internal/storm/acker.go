@@ -38,6 +38,7 @@ type ackEntry struct {
 
 type acker struct {
 	in      chan ackMsg
+	quit    chan struct{}
 	done    chan struct{}
 	nextID  atomic.Int64
 	entries map[int64]*ackEntry
@@ -50,6 +51,7 @@ type acker struct {
 func newAcker() *acker {
 	return &acker{
 		in:       make(chan ackMsg, 4096),
+		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
 		entries:  make(map[int64]*ackEntry),
 		resolved: make(map[int64]struct{}),
@@ -59,15 +61,40 @@ func newAcker() *acker {
 func (a *acker) start() {
 	go func() {
 		defer close(a.done)
-		for msg := range a.in {
-			a.handle(msg)
+		for {
+			select {
+			case msg := <-a.in:
+				a.handle(msg)
+			case <-a.quit:
+				// Drain what was already enqueued, then exit. The in
+				// channel is never closed, so stragglers arriving after
+				// shutdown are dropped by send instead of panicking.
+				for {
+					select {
+					case msg := <-a.in:
+						a.handle(msg)
+					default:
+						return
+					}
+				}
+			}
 		}
 	}()
 }
 
 func (a *acker) stop() {
-	close(a.in)
+	close(a.quit)
 	<-a.done
+}
+
+// send delivers a message to the acker goroutine, or drops it once the acker
+// has shut down. A tuple failed or acked after Topology.Run returned must be
+// a no-op, not a panic: the tree's fate was already decided at shutdown.
+func (a *acker) send(m ackMsg) {
+	select {
+	case a.in <- m:
+	case <-a.done:
+	}
 }
 
 // newRoot allocates a fresh root id for a spout task's tracked emission.
@@ -78,15 +105,15 @@ func (a *acker) newRoot(*task) int64 { return a.nextID.Add(1) }
 // (deliveries may ack before init arrives — XOR is order-independent), then
 // sends init carrying the origin task so the acker can notify completion.
 func (a *acker) initWithOrigin(root int64, xor uint64, origin *task) {
-	a.in <- ackMsg{kind: ackInit, root: root, xor: xor, origin: origin}
+	a.send(ackMsg{kind: ackInit, root: root, xor: xor, origin: origin})
 }
 
 func (a *acker) ack(root int64, xor uint64) {
-	a.in <- ackMsg{kind: ackDelta, root: root, xor: xor}
+	a.send(ackMsg{kind: ackDelta, root: root, xor: xor})
 }
 
 func (a *acker) fail(root int64) {
-	a.in <- ackMsg{kind: ackFail, root: root}
+	a.send(ackMsg{kind: ackFail, root: root})
 }
 
 func (a *acker) handle(msg ackMsg) {

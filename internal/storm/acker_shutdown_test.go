@@ -1,0 +1,83 @@
+package storm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var errSynthetic = errors.New("synthetic failure")
+
+// buildTrackedChain returns a one-spout, one-bolt topology that emits n
+// tracked tuples, plus the channel delivering the spout instance.
+func buildTrackedChain(n int, boltFn func(*Tuple, *BoltCollector) error) (*Topology, chan *sliceSpout) {
+	spouts := make(chan *sliceSpout, 1)
+	b := NewBuilder("t")
+	b.SetSpout("s", func() Spout {
+		s := &sliceSpout{values: intValues(n), tracked: true}
+		spouts <- s
+		return s
+	}, 1).OutputFields("k", "n")
+	b.SetBolt("sink", func() Bolt { return &funcBolt{fn: boltFn} }, 2).ShuffleGrouping("s")
+	topo, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return topo, spouts
+}
+
+// A tuple failed (or acked) after the topology has shut down must be a
+// no-op: the old acker closed its input channel on stop, so a straggler
+// bolt — e.g. one blocked in a slow store write that fails after Run
+// returns — would panic the process with "send on closed channel".
+func TestAckerFailAfterShutdownDoesNotPanicOrLeak(t *testing.T) {
+	topo, _ := buildTrackedChain(10, func(*Tuple, *BoltCollector) error { return nil })
+	if got := topo.UnresolvedTrees(); got != -1 {
+		t.Errorf("UnresolvedTrees before Run = %d, want -1", got)
+	}
+	if err := topo.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Straggler traffic after shutdown: a fail for a resolved root, an ack
+	// for a resolved root, and a fail for a root the acker never saw. None
+	// may panic, and none may create a pending entry.
+	done := make(chan struct{})
+	go func() { // vidlint:detached test goroutine; joined via done channel below
+		defer close(done)
+		topo.acker.fail(3)
+		topo.acker.ack(3, 42)
+		topo.acker.fail(9999)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("straggler ack/fail blocked after shutdown")
+	}
+	if got := topo.UnresolvedTrees(); got != 0 {
+		t.Errorf("UnresolvedTrees after straggler traffic = %d, want 0", got)
+	}
+}
+
+// Conservation: with a mix of acked and failed trees, every tracked tuple
+// resolves exactly once and the acker retains no entries at shutdown.
+func TestAckerConservationWithFailures(t *testing.T) {
+	const n = 200
+	topo, spouts := buildTrackedChain(n, func(tp *Tuple, _ *BoltCollector) error {
+		if tp.Values[1].(int)%7 == 0 {
+			return errSynthetic
+		}
+		return nil
+	})
+	if err := topo.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := <-spouts
+	if got := len(s.acked) + len(s.failed); got != n {
+		t.Errorf("acked+failed = %d, want %d (each tree resolves exactly once)", got, n)
+	}
+	if got := topo.UnresolvedTrees(); got != 0 {
+		t.Errorf("UnresolvedTrees = %d, want 0", got)
+	}
+}

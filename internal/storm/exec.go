@@ -20,6 +20,11 @@ type Topology struct {
 	comps      []*component
 	byName     map[string]*component
 	acker      *acker
+	// synchronous selects the single-goroutine deterministic scheduler
+	// (see sync.go); syncQ is its FIFO work queue, touched only from the
+	// driving goroutine.
+	synchronous bool
+	syncQ       []syncDelivery
 
 	errMu  sync.Mutex
 	errs   []error // guarded by errMu
@@ -54,9 +59,21 @@ type task struct {
 	// notices delivers completed/failed root notifications to spout tasks
 	// without ever blocking the acker (see notifier).
 	notices *notifier
+	// edgeRand issues the pseudo-random edge ids for tracked deliveries.
+	// Seeded per task at build time so runs with the same Builder seed are
+	// reproducible; only touched from the task's own goroutine. Edge ids
+	// must stay pseudo-random — sequential ids would let distinct
+	// outstanding subsets XOR to zero (1^2^3 == 0) and complete a tree
+	// early.
+	edgeRand *rand.Rand
 	// pendingRoots counts this spout task's unresolved tracked tuples.
 	pendingRoots int64
 	msgIDs       map[int64]any // root -> spout message id
+	// dead marks a task whose lifecycle setup failed in synchronous mode:
+	// deliveries to it fail their trees instead of executing.
+	dead bool
+	// syncCollector is the task's persistent collector in synchronous mode.
+	syncCollector *BoltCollector
 }
 
 type ackNotice struct {
@@ -96,10 +113,11 @@ func (b *Builder) Build() (*Topology, error) {
 		return nil, err
 	}
 	t := &Topology{
-		name:       b.name,
-		queueSize:  b.queueSize,
-		maxPending: b.maxPending,
-		byName:     make(map[string]*component, len(b.order)),
+		name:        b.name,
+		queueSize:   b.queueSize,
+		maxPending:  b.maxPending,
+		synchronous: b.synchronous,
+		byName:      make(map[string]*component, len(b.order)),
 	}
 	for _, name := range b.order {
 		c := &component{def: b.components[name]}
@@ -116,10 +134,11 @@ func (b *Builder) Build() (*Topology, error) {
 		}
 	}
 	// Instantiate tasks.
-	for _, c := range t.comps {
+	for ci, c := range t.comps {
 		c.tasks = make([]*task, c.def.parallelism)
 		for i := range c.tasks {
 			tk := &task{comp: c, index: i, rr: make([]atomic.Uint64, len(c.consumers))}
+			tk.edgeRand = rand.New(rand.NewPCG(b.seed, uint64(ci)<<32|uint64(i)))
 			if c.def.spoutFn != nil {
 				tk.spout = c.def.spoutFn()
 				tk.notices = newNotifier()
@@ -143,6 +162,9 @@ func (b *Builder) Build() (*Topology, error) {
 func (t *Topology) Run(ctx context.Context) error {
 	if t.ranYet.Swap(true) {
 		return fmt.Errorf("storm: topology %q has already run", t.name)
+	}
+	if t.synchronous {
+		return t.runSync(ctx)
 	}
 	t.acker.start()
 
@@ -317,10 +339,14 @@ func (t *Topology) route(tk *task, values Values, root int64) uint64 {
 				root:   root,
 			}
 			if root != 0 {
-				tuple.edge = rand.Uint64() | 1 // never 0: 0 means untracked
+				tuple.edge = tk.edgeRand.Uint64() | 1 // never 0: 0 means untracked
 				xor ^= tuple.edge
 			}
-			target.in <- tuple
+			if t.synchronous {
+				t.syncQ = append(t.syncQ, syncDelivery{task: target, tuple: tuple})
+			} else {
+				target.in <- tuple
+			}
 			c.metrics.Delivered.Add(1)
 		}
 	}
@@ -412,6 +438,19 @@ func (t *Topology) MetricsFor(component string) (MetricsSnapshot, error) {
 		}
 	}
 	return snap, nil
+}
+
+// UnresolvedTrees reports the number of tracked tuple trees that were
+// neither acked nor failed by the time the topology shut down. It returns -1
+// while the topology is still running (or has not run); after Run returns,
+// a conservation-clean run reports 0.
+func (t *Topology) UnresolvedTrees() int {
+	select {
+	case <-t.acker.done:
+		return len(t.acker.entries)
+	default:
+		return -1
+	}
 }
 
 // Components returns the component names in declaration order.

@@ -78,11 +78,13 @@ type componentDef struct {
 // Builder accumulates a topology definition: components, parallelism,
 // output schemas and groupings. It mirrors Storm's TopologyBuilder.
 type Builder struct {
-	name       string
-	components map[string]*componentDef
-	order      []string // declaration order, for deterministic setup
-	queueSize  int
-	maxPending int
+	name        string
+	components  map[string]*componentDef
+	order       []string // declaration order, for deterministic setup
+	queueSize   int
+	maxPending  int
+	seed        uint64
+	synchronous bool
 }
 
 // NewBuilder returns an empty topology definition with the given name.
@@ -91,7 +93,29 @@ func NewBuilder(name string) *Builder {
 		name:       name,
 		components: make(map[string]*componentDef),
 		queueSize:  1024,
+		seed:       0x9e3779b97f4a7c15, // fixed default: builds are reproducible without SetSeed
 	}
+}
+
+// SetSeed sets the seed for the per-task edge-id generators. Two topologies
+// built from identical definitions with the same seed assign identical edge
+// ids, which the simulation harness relies on for replay determinism.
+func (b *Builder) SetSeed(seed uint64) *Builder {
+	b.seed = seed
+	return b
+}
+
+// SetSynchronous selects the single-goroutine deterministic scheduler: Run
+// executes the whole topology on the caller's goroutine, draining each spout
+// tuple's full tree (FIFO) before the next emission. Routing, groupings,
+// metrics, and acker accounting are unchanged — only concurrency is removed,
+// making execution order (and therefore every store write) a pure function
+// of the spout stream. The simulation harness's replay-determinism scenario
+// runs in this mode; the concurrent scheduler cannot make that guarantee
+// because sibling bolts race on shared state even at parallelism one.
+func (b *Builder) SetSynchronous(sync bool) *Builder {
+	b.synchronous = sync
+	return b
 }
 
 // SetQueueSize sets the per-task input queue capacity (default 1024).

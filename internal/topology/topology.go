@@ -84,9 +84,47 @@ func SliceSource(actions []feedback.Action) Source {
 	})
 }
 
+// Options tunes the assembled topology beyond parallelism. The zero value
+// reproduces Build's behaviour; the simulation harness (internal/sim) sets
+// every field to pin the run down deterministically and to inject faults.
+type Options struct {
+	// Tracked makes the spout emit tracked tuples: the acker builds a tree
+	// per action, the Acked/FailedTrees metrics account for every action,
+	// and Topology.UnresolvedTrees can prove conservation after the run.
+	Tracked bool
+	// QueueSize overrides the per-task input queue capacity when > 0.
+	QueueSize int
+	// MaxPending caps unresolved tracked trees per spout task when > 0
+	// (storm's max-spout-pending). MaxPending 1 with Tracked serializes the
+	// pipeline at action granularity: each action's full tuple tree completes
+	// before the next emission.
+	MaxPending int
+	// Synchronous runs the topology on storm's single-goroutine deterministic
+	// scheduler (storm.Builder.SetSynchronous): execution order becomes a
+	// pure function of the action stream — the mode the replay-determinism
+	// scenario needs, since even single-task components race on shared store
+	// keys under the concurrent scheduler.
+	Synchronous bool
+	// Seed seeds the engine's per-task edge-id generators when non-zero.
+	Seed uint64
+	// CacheClock, when non-nil, replaces the wall clock in the ItemPairSim
+	// task-local TTL caches so cache expiry follows a virtual clock instead
+	// of wall time.
+	CacheClock func() time.Time
+	// WrapBolt, when non-nil, decorates every bolt instance as it is
+	// created (name is the component name) — the hook the simulation
+	// harness uses to model bolt restarts and slow bolts.
+	WrapBolt func(name string, b storm.Bolt) storm.Bolt
+}
+
 // Build assembles the Figure 2 topology over the system's components.
 // sources is invoked once per spout task.
 func Build(sys *recommend.System, sources func(task int) Source, par Parallelism) (*storm.Topology, error) {
+	return BuildWithOptions(sys, sources, par, Options{})
+}
+
+// BuildWithOptions is Build with explicit Options.
+func BuildWithOptions(sys *recommend.System, sources func(task int) Source, par Parallelism, opt Options) (*storm.Topology, error) {
 	if sys == nil {
 		return nil, fmt.Errorf("topology: system must not be nil")
 	}
@@ -94,34 +132,52 @@ func Build(sys *recommend.System, sources func(task int) Source, par Parallelism
 		return nil, fmt.Errorf("topology: source factory must not be nil")
 	}
 	b := storm.NewBuilder("rt-video-recommendation")
+	if opt.QueueSize > 0 {
+		b.SetQueueSize(opt.QueueSize)
+	}
+	if opt.MaxPending > 0 {
+		b.SetMaxSpoutPending(opt.MaxPending)
+	}
+	if opt.Seed != 0 {
+		b.SetSeed(opt.Seed)
+	}
+	if opt.Synchronous {
+		b.SetSynchronous(true)
+	}
+	wrap := func(name string, mk func() storm.Bolt) func() storm.Bolt {
+		if opt.WrapBolt == nil {
+			return mk
+		}
+		return func() storm.Bolt { return opt.WrapBolt(name, mk()) }
+	}
 
 	spoutTask := 0
 	b.SetSpout(SpoutName, func() storm.Spout {
-		s := &actionSpout{}
+		s := &actionSpout{tracked: opt.Tracked}
 		s.src = sources(spoutTask)
 		spoutTask++
 		return s
 	}, par.Spout).OutputFields("user", "video", "action")
 
-	b.SetBolt(ComputeMFName, func() storm.Bolt { return &computeMFBolt{sys: sys} }, par.ComputeMF).
+	b.SetBolt(ComputeMFName, wrap(ComputeMFName, func() storm.Bolt { return &computeMFBolt{sys: sys} }), par.ComputeMF).
 		FieldsGrouping(SpoutName, "user").
 		OutputFields("key", "kind", "group", "id", "vec", "bias")
 
-	b.SetBolt(MFStorageName, func() storm.Bolt { return &mfStorageBolt{sys: sys} }, par.MFStorage).
+	b.SetBolt(MFStorageName, wrap(MFStorageName, func() storm.Bolt { return &mfStorageBolt{sys: sys} }), par.MFStorage).
 		FieldsGrouping(ComputeMFName, "key")
 
-	b.SetBolt(UserHistoryName, func() storm.Bolt { return &userHistoryBolt{sys: sys} }, par.UserHistory).
+	b.SetBolt(UserHistoryName, wrap(UserHistoryName, func() storm.Bolt { return &userHistoryBolt{sys: sys} }), par.UserHistory).
 		FieldsGrouping(SpoutName, "user")
 
-	b.SetBolt(GetItemPairsName, func() storm.Bolt { return &getItemPairsBolt{sys: sys} }, par.GetItemPairs).
+	b.SetBolt(GetItemPairsName, wrap(GetItemPairsName, func() storm.Bolt { return &getItemPairsBolt{sys: sys} }), par.GetItemPairs).
 		FieldsGrouping(SpoutName, "user").
 		OutputFields("video1", "video2", "group", "tsms")
 
-	b.SetBolt(ItemPairSimName, func() storm.Bolt { return &itemPairSimBolt{sys: sys} }, par.ItemPairSim).
+	b.SetBolt(ItemPairSimName, wrap(ItemPairSimName, func() storm.Bolt { return &itemPairSimBolt{sys: sys, clock: opt.CacheClock} }), par.ItemPairSim).
 		FieldsGrouping(GetItemPairsName, "video1", "video2").
 		OutputFields("video1", "video2", "sim", "group", "tsms")
 
-	b.SetBolt(ResultStorageName, func() storm.Bolt { return &resultStorageBolt{sys: sys} }, par.ResultStorage).
+	b.SetBolt(ResultStorageName, wrap(ResultStorageName, func() storm.Bolt { return &resultStorageBolt{sys: sys} }), par.ResultStorage).
 		FieldsGrouping(ItemPairSimName, "video1")
 
 	return b.Build()
@@ -130,8 +186,10 @@ func Build(sys *recommend.System, sources func(task int) Source, par Parallelism
 // actionSpout parses and emits the raw action stream: "the spout gets data
 // ..., parses the raw message, filters the unqualified data tuples".
 type actionSpout struct {
-	src Source
-	out *storm.SpoutCollector
+	src     Source
+	out     *storm.SpoutCollector
+	tracked bool
+	seq     int // message ids for tracked emissions
 }
 
 func (s *actionSpout) Open(_ *storm.Context, out *storm.SpoutCollector) error {
@@ -148,9 +206,20 @@ func (s *actionSpout) NextTuple() (bool, error) {
 	if a.UserID == "" || a.VideoID == "" {
 		return true, nil // unqualified tuple: filter, keep streaming
 	}
-	s.out.Emit(storm.Values{a.UserID, a.VideoID, a})
+	if s.tracked {
+		s.seq++
+		s.out.EmitTracked(s.seq, storm.Values{a.UserID, a.VideoID, a})
+	} else {
+		s.out.Emit(storm.Values{a.UserID, a.VideoID, a})
+	}
 	return true, nil
 }
+
+// Ack and Fail satisfy storm.Acknowledger for tracked runs; resolution
+// accounting lives in the topology metrics (Acked/FailedTrees), so the hooks
+// have nothing further to record.
+func (s *actionSpout) Ack(any)  {}
+func (s *actionSpout) Fail(any) {}
 
 func actionOf(t *storm.Tuple) (feedback.Action, error) {
 	v, err := t.Field("action")
@@ -387,6 +456,7 @@ type itemPairSimBolt struct {
 	sys     *recommend.System
 	ctx     context.Context
 	out     *storm.BoltCollector
+	clock   func() time.Time              // nil = wall clock; set via Options.CacheClock
 	vectors *lru.Cache[string, []float64] // key: group|video
 	types   *lru.Cache[string, string]    // key: video
 }
@@ -402,6 +472,10 @@ func (b *itemPairSimBolt) Prepare(cctx *storm.Context, out *storm.BoltCollector)
 	b.out = out
 	b.vectors = lru.New[string, []float64](vectorCacheSize, vectorCacheTTL)
 	b.types = lru.New[string, string](vectorCacheSize, 0) // types are immutable
+	if b.clock != nil {
+		b.vectors.SetClock(b.clock)
+		b.types.SetClock(b.clock)
+	}
 	return nil
 }
 func (b *itemPairSimBolt) Cleanup() error { return nil }
