@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint lint-baseline test-sim fuzz check
+.PHONY: build test race vet fmt lint lint-baseline test-sim fuzz bench check
 
 # Accepted pre-existing findings (pass<TAB>file<TAB>message). Kept empty when
 # the tree is clean; `make lint-baseline` regenerates it after a new pass
@@ -57,5 +57,16 @@ fuzz:
 	$(GO) test ./internal/kvstore -run '^$$' -fuzz '^FuzzDecodeFloats$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/kvstore -run '^$$' -fuzz '^FuzzNetRequestFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/feedback -run '^$$' -fuzz '^FuzzWeight$$' -fuzztime $(FUZZTIME)
+
+# Serving-latency benchmark tier: the BenchmarkRecommend matrix (embedded vs
+# networked store × cold vs warm object cache) with allocation stats, recorded
+# to BENCH_PR4.json via cmd/benchjson. The baseline field of the JSON holds
+# the pre-optimisation numbers and is preserved across runs; compare against
+# it before claiming a serving-path change is an improvement. BENCHTIME
+# trades precision for wall-clock time.
+BENCHTIME ?= 200x
+bench:
+	$(GO) test -run '^$$' -bench '^BenchmarkRecommend$$' -benchmem -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR4.json
 
 check: build vet fmt lint test race test-sim fuzz

@@ -325,6 +325,88 @@ func BenchmarkRecommendLatency(b *testing.B) {
 	}
 }
 
+// BenchmarkRecommend measures end-to-end request serving across the
+// deployment matrix the serving fast path targets: embedded vs networked
+// store × cold vs warm decoded-value cache. Warm is the production steady
+// state (every read served from the object cache); cold flushes the cache
+// before each request, so every object is fetched and decoded again. The
+// dataset shape matches BenchmarkRecommendLatency so numbers stay
+// comparable across revisions; `make bench` records this matrix in
+// BENCH_PR4.json.
+func BenchmarkRecommend(b *testing.B) {
+	cfg := dataset.DefaultConfig()
+	cfg.Users = 400
+	cfg.Videos = 150
+	cfg.Days = 1
+	cfg.EventsPerDay = 8000
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := d.Users()
+
+	build := func(b *testing.B, kv kvstore.Store) *recommend.System {
+		sys, err := recommend.NewSystem(kv, core.DefaultParams(),
+			simtable.DefaultConfig(), recommend.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.FillCatalog(context.Background(), sys.Catalog)
+		d.FillProfiles(context.Background(), sys.Profiles)
+		for _, a := range d.AllActions() {
+			if err := sys.Ingest(context.Background(), a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return sys
+	}
+
+	run := func(sys *recommend.System, cold bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			// Prime every rotating user once so the warm case measures
+			// steady-state cache hits rather than first-touch misses.
+			for i := range users {
+				if _, err := sys.Recommend(context.Background(), recommend.Request{UserID: users[i].ID, N: 10}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if cold {
+					b.StopTimer()
+					sys.Cache().Flush()
+					b.StartTimer()
+				}
+				if _, err := sys.Recommend(context.Background(), recommend.Request{UserID: users[i%len(users)].ID, N: 10}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	b.Run("store=local", func(b *testing.B) {
+		sys := build(b, kvstore.NewLocal(64))
+		b.Run("cache=warm", run(sys, false))
+		b.Run("cache=cold", run(sys, true))
+	})
+	b.Run("store=net", func(b *testing.B) {
+		srv, err := kvstore.NewServer(context.Background(), kvstore.NewLocal(64), "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		cli, err := kvstore.DialContext(context.Background(), srv.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		sys := build(b, cli)
+		b.Run("cache=warm", run(sys, false))
+		b.Run("cache=cold", run(sys, true))
+	})
+}
+
 // BenchmarkTopologyThroughput streams a fixed workload through the Figure 2
 // topology at two parallelism levels and reports actions/second.
 func BenchmarkTopologyThroughput(b *testing.B) {

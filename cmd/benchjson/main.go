@@ -1,0 +1,147 @@
+// Command benchjson converts `go test -bench` output into a machine-readable
+// JSON summary, so benchmark numbers can be committed and diffed across
+// revisions (EXPERIMENTS.md documents the BENCH_PR4.json instance).
+//
+// It reads the benchmark output on stdin, echoes it to stdout unchanged (so
+// it can sit at the end of a pipe without hiding the run), and writes a JSON
+// file with one record per benchmark line. If the output file already exists,
+// its "baseline" and "note" fields are preserved verbatim — the baseline is
+// the pre-optimisation measurement a change is judged against, and a fresh
+// run must never silently overwrite it.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkRecommend' -benchmem . | go run ./cmd/benchjson -out BENCH_PR4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// File is the on-disk schema. Baseline holds the pre-change measurements the
+// current numbers are compared against; it is carried over from an existing
+// file, never regenerated.
+type File struct {
+	Note       string      `json:"note,omitempty"`
+	Baseline   []Benchmark `json:"baseline,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "JSON file to write (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+	benches, err := parseBench(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin (did the run fail?)")
+		os.Exit(1)
+	}
+	if err := writeFile(*out, benches); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench scans `go test -bench` output, echoing every line to echo and
+// collecting benchmark result lines. A result line is
+//
+//	BenchmarkName[-P]  N  1234 ns/op [5678 B/op] [9 allocs/op] [extra metrics]
+//
+// Unknown per-op metrics (MB/s, actions/s, ...) are ignored. The -P
+// GOMAXPROCS suffix is stripped so names compare across machines.
+func parseBench(r io.Reader, echo io.Writer) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			if _, err := fmt.Fprintln(echo, line); err != nil {
+				return nil, err
+			}
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // e.g. "BenchmarkFoo ... FAIL" or unrelated prose
+		}
+		b := Benchmark{Name: stripProcSuffix(fields[0])}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+				seen = true
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		if seen {
+			out = append(out, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+// stripProcSuffix removes the trailing -GOMAXPROCS from a benchmark name
+// ("BenchmarkFoo/bar-8" → "BenchmarkFoo/bar"). Names without the suffix
+// (GOMAXPROCS=1 runs omit it) pass through unchanged.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// writeFile merges the fresh benchmarks into path, preserving any existing
+// baseline and note.
+func writeFile(path string, benches []Benchmark) error {
+	var f File
+	if prev, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(prev, &f); err != nil {
+			return fmt.Errorf("existing %s is not valid JSON (refusing to clobber): %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	f.Benchmarks = benches
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: vidrec
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkRecommend/store=local/cache=warm-8         	   26000	     41000 ns/op	   23204 B/op	     140 allocs/op
+BenchmarkRecommend/store=local/cache=cold         	    9000	    120000 ns/op	   70100 B/op	     590 allocs/op
+BenchmarkTopologyThroughput/parallelism-4-8 	       2	 600000000 ns/op	        6600 actions/s
+PASS
+ok  	vidrec	12.092s
+`
+
+func TestParseBench(t *testing.T) {
+	var echo strings.Builder
+	got, err := parseBench(strings.NewReader(sampleOutput), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo.String() != sampleOutput {
+		t.Error("input not echoed verbatim")
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	warm := got[0]
+	if warm.Name != "BenchmarkRecommend/store=local/cache=warm" {
+		t.Errorf("proc suffix not stripped: %q", warm.Name)
+	}
+	if warm.NsPerOp != 41000 || warm.BytesPerOp != 23204 || warm.AllocsPerOp != 140 {
+		t.Errorf("warm = %+v", warm)
+	}
+	// GOMAXPROCS=1 runs omit the -P suffix; the sub-benchmark's own -4 must
+	// survive while the trailing -8 is stripped elsewhere.
+	if got[1].Name != "BenchmarkRecommend/store=local/cache=cold" {
+		t.Errorf("suffix-less name mangled: %q", got[1].Name)
+	}
+	if got[2].Name != "BenchmarkTopologyThroughput/parallelism-4" {
+		t.Errorf("name = %q, want trailing -8 stripped but -4 kept", got[2].Name)
+	}
+	if got[2].BytesPerOp != 0 || got[2].AllocsPerOp != 0 {
+		t.Errorf("unknown metric leaked into B/op or allocs/op: %+v", got[2])
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	in := "BenchmarkBroken\nBenchmarkAlso broken ns/op\nnothing here\n"
+	got, err := parseBench(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise, want 0", len(got))
+	}
+}
+
+func TestWriteFilePreservesBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	seed := File{
+		Note:     "pre-change numbers",
+		Baseline: []Benchmark{{Name: "BenchmarkRecommend/store=local/cache=warm", NsPerOp: 107300, BytesPerOp: 69661, AllocsPerOp: 579}},
+	}
+	data, err := json.Marshal(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := []Benchmark{{Name: "BenchmarkRecommend/store=local/cache=warm", NsPerOp: 41000}}
+	if err := writeFile(path, fresh); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got File
+	if err := json.Unmarshal(out, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != seed.Note || len(got.Baseline) != 1 || got.Baseline[0].NsPerOp != 107300 {
+		t.Errorf("baseline not preserved: %+v", got)
+	}
+	if len(got.Benchmarks) != 1 || got.Benchmarks[0].NsPerOp != 41000 {
+		t.Errorf("fresh benchmarks not written: %+v", got)
+	}
+
+	// A corrupt existing file must not be clobbered.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(bad, fresh); err == nil {
+		t.Error("writeFile clobbered a corrupt file without error")
+	}
+}
+
+func TestWriteFileFreshStart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "new.json")
+	if err := writeFile(path, []Benchmark{{Name: "BenchmarkX", NsPerOp: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	var got File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != 1 || got.Baseline != nil {
+		t.Errorf("fresh file = %+v", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"vidrec/internal/kvstore"
+	"vidrec/internal/objcache"
 )
 
 // Video is one catalog record.
@@ -28,9 +29,15 @@ type Video struct {
 
 // Catalog is a kvstore-backed video metadata table.
 type Catalog struct {
-	kv kvstore.Store
-	ns string
+	kv    kvstore.Store
+	ns    string
+	cache *objcache.Cache // nil disables the decoded-record read cache
 }
+
+// SetCache attaches a decoded-value read cache for catalog records. The
+// cache must wrap the same store via objcache.WrapStore so Put invalidates
+// it. Records are small value structs, returned by value — no aliasing.
+func (c *Catalog) SetCache(cc *objcache.Cache) { c.cache = cc }
 
 // New returns a catalog stored under the given namespace.
 func New(name string, kv kvstore.Store) (*Catalog, error) {
@@ -57,22 +64,25 @@ func (c *Catalog) Put(ctx context.Context, v Video) error {
 
 // Get fetches a video record, reporting whether it exists.
 func (c *Catalog) Get(ctx context.Context, id string) (Video, bool, error) {
-	raw, ok, err := c.kv.Get(ctx, kvstore.Key(c.ns, id))
-	if err != nil {
-		return Video{}, false, fmt.Errorf("catalog: get %s: %w", id, err)
-	}
-	if !ok {
-		return Video{}, false, nil
-	}
-	fields, err := kvstore.DecodeStrings(raw)
-	if err != nil || len(fields) != 2 {
-		return Video{}, false, fmt.Errorf("catalog: corrupt record for %s: %v", id, err)
-	}
-	ms, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Video{}, false, fmt.Errorf("catalog: corrupt length for %s: %w", id, err)
-	}
-	return Video{ID: id, Type: fields[0], Length: time.Duration(ms) * time.Millisecond}, true, nil
+	key := kvstore.Key(c.ns, id)
+	return objcache.Cached(c.cache, key, func() (Video, bool, error) {
+		raw, ok, err := c.kv.Get(ctx, key)
+		if err != nil {
+			return Video{}, false, fmt.Errorf("catalog: get %s: %w", id, err)
+		}
+		if !ok {
+			return Video{}, false, nil
+		}
+		fields, err := kvstore.DecodeStrings(raw)
+		if err != nil || len(fields) != 2 {
+			return Video{}, false, fmt.Errorf("catalog: corrupt record for %s: %v", id, err)
+		}
+		ms, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return Video{}, false, fmt.Errorf("catalog: corrupt length for %s: %w", id, err)
+		}
+		return Video{ID: id, Type: fields[0], Length: time.Duration(ms) * time.Millisecond}, true, nil
+	})
 }
 
 // Type returns the video's category, or "" when the video is unknown —

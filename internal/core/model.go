@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"vidrec/internal/feedback"
 	"vidrec/internal/kvstore"
+	"vidrec/internal/objcache"
 	"vidrec/internal/vecmath"
 )
 
@@ -82,12 +84,42 @@ type Model struct {
 	store  kvstore.Store
 	params Params
 	stats  Stats
+	cache  *objcache.Cache // nil disables the decoded-value read cache
 
 	nsUserVec  string
 	nsItemVec  string
 	nsUserBias string
 	nsItemBias string
 	keyMean    string
+
+	// keyMemo interns the item-parameter store keys: they are pure functions
+	// of the item id, and serving composes the same few hundred on every
+	// request. Item ids are catalog-bounded, so the memo is too. User keys
+	// are NOT memoized — user ids are unbounded.
+	keyMu   sync.RWMutex
+	keyMemo map[string]itemKeys // guarded by keyMu
+
+	// scorePool recycles scoreCached's per-call working arrays.
+	scorePool sync.Pool
+}
+
+// itemKeys is one item's pair of store keys (vector and bias namespaces).
+type itemKeys struct{ vec, bias string }
+
+// itemKeysFor returns the item's memoized store keys, composing and
+// remembering them on first sight.
+func (m *Model) itemKeysFor(id string) itemKeys {
+	m.keyMu.RLock()
+	k, ok := m.keyMemo[id]
+	m.keyMu.RUnlock()
+	if ok {
+		return k
+	}
+	k = itemKeys{vec: kvstore.Key(m.nsItemVec, id), bias: kvstore.Key(m.nsItemBias, id)}
+	m.keyMu.Lock()
+	m.keyMemo[id] = k
+	m.keyMu.Unlock()
+	return k
 }
 
 // NewModel creates or reattaches a model named name on the given store.
@@ -110,11 +142,19 @@ func NewModel(name string, store kvstore.Store, p Params) (*Model, error) {
 		nsUserBias: name + ".ub",
 		nsItemBias: name + ".ib",
 		keyMean:    kvstore.Key(name+".meta", "mean"),
+		keyMemo:    make(map[string]itemKeys),
 	}, nil
 }
 
 // Name returns the model's namespace name.
 func (m *Model) Name() string { return m.name }
+
+// SetCache attaches a decoded-value read cache. The cache must wrap the same
+// store via objcache.WrapStore (NewSystem does both), or writes would not
+// invalidate it. Cached vectors are shared across callers and must be treated
+// as read-only — every consumer either dots them in place or clones before
+// mutating (Params.Step clones).
+func (m *Model) SetCache(c *objcache.Cache) { m.cache = c }
 
 // Params returns the model's hyper-parameters.
 func (m *Model) Params() Params { return m.params }
@@ -156,19 +196,36 @@ func (p Params) initVector(kind, id string) []float64 {
 	return v
 }
 
+// loadVector fetches and decodes the vector stored under ns:id through the
+// cache (read-through; a nil cache goes straight to the store). The returned
+// slice may be cache-shared: treat it as read-only.
+func (m *Model) loadVector(ctx context.Context, kind, ns, id string) ([]float64, bool, error) {
+	key := kvstore.Key(ns, id)
+	return objcache.Cached(m.cache, key, func() ([]float64, bool, error) {
+		b, ok, err := m.store.Get(ctx, key)
+		if err != nil {
+			return nil, false, fmt.Errorf("core: load %s vector %s: %w", kind, id, err)
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		v, err := kvstore.DecodeFloats(b)
+		if err != nil {
+			return nil, false, fmt.Errorf("core: decode %s vector %s: %w", kind, id, err)
+		}
+		return v, true, nil
+	})
+}
+
 // userState loads (or cold-start initializes) the user's vector and bias.
 // The returned bool reports whether the user was new.
 func (m *Model) userState(ctx context.Context, id string) ([]float64, float64, bool, error) {
-	vb, ok, err := m.store.Get(ctx, kvstore.Key(m.nsUserVec, id))
+	vec, ok, err := m.loadVector(ctx, "user", m.nsUserVec, id)
 	if err != nil {
-		return nil, 0, false, fmt.Errorf("core: load user vector %s: %w", id, err)
+		return nil, 0, false, err
 	}
 	if !ok {
 		return m.params.initVector("u", id), 0, true, nil
-	}
-	vec, err := kvstore.DecodeFloats(vb)
-	if err != nil {
-		return nil, 0, false, fmt.Errorf("core: decode user vector %s: %w", id, err)
 	}
 	bias, err := m.loadBias(ctx, m.nsUserBias, id)
 	if err != nil {
@@ -178,16 +235,12 @@ func (m *Model) userState(ctx context.Context, id string) ([]float64, float64, b
 }
 
 func (m *Model) itemState(ctx context.Context, id string) ([]float64, float64, bool, error) {
-	vb, ok, err := m.store.Get(ctx, kvstore.Key(m.nsItemVec, id))
+	vec, ok, err := m.loadVector(ctx, "item", m.nsItemVec, id)
 	if err != nil {
-		return nil, 0, false, fmt.Errorf("core: load item vector %s: %w", id, err)
+		return nil, 0, false, err
 	}
 	if !ok {
 		return m.params.initVector("i", id), 0, true, nil
-	}
-	vec, err := kvstore.DecodeFloats(vb)
-	if err != nil {
-		return nil, 0, false, fmt.Errorf("core: decode item vector %s: %w", id, err)
 	}
 	bias, err := m.loadBias(ctx, m.nsItemBias, id)
 	if err != nil {
@@ -197,16 +250,23 @@ func (m *Model) itemState(ctx context.Context, id string) ([]float64, float64, b
 }
 
 func (m *Model) loadBias(ctx context.Context, ns, id string) (float64, error) {
-	b, ok, err := m.store.Get(ctx, kvstore.Key(ns, id))
-	if err != nil {
-		return 0, fmt.Errorf("core: load bias %s:%s: %w", ns, id, err)
-	}
-	if !ok {
-		return 0, nil
-	}
-	v, err := kvstore.DecodeFloat(b)
-	if err != nil {
-		return 0, fmt.Errorf("core: decode bias %s:%s: %w", ns, id, err)
+	key := kvstore.Key(ns, id)
+	v, ok, err := objcache.Cached(m.cache, key, func() (float64, bool, error) {
+		b, ok, err := m.store.Get(ctx, key)
+		if err != nil {
+			return 0, false, fmt.Errorf("core: load bias %s: %w", key, err)
+		}
+		if !ok {
+			return 0, false, nil
+		}
+		f, err := kvstore.DecodeFloat(b)
+		if err != nil {
+			return 0, false, fmt.Errorf("core: decode bias %s: %w", key, err)
+		}
+		return f, true, nil
+	})
+	if err != nil || !ok {
+		return 0, err
 	}
 	return v, nil
 }
@@ -258,26 +318,33 @@ func (m *Model) StoreItem(ctx context.Context, id string, vec []float64, bias fl
 }
 
 // globalMean returns μ. When TrackGlobalMean is off it is 0, reducing Eq. 2
-// to the bias-plus-interaction form.
+// to the bias-plus-interaction form. The computed ratio is cached under the
+// record's key; every ObserveRating update invalidates it.
 func (m *Model) globalMean(ctx context.Context) (float64, error) {
 	if !m.params.TrackGlobalMean {
 		return 0, nil
 	}
-	b, ok, err := m.store.Get(ctx, m.keyMean)
-	if err != nil {
-		return 0, fmt.Errorf("core: load global mean: %w", err)
+	mu, ok, err := objcache.Cached(m.cache, m.keyMean, func() (float64, bool, error) {
+		b, ok, err := m.store.Get(ctx, m.keyMean)
+		if err != nil {
+			return 0, false, fmt.Errorf("core: load global mean: %w", err)
+		}
+		if !ok {
+			return 0, false, nil
+		}
+		vals, err := kvstore.DecodeFloats(b)
+		if err != nil || len(vals) != 2 {
+			return 0, false, fmt.Errorf("core: corrupt global mean record: %v", err)
+		}
+		if vals[1] == 0 {
+			return 0, true, nil
+		}
+		return vals[0] / vals[1], true, nil
+	})
+	if err != nil || !ok {
+		return 0, err
 	}
-	if !ok {
-		return 0, nil
-	}
-	vals, err := kvstore.DecodeFloats(b)
-	if err != nil || len(vals) != 2 {
-		return 0, fmt.Errorf("core: corrupt global mean record: %v", err)
-	}
-	if vals[1] == 0 {
-		return 0, nil
-	}
-	return vals[0] / vals[1], nil
+	return mu, nil
 }
 
 // ObserveRating folds one action's binary rating into the running global
@@ -416,6 +483,11 @@ func (m *Model) ItemVector(ctx context.Context, id string) (vec []float64, bias 
 // with a single user-state load and a batched item fetch — the hot path of
 // real-time recommendation generation (Fig. 1's "SORT&SELECT WITH User
 // vector"). The result is parallel to items.
+//
+// With a cache attached, item vectors and biases are looked up first and only
+// the misses go to the store, still in one MGet; a fully warm cache scores
+// with zero store round trips. Without a cache, vectors and biases share one
+// combined MGet and decode into a reused scratch buffer.
 func (m *Model) ScoreCandidates(ctx context.Context, userID string, items []string) ([]float64, error) {
 	uvec, ubias, _, err := m.userState(ctx, userID)
 	if err != nil {
@@ -425,39 +497,148 @@ func (m *Model) ScoreCandidates(ctx context.Context, userID string, items []stri
 	if err != nil {
 		return nil, err
 	}
-	vecKeys := make([]string, len(items))
-	biasKeys := make([]string, len(items))
-	for i, id := range items {
-		vecKeys[i] = kvstore.Key(m.nsItemVec, id)
-		biasKeys[i] = kvstore.Key(m.nsItemBias, id)
-	}
-	vecs, err := m.store.MGet(ctx, vecKeys)
-	if err != nil {
-		return nil, fmt.Errorf("core: batch load item vectors: %w", err)
-	}
-	biases, err := m.store.MGet(ctx, biasKeys)
-	if err != nil {
-		return nil, fmt.Errorf("core: batch load item biases: %w", err)
-	}
 	scores := make([]float64, len(items))
+	if m.cache != nil {
+		return m.scoreCached(ctx, items, scores, uvec, ubias, mu)
+	}
+	keys := make([]string, 2*len(items))
+	for i, id := range items {
+		ik := m.itemKeysFor(id)
+		keys[i] = ik.vec
+		keys[len(items)+i] = ik.bias
+	}
+	vals, err := m.store.MGet(ctx, keys)
+	if err != nil {
+		return nil, fmt.Errorf("core: batch load item params: %w", err)
+	}
+	var scratch []float64 // decode target reused across items; consumed by Dot before the next decode
 	for i, id := range items {
 		var ivec []float64
-		if vecs[i] != nil {
-			ivec, err = kvstore.DecodeFloats(vecs[i])
+		if vb := vals[i]; vb != nil {
+			scratch, err = kvstore.DecodeFloatsInto(scratch, vb)
 			if err != nil {
 				return nil, fmt.Errorf("core: decode item vector %s: %w", id, err)
 			}
+			ivec = scratch
 		} else {
 			ivec = m.params.initVector("i", id)
 		}
 		var ibias float64
-		if biases[i] != nil {
-			ibias, err = kvstore.DecodeFloat(biases[i])
+		if bb := vals[len(items)+i]; bb != nil {
+			ibias, err = kvstore.DecodeFloat(bb)
 			if err != nil {
 				return nil, fmt.Errorf("core: decode item bias %s: %w", id, err)
 			}
 		}
 		scores[i] = mu + ubias + ibias + vecmath.Dot(uvec, ivec)
+	}
+	return scores, nil
+}
+
+// scoreScratch is scoreCached's per-call working memory, recycled through
+// Model.scorePool. vecs may briefly retain references to cached slices
+// between requests; they are cleared on reuse.
+type scoreScratch struct {
+	vecs     [][]float64
+	haveVec  []bool
+	biases   []float64
+	missKeys []string
+	missVers []uint64
+	missSlot []int
+}
+
+// sized returns the scratch arrays resized (and zeroed) for n items.
+func (s *scoreScratch) sized(n int) (vecs [][]float64, haveVec []bool, biases []float64) {
+	if cap(s.vecs) < n {
+		s.vecs = make([][]float64, n)
+		s.haveVec = make([]bool, n)
+		s.biases = make([]float64, n)
+	} else {
+		s.vecs = s.vecs[:n]
+		s.haveVec = s.haveVec[:n]
+		s.biases = s.biases[:n]
+		clear(s.vecs)
+		clear(s.haveVec)
+		clear(s.biases)
+	}
+	return s.vecs, s.haveVec, s.biases
+}
+
+// scoreCached is the cache-aware half of ScoreCandidates: cache lookups
+// first, then one MGet covering every missing vector and bias key. Miss slots
+// record which (item, vector-or-bias) each fetched key fills; versions are
+// captured before the fetch so a concurrent write can never install a stale
+// decode (see objcache.StoreIfUnchanged).
+func (m *Model) scoreCached(ctx context.Context, items []string, scores, uvec []float64, ubias, mu float64) ([]float64, error) {
+	n := len(items)
+	scr, _ := m.scorePool.Get().(*scoreScratch)
+	if scr == nil {
+		scr = &scoreScratch{}
+	}
+	defer m.scorePool.Put(scr)
+	vecs, haveVec, biases := scr.sized(n) // haveVec: vector present in store (false ⇒ cold-start init)
+	missKeys := scr.missKeys[:0]
+	missVers := scr.missVers[:0]
+	missSlot := scr.missSlot[:0] // item index *2, +1 when the key is the bias
+	miss := func(key string, slot int) {
+		missVers = append(missVers, m.cache.Version(key))
+		missKeys = append(missKeys, key)
+		missSlot = append(missSlot, slot)
+	}
+	for i, id := range items {
+		ik := m.itemKeysFor(id)
+		if v, present, ok := m.cache.Lookup(ik.vec); ok {
+			if present {
+				vecs[i] = v.([]float64)
+				haveVec[i] = true
+			}
+		} else {
+			miss(ik.vec, i*2)
+		}
+		if v, present, ok := m.cache.Lookup(ik.bias); ok {
+			if present {
+				biases[i] = v.(float64)
+			}
+		} else {
+			miss(ik.bias, i*2+1)
+		}
+	}
+	scr.missKeys, scr.missVers, scr.missSlot = missKeys[:0], missVers[:0], missSlot[:0]
+	if len(missKeys) > 0 {
+		vals, err := m.store.MGet(ctx, missKeys)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch load item params: %w", err)
+		}
+		for j, b := range vals {
+			i := missSlot[j] / 2
+			if b == nil {
+				m.cache.StoreIfUnchanged(missKeys[j], nil, false, missVers[j])
+				continue
+			}
+			if missSlot[j]%2 == 0 {
+				v, err := kvstore.DecodeFloats(b)
+				if err != nil {
+					return nil, fmt.Errorf("core: decode item vector %s: %w", items[i], err)
+				}
+				vecs[i] = v
+				haveVec[i] = true
+				m.cache.StoreIfUnchanged(missKeys[j], v, true, missVers[j])
+			} else {
+				v, err := kvstore.DecodeFloat(b)
+				if err != nil {
+					return nil, fmt.Errorf("core: decode item bias %s: %w", items[i], err)
+				}
+				biases[i] = v
+				m.cache.StoreIfUnchanged(missKeys[j], v, true, missVers[j])
+			}
+		}
+	}
+	for i, id := range items {
+		ivec := vecs[i]
+		if !haveVec[i] {
+			ivec = m.params.initVector("i", id)
+		}
+		scores[i] = mu + ubias + biases[i] + vecmath.Dot(uvec, ivec)
 	}
 	return scores, nil
 }

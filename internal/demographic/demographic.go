@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"vidrec/internal/kvstore"
+	"vidrec/internal/objcache"
 )
 
 // GlobalGroup is the catch-all demographic group: unregistered users,
@@ -144,9 +145,14 @@ func (p Profile) Group() string {
 
 // Profiles is a kvstore-backed user profile table.
 type Profiles struct {
-	kv kvstore.Store
-	ns string
+	kv    kvstore.Store
+	ns    string
+	cache *objcache.Cache // nil disables the decoded-profile read cache
 }
+
+// SetCache attaches a decoded-value read cache for profile records. The cache
+// must wrap the same store via objcache.WrapStore so Put invalidates it.
+func (p *Profiles) SetCache(c *objcache.Cache) { p.cache = c }
 
 // NewProfiles returns a profile table under the given namespace.
 func NewProfiles(name string, kv kvstore.Store) (*Profiles, error) {
@@ -180,28 +186,32 @@ func (p *Profiles) Put(ctx context.Context, prof Profile) error {
 	return nil
 }
 
-// Get fetches a profile, reporting whether one exists.
+// Get fetches a profile, reporting whether one exists. Profiles are small
+// value structs, so the cached copy is returned by value — no aliasing.
 func (p *Profiles) Get(ctx context.Context, userID string) (Profile, bool, error) {
-	raw, ok, err := p.kv.Get(ctx, kvstore.Key(p.ns, userID))
-	if err != nil {
-		return Profile{}, false, fmt.Errorf("demographic: get %s: %w", userID, err)
-	}
-	if !ok {
-		return Profile{}, false, nil
-	}
-	fields, err := kvstore.DecodeStrings(raw)
-	if err != nil || len(fields) != 4 {
-		return Profile{}, false, fmt.Errorf("demographic: corrupt profile for %s: %v", userID, err)
-	}
-	var g, a, e int
-	fmt.Sscanf(strings.Join(fields[1:], " "), "%d %d %d", &g, &a, &e)
-	return Profile{
-		UserID:     userID,
-		Registered: fields[0] == "1",
-		Gender:     Gender(g),
-		Age:        AgeBand(a),
-		Education:  Education(e),
-	}, true, nil
+	key := kvstore.Key(p.ns, userID)
+	return objcache.Cached(p.cache, key, func() (Profile, bool, error) {
+		raw, ok, err := p.kv.Get(ctx, key)
+		if err != nil {
+			return Profile{}, false, fmt.Errorf("demographic: get %s: %w", userID, err)
+		}
+		if !ok {
+			return Profile{}, false, nil
+		}
+		fields, err := kvstore.DecodeStrings(raw)
+		if err != nil || len(fields) != 4 {
+			return Profile{}, false, fmt.Errorf("demographic: corrupt profile for %s: %v", userID, err)
+		}
+		var g, a, e int
+		fmt.Sscanf(strings.Join(fields[1:], " "), "%d %d %d", &g, &a, &e)
+		return Profile{
+			UserID:     userID,
+			Registered: fields[0] == "1",
+			Gender:     Gender(g),
+			Age:        AgeBand(a),
+			Education:  Education(e),
+		}, true, nil
+	})
 }
 
 // GroupOf resolves a user's demographic group, defaulting to the global

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"vidrec/internal/kvstore"
+	"vidrec/internal/objcache"
 	"vidrec/internal/topn"
 )
 
@@ -25,6 +26,19 @@ type HotTracker struct {
 	halfLife time.Duration
 	size     int
 	floor    float64
+	cache    *objcache.Cache // nil disables the decoded-record read cache
+}
+
+// SetCache attaches a decoded-value read cache for hot records. The cache
+// must wrap the same store via objcache.WrapStore so Record invalidates it.
+func (h *HotTracker) SetCache(c *objcache.Cache) { h.cache = c }
+
+// hotRecord is the decoded form of one group's stored hot list. Cached
+// records are shared and read-only; Hot copies entries into a fresh output
+// slice when applying the residual decay.
+type hotRecord struct {
+	updatedAt time.Time
+	entries   []topn.Entry
 }
 
 // NewHotTracker returns a tracker whose counters halve every halfLife and
@@ -98,28 +112,37 @@ func (h *HotTracker) Record(ctx context.Context, group, videoID string, weight f
 }
 
 // Hot returns up to k hot videos for the group at time now, hottest first.
+// The decoded record is read through the cache; every Record write to the
+// group invalidates it.
 func (h *HotTracker) Hot(ctx context.Context, group string, k int, now time.Time) ([]topn.Entry, error) {
-	raw, ok, err := h.kv.Get(ctx, kvstore.Key(h.ns, group))
-	if err != nil {
-		return nil, fmt.Errorf("demographic: get hot %s: %w", group, err)
+	key := kvstore.Key(h.ns, group)
+	rec, ok, err := objcache.Cached(h.cache, key, func() (hotRecord, bool, error) {
+		raw, ok, err := h.kv.Get(ctx, key)
+		if err != nil {
+			return hotRecord{}, false, fmt.Errorf("demographic: get hot %s: %w", group, err)
+		}
+		if !ok || len(raw) < 8 {
+			return hotRecord{}, false, nil
+		}
+		ms, err := kvstore.DecodeInt64(raw[:8])
+		if err != nil {
+			return hotRecord{}, false, fmt.Errorf("demographic: corrupt hot record for %s: %w", group, err)
+		}
+		entries, err := kvstore.DecodeEntries(raw[8:])
+		if err != nil {
+			return hotRecord{}, false, fmt.Errorf("demographic: corrupt hot entries for %s: %w", group, err)
+		}
+		return hotRecord{updatedAt: time.UnixMilli(ms), entries: entries}, true, nil
+	})
+	if err != nil || !ok {
+		return nil, err
 	}
-	if !ok || len(raw) < 8 {
-		return nil, nil
-	}
-	ms, err := kvstore.DecodeInt64(raw[:8])
-	if err != nil {
-		return nil, fmt.Errorf("demographic: corrupt hot record for %s: %w", group, err)
-	}
-	entries, err := kvstore.DecodeEntries(raw[8:])
-	if err != nil {
-		return nil, fmt.Errorf("demographic: corrupt hot entries for %s: %w", group, err)
-	}
-	factor := h.damp(now.Sub(time.UnixMilli(ms)))
+	factor := h.damp(now.Sub(rec.updatedAt))
 	if factor > 1 {
 		factor = 1
 	}
-	out := make([]topn.Entry, 0, min(k, len(entries)))
-	for _, e := range entries {
+	out := make([]topn.Entry, 0, min(k, len(rec.entries)))
+	for _, e := range rec.entries {
 		if len(out) == k {
 			break
 		}

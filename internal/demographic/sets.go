@@ -7,6 +7,7 @@ import (
 
 	"vidrec/internal/core"
 	"vidrec/internal/kvstore"
+	"vidrec/internal/objcache"
 	"vidrec/internal/simtable"
 )
 
@@ -20,6 +21,18 @@ type ModelSet struct {
 
 	mu     sync.RWMutex
 	models map[string]*core.Model // guarded by mu
+	cache  *objcache.Cache        // guarded by mu; applied to lazily created models
+}
+
+// SetCache attaches a decoded-value read cache, applied to every existing and
+// future group model.
+func (s *ModelSet) SetCache(c *objcache.Cache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = c
+	for _, m := range s.models {
+		m.SetCache(c)
+	}
 }
 
 // NewModelSet returns an empty set that creates group models on demand with
@@ -57,6 +70,7 @@ func (s *ModelSet) For(group string) (*core.Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.SetCache(s.cache)
 	s.models[group] = m
 	return m, nil
 }
@@ -83,6 +97,18 @@ type TableSet struct {
 
 	mu     sync.RWMutex
 	tables map[string]*simtable.Tables // guarded by mu
+	cache  *objcache.Cache             // guarded by mu; applied to lazily created tables
+}
+
+// SetCache attaches a decoded-value read cache, applied to every existing and
+// future group table set.
+func (s *TableSet) SetCache(c *objcache.Cache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = c
+	for _, t := range s.tables {
+		t.SetCache(c)
+	}
 }
 
 // NewTableSet returns an empty set that creates group tables on demand.
@@ -119,6 +145,7 @@ func (s *TableSet) For(group string) (*simtable.Tables, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.SetCache(s.cache)
 	s.tables[group] = t
 	return t, nil
 }

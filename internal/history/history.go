@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"vidrec/internal/kvstore"
+	"vidrec/internal/objcache"
 	"vidrec/internal/topn"
 )
 
@@ -26,7 +27,14 @@ type Store struct {
 	kv    kvstore.Store
 	ns    string
 	limit int
+	cache *objcache.Cache // nil disables the decoded-history read cache
 }
+
+// SetCache attaches a decoded-value read cache for history records. The
+// cache must wrap the same store via objcache.WrapStore so Append
+// invalidates it. Cached records (events, video list, membership set) are
+// shared and read-only; readers only re-slice, never mutate.
+func (s *Store) SetCache(c *objcache.Cache) { s.cache = c }
 
 // New returns a history store under the given namespace keeping at most
 // limit events per user.
@@ -99,36 +107,90 @@ func (s *Store) Append(ctx context.Context, userID, videoID string, ts time.Time
 	})
 }
 
-// Recent returns up to k events, newest first.
+// record is the cached decoded form of one user's history: the stored events
+// plus two derived read-only views — the video ids in recency order and their
+// membership set — built once per decode so the serving path never rebuilds
+// them per request. All three fields are shared through the cache and must
+// never be modified after construction.
+type record struct {
+	events []Event
+	videos []string
+	set    map[string]bool
+}
+
+func newRecord(events []Event) record {
+	videos := make([]string, len(events))
+	set := make(map[string]bool, len(events))
+	for i, e := range events {
+		videos[i] = e.VideoID
+		set[e.VideoID] = true
+	}
+	return record{events: events, videos: videos, set: set}
+}
+
+// load fetches and decodes the user's record, through the cache when one is
+// attached.
+func (s *Store) load(ctx context.Context, userID string) (record, bool, error) {
+	key := kvstore.Key(s.ns, userID)
+	return objcache.Cached(s.cache, key, func() (record, bool, error) {
+		raw, ok, err := s.kv.Get(ctx, key)
+		if err != nil {
+			return record{}, false, fmt.Errorf("history: get %s: %w", userID, err)
+		}
+		if !ok {
+			return record{}, false, nil
+		}
+		dec, err := decode(raw)
+		if err != nil {
+			return record{}, false, fmt.Errorf("history: corrupt record for %s: %w", userID, err)
+		}
+		return newRecord(dec), true, nil
+	})
+}
+
+// Recent returns up to k events, newest first. The returned slice may alias
+// a cache-shared decode: callers must not modify it.
 func (s *Store) Recent(ctx context.Context, userID string, k int) ([]Event, error) {
-	raw, ok, err := s.kv.Get(ctx, kvstore.Key(s.ns, userID))
-	if err != nil {
-		return nil, fmt.Errorf("history: get %s: %w", userID, err)
+	rec, ok, err := s.load(ctx, userID)
+	if err != nil || !ok {
+		return nil, err
 	}
-	if !ok {
-		return nil, nil
-	}
-	events, err := decode(raw)
-	if err != nil {
-		return nil, fmt.Errorf("history: corrupt record for %s: %w", userID, err)
-	}
+	events := rec.events
 	if k >= 0 && k < len(events) {
 		events = events[:k]
 	}
 	return events, nil
 }
 
-// RecentVideos returns up to k distinct video ids, newest first.
+// RecentVideos returns up to k distinct video ids, newest first. The slice
+// may alias a cache-shared view: callers must not modify it.
 func (s *Store) RecentVideos(ctx context.Context, userID string, k int) ([]string, error) {
-	events, err := s.Recent(ctx, userID, k)
-	if err != nil {
+	rec, ok, err := s.load(ctx, userID)
+	if err != nil || !ok {
 		return nil, err
 	}
-	out := make([]string, len(events))
-	for i, e := range events {
-		out[i] = e.VideoID
+	videos := rec.videos
+	if k >= 0 && k < len(videos) {
+		videos = videos[:k]
 	}
-	return out, nil
+	return videos, nil
+}
+
+// Watched returns up to k recent video ids (newest first) together with the
+// membership set over the user's entire stored history. The set always covers
+// the full record regardless of k — the serving exclusion wants "everything
+// we know this user watched", and the store's own limit is that window. Both
+// views are cache-shared and read-only; an unknown user yields (nil, nil).
+func (s *Store) Watched(ctx context.Context, userID string, k int) ([]string, map[string]bool, error) {
+	rec, ok, err := s.load(ctx, userID)
+	if err != nil || !ok {
+		return nil, nil, err
+	}
+	videos := rec.videos
+	if k >= 0 && k < len(videos) {
+		videos = videos[:k]
+	}
+	return videos, rec.set, nil
 }
 
 // Limit returns the configured per-user bound.

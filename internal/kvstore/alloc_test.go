@@ -1,0 +1,119 @@
+package kvstore
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// TestFNV1a32MatchesStdlib pins the inlined shard hash to hash/fnv: if the
+// two ever diverge, keys silently land on different shards and per-shard
+// invariants (single-writer assumptions, shard statistics) break.
+func TestFNV1a32MatchesStdlib(t *testing.T) {
+	keys := []string{"", "a", "uv:user-42", "sim:video-7", "some/longer:key-with-separators", "\x00\xff"}
+	for i := 0; i < 100; i++ {
+		keys = append(keys, fmt.Sprintf("model/global.iv:video-%d", i))
+	}
+	for _, k := range keys {
+		h := fnv.New32a()
+		h.Write([]byte(k))
+		if want, got := h.Sum32(), fnv1a32(k); got != want {
+			t.Fatalf("fnv1a32(%q) = %#x, stdlib says %#x", k, got, want)
+		}
+	}
+}
+
+// TestShardForDoesNotAllocate is the serving-path guarantee: computing a
+// key's shard must not touch the heap (hash/fnv's New32a allocates its
+// hash.Hash32 on every call, which this replaced).
+func TestShardForDoesNotAllocate(t *testing.T) {
+	l := NewLocal(8)
+	key := "model/global.iv:video-123"
+	if avg := testing.AllocsPerRun(1000, func() {
+		_ = l.shardFor(key)
+	}); avg != 0 {
+		t.Fatalf("shardFor allocates %v objects per call, want 0", avg)
+	}
+}
+
+// TestGetAllocations bounds Local.Get to its single unavoidable allocation:
+// the defensive copy of the value handed to the caller.
+func TestGetAllocations(t *testing.T) {
+	ctx := context.Background()
+	l := NewLocal(8)
+	if err := l.Set(ctx, "k", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, ok, err := l.Get(ctx, "k"); err != nil || !ok {
+			t.Fatal("Get failed")
+		}
+	}); avg > 1 {
+		t.Fatalf("Local.Get allocates %v objects per call, want ≤ 1 (the value copy)", avg)
+	}
+}
+
+// TestDecodeFloatsIntoReuse verifies the buffer-reuse decode: with an
+// adequately sized destination it must not allocate, and it must produce the
+// same values as the allocating form.
+func TestDecodeFloatsIntoReuse(t *testing.T) {
+	v := []float64{1.5, -2.25, 3.125, 0, 1e300, -1e-300}
+	enc := EncodeFloats(v)
+
+	dst := make([]float64, 0, len(v))
+	got, err := DecodeFloatsInto(dst, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(v) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(v))
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("value %d = %v, want %v", i, got[i], v[i])
+		}
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, err := DecodeFloatsInto(dst, enc); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("DecodeFloatsInto with adequate capacity allocates %v objects per call, want 0", avg)
+	}
+
+	// Undersized destination must grow rather than truncate.
+	small := make([]float64, 0, 2)
+	grown, err := DecodeFloatsInto(small, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grown) != len(v) || grown[5] != v[5] {
+		t.Fatalf("grown decode = %v, want %v", grown, v)
+	}
+
+	// Corrupt input still rejected.
+	if _, err := DecodeFloatsInto(nil, enc[:7]); err == nil {
+		t.Fatal("DecodeFloatsInto accepted a truncated encoding")
+	}
+}
+
+// TestAppendFloatsRoundTrip checks the append-form encoder against the
+// allocating one, including appending after existing bytes.
+func TestAppendFloatsRoundTrip(t *testing.T) {
+	v := []float64{3.5, -7.25}
+	prefix := []byte{0xAA, 0xBB}
+	buf := AppendFloats(append([]byte(nil), prefix...), v)
+	if len(buf) != len(prefix)+8*len(v) {
+		t.Fatalf("AppendFloats length = %d, want %d", len(buf), len(prefix)+8*len(v))
+	}
+	dec, err := DecodeFloats(buf[len(prefix):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if dec[i] != v[i] {
+			t.Fatalf("round trip value %d = %v, want %v", i, dec[i], v[i])
+		}
+	}
+}

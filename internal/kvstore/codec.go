@@ -15,23 +15,45 @@ import (
 
 // EncodeFloats encodes a float64 slice as 8 bytes per element.
 func EncodeFloats(v []float64) []byte {
-	buf := make([]byte, 8*len(v))
-	for i, f := range v {
-		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(f))
+	return AppendFloats(make([]byte, 0, 8*len(v)), v)
+}
+
+// AppendFloats appends the EncodeFloats encoding of v to dst and returns the
+// extended slice — the buffer-reuse form for writers that batch encodes into
+// one scratch buffer.
+func AppendFloats(dst []byte, v []float64) []byte {
+	for _, f := range v {
+		var sb [8]byte
+		binary.LittleEndian.PutUint64(sb[:], math.Float64bits(f))
+		dst = append(dst, sb[:]...)
 	}
-	return buf
+	return dst
 }
 
 // DecodeFloats decodes a value produced by EncodeFloats.
 func DecodeFloats(b []byte) ([]float64, error) {
+	return DecodeFloatsInto(nil, b)
+}
+
+// DecodeFloatsInto decodes like DecodeFloats but reuses dst's backing array
+// when it has the capacity, allocating only when it must grow. The serving
+// hot path decodes hundreds of candidate vectors per request into one
+// scratch slice instead of hundreds of fresh allocations; the returned slice
+// aliases dst, so callers must consume it before the next reuse.
+func DecodeFloatsInto(dst []float64, b []byte) ([]float64, error) {
 	if len(b)%8 != 0 {
 		return nil, fmt.Errorf("kvstore: float slice encoding has %d bytes, not a multiple of 8", len(b))
 	}
-	v := make([]float64, len(b)/8)
-	for i := range v {
-		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	n := len(b) / 8
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
 	}
-	return v, nil
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return dst, nil
 }
 
 // EncodeFloat encodes a single float64.

@@ -20,7 +20,6 @@ package kvstore
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 )
@@ -116,10 +115,21 @@ func NewLocal(shards int) *Local {
 	return l
 }
 
+// fnv1a32 is FNV-1a inlined over the key string. hash/fnv's New32a allocates
+// its hash.Hash32 state on every call, which put one heap allocation on every
+// store operation; the inlined form hashes from the string without copying it
+// to a []byte either. Kept bit-identical to hash/fnv (pinned by a test) so
+// shard assignment never silently shifts.
+func fnv1a32(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h
+}
+
 func (l *Local) shardFor(key string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &l.shards[h.Sum32()&l.mask]
+	return &l.shards[fnv1a32(key)&l.mask]
 }
 
 // Get implements Store.

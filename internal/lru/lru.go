@@ -26,7 +26,7 @@ type Cache[K comparable, V any] struct {
 	order *list.List // front = most recent
 	items map[K]*list.Element
 
-	hits, misses uint64
+	hits, misses, evictions uint64
 }
 
 type entry[K comparable, V any] struct {
@@ -90,6 +90,7 @@ func (c *Cache[K, V]) Put(key K, value V) {
 		if oldest != nil {
 			c.order.Remove(oldest)
 			delete(c.items, oldest.Value.(*entry[K, V]).key)
+			c.evictions++
 		}
 	}
 	el := c.order.PushFront(&entry[K, V]{key: key, value: value, expires: c.clock().Add(c.ttl)})
@@ -114,8 +115,27 @@ func (c *Cache[K, V]) GetOrLoad(key K, load func() (V, error)) (V, error) {
 // not yet touched).
 func (c *Cache[K, V]) Len() int { return c.order.Len() }
 
+// Cap returns the configured capacity.
+func (c *Cache[K, V]) Cap() int { return c.capacity }
+
 // Stats returns cumulative hit and miss counts.
 func (c *Cache[K, V]) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Evictions returns how many entries capacity pressure has pushed out
+// (expiry removals are not evictions).
+func (c *Cache[K, V]) Evictions() uint64 { return c.evictions }
+
+// Remove deletes the entry for key if present, reporting whether it was.
+// Removal is an invalidation, not an eviction, and is not counted.
+func (c *Cache[K, V]) Remove(key K) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.items, key)
+	return true
+}
 
 // HitRate returns hits/(hits+misses), or 0 before any access.
 func (c *Cache[K, V]) HitRate() float64 {

@@ -110,3 +110,55 @@ func TestStats(t *testing.T) {
 		t.Error("HitRate of untouched cache not 0")
 	}
 }
+
+func TestEvictionsCounter(t *testing.T) {
+	c := New[string, int](2, 0)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if c.Evictions() != 0 {
+		t.Fatalf("Evictions = %d before overflow, want 0", c.Evictions())
+	}
+	c.Put("c", 3) // evicts "a"
+	c.Put("d", 4) // evicts "b"
+	if c.Evictions() != 2 {
+		t.Errorf("Evictions = %d, want 2", c.Evictions())
+	}
+	// Refreshing an existing key is not an eviction.
+	c.Put("d", 5)
+	if c.Evictions() != 2 {
+		t.Errorf("Evictions = %d after refresh, want 2", c.Evictions())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New[string, int](2, 0)
+	c.Put("a", 1)
+	if !c.Remove("a") {
+		t.Fatal("Remove of present key returned false")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("removed key still readable")
+	}
+	if c.Remove("a") {
+		t.Fatal("Remove of absent key returned true")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after removal, want 0", c.Len())
+	}
+	// Removal is an invalidation, not an eviction.
+	if c.Evictions() != 0 {
+		t.Errorf("Remove counted as eviction: %d", c.Evictions())
+	}
+	// Removing must free the slot without evicting on the next Put.
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if c.Evictions() != 0 {
+		t.Errorf("Put after Remove evicted: %d", c.Evictions())
+	}
+}
+
+func TestCap(t *testing.T) {
+	if got := New[string, int](7, 0).Cap(); got != 7 {
+		t.Errorf("Cap = %d, want 7", got)
+	}
+}

@@ -17,6 +17,23 @@ import (
 // bucketCount covers 1µs to ~1000s in exponential buckets (×2 per bucket).
 const bucketCount = 32
 
+// Counter is a monotonically increasing event counter, safe for concurrent
+// use. The zero value is ready. It exists so subsystems that export
+// operation counts (the kvstore, the decoded-object cache) share one
+// primitive instead of re-deriving atomic wrappers.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.n.Load() }
+
 // Histogram is a fixed-bucket exponential latency histogram. The zero value
 // is ready to use. All methods are safe for concurrent use.
 type Histogram struct {

@@ -122,6 +122,37 @@ func TestSnapshotString(t *testing.T) {
 	}
 }
 
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Error("zero-value counter not 0")
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Errorf("Load = %d, want 5", c.Load())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != workers*per {
+		t.Errorf("Load = %d, want %d (lost increments)", c.Load(), workers*per)
+	}
+}
+
 func TestBucketExtremes(t *testing.T) {
 	var h Histogram
 	h.Observe(0)              // below first bucket

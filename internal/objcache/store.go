@@ -1,0 +1,70 @@
+package objcache
+
+import (
+	"context"
+
+	"vidrec/internal/kvstore"
+)
+
+// invalidatingStore decorates a kvstore.Store so every write drops the
+// written key's cached decoded object. This is the single hook that keeps
+// the cache coherent: components never invalidate by hand, they just write
+// through the store they were constructed with, exactly as before.
+//
+// Invalidation happens after the inner operation returns — the shard-version
+// guard in Cache.Load then guarantees no reader can install a decode of the
+// pre-write bytes afterwards. Failed writes invalidate too: dropping a
+// still-valid entry costs one re-read, while skipping an invalidation on a
+// partially applied write could serve stale objects forever.
+type invalidatingStore struct {
+	inner kvstore.Store
+	cache *Cache
+}
+
+// WrapStore returns a Store whose writes invalidate cache. A nil cache
+// returns inner unchanged.
+func WrapStore(inner kvstore.Store, cache *Cache) kvstore.Store {
+	if cache == nil {
+		return inner
+	}
+	return &invalidatingStore{inner: inner, cache: cache}
+}
+
+// Get implements kvstore.Store. Raw reads pass through: byte-level callers
+// (Update read-modify-write cycles, snapshotting) want the store's truth,
+// and the decoded-object cache would have to re-encode to serve them.
+func (s *invalidatingStore) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	return s.inner.Get(ctx, key)
+}
+
+// MGet implements kvstore.Store.
+func (s *invalidatingStore) MGet(ctx context.Context, keys []string) ([][]byte, error) {
+	return s.inner.MGet(ctx, keys)
+}
+
+// Len implements kvstore.Store.
+func (s *invalidatingStore) Len(ctx context.Context) (int, error) {
+	return s.inner.Len(ctx)
+}
+
+// Set implements kvstore.Store, invalidating key after the write.
+func (s *invalidatingStore) Set(ctx context.Context, key string, val []byte) error {
+	err := s.inner.Set(ctx, key, val)
+	s.cache.Invalidate(key)
+	return err
+}
+
+// Delete implements kvstore.Store, invalidating key after the delete.
+func (s *invalidatingStore) Delete(ctx context.Context, key string) (bool, error) {
+	ok, err := s.inner.Delete(ctx, key)
+	s.cache.Invalidate(key)
+	return ok, err
+}
+
+// Update implements kvstore.Store, invalidating key after the read-modify-
+// write commits.
+func (s *invalidatingStore) Update(ctx context.Context, key string, fn func(cur []byte, exists bool) ([]byte, bool)) error {
+	err := s.inner.Update(ctx, key, fn)
+	s.cache.Invalidate(key)
+	return err
+}

@@ -14,6 +14,7 @@ package recommend
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"vidrec/internal/catalog"
@@ -23,6 +24,7 @@ import (
 	"vidrec/internal/history"
 	"vidrec/internal/kvstore"
 	"vidrec/internal/metrics"
+	"vidrec/internal/objcache"
 	"vidrec/internal/simtable"
 )
 
@@ -54,6 +56,12 @@ type Options struct {
 	HotHalfLife time.Duration
 	// HotCapacity bounds each group's hot list.
 	HotCapacity int
+	// CacheCapacity sizes the decoded-value read cache every component
+	// reads through (objcache): 0 selects objcache.DefaultCapacity,
+	// negative disables the cache entirely. Disabling never changes
+	// results — write-through invalidation keeps cached reads coherent —
+	// only latency.
+	CacheCapacity int
 }
 
 // DefaultOptions returns production-shaped settings.
@@ -114,6 +122,15 @@ type System struct {
 	// statement; see metrics.Histogram).
 	Latency metrics.Histogram
 
+	// cache is the decoded-value read cache shared by every component
+	// (nil when Options.CacheCapacity < 0). kv is wrapped so all writes
+	// invalidate it.
+	cache *objcache.Cache
+
+	// scratch recycles per-request serving buffers (*serveScratch); see
+	// Recommend. A pooled scratch is owned by exactly one request at a time.
+	scratch sync.Pool
+
 	clock func() time.Time
 	now   time.Time
 	// wallClock times Recommend calls for the Latency histogram. Unlike
@@ -123,13 +140,22 @@ type System struct {
 	wallClock func() time.Time
 }
 
-// NewSystem assembles a recommendation system on the given store.
+// NewSystem assembles a recommendation system on the given store. Unless
+// Options.CacheCapacity is negative, the store is wrapped with a decoded-value
+// read cache (objcache.WrapStore) before any component sees it, so every
+// write path — ingest, topology bolts, direct component calls — invalidates
+// the cache and reads stay coherent.
 func NewSystem(kv kvstore.Store, params core.Params, simCfg simtable.Config, opts Options) (*System, error) {
 	if kv == nil {
 		return nil, fmt.Errorf("recommend: store must not be nil")
 	}
 	if err := opts.Validate(); err != nil {
 		return nil, err
+	}
+	var cache *objcache.Cache
+	if opts.CacheCapacity >= 0 {
+		cache = objcache.New(opts.CacheCapacity)
+		kv = objcache.WrapStore(kv, cache)
 	}
 	cat, err := catalog.New("sys", kv)
 	if err != nil {
@@ -155,6 +181,12 @@ func NewSystem(kv kvstore.Store, params core.Params, simCfg simtable.Config, opt
 	if err != nil {
 		return nil, err
 	}
+	cat.SetCache(cache)
+	profiles.SetCache(cache)
+	hist.SetCache(cache)
+	models.SetCache(cache)
+	tables.SetCache(cache)
+	hot.SetCache(cache)
 	return &System{
 		kv:       kv,
 		opts:     opts,
@@ -165,10 +197,16 @@ func NewSystem(kv kvstore.Store, params core.Params, simCfg simtable.Config, opt
 		Models:   models,
 		Tables:   tables,
 		Hot:      hot,
+		cache:    cache,
 		// clockcheck: default wall clock; tests and the sim use SetWallClock.
 		wallClock: time.Now,
 	}, nil
 }
+
+// Cache returns the system's decoded-value read cache, or nil when disabled
+// (Options.CacheCapacity < 0). Benchmarks flush it to measure cold-cache
+// serving; operators snapshot it for hit-rate telemetry.
+func (s *System) Cache() *objcache.Cache { return s.cache }
 
 // Options returns the system configuration.
 func (s *System) Options() Options { return s.opts }

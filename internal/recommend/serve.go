@@ -38,7 +38,29 @@ type Result struct {
 	Latency time.Duration
 }
 
+// serveScratch is per-request working memory recycled across Recommend calls
+// through System.scratch. Nothing stored here may escape into a Result: ids
+// are immutable string headers owned by the cache or the store decode, and
+// every slice that escapes (the ranked list) is freshly allocated.
+type serveScratch struct {
+	ids    []string       // id scratch: candidates, then the folded toScore batch
+	hotIdx []int          // per hot entry: its index into scores, or -1 when excluded
+	merged []topn.Entry   // hot entries selected for the final list (values are copied out)
+	seen   map[string]int // candidate id → its index in toScore
+	inList map[string]bool
+	ranked *topn.List // reused ranking list; rebuilt when req.N changes
+}
+
 // Recommend runs the full Figure 1 pipeline for one request.
+//
+// The store round trips are batched to a constant per request regardless of
+// seed or candidate count: one history fetch serves both seeding and the
+// exclusion set, all seeds' similar lists share one MGet (SimilarBatch), and
+// candidate scoring plus the hot-merge re-score fold into a single
+// ScoreCandidates batch. Per-item scores under Eq. 2 are independent of what
+// else is in the batch, so the folded call ranks identically to scoring the
+// two sets separately; with the decoded-value cache warm the whole request
+// runs with zero store round trips.
 func (s *System) Recommend(ctx context.Context, req Request) (*Result, error) {
 	start := s.wallClock()
 	if req.N <= 0 {
@@ -50,33 +72,45 @@ func (s *System) Recommend(ctx context.Context, req Request) (*Result, error) {
 	now := s.Now()
 	group := s.groupOf(ctx, req.UserID)
 
-	// 1. Seed videos: the current video, else recent history.
+	scr, _ := s.scratch.Get().(*serveScratch)
+	if scr == nil {
+		scr = &serveScratch{seen: make(map[string]int, 64), inList: make(map[string]bool, 16)}
+	}
+	defer s.scratch.Put(scr)
+
+	// 1. One history fetch serves every consumer: the prefix of the cached
+	// video list seeds the expansion ("Guess you like") and the cached
+	// membership set is the exclusion — never recommend anything the user
+	// already watched; re-serving watched content wastes slots and triggers
+	// fatigue. Both views are derived once per history decode, not per
+	// request. When a current video is given it is the sole seed and a
+	// history fetch failure only shrinks the exclusion set (as before).
+	watched, histSet, histErr := s.History.Watched(ctx, req.UserID, s.opts.HistoryLimit)
 	var seeds []string
 	if req.CurrentVideo != "" {
 		seeds = []string{req.CurrentVideo}
 	} else {
-		var err error
-		seeds, err = s.History.RecentVideos(ctx, req.UserID, s.opts.SeedCount)
-		if err != nil {
-			return nil, err
+		if histErr != nil {
+			return nil, histErr
+		}
+		seeds = watched
+		if len(seeds) > s.opts.SeedCount {
+			seeds = seeds[:s.opts.SeedCount]
 		}
 	}
-
-	// Exclusion set: never recommend the seeds or anything in the user's
-	// stored watch history — re-serving watched content wastes slots and
-	// triggers fatigue.
-	exclude := make(map[string]bool, s.opts.HistoryLimit+1)
-	for _, v := range seeds {
-		exclude[v] = true
+	// The history-seeded case excludes exactly the stored history (seeds are
+	// its prefix); a current video additionally excludes itself.
+	excluded := func(id string) bool {
+		return histSet[id] || (req.CurrentVideo != "" && id == req.CurrentVideo)
 	}
-	if watchedAll, err := s.History.RecentVideos(ctx, req.UserID, s.opts.HistoryLimit); err == nil {
-		for _, v := range watchedAll {
-			exclude[v] = true
-		}
+	excludeLen := len(histSet)
+	if req.CurrentVideo != "" && !histSet[req.CurrentVideo] {
+		excludeLen++
 	}
 
 	// 2. Candidate expansion through the group's similar-video tables
-	// (fall back to the global tables when group training is off).
+	// (fall back to the global tables when group training is off). All
+	// seeds' lists arrive in one batched fetch; dedup preserves seed order.
 	tableGroup := group
 	if !s.opts.DemographicTraining {
 		tableGroup = demographic.GlobalGroup
@@ -85,92 +119,122 @@ func (s *System) Recommend(ctx context.Context, req Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	candSet := make(map[string]bool)
-	var candidates []string
-	for _, seed := range seeds {
-		similar, err := tables.Similar(ctx, seed, s.opts.CandidatesPerSeed, now)
-		if err != nil {
-			return nil, err
-		}
+	similarLists, err := tables.SimilarBatch(ctx, seeds, s.opts.CandidatesPerSeed, now)
+	if err != nil {
+		return nil, err
+	}
+	seen := scr.seen
+	clear(seen)
+	candidates := scr.ids[:0]
+expand:
+	for _, similar := range similarLists {
 		for _, e := range similar {
-			if exclude[e.ID] || candSet[e.ID] {
+			if excluded(e.ID) {
 				continue
 			}
-			candSet[e.ID] = true
+			if _, dup := seen[e.ID]; dup {
+				continue
+			}
+			seen[e.ID] = len(candidates)
 			candidates = append(candidates, e.ID)
 			if len(candidates) >= s.opts.MaxCandidates {
-				break
+				break expand
 			}
-		}
-		if len(candidates) >= s.opts.MaxCandidates {
-			break
 		}
 	}
 
-	// 3. Preference prediction (Eq. 2) over candidates only — the whole
-	// corpus is never scored.
+	// 3. Decide the hot merge *before* scoring so the re-score can join the
+	// candidate batch. The ranked list's length is known without scores —
+	// topn keeps min(N, len(candidates)) distinct entries — so the wanted
+	// slot count (the HotShare reserve, or every slot MF cannot fill) is
+	// computable now.
 	model, err := s.Models.For(tableGroup)
 	if err != nil {
 		return nil, err
 	}
-	scores, err := model.ScoreCandidates(ctx, req.UserID, candidates)
+	rankedLen := min(req.N, len(candidates))
+	want := 0
+	if s.opts.DemographicFiltering {
+		want = int(s.opts.HotShare * float64(req.N))
+		if deficit := req.N - rankedLen; deficit > want {
+			want = deficit
+		}
+	}
+	var hot []topn.Entry
+	numCand := len(candidates)
+	toScore := candidates
+	hotIdx := scr.hotIdx[:0]
+	if want > 0 {
+		hot, err = s.hotFor(ctx, group, req.N+excludeLen, now)
+		if err != nil {
+			return nil, err
+		}
+		// Hot videos that are neither excluded nor already candidates may
+		// be merged below; score them in the same batch. (Hot videos that
+		// ARE candidates reuse their candidate score — Eq. 2 is per-item,
+		// so the score is the same either way.) hotIdx remembers where each
+		// hot entry's score will land so the merge needs no id→score map.
+		for _, e := range hot {
+			switch ci, dup := seen[e.ID]; {
+			case excluded(e.ID):
+				hotIdx = append(hotIdx, -1)
+			case dup:
+				hotIdx = append(hotIdx, ci)
+			default:
+				hotIdx = append(hotIdx, len(toScore))
+				toScore = append(toScore, e.ID)
+			}
+		}
+		scr.hotIdx = hotIdx
+	}
+	scr.ids = toScore[:0]
+
+	// 4. Preference prediction (Eq. 2) over candidates and merge-eligible
+	// hot videos only — the whole corpus is never scored — then ranking.
+	scores, err := model.ScoreCandidates(ctx, req.UserID, toScore)
 	if err != nil {
 		return nil, err
 	}
-
-	// 4. Ranking.
-	ranked := topn.NewList(req.N)
-	for i, id := range candidates {
-		ranked.Update(id, scores[i])
+	if scr.ranked == nil || scr.ranked.Limit() != req.N {
+		scr.ranked = topn.NewList(req.N)
+	} else {
+		scr.ranked.Reset()
+	}
+	ranked := scr.ranked
+	for i := 0; i < numCand; i++ {
+		ranked.Update(toScore[i], scores[i])
 	}
 	videos := ranked.All()
 
 	// 5. Demographic filtering: reserve part of the list for the group's
 	// hot videos, and fill every slot MF could not (new users get a full
-	// hot list — the paper's cold-start answer).
+	// hot list — the paper's cold-start answer). Merged entries carry their
+	// model score so every entry's Score has one meaning: predicted
+	// preference (Eq. 2). The merge order (popularity) is preserved — that
+	// is the DB algorithm's ranking for its slots.
 	hotMerged := 0
-	if s.opts.DemographicFiltering {
-		reserve := int(s.opts.HotShare * float64(req.N))
-		deficit := req.N - len(videos)
-		want := reserve
-		if deficit > want {
-			want = deficit
+	if want > 0 {
+		inList := scr.inList
+		clear(inList)
+		for _, e := range videos {
+			inList[e.ID] = true
 		}
-		if want > 0 {
-			hot, err := s.hotFor(ctx, group, req.N+len(exclude), now)
-			if err != nil {
-				return nil, err
+		merged := scr.merged[:0]
+		for i, e := range hot {
+			if len(merged) == want {
+				break
 			}
-			inList := make(map[string]bool, len(videos))
-			for _, e := range videos {
-				inList[e.ID] = true
+			if hotIdx[i] < 0 || inList[e.ID] {
+				continue
 			}
-			var mergeIDs []string
-			for _, e := range hot {
-				if len(mergeIDs) == want {
-					break
-				}
-				if exclude[e.ID] || inList[e.ID] {
-					continue
-				}
-				mergeIDs = append(mergeIDs, e.ID)
-			}
-			// Re-score merged videos with the model so every entry's Score
-			// has one meaning: predicted preference (Eq. 2). The merge
-			// order (popularity) is preserved — that is the DB algorithm's
-			// ranking for its slots.
-			mergeScores, err := model.ScoreCandidates(ctx, req.UserID, mergeIDs)
-			if err != nil {
-				return nil, err
-			}
-			if keep := req.N - len(mergeIDs); len(videos) > keep {
-				videos = videos[:keep]
-			}
-			for i, id := range mergeIDs {
-				videos = append(videos, topn.Entry{ID: id, Score: mergeScores[i]})
-			}
-			hotMerged = len(mergeIDs)
+			merged = append(merged, topn.Entry{ID: e.ID, Score: scores[hotIdx[i]]})
 		}
+		scr.merged = merged
+		if keep := req.N - len(merged); len(videos) > keep {
+			videos = videos[:keep]
+		}
+		videos = append(videos, merged...)
+		hotMerged = len(merged)
 	}
 
 	elapsed := s.wallClock().Sub(start)
@@ -178,7 +242,7 @@ func (s *System) Recommend(ctx context.Context, req Request) (*Result, error) {
 	return &Result{
 		Videos:     videos,
 		Seeds:      len(seeds),
-		Candidates: len(candidates),
+		Candidates: numCand,
 		HotMerged:  hotMerged,
 		Latency:    elapsed,
 	}, nil

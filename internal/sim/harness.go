@@ -20,6 +20,8 @@ package sim
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sync"
 	"time"
@@ -59,6 +61,12 @@ type Report struct {
 	// Digest is the SHA-256 of the canonical encoded model state; two runs
 	// of the same scenario must produce the same digest.
 	Digest string
+
+	// ServeDigest is the SHA-256 of every served list (ids, scores,
+	// provenance counters, in request order). Digest proves the *written*
+	// state matches; ServeDigest proves the *served* output does — the
+	// half the read cache could corrupt without ever touching the store.
+	ServeDigest string
 
 	// Violations lists every invariant breach, empty on a healthy run.
 	Violations []string
@@ -120,6 +128,9 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	params := core.DefaultParams()
 	params.Factors = 8
 	opts := recommend.DefaultOptions()
+	if sc.DisableCache {
+		opts.CacheCapacity = -1
+	}
 	sys, err := recommend.NewSystem(faulty, params, simtable.DefaultConfig(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("sim: build system: %w", err)
@@ -197,7 +208,24 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	rep.Violations = append(rep.Violations, checkLatency(sys, len(results))...)
 
 	rep.Digest = StateDigest(base)
+	rep.ServeDigest = serveDigest(results)
 	return rep, nil
+}
+
+// serveDigest canonically hashes the serving phase's output: every result's
+// provenance counters and ranked (id, score) pairs, in request order. Scores
+// are rendered with %.17g, enough digits to round-trip any float64, so two
+// digests match only on bit-identical served lists.
+func serveDigest(results []*recommend.Result) string {
+	h := sha256.New()
+	for _, r := range results {
+		fmt.Fprintf(h, "%d|%d|%d|", r.Seeds, r.Candidates, r.HotMerged)
+		for _, e := range r.Videos {
+			fmt.Fprintf(h, "%s=%.17g;", e.ID, e.Score)
+		}
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // clockSource feeds the spout from the dataset stream, advancing the

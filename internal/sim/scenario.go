@@ -66,6 +66,14 @@ type Scenario struct {
 	// Serving phase: Recommends requests of size TopN after the replay.
 	Recommends int
 	TopN       int
+
+	// DisableCache turns off the decoded-value read cache
+	// (recommend.Options.CacheCapacity = -1). The cache never changes
+	// results — the cache-transparency test runs a scenario both ways and
+	// requires identical state digests — but it does change which reads
+	// reach the store, so fault-injection scenarios that count on faults
+	// landing at specific KV operations keep one setting per scenario.
+	DisableCache bool
 }
 
 // withDefaults fills unset fields with the harness defaults: a workload

@@ -106,12 +106,63 @@ func TestReplayDeterminism(t *testing.T) {
 	if first.Digest != second.Digest {
 		t.Errorf("state digests differ across same-seed runs:\n  first:  %s\n  second: %s", first.Digest, second.Digest)
 	}
+	if first.ServeDigest != second.ServeDigest {
+		t.Errorf("served-output digests differ across same-seed runs:\n  first:  %s\n  second: %s", first.ServeDigest, second.ServeDigest)
+	}
 	if first.Spouted != second.Spouted || first.Acked != second.Acked || first.FailedTrees != second.FailedTrees {
 		t.Errorf("accounting differs: first {spouted %d acked %d failed %d}, second {spouted %d acked %d failed %d}",
 			first.Spouted, first.Acked, first.FailedTrees, second.Spouted, second.Acked, second.FailedTrees)
 	}
 	if first.Recommends != second.Recommends {
 		t.Errorf("recommend successes differ: %d vs %d", first.Recommends, second.Recommends)
+	}
+}
+
+// TestCacheTransparency runs the serialized determinism scenario with the
+// decoded-value read cache enabled (the default) and disabled, and demands
+// identical written state AND identical served lists. This is the
+// end-to-end proof that write-through invalidation keeps the cache
+// coherent: a single stale cached object — in the training reads that feed
+// similar-table writes, or in the serving reads — would split the digests.
+// (Only fault-free scenarios are comparable this way: cached reads never
+// reach the fault injector, so under injection the two runs see different
+// fault landings by construction.)
+func TestCacheTransparency(t *testing.T) {
+	var sc Scenario
+	for _, s := range Scenarios() {
+		if s.Name == "replay-determinism" {
+			sc = s
+		}
+	}
+	if sc.Name == "" {
+		t.Fatal("replay-determinism scenario missing from matrix")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	cached, err := Run(ctx, sc)
+	if err != nil {
+		t.Fatalf("cached run: %v", err)
+	}
+	sc.DisableCache = true
+	uncached, err := Run(ctx, sc)
+	if err != nil {
+		t.Fatalf("uncached run: %v", err)
+	}
+	if cached.Digest != uncached.Digest {
+		t.Errorf("state digests differ with cache on/off:\n  cached:   %s\n  uncached: %s", cached.Digest, uncached.Digest)
+	}
+	if cached.ServeDigest != uncached.ServeDigest {
+		t.Errorf("served-output digests differ with cache on/off:\n  cached:   %s\n  uncached: %s", cached.ServeDigest, uncached.ServeDigest)
+	}
+	if cached.Recommends != uncached.Recommends || cached.RecommendErrors != uncached.RecommendErrors {
+		t.Errorf("serving accounting differs: cached %d/%d errors, uncached %d/%d errors",
+			cached.Recommends, cached.RecommendErrors, uncached.Recommends, uncached.RecommendErrors)
+	}
+	// The cached run must actually have exercised the cache, or the
+	// comparison is vacuous.
+	if cached.KVOps >= uncached.KVOps {
+		t.Errorf("cache saved no store operations: %d cached vs %d uncached — transparency test is vacuous", cached.KVOps, uncached.KVOps)
 	}
 }
 

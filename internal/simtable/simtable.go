@@ -29,6 +29,7 @@ import (
 	"vidrec/internal/catalog"
 	"vidrec/internal/core"
 	"vidrec/internal/kvstore"
+	"vidrec/internal/objcache"
 	"vidrec/internal/topn"
 	"vidrec/internal/vecmath"
 )
@@ -120,10 +121,17 @@ func CFSimilarity(ctx context.Context, m *core.Model, i, j string) (float64, err
 
 // Tables is the kvstore-backed similar-video table set.
 type Tables struct {
-	kv  kvstore.Store
-	ns  string
-	cfg Config
+	kv    kvstore.Store
+	ns    string
+	cfg   Config
+	cache *objcache.Cache // nil disables the decoded-table read cache
 }
+
+// SetCache attaches a decoded-value read cache for table records. The cache
+// must wrap the same store via objcache.WrapStore so UpdateDirected writes
+// invalidate it. Cached tables are shared and read-only; Similar already
+// copies entries into a fresh output slice when applying residual decay.
+func (t *Tables) SetCache(c *objcache.Cache) { t.cache = c }
 
 // New returns tables stored under the given namespace.
 func New(name string, kv kvstore.Store, cfg Config) (*Tables, error) {
@@ -217,20 +225,31 @@ func (t *Tables) UpdateDirected(ctx context.Context, owner, other string, score 
 	})
 }
 
-// Similar returns up to k similar videos for the given video with scores
-// decayed to now, best first. A video with no table yields an empty list.
-func (t *Tables) Similar(ctx context.Context, video string, k int, now time.Time) ([]topn.Entry, error) {
-	raw, ok, err := t.kv.Get(ctx, kvstore.Key(t.ns, video))
-	if err != nil {
-		return nil, fmt.Errorf("simtable: get %s: %w", video, err)
-	}
-	if !ok {
-		return nil, nil
-	}
-	tb, err := decodeTable(raw)
-	if err != nil {
-		return nil, fmt.Errorf("simtable: corrupt table for %s: %w", video, err)
-	}
+// loadTable reads and decodes one video's table record through the cache
+// (read-through; nil cache goes straight to the store). The returned table's
+// entries may be cache-shared: read-only.
+func (t *Tables) loadTable(ctx context.Context, video string) (table, bool, error) {
+	key := kvstore.Key(t.ns, video)
+	return objcache.Cached(t.cache, key, func() (table, bool, error) {
+		raw, ok, err := t.kv.Get(ctx, key)
+		if err != nil {
+			return table{}, false, fmt.Errorf("simtable: get %s: %w", video, err)
+		}
+		if !ok {
+			return table{}, false, nil
+		}
+		tb, err := decodeTable(raw)
+		if err != nil {
+			return table{}, false, fmt.Errorf("simtable: corrupt table for %s: %w", video, err)
+		}
+		return tb, true, nil
+	})
+}
+
+// truncateDecayed copies up to k entries of tb into a fresh slice with scores
+// decayed to now, stopping at the floor (entries are sorted, so the rest are
+// below it too).
+func (t *Tables) truncateDecayed(tb table, k int, now time.Time) []topn.Entry {
 	factor := t.cfg.Damp(now.Sub(tb.updatedAt))
 	if factor > 1 {
 		factor = 1
@@ -242,9 +261,85 @@ func (t *Tables) Similar(ctx context.Context, video string, k int, now time.Time
 		}
 		decayed := e.Score * factor
 		if decayed < t.cfg.ScoreFloor {
-			break // entries are sorted; the rest are below the floor too
+			break
 		}
 		out = append(out, topn.Entry{ID: e.ID, Score: decayed})
+	}
+	return out
+}
+
+// Similar returns up to k similar videos for the given video with scores
+// decayed to now, best first. A video with no table yields an empty list.
+func (t *Tables) Similar(ctx context.Context, video string, k int, now time.Time) ([]topn.Entry, error) {
+	tb, ok, err := t.loadTable(ctx, video)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return t.truncateDecayed(tb, k, now), nil
+}
+
+// SimilarBatch returns Similar's result for every video in one store round
+// trip: cached tables are served from memory and all misses share a single
+// MGet (versions captured first, so a concurrent UpdateDirected can never
+// install a stale decode). The result is parallel to videos; videos without
+// a table yield nil entries.
+func (t *Tables) SimilarBatch(ctx context.Context, videos []string, k int, now time.Time) ([][]topn.Entry, error) {
+	out := make([][]topn.Entry, len(videos))
+	if t.cache == nil {
+		keys := make([]string, len(videos))
+		for i, v := range videos {
+			keys[i] = kvstore.Key(t.ns, v)
+		}
+		vals, err := t.kv.MGet(ctx, keys)
+		if err != nil {
+			return nil, fmt.Errorf("simtable: batch get tables: %w", err)
+		}
+		for i, raw := range vals {
+			if raw == nil {
+				continue
+			}
+			tb, err := decodeTable(raw)
+			if err != nil {
+				return nil, fmt.Errorf("simtable: corrupt table for %s: %w", videos[i], err)
+			}
+			out[i] = t.truncateDecayed(tb, k, now)
+		}
+		return out, nil
+	}
+	var missKeys []string
+	var missVers []uint64
+	var missIdx []int
+	for i, v := range videos {
+		key := kvstore.Key(t.ns, v)
+		if tv, present, ok := t.cache.Lookup(key); ok {
+			if present {
+				out[i] = t.truncateDecayed(tv.(table), k, now)
+			}
+			continue
+		}
+		missVers = append(missVers, t.cache.Version(key))
+		missKeys = append(missKeys, key)
+		missIdx = append(missIdx, i)
+	}
+	if len(missKeys) == 0 {
+		return out, nil
+	}
+	vals, err := t.kv.MGet(ctx, missKeys)
+	if err != nil {
+		return nil, fmt.Errorf("simtable: batch get tables: %w", err)
+	}
+	for j, raw := range vals {
+		i := missIdx[j]
+		if raw == nil {
+			t.cache.StoreIfUnchanged(missKeys[j], table{}, false, missVers[j])
+			continue
+		}
+		tb, err := decodeTable(raw)
+		if err != nil {
+			return nil, fmt.Errorf("simtable: corrupt table for %s: %w", videos[i], err)
+		}
+		t.cache.StoreIfUnchanged(missKeys[j], tb, true, missVers[j])
+		out[i] = t.truncateDecayed(tb, k, now)
 	}
 	return out, nil
 }

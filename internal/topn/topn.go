@@ -119,6 +119,13 @@ func (l *List) Remove(id string) bool {
 	return true
 }
 
+// Reset empties the list in place, keeping its backing storage and limit, so
+// a serving path can reuse one List across requests instead of reallocating.
+func (l *List) Reset() {
+	clear(l.index)
+	l.entries = l.entries[:0]
+}
+
 // Len returns the number of stored entries.
 func (l *List) Len() int { return len(l.entries) }
 

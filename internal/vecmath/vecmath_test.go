@@ -28,6 +28,55 @@ func TestDot(t *testing.T) {
 	}
 }
 
+// TestDotUnrollAllLengths drives the unrolled Dot through every tail shape
+// (0–3 leftover elements) across lengths up to several unroll groups,
+// comparing against the naive sequential sum within float tolerance.
+func TestDotUnrollAllLengths(t *testing.T) {
+	for n := 0; n <= 19; n++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = float64(i+1) * 0.5
+			b[i] = float64(n-i) * -0.25
+		}
+		var want float64
+		for i := range a {
+			want += a[i] * b[i]
+		}
+		if got := Dot(a, b); !almostEq(got, want) {
+			t.Errorf("Dot length %d = %v, naive sum = %v", n, got, want)
+		}
+	}
+}
+
+// TestDotDeterministic pins the property the golden serving test rests on:
+// the unrolled accumulation is a pure function of its inputs — same vectors,
+// bit-identical result, every call.
+func TestDotDeterministic(t *testing.T) {
+	a := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
+	b := []float64{7, -6, 5, -4, 3, -2, 1}
+	first := Dot(a, b)
+	for i := 0; i < 100; i++ {
+		if got := Dot(a, b); got != first {
+			t.Fatalf("call %d returned %v, first call returned %v", i, got, first)
+		}
+	}
+}
+
+// TestDotDoesNotAllocate keeps the innermost scoring kernel off the heap.
+func TestDotDoesNotAllocate(t *testing.T) {
+	a := make([]float64, 32)
+	b := make([]float64, 32)
+	for i := range a {
+		a[i], b[i] = float64(i), float64(32-i)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		_ = Dot(a, b)
+	}); avg != 0 {
+		t.Fatalf("Dot allocates %v objects per call, want 0", avg)
+	}
+}
+
 func TestDotPanicsOnMismatch(t *testing.T) {
 	defer func() {
 		if recover() == nil {
