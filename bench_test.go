@@ -326,13 +326,15 @@ func BenchmarkRecommendLatency(b *testing.B) {
 }
 
 // BenchmarkRecommend measures end-to-end request serving across the
-// deployment matrix the serving fast path targets: embedded vs networked
-// store × cold vs warm decoded-value cache. Warm is the production steady
-// state (every read served from the object cache); cold flushes the cache
-// before each request, so every object is fetched and decoded again. The
-// dataset shape matches BenchmarkRecommendLatency so numbers stay
-// comparable across revisions; `make bench` records this matrix in
-// BENCH_PR4.json.
+// deployment matrix the serving fast path targets: embedded vs networked vs
+// replicated store × cold vs warm decoded-value cache. Warm is the
+// production steady state (every read served from the object cache); cold
+// flushes the cache before each request, so every object is fetched and
+// decoded again. The replicated column runs the full resilient stack — one
+// Resilient decorator per backend under write-all/read-first-healthy — and
+// prices what the fault tolerance costs on the healthy path. The dataset
+// shape matches BenchmarkRecommendLatency so numbers stay comparable across
+// revisions; `make bench` records this matrix in BENCH_PR5.json.
 func BenchmarkRecommend(b *testing.B) {
 	cfg := dataset.DefaultConfig()
 	cfg.Users = 400
@@ -402,6 +404,19 @@ func BenchmarkRecommend(b *testing.B) {
 		}
 		defer cli.Close()
 		sys := build(b, cli)
+		b.Run("cache=warm", run(sys, false))
+		b.Run("cache=cold", run(sys, true))
+	})
+	b.Run("store=replicated", func(b *testing.B) {
+		cfg := kvstore.DefaultResilienceConfig()
+		repl, err := kvstore.NewReplicated(
+			kvstore.NewResilient(kvstore.NewLocal(64), cfg, 1),
+			kvstore.NewResilient(kvstore.NewLocal(64), cfg, 2),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := build(b, repl)
 		b.Run("cache=warm", run(sys, false))
 		b.Run("cache=cold", run(sys, true))
 	})

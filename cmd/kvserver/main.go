@@ -4,6 +4,11 @@
 //
 //	kvserver -addr 127.0.0.1:7700 &
 //	recserve -kv 127.0.0.1:7700
+//
+// For failover drills, -chaos-fail-rate makes the backing store fail that
+// fraction of operations (seeded, so a drill replays): run two kvservers,
+// one with chaos, point recserve's replicated client stack at both, and
+// watch /stats count the retries, breaker trips, and read fallbacks.
 package main
 
 import (
@@ -22,11 +27,17 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:7700", "TCP listen address")
-		shards = flag.Int("shards", 64, "shard count (rounded up to a power of two)")
-		report = flag.Duration("report", time.Minute, "stats reporting interval (0 disables)")
+		addr      = flag.String("addr", "127.0.0.1:7700", "TCP listen address")
+		shards    = flag.Int("shards", 64, "shard count (rounded up to a power of two)")
+		report    = flag.Duration("report", time.Minute, "stats reporting interval (0 disables)")
+		chaosRate = flag.Float64("chaos-fail-rate", 0, "fraction of operations to fail for resilience drills (0 disables)")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for the chaos fault injector")
 	)
 	flag.Parse()
+	if *chaosRate < 0 || *chaosRate > 1 {
+		fmt.Fprintln(os.Stderr, "kvserver: -chaos-fail-rate must be in [0, 1]")
+		os.Exit(2)
+	}
 
 	// Root context for the process: cancelled on the first SIGINT/SIGTERM,
 	// which fails any backing-store call still in flight during shutdown.
@@ -34,12 +45,24 @@ func main() {
 	defer cancel()
 
 	backing := kvstore.NewLocal(*shards)
-	srv, err := kvstore.NewServer(ctx, backing, *addr)
+	var store kvstore.Store = backing
+	var chaos *kvstore.Faulty
+	if *chaosRate > 0 {
+		chaos = kvstore.NewFaulty(backing, *chaosSeed)
+		chaos.SetSchedule([]kvstore.FaultPhase{{FailRate: *chaosRate}})
+		store = chaos
+	}
+	srv, err := kvstore.NewServer(ctx, store, *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kvserver:", err)
 		os.Exit(1)
 	}
-	log.Printf("kvstore serving on %s with %d shards", srv.Addr(), backing.Shards())
+	if chaos != nil {
+		log.Printf("kvstore serving on %s with %d shards, chaos fail rate %.3f (seed %d)",
+			srv.Addr(), backing.Shards(), *chaosRate, *chaosSeed)
+	} else {
+		log.Printf("kvstore serving on %s with %d shards", srv.Addr(), backing.Shards())
+	}
 
 	stopReport := make(chan struct{})
 	var reportWG sync.WaitGroup
@@ -56,8 +79,13 @@ func main() {
 				case <-ticker.C:
 					snap := backing.Stats().Snapshot()
 					keys, _ := backing.Len(ctx) // fails only once ctx is cancelled
-					log.Printf("keys=%d gets=%d sets=%d hit_rate=%.3f",
-						keys, snap.Gets, snap.Sets, snap.HitRate())
+					if chaos != nil {
+						log.Printf("keys=%d gets=%d sets=%d hit_rate=%.3f chaos_injected=%d",
+							keys, snap.Gets, snap.Sets, snap.HitRate(), chaos.Injected())
+					} else {
+						log.Printf("keys=%d gets=%d sets=%d hit_rate=%.3f",
+							keys, snap.Gets, snap.Sets, snap.HitRate())
+					}
 				}
 			}
 		}()

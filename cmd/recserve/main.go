@@ -14,7 +14,15 @@
 //
 // Usage:
 //
-//	recserve -addr :8080 [-data ./data] [-replay] [-kv remote_addr] [-snapshot state.snap]
+//	recserve -addr :8080 [-data ./data] [-replay] [-kv addr1,addr2,...] [-snapshot state.snap]
+//
+// With -kv, each remote backend is wrapped in the resilient client stack
+// (per-attempt deadline, bounded retries with jittered backoff, per-backend
+// circuit breaker — tune with -kv-timeout/-kv-retries/-breaker-threshold/
+// -breaker-cooldown), and multiple comma-separated addresses compose under
+// write-all/read-first-healthy replication. When every personalized read
+// path is down, /recommend answers from the demographic hot lists with
+// "degraded": true instead of an error.
 package main
 
 import (
@@ -50,35 +58,98 @@ func main() {
 		addr   = flag.String("addr", ":8080", "HTTP listen address")
 		data   = flag.String("data", "", "TSV data directory from recgen (empty: generate a small workload)")
 		replay = flag.Bool("replay", true, "stream the workload through the topology at startup")
-		kvAddr = flag.String("kv", "", "remote kvstore server address (empty: embedded store)")
+		kvAddr = flag.String("kv", "", "remote kvstore server address(es), comma-separated for replication (empty: embedded store)")
 		snap   = flag.String("snapshot", "", "snapshot file for the embedded store: loaded at startup if present, saved on shutdown")
+
+		kvTimeout  = flag.Duration("kv-timeout", kvstore.DefaultResilienceConfig().OpTimeout, "per-attempt deadline on remote kvstore operations (0 disables)")
+		kvRetries  = flag.Int("kv-retries", kvstore.DefaultResilienceConfig().MaxRetries, "retries after a failed remote kvstore attempt")
+		brkThresh  = flag.Int("breaker-threshold", kvstore.DefaultResilienceConfig().Breaker.Threshold, "consecutive failures that trip a backend's circuit breaker (0 disables)")
+		brkCooldwn = flag.Duration("breaker-cooldown", kvstore.DefaultResilienceConfig().Breaker.Cooldown, "open-breaker cooldown before a half-open probe")
 	)
 	flag.Parse()
+	rcfg := kvstore.DefaultResilienceConfig()
+	rcfg.OpTimeout = *kvTimeout
+	rcfg.MaxRetries = *kvRetries
+	rcfg.Breaker.Threshold = *brkThresh
+	rcfg.Breaker.Cooldown = *brkCooldwn
 	// Root context for the process: cancelled on the first SIGINT/SIGTERM.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	if err := run(ctx, *addr, *data, *replay, *kvAddr, *snap); err != nil {
+	if err := run(ctx, *addr, *data, *replay, *kvAddr, *snap, rcfg); err != nil {
 		fmt.Fprintln(os.Stderr, "recserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, addr, dataDir string, replay bool, kvAddr, snapshot string) error {
-	var kv kvstore.Store
-	var local *kvstore.Local
+// storeStack is the assembled storage tier plus the layer handles /stats
+// reports from: the resilient decorators (one per remote backend) and the
+// replication counters when more than one backend is configured.
+type storeStack struct {
+	kv         kvstore.Store
+	local      *kvstore.Local       // non-nil only for the embedded store
+	resilients []*kvstore.Resilient // one per remote backend
+	replicated *kvstore.Replicated  // non-nil only with >1 backend
+	addrs      []string
+}
+
+// buildStore assembles the storage tier: the embedded sharded store when no
+// address is given, otherwise one resilient client per comma-separated
+// address, composed under write-all/read-first-healthy replication when
+// there is more than one.
+func buildStore(ctx context.Context, kvAddr string, rcfg kvstore.ResilienceConfig) (*storeStack, func(), error) {
 	if kvAddr == "" {
-		local = kvstore.NewLocal(64)
-		kv = local
-	} else {
+		local := kvstore.NewLocal(64)
+		return &storeStack{kv: local, local: local}, func() {}, nil
+	}
+	addrs := strings.Split(kvAddr, ",")
+	var closers []func()
+	closeAll := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	st := &storeStack{}
+	backends := make([]kvstore.Store, 0, len(addrs))
+	for i, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			closeAll()
+			return nil, nil, fmt.Errorf("empty address in -kv list %q", kvAddr)
+		}
 		dialCtx, dialCancel := context.WithTimeout(ctx, 10*time.Second)
-		cli, err := kvstore.DialContext(dialCtx, kvAddr)
+		cli, err := kvstore.DialContext(dialCtx, a)
 		dialCancel()
 		if err != nil {
-			return err
+			closeAll()
+			return nil, nil, err
 		}
-		defer func() { _ = cli.Close() }() // process exit: pooled conns die either way
-		kv = cli
+		closers = append(closers, func() { _ = cli.Close() }) // process exit: pooled conns die either way
+		r := kvstore.NewResilient(cli, rcfg, uint64(i)+1)
+		st.resilients = append(st.resilients, r)
+		st.addrs = append(st.addrs, a)
+		backends = append(backends, r)
 	}
+	if len(backends) == 1 {
+		st.kv = backends[0]
+		return st, closeAll, nil
+	}
+	repl, err := kvstore.NewReplicated(backends...)
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	st.kv = repl
+	st.replicated = repl
+	return st, closeAll, nil
+}
+
+func run(ctx context.Context, addr, dataDir string, replay bool, kvAddr, snapshot string, rcfg kvstore.ResilienceConfig) error {
+	st, closeStore, err := buildStore(ctx, kvAddr, rcfg)
+	if err != nil {
+		return err
+	}
+	defer closeStore()
+	kv, local := st.kv, st.local
 	if snapshot != "" && local != nil {
 		if err := local.LoadSnapshot(ctx, snapshot); err != nil {
 			log.Printf("snapshot not loaded (%v); starting cold", err)
@@ -121,7 +192,7 @@ func run(ctx context.Context, addr, dataDir string, replay bool, kvAddr, snapsho
 		}
 	}
 
-	mux := newMux(sys, kv, replayMetrics)
+	mux := newMux(sys, st, replayMetrics)
 	// BaseContext hands every request handler the process root context, so
 	// request-scoped store calls are cancelled by shutdown as well as by
 	// client disconnects.
@@ -154,7 +225,8 @@ func run(ctx context.Context, addr, dataDir string, replay bool, kvAddr, snapsho
 
 // newMux builds the HTTP API over an assembled system. replayMetrics may be
 // nil when no startup replay ran.
-func newMux(sys *recommend.System, kv kvstore.Store, replayMetrics map[string]storm.MetricsSnapshot) *http.ServeMux {
+func newMux(sys *recommend.System, st *storeStack, replayMetrics map[string]storm.MetricsSnapshot) *http.ServeMux {
+	kv := st.kv
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		_, _ = fmt.Fprintln(w, "ok") // best-effort: a vanished client needs no liveness reply
@@ -180,6 +252,7 @@ func newMux(sys *recommend.System, kv kvstore.Store, replayMetrics map[string]st
 			"seeds":      res.Seeds,
 			"candidates": res.Candidates,
 			"hot_merged": res.HotMerged,
+			"degraded":   res.Degraded,
 			"latency_us": res.Latency.Microseconds(),
 		})
 	})
@@ -238,6 +311,28 @@ func newMux(sys *recommend.System, kv kvstore.Store, replayMetrics map[string]st
 				"keys": keys, "gets": snap.Gets, "sets": snap.Sets,
 				"hit_rate": snap.HitRate(),
 			}
+		}
+		if len(st.resilients) > 0 {
+			backends := make([]map[string]any, 0, len(st.resilients))
+			for i, res := range st.resilients {
+				s := res.Stats()
+				backends = append(backends, map[string]any{
+					"addr":             st.addrs[i],
+					"retries":          s.Retries,
+					"exhausted":        s.Exhausted,
+					"breaker_state":    res.Breaker().State().String(),
+					"breaker_trips":    s.Breaker.Trips,
+					"breaker_resets":   s.Breaker.Resets,
+					"breaker_rejected": s.Breaker.Rejections,
+				})
+			}
+			resilience := map[string]any{"backends": backends}
+			if st.replicated != nil {
+				rs := st.replicated.Stats()
+				resilience["read_fallbacks"] = rs.ReadFallbacks
+				resilience["write_skips"] = rs.WriteSkips
+			}
+			stats["resilience"] = resilience
 		}
 		writeJSON(w, stats)
 	})

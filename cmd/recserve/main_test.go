@@ -41,7 +41,7 @@ func testServer(t *testing.T) (*httptest.Server, *recommend.System) {
 			min++
 		}
 	}
-	srv := httptest.NewServer(newMux(sys, kv, nil))
+	srv := httptest.NewServer(newMux(sys, &storeStack{kv: kv, local: kv}, nil))
 	t.Cleanup(srv.Close)
 	return srv, sys
 }
@@ -168,6 +168,110 @@ func TestStatsEndpoint(t *testing.T) {
 	lat, ok := stats["serving_latency"].(map[string]any)
 	if !ok || lat["count"].(float64) < 1 {
 		t.Errorf("stats missing latency samples: %v", stats["serving_latency"])
+	}
+}
+
+// TestRecommendDegradedField drives the serving stack into the demographic
+// fallback over HTTP: a total blackout of the model/simtable namespace must
+// still produce 200s, with the degraded marker set in the JSON body.
+func TestRecommendDegradedField(t *testing.T) {
+	faulty := kvstore.NewFaulty(kvstore.NewLocal(16), 7)
+	params := core.DefaultParams()
+	params.Factors = 8
+	opts := recommend.DefaultOptions()
+	opts.CacheCapacity = -1 // the blackout must reach every model read
+	sys, err := recommend.NewSystem(faulty, params, simtable.DefaultConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		sys.Catalog.Put(context.Background(), catalog.Video{ID: id, Type: "movie", Length: 30 * time.Minute})
+	}
+	base := time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC)
+	for i, v := range []string{"a", "b", "c"} {
+		sys.Ingest(context.Background(), feedback.Action{
+			UserID: "u1", VideoID: v, Type: feedback.PlayTime,
+			ViewTime: 30 * time.Minute, VideoLength: 30 * time.Minute,
+			Timestamp: base.Add(time.Duration(i) * time.Minute),
+		})
+	}
+	srv := httptest.NewServer(newMux(sys, &storeStack{kv: faulty}, nil))
+	t.Cleanup(srv.Close)
+
+	var body struct {
+		Videos   []struct{ ID string }
+		Degraded bool
+	}
+	if resp := getJSON(t, srv.URL+"/recommend?user=u2&n=2", &body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy status = %d", resp.StatusCode)
+	}
+	if body.Degraded {
+		t.Error("healthy response marked degraded")
+	}
+
+	faulty.SetSchedule([]kvstore.FaultPhase{{FailRate: 1, KeyPrefix: "sys/"}})
+	body.Degraded = false
+	body.Videos = nil
+	if resp := getJSON(t, srv.URL+"/recommend?user=u2&n=2", &body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("blackout status = %d, want 200 via demographic fallback", resp.StatusCode)
+	}
+	if !body.Degraded {
+		t.Error("blackout response not marked degraded")
+	}
+	if len(body.Videos) == 0 {
+		t.Error("degraded response served no videos")
+	}
+}
+
+// TestStatsResilienceSection spins up two real kvservers, points the full
+// replicated client stack at them, and checks /stats reports the per-backend
+// breaker states and the replication counters.
+func TestStatsResilienceSection(t *testing.T) {
+	ctx := context.Background()
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		ksrv, err := kvstore.NewServer(ctx, kvstore.NewLocal(4), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = ksrv.Close() })
+		addrs = append(addrs, ksrv.Addr())
+	}
+	st, closeStore, err := buildStore(ctx, strings.Join(addrs, ","), kvstore.DefaultResilienceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(closeStore)
+	if st.replicated == nil || len(st.resilients) != 2 {
+		t.Fatalf("buildStore composed %d resilient backends, replicated=%v", len(st.resilients), st.replicated != nil)
+	}
+	params := core.DefaultParams()
+	params.Factors = 8
+	sys, err := recommend.NewSystem(st.kv, params, simtable.DefaultConfig(), recommend.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(sys, st, nil))
+	t.Cleanup(srv.Close)
+
+	var stats map[string]any
+	if resp := getJSON(t, srv.URL+"/stats", &stats); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	res, ok := stats["resilience"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing resilience section: %v", stats)
+	}
+	backends, ok := res["backends"].([]any)
+	if !ok || len(backends) != 2 {
+		t.Fatalf("resilience backends = %v, want 2 entries", res["backends"])
+	}
+	first, ok := backends[0].(map[string]any)
+	if !ok || first["breaker_state"] != "closed" {
+		t.Errorf("backend 0 breaker_state = %v, want closed", first["breaker_state"])
+	}
+	if _, ok := res["read_fallbacks"]; !ok {
+		t.Error("resilience section missing read_fallbacks for a replicated store")
 	}
 }
 

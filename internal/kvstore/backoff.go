@@ -1,0 +1,96 @@
+package kvstore
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// BackoffConfig shapes the retry delay sequence used by Resilient: capped
+// exponential growth with seeded half-jitter. The jitter matters under
+// correlated failure — a store node coming back from a restart would
+// otherwise see every waiting worker retry in the same instant — and seeding
+// it keeps the whole sequence a pure function of (config, seed, call order),
+// which is what lets the backoff tests pin exact delays and the simulation
+// harness replay byte-identically.
+type BackoffConfig struct {
+	// Base is the full window of the first delay. 0 selects DefaultBackoffBase.
+	Base time.Duration
+	// Max caps the window growth. 0 selects DefaultBackoffMax.
+	Max time.Duration
+}
+
+// Backoff window defaults: the first retry waits ~1–2ms (a store blip), the
+// window doubles per attempt and saturates at ~250ms — past that a caller is
+// better served by the circuit breaker than by waiting longer.
+const (
+	DefaultBackoffBase = 2 * time.Millisecond
+	DefaultBackoffMax  = 250 * time.Millisecond
+)
+
+// withDefaults fills zero fields.
+func (c BackoffConfig) withDefaults() BackoffConfig {
+	if c.Base <= 0 {
+		c.Base = DefaultBackoffBase
+	}
+	if c.Max <= 0 {
+		c.Max = DefaultBackoffMax
+	}
+	if c.Max < c.Base {
+		c.Max = c.Base
+	}
+	return c
+}
+
+// Backoff produces retry delays. Safe for concurrent use; concurrent callers
+// interleave draws from one seeded RNG, so per-goroutine sequences are only
+// deterministic when calls are serialized (the simulation harness serializes
+// the whole pipeline for exactly this reason).
+type Backoff struct {
+	cfg BackoffConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand // guarded by mu
+}
+
+// NewBackoff returns a Backoff drawing jitter from a PCG seeded with seed.
+func NewBackoff(cfg BackoffConfig, seed uint64) *Backoff {
+	return &Backoff{
+		cfg: cfg.withDefaults(),
+		rng: rand.New(rand.NewPCG(seed, seed^0xB0FF)),
+	}
+}
+
+// Delay returns the wait before retry number attempt (0-based: attempt 0 is
+// the delay between the first try and the first retry). The window for
+// attempt n is min(Base·2ⁿ, Max); the returned delay is drawn uniformly from
+// its upper half [window/2, window), so delays grow monotonically in
+// expectation but never synchronize across callers. One RNG draw is consumed
+// per call regardless of the window size.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	window := b.window(attempt)
+	half := window / 2
+	b.mu.Lock()
+	jitter := time.Duration(b.rng.Float64() * float64(window-half))
+	b.mu.Unlock()
+	return half + jitter
+}
+
+// window computes the un-jittered window for a retry attempt, saturating at
+// Max (and guarding the shift against overflow for absurd attempt counts).
+func (b *Backoff) window(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	w := b.cfg.Base
+	for i := 0; i < attempt; i++ {
+		w *= 2
+		if w >= b.cfg.Max || w < 0 {
+			return b.cfg.Max
+		}
+	}
+	if w > b.cfg.Max {
+		return b.cfg.Max
+	}
+	return w
+}

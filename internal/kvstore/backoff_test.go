@@ -1,0 +1,115 @@
+package kvstore
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffExactSequences pins the full delay sequence for fixed seeds.
+// The values are the contract: backoff is a pure function of (config, seed,
+// call order), so a change to the window math or the RNG consumption shows
+// up here as an exact mismatch, not a flaky statistical drift.
+func TestBackoffExactSequences(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  BackoffConfig
+		seed uint64
+		want []time.Duration // delay for attempts 0..len-1, in nanoseconds
+	}{
+		{
+			name: "2ms-250ms-seed1",
+			cfg:  BackoffConfig{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond},
+			seed: 1,
+			want: []time.Duration{
+				1406486, 3471596, 6907657, 15248399, 18584988,
+				48388534, 64252948, 181709940, 153545532, 127252435,
+			},
+		},
+		{
+			name: "2ms-250ms-seed42",
+			cfg:  BackoffConfig{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond},
+			seed: 42,
+			want: []time.Duration{
+				1491782, 3463893, 7156091, 10538044, 28464130,
+				63981549, 101728589, 193229407, 182559922, 188982093,
+			},
+		},
+		{
+			name: "defaults-seed7",
+			cfg:  BackoffConfig{}, // Base/Max filled from the package defaults
+			seed: 7,
+			want: []time.Duration{
+				1808040, 3159826, 7465129, 8438234,
+				29242826, 63233803, 112765279, 208797493,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBackoff(tc.cfg, tc.seed)
+			for i, want := range tc.want {
+				if got := b.Delay(i); got != want {
+					t.Errorf("Delay(%d) = %d, want %d", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestBackoffWindowBounds verifies every delay lands in the documented
+// half-window [window/2, window) and that the window saturates at Max.
+func TestBackoffWindowBounds(t *testing.T) {
+	cfg := BackoffConfig{Base: time.Millisecond, Max: 16 * time.Millisecond}
+	b := NewBackoff(cfg, 99)
+	for attempt := 0; attempt < 40; attempt++ {
+		window := cfg.Base << attempt
+		if window > cfg.Max || window <= 0 {
+			window = cfg.Max
+		}
+		d := b.Delay(attempt)
+		if d < window/2 || d >= window {
+			t.Errorf("Delay(%d) = %v outside [%v, %v)", attempt, d, window/2, window)
+		}
+	}
+	// A huge attempt index must not overflow into a negative window.
+	if d := b.Delay(1 << 20); d < cfg.Max/2 || d >= cfg.Max {
+		t.Errorf("Delay(1<<20) = %v outside saturated window [%v, %v)", d, cfg.Max/2, cfg.Max)
+	}
+}
+
+// TestBackoffSameSeedSameSequence is the determinism property the sim
+// harness leans on: two instances with identical (config, seed) produce
+// identical sequences.
+func TestBackoffSameSeedSameSequence(t *testing.T) {
+	cfg := BackoffConfig{Base: 3 * time.Millisecond, Max: 90 * time.Millisecond}
+	a, b := NewBackoff(cfg, 1234), NewBackoff(cfg, 1234)
+	for i := 0; i < 20; i++ {
+		if da, db := a.Delay(i), b.Delay(i); da != db {
+			t.Fatalf("sequences diverge at %d: %v vs %v", i, da, db)
+		}
+	}
+	// And a different seed must diverge, or the jitter is not jitter.
+	c := NewBackoff(cfg, 1235)
+	same := 0
+	for i := 0; i < 20; i++ {
+		if a.Delay(i) == c.Delay(i) {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+// TestBackoffConfigDefaults pins the zero-value fill and the Max>=Base
+// normalization.
+func TestBackoffConfigDefaults(t *testing.T) {
+	got := BackoffConfig{}.withDefaults()
+	if got.Base != DefaultBackoffBase || got.Max != DefaultBackoffMax {
+		t.Errorf("defaults = %+v, want base %v max %v", got, DefaultBackoffBase, DefaultBackoffMax)
+	}
+	inverted := BackoffConfig{Base: time.Second, Max: time.Millisecond}.withDefaults()
+	if inverted.Max != time.Second {
+		t.Errorf("Max < Base not normalized: %+v", inverted)
+	}
+}

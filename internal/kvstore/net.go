@@ -215,20 +215,26 @@ func (c *Client) newConn(ctx context.Context) (*clientConn, error) {
 	return &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
 }
 
-func (c *Client) get(ctx context.Context) (*clientConn, error) {
+// get checks a connection out of the pool, dialing a fresh one when the pool
+// is empty. pooled reports which case happened: a pooled connection may have
+// been poisoned while idle (server restart, idle timeout at the peer), so
+// its first error is grounds for a retry on a fresh dial, whereas a fresh
+// connection's error is the network's real answer.
+func (c *Client) get(ctx context.Context) (cc *clientConn, pooled bool, err error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, errors.New("kvstore: client closed")
+		return nil, false, errors.New("kvstore: client closed")
 	}
 	if n := len(c.idle); n > 0 {
 		cc := c.idle[n-1]
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
-		return cc, nil
+		return cc, true, nil
 	}
 	c.mu.Unlock()
-	return c.newConn(ctx)
+	cc, err = c.newConn(ctx)
+	return cc, false, err
 }
 
 func (c *Client) put(cc *clientConn) {
@@ -254,19 +260,44 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// roundTrip performs one request/response exchange. A context deadline is
-// pushed onto the connection for the exchange (and cleared before the conn
-// returns to the pool), so a stalled server fails the call instead of
-// blocking a worker forever. A deadline/cancellation failure poisons the
-// conn — the stream may hold a half-read response — so it is dropped.
+// roundTrip performs one request/response exchange. Transport failures on a
+// *pooled* connection are not the network's final answer — the conn may have
+// been poisoned while idle (the server restarted, a middlebox dropped the
+// flow) — so the poisoned conn is discarded and the exchange retried on the
+// next connection; once the pool is drained a fresh dial's verdict is final.
+// Server-reported errors (resp.ErrMsg) are never retried: the request was
+// delivered and answered.
 func (c *Client) roundTrip(ctx context.Context, req *request) (*response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cc, err := c.get(ctx)
-	if err != nil {
-		return nil, err
+	for {
+		cc, pooled, err := c.get(ctx)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.exchange(ctx, cc, req)
+		if err != nil {
+			if pooled && ctx.Err() == nil {
+				continue // stale pooled conn; redial rather than fail the op
+			}
+			return nil, err
+		}
+		if resp.ErrMsg != "" {
+			return nil, errors.New(resp.ErrMsg)
+		}
+		return resp, nil
 	}
+}
+
+// exchange runs one request/response over a specific connection. A context
+// deadline is pushed onto the connection for the exchange (and cleared before
+// the conn returns to the pool), so a stalled server fails the call instead
+// of blocking a worker forever. A deadline/cancellation failure poisons the
+// conn — the stream may hold a half-read response — so it is dropped. The
+// returned error is always transport-level; server-side errors travel inside
+// the response.
+func (c *Client) exchange(ctx context.Context, cc *clientConn, req *request) (*response, error) {
 	if deadline, ok := ctx.Deadline(); ok {
 		if err := cc.conn.SetDeadline(deadline); err != nil {
 			_ = cc.conn.Close() // conn is unusable if deadlines can't be set
@@ -285,16 +316,10 @@ func (c *Client) roundTrip(ctx context.Context, req *request) (*response, error)
 	if _, ok := ctx.Deadline(); ok {
 		if err := cc.conn.SetDeadline(time.Time{}); err != nil {
 			_ = cc.conn.Close() // cannot clear the deadline; don't pool it
-			if resp.ErrMsg != "" {
-				return nil, errors.New(resp.ErrMsg)
-			}
 			return &resp, nil
 		}
 	}
 	c.put(cc)
-	if resp.ErrMsg != "" {
-		return nil, errors.New(resp.ErrMsg)
-	}
 	return &resp, nil
 }
 

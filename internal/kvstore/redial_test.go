@@ -1,0 +1,146 @@
+package kvstore
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClientRedialAfterServerRestart is the poisoned-pool regression test: a
+// server restart closes every TCP connection the client has pooled, and the
+// next operation must redial transparently instead of failing on the first
+// stale connection it pulls from the pool.
+func TestClientRedialAfterServerRestart(t *testing.T) {
+	ctx := context.Background()
+	backing := NewLocal(4)
+	srv, err := NewServer(ctx, backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli, err := DialContext(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }() // test teardown
+
+	// Exercise the connection so it lands back in the pool.
+	if err := cli.Set(ctx, "k", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill and restart the server on the same address; the backing store
+	// survives, as it would for a KV shard process restart.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(ctx, backing, addr)
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer func() { _ = srv2.Close() }() // test teardown
+
+	// The pooled connection is now poisoned. The op must succeed by
+	// discarding it and redialing — not surface the stale conn's error.
+	v, ok, err := cli.Get(ctx, "k")
+	if err != nil {
+		t.Fatalf("Get after restart = %v, want transparent redial", err)
+	}
+	if !ok || string(v) != "before" {
+		t.Fatalf("Get after restart = %q,%v, want pre-restart value", v, ok)
+	}
+	// And writes work again too.
+	if err := cli.Set(ctx, "k2", []byte("after")); err != nil {
+		t.Fatalf("Set after restart = %v", err)
+	}
+}
+
+// TestClientRedialDrainsWholePool covers the multi-connection case: several
+// poisoned conns may be pooled (concurrent workers), and one operation may
+// need to discard more than one before redialing.
+func TestClientRedialDrainsWholePool(t *testing.T) {
+	ctx := context.Background()
+	backing := NewLocal(4)
+	srv, err := NewServer(ctx, backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli, err := DialContext(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }() // test teardown
+
+	// Force several connections into the pool: check them all out first (so
+	// each get dials fresh), then run one exchange on each — a successful
+	// exchange returns the conn to the pool.
+	const conns = 4
+	held := make([]*clientConn, 0, conns)
+	for i := 0; i < conns; i++ {
+		cc, _, err := cli.get(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, cc)
+	}
+	for i, cc := range held {
+		resp, err := cli.exchange(ctx, cc, &request{Op: opLen})
+		if err != nil || resp.ErrMsg != "" {
+			t.Fatalf("conn %d exchange: %v %q", i, err, resp.ErrMsg)
+		}
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(ctx, backing, addr)
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer func() { _ = srv2.Close() }() // test teardown
+
+	// Every pooled conn is poisoned; ops must chew through them and recover.
+	for i := 0; i < conns+1; i++ {
+		if err := cli.Set(ctx, "k", []byte("v")); err != nil {
+			t.Fatalf("op %d after restart = %v", i, err)
+		}
+	}
+}
+
+// TestClientServerErrorNotRetried pins the other half of the retry contract:
+// an error *reported by the server* means the request was delivered and
+// answered, so it must surface immediately rather than trigger a redial loop.
+func TestClientServerErrorNotRetried(t *testing.T) {
+	ctx := context.Background()
+	faulty := NewFaulty(NewLocal(4), 1)
+	faulty.SetFailRate(1)
+	srv, err := NewServer(ctx, faulty, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }() // test teardown
+	cli, err := DialContext(ctx, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }() // test teardown
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := cli.Get(ctx, "k")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "injected") {
+			t.Fatalf("err = %v, want the server-reported injected fault", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server-reported error sent the client into a retry loop")
+	}
+	if got := faulty.Ops(); got != 1 {
+		t.Errorf("server backing saw %d ops, want exactly 1 (no redial retry)", got)
+	}
+}

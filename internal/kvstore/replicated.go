@@ -1,0 +1,195 @@
+package kvstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"vidrec/internal/metrics"
+)
+
+// Replicated composes N backend Stores into one: writes go to every backend
+// (write-all), reads are served by the first backend that answers
+// (read-first-healthy). There is no quorum and no read repair — replication
+// here buys availability, not consensus, which is the right trade for this
+// system's state: every key has a single writer (the topology's fields
+// grouping), updates are deterministic functions of the input stream, and a
+// replica that missed writes during an outage serves *stale* model state,
+// never *wrong* state — exactly the degradation the paper accepts from its
+// production KV tier. A write succeeds when at least one backend accepted
+// it; per-backend write failures are counted, not fatal, so one dead replica
+// never takes down ingest.
+//
+// Compose each backend from a Resilient-wrapped store to get per-backend
+// retry and circuit breaking; an open breaker then makes that backend fail
+// fast and reads skip over it at memory speed.
+type Replicated struct {
+	backends []Store
+
+	readFallbacks metrics.Counter // reads answered by a non-primary backend
+	writeSkips    metrics.Counter // write ops that failed on ≥1 backend (but succeeded overall)
+}
+
+// NewReplicated composes backends into one Store. At least one backend is
+// required; one is allowed (a degenerate but valid deployment).
+func NewReplicated(backends ...Store) (*Replicated, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("kvstore: replicated store needs at least one backend")
+	}
+	for i, b := range backends {
+		if b == nil {
+			return nil, fmt.Errorf("kvstore: replicated backend %d is nil", i)
+		}
+	}
+	return &Replicated{backends: append([]Store(nil), backends...)}, nil
+}
+
+// Backends reports the number of composed backends.
+func (r *Replicated) Backends() int { return len(r.backends) }
+
+// ReplicatedStats is a point-in-time snapshot of the replication counters.
+type ReplicatedStats struct {
+	ReadFallbacks uint64 // reads served by a non-primary backend
+	WriteSkips    uint64 // per-backend write failures absorbed by write-all
+}
+
+// Stats returns the replication counters.
+func (r *Replicated) Stats() ReplicatedStats {
+	return ReplicatedStats{
+		ReadFallbacks: r.readFallbacks.Load(),
+		WriteSkips:    r.writeSkips.Load(),
+	}
+}
+
+// readFrom runs op against each backend in order and returns on the first
+// success. A missing key is a success — only errors advance to the next
+// backend, so a healthy primary always answers and replicas never shadow it.
+func (r *Replicated) readFrom(ctx context.Context, op func(Store) error) error {
+	var errs []error
+	for i, b := range r.backends {
+		err := op(b)
+		if err == nil {
+			if i > 0 {
+				r.readFallbacks.Inc()
+			}
+			return nil
+		}
+		errs = append(errs, fmt.Errorf("replica %d: %w", i, err))
+		if ctx.Err() != nil {
+			break // the caller's deadline died, not the backend; stop probing
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// writeAll runs op against every backend and succeeds when at least one
+// accepted the write. Failures on the rest are counted (WriteSkips) — the
+// missed replica is stale until it is rebuilt, which read-first-healthy
+// ordering tolerates.
+func (r *Replicated) writeAll(ctx context.Context, op func(Store) error) error {
+	var errs []error
+	okCount := 0
+	for i, b := range r.backends {
+		if err := op(b); err != nil {
+			errs = append(errs, fmt.Errorf("replica %d: %w", i, err))
+			if ctx.Err() != nil {
+				break // remaining backends would fail on the dead context too
+			}
+			continue
+		}
+		okCount++
+	}
+	if okCount == 0 {
+		return errors.Join(errs...)
+	}
+	if len(errs) > 0 {
+		r.writeSkips.Add(uint64(len(errs)))
+	}
+	return nil
+}
+
+// Get implements Store.
+func (r *Replicated) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	var v []byte
+	var ok bool
+	err := r.readFrom(ctx, func(s Store) error {
+		var err error
+		v, ok, err = s.Get(ctx, key)
+		return err
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v, ok, nil
+}
+
+// MGet implements Store. The whole batch is served by one backend so the
+// returned values are a consistent snapshot of a single replica.
+func (r *Replicated) MGet(ctx context.Context, keys []string) ([][]byte, error) {
+	var vals [][]byte
+	err := r.readFrom(ctx, func(s Store) error {
+		var err error
+		vals, err = s.MGet(ctx, keys)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// Len implements Store, reporting the first healthy backend's count.
+func (r *Replicated) Len(ctx context.Context) (int, error) {
+	var n int
+	err := r.readFrom(ctx, func(s Store) error {
+		var err error
+		n, err = s.Len(ctx)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Set implements Store (write-all).
+func (r *Replicated) Set(ctx context.Context, key string, val []byte) error {
+	return r.writeAll(ctx, func(s Store) error {
+		return s.Set(ctx, key, val)
+	})
+}
+
+// Delete implements Store (write-all). The reported existence comes from the
+// first backend that accepted the delete.
+func (r *Replicated) Delete(ctx context.Context, key string) (bool, error) {
+	var ok, recorded bool
+	err := r.writeAll(ctx, func(s Store) error {
+		existed, err := s.Delete(ctx, key)
+		if err == nil && !recorded {
+			ok, recorded = existed, true
+		}
+		return err
+	})
+	if err != nil {
+		return false, err
+	}
+	return ok, nil
+}
+
+// Update implements Store as read-first-healthy + apply-once + write-all: the
+// callback runs exactly once, on the freshest reachable value, and the result
+// fans out to every backend. Per-key atomicity therefore rests on the
+// topology's single-writer discipline, the same contract Client.Update
+// already documents.
+func (r *Replicated) Update(ctx context.Context, key string, fn func(cur []byte, exists bool) ([]byte, bool)) error {
+	cur, ok, err := r.Get(ctx, key)
+	if err != nil {
+		return err
+	}
+	next, keep := fn(cur, ok)
+	if !keep {
+		_, err := r.Delete(ctx, key)
+		return err
+	}
+	return r.Set(ctx, key, next)
+}

@@ -1,0 +1,251 @@
+package kvstore
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// errStore fails every operation with a fixed error — a dead replica.
+type errStore struct{ err error }
+
+func (e errStore) Get(context.Context, string) ([]byte, bool, error) { return nil, false, e.err }
+func (e errStore) Set(context.Context, string, []byte) error         { return e.err }
+func (e errStore) Delete(context.Context, string) (bool, error)      { return false, e.err }
+func (e errStore) MGet(context.Context, []string) ([][]byte, error)  { return nil, e.err }
+func (e errStore) Update(context.Context, string, func([]byte, bool) ([]byte, bool)) error {
+	return e.err
+}
+func (e errStore) Len(context.Context) (int, error) { return 0, e.err }
+
+func TestReplicatedValidation(t *testing.T) {
+	if _, err := NewReplicated(); err == nil {
+		t.Error("NewReplicated() with no backends succeeded")
+	}
+	if _, err := NewReplicated(NewLocal(1), nil); err == nil {
+		t.Error("NewReplicated with a nil backend succeeded")
+	}
+	r, err := NewReplicated(NewLocal(1))
+	if err != nil || r.Backends() != 1 {
+		t.Errorf("single-backend replicated = %v backends, err %v", r.Backends(), err)
+	}
+}
+
+func TestReplicatedWriteAllFansOut(t *testing.T) {
+	ctx := context.Background()
+	a, b := NewLocal(4), NewLocal(4)
+	r, err := NewReplicated(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Both backends hold the value independently.
+	for i, s := range []Store{a, b} {
+		v, ok, err := s.Get(ctx, "k")
+		if err != nil || !ok || string(v) != "v" {
+			t.Errorf("backend %d: Get = %q,%v,%v", i, v, ok, err)
+		}
+	}
+	if ok, err := r.Delete(ctx, "k"); err != nil || !ok {
+		t.Fatalf("Delete = %v,%v, want true", ok, err)
+	}
+	for i, s := range []Store{a, b} {
+		if _, ok, _ := s.Get(ctx, "k"); ok {
+			t.Errorf("backend %d still holds the key after replicated delete", i)
+		}
+	}
+}
+
+func TestReplicatedReadPrefersPrimary(t *testing.T) {
+	ctx := context.Background()
+	a, b := NewLocal(4), NewLocal(4)
+	r, _ := NewReplicated(a, b)
+	// Divergent state (as after a replica rebuild): reads must come from
+	// the primary, not whichever replica happens to answer.
+	_ = a.Set(ctx, "k", []byte("primary"))
+	_ = b.Set(ctx, "k", []byte("stale"))
+	v, ok, err := r.Get(ctx, "k")
+	if err != nil || !ok || string(v) != "primary" {
+		t.Fatalf("Get = %q,%v,%v, want primary's value", v, ok, err)
+	}
+	if s := r.Stats(); s.ReadFallbacks != 0 {
+		t.Errorf("ReadFallbacks = %d, want 0", s.ReadFallbacks)
+	}
+}
+
+func TestReplicatedMissingKeyIsNotAnError(t *testing.T) {
+	ctx := context.Background()
+	a, b := NewLocal(4), NewLocal(4)
+	r, _ := NewReplicated(a, b)
+	// A key present only on the secondary: the healthy primary's "missing"
+	// is the answer — replicas must never shadow the primary's state.
+	_ = b.Set(ctx, "ghost", []byte("x"))
+	if _, ok, err := r.Get(ctx, "ghost"); err != nil || ok {
+		t.Errorf("Get(ghost) = ok=%v err=%v, want miss from primary", ok, err)
+	}
+	if s := r.Stats(); s.ReadFallbacks != 0 {
+		t.Errorf("ReadFallbacks = %d, want 0 (miss is a successful read)", s.ReadFallbacks)
+	}
+}
+
+func TestReplicatedReadFallsOverToHealthyReplica(t *testing.T) {
+	ctx := context.Background()
+	healthy := NewLocal(4)
+	_ = healthy.Set(ctx, "k", []byte("v"))
+	r, _ := NewReplicated(errStore{err: ErrInjected}, healthy)
+
+	v, ok, err := r.Get(ctx, "k")
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get = %q,%v,%v, want secondary's value", v, ok, err)
+	}
+	vals, err := r.MGet(ctx, []string{"k"})
+	if err != nil || string(vals[0]) != "v" {
+		t.Fatalf("MGet = %q,%v", vals, err)
+	}
+	if n, err := r.Len(ctx); err != nil || n != 1 {
+		t.Fatalf("Len = %d,%v, want 1", n, err)
+	}
+	if s := r.Stats(); s.ReadFallbacks != 3 {
+		t.Errorf("ReadFallbacks = %d, want 3", s.ReadFallbacks)
+	}
+}
+
+func TestReplicatedReadAllDeadJoinsErrors(t *testing.T) {
+	sentinel := errors.New("replica B down")
+	r, _ := NewReplicated(errStore{err: ErrInjected}, errStore{err: sentinel})
+	_, _, err := r.Get(context.Background(), "k")
+	if err == nil {
+		t.Fatal("Get with all replicas dead succeeded")
+	}
+	// The joined error keeps every root cause reachable and labels replicas.
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, sentinel) {
+		t.Errorf("joined error loses causes: %v", err)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "replica 0") || !strings.Contains(msg, "replica 1") {
+		t.Errorf("joined error lacks replica labels: %q", msg)
+	}
+}
+
+func TestReplicatedWriteSurvivesDeadReplica(t *testing.T) {
+	ctx := context.Background()
+	healthy := NewLocal(4)
+	r, _ := NewReplicated(errStore{err: ErrInjected}, healthy)
+
+	if err := r.Set(ctx, "k", []byte("v")); err != nil {
+		t.Fatalf("Set with one dead replica = %v, want success", err)
+	}
+	if v, ok, _ := healthy.Get(ctx, "k"); !ok || string(v) != "v" {
+		t.Error("healthy replica missed the write")
+	}
+	if _, err := r.Delete(ctx, "k"); err != nil {
+		t.Fatalf("Delete with one dead replica = %v, want success", err)
+	}
+	if s := r.Stats(); s.WriteSkips != 2 {
+		t.Errorf("WriteSkips = %d, want 2 (one per write op)", s.WriteSkips)
+	}
+}
+
+func TestReplicatedWriteAllDeadFails(t *testing.T) {
+	r, _ := NewReplicated(errStore{err: ErrInjected}, errStore{err: ErrInjected})
+	if err := r.Set(context.Background(), "k", nil); !errors.Is(err, ErrInjected) {
+		t.Errorf("Set with all replicas dead = %v, want ErrInjected", err)
+	}
+	if s := r.Stats(); s.WriteSkips != 0 {
+		t.Errorf("WriteSkips = %d, want 0 (total failure is an error, not a skip)", s.WriteSkips)
+	}
+}
+
+func TestReplicatedDeleteReportsExistence(t *testing.T) {
+	ctx := context.Background()
+	a, b := NewLocal(4), NewLocal(4)
+	r, _ := NewReplicated(a, b)
+	_ = r.Set(ctx, "k", []byte("v"))
+	if ok, err := r.Delete(ctx, "k"); err != nil || !ok {
+		t.Errorf("Delete(existing) = %v,%v, want true", ok, err)
+	}
+	if ok, err := r.Delete(ctx, "k"); err != nil || ok {
+		t.Errorf("Delete(absent) = %v,%v, want false", ok, err)
+	}
+}
+
+func TestReplicatedUpdateAppliesOnceWritesAll(t *testing.T) {
+	ctx := context.Background()
+	a, b := NewLocal(4), NewLocal(4)
+	r, _ := NewReplicated(a, b)
+	_ = r.Set(ctx, "n", EncodeInt64(1))
+
+	invocations := 0
+	err := r.Update(ctx, "n", func(cur []byte, exists bool) ([]byte, bool) {
+		invocations++
+		n, _ := DecodeInt64(cur)
+		return EncodeInt64(n + 10), true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invocations != 1 {
+		t.Errorf("Update callback ran %d times, want 1", invocations)
+	}
+	for i, s := range []Store{a, b} {
+		v, _, _ := s.Get(ctx, "n")
+		if n, _ := DecodeInt64(v); n != 11 {
+			t.Errorf("backend %d after Update = %d, want 11", i, n)
+		}
+	}
+
+	// Update with keep=false deletes everywhere.
+	if err := r.Update(ctx, "n", func([]byte, bool) ([]byte, bool) { return nil, false }); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range []Store{a, b} {
+		if _, ok, _ := s.Get(ctx, "n"); ok {
+			t.Errorf("backend %d still holds key after Update-delete", i)
+		}
+	}
+}
+
+// TestReplicatedResilientComposition exercises the production stack shape:
+// Replicated over per-backend Resilient decorators. A backend whose breaker is
+// open fails fast, and reads skip over it to the healthy replica.
+func TestReplicatedResilientComposition(t *testing.T) {
+	ctx := context.Background()
+	flaky := newFlakyStore()
+	primary := NewResilient(flaky, ResilienceConfig{
+		MaxRetries: 0,
+		Breaker:    BreakerConfig{Threshold: 1, Cooldown: DefaultBreakerCooldown},
+	}, 1)
+	primary.SetClock(newFakeClock().Now) // frozen clock: breaker stays open
+	primary.SetSleep(noSleep)
+	secondary := NewResilient(NewLocal(4), ResilienceConfig{MaxRetries: 0}, 2)
+	secondary.SetSleep(noSleep)
+	r, err := NewReplicated(primary, secondary)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := r.Set(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	flaky.setFailNext(100)
+	// First read trips the primary's breaker and falls over; subsequent
+	// reads are rejected at memory speed without touching the flaky store.
+	for i := 0; i < 3; i++ {
+		v, ok, err := r.Get(ctx, "k")
+		if err != nil || !ok || string(v) != "v" {
+			t.Fatalf("read %d = %q,%v,%v", i, v, ok, err)
+		}
+	}
+	if got := primary.Breaker().State(); got != BreakerOpen {
+		t.Errorf("primary breaker = %v, want open", got)
+	}
+	if calls := flaky.callCount(); calls != 2 {
+		// 1 successful Set + 1 failed Get; reads 2 and 3 hit ErrBreakerOpen.
+		t.Errorf("flaky store saw %d calls, want 2", calls)
+	}
+	if s := r.Stats(); s.ReadFallbacks != 3 {
+		t.Errorf("ReadFallbacks = %d, want 3", s.ReadFallbacks)
+	}
+}

@@ -1,0 +1,306 @@
+package kvstore
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flakyStore fails the next failNext operations with ErrInjected before
+// delegating to an in-memory store. With block set, operations instead park
+// on the context, which is how a stalled remote shard looks to a client.
+type flakyStore struct {
+	inner Store
+
+	mu       sync.Mutex
+	failNext int  // guarded by mu
+	calls    int  // guarded by mu; operations attempted against this store
+	block    bool // guarded by mu
+
+	blockEntered chan struct{} // receives one token per call that parks
+}
+
+func newFlakyStore() *flakyStore {
+	return &flakyStore{inner: NewLocal(4), blockEntered: make(chan struct{}, 16)}
+}
+
+func (f *flakyStore) setFailNext(n int) {
+	f.mu.Lock()
+	f.failNext = n
+	f.mu.Unlock()
+}
+
+func (f *flakyStore) setBlock(b bool) {
+	f.mu.Lock()
+	f.block = b
+	f.mu.Unlock()
+}
+
+func (f *flakyStore) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func (f *flakyStore) before(ctx context.Context) error {
+	f.mu.Lock()
+	f.calls++
+	if f.block {
+		f.mu.Unlock()
+		select {
+		case f.blockEntered <- struct{}{}:
+		default:
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	if f.failNext > 0 {
+		f.failNext--
+		f.mu.Unlock()
+		return ErrInjected
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *flakyStore) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	if err := f.before(ctx); err != nil {
+		return nil, false, err
+	}
+	return f.inner.Get(ctx, key)
+}
+
+func (f *flakyStore) Set(ctx context.Context, key string, val []byte) error {
+	if err := f.before(ctx); err != nil {
+		return err
+	}
+	return f.inner.Set(ctx, key, val)
+}
+
+func (f *flakyStore) Delete(ctx context.Context, key string) (bool, error) {
+	if err := f.before(ctx); err != nil {
+		return false, err
+	}
+	return f.inner.Delete(ctx, key)
+}
+
+func (f *flakyStore) MGet(ctx context.Context, keys []string) ([][]byte, error) {
+	if err := f.before(ctx); err != nil {
+		return nil, err
+	}
+	return f.inner.MGet(ctx, keys)
+}
+
+func (f *flakyStore) Update(ctx context.Context, key string, fn func(cur []byte, exists bool) ([]byte, bool)) error {
+	if err := f.before(ctx); err != nil {
+		return err
+	}
+	return f.inner.Update(ctx, key, fn)
+}
+
+func (f *flakyStore) Len(ctx context.Context) (int, error) {
+	if err := f.before(ctx); err != nil {
+		return 0, err
+	}
+	return f.inner.Len(ctx)
+}
+
+// noSleep replaces the inter-retry wait so tests never block on real timers.
+func noSleep(ctx context.Context, _ time.Duration) error { return ctx.Err() }
+
+func newTestResilient(t *testing.T, cfg ResilienceConfig) (*Resilient, *flakyStore, *fakeClock) {
+	t.Helper()
+	flaky := newFlakyStore()
+	r := NewResilient(flaky, cfg, 7)
+	clk := newFakeClock()
+	r.SetClock(clk.Now)
+	r.SetSleep(noSleep)
+	return r, flaky, clk
+}
+
+func TestResilientRetriesTransientFault(t *testing.T) {
+	r, flaky, _ := newTestResilient(t, ResilienceConfig{MaxRetries: 2})
+	ctx := context.Background()
+
+	if err := r.Set(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	flaky.setFailNext(2) // first two attempts fail; the third lands
+	v, ok, err := r.Get(ctx, "k")
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get = %q,%v,%v, want recovered value", v, ok, err)
+	}
+	s := r.Stats()
+	if s.Retries != 2 || s.Exhausted != 0 {
+		t.Errorf("stats = %+v, want 2 retries, 0 exhausted", s)
+	}
+}
+
+func TestResilientExhaustsRetryBudget(t *testing.T) {
+	r, flaky, _ := newTestResilient(t, ResilienceConfig{MaxRetries: 2})
+	flaky.setFailNext(100)
+
+	_, _, err := r.Get(context.Background(), "k")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected visible through the decorator", err)
+	}
+	if got := flaky.callCount(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (1 initial + 2 retries)", got)
+	}
+	s := r.Stats()
+	if s.Retries != 2 || s.Exhausted != 1 {
+		t.Errorf("stats = %+v, want 2 retries, 1 exhausted", s)
+	}
+}
+
+func TestResilientBreakerFailsFast(t *testing.T) {
+	r, flaky, _ := newTestResilient(t, ResilienceConfig{
+		MaxRetries: 2,
+		Breaker:    BreakerConfig{Threshold: 3, Cooldown: 50 * time.Millisecond},
+	})
+	flaky.setFailNext(100)
+
+	// One operation burns the full budget: 3 attempts, 3 consecutive
+	// failures, which is exactly the trip threshold.
+	if _, _, err := r.Get(context.Background(), "k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if got := r.Breaker().State(); got != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+	attempts := flaky.callCount()
+
+	// The next operation must be rejected without touching the backend.
+	if _, _, err := r.Get(context.Background(), "k"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if got := flaky.callCount(); got != attempts {
+		t.Errorf("open breaker let %d calls through to the backend", got-attempts)
+	}
+}
+
+func TestResilientBreakerRecovers(t *testing.T) {
+	r, flaky, clk := newTestResilient(t, ResilienceConfig{
+		MaxRetries: 0,
+		Breaker:    BreakerConfig{Threshold: 1, Cooldown: 50 * time.Millisecond},
+	})
+	ctx := context.Background()
+	if err := r.Set(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	flaky.setFailNext(100)
+	if _, _, err := r.Get(ctx, "k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+
+	// Probe while the backend is still down: breaker re-opens.
+	clk.Advance(50 * time.Millisecond)
+	if _, _, err := r.Get(ctx, "k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("probe err = %v, want ErrInjected", err)
+	}
+	if got := r.Breaker().State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+
+	// Backend heals; after another cooldown the probe succeeds and the
+	// breaker closes.
+	flaky.setFailNext(0)
+	clk.Advance(50 * time.Millisecond)
+	v, ok, err := r.Get(ctx, "k")
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get after recovery = %q,%v,%v", v, ok, err)
+	}
+	s := r.Stats().Breaker
+	if s.State != BreakerClosed || s.Resets != 1 {
+		t.Errorf("breaker stats = %+v, want closed with 1 reset", s)
+	}
+}
+
+func TestResilientOpTimeout(t *testing.T) {
+	r, flaky, _ := newTestResilient(t, ResilienceConfig{
+		OpTimeout:  10 * time.Millisecond,
+		MaxRetries: 0,
+	})
+	flaky.setBlock(true)
+
+	_, _, err := r.Get(context.Background(), "k")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded from the per-attempt deadline", err)
+	}
+	if s := r.Stats(); s.Exhausted != 1 {
+		t.Errorf("Exhausted = %d, want 1", s.Exhausted)
+	}
+}
+
+func TestResilientHonorsCanceledContext(t *testing.T) {
+	r, flaky, _ := newTestResilient(t, ResilienceConfig{MaxRetries: 5})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, _, err := r.Get(ctx, "k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if got := flaky.callCount(); got != 0 {
+		t.Errorf("canceled context reached the backend %d times", got)
+	}
+}
+
+func TestResilientNoRetryAfterParentDeadline(t *testing.T) {
+	// When the caller's own context dies mid-operation, the decorator must
+	// not keep retrying on a dead budget.
+	r, flaky, _ := newTestResilient(t, ResilienceConfig{MaxRetries: 5})
+	flaky.setFailNext(100)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	// Park the first attempt on the context, then cancel: the attempt fails
+	// with Canceled and do's post-attempt check must stop rather than burn
+	// the remaining retries against a dead budget.
+	flaky.setBlock(true)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := r.Get(ctx, "k")
+		done <- err
+	}()
+	<-flaky.blockEntered // attempt 1 is parked inside the store
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if got := flaky.callCount(); got != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry on a dead parent context)", got)
+	}
+}
+
+func TestResilientPassesThroughAllOps(t *testing.T) {
+	r, _, _ := newTestResilient(t, ResilienceConfig{MaxRetries: 1})
+	ctx := context.Background()
+
+	if err := r.Set(ctx, "a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set(ctx, "b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := r.MGet(ctx, []string{"a", "b", "x"})
+	if err != nil || string(vals[0]) != "1" || string(vals[1]) != "2" || vals[2] != nil {
+		t.Fatalf("MGet = %q, %v", vals, err)
+	}
+	if err := r.Update(ctx, "a", func(cur []byte, exists bool) ([]byte, bool) {
+		return append(cur, '!'), true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := r.Get(ctx, "a")
+	if string(v) != "1!" {
+		t.Errorf("value after Update = %q, want %q", v, "1!")
+	}
+	if n, err := r.Len(ctx); err != nil || n != 2 {
+		t.Errorf("Len = %d,%v, want 2", n, err)
+	}
+	if ok, err := r.Delete(ctx, "b"); err != nil || !ok {
+		t.Errorf("Delete = %v,%v, want true", ok, err)
+	}
+}

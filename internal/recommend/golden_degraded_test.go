@@ -1,0 +1,165 @@
+package recommend_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vidrec/internal/core"
+	"vidrec/internal/dataset"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/recommend"
+	"vidrec/internal/simtable"
+)
+
+// The degraded golden test pins the fallback path the same way golden_topn
+// pins the personalized one: replay the fixed dataset on a healthy store,
+// then black out the model/simtable namespace ("sys/...") completely and run
+// the same 16-request mix. Every response must be served — Degraded, from the
+// demographic hot lists — and the exact lists are compared byte-for-byte
+// against testdata/golden_degraded.json. Refresh deliberately with
+//
+//	go test ./internal/recommend -run GoldenDegraded -update
+const goldenDegradedPath = "testdata/golden_degraded.json"
+
+func buildGoldenDegraded(t *testing.T) goldenFile {
+	t.Helper()
+	ctx := context.Background()
+	ds, err := dataset.Generate(dataset.Config{
+		Seed:             7,
+		Users:            24,
+		Videos:           48,
+		Types:            6,
+		Factors:          4,
+		Days:             1,
+		EventsPerDay:     80,
+		ZipfExponent:     1.05,
+		TrendDriftPerDay: 0.08,
+		GroupInfluence:   0.6,
+		RegisteredShare:  0.65,
+		Start:            time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	params := core.DefaultParams()
+	params.Factors = 8
+	// The cache is disabled so the blackout deterministically reaches every
+	// model read — with a cache, which requests degrade would depend on what
+	// earlier requests happened to leave cached.
+	opts := recommend.DefaultOptions()
+	opts.CacheCapacity = -1
+	faulty := kvstore.NewFaulty(kvstore.NewLocal(16), 7)
+	sys, err := recommend.NewSystem(faulty, params, simtable.DefaultConfig(), opts)
+	if err != nil {
+		t.Fatalf("build system: %v", err)
+	}
+	if err := ds.FillCatalog(ctx, sys.Catalog); err != nil {
+		t.Fatalf("fill catalog: %v", err)
+	}
+	if err := ds.FillProfiles(ctx, sys.Profiles); err != nil {
+		t.Fatalf("fill profiles: %v", err)
+	}
+
+	out := goldenFile{Seed: ds.Config().Seed}
+	stream := ds.Stream()
+	for {
+		a, ok := stream.Next()
+		if !ok {
+			break
+		}
+		if err := sys.Ingest(ctx, a); err != nil {
+			t.Fatalf("ingest action %d: %v", out.Actions, err)
+		}
+		out.Actions++
+	}
+
+	// Total model/simtable outage; serving-side namespaces stay reachable.
+	faulty.SetSchedule([]kvstore.FaultPhase{{FailRate: 1, KeyPrefix: "sys/"}})
+
+	// The same request mix as the personalized golden — the availability
+	// claim is per-request: zero errors under total model outage.
+	users := ds.Users()
+	videos := ds.Videos()
+	for i := 0; i < 8; i++ {
+		u := users[(i*3)%len(users)].ID
+		reqs := []recommend.Request{
+			{UserID: u, N: 5},
+			{UserID: u, N: 5, CurrentVideo: videos[(i*7)%len(videos)].Meta.ID},
+		}
+		for _, req := range reqs {
+			res, err := sys.Recommend(ctx, req)
+			if err != nil {
+				t.Fatalf("recommend %+v under model blackout: %v", req, err)
+			}
+			if !res.Degraded {
+				t.Fatalf("recommend %+v: not marked Degraded under total model outage", req)
+			}
+			g := goldenResult{
+				User:         req.UserID,
+				CurrentVideo: req.CurrentVideo,
+				Seeds:        res.Seeds,
+				Candidates:   res.Candidates,
+				HotMerged:    res.HotMerged,
+				Degraded:     res.Degraded,
+				Videos:       make([]goldenEntry, 0, len(res.Videos)),
+			}
+			for _, e := range res.Videos {
+				g.Videos = append(g.Videos, goldenEntry{ID: e.ID, Score: roundScore(e.Score)})
+			}
+			out.Results = append(out.Results, g)
+		}
+	}
+	return out
+}
+
+func TestGoldenDegraded(t *testing.T) {
+	got := buildGoldenDegraded(t)
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenDegradedPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenDegradedPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d results)", goldenDegradedPath, len(got.Results))
+		return
+	}
+
+	want, err := os.ReadFile(goldenDegradedPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		var old goldenFile
+		if err := json.Unmarshal(want, &old); err != nil {
+			t.Fatalf("golden file is not valid JSON: %v", err)
+		}
+		t.Errorf("degraded serving output diverged from %s — if the change is intended, refresh with -update", goldenDegradedPath)
+		logGoldenDiff(t, old, got)
+	}
+}
+
+func TestGoldenDegradedIsDeterministic(t *testing.T) {
+	a, err := json.Marshal(buildGoldenDegraded(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(buildGoldenDegraded(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two same-seed degraded replays disagree — golden comparisons would be flaky")
+	}
+}

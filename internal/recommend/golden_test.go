@@ -47,6 +47,7 @@ type goldenResult struct {
 	Seeds        int           `json:"seeds"`
 	Candidates   int           `json:"candidates"`
 	HotMerged    int           `json:"hot_merged"`
+	Degraded     bool          `json:"degraded,omitempty"`
 }
 
 type goldenFile struct {

@@ -62,6 +62,13 @@ type Options struct {
 	// results — write-through invalidation keeps cached reads coherent —
 	// only latency.
 	CacheCapacity int
+	// DegradedFallback serves the demographic hot list (marked
+	// Result.Degraded) when the personalized path fails on storage errors,
+	// instead of failing the request — the serving tier's last line of
+	// defense when the model/simtable namespace is unreachable. Validation
+	// errors never fall back, and when the fallback itself cannot be built
+	// the original personalized-path error surfaces.
+	DegradedFallback bool
 }
 
 // DefaultOptions returns production-shaped settings.
@@ -80,6 +87,7 @@ func DefaultOptions() Options {
 		DemographicFiltering: true,
 		HotHalfLife:          24 * time.Hour,
 		HotCapacity:          100,
+		DegradedFallback:     true,
 	}
 }
 

@@ -34,6 +34,11 @@ type Result struct {
 	Candidates int
 	// HotMerged counts entries contributed by demographic filtering.
 	HotMerged int
+	// Degraded marks a fallback response: the personalized path failed on
+	// storage errors and the list is the demographic hot list (filtered
+	// against whatever history was still readable) instead of MF-ranked
+	// candidates. Serving stayed up; quality, not availability, degraded.
+	Degraded bool
 	// Latency is the end-to-end serving time.
 	Latency time.Duration
 }
@@ -51,16 +56,13 @@ type serveScratch struct {
 	ranked *topn.List // reused ranking list; rebuilt when req.N changes
 }
 
-// Recommend runs the full Figure 1 pipeline for one request.
-//
-// The store round trips are batched to a constant per request regardless of
-// seed or candidate count: one history fetch serves both seeding and the
-// exclusion set, all seeds' similar lists share one MGet (SimilarBatch), and
-// candidate scoring plus the hot-merge re-score fold into a single
-// ScoreCandidates batch. Per-item scores under Eq. 2 are independent of what
-// else is in the batch, so the folded call ranks identically to scoring the
-// two sets separately; with the decoded-value cache warm the whole request
-// runs with zero store round trips.
+// Recommend runs the full Figure 1 pipeline for one request: the
+// personalized path (seed expansion → Eq. 2 scoring → ranking → hot merge),
+// and — when that path fails on storage errors and Options.DegradedFallback
+// is on — the demographic fallback, which serves the group's hot list so the
+// request degrades in quality instead of erroring. Validation failures never
+// fall back, and if the fallback cannot be built either, the personalized
+// path's error is the one returned.
 func (s *System) Recommend(ctx context.Context, req Request) (*Result, error) {
 	start := s.wallClock()
 	if req.N <= 0 {
@@ -72,6 +74,32 @@ func (s *System) Recommend(ctx context.Context, req Request) (*Result, error) {
 	now := s.Now()
 	group := s.groupOf(ctx, req.UserID)
 
+	res, err := s.personalized(ctx, req, group, now)
+	if err != nil && s.opts.DegradedFallback {
+		if deg, derr := s.degraded(ctx, req, group, now); derr == nil {
+			res, err = deg, nil
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	elapsed := s.wallClock().Sub(start)
+	s.Latency.Observe(elapsed)
+	res.Latency = elapsed
+	return res, nil
+}
+
+// personalized is the MF-ranked serving path.
+//
+// The store round trips are batched to a constant per request regardless of
+// seed or candidate count: one history fetch serves both seeding and the
+// exclusion set, all seeds' similar lists share one MGet (SimilarBatch), and
+// candidate scoring plus the hot-merge re-score fold into a single
+// ScoreCandidates batch. Per-item scores under Eq. 2 are independent of what
+// else is in the batch, so the folded call ranks identically to scoring the
+// two sets separately; with the decoded-value cache warm the whole request
+// runs with zero store round trips.
+func (s *System) personalized(ctx context.Context, req Request, group string, now time.Time) (*Result, error) {
 	scr, _ := s.scratch.Get().(*serveScratch)
 	if scr == nil {
 		scr = &serveScratch{seen: make(map[string]int, 64), inList: make(map[string]bool, 16)}
@@ -237,15 +265,42 @@ expand:
 		hotMerged = len(merged)
 	}
 
-	elapsed := s.wallClock().Sub(start)
-	s.Latency.Observe(elapsed)
 	return &Result{
 		Videos:     videos,
 		Seeds:      len(seeds),
 		Candidates: numCand,
 		HotMerged:  hotMerged,
-		Latency:    elapsed,
 	}, nil
+}
+
+// degraded builds the fallback response: the group's demographic hot list,
+// filtered against whatever history is still readable (a failed history read
+// only shrinks the exclusion set — re-serving a watched video beats serving
+// an error) and against the video being watched. Everything it touches lives
+// outside the model/simtable key namespace, so a total model outage leaves
+// this path fully operational.
+func (s *System) degraded(ctx context.Context, req Request, group string, now time.Time) (*Result, error) {
+	_, histSet, histErr := s.History.Watched(ctx, req.UserID, s.opts.HistoryLimit)
+	if histErr != nil {
+		histSet = nil
+	}
+	hot, err := s.hotFor(ctx, group, req.N+len(histSet)+1, now)
+	if err != nil {
+		return nil, err
+	}
+	videos := make([]topn.Entry, 0, min(req.N, len(hot)))
+	for _, e := range hot {
+		if histSet[e.ID] || e.ID == req.CurrentVideo {
+			continue
+		}
+		videos = append(videos, e)
+		if len(videos) == req.N {
+			break
+		}
+	}
+	// HotMerged covers the whole list: every slot came from demographic
+	// filtering, none from MF ranking.
+	return &Result{Videos: videos, HotMerged: len(videos), Degraded: true}, nil
 }
 
 // hotFor fetches the group's hot list, falling back to the global group when

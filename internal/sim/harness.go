@@ -50,17 +50,33 @@ type Report struct {
 	FailedTrees uint64 // tuple trees failed (tracked runs)
 	Unresolved  int    // trees neither acked nor failed at shutdown
 
-	// Storage accounting.
-	KVOps          uint64 // operations seen by the fault injector
-	InjectedFaults uint64 // operations it failed
+	// Storage accounting (summed over every replica's injector).
+	KVOps          uint64 // operations seen by the fault injectors
+	InjectedFaults uint64 // operations they failed
+
+	// Resilience accounting (summed over every replica's decorator; zero
+	// when the scenario runs without Resilience).
+	Retries       uint64 // attempts beyond the first
+	Exhausted     uint64 // operations failed after the full retry budget
+	BreakerTrips  uint64 // closed→open transitions
+	BreakerResets uint64 // half-open→closed transitions
+	ReadFallbacks uint64 // replicated reads answered by a non-primary backend
+	WriteSkips    uint64 // per-backend write failures absorbed by write-all
 
 	// Serving accounting.
 	Recommends      int // successful Recommend calls
 	RecommendErrors int // Recommend calls that returned an error
+	Degraded        int // served responses that came from the demographic fallback
 
-	// Digest is the SHA-256 of the canonical encoded model state; two runs
-	// of the same scenario must produce the same digest.
+	// Digest is the SHA-256 of the canonical encoded model state (replica 0
+	// when the scenario replicates); two runs of the same scenario must
+	// produce the same digest.
 	Digest string
+
+	// ReplicaDigests is each replica's state digest. On a fault-free
+	// replicated run all entries match Digest; a replica that missed writes
+	// during an outage diverges — visibly, here.
+	ReplicaDigests []string
 
 	// ServeDigest is the SHA-256 of every served list (ids, scores,
 	// provenance counters, in request order). Digest proves the *written*
@@ -101,29 +117,65 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	}
 	vclock := NewVirtualClock(cfg.Start)
 
-	// Storage chain: Local, optionally behind the real gob-over-TCP pair,
-	// with the fault injector outermost so faults hit whichever transport
-	// the scenario chose.
-	base := kvstore.NewLocal(32)
-	var store kvstore.Store = base
-	if sc.Transport == TransportTCP {
-		server, err := kvstore.NewServer(ctx, base, "127.0.0.1:0")
-		if err != nil {
-			return nil, fmt.Errorf("sim: start kv server: %w", err)
-		}
-		defer func() {
-			_ = server.Close() // shutdown path; Close errors carry no state
-		}()
-		client, err := kvstore.DialContext(ctx, server.Addr())
-		if err != nil {
-			return nil, fmt.Errorf("sim: dial kv server: %w", err)
-		}
-		defer func() {
-			_ = client.Close() // shutdown path; Close errors carry no state
-		}()
-		store = client
+	// Storage chain, per replica: Local, optionally behind the real
+	// gob-over-TCP pair (single-replica only), the fault injector, then the
+	// optional Resilient decorator — faults land below the retry layer so
+	// retries genuinely re-roll the injector. With Replicas > 1 the chains
+	// compose under Replicated (write-all / read-first-healthy), mirroring
+	// the production stack recserve assembles.
+	replicas := sc.Replicas
+	if replicas < 1 {
+		replicas = 1
 	}
-	faulty := kvstore.NewFaulty(store, sc.Seed^0x5EED)
+	chains := make([]replicaChain, replicas)
+	backends := make([]kvstore.Store, replicas)
+	for i := 0; i < replicas; i++ {
+		base := kvstore.NewLocal(32)
+		var store kvstore.Store = base
+		if sc.Transport == TransportTCP {
+			server, err := kvstore.NewServer(ctx, base, "127.0.0.1:0")
+			if err != nil {
+				return nil, fmt.Errorf("sim: start kv server: %w", err)
+			}
+			defer func() {
+				_ = server.Close() // shutdown path; Close errors carry no state
+			}()
+			client, err := kvstore.DialContext(ctx, server.Addr())
+			if err != nil {
+				return nil, fmt.Errorf("sim: dial kv server: %w", err)
+			}
+			defer func() {
+				_ = client.Close() // shutdown path; Close errors carry no state
+			}()
+			store = client
+		}
+		faulty := kvstore.NewFaulty(store, replicaFaultSeed(sc.Seed, i))
+		chains[i] = replicaChain{base: base, faulty: faulty}
+		backends[i] = faulty
+		if sc.Resilience != nil {
+			r := kvstore.NewResilient(faulty, *sc.Resilience, replicaFaultSeed(sc.Seed, i)^0xB0FF)
+			// The breaker's cooldown follows the virtual clock, and retry
+			// waits are no-ops: sleeping on backoff.Delay would either block
+			// real time (slow) or advance the virtual clock (diverging the
+			// clock trajectory between faulted and fault-free runs, breaking
+			// the failover digest comparison). Breaker recovery timing comes
+			// from the action timestamps instead, which dwarf any cooldown.
+			r.SetClock(vclock.Now)
+			r.SetSleep(func(ctx context.Context, _ time.Duration) error { return ctx.Err() })
+			chains[i].resilient = r
+			backends[i] = r
+		}
+	}
+	store := backends[0]
+	var repl *kvstore.Replicated
+	if replicas > 1 {
+		var err error
+		repl, err = kvstore.NewReplicated(backends...)
+		if err != nil {
+			return nil, fmt.Errorf("sim: compose replicated store: %w", err)
+		}
+		store = repl
+	}
 
 	params := core.DefaultParams()
 	params.Factors = 8
@@ -131,7 +183,7 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	if sc.DisableCache {
 		opts.CacheCapacity = -1
 	}
-	sys, err := recommend.NewSystem(faulty, params, simtable.DefaultConfig(), opts)
+	sys, err := recommend.NewSystem(store, params, simtable.DefaultConfig(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("sim: build system: %w", err)
 	}
@@ -146,7 +198,9 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	if err := ds.FillProfiles(ctx, sys.Profiles); err != nil {
 		return nil, fmt.Errorf("sim: fill profiles: %w", err)
 	}
-	faulty.SetSchedule(sc.KVFaults)
+	for i := range chains {
+		chains[i].faulty.SetSchedule(replicaSchedule(sc, i))
+	}
 
 	src := &clockSource{stream: ds.Stream(), clock: vclock}
 	topo, err := topology.BuildWithOptions(sys,
@@ -178,6 +232,16 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	rep.FailedTrees = spout.FailedTrees
 	rep.Unresolved = topo.UnresolvedTrees()
 
+	// Serving-phase outage, if scheduled: SetSchedule resets each injector's
+	// since-schedule op counter, so bank the replay ops first (Injected() is
+	// cumulative and needs no banking).
+	if len(sc.ServeFaults) > 0 {
+		for i := range chains {
+			rep.KVOps += chains[i].faulty.Ops()
+			chains[i].faulty.SetSchedule(sc.ServeFaults)
+		}
+	}
+
 	// Serving phase: deterministic request sequence over the universe,
 	// the virtual clock ticking between requests.
 	vclock.Advance(time.Minute)
@@ -193,23 +257,74 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 		if err != nil {
 			rep.RecommendErrors++
 		} else {
+			if res.Degraded {
+				rep.Degraded++
+			}
 			results = append(results, res)
 		}
 		vclock.Advance(time.Second)
 	}
 	rep.Recommends = len(results)
-	rep.KVOps = faulty.Ops()
-	rep.InjectedFaults = faulty.Injected()
+	for i := range chains {
+		rep.KVOps += chains[i].faulty.Ops()
+		rep.InjectedFaults += chains[i].faulty.Injected()
+		if r := chains[i].resilient; r != nil {
+			s := r.Stats()
+			rep.Retries += s.Retries
+			rep.Exhausted += s.Exhausted
+			rep.BreakerTrips += s.Breaker.Trips
+			rep.BreakerResets += s.Breaker.Resets
+		}
+		rep.ReplicaDigests = append(rep.ReplicaDigests, StateDigest(chains[i].base))
+	}
+	if repl != nil {
+		s := repl.Stats()
+		rep.ReadFallbacks = s.ReadFallbacks
+		rep.WriteSkips = s.WriteSkips
+	}
 
-	// Invariant checkers.
+	// Invariant checkers run against replica 0 — the backend every healthy
+	// read answers from, so its state is the authoritative one.
 	rep.Violations = append(rep.Violations, checkConservation(sc, topo, rep)...)
-	rep.Violations = append(rep.Violations, checkStore(ds, base, params, opts, simtable.DefaultConfig())...)
+	rep.Violations = append(rep.Violations, checkStore(ds, chains[0].base, params, opts, simtable.DefaultConfig())...)
 	rep.Violations = append(rep.Violations, checkResults(ds, results, sc.TopN)...)
 	rep.Violations = append(rep.Violations, checkLatency(sys, len(results))...)
 
-	rep.Digest = StateDigest(base)
+	rep.Digest = rep.ReplicaDigests[0]
 	rep.ServeDigest = serveDigest(results)
 	return rep, nil
+}
+
+// replicaChain is one replica's storage stack, kept by layer so the harness
+// can schedule faults (faulty), read resilience counters (resilient), and
+// digest state (base) independently of how the layers compose.
+type replicaChain struct {
+	base      *kvstore.Local
+	faulty    *kvstore.Faulty
+	resilient *kvstore.Resilient // nil unless the scenario sets Resilience
+}
+
+// replicaFaultSeed derives replica i's injector seed. Replica 0 keeps the
+// legacy single-store seed (sc.Seed ^ 0x5EED) so every pre-replication
+// scenario digest is unchanged; later replicas mix in a Weyl increment.
+func replicaFaultSeed(seed uint64, i int) uint64 {
+	return seed ^ 0x5EED ^ (uint64(i) * 0x9E3779B97F4A7C15)
+}
+
+// replicaSchedule picks replica i's replay-phase fault schedule: ReplicaFaults
+// by index when replicated, the legacy KVFaults for the lone replica
+// otherwise. Indices past the end of ReplicaFaults run fault-free.
+func replicaSchedule(sc Scenario, i int) []kvstore.FaultPhase {
+	if len(sc.ReplicaFaults) > 0 {
+		if i < len(sc.ReplicaFaults) {
+			return sc.ReplicaFaults[i]
+		}
+		return nil
+	}
+	if i == 0 {
+		return sc.KVFaults
+	}
+	return nil
 }
 
 // serveDigest canonically hashes the serving phase's output: every result's
@@ -219,7 +334,7 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 func serveDigest(results []*recommend.Result) string {
 	h := sha256.New()
 	for _, r := range results {
-		fmt.Fprintf(h, "%d|%d|%d|", r.Seeds, r.Candidates, r.HotMerged)
+		fmt.Fprintf(h, "%d|%d|%d|%t|", r.Seeds, r.Candidates, r.HotMerged, r.Degraded)
 		for _, e := range r.Videos {
 			fmt.Fprintf(h, "%s=%.17g;", e.ID, e.Score)
 		}

@@ -63,6 +63,25 @@ type Scenario struct {
 	KVFaults   []kvstore.FaultPhase
 	BoltFaults []BoltFault
 
+	// Resilient serving stack. Replicas > 1 composes that many independent
+	// backends under kvstore.Replicated (write-all / read-first-healthy);
+	// each backend carries its own fault injector so replicas can die
+	// independently. Requires TransportLocal and, when set, per-replica
+	// schedules via ReplicaFaults instead of KVFaults.
+	Replicas int
+	// ReplicaFaults is the per-replica fault schedule (index = replica;
+	// missing or nil entries mean fault-free). Only valid with Replicas > 1.
+	ReplicaFaults [][]kvstore.FaultPhase
+	// Resilience, when non-nil, wraps every backend's injector with a
+	// kvstore.Resilient decorator (retry/backoff/circuit-breaking) driven by
+	// the virtual clock and a no-op sleep, so retry patterns replay exactly.
+	Resilience *kvstore.ResilienceConfig
+	// ServeFaults, when non-empty, replaces every injector's schedule right
+	// before the serving phase — an outage that begins after training, the
+	// degraded-serving drill. Phase op counts restart at the first serving
+	// operation.
+	ServeFaults []kvstore.FaultPhase
+
 	// Serving phase: Recommends requests of size TopN after the replay.
 	Recommends int
 	TopN       int
@@ -112,6 +131,23 @@ func (s Scenario) withDefaults() (Scenario, error) {
 	}
 	if s.Transport != TransportLocal && s.Transport != TransportTCP {
 		return s, fmt.Errorf("sim: scenario %q has unknown transport %q", s.Name, s.Transport)
+	}
+	if s.Replicas < 0 {
+		return s, fmt.Errorf("sim: scenario %q has negative Replicas %d", s.Name, s.Replicas)
+	}
+	if s.Replicas > 1 && s.Transport == TransportTCP {
+		// One server/client pair per replica would mean real sockets per
+		// backend; the replication drills run on the local transport.
+		return s, fmt.Errorf("sim: scenario %q combines Replicas > 1 with the TCP transport", s.Name)
+	}
+	if s.Replicas > 1 && len(s.KVFaults) > 0 {
+		return s, fmt.Errorf("sim: scenario %q must schedule faults via ReplicaFaults when Replicas > 1", s.Name)
+	}
+	if len(s.ReplicaFaults) > 0 && s.Replicas <= 1 {
+		return s, fmt.Errorf("sim: scenario %q sets ReplicaFaults without Replicas > 1", s.Name)
+	}
+	if len(s.ReplicaFaults) > s.Replicas {
+		return s, fmt.Errorf("sim: scenario %q has %d replica fault schedules for %d replicas", s.Name, len(s.ReplicaFaults), s.Replicas)
 	}
 	if s.Recommends <= 0 {
 		s.Recommends = 30

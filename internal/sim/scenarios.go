@@ -149,5 +149,70 @@ func Scenarios() []Scenario {
 			Transport: TransportTCP,
 			KVFaults:  []kvstore.FaultPhase{{FailRate: 0.03}},
 		},
+		{
+			// Two replicas behind write-all/read-first-healthy; replica 1
+			// dies permanently 1000 ops into the replay. Write-all absorbs
+			// every skip, read-first-healthy keeps answering from replica 0 —
+			// so this run's Digest AND ServeDigest must be byte-identical to
+			// the same scenario with no faults at all (the failover-
+			// transparency test runs both), while ReplicaDigests[1] visibly
+			// diverges. Fully serialized for that comparison to be exact.
+			Name:        "replica-failover",
+			Seed:        1212,
+			Parallelism: serialParallelism(),
+			MaxPending:  1,
+			Tracked:     true,
+			Synchronous: true,
+			Replicas:    2,
+			Resilience: &kvstore.ResilienceConfig{
+				MaxRetries: 1,
+				Backoff:    kvstore.BackoffConfig{Base: kvstore.DefaultBackoffBase, Max: kvstore.DefaultBackoffMax},
+				Breaker:    kvstore.BreakerConfig{Threshold: 4, Cooldown: 100 * time.Millisecond},
+			},
+			ReplicaFaults: [][]kvstore.FaultPhase{
+				nil,
+				{{Ops: 1000}, {FailRate: 1}},
+			},
+		},
+		{
+			// The breaker drill: a 40-op total outage on replica 0 trips its
+			// breaker (failing fast instead of burning the retry budget on a
+			// dead backend), reads fall back to replica 1, write-all absorbs
+			// the skips — then half-open probes burn down the outage window
+			// (the virtual clock jumps minutes per action, dwarfing the
+			// cooldown) until one lands and the breaker closes again. The
+			// expectations demand the full trip AND reset happened, with zero
+			// failed trees and zero serving errors end to end. MaxPending 1
+			// paces the virtual clock with processing: an unbounded spout
+			// drains the whole stream (and the clock) ahead of the bolts,
+			// freezing the clock mid-outage so the cooldown never elapses.
+			Name:       "breaker-trip-recover",
+			Seed:       1313,
+			Tracked:    true,
+			MaxPending: 1,
+			Replicas:   2,
+			Resilience: &kvstore.ResilienceConfig{
+				MaxRetries: 1,
+				Backoff:    kvstore.BackoffConfig{Base: kvstore.DefaultBackoffBase, Max: kvstore.DefaultBackoffMax},
+				Breaker:    kvstore.BreakerConfig{Threshold: 5, Cooldown: 100 * time.Millisecond},
+			},
+			ReplicaFaults: [][]kvstore.FaultPhase{
+				{{Ops: 1000}, {Ops: 40, FailRate: 1}, {Ops: 0}},
+				nil,
+			},
+		},
+		{
+			// Total model/simtable outage ("sys/...") that begins only at the
+			// serving phase: every personalized read path is dead, yet every
+			// request must still be answered — Degraded, from the demographic
+			// hot lists, whose "sys.hot:" namespace survives the blackout.
+			// The cache is disabled so the blackout deterministically reaches
+			// every model read instead of whatever the replay left cached.
+			Name:         "degraded-serving",
+			Seed:         1414,
+			Tracked:      true,
+			DisableCache: true,
+			ServeFaults:  []kvstore.FaultPhase{{FailRate: 1, KeyPrefix: "sys/"}},
+		},
 	}
 }

@@ -47,6 +47,66 @@ var expectations = map[string]func(t *testing.T, rep *Report){
 			t.Error("cold start served nothing — hot-list fallback is broken")
 		}
 	},
+	"replica-failover": func(t *testing.T, rep *Report) {
+		if rep.InjectedFaults == 0 {
+			t.Error("replica outage injected no faults — scenario is vacuous")
+		}
+		if rep.FailedTrees != 0 {
+			t.Errorf("write-all failed %d tuple trees despite a healthy replica 0", rep.FailedTrees)
+		}
+		if rep.RecommendErrors != 0 {
+			t.Errorf("%d recommend errors despite a healthy replica 0", rep.RecommendErrors)
+		}
+		if rep.WriteSkips == 0 {
+			t.Error("dead replica absorbed no write skips — replication never engaged")
+		}
+		if rep.BreakerTrips == 0 {
+			t.Error("dead replica never tripped its breaker")
+		}
+		if len(rep.ReplicaDigests) != 2 {
+			t.Fatalf("got %d replica digests, want 2", len(rep.ReplicaDigests))
+		}
+		if rep.ReplicaDigests[1] == rep.ReplicaDigests[0] {
+			t.Error("dead replica's digest matches the survivor's — the outage changed nothing")
+		}
+	},
+	"breaker-trip-recover": func(t *testing.T, rep *Report) {
+		if rep.InjectedFaults == 0 {
+			t.Error("outage window injected no faults — scenario is vacuous")
+		}
+		if rep.BreakerTrips == 0 {
+			t.Error("outage never tripped the breaker")
+		}
+		if rep.BreakerResets == 0 {
+			t.Error("breaker never closed again — no half-open probe succeeded after the outage window")
+		}
+		if rep.Retries == 0 {
+			t.Error("no operation was ever retried — the retry layer never engaged")
+		}
+		if rep.ReadFallbacks == 0 {
+			t.Error("no read fell back to the healthy replica during the outage")
+		}
+		if rep.FailedTrees != 0 {
+			t.Errorf("outage failed %d tuple trees despite fallback + write-all", rep.FailedTrees)
+		}
+		if rep.RecommendErrors != 0 {
+			t.Errorf("%d recommend errors despite a healthy replica", rep.RecommendErrors)
+		}
+	},
+	"degraded-serving": func(t *testing.T, rep *Report) {
+		if rep.InjectedFaults == 0 {
+			t.Error("serving-phase blackout injected no faults — scenario is vacuous")
+		}
+		if rep.RecommendErrors != 0 {
+			t.Errorf("%d recommend errors — availability broke under the model blackout", rep.RecommendErrors)
+		}
+		if rep.Degraded == 0 {
+			t.Error("no response was marked Degraded under a total model outage")
+		}
+		if rep.Degraded != rep.Recommends {
+			t.Errorf("%d of %d responses degraded, want all — some personalized path dodged the blackout", rep.Degraded, rep.Recommends)
+		}
+	},
 }
 
 // TestScenarios runs the full matrix: every named scenario must complete
@@ -163,6 +223,58 @@ func TestCacheTransparency(t *testing.T) {
 	// comparison is vacuous.
 	if cached.KVOps >= uncached.KVOps {
 		t.Errorf("cache saved no store operations: %d cached vs %d uncached — transparency test is vacuous", cached.KVOps, uncached.KVOps)
+	}
+}
+
+// TestReplicaFailoverDigest is the failover-transparency proof: the
+// replica-failover scenario (replica 1 dies mid-replay) must produce
+// byte-identical trained state AND served output to the very same scenario
+// with no faults at all. Write-all keeps replica 0's operation sequence
+// independent of replica 1's health, and read-first-healthy always answers
+// from replica 0 — so a client cannot tell a failover happened. The dead
+// replica's own digest is the negative control: it must diverge in the
+// faulted run and match in the fault-free one.
+func TestReplicaFailoverDigest(t *testing.T) {
+	var sc Scenario
+	for _, s := range Scenarios() {
+		if s.Name == "replica-failover" {
+			sc = s
+		}
+	}
+	if sc.Name == "" {
+		t.Fatal("replica-failover scenario missing from matrix")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	faulted, err := Run(ctx, sc)
+	if err != nil {
+		t.Fatalf("faulted run: %v", err)
+	}
+	sc.ReplicaFaults = nil
+	clean, err := Run(ctx, sc)
+	if err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+	if faulted.Digest != clean.Digest {
+		t.Errorf("state digests differ with and without the replica outage:\n  faulted: %s\n  clean:   %s", faulted.Digest, clean.Digest)
+	}
+	if faulted.ServeDigest != clean.ServeDigest {
+		t.Errorf("served-output digests differ with and without the replica outage:\n  faulted: %s\n  clean:   %s", faulted.ServeDigest, clean.ServeDigest)
+	}
+	if faulted.Degraded != 0 || clean.Degraded != 0 {
+		t.Errorf("degraded responses on a run with a healthy replica 0: faulted %d, clean %d", faulted.Degraded, clean.Degraded)
+	}
+	// Negative controls: the comparison is only meaningful if the outage
+	// really happened and really cost replica 1 its state.
+	if faulted.InjectedFaults == 0 {
+		t.Error("faulted run injected nothing — transparency comparison is vacuous")
+	}
+	if len(clean.ReplicaDigests) == 2 && clean.ReplicaDigests[0] != clean.ReplicaDigests[1] {
+		t.Error("fault-free replicas disagree — write-all is not replicating")
+	}
+	if len(faulted.ReplicaDigests) == 2 && faulted.ReplicaDigests[0] == faulted.ReplicaDigests[1] {
+		t.Error("faulted replicas agree — the outage never happened")
 	}
 }
 
