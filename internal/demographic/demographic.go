@@ -140,7 +140,7 @@ func (p Profile) Group() string {
 	if p.Gender == GenderUnknown && p.Age == AgeUnknown && p.Education == EduUnknown {
 		return GlobalGroup
 	}
-	return p.Gender.String() + ":" + p.Age.String() + ":" + p.Education.String()
+	return p.Gender.String() + ":" + p.Age.String() + ":" + p.Education.String() // alloccheck: one small group key per request (warm budget)
 }
 
 // Profiles is a kvstore-backed user profile table.
@@ -190,6 +190,7 @@ func (p *Profiles) Put(ctx context.Context, prof Profile) error {
 // value structs, so the cached copy is returned by value — no aliasing.
 func (p *Profiles) Get(ctx context.Context, userID string) (Profile, bool, error) {
 	key := kvstore.Key(p.ns, userID)
+	// alloccheck: one loader closure per read-through is inside the warm budget
 	return objcache.Cached(p.cache, key, func() (Profile, bool, error) {
 		raw, ok, err := p.kv.Get(ctx, key)
 		if err != nil {

@@ -116,6 +116,7 @@ func (h *HotTracker) Record(ctx context.Context, group, videoID string, weight f
 // group invalidates it.
 func (h *HotTracker) Hot(ctx context.Context, group string, k int, now time.Time) ([]topn.Entry, error) {
 	key := kvstore.Key(h.ns, group)
+	// alloccheck: one loader closure per read-through is inside the warm budget
 	rec, ok, err := objcache.Cached(h.cache, key, func() (hotRecord, bool, error) {
 		raw, ok, err := h.kv.Get(ctx, key)
 		if err != nil {
@@ -141,6 +142,7 @@ func (h *HotTracker) Hot(ctx context.Context, group string, k int, now time.Time
 	if factor > 1 {
 		factor = 1
 	}
+	// alloccheck: damped copy-out keeps the cached record immutable (API contract)
 	out := make([]topn.Entry, 0, min(k, len(rec.entries)))
 	for _, e := range rec.entries {
 		if len(out) == k {

@@ -66,7 +66,7 @@ func (s *ModelSet) For(group string) (*core.Model, error) {
 	if m := s.models[group]; m != nil {
 		return m, nil
 	}
-	m, err := core.NewModel(s.name+"/"+group, s.kv, s.params)
+	m, err := core.NewModel(s.name+"/"+group, s.kv, s.params) // alloccheck: once per group; the set memoizes
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +141,7 @@ func (s *TableSet) For(group string) (*simtable.Tables, error) {
 	if t := s.tables[group]; t != nil {
 		return t, nil
 	}
-	t, err := simtable.New(s.name+"/"+group, s.kv, s.cfg)
+	t, err := simtable.New(s.name+"/"+group, s.kv, s.cfg) // alloccheck: once per group; the set memoizes
 	if err != nil {
 		return nil, err
 	}

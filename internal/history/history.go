@@ -67,7 +67,7 @@ func decode(raw []byte) ([]Event, error) {
 	if err != nil {
 		return nil, err
 	}
-	events := make([]Event, len(entries))
+	events := make([]Event, len(entries)) // alloccheck: miss-path decode; warm requests reuse the cached record
 	for i, e := range entries {
 		events[i] = Event{VideoID: e.ID, Time: time.UnixMilli(int64(e.Score))}
 	}
@@ -119,8 +119,8 @@ type record struct {
 }
 
 func newRecord(events []Event) record {
-	videos := make([]string, len(events))
-	set := make(map[string]bool, len(events))
+	videos := make([]string, len(events))     // alloccheck: miss-path decode; warm requests reuse the cached record
+	set := make(map[string]bool, len(events)) // alloccheck: miss-path decode; warm requests reuse the cached record
 	for i, e := range events {
 		videos[i] = e.VideoID
 		set[e.VideoID] = true
@@ -132,6 +132,7 @@ func newRecord(events []Event) record {
 // attached.
 func (s *Store) load(ctx context.Context, userID string) (record, bool, error) {
 	key := kvstore.Key(s.ns, userID)
+	// alloccheck: one loader closure per read-through is inside the warm budget
 	return objcache.Cached(s.cache, key, func() (record, bool, error) {
 		raw, ok, err := s.kv.Get(ctx, key)
 		if err != nil {

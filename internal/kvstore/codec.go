@@ -40,13 +40,15 @@ func DecodeFloats(b []byte) ([]float64, error) {
 // hot path decodes hundreds of candidate vectors per request into one
 // scratch slice instead of hundreds of fresh allocations; the returned slice
 // aliases dst, so callers must consume it before the next reuse.
+//
+// hotpath: the decode-into discipline only matters if it stays allocation-free
 func DecodeFloatsInto(dst []float64, b []byte) ([]float64, error) {
 	if len(b)%8 != 0 {
 		return nil, fmt.Errorf("kvstore: float slice encoding has %d bytes, not a multiple of 8", len(b))
 	}
 	n := len(b) / 8
 	if cap(dst) < n {
-		dst = make([]float64, n)
+		dst = make([]float64, n) // alloccheck: grow on first use; steady state reuses dst
 	} else {
 		dst = dst[:n]
 	}
@@ -64,6 +66,8 @@ func EncodeFloat(f float64) []byte {
 }
 
 // DecodeFloat decodes a value produced by EncodeFloat.
+//
+// hotpath: one bias decode per cold key; reached through the Store interface
 func DecodeFloat(b []byte) (float64, error) {
 	if len(b) != 8 {
 		return 0, fmt.Errorf("kvstore: float encoding has %d bytes, want 8", len(b))
@@ -100,6 +104,7 @@ func DecodeEntries(b []byte) ([]topn.Entry, error) {
 	if n > uint64(len(b)) { // each entry needs at least 1 byte; cheap sanity bound
 		return nil, fmt.Errorf("kvstore: entry list claims %d entries in %d bytes", n, len(b))
 	}
+	// alloccheck: miss-path decode, sized by the encoded header
 	entries := make([]topn.Entry, 0, n)
 	for i := uint64(0); i < n; i++ {
 		l, m := binary.Uvarint(b[off:])
@@ -110,7 +115,7 @@ func DecodeEntries(b []byte) ([]topn.Entry, error) {
 		if uint64(len(b)-off) < l+8 {
 			return nil, fmt.Errorf("kvstore: truncated entry %d", i)
 		}
-		id := string(b[off : off+int(l)])
+		id := string(b[off : off+int(l)]) // alloccheck: decoded IDs must not alias the store's buffer
 		off += int(l)
 		score := math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
 		off += 8
@@ -144,6 +149,7 @@ func DecodeStrings(b []byte) ([]string, error) {
 	if n > uint64(len(b)) {
 		return nil, fmt.Errorf("kvstore: string list claims %d entries in %d bytes", n, len(b))
 	}
+	// alloccheck: miss-path decode, sized by the encoded header
 	out := make([]string, 0, n)
 	for i := uint64(0); i < n; i++ {
 		l, m := binary.Uvarint(b[off:])
@@ -154,7 +160,7 @@ func DecodeStrings(b []byte) ([]string, error) {
 		if uint64(len(b)-off) < l {
 			return nil, fmt.Errorf("kvstore: truncated string %d", i)
 		}
-		out = append(out, string(b[off:off+int(l)]))
+		out = append(out, string(b[off:off+int(l)])) // alloccheck: decoded strings must not alias the store's buffer
 		off += int(l)
 	}
 	return out, nil

@@ -267,7 +267,7 @@ func (l *Local) ForEach(fn func(key string, val []byte) bool) {
 // one store; namespaces keep them apart ("uv" user vector, "iv" item vector,
 // "ub"/"ib" biases, "uh" user history, "sim" similar list, ...).
 func Key(namespace, id string) string {
-	return namespace + ":" + id
+	return namespace + ":" + id // alloccheck: one small key header per lookup; hot callers memoize (core keyMemo)
 }
 
 // SplitKey splits a key produced by Key back into namespace and id.

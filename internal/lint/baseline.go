@@ -21,8 +21,14 @@ import (
 // Lines starting with '#' and blank lines are ignored. `vidlint
 // -write-baseline` regenerates the file from current findings; `make
 // lint-baseline` wraps that.
+// A baseline is one-way: it records debt, it never accumulates more. Filter
+// remembers which entries actually matched, Stale reports the ones that no
+// longer suppress anything (they must be removed, not kept as dead weight),
+// and Prune rewrites the file down to the matched set. Growing the file is
+// only possible through an explicit -write-baseline of a new backlog.
 type Baseline struct {
 	entries map[string]bool
+	matched map[string]bool
 }
 
 func baselineKey(f Finding) string {
@@ -32,7 +38,7 @@ func baselineKey(f Finding) string {
 // LoadBaseline reads a baseline file. A missing file yields an empty
 // baseline — the zero state suppresses nothing.
 func LoadBaseline(path string) (*Baseline, error) {
-	b := &Baseline{entries: make(map[string]bool)}
+	b := &Baseline{entries: make(map[string]bool), matched: make(map[string]bool)}
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -61,17 +67,67 @@ func LoadBaseline(path string) (*Baseline, error) {
 // Len returns the number of suppressions.
 func (b *Baseline) Len() int { return len(b.entries) }
 
-// Filter returns the findings not covered by the baseline.
+// Filter returns the findings not covered by the baseline, and records which
+// entries matched so Stale can report the leftovers.
 func (b *Baseline) Filter(findings []Finding) []Finding {
 	if len(b.entries) == 0 {
 		return findings
 	}
 	out := findings[:0]
 	for _, f := range findings {
-		if !b.entries[baselineKey(f)] {
+		if k := baselineKey(f); b.entries[k] {
+			b.matched[k] = true
+		} else {
 			out = append(out, f)
 		}
 	}
+	return out
+}
+
+// Stale returns the entries no Filter call has matched, sorted. A stale
+// entry means the suppressed finding was fixed (or its message changed):
+// either way the suppression is dead and keeping it would let the finding
+// silently come back, so callers treat a non-empty result as an error.
+func (b *Baseline) Stale() []string {
+	var out []string
+	for k := range b.entries {
+		if !b.matched[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Prune rewrites the baseline file keeping only the entries that matched a
+// finding, and returns how many stale entries were dropped. The result can
+// only be equal to or smaller than the loaded file — Prune never adds.
+func (b *Baseline) Prune(path string) (dropped int, err error) {
+	keep := make([]string, 0, len(b.matched))
+	for k := range b.matched {
+		keep = append(keep, k)
+	}
+	sort.Strings(keep)
+	if err := writeBaselineKeys(path, keep); err != nil {
+		return 0, err
+	}
+	return len(b.entries) - len(keep), nil
+}
+
+// NewKeys returns the keys of findings not already covered by the baseline,
+// sorted and deduplicated. A non-empty result means rewriting the baseline
+// from these findings would grow it.
+func (b *Baseline) NewKeys(findings []Finding) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range findings {
+		k := baselineKey(f)
+		if !b.entries[k] && !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
 	return out
 }
 
@@ -87,6 +143,10 @@ func WriteBaseline(path string, findings []Finding) error {
 		}
 	}
 	sort.Strings(keys)
+	return writeBaselineKeys(path, keys)
+}
+
+func writeBaselineKeys(path string, keys []string) error {
 	var sb strings.Builder
 	sb.WriteString("# vidlint baseline: accepted pre-existing findings (pass<TAB>file<TAB>message).\n")
 	sb.WriteString("# Regenerate with `make lint-baseline`. An empty file means the tree is clean.\n")

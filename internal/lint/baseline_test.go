@@ -49,6 +49,68 @@ func TestBaselineMissingFile(t *testing.T) {
 	}
 }
 
+func TestBaselineStaleAndPrune(t *testing.T) {
+	fixed := Finding{Pass: "numcheck", File: "a.go", Message: "old division"}
+	still := Finding{Pass: "ctxcheck", File: "b.go", Message: "blocking call"}
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	if err := WriteBaseline(path, []Finding{fixed, still}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only `still` is produced this run: `fixed` was remediated, so its
+	// entry is stale.
+	if left := b.Filter([]Finding{still}); len(left) != 0 {
+		t.Fatalf("Filter left %d findings, want 0", len(left))
+	}
+	stale := b.Stale()
+	if len(stale) != 1 || stale[0] != baselineKey(fixed) {
+		t.Fatalf("Stale = %q, want the fixed finding's key only", stale)
+	}
+	dropped, err := b.Prune(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("Prune dropped %d, want 1", dropped)
+	}
+	b2, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Len() != 1 {
+		t.Fatalf("pruned baseline has %d entries, want 1", b2.Len())
+	}
+	if left := b2.Filter([]Finding{still}); len(left) != 0 {
+		t.Fatal("pruned baseline must keep the still-matching entry")
+	}
+	if len(b2.Stale()) != 0 {
+		t.Fatal("pruned baseline must have no stale entries left")
+	}
+}
+
+func TestBaselineNewKeys(t *testing.T) {
+	old := Finding{Pass: "numcheck", File: "a.go", Message: "known"}
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	if err := WriteBaseline(path, []Finding{old}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	novel := Finding{Pass: "alloccheck", File: "c.go", Message: "fresh"}
+	grown := b.NewKeys([]Finding{old, novel, novel}) // dup must collapse
+	if len(grown) != 1 || grown[0] != baselineKey(novel) {
+		t.Fatalf("NewKeys = %q, want the novel finding's key only", grown)
+	}
+	if got := b.NewKeys([]Finding{old}); len(got) != 0 {
+		t.Fatalf("NewKeys on covered findings = %q, want none", got)
+	}
+}
+
 func TestBaselineMalformed(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "baseline.txt")
 	if err := os.WriteFile(path, []byte("# comment\n\nonly-one-field\n"), 0o644); err != nil {

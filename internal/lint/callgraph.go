@@ -41,13 +41,18 @@ func (p *Program) UnitFor(fn *types.Func) *Unit {
 }
 
 // CallGraph is a static, declaration-level call graph: an edge f -> g means
-// the body of f contains a call expression that resolves to g. Resolution is
-// purely syntactic+type-based — direct calls, method calls on concrete
-// receivers, and interface method calls (which resolve to the interface
-// method object, not its implementations). Calls through function values are
-// not tracked. That under-approximation is the standard trade-off for a
-// stdlib-only linter: it can miss an edge, so passes built on it report
-// "potential" rather than "proven" properties.
+// the body of f contains a call expression that resolves to g, or a
+// reference to g as a value (a method value like `h := s.score`, a function
+// passed as an argument, or a function stored in a field) — a referenced
+// function may be invoked later through the value, so dataflow passes must
+// assume the edge is live. Resolution is purely syntactic+type-based —
+// direct calls, method calls on concrete receivers, and interface method
+// calls (which resolve to the interface method object, not its
+// implementations). Calls through values whose origin is not visible in the
+// body (e.g. a function received as a parameter) are still missed. That
+// under-approximation is the standard trade-off for a stdlib-only linter: it
+// can miss an edge, so passes built on it report "potential" rather than
+// "proven" properties.
 type CallGraph struct {
 	decls map[*types.Func]*funcDecl
 	calls map[*types.Func][]CallSite
@@ -107,13 +112,38 @@ func buildCallGraph(units []*Unit) *CallGraph {
 					continue
 				}
 				g.decls[fn] = &funcDecl{unit: u, decl: fd}
+				// First sweep: direct calls. Idents consumed as the callee
+				// of a call are remembered so the reference sweep below
+				// doesn't double-count them.
+				direct := make(map[*ast.Ident]bool)
 				ast.Inspect(fd.Body, func(n ast.Node) bool {
 					call, ok := n.(*ast.CallExpr)
 					if !ok {
 						return true
 					}
+					switch fun := unparen(call.Fun).(type) {
+					case *ast.Ident:
+						direct[fun] = true
+					case *ast.SelectorExpr:
+						direct[fun.Sel] = true
+					}
 					if callee := resolveCallee(u, call); callee != nil {
 						g.calls[fn] = append(g.calls[fn], CallSite{Callee: callee, Pos: call.Pos()})
+					}
+					return true
+				})
+				// Second sweep: method values and stored function
+				// references (`h := s.score`, `go run(fn)`, func-typed
+				// struct fields). Any use of a declared function other than
+				// calling it directly means the function may run wherever
+				// the value flows, so it gets an edge too.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok || direct[id] {
+						return true
+					}
+					if ref, ok := u.Info.Uses[id].(*types.Func); ok {
+						g.calls[fn] = append(g.calls[fn], CallSite{Callee: ref, Pos: id.Pos()})
 					}
 					return true
 				})

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestCallGraphReferenceEdges is the regression test for the method-value
+// blind spot: calls made through method values, function-typed fields, and
+// function arguments must still produce edges, or every pass built on the
+// graph (lockorder, hotness propagation) silently under-reports.
+func TestCallGraphReferenceEdges(t *testing.T) {
+	u := loadFixture(t, "callgraph")
+	g := NewProgram([]*Unit{u}).CallGraph()
+
+	fn := func(name string) *types.Func {
+		for _, f := range g.Functions() {
+			if f.Name() == name {
+				return f
+			}
+		}
+		t.Fatalf("function %q not in call graph", name)
+		return nil
+	}
+	callees := func(name string) map[string]bool {
+		out := make(map[string]bool)
+		for _, cs := range g.CalleesOf(fn(name)) {
+			out[cs.Callee.Name()] = true
+		}
+		return out
+	}
+
+	for caller, callee := range map[string]string{
+		"direct":      "score",  // plain method call (pre-existing behavior)
+		"methodValue": "score",  // h := s.score; h(x)
+		"storedField": "helper", // &server{handler: helper}
+		"asArg":       "helper", // apply(helper)
+	} {
+		if !callees(caller)[callee] {
+			t.Errorf("missing edge %s -> %s; got %v", caller, callee, callees(caller))
+		}
+	}
+	if !callees("asArg")["apply"] {
+		t.Errorf("direct edge asArg -> apply lost; got %v", callees("asArg"))
+	}
+	// A reference must not double-count a direct call: direct() has exactly
+	// one edge to score.
+	n := 0
+	for _, cs := range g.CalleesOf(fn("direct")) {
+		if cs.Callee.Name() == "score" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("direct -> score recorded %d times, want 1", n)
+	}
+}

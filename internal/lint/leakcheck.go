@@ -1,0 +1,712 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// leakcheck enforces resource-lifetime discipline on the serving and storage
+// layers: every acquired resource must reach its release on all return paths
+// — including error paths, which is where leaks hide in practice (a redial
+// loop that drops connections on failed handshakes starves the file-
+// descriptor table long before anyone reads a metric).
+//
+// Tracked acquisitions and their releases:
+//
+//   - net.Dial / net.DialTimeout / net.Listen, (net.Dialer).Dial(Context),
+//     (net.Listener).Accept        -> Close
+//   - os.Open / os.Create / os.OpenFile -> Close
+//   - time.NewTicker / time.NewTimer    -> Stop
+//   - context.WithCancel / WithTimeout / WithDeadline -> calling the
+//     CancelFunc
+//   - (sync.Pool).Get -> Put on the same pool (the serve-scratch discipline)
+//
+// A resource is safe when its release is deferred, when it escapes the
+// function (returned, stored in a field/map/composite, passed to another
+// function, sent on a channel, or captured by a closure — ownership moves
+// with it), or when a flow walk shows the release before every return. The
+// walk is optimistic where static analysis must be: a release anywhere in a
+// loop body counts for the code after the loop, and a release in any
+// select/switch clause counts for the whole statement (a timer Stopped in
+// the ctx.Done arm while the <-t.C arm falls through is the correct idiom,
+// not a leak). `v, err := acquire()` followed by a return under a test of
+// that same err is exempt — the resource was never valid.
+//
+// Two shapes are findings outright: time.Tick (its ticker can never be
+// stopped), and a send on an unbuffered locally-made channel inside a `go
+// func` body with no surrounding select — if the receiver vanishes, the
+// goroutine blocks forever.
+//
+// The hatch, on the line or the line above the acquisition or the reported
+// site:
+//
+//	// leakcheck: <why the lifetime is safe>
+func init() {
+	Register(&Pass{
+		Name: "leakcheck",
+		Doc:  "acquired resources (conns, files, tickers, cancels, pool slots) must be released on every path",
+		Scope: []string{
+			"internal/kvstore", "internal/recommend", "internal/objcache",
+			"internal/core", "internal/storm",
+			"cmd",
+			"fixtures/leakcheck",
+		},
+		Run: runLeakcheck,
+	})
+}
+
+func runLeakcheck(u *Unit) []Finding {
+	c := &leakChecker{u: u}
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkScope(fd.Body)
+			// Each func literal is its own lifetime scope: resources
+			// acquired inside it must be released inside it (or escape
+			// from it).
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					c.checkScope(lit.Body)
+				}
+				return true
+			})
+			c.checkGoroutineSends(fd.Body)
+			c.checkTick(fd.Body)
+		}
+	}
+	return c.findings
+}
+
+type leakChecker struct {
+	u        *Unit
+	findings []Finding
+}
+
+func (c *leakChecker) hatched(pos token.Pos) bool {
+	txt, ok := c.u.CommentAt(pos)
+	return ok && strings.Contains(txt, "leakcheck:")
+}
+
+func (c *leakChecker) report(pos token.Pos, format string, args ...any) {
+	if c.hatched(pos) {
+		return
+	}
+	c.findings = append(c.findings, c.u.finding("leakcheck", pos, format, args...))
+}
+
+// resource is one tracked acquisition within a scope.
+type resource struct {
+	obj     types.Object // the bound identifier
+	name    string
+	kind    string       // "connection", "file", "ticker", ...
+	release string       // method name; "" means calling the bound func (CancelFunc)
+	relDesc string       // how to release, for messages
+	errObj  types.Object // error bound at the same acquisition, if any
+	pool    string       // for sync.Pool gets: exprString of the pool
+	acqStmt ast.Stmt
+	pos     token.Pos
+}
+
+// acquisitionKind classifies call; ok is false for non-acquiring calls.
+// relIdx is the tuple position of the resource in the call's results.
+func (c *leakChecker) acquisitionKind(call *ast.CallExpr) (kind, release, relDesc string, relIdx int, ok bool) {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", 0, false
+	}
+	if pkg, isPkg := unparen(sel.X).(*ast.Ident); isPkg {
+		if pn, isName := c.u.Info.Uses[pkg].(*types.PkgName); isName {
+			switch pn.Imported().Path() {
+			case "os":
+				switch sel.Sel.Name {
+				case "Open", "Create", "OpenFile":
+					return "file", "Close", "Close", 0, true
+				}
+			case "net":
+				switch sel.Sel.Name {
+				case "Dial", "DialTimeout":
+					return "connection", "Close", "Close", 0, true
+				case "Listen", "ListenTCP", "ListenUnix":
+					return "listener", "Close", "Close", 0, true
+				}
+			case "time":
+				switch sel.Sel.Name {
+				case "NewTicker":
+					return "ticker", "Stop", "Stop", 0, true
+				case "NewTimer":
+					return "timer", "Stop", "Stop", 0, true
+				}
+			case "context":
+				switch sel.Sel.Name {
+				case "WithCancel", "WithTimeout", "WithDeadline":
+					return "cancel function", "", "calling it", 1, true
+				}
+			}
+			return "", "", "", 0, false
+		}
+	}
+	selInfo, isMethod := c.u.Info.Selections[sel]
+	if !isMethod {
+		return "", "", "", 0, false
+	}
+	recv := namedFrom(selInfo.Recv())
+	if recv == nil || recv.Obj().Pkg() == nil {
+		return "", "", "", 0, false
+	}
+	switch recv.Obj().Pkg().Path() + "." + recv.Obj().Name() {
+	case "net.Dialer":
+		if sel.Sel.Name == "Dial" || sel.Sel.Name == "DialContext" {
+			return "connection", "Close", "Close", 0, true
+		}
+	case "net.Listener", "net.TCPListener", "net.UnixListener":
+		if strings.HasPrefix(sel.Sel.Name, "Accept") {
+			return "connection", "Close", "Close", 0, true
+		}
+	case "sync.Pool":
+		if sel.Sel.Name == "Get" {
+			return "pooled object", "Put", "Put back on " + exprString(sel.X), 0, true
+		}
+	}
+	return "", "", "", 0, false
+}
+
+// checkScope analyzes one function body (a declaration's or a literal's):
+// finds acquisitions bound directly in this scope (not in nested literals)
+// and verifies each reaches its release.
+func (c *leakChecker) checkScope(body *ast.BlockStmt) {
+	var resources []*resource
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && len(stack) > 0 {
+			return false // nested literal: its own scope
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, release, relDesc, relIdx, ok := c.acquisitionKind(call)
+		if !ok {
+			return true
+		}
+		if r, discarded := c.bindResource(call, kind, release, relDesc, relIdx, stack); r != nil {
+			resources = append(resources, r)
+		} else if discarded {
+			c.report(call.Pos(), "%s from %s is discarded, so it can never be released", kind, exprString(call.Fun))
+		}
+		return true
+	})
+	for _, r := range resources {
+		c.checkResource(body, r)
+	}
+}
+
+// bindResource locates the identifier the acquired value is bound to.
+// discarded is true when the result is dropped on the floor (expression
+// statement or blank identifier); a nil resource with discarded false means
+// ownership transferred at the call site (returned, passed along, stored)
+// and the caller of that construct is responsible.
+func (c *leakChecker) bindResource(call *ast.CallExpr, kind, release, relDesc string, relIdx int, stack []ast.Node) (*resource, bool) {
+	// Walk up through parens/type asserts to the statement using the call.
+	i := len(stack) - 1
+	for i >= 0 {
+		switch stack[i].(type) {
+		case *ast.ParenExpr, *ast.TypeAssertExpr:
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return nil, false
+	}
+	switch st := stack[i].(type) {
+	case *ast.ExprStmt:
+		return nil, true
+	case *ast.AssignStmt:
+		// Only direct binding: x, err := call(...).
+		if len(st.Rhs) != 1 {
+			return nil, false
+		}
+		rhs := unparen(st.Rhs[0])
+		if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+			rhs = unparen(ta.X)
+		}
+		if rhs != call {
+			return nil, false
+		}
+		if relIdx >= len(st.Lhs) {
+			return nil, false
+		}
+		id, ok := unparen(st.Lhs[relIdx]).(*ast.Ident)
+		if !ok {
+			return nil, false // bound into a field or index: escaped
+		}
+		if id.Name == "_" {
+			return nil, true
+		}
+		obj := c.u.Info.Defs[id]
+		if obj == nil {
+			obj = c.u.Info.Uses[id]
+		}
+		if obj == nil {
+			return nil, false
+		}
+		r := &resource{
+			obj: obj, name: id.Name, kind: kind,
+			release: release, relDesc: relDesc,
+			acqStmt: st, pos: call.Pos(),
+		}
+		if release == "Put" {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+				r.pool = exprString(sel.X)
+			}
+		}
+		// Remember the err bound alongside, for the err-guard exemption.
+		for j, lhs := range st.Lhs {
+			if j == relIdx {
+				continue
+			}
+			if eid, ok := unparen(lhs).(*ast.Ident); ok && eid.Name != "_" {
+				var eobj types.Object = c.u.Info.Defs[eid]
+				if eobj == nil {
+					eobj = c.u.Info.Uses[eid]
+				}
+				if eobj != nil && eobj.Type() != nil && types.Identical(eobj.Type(), errorType) {
+					r.errObj = eobj
+				}
+			}
+		}
+		return r, false
+	}
+	return nil, false // return value, call argument, composite: ownership moved
+}
+
+func (c *leakChecker) checkResource(body *ast.BlockStmt, r *resource) {
+	if c.hatched(r.pos) {
+		return
+	}
+	if c.hasDeferredRelease(body, r) || c.escapes(body, r) {
+		return
+	}
+	f := &leakFlow{c: c, r: r}
+	live, terminated := f.flow(body.List, false)
+	if live && !terminated {
+		c.report(r.pos, "%s %q is never released; defer its %s or release it before the function returns (or annotate '// leakcheck: <why>')",
+			r.kind, r.name, r.relDesc)
+	}
+}
+
+// isRelease reports whether call releases r (f.Close(), t.Stop(), cancel(),
+// pool.Put(x)).
+func (c *leakChecker) isRelease(call *ast.CallExpr, r *resource) bool {
+	fun := unparen(call.Fun)
+	if r.release == "" { // CancelFunc: calling the bound identifier
+		id, ok := fun.(*ast.Ident)
+		return ok && c.u.Info.Uses[id] == r.obj
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != r.release {
+		return false
+	}
+	if r.pool != "" { // pool.Put(resource)
+		if exprString(sel.X) != r.pool {
+			return false
+		}
+		for _, a := range call.Args {
+			if id, ok := unparen(a).(*ast.Ident); ok && c.u.Info.Uses[id] == r.obj {
+				return true
+			}
+		}
+		return false
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	return ok && c.u.Info.Uses[id] == r.obj
+}
+
+// hasDeferredRelease finds `defer f.Close()` or `defer func() { ...
+// f.Close() ... }()` anywhere in the scope.
+func (c *leakChecker) hasDeferredRelease(body *ast.BlockStmt, r *resource) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if c.isRelease(d.Call, r) {
+			found = true
+			return false
+		}
+		if lit, ok := unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && c.isRelease(call, r) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// escapes reports whether r's identifier leaves the scope: returned, stored
+// into a field/map/composite, passed as an argument, sent on a channel,
+// address-taken, aliased, or captured by a closure. Ownership moves with the
+// value; the new owner is responsible for the release.
+func (c *leakChecker) escapes(body *ast.BlockStmt, r *resource) bool {
+	escaped := false
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || c.u.Info.Uses[id] != r.obj {
+			return true
+		}
+		if len(stack) == 0 {
+			return true
+		}
+		parent := stack[len(stack)-1]
+		// Receiver position of a method call (f.Close(), f.Read(buf)) is
+		// plain use, not escape.
+		if sel, ok := parent.(*ast.SelectorExpr); ok && unparen(sel.X) == ast.Expr(id) {
+			return true
+		}
+		switch p := parent.(type) {
+		case *ast.CallExpr:
+			for _, a := range p.Args {
+				if unparen(a) == ast.Expr(id) && !c.isRelease(p, r) {
+					escaped = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				escaped = true
+			}
+		case *ast.KeyValueExpr, *ast.CompositeLit:
+			escaped = true
+		case *ast.SendStmt:
+			escaped = true
+		case *ast.IndexExpr:
+			escaped = true // map/slice key or element involving the resource
+		case *ast.AssignStmt:
+			if p == r.acqStmt {
+				return true
+			}
+			for _, rhs := range p.Rhs {
+				if unparen(rhs) == ast.Expr(id) {
+					escaped = true // aliased; tracking stops here
+				}
+			}
+		}
+		if escaped {
+			return false
+		}
+		for _, anc := range stack {
+			switch anc.(type) {
+			case *ast.ReturnStmt, *ast.CompositeLit, *ast.FuncLit:
+				escaped = true
+				return false
+			}
+		}
+		return true
+	})
+	return escaped
+}
+
+// leakFlow walks a scope's statements tracking whether r is live (acquired
+// and not yet released) and reports returns reached while live.
+type leakFlow struct {
+	c *leakChecker
+	r *resource
+}
+
+// flow returns the liveness after executing list on the fall-through path
+// and whether the path always terminates (return/branch) inside list.
+func (f *leakFlow) flow(list []ast.Stmt, live bool) (bool, bool) {
+	for _, s := range list {
+		var terminated bool
+		live, terminated = f.stmt(s, live)
+		if terminated {
+			return live, true
+		}
+	}
+	return live, false
+}
+
+func (f *leakFlow) stmt(s ast.Stmt, live bool) (bool, bool) {
+	switch st := s.(type) {
+	case *ast.DeferStmt:
+		return live, false // handled by hasDeferredRelease
+	case *ast.ReturnStmt:
+		if live && !f.releasesIn(st) {
+			f.c.report(st.Pos(), "%s %q acquired earlier can reach this return unreleased; %s on every path (or annotate '// leakcheck: <why>')",
+				f.r.kind, f.r.name, f.r.relDesc)
+		}
+		return live, true
+	case *ast.BranchStmt:
+		return live, true
+	case *ast.BlockStmt:
+		return f.flow(st.List, live)
+	case *ast.LabeledStmt:
+		return f.stmt(st.Stmt, live)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			live, _ = f.stmt(st.Init, live)
+		}
+		// A branch guarded by the acquisition's own error: the resource
+		// was never valid there, so returns inside are exempt.
+		if f.r.errObj != nil && f.condMentionsErr(st.Cond) {
+			if elseBlock, ok := st.Else.(*ast.BlockStmt); ok {
+				live, _ = f.flow(elseBlock.List, live)
+			}
+			return live, false
+		}
+		thenLive, thenTerm := f.flow(st.Body.List, live)
+		elseLive, elseTerm := live, false
+		switch e := st.Else.(type) {
+		case *ast.BlockStmt:
+			elseLive, elseTerm = f.flow(e.List, live)
+		case *ast.IfStmt:
+			elseLive, elseTerm = f.stmt(e, live)
+		}
+		if thenTerm && elseTerm {
+			return false, true
+		}
+		out := false
+		if !thenTerm {
+			out = out || thenLive
+		}
+		if !elseTerm {
+			out = out || elseLive
+		}
+		return out, false
+	case *ast.ForStmt:
+		if st.Init != nil {
+			live, _ = f.stmt(st.Init, live)
+		}
+		f.flow(st.Body.List, live) // findings inside the loop
+		if f.releasesIn(st.Body) {
+			return false, false // optimistic: some iteration releases
+		}
+		if st.Cond == nil && !hasLoopBreak(st.Body) {
+			// for {} with no break: control only leaves through returns
+			// inside the body, which were just checked.
+			return live, true
+		}
+		return live, false
+	case *ast.RangeStmt:
+		f.flow(st.Body.List, live)
+		if f.releasesIn(st.Body) {
+			return false, false
+		}
+		return live, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Optimistic clause handling: if any clause releases, the
+		// statement as a whole counts as releasing and clause-local
+		// returns are not findings — a timer Stopped only in the
+		// ctx.Done arm is the correct select idiom.
+		if f.releasesIn(s) {
+			return false, false
+		}
+		for _, clause := range clauseBodies(s) {
+			f.flow(clause, live)
+		}
+		return live, false
+	default:
+		if s == f.r.acqStmt {
+			return true, false
+		}
+		if f.releasesIn(s) {
+			return false, false
+		}
+		return live, false
+	}
+}
+
+// releasesIn reports whether the subtree contains a release of r outside
+// defers and nested function literals.
+func (f *leakFlow) releasesIn(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := m.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if f.c.isRelease(x, f.r) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (f *leakFlow) condMentionsErr(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && f.c.u.Info.Uses[id] == f.r.errObj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasLoopBreak reports whether body contains a break that targets the
+// enclosing loop: an unlabeled break not captured by a nested loop, switch,
+// or select (those bind break to themselves), or any labeled break.
+func hasLoopBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			// An unlabeled break inside binds to this statement, not the
+			// outer loop. Labeled breaks are found below before pruning.
+			ast.Inspect(n, func(m ast.Node) bool {
+				if b, ok := m.(*ast.BranchStmt); ok && b.Tok == token.BREAK && b.Label != nil {
+					found = true
+				}
+				return !found
+			})
+			return false
+		case *ast.BranchStmt:
+			if x.Tok == token.BREAK {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// clauseBodies returns the statement lists of a switch/select's clauses.
+func clauseBodies(s ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	var body *ast.BlockStmt
+	switch st := s.(type) {
+	case *ast.SwitchStmt:
+		body = st.Body
+	case *ast.TypeSwitchStmt:
+		body = st.Body
+	case *ast.SelectStmt:
+		body = st.Body
+	}
+	if body == nil {
+		return nil
+	}
+	for _, cl := range body.List {
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			out = append(out, c.Body)
+		}
+	}
+	return out
+}
+
+// checkGoroutineSends flags sends on unbuffered locally-created channels
+// inside `go func` bodies when no select surrounds the send: the goroutine
+// has no way out if the receiver is gone.
+func (c *leakChecker) checkGoroutineSends(body *ast.BlockStmt) {
+	// Channels made unbuffered in this function.
+	unbuffered := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Rhs) != 1 || len(st.Lhs) != 1 {
+			return true
+		}
+		call, ok := unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := unparen(call.Fun).(*ast.Ident); !ok || id.Name != "make" {
+			return true
+		}
+		t := c.u.Info.Types[call].Type
+		if t == nil {
+			return true
+		}
+		if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			return true
+		}
+		if len(call.Args) > 1 {
+			v := c.u.Info.Types[call.Args[1]].Value
+			if v == nil || v.String() != "0" {
+				return true // buffered (or unknowable) capacity
+			}
+		}
+		if id, ok := unparen(st.Lhs[0]).(*ast.Ident); ok {
+			if obj := c.u.Info.Defs[id]; obj != nil {
+				unbuffered[obj] = true
+			}
+		}
+		return true
+	})
+	if len(unbuffered) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		walkStack(lit.Body, func(m ast.Node, stack []ast.Node) bool {
+			send, ok := m.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			id, ok := unparen(send.Chan).(*ast.Ident)
+			if !ok || !unbuffered[c.u.Info.Uses[id]] {
+				return true
+			}
+			for _, anc := range stack {
+				if _, inSelect := anc.(*ast.SelectStmt); inSelect {
+					return true
+				}
+			}
+			c.report(send.Arrow, "send on unbuffered channel %q in a goroutine with no select: if the receiver is gone the goroutine blocks forever (select against a done channel, or buffer the channel)", id.Name)
+			return true
+		})
+		return true
+	})
+}
+
+// checkTick flags time.Tick: the ticker it creates can never be stopped.
+func (c *leakChecker) checkTick(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Tick" {
+			return true
+		}
+		if pkg, ok := unparen(sel.X).(*ast.Ident); ok {
+			if pn, ok := c.u.Info.Uses[pkg].(*types.PkgName); ok && pn.Imported().Path() == "time" {
+				c.report(call.Pos(), "time.Tick leaks its ticker; use time.NewTicker and defer Stop")
+			}
+		}
+		return true
+	})
+}

@@ -194,6 +194,34 @@ func TestCtxcheckFixtures(t *testing.T) {
 	})
 }
 
+func TestAlloccheckFixtures(t *testing.T) {
+	runFixture(t, "alloccheck", []expect{
+		{"bad1.go", "make with non-constant capacity", "non-constant size"},
+		{"bad1.go", `return "v:" + id`, "string concatenation"},
+		{"bad1.go", "fmt formatting in a hot function", "fmt.Sprintf"},
+		{"bad1.go", "append to a never-pre-sized slice", "never pre-sized"},
+		{"bad1.go", "boxing an int into an interface", "boxes a int"},
+		{"bad2.go", "ranging over a map in a hot function", "ranging over a map"},
+		{"bad2.go", "&T{} escapes to the heap", "allocates on the heap"},
+		{"bad2.go", "slice literal in a hot callee", "hot via alloccheck.engine.Rank"},
+		{"bad2.go", "make(map) per call", "make(map)"},
+		{"bad2.go", "closure capturing n", "captures \"n\""},
+	})
+}
+
+func TestLeakcheckFixtures(t *testing.T) {
+	runFixture(t, "leakcheck", []expect{
+		{"bad1.go", "leaks f on the read-error path", "can reach this return unreleased"},
+		{"bad1.go", "conn is never closed", `connection "conn"`},
+		{"bad1.go", "ticker t still running", `ticker "t"`},
+		{"bad1.go", "time.Tick leaks", "time.Tick"},
+		{"bad2.go", "cancel never called on this path", "cancel function"},
+		{"bad2.go", "b never returned to scratch", "pooled object"},
+		{"bad2.go", "blocks forever if the receiver is gone", "unbuffered channel"},
+		{"bad2.go", "result discarded", "discarded"},
+	})
+}
+
 func TestPassScoping(t *testing.T) {
 	p := &Pass{Scope: []string{"internal/storm", "cmd"}}
 	for rel, wantApplies := range map[string]bool{

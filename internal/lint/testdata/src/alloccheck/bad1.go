@@ -1,0 +1,39 @@
+package alloccheck
+
+import "fmt"
+
+// Serve is this fixture's annotated hot root.
+// hotpath
+func Serve(ids []string, n int) []string {
+	out := make([]string, 0, n) // make with non-constant capacity
+	for _, id := range ids {
+		out = append(out, tag(id))
+	}
+	return out
+}
+
+// tag is hot transitively, via Serve.
+func tag(id string) string {
+	return "v:" + id // string concat in a hot callee
+}
+
+// hotpath
+func Describe(id string, score float64) string {
+	return fmt.Sprintf("%s=%.2f", id, score) // fmt formatting in a hot function
+}
+
+// hotpath
+func Grow(ids []string) []string {
+	var out []string
+	for _, id := range ids {
+		out = append(out, id) // append to a never-pre-sized slice
+	}
+	return out
+}
+
+// hotpath
+func Box(n int) {
+	sink(n) // boxing an int into an interface argument
+}
+
+func sink(v any) { _ = v }

@@ -1,0 +1,41 @@
+package alloccheck
+
+type engine struct {
+	weights map[string]float64
+}
+
+type result struct {
+	total float64
+	ids   []string
+}
+
+// Rank is a hot root; score becomes hot through the method value f — the
+// callgraph reference-edge regression rides along here.
+// hotpath
+func (e *engine) Rank(ids []string) *result {
+	total := 0.0
+	for id := range e.weights { // ranging over a map in a hot function
+		total += e.weights[id]
+	}
+	f := e.score
+	for _, id := range ids {
+		total += f(id)
+	}
+	return &result{total: total} // &T{} escapes to the heap
+}
+
+// score is hot only through the method value in Rank.
+func (e *engine) score(id string) float64 {
+	buf := []float64{e.weights[id]} // slice literal in a hot callee
+	return buf[0]
+}
+
+// hotpath
+func Collect(ids []string, n int) int {
+	seen := make(map[string]bool) // make(map) per call
+	for _, id := range ids {
+		seen[id] = true
+	}
+	cb := func() int { return n } // closure capturing n
+	return len(seen) + cb()
+}

@@ -1,0 +1,61 @@
+package alloccheck
+
+import "fmt"
+
+// Sum allocates nothing: plain loops over caller-owned slices are the hot
+// path's bread and butter.
+// hotpath
+func Sum(vals []float64) float64 {
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// Reuse demonstrates the budgeted idioms: constant-capacity make, append to
+// a buf[:0] reuse slice, and append through a caller-sized parameter.
+// hotpath
+func Reuse(dst []string, ids []string) []string {
+	tmp := make([]string, 0, 8) // constant capacity: bounded, budgeted
+	tmp = append(tmp, ids...)
+	for _, id := range tmp {
+		dst = append(dst, id)
+	}
+	scratch := dst[:0]
+	scratch = append(scratch, tmp...)
+	return scratch
+}
+
+// Snapshot's copy is the API contract; the hatch names the accepted
+// allocation.
+// hotpath
+func Snapshot(src []float64) []float64 {
+	out := make([]float64, len(src)) // alloccheck: snapshot copy is the API contract
+	copy(out, src)
+	return out
+}
+
+// Check allocates only on failure returns, which are exempt: the request is
+// already lost when the error is built.
+// hotpath
+func Check(id string, err error) error {
+	if err != nil {
+		return fmt.Errorf("check %s: %w", id, err)
+	}
+	return nil
+}
+
+// Cold is not annotated and not reachable from a hot root, so its
+// allocations are nobody's business.
+func Cold(ids []string) []string {
+	out := make([]string, 0, len(ids))
+	m := map[string]bool{}
+	for _, id := range ids {
+		if !m[id] {
+			m[id] = true
+			out = append(out, "cold:"+id)
+		}
+	}
+	return out
+}

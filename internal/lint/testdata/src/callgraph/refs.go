@@ -1,0 +1,38 @@
+// Package callgraph is the regression fixture for call-graph construction:
+// every function below must get an edge to the function it calls or merely
+// references, including the method-value and stored-function shapes that the
+// original builder missed.
+package callgraph
+
+type server struct {
+	handler func(string) int
+}
+
+func (s *server) score(id string) int { return len(id) }
+
+// direct is the baseline shape: a plain method call.
+func direct(s *server) int { return s.score("a") }
+
+// methodValue binds the method to a variable first — the call through h is
+// invisible to syntactic resolution, so the edge must come from the
+// reference to s.score.
+func methodValue(s *server) int {
+	h := s.score
+	return h("b")
+}
+
+// storedField stashes a function in a struct field; whoever invokes the
+// field runs helper, so storedField -> helper must be an edge.
+func storedField() *server {
+	return &server{handler: helper}
+}
+
+// asArg passes helper as a value; apply is a direct edge, helper a
+// reference edge.
+func asArg() int {
+	return apply(helper)
+}
+
+func apply(f func(string) int) int { return f("c") }
+
+func helper(id string) int { return len(id) + 1 }

@@ -1,0 +1,56 @@
+package leakcheck
+
+import (
+	"net"
+	"os"
+	"time"
+)
+
+// ReadHeader closes on the success path and on the open failure, but the
+// read-error return leaks the descriptor.
+func ReadHeader(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err // exempt: the open failed, there is nothing to close
+	}
+	buf := make([]byte, 16)
+	if n, rerr := f.Read(buf); rerr != nil || n < 16 {
+		return nil, rerr // leaks f on the read-error path
+	}
+	return buf, f.Close()
+}
+
+// Probe never closes the connection at all.
+func Probe(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return nil // conn is never closed
+}
+
+// Poll's ticker has no Stop anywhere.
+func Poll(stop chan struct{}, work func()) {
+	t := time.NewTicker(time.Second)
+	for {
+		select {
+		case <-t.C:
+			work()
+		case <-stop:
+			return // ticker t still running
+		}
+	}
+}
+
+// Spin uses time.Tick, whose ticker can never be stopped.
+func Spin(n int) int {
+	total := 0
+	for range time.Tick(time.Millisecond) { // time.Tick leaks
+		total++
+		if total >= n {
+			break
+		}
+	}
+	return total
+}

@@ -1,0 +1,51 @@
+package leakcheck
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"sync"
+	"time"
+)
+
+// Fetch cancels on success but leaks the context (and its timer) when the
+// dial fails.
+func Fetch(ctx context.Context, addr string) error {
+	dctx, cancel := context.WithTimeout(ctx, time.Second)
+	conn, err := (&net.Dialer{}).DialContext(dctx, "tcp", addr)
+	if err != nil {
+		return err // cancel never called on this path
+	}
+	defer func() { _ = conn.Close() }()
+	cancel()
+	return nil
+}
+
+var scratch = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// Render takes a buffer from the pool and never puts it back, so the pool
+// degenerates to plain allocation.
+func Render(id string) string {
+	b := scratch.Get().(*bytes.Buffer)
+	b.Reset()
+	b.WriteString(id)
+	return b.String() // b never returned to scratch
+}
+
+// Notify sends on an unbuffered channel from a goroutine with no way out:
+// once the receiver stops listening, the goroutine blocks forever.
+func Notify(events []string) string {
+	ch := make(chan string)
+	go func() {
+		for _, e := range events {
+			ch <- e // blocks forever if the receiver is gone
+		}
+		close(ch)
+	}()
+	return <-ch
+}
+
+// Discard drops the ticker on the floor; nothing can ever stop it.
+func Discard(d time.Duration) {
+	time.NewTicker(d) // result discarded
+}

@@ -1,0 +1,108 @@
+package leakcheck
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"os"
+	"time"
+)
+
+// Slurp is the canonical shape: err-guarded acquisition, deferred release.
+func Slurp(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = f.Close() }()
+	buf := make([]byte, 64)
+	n, _ := f.Read(buf) // short read is fine for this fixture
+	return n, nil
+}
+
+// WriteAll releases explicitly on both the error path and the success path.
+func WriteAll(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, werr := f.Write(data); werr != nil {
+		_ = f.Close()
+		return werr
+	}
+	return f.Close()
+}
+
+type wrapped struct {
+	conn net.Conn
+}
+
+// Wrap hands ownership to the caller through the struct; the wrapper's
+// closer is responsible now.
+func Wrap(addr string) (*wrapped, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &wrapped{conn: conn}, nil
+}
+
+// SleepCtx is the cancellable-timer idiom: Stop lives in one select arm and
+// the fired-timer arm needs no Stop — leakcheck's optimistic clause handling
+// must accept it.
+func SleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	select {
+	case <-ctx.Done():
+		t.Stop()
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Deadline defers its cancel, the standard shape.
+func Deadline(ctx context.Context, addr string) (net.Conn, error) {
+	dctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return (&net.Dialer{}).DialContext(dctx, "tcp", addr)
+}
+
+// Borrow pairs the pool Get with a deferred Put.
+func Borrow(id string) string {
+	b := scratch.Get().(*bytes.Buffer)
+	defer scratch.Put(b)
+	b.Reset()
+	b.WriteString(id)
+	return b.String()
+}
+
+// Fanout sends on a buffered channel: the goroutine can always finish even
+// if the receiver gives up early.
+func Fanout(events []string) string {
+	ch := make(chan string, len(events))
+	go func() {
+		for _, e := range events {
+			ch <- e
+		}
+		close(ch)
+	}()
+	return <-ch
+}
+
+// Guarded sends under a select with an escape arm, so the goroutine exits
+// when the consumer is gone.
+func Guarded(done chan struct{}, events []string) chan string {
+	ch := make(chan string)
+	go func() {
+		defer close(ch)
+		for _, e := range events {
+			select {
+			case ch <- e:
+			case <-done:
+				return
+			}
+		}
+	}()
+	return ch
+}

@@ -1,0 +1,77 @@
+package recommend
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"vidrec/internal/catalog"
+	"vidrec/internal/core"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/simtable"
+)
+
+// TestDegradedWarmAllocs pins the allocation count of the degraded
+// (demographic-fallback) serving path under a model blackout with a warm
+// read cache, cross-checking alloccheck's static claims for System.degraded:
+// the per-request cost is the failed personalized attempt (seed handling,
+// the exclusion closure, the miss-path accumulators that fail into the
+// blackout) plus the fallback itself, whose only allocations are the hatched
+// ones — the hot list's damped copy-out, the filtered videos slice, and the
+// Result. Availability under faults must not cost unbounded garbage: if this
+// bound creeps, the fallback is allocating outside its hatched budget.
+func TestDegradedWarmAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation heap-allocates closures the serving path keeps on the stack, inflating the count")
+	}
+	ctx := context.Background()
+	faulty := kvstore.NewFaulty(kvstore.NewLocal(16), 7)
+	params := core.DefaultParams()
+	params.Factors = 8
+	sys, err := NewSystem(faulty, params, simtable.DefaultConfig(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"a", "b", "c", "d", "e"} {
+		if err := sys.Catalog.Put(ctx, catalog.Video{ID: v, Type: "movie", Length: time.Minute}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	min := 0
+	for _, u := range []string{"u1", "u2", "u3"} {
+		for _, v := range []string{"a", "b"} {
+			if err := sys.Ingest(ctx, watch(u, v, min)); err != nil {
+				t.Fatal(err)
+			}
+			min++
+		}
+	}
+	for _, v := range []string{"c", "d", "e"} {
+		if err := sys.Ingest(ctx, watch("u4", v, min)); err != nil {
+			t.Fatal(err)
+		}
+		min++
+	}
+	// Black out the model/simtable namespace; history, hot lists, and
+	// profiles (all under "sys.") stay healthy, so every request degrades.
+	faulty.SetSchedule([]kvstore.FaultPhase{{FailRate: 1, KeyPrefix: "sys/"}})
+	req := Request{UserID: "u1", N: 3}
+	// First degraded request warms the fallback's cache entries.
+	res, err := sys.Recommend(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("expected degraded response under model blackout")
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		res, err := sys.Recommend(ctx, req)
+		if err != nil || !res.Degraded {
+			t.Fatal("degraded request failed")
+		}
+	})
+	// 18 measured: the degraded path matches the warm personalized budget.
+	if avg > 18 {
+		t.Fatalf("warm degraded Recommend allocates %v objects/op, want <= 18", avg)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package recommend
+
+// See race_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package recommend
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation forces otherwise stack-allocated closures
+// to the heap and so inflates AllocsPerRun counts on the end-to-end path.
+const raceEnabled = true

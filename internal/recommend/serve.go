@@ -63,6 +63,8 @@ type serveScratch struct {
 // request degrades in quality instead of erroring. Validation failures never
 // fall back, and if the fallback cannot be built either, the personalized
 // path's error is the one returned.
+//
+// hotpath: the warm serving budget (18 allocs, ~30µs) is enforced from here
 func (s *System) Recommend(ctx context.Context, req Request) (*Result, error) {
 	start := s.wallClock()
 	if req.N <= 0 {
@@ -102,7 +104,7 @@ func (s *System) Recommend(ctx context.Context, req Request) (*Result, error) {
 func (s *System) personalized(ctx context.Context, req Request, group string, now time.Time) (*Result, error) {
 	scr, _ := s.scratch.Get().(*serveScratch)
 	if scr == nil {
-		scr = &serveScratch{seen: make(map[string]int, 64), inList: make(map[string]bool, 16)}
+		scr = &serveScratch{seen: make(map[string]int, 64), inList: make(map[string]bool, 16)} // alloccheck: pool miss, cold start only
 	}
 	defer s.scratch.Put(scr)
 
@@ -116,7 +118,7 @@ func (s *System) personalized(ctx context.Context, req Request, group string, no
 	watched, histSet, histErr := s.History.Watched(ctx, req.UserID, s.opts.HistoryLimit)
 	var seeds []string
 	if req.CurrentVideo != "" {
-		seeds = []string{req.CurrentVideo}
+		seeds = []string{req.CurrentVideo} // alloccheck: single-element seed slice (warm budget)
 	} else {
 		if histErr != nil {
 			return nil, histErr
@@ -128,7 +130,7 @@ func (s *System) personalized(ctx context.Context, req Request, group string, no
 	}
 	// The history-seeded case excludes exactly the stored history (seeds are
 	// its prefix); a current video additionally excludes itself.
-	excluded := func(id string) bool {
+	excluded := func(id string) bool { // alloccheck: one exclusion closure per request (warm budget)
 		return histSet[id] || (req.CurrentVideo != "" && id == req.CurrentVideo)
 	}
 	excludeLen := len(histSet)
@@ -210,7 +212,7 @@ expand:
 				hotIdx = append(hotIdx, ci)
 			default:
 				hotIdx = append(hotIdx, len(toScore))
-				toScore = append(toScore, e.ID)
+				toScore = append(toScore, e.ID) // alloccheck: toScore extends the pooled scr.ids scratch
 			}
 		}
 		scr.hotIdx = hotIdx
@@ -265,7 +267,7 @@ expand:
 		hotMerged = len(merged)
 	}
 
-	return &Result{
+	return &Result{ // alloccheck: the returned Result is the API contract (warm budget)
 		Videos:     videos,
 		Seeds:      len(seeds),
 		Candidates: numCand,
@@ -288,7 +290,7 @@ func (s *System) degraded(ctx context.Context, req Request, group string, now ti
 	if err != nil {
 		return nil, err
 	}
-	videos := make([]topn.Entry, 0, min(req.N, len(hot)))
+	videos := make([]topn.Entry, 0, min(req.N, len(hot))) // alloccheck: degraded path, availability fallback
 	for _, e := range hot {
 		if histSet[e.ID] || e.ID == req.CurrentVideo {
 			continue
@@ -300,7 +302,7 @@ func (s *System) degraded(ctx context.Context, req Request, group string, now ti
 	}
 	// HotMerged covers the whole list: every slot came from demographic
 	// filtering, none from MF ranking.
-	return &Result{Videos: videos, HotMerged: len(videos), Degraded: true}, nil
+	return &Result{Videos: videos, HotMerged: len(videos), Degraded: true}, nil // alloccheck: degraded path, availability fallback
 }
 
 // hotFor fetches the group's hot list, falling back to the global group when

@@ -144,7 +144,7 @@ func New(name string, kv kvstore.Store, cfg Config) (*Tables, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Tables{kv: kv, ns: name + ".sim", cfg: cfg}, nil
+	return &Tables{kv: kv, ns: name + ".sim", cfg: cfg}, nil // alloccheck: once per table set; TableSet memoizes
 }
 
 // Config returns the table configuration.
@@ -254,6 +254,7 @@ func (t *Tables) truncateDecayed(tb table, k int, now time.Time) []topn.Entry {
 	if factor > 1 {
 		factor = 1
 	}
+	// alloccheck: damped copy-out keeps cached tables immutable (API contract)
 	out := make([]topn.Entry, 0, min(k, len(tb.entries)))
 	for _, e := range tb.entries {
 		if len(out) == k {
@@ -284,9 +285,9 @@ func (t *Tables) Similar(ctx context.Context, video string, k int, now time.Time
 // install a stale decode). The result is parallel to videos; videos without
 // a table yield nil entries.
 func (t *Tables) SimilarBatch(ctx context.Context, videos []string, k int, now time.Time) ([][]topn.Entry, error) {
-	out := make([][]topn.Entry, len(videos))
+	out := make([][]topn.Entry, len(videos)) // alloccheck: the per-seed result is the API contract (warm budget)
 	if t.cache == nil {
-		keys := make([]string, len(videos))
+		keys := make([]string, len(videos)) // alloccheck: cacheless path; the warm path serves cache hits below
 		for i, v := range videos {
 			keys[i] = kvstore.Key(t.ns, v)
 		}
@@ -317,9 +318,9 @@ func (t *Tables) SimilarBatch(ctx context.Context, videos []string, k int, now t
 			}
 			continue
 		}
-		missVers = append(missVers, t.cache.Version(key))
-		missKeys = append(missKeys, key)
-		missIdx = append(missIdx, i)
+		missVers = append(missVers, t.cache.Version(key)) // alloccheck: miss-path accumulation only
+		missKeys = append(missKeys, key)                  // alloccheck: miss-path accumulation only
+		missIdx = append(missIdx, i)                      // alloccheck: miss-path accumulation only
 	}
 	if len(missKeys) == 0 {
 		return out, nil
@@ -331,14 +332,14 @@ func (t *Tables) SimilarBatch(ctx context.Context, videos []string, k int, now t
 	for j, raw := range vals {
 		i := missIdx[j]
 		if raw == nil {
-			t.cache.StoreIfUnchanged(missKeys[j], table{}, false, missVers[j])
+			t.cache.StoreIfUnchanged(missKeys[j], table{}, false, missVers[j]) // alloccheck: install boxes on the miss path only
 			continue
 		}
 		tb, err := decodeTable(raw)
 		if err != nil {
 			return nil, fmt.Errorf("simtable: corrupt table for %s: %w", videos[i], err)
 		}
-		t.cache.StoreIfUnchanged(missKeys[j], tb, true, missVers[j])
+		t.cache.StoreIfUnchanged(missKeys[j], tb, true, missVers[j]) // alloccheck: install boxes on the miss path only
 		out[i] = t.truncateDecayed(tb, k, now)
 	}
 	return out, nil
