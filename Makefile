@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint lint-baseline lint-stats test-sim test-resilience fuzz bench check
+.PHONY: build test race vet fmt lint lint-baseline lint-stats test-sim test-resilience fuzz bench bench-gate cover check
 
 # Accepted pre-existing findings (pass<TAB>file<TAB>message). Kept empty when
 # the tree is clean; `make lint-baseline` regenerates it after a new pass
@@ -27,11 +27,12 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # vidlint is the repo's own analyzer (internal/lint): the per-function passes
-# (lockcheck, atomiccheck, errcheck, goroutinecheck), the dataflow suite
-# (lockorder, numcheck, ctxcheck, clockcheck), and the serving-budget suite
-# (alloccheck, leakcheck). Zero NEW findings is the merge bar: the baseline
-# suppresses only entries recorded in $(LINT_BASELINE), which is empty on a
-# clean tree, and stale entries fail the run until pruned.
+# (lockcheck, atomiccheck, errcheck, goroutinecheck, clockcheck), the
+# call-graph dataflow suite (lockorder, numcheck, ctxcheck), the
+# serving-budget suite (alloccheck, leakcheck), and the flowcheck CFG suite
+# (nilcheck, wirecheck, blockcheck). Zero NEW findings is the merge bar: the
+# baseline suppresses only entries recorded in $(LINT_BASELINE), which is
+# empty on a clean tree, and stale entries fail the run until pruned.
 lint:
 	$(GO) run ./cmd/vidlint -baseline $(LINT_BASELINE) ./...
 
@@ -88,4 +89,30 @@ bench:
 	$(GO) test -run '^$$' -bench '^BenchmarkRecommend$$' -benchmem -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -out BENCH_PR5.json
 
-check: build vet fmt lint lint-stats test race test-sim test-resilience fuzz
+# Benchmark regression gate: re-run the Recommend matrix into a scratch file
+# and compare against the committed BENCH_PR5.json record. Fails on any
+# benchmark more than 10% slower on ns/op, or on ANY allocs/op growth — the
+# alloc budget is exact (AllocsPerRun pins + alloccheck), so growth is never
+# noise. The fresh side runs -count=3 and benchjson -compare takes the best
+# of the repeats, which keeps scheduler noise from tripping the ns/op bound.
+# Not part of `make check` (benchmark timing still wants a quiet machine);
+# run it before claiming a serving-path change is safe.
+BENCH_GATE_SCRATCH ?= /tmp/vidrec-bench-gate.json
+bench-gate:
+	@rm -f $(BENCH_GATE_SCRATCH)
+	$(GO) test -run '^$$' -bench '^BenchmarkRecommend$$' -benchmem -benchtime $(BENCHTIME) -count=3 . \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_GATE_SCRATCH)
+	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json $(BENCH_GATE_SCRATCH) -max-regress 10
+
+# Coverage floor on the analyzer itself: internal/lint is the merge bar for
+# everything else, so its own statement coverage must stay >= 85%. The awk
+# exit keeps the gate self-contained (no tooling beyond go test).
+COVER_FLOOR ?= 85
+cover:
+	@$(GO) test -cover ./internal/lint -count=1 | awk -v floor=$(COVER_FLOOR) ' \
+		{ print } \
+		/coverage:/ { gsub(/%.*/, "", $$5); pct = $$5 } \
+		END { if (pct + 0 < floor + 0) { \
+			printf "coverage %.1f%% is below the %d%% floor for internal/lint\n", pct, floor; exit 1 } }'
+
+check: build vet fmt lint lint-stats cover test race test-sim test-resilience fuzz

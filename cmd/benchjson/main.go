@@ -12,6 +12,16 @@
 // Usage:
 //
 //	go test -bench 'BenchmarkRecommend' -benchmem . | go run ./cmd/benchjson -out BENCH_PR4.json
+//
+// The -compare mode turns two such files into a regression gate:
+//
+//	go run ./cmd/benchjson -compare old.json new.json -max-regress 10
+//
+// exits nonzero when any benchmark present in both files is slower by more
+// than -max-regress percent ns/op, or allocates more per op at all (the
+// allocation budget is exact: AllocsPerRun pins and alloccheck hold it to an
+// integer, so any growth is a real regression). `make bench-gate` wires this
+// against the committed BENCH_PR5.json record.
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -43,8 +54,38 @@ type File struct {
 }
 
 func main() {
-	out := flag.String("out", "", "JSON file to write (required)")
+	out := flag.String("out", "", "JSON file to write (required unless -compare)")
+	compare := flag.Bool("compare", false, "compare mode: benchjson -compare old.json new.json [-max-regress pct]")
+	maxRegress := flag.Float64("max-regress", 10, "compare mode: maximum allowed ns/op regression, percent")
 	flag.Parse()
+
+	if *compare {
+		args := flag.Args()
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json [-max-regress pct]")
+			os.Exit(2)
+		}
+		// Accept trailing flags after the file operands (the documented
+		// invocation puts -max-regress last; package flag stops at the
+		// first positional otherwise).
+		trailing := flag.NewFlagSet("compare", flag.ExitOnError)
+		mr := trailing.Float64("max-regress", *maxRegress, "maximum allowed ns/op regression, percent")
+		if err := trailing.Parse(args[2:]); err != nil {
+			os.Exit(2)
+		}
+		regressions, err := compareFiles(args[0], args[1], *mr, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) vs %s (allowed: +%.1f%% ns/op, zero alloc growth)\n",
+				regressions, args[0], *mr)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
 		os.Exit(2)
@@ -125,6 +166,113 @@ func stripProcSuffix(name string) string {
 		return name
 	}
 	return name[:i]
+}
+
+// compareFiles gates newPath against oldPath: every benchmark present in
+// both files must stay within maxRegress percent on ns/op and must not grow
+// allocs/op at all. It prints one delta line per compared benchmark to w and
+// returns the regression count. Benchmarks only one side has are noted and
+// skipped — a narrower fresh run still gates on what it measured — but an
+// empty intersection is an error, not a pass.
+//
+// Duplicate names within a file (a `go test -count=N` run recorded with
+// -out) collapse to the best observation — minimum ns/op, minimum allocs/op
+// — because scheduler noise only ever adds time, so the minimum is the
+// closest sample to the code's true cost.
+func compareFiles(oldPath, newPath string, maxRegress float64, w io.Writer) (int, error) {
+	readBenches := func(path string) (map[string]Benchmark, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var f File
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		m := make(map[string]Benchmark, len(f.Benchmarks))
+		for _, b := range f.Benchmarks {
+			prev, seen := m[b.Name]
+			if !seen {
+				m[b.Name] = b
+				continue
+			}
+			if b.NsPerOp < prev.NsPerOp {
+				prev.NsPerOp = b.NsPerOp
+			}
+			if b.BytesPerOp < prev.BytesPerOp {
+				prev.BytesPerOp = b.BytesPerOp
+			}
+			if b.AllocsPerOp < prev.AllocsPerOp {
+				prev.AllocsPerOp = b.AllocsPerOp
+			}
+			m[b.Name] = prev
+		}
+		return m, nil
+	}
+	oldB, err := readBenches(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newB, err := readBenches(newPath)
+	if err != nil {
+		return 0, err
+	}
+
+	names := make([]string, 0, len(oldB))
+	for name := range oldB {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var werr error
+	emit := func(format string, args ...any) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	regressions, compared := 0, 0
+	for _, name := range names {
+		o := oldB[name]
+		n, ok := newB[name]
+		if !ok {
+			emit("%s: only in %s, skipped\n", name, oldPath)
+			continue
+		}
+		compared++
+		pct := 0.0
+		if o.NsPerOp > 0 {
+			pct = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		verdict := "ok"
+		if pct > maxRegress {
+			verdict = fmt.Sprintf("REGRESSION (ns/op +%.1f%% > +%.1f%%)", pct, maxRegress)
+			regressions++
+		}
+		if n.AllocsPerOp > o.AllocsPerOp {
+			verdict = fmt.Sprintf("REGRESSION (allocs/op %v -> %v)", o.AllocsPerOp, n.AllocsPerOp)
+			regressions++
+		}
+		emit("%s: %.0f -> %.0f ns/op (%+.1f%%), %v -> %v allocs/op: %s\n",
+			name, o.NsPerOp, n.NsPerOp, pct, o.AllocsPerOp, n.AllocsPerOp, verdict)
+	}
+	newNames := make([]string, 0, len(newB))
+	for name := range newB {
+		if _, ok := oldB[name]; !ok {
+			newNames = append(newNames, name)
+		}
+	}
+	sort.Strings(newNames)
+	for _, name := range newNames {
+		emit("%s: new benchmark, no old record\n", name)
+	}
+	if werr != nil {
+		return 0, werr
+	}
+	if compared == 0 {
+		return 0, fmt.Errorf("no benchmarks in common between %s and %s", oldPath, newPath)
+	}
+	return regressions, nil
 }
 
 // writeFile merges the fresh benchmarks into path, preserving any existing

@@ -105,6 +105,95 @@ func TestWriteFilePreservesBaseline(t *testing.T) {
 	}
 }
 
+func writeBenchFile(t *testing.T, name string, benches []Benchmark) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	data, err := json.Marshal(File{Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareFiles(t *testing.T) {
+	oldPath := writeBenchFile(t, "old.json", []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 18},
+		{Name: "BenchmarkB", NsPerOp: 2000, AllocsPerOp: 5},
+		{Name: "BenchmarkGone", NsPerOp: 10, AllocsPerOp: 1},
+	})
+
+	// Within the window, no alloc growth: clean.
+	clean := writeBenchFile(t, "clean.json", []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1080, AllocsPerOp: 18}, // +8%
+		{Name: "BenchmarkB", NsPerOp: 1500, AllocsPerOp: 4},  // faster, fewer
+		{Name: "BenchmarkNew", NsPerOp: 7, AllocsPerOp: 0},   // no old record
+	})
+	var out strings.Builder
+	n, err := compareFiles(oldPath, clean, 10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("clean run reported %d regressions:\n%s", n, out.String())
+	}
+	for _, want := range []string{"BenchmarkGone: only in", "BenchmarkNew: new benchmark"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Over the ns/op window on one, alloc growth on the other: two findings.
+	slow := writeBenchFile(t, "slow.json", []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1200, AllocsPerOp: 18}, // +20% ns/op
+		{Name: "BenchmarkB", NsPerOp: 2000, AllocsPerOp: 6},  // +1 alloc
+	})
+	out.Reset()
+	n, err = compareFiles(oldPath, slow, 10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("regressions = %d, want 2:\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION (ns/op +20.0%") {
+		t.Errorf("ns/op regression not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION (allocs/op 5 -> 6)") {
+		t.Errorf("alloc regression not reported:\n%s", out.String())
+	}
+
+	// A -count=3 fresh run collapses to its best repeat: one noisy sample
+	// above the window must not trip the gate when another is inside it.
+	repeats := writeBenchFile(t, "repeats.json", []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1300, AllocsPerOp: 18},
+		{Name: "BenchmarkA", NsPerOp: 1050, AllocsPerOp: 18},
+		{Name: "BenchmarkA", NsPerOp: 1250, AllocsPerOp: 18},
+		{Name: "BenchmarkB", NsPerOp: 1900, AllocsPerOp: 5},
+	})
+	out.Reset()
+	n, err = compareFiles(oldPath, repeats, 10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("best-of repeats reported %d regressions:\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "1000 -> 1050 ns/op") {
+		t.Errorf("minimum repeat not used:\n%s", out.String())
+	}
+
+	// Disjoint benchmark sets cannot silently pass.
+	disjoint := writeBenchFile(t, "disjoint.json", []Benchmark{
+		{Name: "BenchmarkZ", NsPerOp: 1},
+	})
+	if _, err := compareFiles(oldPath, disjoint, 10, &out); err == nil {
+		t.Error("disjoint files compared without error")
+	}
+}
+
 func TestWriteFileFreshStart(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "new.json")
 	if err := writeFile(path, []Benchmark{{Name: "BenchmarkX", NsPerOp: 1}}); err != nil {

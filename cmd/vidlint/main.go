@@ -1,9 +1,10 @@
 // Command vidlint is vidrec's in-tree static analyzer: it loads and
 // type-checks every package in the module using only the standard library
-// and runs the discipline passes registered in internal/lint — the
+// and runs the thirteen discipline passes registered in internal/lint — the
 // per-function concurrency/error checks (lockcheck, atomiccheck, errcheck,
-// goroutinecheck), the dataflow suite (lockorder, numcheck, ctxcheck,
-// clockcheck), and the serving-budget suite (alloccheck, leakcheck).
+// goroutinecheck, clockcheck), the call-graph dataflow suite (lockorder,
+// numcheck, ctxcheck), the serving-budget suite (alloccheck, leakcheck),
+// and the flowcheck CFG/dataflow suite (nilcheck, wirecheck, blockcheck).
 //
 // Usage:
 //

@@ -89,32 +89,7 @@ func shortFuncName(fn *types.Func) string {
 
 func runAlloccheck(p *Program) []Finding {
 	g := p.CallGraph()
-
-	// Seed hot roots from // hotpath annotations, then flood through the
-	// call graph. hot[fn] records the immediate caller that made fn hot
-	// ("" for an annotated root) so findings explain themselves.
-	hot := make(map[*types.Func]string)
-	var queue []*types.Func
-	for _, fn := range g.Functions() {
-		u, fd := g.DeclOf(fn)
-		if fd == nil {
-			continue
-		}
-		if txt, ok := u.CommentAt(fd.Pos()); ok && hasMarker(txt, "hotpath") {
-			hot[fn] = ""
-			queue = append(queue, fn)
-		}
-	}
-	for len(queue) > 0 {
-		fn := queue[0]
-		queue = queue[1:]
-		for _, cs := range g.CalleesOf(fn) {
-			if _, seen := hot[cs.Callee]; !seen {
-				hot[cs.Callee] = shortFuncName(fn)
-				queue = append(queue, cs.Callee)
-			}
-		}
-	}
+	hot := hotSet(p) // shared with blockcheck, see hotpath.go
 
 	var findings []Finding
 	for _, fn := range g.Functions() {

@@ -1,0 +1,431 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// blockcheck keeps waits off the latency-critical paths. Two rules, both
+// flowing through the shared CFG/dataflow engine:
+//
+//  1. No blocking operation while holding a mutex. The held-lock set is a
+//     must-hold forward dataflow (intersection at joins), so a lock released
+//     on every branch before the wait stays silent, and `defer mu.Unlock()`
+//     correctly keeps the lock held to the end of the function.
+//
+//  2. No blocking operation in a hot function. Hotness is the same
+//     call-graph flood alloccheck uses (hotpath.go): the functions that must
+//     not allocate on the serving path must not wait on it either.
+//
+// Blocking operations:
+//
+//   - time.Sleep
+//   - network I/O: net.Dial / DialTimeout / Listen / ListenPacket, and
+//     Read / Write / Accept / ReadFrom / WriteTo on net package types
+//     (net.Conn, net.Listener, *net.TCPConn, ...)
+//   - a send or receive on a channel made unbuffered in the same function,
+//     unless it sits in a select arm (the other arms are the escape)
+//   - (*sync.WaitGroup).Wait
+//   - a second mutex Lock/RLock while one is already held (rule 1 only —
+//     a first Lock in a hot function is ordinary and stays silent)
+//
+// Function literals are analyzed as separate scopes with an empty entry
+// lock-set: a goroutine body runs after the spawning statement returns, so
+// the spawner's locks say nothing about what the literal holds.
+//
+// The hatch, on the line or the line above the blocking operation:
+//
+//	// blockcheck: <why this wait is bounded and acceptable>
+func init() {
+	Register(&Pass{
+		Name: "blockcheck",
+		Doc:  "no blocking ops while holding a lock or inside // hotpath functions",
+		Scope: []string{
+			"internal", "cmd",
+			"fixtures/blockcheck",
+		},
+		RunModule: runBlockcheck,
+	})
+}
+
+func runBlockcheck(prog *Program) []Finding {
+	hot := hotSet(prog)
+	pass := PassByName("blockcheck")
+	var findings []Finding
+	for _, u := range prog.Units {
+		if !pass.AppliesTo(u.RelPath) {
+			continue
+		}
+		c := &blockChecker{u: u}
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				hotVia, isHot := "", false
+				if fn, ok := u.Info.Defs[fd.Name].(*types.Func); ok {
+					hotVia, isHot = hot[fn]
+					if isHot {
+						c.hotName = shortFuncName(fn)
+					}
+				}
+				c.hot, c.hotVia = isHot, hotVia
+				c.checkBody(fd.Body)
+				// Literals run on their own goroutine or at defer time as
+				// often as inline; each gets a fresh scope, never hot.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						c.hot, c.hotVia, c.hotName = false, "", ""
+						c.checkBody(lit.Body)
+					}
+					return true
+				})
+			}
+		}
+		findings = append(findings, c.findings...)
+	}
+	return findings
+}
+
+type blockChecker struct {
+	u        *Unit
+	hot      bool
+	hotVia   string
+	hotName  string
+	findings []Finding
+
+	unbuffered map[types.Object]bool // chans made unbuffered in this function
+	commNodes  map[ast.Node]bool     // select CommClause comm statements
+	reported   map[token.Pos]bool
+}
+
+func (c *blockChecker) report(pos token.Pos, format string, args ...any) {
+	if c.reported[pos] {
+		return
+	}
+	if txt, ok := c.u.CommentAt(pos); ok && strings.Contains(txt, "blockcheck:") {
+		return
+	}
+	c.reported[pos] = true
+	c.findings = append(c.findings, c.u.finding("blockcheck", pos, format, args...))
+}
+
+func (c *blockChecker) checkBody(body *ast.BlockStmt) {
+	c.unbuffered = make(map[types.Object]bool)
+	c.commNodes = make(map[ast.Node]bool)
+	c.reported = make(map[token.Pos]bool)
+	c.prescan(body)
+
+	g := BuildCFG(body)
+	p := &lockProblem{c: c}
+	res := Solve[lockSet](g, p)
+	WalkStates[lockSet](g, p, res, func(n ast.Node, before lockSet, _ *Block) {
+		if before == nil {
+			return
+		}
+		c.scanNode(n, before)
+	})
+}
+
+// prescan records which local channels are provably unbuffered (made with no
+// capacity or a constant zero) and which statements are select comm clauses
+// (exempt from the channel-op rule: the other arms are the escape).
+func (c *blockChecker) prescan(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectStmt:
+			for _, cl := range x.Body.List {
+				if comm, ok := cl.(*ast.CommClause); ok && comm.Comm != nil {
+					c.commNodes[comm.Comm] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if i >= len(x.Rhs) {
+					break
+				}
+				id, ok := unparen(lhs).(*ast.Ident)
+				if !ok || !c.isUnbufferedMake(x.Rhs[i]) {
+					continue
+				}
+				if obj := c.objOf(id); obj != nil {
+					c.unbuffered[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				if i >= len(x.Values) || !c.isUnbufferedMake(x.Values[i]) {
+					continue
+				}
+				if obj := c.u.Info.Defs[name]; obj != nil {
+					c.unbuffered[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *blockChecker) isUnbufferedMake(e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, isBuiltin := c.u.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	t := c.u.Info.Types[call].Type
+	if t == nil {
+		return false
+	}
+	if _, isChan := t.Underlying().(*types.Chan); !isChan {
+		return false
+	}
+	if len(call.Args) < 2 {
+		return true // make(chan T): unbuffered
+	}
+	v := c.u.Info.Types[call.Args[1]].Value
+	return v != nil && v.String() == "0"
+}
+
+func (c *blockChecker) objOf(id *ast.Ident) types.Object {
+	if o := c.u.Info.Uses[id]; o != nil {
+		return o
+	}
+	return c.u.Info.Defs[id]
+}
+
+// scanNode sweeps one CFG node for blocking operations, with the before
+// lock-set in hand. RangeStmt appears whole in its head block, so only its
+// operand is scanned here — body statements are their own nodes. Defer
+// bodies run at exit with an unknown lock-set, and func literals are
+// separate scopes; both subtrees are pruned.
+func (c *blockChecker) scanNode(n ast.Node, held lockSet) {
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		return
+	}
+	root := n
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		root = rs.X
+	}
+	inComm := c.commNodes[n]
+	ast.Inspect(root, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			if !inComm {
+				c.checkChanOp(x.Chan, "send on", held)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !inComm {
+				c.checkChanOp(x.X, "receive from", held)
+			}
+		case *ast.CallExpr:
+			c.checkBlockingCall(x, held)
+		}
+		return true
+	})
+}
+
+func (c *blockChecker) checkChanOp(ch ast.Expr, op string, held lockSet) {
+	id, ok := unparen(ch).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := c.objOf(id)
+	if obj == nil || !c.unbuffered[obj] {
+		return
+	}
+	c.blocking(ch.Pos(), op+" unbuffered channel \""+id.Name+"\"", held, true)
+}
+
+// checkBlockingCall classifies call sites: time.Sleep, net package I/O,
+// WaitGroup.Wait, and mutex acquisition (blocking only when a lock is
+// already held).
+func (c *blockChecker) checkBlockingCall(call *ast.CallExpr, held lockSet) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Package-level calls: time.Sleep, net.Dial and friends.
+	if pkg, ok := unparen(sel.X).(*ast.Ident); ok {
+		if pn, ok := c.u.Info.Uses[pkg].(*types.PkgName); ok {
+			switch pn.Imported().Path() {
+			case "time":
+				if sel.Sel.Name == "Sleep" {
+					c.blocking(call.Pos(), "time.Sleep", held, true)
+				}
+			case "net":
+				switch sel.Sel.Name {
+				case "Dial", "DialTimeout", "Listen", "ListenPacket":
+					c.blocking(call.Pos(), "net."+sel.Sel.Name, held, true)
+				}
+			}
+			return
+		}
+	}
+	// Method calls: resolve the receiver type.
+	selInfo, ok := c.u.Info.Selections[sel]
+	if !ok {
+		return
+	}
+	recv := selInfo.Recv()
+	switch sel.Sel.Name {
+	case "Read", "Write", "Accept", "ReadFrom", "WriteTo":
+		if isNetType(recv) {
+			c.blocking(call.Pos(), "network "+strings.ToLower(sel.Sel.Name)+" ("+exprString(sel.X)+"."+sel.Sel.Name+")", held, true)
+		}
+	case "Wait":
+		if isPkgType(recv, "sync", "WaitGroup") {
+			c.blocking(call.Pos(), "sync.WaitGroup.Wait", held, true)
+		}
+	case "Lock", "RLock":
+		if isMutexType(recv) && len(held) > 0 {
+			c.blocking(call.Pos(), "acquiring "+exprString(sel.X), held, false)
+		}
+	}
+}
+
+// blocking reports op under whichever rule applies: a held lock first, then
+// hotness (hotInScope gates ops that are only a problem under a lock).
+func (c *blockChecker) blocking(pos token.Pos, op string, held lockSet, hotInScope bool) {
+	if len(held) > 0 {
+		c.report(pos, "%s while holding %s — the lock is held for the full wait, stalling every contender (release it before blocking, or annotate '// blockcheck: <why>')",
+			op, held.oneLock())
+		return
+	}
+	if c.hot && hotInScope {
+		where := "hot function " + c.hotName
+		if c.hotVia != "" {
+			where += " (hot via " + c.hotVia + ")"
+		}
+		c.report(pos, "%s in %s — the serving path must not wait (move it off the request path, or annotate '// blockcheck: <why>')",
+			op, where)
+	}
+}
+
+// isNetType reports whether t (possibly a pointer) is a named type from the
+// net package — net.Conn, net.Listener, *net.TCPConn, ...
+func isNetType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named := namedFrom(t)
+	return named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "net"
+}
+
+// lockSet is the must-hold lock state: receiver expression -> held. nil
+// means "not yet reached" (top), distinct from the empty set.
+type lockSet map[string]bool
+
+// oneLock renders a deterministic representative of the held set for a
+// finding message.
+func (s lockSet) oneLock() string {
+	best := ""
+	for k := range s {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// lockProblem is the must-hold forward dataflow: Lock adds, Unlock removes,
+// and joins intersect so only locks held on every inbound path count.
+type lockProblem struct {
+	c *blockChecker
+}
+
+func (p *lockProblem) Bottom() lockSet { return nil }
+func (p *lockProblem) Entry() lockSet  { return lockSet{} }
+
+func (p *lockProblem) Join(a, b lockSet) lockSet {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := lockSet{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (p *lockProblem) Equal(a, b lockSet) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *lockProblem) Transfer(s lockSet, n ast.Node, _ *Block) lockSet {
+	if s == nil {
+		return nil // unreached in-state stays unreached
+	}
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		return s // deferred Unlock runs at return, not here
+	}
+	root := n
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		root = rs.X // the body is its own nodes; see cfg.go
+	}
+	out := s
+	cloned := false
+	set := func(key string, held bool) {
+		if !cloned {
+			c := lockSet{}
+			for k := range out {
+				c[k] = true
+			}
+			out, cloned = c, true
+		}
+		if held {
+			out[key] = true
+		} else {
+			delete(out, key)
+		}
+	}
+	ast.Inspect(root, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			sel, ok := unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selInfo, ok := p.c.u.Info.Selections[sel]
+			if !ok || !isMutexType(selInfo.Recv()) {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				set(exprString(sel.X), true)
+			case "Unlock", "RUnlock":
+				set(exprString(sel.X), false)
+			}
+		}
+		return true
+	})
+	return out
+}

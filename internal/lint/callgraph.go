@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
 )
 
 // Program is the whole-module view handed to cross-package passes: every
@@ -15,7 +16,8 @@ import (
 type Program struct {
 	Units []*Unit
 
-	cg *CallGraph // built on first CallGraph() call
+	cgOnce sync.Once
+	cg     *CallGraph // built on first CallGraph() call
 }
 
 // NewProgram wraps units for module-level analysis.
@@ -24,11 +26,10 @@ func NewProgram(units []*Unit) *Program {
 }
 
 // CallGraph returns the program's static call graph, building it on first
-// use.
+// use. Module passes run concurrently (lint.Run), so the build is behind a
+// sync.Once.
 func (p *Program) CallGraph() *CallGraph {
-	if p.cg == nil {
-		p.cg = buildCallGraph(p.Units)
-	}
+	p.cgOnce.Do(func() { p.cg = buildCallGraph(p.Units) })
 	return p.cg
 }
 

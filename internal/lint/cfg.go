@@ -1,0 +1,583 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// cfg.go builds the intraprocedural control-flow graph the flowcheck engine
+// (dataflow.go) solves over. One CFG is built per function body (or function
+// literal body); the builder decomposes Go's structured control flow into
+// basic blocks connected by edges:
+//
+//   - if/else, for, range, switch, type switch, and select each get dedicated
+//     role-tagged blocks (if.then, loop.body, select.clause, ...) so passes
+//     can recognize the construct a block belongs to without re-walking the
+//     AST;
+//   - short-circuit conditions are decomposed: `a && b` and `a || b` become
+//     separate blocks per leaf operand, and every branch edge records the
+//     *leaf* condition it tests plus the truth value taken, which is what
+//     branch-sensitive passes (nilcheck's err != nil refinement) key on;
+//   - return and panic statements edge to the synthetic exit block (with
+//     EdgeReturn / EdgePanic kinds); falling off the end of the body is an
+//     EdgeFall edge, so "can control reach the end of the function in state
+//     X" is a reachability question on the exit block's in-edges;
+//   - break/continue (labeled or not), goto, and fallthrough resolve to real
+//     edges; defers are collected in CFG.Defers (they run at exit, outside
+//     the forward flow).
+//
+// The graph is deliberately syntactic: one node list per block in source
+// order, no SSA, no expression temporaries. That is the right granularity
+// for the lint passes, which reason about statements and go/types objects
+// rather than values.
+
+// BlockKind tags the structural role of a block. Passes use roles to apply
+// construct-level refinements (leakcheck's optimistic "a release in any
+// select arm counts for the whole statement" rule keys on KindClause and
+// KindAfter blocks).
+type BlockKind string
+
+const (
+	KindEntry    BlockKind = "entry"
+	KindExit     BlockKind = "exit"
+	KindBody     BlockKind = "body"      // plain straight-line code
+	KindCond     BlockKind = "cond"      // one leaf of a decomposed condition
+	KindThen     BlockKind = "if.then"   // Stmt = *ast.IfStmt
+	KindElse     BlockKind = "if.else"   // Stmt = *ast.IfStmt
+	KindLoopBody BlockKind = "loop.body" // Stmt = *ast.ForStmt or *ast.RangeStmt
+	KindLoopPost BlockKind = "for.post"  // Stmt = *ast.ForStmt
+	KindClause   BlockKind = "clause"    // Stmt = switch/typeswitch/select stmt
+	KindAfter    BlockKind = "after"     // join block after a construct; Stmt = the construct
+)
+
+// EdgeKind distinguishes how control transfers along an edge.
+type EdgeKind uint8
+
+const (
+	EdgeNormal EdgeKind = iota
+	EdgeCond            // branch on Edge.Cond being Edge.Branch
+	EdgeReturn          // a return statement, into exit
+	EdgePanic           // a panic call, into exit
+	EdgeFall            // implicit return: control fell off the end of the body
+)
+
+// Edge is one control transfer between blocks.
+type Edge struct {
+	From, To *Block
+	Kind     EdgeKind
+	// Cond is the leaf condition tested on an EdgeCond edge (after
+	// short-circuit decomposition it is never an && / || expression), and
+	// Branch is the truth value of Cond along this edge.
+	Cond   ast.Expr
+	Branch bool
+}
+
+// Block is a basic block: nodes execute in order, then control leaves along
+// exactly one of Succs.
+type Block struct {
+	Index int
+	Kind  BlockKind
+	// Stmt is the construct this block belongs to, for role-tagged blocks
+	// (the IfStmt of a then/else block, the loop of a body/after block, the
+	// switch/select of a clause block). Nil for plain body blocks.
+	Stmt ast.Stmt
+	// Nodes holds statements and decomposed condition leaves in source
+	// order. Compound statements (if/for/switch/...) never appear; their
+	// pieces are distributed across blocks. Defer statements appear in
+	// their block (for position) and in CFG.Defers.
+	Nodes []ast.Node
+
+	Succs []*Edge
+	Preds []*Edge
+
+	// Reachable is true when the block can be reached from entry. The
+	// builder leaves dead blocks (code after return/branch) in the graph
+	// with Reachable=false; solvers and report walks skip them.
+	Reachable bool
+}
+
+func (b *Block) String() string {
+	s := fmt.Sprintf("b%d(%s", b.Index, b.Kind)
+	if len(b.Nodes) > 0 {
+		s += fmt.Sprintf(",%d nodes", len(b.Nodes))
+	}
+	return s + ")"
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Body   *ast.BlockStmt
+	Blocks []*Block // Blocks[0] is Entry; Exit is the last-created synthetic block
+	Entry  *Block
+	Exit   *Block
+	// Defers lists every defer statement in the body (outside nested
+	// function literals), in source order. Deferred calls run between the
+	// last forward node and exit on every path.
+	Defers []*ast.DeferStmt
+}
+
+// FallEdges returns exit's incoming implicit-return edges from reachable
+// code: the points where control can actually fall off the end of the
+// function. (Dead tails — code after an infinite loop or a select whose arms
+// all return — also end in a structural fall edge, but control never gets
+// there.)
+func (g *CFG) FallEdges() []*Edge {
+	var out []*Edge
+	for _, e := range g.Exit.Preds {
+		if e.Kind == EdgeFall && e.From.Reachable {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// BuildCFG constructs the CFG of one function or literal body. Nested
+// function literals are opaque: their statements belong to their own CFG,
+// built by whoever analyzes the literal.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{Body: body}
+	b := &cfgBuilder{g: g}
+	g.Entry = b.newBlock(KindEntry, nil)
+	g.Exit = &Block{Kind: KindExit} // indexed last, after building
+	cur := b.stmtList(g.Entry, body.List)
+	if cur != nil {
+		b.edge(cur, g.Exit, EdgeFall)
+	}
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	b.markReachable()
+	return g
+}
+
+type cfgBuilder struct {
+	g *CFG
+	// loops tracks enclosing break/continue targets, innermost last.
+	loops []loopFrame
+	// labels maps label names to their target blocks (created on demand for
+	// forward gotos).
+	labels map[string]*Block
+	// labeledLoop communicates a pending label to the next loop/switch
+	// statement so labeled break/continue resolve.
+	pendingLabel string
+}
+
+type loopFrame struct {
+	label     string
+	breakTo   *Block
+	contTo    *Block // nil for switch/select frames (break only)
+	isSwitch  bool
+	fallsInto *Block // fallthrough target while building switch clauses
+}
+
+func (b *cfgBuilder) newBlock(kind BlockKind, stmt ast.Stmt) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind, Stmt: stmt}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block, kind EdgeKind) *Edge {
+	e := &Edge{From: from, To: to, Kind: kind}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+	return e
+}
+
+func (b *cfgBuilder) condEdge(from, to *Block, cond ast.Expr, branch bool) {
+	e := b.edge(from, to, EdgeCond)
+	e.Cond = cond
+	e.Branch = branch
+}
+
+// stmtList builds list starting in cur; it returns the block holding the
+// fall-through end of the list, or nil when every path transferred away.
+func (b *cfgBuilder) stmtList(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Dead code after a terminator still gets blocks so its nodes
+			// exist in the graph (unreachable, skipped by solvers).
+			cur = b.newBlock(KindBody, nil)
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, st.List)
+
+	case *ast.LabeledStmt:
+		// The label targets the statement it precedes: loops register it as
+		// their frame label; any other statement gets a join block gotos can
+		// land on.
+		target := b.labelBlock(st.Label.Name)
+		b.edge(cur, target, EdgeNormal)
+		b.pendingLabel = st.Label.Name
+		return b.stmt(target, st.Stmt)
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, st)
+		b.edge(cur, b.g.Exit, EdgeReturn)
+		return nil
+
+	case *ast.BranchStmt:
+		return b.branch(cur, st)
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, st)
+		cur.Nodes = append(cur.Nodes, st)
+		return cur
+
+	case *ast.IfStmt:
+		return b.ifStmt(cur, st)
+
+	case *ast.ForStmt:
+		return b.forStmt(cur, st)
+
+	case *ast.RangeStmt:
+		return b.rangeStmt(cur, st)
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(cur, st, st.Init, st.Tag, st.Body)
+
+	case *ast.TypeSwitchStmt:
+		return b.switchStmt(cur, st, st.Init, nil, st.Body)
+
+	case *ast.SelectStmt:
+		return b.selectStmt(cur, st)
+
+	default:
+		cur.Nodes = append(cur.Nodes, s)
+		if isPanicStmt(s) {
+			b.edge(cur, b.g.Exit, EdgePanic)
+			return nil
+		}
+		return cur
+	}
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if b.labels == nil {
+		b.labels = make(map[string]*Block)
+	}
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock(KindBody, nil)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) branch(cur *Block, st *ast.BranchStmt) *Block {
+	cur.Nodes = append(cur.Nodes, st)
+	switch st.Tok {
+	case token.GOTO:
+		b.edge(cur, b.labelBlock(st.Label.Name), EdgeNormal)
+		return nil
+	case token.FALLTHROUGH:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			if b.loops[i].isSwitch && b.loops[i].fallsInto != nil {
+				b.edge(cur, b.loops[i].fallsInto, EdgeNormal)
+				return nil
+			}
+		}
+		return nil
+	case token.BREAK:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			f := b.loops[i]
+			if st.Label != nil && f.label != st.Label.Name {
+				continue
+			}
+			b.edge(cur, f.breakTo, EdgeNormal)
+			return nil
+		}
+		return nil
+	case token.CONTINUE:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			f := b.loops[i]
+			if f.contTo == nil {
+				continue // switch/select frames: continue passes through
+			}
+			if st.Label != nil && f.label != st.Label.Name {
+				continue
+			}
+			b.edge(cur, f.contTo, EdgeNormal)
+			return nil
+		}
+		return nil
+	}
+	return cur
+}
+
+// cond decomposes a boolean expression into leaf-condition blocks, wiring
+// the true path to t and the false path to f. cur is the block the first
+// leaf evaluates in.
+func (b *cfgBuilder) cond(cur *Block, e ast.Expr, t, f *Block) {
+	switch x := unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND: // a && b: b evaluates only when a is true
+			mid := b.newBlock(KindCond, nil)
+			b.cond(cur, x.X, mid, f)
+			b.cond(mid, x.Y, t, f)
+			return
+		case token.LOR: // a || b: b evaluates only when a is false
+			mid := b.newBlock(KindCond, nil)
+			b.cond(cur, x.X, t, mid)
+			b.cond(mid, x.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(cur, x.X, f, t)
+			return
+		}
+	}
+	leaf := unparen(e)
+	cur.Nodes = append(cur.Nodes, leaf)
+	b.condEdge(cur, t, leaf, true)
+	b.condEdge(cur, f, leaf, false)
+}
+
+func (b *cfgBuilder) ifStmt(cur *Block, st *ast.IfStmt) *Block {
+	b.takeLabel() // labels on if are goto-only targets; already wired
+	if st.Init != nil {
+		cur = b.stmt(cur, st.Init)
+	}
+	then := b.newBlock(KindThen, st)
+	after := b.newBlock(KindAfter, st)
+	var els *Block
+	if st.Else != nil {
+		els = b.newBlock(KindElse, st)
+	} else {
+		els = after
+	}
+	if cur == nil { // init terminated (can't actually happen: inits are simple stmts)
+		return after
+	}
+	b.cond(cur, st.Cond, then, els)
+	if end := b.stmtList(then, st.Body.List); end != nil {
+		b.edge(end, after, EdgeNormal)
+	}
+	if st.Else != nil {
+		var end *Block
+		switch e := st.Else.(type) {
+		case *ast.BlockStmt:
+			end = b.stmtList(els, e.List)
+		default: // else if
+			end = b.stmt(els, st.Else)
+		}
+		if end != nil {
+			b.edge(end, after, EdgeNormal)
+		}
+	}
+	return after
+}
+
+func (b *cfgBuilder) forStmt(cur *Block, st *ast.ForStmt) *Block {
+	label := b.takeLabel()
+	if st.Init != nil {
+		cur = b.stmt(cur, st.Init)
+	}
+	head := b.newBlock(KindCond, st)
+	body := b.newBlock(KindLoopBody, st)
+	after := b.newBlock(KindAfter, st)
+	var post *Block
+	contTo := head
+	if st.Post != nil {
+		post = b.newBlock(KindLoopPost, st)
+		contTo = post
+	}
+	b.edge(cur, head, EdgeNormal)
+	if st.Cond != nil {
+		b.cond(head, st.Cond, body, after)
+	} else {
+		b.edge(head, body, EdgeNormal)
+	}
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: after, contTo: contTo})
+	end := b.stmtList(body, st.Body.List)
+	b.loops = b.loops[:len(b.loops)-1]
+	if end != nil {
+		b.edge(end, contTo, EdgeNormal)
+	}
+	if post != nil {
+		if p := b.stmt(post, st.Post); p != nil {
+			b.edge(p, head, EdgeNormal)
+		}
+	}
+	return after
+}
+
+func (b *cfgBuilder) rangeStmt(cur *Block, st *ast.RangeStmt) *Block {
+	label := b.takeLabel()
+	head := b.newBlock(KindCond, st)
+	body := b.newBlock(KindLoopBody, st)
+	after := b.newBlock(KindAfter, st)
+	// The RangeStmt node itself stands for the per-iteration work: evaluate
+	// X (once, but position-wise here) and bind the iteration variables.
+	head.Nodes = append(head.Nodes, st)
+	b.edge(cur, head, EdgeNormal)
+	b.edge(head, body, EdgeNormal)  // another element
+	b.edge(head, after, EdgeNormal) // exhausted
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: after, contTo: head})
+	end := b.stmtList(body, st.Body.List)
+	b.loops = b.loops[:len(b.loops)-1]
+	if end != nil {
+		b.edge(end, head, EdgeNormal)
+	}
+	return after
+}
+
+// switchStmt builds expression and type switches: head evaluates init and
+// tag, each clause gets its own block, fallthrough chains clause bodies, and
+// a missing default adds a head -> after edge.
+func (b *cfgBuilder) switchStmt(cur *Block, st ast.Stmt, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt) *Block {
+	label := b.takeLabel()
+	if init != nil {
+		cur = b.stmt(cur, init)
+	}
+	if tag != nil {
+		cur.Nodes = append(cur.Nodes, tag)
+	}
+	if ts, ok := st.(*ast.TypeSwitchStmt); ok {
+		cur.Nodes = append(cur.Nodes, ts.Assign)
+	}
+	after := b.newBlock(KindAfter, st)
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock(KindClause, st)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			blocks[i].Nodes = append(blocks[i].Nodes, e)
+		}
+		b.edge(cur, blocks[i], EdgeNormal)
+	}
+	if !hasDefault {
+		b.edge(cur, after, EdgeNormal)
+	}
+	for i, cc := range clauses {
+		next := after
+		if i+1 < len(blocks) {
+			next = blocks[i+1]
+		}
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: after, isSwitch: true, fallsInto: next})
+		if end := b.stmtList(blocks[i], cc.Body); end != nil {
+			b.edge(end, after, EdgeNormal)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+	}
+	return after
+}
+
+func (b *cfgBuilder) selectStmt(cur *Block, st *ast.SelectStmt) *Block {
+	label := b.takeLabel()
+	after := b.newBlock(KindAfter, st)
+	anyClause := false
+	for _, c := range st.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		anyClause = true
+		blk := b.newBlock(KindClause, st)
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		b.edge(cur, blk, EdgeNormal)
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: after, isSwitch: true})
+		if end := b.stmtList(blk, cc.Body); end != nil {
+			b.edge(end, after, EdgeNormal)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+	}
+	if !anyClause {
+		// select {} blocks forever: no edge out.
+		cur.Nodes = append(cur.Nodes, st)
+		return after // unreachable join, kept for structural uniformity
+	}
+	return after
+}
+
+// markReachable flood-fills from entry.
+func (b *cfgBuilder) markReachable() {
+	var stack []*Block
+	b.g.Entry.Reachable = true
+	stack = append(stack, b.g.Entry)
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range blk.Succs {
+			if !e.To.Reachable {
+				e.To.Reachable = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+}
+
+// isPanicStmt reports whether s is an expression statement calling the
+// panic builtin.
+func isPanicStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// debugString renders the CFG for tests and troubleshooting: one line per
+// block with its kind and successor list.
+func (g *CFG) debugString() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s", blk.Index, blk.Kind)
+		if !blk.Reachable {
+			sb.WriteString(" dead")
+		}
+		sb.WriteString(" ->")
+		for _, e := range blk.Succs {
+			fmt.Fprintf(&sb, " b%d", e.To.Index)
+			switch e.Kind {
+			case EdgeCond:
+				if e.Branch {
+					sb.WriteString("(T)")
+				} else {
+					sb.WriteString("(F)")
+				}
+			case EdgeReturn:
+				sb.WriteString("(ret)")
+			case EdgePanic:
+				sb.WriteString("(panic)")
+			case EdgeFall:
+				sb.WriteString("(fall)")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

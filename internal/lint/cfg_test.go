@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildTestCFG parses a single function body and builds its CFG. The source
+// is the body's statement list, without braces.
+func buildTestCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// kindCount tallies reachable blocks by kind.
+func kindCount(g *CFG) map[BlockKind]int {
+	m := make(map[BlockKind]int)
+	for _, b := range g.Blocks {
+		if b.Reachable {
+			m[b.Kind]++
+		}
+	}
+	return m
+}
+
+// edgeKinds tallies edges out of reachable blocks by kind.
+func edgeKinds(g *CFG) map[EdgeKind]int {
+	m := make(map[EdgeKind]int)
+	for _, b := range g.Blocks {
+		if !b.Reachable {
+			continue
+		}
+		for _, e := range b.Succs {
+			m[e.Kind]++
+		}
+	}
+	return m
+}
+
+func TestCFGShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		// expectations; zero values mean "don't check"
+		kinds     map[BlockKind]int
+		retEdges  int
+		fallEdges int
+		panics    int
+		condEdges int
+		defers    int
+		deadKinds []BlockKind // kinds that must have at least one dead block
+	}{
+		{
+			name:      "straight line",
+			body:      "x := 1\ny := x\n_ = y",
+			kinds:     map[BlockKind]int{KindEntry: 1, KindExit: 1},
+			fallEdges: 1,
+		},
+		{
+			name:     "return ends flow",
+			body:     "x := 1\nreturn\n_ = x",
+			retEdges: 1, fallEdges: 0,
+		},
+		{
+			name:      "if without else falls through",
+			body:      "if x() {\n\ty()\n}\nz()",
+			kinds:     map[BlockKind]int{KindThen: 1, KindAfter: 1},
+			condEdges: 2,
+			fallEdges: 1,
+		},
+		{
+			name:      "if else both return",
+			body:      "if x() {\n\treturn\n} else {\n\treturn\n}",
+			kinds:     map[BlockKind]int{KindThen: 1, KindElse: 1},
+			retEdges:  2,
+			fallEdges: 0,
+		},
+		{
+			name: "short circuit and",
+			body: "if a() && b() {\n\tc()\n}",
+			// a's leaf in entry, b's leaf in a KindCond block: 4 branch edges
+			kinds:     map[BlockKind]int{KindCond: 1},
+			condEdges: 4,
+			fallEdges: 1,
+		},
+		{
+			name:      "short circuit or with not",
+			body:      "if !a() || b() {\n\tc()\n}",
+			condEdges: 4,
+			fallEdges: 1,
+		},
+		{
+			name:      "for loop",
+			body:      "for i := 0; i < 10; i++ {\n\twork()\n}\ndone()",
+			kinds:     map[BlockKind]int{KindLoopBody: 1, KindLoopPost: 1, KindAfter: 1},
+			condEdges: 2,
+			fallEdges: 1,
+		},
+		{
+			name:      "infinite for without break strands after",
+			body:      "for {\n\twork()\n}",
+			fallEdges: 0,
+			deadKinds: []BlockKind{KindAfter},
+		},
+		{
+			name:      "for with break reaches after",
+			body:      "for {\n\tif x() {\n\t\tbreak\n\t}\n}\ndone()",
+			fallEdges: 1,
+		},
+		{
+			name:      "range loop",
+			body:      "for _, v := range xs {\n\tuse(v)\n}\ndone()",
+			kinds:     map[BlockKind]int{KindLoopBody: 1, KindAfter: 1},
+			fallEdges: 1,
+		},
+		{
+			name:      "switch with default has no head to after edge",
+			body:      "switch x() {\ncase 1:\n\ta()\ncase 2:\n\tb()\ndefault:\n\tc()\n}\ndone()",
+			kinds:     map[BlockKind]int{KindClause: 3, KindAfter: 1},
+			fallEdges: 1,
+		},
+		{
+			name:      "switch fallthrough chains clauses",
+			body:      "switch x() {\ncase 1:\n\ta()\n\tfallthrough\ncase 2:\n\tb()\n}\ndone()",
+			kinds:     map[BlockKind]int{KindClause: 2},
+			fallEdges: 1,
+		},
+		{
+			name:      "type switch",
+			body:      "switch v := x.(type) {\ncase int:\n\tuse(v)\ndefault:\n\tother(v)\n}",
+			kinds:     map[BlockKind]int{KindClause: 2},
+			fallEdges: 1,
+		},
+		{
+			name:      "select arms",
+			body:      "select {\ncase <-a:\n\tone()\ncase b <- v:\n\ttwo()\n}\ndone()",
+			kinds:     map[BlockKind]int{KindClause: 2, KindAfter: 1},
+			fallEdges: 1,
+		},
+		{
+			name:      "select arms all return",
+			body:      "select {\ncase <-a:\n\treturn\ncase <-b:\n\treturn\n}",
+			retEdges:  2,
+			fallEdges: 0,
+			deadKinds: []BlockKind{KindAfter},
+		},
+		{
+			name:      "panic edges to exit",
+			body:      "if x() {\n\tpanic(\"boom\")\n}\ndone()",
+			panics:    1,
+			fallEdges: 1,
+		},
+		{
+			name:   "defer collected and flow continues",
+			body:   "defer cleanup()\nwork()",
+			defers: 1, fallEdges: 1,
+		},
+		{
+			name:      "labeled break from nested loop",
+			body:      "outer:\nfor {\n\tfor {\n\t\tif x() {\n\t\t\tbreak outer\n\t\t}\n\t}\n}\ndone()",
+			fallEdges: 1,
+		},
+		{
+			name:      "goto backward",
+			body:      "i := 0\nagain:\ni++\nif i < 3 {\n\tgoto again\n}\ndone()",
+			fallEdges: 1,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := buildTestCFG(t, tt.body)
+			kinds := kindCount(g)
+			edges := edgeKinds(g)
+			for k, want := range tt.kinds {
+				if kinds[k] != want {
+					t.Errorf("reachable %s blocks = %d, want %d\n%s", k, kinds[k], want, g.debugString())
+				}
+			}
+			if tt.retEdges != 0 || strings.Contains(tt.name, "return") {
+				if edges[EdgeReturn] != tt.retEdges {
+					t.Errorf("return edges = %d, want %d\n%s", edges[EdgeReturn], tt.retEdges, g.debugString())
+				}
+			}
+			if got := len(g.FallEdges()); got != tt.fallEdges {
+				t.Errorf("fall edges = %d, want %d\n%s", got, tt.fallEdges, g.debugString())
+			}
+			if edges[EdgePanic] != tt.panics {
+				t.Errorf("panic edges = %d, want %d", edges[EdgePanic], tt.panics)
+			}
+			if tt.condEdges != 0 && edges[EdgeCond] != tt.condEdges {
+				t.Errorf("cond edges = %d, want %d\n%s", edges[EdgeCond], tt.condEdges, g.debugString())
+			}
+			if len(g.Defers) != tt.defers {
+				t.Errorf("defers = %d, want %d", len(g.Defers), tt.defers)
+			}
+			for _, k := range tt.deadKinds {
+				dead := false
+				for _, b := range g.Blocks {
+					if b.Kind == k && !b.Reachable {
+						dead = true
+					}
+				}
+				if !dead {
+					t.Errorf("expected a dead %s block\n%s", k, g.debugString())
+				}
+			}
+			// Structural invariants on every shape.
+			if !g.Entry.Reachable {
+				t.Error("entry not reachable")
+			}
+			for _, b := range g.Blocks {
+				for _, e := range b.Succs {
+					if e.From != b {
+						t.Errorf("edge from-pointer mismatch on b%d", b.Index)
+					}
+					found := false
+					for _, pe := range e.To.Preds {
+						if pe == e {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("edge b%d->b%d missing from preds", b.Index, e.To.Index)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCFGCondLeafEdges checks that decomposed branch edges carry the leaf
+// condition, not the composite expression.
+func TestCFGCondLeafEdges(t *testing.T) {
+	g := buildTestCFG(t, "if a() && !b() {\n\tc()\n}\ndone()")
+	var leaves []string
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.Kind == EdgeCond && e.Branch {
+				leaves = append(leaves, exprString(e.Cond))
+			}
+		}
+	}
+	if len(leaves) != 2 {
+		t.Fatalf("true-branch leaf edges = %v, want 2", leaves)
+	}
+	for _, l := range leaves {
+		if l != "a(...)" && l != "b(...)" {
+			t.Errorf("leaf condition %q, want a(...) or b(...)", l)
+		}
+	}
+	// The then-block is entered on b()'s *false* edge (it was negated).
+	for _, b := range g.Blocks {
+		if b.Kind != KindThen {
+			continue
+		}
+		for _, e := range b.Preds {
+			if e.Kind != EdgeCond {
+				t.Errorf("then-block entered by non-cond edge")
+			} else if exprString(e.Cond) == "b(...)" && e.Branch {
+				t.Errorf("then-block entered on b()==true; negation should flip the branch")
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package lint
+
+import "go/ast"
+
+// dataflow.go is the flowcheck engine's solver half: a generic forward
+// worklist fixpoint over the CFGs cfg.go builds. A pass supplies a Problem —
+// an abstract lattice (Bottom, Join, Equal) plus a Transfer function over
+// block nodes — and gets back the in/out state of every reachable block.
+//
+// Contract (documented in DESIGN.md §7):
+//
+//   - The lattice must have finite height for the solver to terminate on its
+//     own: every Join chain s0 ⊑ s0⊔s1 ⊑ ... must stabilize. All in-tree
+//     passes use finite lattices (liveness booleans, small fact enums, held-
+//     lock sets bounded by the locks in one function).
+//   - Transfer must be monotone in practice: growing the input state must not
+//     shrink the output. The engine does not verify this; a non-monotone
+//     transfer oscillates and is cut off by widening.
+//   - Widening backstop: after a block has been recomputed maxVisits times,
+//     the solver calls Widen (if the problem provides one) to force an
+//     over-approximation, and unconditionally stops revisiting a block after
+//     2*maxVisits — a termination guard, not a precision feature. A pass
+//     with an infinite-height lattice must provide Widen or accept the cut.
+//   - Edge refinement (RefineEdge) sharpens the state flowing along a branch
+//     edge using the leaf condition the CFG recorded (err != nil on the true
+//     edge means the err-bound resource was never valid). Block refinement
+//     (RefineBlock) adjusts the merged in-state of role-tagged blocks
+//     (leakcheck's optimistic select-arm rule). Both are optional.
+//
+// States are values, not pointers into shared structure: Transfer and the
+// refiners must return states that can be retained by the solver (copy
+// before mutating a map-backed state).
+
+// Problem is one forward dataflow analysis over a CFG.
+type Problem[S any] interface {
+	// Bottom is the no-information state merged into unreached block inputs.
+	Bottom() S
+	// Entry is the state on function entry.
+	Entry() S
+	// Transfer computes the state after executing node n in state s.
+	Transfer(s S, n ast.Node, blk *Block) S
+	// Join merges two states at a control-flow merge point.
+	Join(a, b S) S
+	// Equal reports whether two states carry the same information (fixpoint
+	// detection).
+	Equal(a, b S) bool
+}
+
+// EdgeRefiner lets a problem sharpen the state propagated along a branch
+// edge (the CFG records the leaf condition and its truth value on the edge).
+type EdgeRefiner[S any] interface {
+	RefineEdge(s S, e *Edge) S
+}
+
+// BlockRefiner lets a problem adjust a block's merged in-state based on the
+// block's structural role (construct-level optimism, region exemptions).
+type BlockRefiner[S any] interface {
+	RefineBlock(s S, blk *Block) S
+}
+
+// Widener accelerates (or forces) convergence for lattices with long chains:
+// Widen(old, new) must be an upper bound of both.
+type Widener[S any] interface {
+	Widen(old, new S) S
+}
+
+// maxVisits bounds how many times one block is recomputed before widening
+// kicks in; 2*maxVisits is the hard cut.
+const maxVisits = 32
+
+// FlowResult holds the fixpoint: the state at block entry (after merge and
+// block refinement) and at block exit (after all node transfers).
+type FlowResult[S any] struct {
+	In  map[*Block]S
+	Out map[*Block]S
+}
+
+// Solve runs the forward worklist algorithm to fixpoint and returns the
+// per-block states. Unreachable blocks keep Bottom in/out and are never
+// transferred.
+func Solve[S any](g *CFG, p Problem[S]) *FlowResult[S] {
+	res := &FlowResult[S]{
+		In:  make(map[*Block]S, len(g.Blocks)),
+		Out: make(map[*Block]S, len(g.Blocks)),
+	}
+	for _, blk := range g.Blocks {
+		res.In[blk] = p.Bottom()
+		res.Out[blk] = p.Bottom()
+	}
+	refEdge, hasEdgeRef := p.(EdgeRefiner[S])
+	refBlock, hasBlockRef := p.(BlockRefiner[S])
+	widen, hasWiden := p.(Widener[S])
+
+	// Seed with every reachable block in index order (roughly topological
+	// for structured code), so each is computed at least once; changes
+	// re-queue successors until fixpoint.
+	visits := make(map[*Block]int, len(g.Blocks))
+	inQueue := make(map[*Block]bool, len(g.Blocks))
+	var queue []*Block
+	for _, blk := range g.Blocks {
+		if blk.Reachable {
+			queue = append(queue, blk)
+			inQueue[blk] = true
+		}
+	}
+
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		inQueue[blk] = false
+
+		visits[blk]++
+		if visits[blk] > 2*maxVisits {
+			continue // termination guard; state stays at its last widened value
+		}
+
+		var in S
+		if blk == g.Entry {
+			in = p.Entry()
+		} else {
+			in = p.Bottom()
+			for _, e := range blk.Preds {
+				if !e.From.Reachable {
+					continue
+				}
+				s := res.Out[e.From]
+				if hasEdgeRef {
+					s = refEdge.RefineEdge(s, e)
+				}
+				in = p.Join(in, s)
+			}
+		}
+		if hasBlockRef {
+			in = refBlock.RefineBlock(in, blk)
+		}
+		if visits[blk] > maxVisits && hasWiden {
+			in = widen.Widen(res.In[blk], in)
+		}
+		res.In[blk] = in
+
+		out := in
+		for _, n := range blk.Nodes {
+			out = p.Transfer(out, n, blk)
+		}
+		if visits[blk] > 1 && p.Equal(out, res.Out[blk]) {
+			continue // no change; successors already saw this state
+		}
+		res.Out[blk] = out
+		for _, e := range blk.Succs {
+			if !inQueue[e.To] {
+				inQueue[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return res
+}
+
+// WalkStates replays the fixpoint through every reachable block in index
+// order, calling visit with the state *before* each node. Passes use it as
+// the reporting sweep once Solve has converged.
+func WalkStates[S any](g *CFG, p Problem[S], res *FlowResult[S], visit func(n ast.Node, before S, blk *Block)) {
+	for _, blk := range g.Blocks {
+		if !blk.Reachable {
+			continue
+		}
+		s := res.In[blk]
+		for _, n := range blk.Nodes {
+			visit(n, s, blk)
+			s = p.Transfer(s, n, blk)
+		}
+	}
+}

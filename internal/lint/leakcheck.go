@@ -199,8 +199,20 @@ func (c *leakChecker) checkScope(body *ast.BlockStmt) {
 		}
 		return true
 	})
+	// One CFG serves every resource in the scope; each gets its own
+	// liveness problem solved over it.
+	var g *CFG
 	for _, r := range resources {
-		c.checkResource(body, r)
+		if c.hatched(r.pos) {
+			continue
+		}
+		if c.hasDeferredRelease(body, r) || c.escapes(body, r) {
+			continue
+		}
+		if g == nil {
+			g = BuildCFG(body)
+		}
+		c.flowResource(g, r)
 	}
 }
 
@@ -285,18 +297,25 @@ func (c *leakChecker) bindResource(call *ast.CallExpr, kind, release, relDesc st
 	return nil, false // return value, call argument, composite: ownership moved
 }
 
-func (c *leakChecker) checkResource(body *ast.BlockStmt, r *resource) {
-	if c.hatched(r.pos) {
-		return
-	}
-	if c.hasDeferredRelease(body, r) || c.escapes(body, r) {
-		return
-	}
-	f := &leakFlow{c: c, r: r}
-	live, terminated := f.flow(body.List, false)
-	if live && !terminated {
-		c.report(r.pos, "%s %q is never released; defer its %s or release it before the function returns (or annotate '// leakcheck: <why>')",
-			r.kind, r.name, r.relDesc)
+// flowResource runs the per-resource liveness analysis on the flowcheck
+// engine and reports returns reachable while the resource is live, plus
+// fall-off-the-end leaks.
+func (c *leakChecker) flowResource(g *CFG, r *resource) {
+	p := &leakProblem{c: c, r: r}
+	res := Solve[bool](g, p)
+	WalkStates[bool](g, p, res, func(n ast.Node, before bool, _ *Block) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if ok && before && !c.releasesIn(ret, r) {
+			c.report(ret.Pos(), "%s %q acquired earlier can reach this return unreleased; %s on every path (or annotate '// leakcheck: <why>')",
+				r.kind, r.name, r.relDesc)
+		}
+	})
+	for _, e := range g.FallEdges() {
+		if res.Out[e.From] {
+			c.report(r.pos, "%s %q is never released; defer its %s or release it before the function returns (or annotate '// leakcheck: <why>')",
+				r.kind, r.name, r.relDesc)
+			break
+		}
 	}
 }
 
@@ -421,119 +440,88 @@ func (c *leakChecker) escapes(body *ast.BlockStmt, r *resource) bool {
 	return escaped
 }
 
-// leakFlow walks a scope's statements tracking whether r is live (acquired
-// and not yet released) and reports returns reached while live.
-type leakFlow struct {
+// leakProblem is the per-resource liveness analysis on the flowcheck engine:
+// state true means r has been acquired and not yet released along this path.
+// The hand-rolled walker's optimistic rules map onto the engine's hooks:
+// the err-guard exemption is an edge refinement (liveness dies on the taken
+// branch of any leaf condition mentioning the acquisition's error), and the
+// clause/loop optimism is a block refinement keyed on the CFG's role tags.
+type leakProblem struct {
 	c *leakChecker
 	r *resource
 }
 
-// flow returns the liveness after executing list on the fall-through path
-// and whether the path always terminates (return/branch) inside list.
-func (f *leakFlow) flow(list []ast.Stmt, live bool) (bool, bool) {
-	for _, s := range list {
-		var terminated bool
-		live, terminated = f.stmt(s, live)
-		if terminated {
-			return live, true
-		}
+func (p *leakProblem) Bottom() bool         { return false }
+func (p *leakProblem) Entry() bool          { return false }
+func (p *leakProblem) Join(a, b bool) bool  { return a || b }
+func (p *leakProblem) Equal(a, b bool) bool { return a == b }
+
+func (p *leakProblem) Transfer(s bool, n ast.Node, _ *Block) bool {
+	if n == ast.Node(p.r.acqStmt) {
+		return true
 	}
-	return live, false
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		// The loop-head node stands for the whole range statement, but only
+		// its operand executes here; the body's releases flow through the
+		// body blocks and the after-loop refinement.
+		if p.c.releasesIn(rs.X, p.r) {
+			return false
+		}
+		return s
+	}
+	if p.c.releasesIn(n, p.r) {
+		return false
+	}
+	return s
 }
 
-func (f *leakFlow) stmt(s ast.Stmt, live bool) (bool, bool) {
-	switch st := s.(type) {
-	case *ast.DeferStmt:
-		return live, false // handled by hasDeferredRelease
-	case *ast.ReturnStmt:
-		if live && !f.releasesIn(st) {
-			f.c.report(st.Pos(), "%s %q acquired earlier can reach this return unreleased; %s on every path (or annotate '// leakcheck: <why>')",
-				f.r.kind, f.r.name, f.r.relDesc)
-		}
-		return live, true
-	case *ast.BranchStmt:
-		return live, true
-	case *ast.BlockStmt:
-		return f.flow(st.List, live)
-	case *ast.LabeledStmt:
-		return f.stmt(st.Stmt, live)
-	case *ast.IfStmt:
-		if st.Init != nil {
-			live, _ = f.stmt(st.Init, live)
-		}
-		// A branch guarded by the acquisition's own error: the resource
-		// was never valid there, so returns inside are exempt.
-		if f.r.errObj != nil && f.condMentionsErr(st.Cond) {
-			if elseBlock, ok := st.Else.(*ast.BlockStmt); ok {
-				live, _ = f.flow(elseBlock.List, live)
-			}
-			return live, false
-		}
-		thenLive, thenTerm := f.flow(st.Body.List, live)
-		elseLive, elseTerm := live, false
-		switch e := st.Else.(type) {
-		case *ast.BlockStmt:
-			elseLive, elseTerm = f.flow(e.List, live)
-		case *ast.IfStmt:
-			elseLive, elseTerm = f.stmt(e, live)
-		}
-		if thenTerm && elseTerm {
-			return false, true
-		}
-		out := false
-		if !thenTerm {
-			out = out || thenLive
-		}
-		if !elseTerm {
-			out = out || elseLive
-		}
-		return out, false
-	case *ast.ForStmt:
-		if st.Init != nil {
-			live, _ = f.stmt(st.Init, live)
-		}
-		f.flow(st.Body.List, live) // findings inside the loop
-		if f.releasesIn(st.Body) {
-			return false, false // optimistic: some iteration releases
-		}
-		if st.Cond == nil && !hasLoopBreak(st.Body) {
-			// for {} with no break: control only leaves through returns
-			// inside the body, which were just checked.
-			return live, true
-		}
-		return live, false
-	case *ast.RangeStmt:
-		f.flow(st.Body.List, live)
-		if f.releasesIn(st.Body) {
-			return false, false
-		}
-		return live, false
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		// Optimistic clause handling: if any clause releases, the
-		// statement as a whole counts as releasing and clause-local
-		// returns are not findings — a timer Stopped only in the
-		// ctx.Done arm is the correct select idiom.
-		if f.releasesIn(s) {
-			return false, false
-		}
-		for _, clause := range clauseBodies(s) {
-			f.flow(clause, live)
-		}
-		return live, false
-	default:
-		if s == f.r.acqStmt {
-			return true, false
-		}
-		if f.releasesIn(s) {
-			return false, false
-		}
-		return live, false
+// RefineEdge kills liveness on the taken branch of a condition that tests
+// the acquisition's own error (any polarity, matching the walker it
+// replaced): the resource was never valid there, so returns inside the
+// guarded branch are exempt.
+func (p *leakProblem) RefineEdge(s bool, e *Edge) bool {
+	if s && e.Kind == EdgeCond && e.Branch && p.r.errObj != nil && p.c.condMentionsErr(e.Cond, p.r) {
+		return false
 	}
+	return s
+}
+
+// RefineBlock applies construct-level optimism: a release in any
+// switch/select clause counts for the whole statement (a timer Stopped in
+// the ctx.Done arm while the <-t.C arm falls through is the correct idiom,
+// not a leak), and a release anywhere in a loop body counts for the code
+// after the loop.
+func (p *leakProblem) RefineBlock(s bool, blk *Block) bool {
+	if !s || blk.Stmt == nil {
+		return s
+	}
+	switch blk.Kind {
+	case KindClause:
+		if p.c.releasesIn(blk.Stmt, p.r) {
+			return false
+		}
+	case KindAfter:
+		switch st := blk.Stmt.(type) {
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			if p.c.releasesIn(st, p.r) {
+				return false
+			}
+		case *ast.ForStmt:
+			if p.c.releasesIn(st.Body, p.r) {
+				return false
+			}
+		case *ast.RangeStmt:
+			if p.c.releasesIn(st.Body, p.r) {
+				return false
+			}
+		}
+	}
+	return s
 }
 
 // releasesIn reports whether the subtree contains a release of r outside
 // defers and nested function literals.
-func (f *leakFlow) releasesIn(n ast.Node) bool {
+func (c *leakChecker) releasesIn(n ast.Node, r *resource) bool {
 	found := false
 	ast.Inspect(n, func(m ast.Node) bool {
 		if found {
@@ -543,7 +531,7 @@ func (f *leakFlow) releasesIn(n ast.Node) bool {
 		case *ast.DeferStmt, *ast.FuncLit:
 			return false
 		case *ast.CallExpr:
-			if f.c.isRelease(x, f.r) {
+			if c.isRelease(x, r) {
 				found = true
 				return false
 			}
@@ -553,71 +541,15 @@ func (f *leakFlow) releasesIn(n ast.Node) bool {
 	return found
 }
 
-func (f *leakFlow) condMentionsErr(cond ast.Expr) bool {
+func (c *leakChecker) condMentionsErr(cond ast.Expr, r *resource) bool {
 	found := false
 	ast.Inspect(cond, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && f.c.u.Info.Uses[id] == f.r.errObj {
+		if id, ok := n.(*ast.Ident); ok && c.u.Info.Uses[id] == r.errObj {
 			found = true
 		}
 		return !found
 	})
 	return found
-}
-
-// hasLoopBreak reports whether body contains a break that targets the
-// enclosing loop: an unlabeled break not captured by a nested loop, switch,
-// or select (those bind break to themselves), or any labeled break.
-func hasLoopBreak(body *ast.BlockStmt) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		switch x := n.(type) {
-		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
-			// An unlabeled break inside binds to this statement, not the
-			// outer loop. Labeled breaks are found below before pruning.
-			ast.Inspect(n, func(m ast.Node) bool {
-				if b, ok := m.(*ast.BranchStmt); ok && b.Tok == token.BREAK && b.Label != nil {
-					found = true
-				}
-				return !found
-			})
-			return false
-		case *ast.BranchStmt:
-			if x.Tok == token.BREAK {
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
-}
-
-// clauseBodies returns the statement lists of a switch/select's clauses.
-func clauseBodies(s ast.Stmt) [][]ast.Stmt {
-	var out [][]ast.Stmt
-	var body *ast.BlockStmt
-	switch st := s.(type) {
-	case *ast.SwitchStmt:
-		body = st.Body
-	case *ast.TypeSwitchStmt:
-		body = st.Body
-	case *ast.SelectStmt:
-		body = st.Body
-	}
-	if body == nil {
-		return nil
-	}
-	for _, cl := range body.List {
-		switch c := cl.(type) {
-		case *ast.CaseClause:
-			out = append(out, c.Body)
-		case *ast.CommClause:
-			out = append(out, c.Body)
-		}
-	}
-	return out
 }
 
 // checkGoroutineSends flags sends on unbuffered locally-created channels

@@ -42,8 +42,10 @@ import (
 	"go/types"
 	"path"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one diagnostic produced by a pass.
@@ -114,24 +116,50 @@ func PassByName(name string) *Pass {
 
 // Run applies each pass to each unit it scopes to (module-level passes run
 // once over the whole program) and returns all findings sorted by position.
+//
+// Execution is parallel: module passes fan out across a bounded worker pool,
+// and per-unit passes fan out across packages on the same pool. Both are
+// safe because a loaded Unit is read-only, the shared token.FileSet
+// synchronizes internally, and Program's lazy call graph is behind a
+// sync.Once. Every parallel result lands in its own indexed slot and the
+// final position sort canonicalizes the merged order, so output is
+// deterministic regardless of scheduling.
 func Run(units []*Unit, passes []*Pass) []Finding {
-	var findings []Finding
-	var prog *Program
-	for _, p := range passes {
-		if p.RunModule == nil {
-			continue
-		}
-		if prog == nil {
-			prog = NewProgram(units)
-		}
-		findings = append(findings, p.RunModule(prog)...)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
 	}
-	for _, u := range units {
+
+	var modPasses []*Pass
+	for _, p := range passes {
+		if p.RunModule != nil {
+			modPasses = append(modPasses, p)
+		}
+	}
+	byModPass := make([][]Finding, len(modPasses))
+	if len(modPasses) > 0 {
+		prog := NewProgram(units)
+		runPool(len(modPasses), workers, func(i int) {
+			byModPass[i] = modPasses[i].RunModule(prog)
+		})
+	}
+
+	byUnit := make([][]Finding, len(units))
+	runPool(len(units), workers, func(i int) {
+		u := units[i]
 		for _, p := range passes {
 			if p.Run != nil && p.AppliesTo(u.RelPath) {
-				findings = append(findings, p.Run(u)...)
+				byUnit[i] = append(byUnit[i], p.Run(u)...)
 			}
 		}
+	})
+
+	var findings []Finding
+	for _, fs := range byModPass {
+		findings = append(findings, fs...)
+	}
+	for _, fs := range byUnit {
+		findings = append(findings, fs...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -147,6 +175,33 @@ func Run(units []*Unit, passes []*Pass) []Finding {
 		return a.Message < b.Message
 	})
 	return findings
+}
+
+// runPool invokes fn(0..n-1) across at most workers goroutines and waits for
+// all of them. fn must write only to its own indexed slot.
+func runPool(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 }
 
 // finding builds a Finding at pos. The file is reported module-relative so

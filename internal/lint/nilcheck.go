@@ -1,0 +1,641 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// nilcheck tracks values whose nil-ness is correlated with a sibling result
+// — the `v, err := f()` and `v, ok := m[k]` shapes — through the flowcheck
+// engine, and reports dereferences on the path where the value is nil:
+//
+//   - v from a call that returns nil alongside a non-nil error (decided by a
+//     module-wide "returns-nil-when-error" summary for in-tree functions, and
+//     assumed — the standard library contract — for external ones) must not
+//     be dereferenced on the err != nil path;
+//   - v from a comma-ok map read, type assertion, or channel receive must not
+//     be dereferenced before the ok result is checked, nor on the !ok path;
+//   - a map declared `var m map[K]V` and never made must not be written.
+//
+// Dereference means a selector, *v, an index of a slice/array/pointer, a map
+// write, a call of a func value, or a send on the channel. Map reads, len,
+// cap, range, and passing the value along are all legal on nil and stay
+// silent. Branch conditions refine the facts per short-circuit leaf: the
+// engine's edge refinement sees `err != nil`, `ok`, and `v == nil` tests
+// with their taken polarity, so `ok && v.n > 0` is clean.
+//
+// The hatch, on the line or the line above the reported use:
+//
+//	// nilcheck: <why the value is non-nil here>
+func init() {
+	Register(&Pass{
+		Name: "nilcheck",
+		Doc:  "values that are nil on the error or !ok path must not be dereferenced there",
+		Scope: []string{
+			"internal/kvstore", "internal/recommend", "internal/objcache",
+			"internal/core", "internal/storm",
+			"cmd",
+			"fixtures/nilcheck",
+		},
+		RunModule: runNilcheck,
+	})
+}
+
+func runNilcheck(prog *Program) []Finding {
+	sums := buildNilSummaries(prog)
+	pass := PassByName("nilcheck")
+	var findings []Finding
+	for _, u := range prog.Units {
+		if !pass.AppliesTo(u.RelPath) {
+			continue
+		}
+		c := &nilChecker{u: u, sums: sums}
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				c.checkBody(fd.Body)
+				// Each literal gets its own flow analysis; facts do not
+				// cross the closure boundary.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						c.checkBody(lit.Body)
+					}
+					return true
+				})
+			}
+		}
+		findings = append(findings, c.findings...)
+	}
+	return findings
+}
+
+// nilSummaries records, per declared function, which nilable result
+// positions are returned as a literal nil alongside a non-nil error — the
+// `return nil, err` contract the error-path refinement keys on. declared
+// marks every function with a body in the module, so the checker can tell
+// "summarized as never-nil" from "external, assume the stdlib contract".
+type nilSummaries struct {
+	nilOnErr map[*types.Func]map[int]bool
+	declared map[*types.Func]bool
+}
+
+func buildNilSummaries(prog *Program) *nilSummaries {
+	sums := &nilSummaries{
+		nilOnErr: make(map[*types.Func]map[int]bool),
+		declared: make(map[*types.Func]bool),
+	}
+	for _, u := range prog.Units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := u.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sums.declared[fn] = true
+				summarizeReturns(u, fn, fd, sums)
+			}
+		}
+	}
+	return sums
+}
+
+func summarizeReturns(u *Unit, fn *types.Func, fd *ast.FuncDecl, sums *nilSummaries) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	res := sig.Results()
+	errIdx := -1
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			errIdx = i
+		}
+	}
+	if errIdx < 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != res.Len() {
+			return true
+		}
+		if isNilExpr(u, ret.Results[errIdx]) {
+			return true // success return: err is literal nil
+		}
+		for i := 0; i < res.Len(); i++ {
+			if i == errIdx || !isNilable(res.At(i).Type()) {
+				continue
+			}
+			if isNilExpr(u, ret.Results[i]) {
+				m := sums.nilOnErr[fn]
+				if m == nil {
+					m = make(map[int]bool)
+					sums.nilOnErr[fn] = m
+				}
+				m[i] = true
+			}
+		}
+		return true
+	})
+}
+
+// isNilable reports whether a value of type t can be nil.
+func isNilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Slice, *types.Signature, *types.Chan:
+		return true
+	}
+	return false
+}
+
+func isNilExpr(u *Unit, e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := u.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// ---- the dataflow problem ----
+
+type nilStatus uint8
+
+const (
+	nsCond nilStatus = iota + 1 // nil iff the dep says error / !ok; not yet branched on
+	nsNil                       // nil on this path
+	nsOK                        // checked non-nil on this path
+)
+
+type nilDep uint8
+
+const (
+	depErr nilDep = iota + 1 // dep is the error bound at the same call
+	depOk                    // dep is the comma-ok boolean
+	depMap                   // declared nil map; no dep object
+)
+
+// nilFact is the abstract value of one tracked object.
+type nilFact struct {
+	status nilStatus
+	kind   nilDep
+	dep    types.Object // the err or ok object (nil for depMap)
+	src    string       // origin, for diagnostics
+}
+
+// nilState maps tracked objects to facts. States are treated as immutable
+// values: all mutation goes through with/without, which copy.
+type nilState map[types.Object]nilFact
+
+func (s nilState) clone() nilState {
+	out := make(nilState, len(s)+1)
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s nilState) with(obj types.Object, f nilFact) nilState {
+	out := s.clone()
+	out[obj] = f
+	return out
+}
+
+func (s nilState) without(obj types.Object) nilState {
+	if _, ok := s[obj]; !ok {
+		return s
+	}
+	out := s.clone()
+	delete(out, obj)
+	return out
+}
+
+type nilChecker struct {
+	u        *Unit
+	sums     *nilSummaries
+	findings []Finding
+}
+
+func (c *nilChecker) report(pos token.Pos, format string, args ...any) {
+	if txt, ok := c.u.CommentAt(pos); ok && strings.Contains(txt, "nilcheck:") {
+		return
+	}
+	c.findings = append(c.findings, c.u.finding("nilcheck", pos, format, args...))
+}
+
+func (c *nilChecker) objOf(id *ast.Ident) types.Object {
+	if o := c.u.Info.Uses[id]; o != nil {
+		return o
+	}
+	return c.u.Info.Defs[id]
+}
+
+func (c *nilChecker) checkBody(body *ast.BlockStmt) {
+	g := BuildCFG(body)
+	p := &nilProblem{c: c}
+	res := Solve[nilState](g, p)
+	WalkStates[nilState](g, p, res, func(n ast.Node, before nilState, _ *Block) {
+		c.reportUses(n, before)
+	})
+}
+
+type nilProblem struct {
+	c *nilChecker
+}
+
+func (p *nilProblem) Bottom() nilState { return nil }
+func (p *nilProblem) Entry() nilState  { return nil }
+
+// Join is pointwise. A fact present on one path only survives (the object is
+// scoped to, or rebound on, the other path). Facts that disagree but share a
+// dep re-merge to nsCond: after `if err != nil {...} else {...}`, v is still
+// nil exactly when err is non-nil. Facts with different deps are dropped.
+func (p *nilProblem) Join(a, b nilState) nilState {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(nilState, len(a)+len(b))
+	for k, fa := range a {
+		fb, ok := b[k]
+		switch {
+		case !ok:
+			out[k] = fa
+		case fa == fb:
+			out[k] = fa
+		case fa.kind == fb.kind && fa.dep == fb.dep:
+			fa.status = nsCond
+			out[k] = fa
+		}
+	}
+	for k, fb := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = fb
+		}
+	}
+	return out
+}
+
+func (p *nilProblem) Equal(a, b nilState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, fa := range a {
+		if fb, ok := b[k]; !ok || fa != fb {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *nilProblem) Transfer(s nilState, n ast.Node, _ *Block) nilState {
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		return p.c.transferAssign(s, st)
+	case *ast.DeclStmt:
+		return p.c.transferDecl(s, st)
+	case *ast.RangeStmt:
+		// Loop-head node: only the iteration variables rebind here.
+		if id, ok := unparen2(st.Key).(*ast.Ident); ok {
+			if obj := p.c.objOf(id); obj != nil {
+				s = s.without(obj)
+			}
+		}
+		if id, ok := unparen2(st.Value).(*ast.Ident); ok {
+			if obj := p.c.objOf(id); obj != nil {
+				s = s.without(obj)
+			}
+		}
+		return s
+	}
+	return s
+}
+
+// unparen2 is unparen tolerating a nil expression.
+func unparen2(e ast.Expr) ast.Expr {
+	if e == nil {
+		return nil
+	}
+	return unparen(e)
+}
+
+func (c *nilChecker) transferAssign(s nilState, st *ast.AssignStmt) nilState {
+	// Every reassigned identifier loses its old fact first.
+	for _, lhs := range st.Lhs {
+		if id, ok := unparen(lhs).(*ast.Ident); ok {
+			if obj := c.objOf(id); obj != nil {
+				s = s.without(obj)
+			}
+		}
+	}
+	if len(st.Rhs) != 1 {
+		return s
+	}
+	rhs := unparen(st.Rhs[0])
+
+	// v, ok := m[k] / x.(T) / <-ch
+	if len(st.Lhs) == 2 {
+		isCommaOk := false
+		switch r := rhs.(type) {
+		case *ast.IndexExpr, *ast.TypeAssertExpr:
+			isCommaOk = true
+		case *ast.UnaryExpr:
+			isCommaOk = r.Op == token.ARROW
+		}
+		if isCommaOk {
+			vID, vOK := unparen(st.Lhs[0]).(*ast.Ident)
+			okID, okOK := unparen(st.Lhs[1]).(*ast.Ident)
+			if vOK && okOK && vID.Name != "_" && okID.Name != "_" {
+				vObj, okObj := c.objOf(vID), c.objOf(okID)
+				if vObj != nil && okObj != nil && isNilable(vObj.Type()) {
+					return s.with(vObj, nilFact{status: nsCond, kind: depOk, dep: okObj, src: okID.Name})
+				}
+			}
+			return s
+		}
+	}
+
+	// v, err := f(...): track v when f's summary (or the external default)
+	// says it is nil whenever err is non-nil.
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return s
+	}
+	tuple, ok := c.u.Info.Types[call].Type.(*types.Tuple)
+	if !ok || tuple.Len() != len(st.Lhs) {
+		return s
+	}
+	errIdx := -1
+	var errObj types.Object
+	for i := 0; i < tuple.Len(); i++ {
+		if !types.Identical(tuple.At(i).Type(), errorType) {
+			continue
+		}
+		if id, ok := unparen(st.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+			if obj := c.objOf(id); obj != nil {
+				errIdx, errObj = i, obj
+			}
+		}
+	}
+	if errObj == nil {
+		return s
+	}
+	callee := resolveCallee(c.u, call)
+	if callee == nil {
+		return s
+	}
+	src := exprString(call.Fun)
+	for i := 0; i < tuple.Len(); i++ {
+		if i == errIdx || !isNilable(tuple.At(i).Type()) {
+			continue
+		}
+		if c.sums.declared[callee] && !c.sums.nilOnErr[callee][i] {
+			continue // summarized in-module: this result is never a literal nil on error
+		}
+		id, ok := unparen(st.Lhs[i]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := c.objOf(id); obj != nil {
+			s = s.with(obj, nilFact{status: nsCond, kind: depErr, dep: errObj, src: src})
+		}
+	}
+	return s
+}
+
+// transferDecl tracks `var m map[K]V` declarations with no initializer: the
+// map is nil until something assigns it.
+func (c *nilChecker) transferDecl(s nilState, st *ast.DeclStmt) nilState {
+	gd, ok := st.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return s
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || len(vs.Values) > 0 {
+			continue
+		}
+		for _, name := range vs.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := c.u.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, isMap := obj.Type().Underlying().(*types.Map); isMap {
+				s = s.with(obj, nilFact{status: nsNil, kind: depMap, src: name.Name})
+			}
+		}
+	}
+	return s
+}
+
+// RefineEdge sharpens facts along branch edges using the leaf condition: a
+// plain `ok` ident settles depOk facts, `x == nil` / `x != nil` settles a
+// direct test of a tracked value or — when x is a dep error — every value
+// bound at that error's call.
+func (p *nilProblem) RefineEdge(s nilState, e *Edge) nilState {
+	if e.Kind != EdgeCond || len(s) == 0 {
+		return s
+	}
+	switch x := unparen(e.Cond).(type) {
+	case *ast.Ident:
+		okObj := p.c.objOf(x)
+		if okObj == nil {
+			return s
+		}
+		for obj, f := range s {
+			if f.kind == depOk && f.dep == okObj {
+				nf := f
+				if e.Branch {
+					nf.status = nsOK
+				} else {
+					nf.status = nsNil
+				}
+				s = s.with(obj, nf)
+			}
+		}
+		return s
+	case *ast.BinaryExpr:
+		if x.Op != token.EQL && x.Op != token.NEQ {
+			return s
+		}
+		var idSide ast.Expr
+		switch {
+		case isNilExpr(p.c.u, x.Y):
+			idSide = x.X
+		case isNilExpr(p.c.u, x.X):
+			idSide = x.Y
+		default:
+			return s
+		}
+		id, ok := unparen(idSide).(*ast.Ident)
+		if !ok {
+			return s
+		}
+		obj := p.c.objOf(id)
+		if obj == nil {
+			return s
+		}
+		// `obj == nil` holds along this edge iff the operator is EQL and the
+		// edge took the true branch, or NEQ and the false branch.
+		isNilHere := (x.Op == token.EQL) == e.Branch
+		if f, tracked := s[obj]; tracked {
+			nf := f
+			if isNilHere {
+				nf.status = nsNil
+			} else {
+				nf.status = nsOK
+			}
+			s = s.with(obj, nf)
+		}
+		for vObj, f := range s {
+			if f.kind == depErr && f.dep == obj {
+				nf := f
+				if isNilHere {
+					nf.status = nsOK // err == nil: the call succeeded
+				} else {
+					nf.status = nsNil
+				}
+				s = s.with(vObj, nf)
+			}
+		}
+		return s
+	}
+	return s
+}
+
+// reportUses scans one block node for dereferences of tracked objects in a
+// flagging state: nsNil always, nsCond only for comma-ok values (use before
+// the check). Error-dependent values in nsCond are not flagged — using v
+// before looking at err is idiomatic when the call's contract is known.
+func (c *nilChecker) reportUses(n ast.Node, s nilState) {
+	if len(s) == 0 {
+		return
+	}
+	var root ast.Node = n
+	switch st := n.(type) {
+	case *ast.DeferStmt:
+		return // runs at exit, outside this flow state
+	case *ast.RangeStmt:
+		if st.X == nil {
+			return
+		}
+		root = st.X // ranging over nil is legal; body nodes have their own blocks
+	}
+	walkStack(root, func(m ast.Node, stack []ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok || len(stack) == 0 {
+			return true
+		}
+		obj := c.u.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		f, tracked := s[obj]
+		if !tracked || f.status == nsOK {
+			return true
+		}
+		if f.status == nsCond && f.kind != depOk {
+			return true
+		}
+		if !c.isDeref(id, stack) {
+			return true
+		}
+		switch {
+		case f.kind == depMap || (f.status == nsNil && isMapType(obj.Type())):
+			c.report(id.Pos(), "write to nil map %q: it is never made on this path (make it first, or annotate '// nilcheck: <why>')", id.Name)
+		case f.kind == depErr:
+			c.report(id.Pos(), "%q may be nil here: %s returns a nil %s when it fails, and this path has err != nil (move the use to the success path, or annotate '// nilcheck: <why>')",
+				id.Name, f.src, id.Name)
+		case f.status == nsNil: // depOk on the !ok path
+			c.report(id.Pos(), "%q is nil here: the comma-ok result %q is false on this path (guard the use, or annotate '// nilcheck: <why>')",
+				id.Name, f.src)
+		default: // depOk, unchecked
+			c.report(id.Pos(), "%q is used before its comma-ok result %q is checked (test %q first, or annotate '// nilcheck: <why>')",
+				id.Name, f.src, f.src)
+		}
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isDeref reports whether the identifier use panics if the value is nil: a
+// selector, *v, an index of a slice/array/pointer, a map write, calling a
+// func value, or sending on the channel. Map reads, len/cap, range, and
+// passing the value along are nil-safe.
+func (c *nilChecker) isDeref(id *ast.Ident, stack []ast.Node) bool {
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		return unparen(p.X) == ast.Expr(id)
+	case *ast.StarExpr:
+		return unparen(p.X) == ast.Expr(id)
+	case *ast.IndexExpr:
+		if unparen(p.X) != ast.Expr(id) {
+			return false
+		}
+		if !isMapType(c.u.Info.Types[p.X].Type) {
+			return true // slice/array/pointer index: panics on nil
+		}
+		// Map index: only writes panic. The index must be an assignment
+		// target or an IncDecStmt operand.
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch a := stack[i].(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range a.Lhs {
+					if containsNode(lhs, parent) {
+						return true
+					}
+				}
+				return false
+			case *ast.IncDecStmt:
+				return true
+			case *ast.StarExpr, *ast.ParenExpr, *ast.IndexExpr, *ast.SelectorExpr:
+				continue // still inside a potential lvalue chain
+			default:
+				return false
+			}
+		}
+		return false
+	case *ast.SendStmt:
+		return unparen(p.Chan) == ast.Expr(id)
+	case *ast.CallExpr:
+		return unparen(p.Fun) == ast.Expr(id)
+	}
+	return false
+}
+
+// containsNode reports whether needle is within the subtree rooted at root.
+func containsNode(root ast.Node, needle ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == needle {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,54 @@
+// Package blockcheck seeds waits in the wrong places for the blockcheck
+// pass: blocking operations under a held mutex and on hotpath functions.
+package blockcheck
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu    sync.Mutex
+	conns map[string]net.Conn
+}
+
+// Refresh sleeps while holding the table lock: every reader stalls for the
+// full second.
+func (s *server) Refresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Second) // sleeping with s.mu held
+}
+
+// Push writes to the network while holding the lock.
+func (s *server) Push(key string, b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.conns[key]
+	_, err := c.Write(b) // network write with s.mu held
+	return err
+}
+
+// Handoff sends on a known-unbuffered channel while holding the lock: if the
+// receiver is slow, the lock is held until it drains.
+func (s *server) Handoff(v int) {
+	ch := make(chan int)
+	s.mu.Lock()
+	ch <- v // unbuffered send with s.mu held
+	s.mu.Unlock()
+}
+
+// pair nests one acquisition inside another.
+type pair struct {
+	a, b sync.Mutex
+}
+
+// Both takes a second lock while holding the first — a wait under contention
+// with p.a pinned.
+func (p *pair) Both() {
+	p.a.Lock()
+	p.b.Lock() // second lock acquired with p.a held
+	p.b.Unlock()
+	p.a.Unlock()
+}

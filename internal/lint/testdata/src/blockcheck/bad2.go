@@ -1,0 +1,37 @@
+package blockcheck
+
+import (
+	"sync"
+	"time"
+)
+
+// Serve is the request entry point; its callees inherit hotness through the
+// call graph.
+//
+// hotpath: per-request scoring entry
+func Serve(vs []float64) float64 {
+	return slowRank(vs)
+}
+
+// slowRank is hot via Serve and stalls every request.
+func slowRank(vs []float64) float64 {
+	time.Sleep(time.Millisecond) // sleeping in a hot callee
+	var t float64
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+
+type gate struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+}
+
+// Drain waits on the group while holding the lock: nothing that needs g.mu
+// can finish, so the wait can deadlock outright.
+func (g *gate) Drain() {
+	g.mu.Lock()
+	g.wg.Wait() // waiting on the group with g.mu held
+	g.mu.Unlock()
+}

@@ -1,0 +1,88 @@
+package blockcheck
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type cache struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// UnlockFirst releases the lock before the blocking call: the wait stalls
+// only this caller.
+func (c *cache) UnlockFirst(conn net.Conn, b []byte) error {
+	c.mu.Lock()
+	c.m["k"] = 1
+	c.mu.Unlock()
+	_, err := conn.Write(b)
+	return err
+}
+
+// SelectEscape sends on an unbuffered channel, but inside a select with a
+// default arm — it never blocks.
+func SelectEscape(v int) bool {
+	ch := make(chan int)
+	select {
+	case ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+type box struct{ mu sync.Mutex }
+
+// BufferedSend has capacity one, so the send under the lock completes
+// immediately.
+func (b *box) BufferedSend(v int) {
+	ch := make(chan int, 1)
+	b.mu.Lock()
+	ch <- v
+	b.mu.Unlock()
+}
+
+// BranchRelease unlocks on every path before sleeping: the must-hold set is
+// empty at the sleep.
+func (c *cache) BranchRelease(fast bool) {
+	c.mu.Lock()
+	if fast {
+		c.mu.Unlock()
+	} else {
+		c.mu.Unlock()
+	}
+	time.Sleep(time.Millisecond)
+}
+
+// HotClean is hot but never waits.
+//
+// hotpath: allocation-free accumulation
+func HotClean(vs []float64) float64 {
+	var t float64
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+
+// SpawnedWaiter blocks inside a goroutine literal — a separate scope that
+// holds nothing, so the send is that goroutine's own business.
+func (c *cache) SpawnedWaiter(out chan<- int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+		out <- 1
+	}()
+	c.m["k"]++
+}
+
+// Hatched documents an intentional bounded pause under the lock.
+func (c *cache) Hatched() {
+	c.mu.Lock()
+	// blockcheck: test-only throttle, held for a bounded millisecond
+	time.Sleep(time.Millisecond)
+	c.mu.Unlock()
+}

@@ -1,0 +1,67 @@
+// Package nilcheck seeds nil-misuse for the nilcheck pass: dereferences on
+// the error path, uses before the comma-ok check, and nil-map writes.
+package nilcheck
+
+import (
+	"errors"
+	"os"
+)
+
+type record struct {
+	id   int
+	tags []string
+}
+
+// load follows the standard contract: nil record exactly when err != nil.
+// The pass summarizes this from the `return nil, ...` shape below.
+func load(path string) (*record, error) {
+	if path == "" {
+		return nil, errors.New("empty path")
+	}
+	return &record{id: 1}, nil
+}
+
+// UseOnErrPath dereferences the record inside the err != nil branch.
+func UseOnErrPath(path string) int {
+	r, err := load(path)
+	if err != nil {
+		return r.id // deref on the error path: r is nil here
+	}
+	return r.id
+}
+
+// CloseOnErrPath does the classic cleanup-of-nothing: os.Open's file is nil
+// whenever it fails (external call, stdlib contract assumed).
+func CloseOnErrPath(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		f.Close() // deref on the error path: f is nil here
+		return err
+	}
+	return f.Close()
+}
+
+// SliceOnErrPath indexes an err-dependent slice on the error path.
+func loadTags(path string) ([]string, error) {
+	if path == "" {
+		return nil, errors.New("empty path")
+	}
+	return []string{"a"}, nil
+}
+
+func SliceOnErrPath(path string) string {
+	tags, err := loadTags(path)
+	if err != nil {
+		return tags[0] // index of a nil slice on the error path
+	}
+	return tags[0]
+}
+
+// CountTags writes through a map that is declared but never made.
+func CountTags(tags []string) map[string]int {
+	var counts map[string]int
+	for _, t := range tags {
+		counts[t]++ // write to nil map
+	}
+	return counts
+}

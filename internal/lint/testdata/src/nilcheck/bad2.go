@@ -1,0 +1,34 @@
+package nilcheck
+
+type counter struct{ n int }
+
+type registry struct {
+	byName map[string]*counter
+}
+
+// BumpBeforeCheck dereferences the comma-ok value before consulting ok.
+func (r *registry) BumpBeforeCheck(name string) {
+	c, ok := r.byName[name]
+	c.n++ // used before the comma-ok check
+	if !ok {
+		return
+	}
+}
+
+// ResetOnMissPath dereferences the value on the path where ok is false.
+func (r *registry) ResetOnMissPath(name string) {
+	c, ok := r.byName[name]
+	if !ok {
+		c.n = 0 // ok is false here: c is nil
+	}
+}
+
+type sink interface{ put(int) }
+
+// DrainWrongArm calls through a type-asserted interface in the !ok arm.
+func DrainWrongArm(v any) {
+	s, ok := v.(sink)
+	if !ok {
+		s.put(0) // assertion failed: s is nil
+	}
+}

@@ -1,0 +1,113 @@
+package nilcheck
+
+import "io"
+
+// Guarded uses the record only after the err check: the standard shape.
+func Guarded(path string) int {
+	r, err := load(path)
+	if err != nil {
+		return -1
+	}
+	return r.id
+}
+
+// EarlyReturn checks the comma-ok result before the first use.
+func (r *registry) EarlyReturn(name string) int {
+	c, ok := r.byName[name]
+	if !ok {
+		return 0
+	}
+	return c.n
+}
+
+// ShortCircuit relies on && ordering: c is dereferenced only when ok held.
+func (r *registry) ShortCircuit(name string) int {
+	if c, ok := r.byName[name]; ok && c.n > 0 {
+		return c.n
+	}
+	return 0
+}
+
+// MadeMap is initialized before the writes.
+func MadeMap(tags []string) map[string]int {
+	counts := make(map[string]int, len(tags))
+	for _, t := range tags {
+		counts[t]++
+	}
+	return counts
+}
+
+// MadeOnEveryPath assigns the map on both branches before writing.
+func MadeOnEveryPath(small bool) map[string]int {
+	var m map[string]int
+	if small {
+		m = map[string]int{}
+	} else {
+		m = make(map[string]int, 64)
+	}
+	m["x"] = 1
+	return m
+}
+
+// NilMapRead is legal: reading a nil map yields the zero value.
+func NilMapRead(key string) int {
+	var m map[string]int
+	return m[key]
+}
+
+// PartialResult uses a non-nilable result on the error path — fine, Read
+// returns a meaningful count alongside its error.
+func PartialResult(r io.Reader, buf []byte) int {
+	n, err := r.Read(buf)
+	if err != nil {
+		return n
+	}
+	return n
+}
+
+// ErrPathLen calls the nil-safe builtins on the error path.
+func ErrPathLen(path string) int {
+	tags, err := loadTags(path)
+	if err != nil {
+		return len(tags)
+	}
+	return len(tags)
+}
+
+// DirectNilCheck re-tests the value itself instead of err.
+func DirectNilCheck(path string) int {
+	r, _ := load(path)
+	if r == nil {
+		return -1
+	}
+	return r.id
+}
+
+// RefilledOnMiss rebinds the value on the !ok path, so the merged use is
+// safe.
+func (r *registry) RefilledOnMiss(name string) int {
+	c, ok := r.byName[name]
+	if !ok {
+		c = &counter{}
+	}
+	return c.n
+}
+
+// NilGuardMake tests the map itself before the write.
+func NilGuardMake(m map[string]int, k string) map[string]int {
+	if m == nil {
+		m = make(map[string]int)
+	}
+	m[k]++
+	return m
+}
+
+// Hatched documents a contract the analysis cannot see.
+func Hatched(path string) int {
+	r, err := load(path)
+	if err != nil {
+		// nilcheck: test double returns a partial record with every error
+		return r.id
+	}
+	return r.id
+}

@@ -1,0 +1,48 @@
+// Package wirecheck seeds wire-unsafe message types for the wirecheck pass:
+// structs with unexported, chan, func, sync, and error fields crossing the
+// gob boundary and the storm transport.
+package wirecheck
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+)
+
+// Values is the fixture stand-in for the storm tuple payload; its composite
+// literals count as wire roots.
+type Values []any
+
+// payload is an interface nothing registers an implementation for.
+type payload interface{ wireTag() }
+
+// message crosses the gob boundary in Send below; nearly every field is a
+// wire hazard.
+type message struct {
+	Key     string
+	seq     int        // unexported: silently dropped
+	Notify  chan int   // a chan cannot cross the wire
+	Mu      sync.Mutex // process-local lock in a message
+	Err     error      // error values do not gob-encode
+	Cb      func()     // func: unencodable
+	Payload payload    // no registered implementation
+}
+
+func Send(buf *bytes.Buffer, m message) error {
+	enc := gob.NewEncoder(buf)
+	return enc.Encode(m)
+}
+
+// update crosses the storm transport below with an unexported vector and a
+// chan field — the tuple arrives missing its payload and Encode rejects the
+// chan outright.
+type update struct {
+	Key  string
+	vec  []float32     // unexported: dropped from the tuple
+	Done chan struct{} // chan riding the transport
+}
+
+// Emit puts the whole update struct on the wire as a tuple element.
+func Emit(u update) Values {
+	return Values{u.Key, u}
+}

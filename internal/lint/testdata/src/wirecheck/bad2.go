@@ -1,0 +1,39 @@
+package wirecheck
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// header is itself clean, but its Trace field drags in a struct with an
+// unexported field two levels down — the closure has to walk through
+// header -> trace -> []hop to find it.
+type header struct {
+	ID    string
+	Trace trace
+}
+
+type trace struct {
+	Hops []hop
+}
+
+type hop struct {
+	Site   string
+	spanID uint64 // unexported, two structs deep
+}
+
+func Receive(buf *bytes.Buffer) (header, error) {
+	var h header
+	dec := gob.NewDecoder(buf)
+	err := dec.Decode(&h)
+	return h, err
+}
+
+// marker has no gob.Register'd implementation anywhere in the package.
+type marker interface{ mark() }
+
+// Broadcast puts an interface-typed value on the transport with no
+// registration to back it: the receiving side cannot instantiate it.
+func Broadcast(v marker) Values {
+	return Values{v} // unregistered interface element
+}

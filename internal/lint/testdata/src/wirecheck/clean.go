@@ -1,0 +1,68 @@
+package wirecheck
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+)
+
+// shape's implementation is registered in init below, so carrying it in a
+// message is fine: the decoder knows how to instantiate a circle.
+type shape interface{ Area() float64 }
+
+type circle struct{ R float64 }
+
+func (c circle) Area() float64 { return c.R * c.R * 3 }
+
+func init() {
+	gob.Register(circle{})
+}
+
+// envelope is fully wire-safe: exported fields, a registered interface, a
+// self-marshaling timestamp, and plain container types.
+type envelope struct {
+	From  string
+	Body  shape
+	Sent  stamp
+	Sizes map[string][]int64
+}
+
+// stamp owns its wire format via MarshalBinary, so its unexported fields
+// never reach gob's reflection.
+type stamp struct{ sec, nsec int64 }
+
+func (s stamp) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 16)
+	binary.BigEndian.PutUint64(b, uint64(s.sec))
+	binary.BigEndian.PutUint64(b[8:], uint64(s.nsec))
+	return b, nil
+}
+
+func (s *stamp) UnmarshalBinary(b []byte) error {
+	s.sec = int64(binary.BigEndian.Uint64(b))
+	s.nsec = int64(binary.BigEndian.Uint64(b[8:]))
+	return nil
+}
+
+func SendClean(buf *bytes.Buffer, e envelope) error {
+	return gob.NewEncoder(buf).Encode(e)
+}
+
+// framed carries a decode-side scratch buffer the wire never sees; the hatch
+// records the contract.
+type framed struct {
+	Seq uint64
+	// wirecheck: scratch is rebuilt locally after decode, never sent
+	scratch []byte
+}
+
+func Reframe(buf *bytes.Buffer) (framed, error) {
+	var f framed
+	err := gob.NewDecoder(buf).Decode(&f)
+	return f, err
+}
+
+// PutClean places only concrete, exported-field values on the transport.
+func PutClean(key string, c circle) Values {
+	return Values{key, c}
+}

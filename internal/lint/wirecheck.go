@@ -1,0 +1,358 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// wirecheck guards the serialization boundary the distributed deployment
+// rides on: every type that reaches a gob Encode/Decode call, a gob.Register
+// registration, or the storm transport (a storm.Values tuple payload) must
+// actually survive the wire:
+//
+//   - unexported struct fields are silently dropped by gob — the message
+//     arrives, decodes without error, and is missing data;
+//   - chan and func fields make Encode fail at runtime;
+//   - sync.Mutex / WaitGroup / sync/atomic state is process-local by
+//     definition and must never be part of a message;
+//   - error fields do not encode (the stdlib error implementations are
+//     unexported structs); carry a message string instead, like kvstore's
+//     response.ErrMsg;
+//   - interface-typed fields and tuple elements need at least one
+//     gob.Register'd concrete implementation, or Decode has nothing to
+//     instantiate.
+//
+// Types implementing gob.GobEncoder or encoding.BinaryMarshaler are opaque
+// to the check — they own their wire format (time.Time is the everyday
+// case). The closure follows exported fields through pointers, slices,
+// arrays, and maps, so a violation buried two structs deep is still found.
+//
+// The hatch, on the line or the line above the reported field or element:
+//
+//	// wirecheck: <why the type is safe on the wire>
+func init() {
+	Register(&Pass{
+		Name:      "wirecheck",
+		Doc:       "types crossing the gob/storm wire must encode fully: exported fields, no chan/func/sync state, registered interface impls",
+		RunModule: runWirecheck,
+	})
+}
+
+// wireTransportTypes names the tuple-payload types whose composite literals
+// count as wire roots: what goes into a storm tuple crosses process
+// boundaries in the distributed deployment.
+var wireTransportTypes = map[string]bool{
+	"vidrec/internal/storm.Values": true,
+	"fixtures/wirecheck.Values":    true,
+}
+
+func runWirecheck(prog *Program) []Finding {
+	c := &wireChecker{
+		prog:     prog,
+		visited:  make(map[string]bool),
+		reported: make(map[string]bool),
+	}
+	// First sweep: collect gob.Register'd concrete types module-wide, so
+	// interface coverage sees registrations from any package.
+	for _, u := range prog.Units {
+		c.collectRegistered(u)
+	}
+	// Second sweep: find wire roots and close over their field types.
+	for _, u := range prog.Units {
+		c.collectRoots(u)
+	}
+	return c.findings
+}
+
+type wireChecker struct {
+	prog       *Program
+	registered []types.Type
+	findings   []Finding
+	visited    map[string]bool // type closure, keyed by types.Type.String()
+	reported   map[string]bool // finding dedup, keyed by position+message
+}
+
+func (c *wireChecker) collectRegistered(u *Unit) {
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := gobPkgCall(u, call)
+			if !ok {
+				return true
+			}
+			var arg ast.Expr
+			switch name {
+			case "Register":
+				if len(call.Args) == 1 {
+					arg = call.Args[0]
+				}
+			case "RegisterName":
+				if len(call.Args) == 2 {
+					arg = call.Args[1]
+				}
+			}
+			if arg == nil {
+				return true
+			}
+			if t := u.Info.Types[arg].Type; t != nil {
+				c.registered = append(c.registered, t)
+			}
+			return true
+		})
+	}
+}
+
+// gobPkgCall reports whether call is encoding/gob package-level function
+// `name` (gob.Register, gob.RegisterName).
+func gobPkgCall(u *Unit, call *ast.CallExpr) (string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := u.Info.Uses[pkg].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "encoding/gob" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func (c *wireChecker) collectRoots(u *Unit) {
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				c.rootFromCall(u, x)
+			case *ast.CompositeLit:
+				c.rootFromTransport(u, x)
+			}
+			return true
+		})
+	}
+}
+
+// rootFromCall handles (gob.Encoder).Encode / (gob.Decoder).Decode argument
+// types and gob.Register'd types.
+func (c *wireChecker) rootFromCall(u *Unit, call *ast.CallExpr) {
+	if name, ok := gobPkgCall(u, call); ok {
+		var arg ast.Expr
+		switch name {
+		case "Register":
+			if len(call.Args) == 1 {
+				arg = call.Args[0]
+			}
+		case "RegisterName":
+			if len(call.Args) == 2 {
+				arg = call.Args[1]
+			}
+		}
+		if arg != nil {
+			if t := u.Info.Types[arg].Type; t != nil {
+				c.checkType(t, u, arg.Pos(), "gob.Register")
+			}
+		}
+		return
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	if sel.Sel.Name != "Encode" && sel.Sel.Name != "Decode" {
+		return
+	}
+	selInfo, ok := u.Info.Selections[sel]
+	if !ok || !isPkgType(selInfo.Recv(), "encoding/gob", "Encoder", "Decoder") {
+		return
+	}
+	t := u.Info.Types[call.Args[0]].Type
+	if t == nil {
+		return
+	}
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	c.checkType(t, u, call.Args[0].Pos(), "gob."+sel.Sel.Name)
+}
+
+// rootFromTransport treats every element of a storm.Values literal as
+// crossing the wire.
+func (c *wireChecker) rootFromTransport(u *Unit, lit *ast.CompositeLit) {
+	named := namedFrom(u.Info.Types[lit].Type)
+	if named == nil || named.Obj().Pkg() == nil {
+		return
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	if !wireTransportTypes[full] {
+		return
+	}
+	for _, elt := range lit.Elts {
+		t := u.Info.Types[elt].Type
+		if t == nil {
+			continue
+		}
+		if iface, ok := t.Underlying().(*types.Interface); ok {
+			if !c.covered(iface) {
+				c.report(u, elt.Pos(),
+					"interface-valued element crossing the storm transport has no gob.Register'd implementation; register the concrete types in an init (or annotate '// wirecheck: <why>')")
+			}
+			continue
+		}
+		c.checkType(t, u, elt.Pos(), "the storm transport")
+	}
+}
+
+// checkType walks the wire closure of t, reporting fields gob would drop or
+// reject. rootU/rootPos locate the wire crossing for types declared outside
+// the module.
+func (c *wireChecker) checkType(t types.Type, rootU *Unit, rootPos token.Pos, via string) {
+	key := t.String()
+	if c.visited[key] {
+		return
+	}
+	c.visited[key] = true
+
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		c.checkType(u.Elem(), rootU, rootPos, via)
+	case *types.Slice:
+		c.checkType(u.Elem(), rootU, rootPos, via)
+	case *types.Array:
+		c.checkType(u.Elem(), rootU, rootPos, via)
+	case *types.Map:
+		c.checkType(u.Key(), rootU, rootPos, via)
+		c.checkType(u.Elem(), rootU, rootPos, via)
+	case *types.Struct:
+		if wireOpaque(t) {
+			return // owns its wire format (GobEncoder / BinaryMarshaler)
+		}
+		c.checkStruct(t, u, rootU, rootPos, via)
+	}
+}
+
+func (c *wireChecker) checkStruct(t types.Type, st *types.Struct, rootU *Unit, rootPos token.Pos, via string) {
+	tname := t.String()
+	if named := namedFrom(t); named != nil {
+		tname = named.Obj().Name()
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		fv := st.Field(i)
+		u, pos := c.fieldSite(fv, rootU, rootPos)
+		ft := fv.Type()
+		switch {
+		case !fv.Exported():
+			c.report(u, pos, "unexported field %q of %s reaches the wire via %s: gob silently drops it, so the peer decodes a partial message (export it, or annotate '// wirecheck: <why>')",
+				fv.Name(), tname, via)
+		case isChanOrFunc(ft):
+			c.report(u, pos, "field %q of %s reaches the wire via %s but has type %s, which gob cannot encode (drop it from the message, or annotate '// wirecheck: <why>')",
+				fv.Name(), tname, via, ft.String())
+		case isSyncState(ft):
+			c.report(u, pos, "field %q of %s carries process-local synchronization state (%s) across the wire via %s (keep locks out of messages, or annotate '// wirecheck: <why>')",
+				fv.Name(), tname, ft.String(), via)
+		case types.Identical(ft, errorType):
+			c.report(u, pos, "error field %q of %s does not gob-encode (stdlib errors are unexported types); carry a message string instead, like kvstore's response.ErrMsg (or annotate '// wirecheck: <why>')",
+				fv.Name(), tname)
+		default:
+			if iface, ok := ft.Underlying().(*types.Interface); ok {
+				if !c.covered(iface) {
+					c.report(u, pos, "interface field %q of %s has no gob.Register'd implementation, so Decode has nothing to instantiate (register the concrete types in an init, or annotate '// wirecheck: <why>')",
+						fv.Name(), tname)
+				}
+				continue
+			}
+			c.checkType(ft, rootU, rootPos, via)
+		}
+	}
+}
+
+// fieldSite resolves the unit and position to report a field finding at: the
+// field's own declaration when its package is in the analyzed program, else
+// the wire-crossing site.
+func (c *wireChecker) fieldSite(fv *types.Var, rootU *Unit, rootPos token.Pos) (*Unit, token.Pos) {
+	for _, u := range c.prog.Units {
+		if u.Pkg == fv.Pkg() {
+			return u, fv.Pos()
+		}
+	}
+	return rootU, rootPos
+}
+
+func (c *wireChecker) report(u *Unit, pos token.Pos, format string, args ...any) {
+	if txt, ok := u.CommentAt(pos); ok && strings.Contains(txt, "wirecheck:") {
+		return
+	}
+	f := u.finding("wirecheck", pos, format, args...)
+	key := f.File + ":" + f.Message
+	if c.reported[key] {
+		return
+	}
+	c.reported[key] = true
+	c.findings = append(c.findings, f)
+}
+
+// covered reports whether at least one registered concrete type satisfies
+// the interface (directly or through a pointer receiver).
+func (c *wireChecker) covered(iface *types.Interface) bool {
+	for _, rt := range c.registered {
+		if types.Implements(rt, iface) {
+			return true
+		}
+		if _, isPtr := rt.Underlying().(*types.Pointer); !isPtr {
+			if types.Implements(types.NewPointer(rt), iface) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isChanOrFunc(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// isSyncState matches the sync and sync/atomic types that must never be part
+// of a message.
+func isSyncState(t types.Type) bool {
+	return isPkgType(t, "sync", "Mutex", "RWMutex", "WaitGroup", "Once", "Map", "Pool", "Cond") ||
+		isPkgType(t, "sync/atomic", "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value")
+}
+
+// wireOpaque reports whether the type encodes itself: gob.GobEncoder or
+// encoding.BinaryMarshaler on T or *T.
+func wireOpaque(t types.Type) bool {
+	return hasWireMethod(t, "GobEncode") || hasWireMethod(t, "MarshalBinary")
+}
+
+func hasWireMethod(t types.Type, name string) bool {
+	if lookupMethod(types.NewMethodSet(t), name) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return lookupMethod(types.NewMethodSet(types.NewPointer(t)), name)
+	}
+	return false
+}
+
+func lookupMethod(ms *types.MethodSet, name string) bool {
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
