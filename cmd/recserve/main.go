@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"vidrec/internal/bandit"
 	"vidrec/internal/core"
 	"vidrec/internal/dataset"
 	"vidrec/internal/demographic"
@@ -65,8 +66,18 @@ func main() {
 		kvRetries  = flag.Int("kv-retries", kvstore.DefaultResilienceConfig().MaxRetries, "retries after a failed remote kvstore attempt")
 		brkThresh  = flag.Int("breaker-threshold", kvstore.DefaultResilienceConfig().Breaker.Threshold, "consecutive failures that trip a backend's circuit breaker (0 disables)")
 		brkCooldwn = flag.Duration("breaker-cooldown", kvstore.DefaultResilienceConfig().Breaker.Cooldown, "open-breaker cooldown before a half-open probe")
+
+		explore    = flag.Bool("explore", false, "serve with bandit exploration: re-rank slates across the blended candidate sources and learn from click feedback")
+		explorePol = flag.String("explore-policy", bandit.PolicyThompson, "exploration policy: thompson or epsilon-greedy")
+		exploreEps = flag.Float64("explore-epsilon", recommend.DefaultOptions().ExploreEpsilon, "exploration rate for the epsilon-greedy policy")
+		exploreSd  = flag.Uint64("explore-seed", 1, "seed for the exploration policy's RNG (replayable slates)")
 	)
 	flag.Parse()
+	opts := recommend.DefaultOptions()
+	opts.Explore = *explore
+	opts.ExplorePolicy = *explorePol
+	opts.ExploreEpsilon = *exploreEps
+	opts.ExploreSeed = *exploreSd
 	rcfg := kvstore.DefaultResilienceConfig()
 	rcfg.OpTimeout = *kvTimeout
 	rcfg.MaxRetries = *kvRetries
@@ -75,7 +86,7 @@ func main() {
 	// Root context for the process: cancelled on the first SIGINT/SIGTERM.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	if err := run(ctx, *addr, *data, *replay, *kvAddr, *snap, rcfg); err != nil {
+	if err := run(ctx, *addr, *data, *replay, *kvAddr, *snap, rcfg, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "recserve:", err)
 		os.Exit(1)
 	}
@@ -143,7 +154,7 @@ func buildStore(ctx context.Context, kvAddr string, rcfg kvstore.ResilienceConfi
 	return st, closeAll, nil
 }
 
-func run(ctx context.Context, addr, dataDir string, replay bool, kvAddr, snapshot string, rcfg kvstore.ResilienceConfig) error {
+func run(ctx context.Context, addr, dataDir string, replay bool, kvAddr, snapshot string, rcfg kvstore.ResilienceConfig, opts recommend.Options) error {
 	st, closeStore, err := buildStore(ctx, kvAddr, rcfg)
 	if err != nil {
 		return err
@@ -161,7 +172,7 @@ func run(ctx context.Context, addr, dataDir string, replay bool, kvAddr, snapsho
 	}
 
 	params := core.DefaultParams()
-	sys, err := recommend.NewSystem(kv, params, simtable.DefaultConfig(), recommend.DefaultOptions())
+	sys, err := recommend.NewSystem(kv, params, simtable.DefaultConfig(), opts)
 	if err != nil {
 		return err
 	}
@@ -247,14 +258,23 @@ func newMux(sys *recommend.System, st *storeStack, replayMetrics map[string]stor
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		writeJSON(w, map[string]any{
+		body := map[string]any{
 			"videos":     res.Videos,
 			"seeds":      res.Seeds,
 			"candidates": res.Candidates,
 			"hot_merged": res.HotMerged,
 			"degraded":   res.Degraded,
+			"explored":   res.Explored,
 			"latency_us": res.Latency.Microseconds(),
-		})
+		}
+		if res.Arms != nil {
+			arms := make([]string, len(res.Arms))
+			for i, a := range res.Arms {
+				arms[i] = a.String()
+			}
+			body["arms"] = arms
+		}
+		writeJSON(w, body)
 	})
 	mux.HandleFunc("GET /similar", func(w http.ResponseWriter, r *http.Request) {
 		video := r.URL.Query().Get("video")
@@ -303,6 +323,23 @@ func newMux(sys *recommend.System, st *storeStack, replayMetrics map[string]stor
 		}
 		if replayMetrics != nil {
 			stats["replay_topology"] = replayMetrics
+		}
+		if sys.Options().Explore {
+			st, err := sys.Bandit.State(r.Context())
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			arms := make(map[string]any, bandit.NumArms)
+			for i := 0; i < bandit.NumArms; i++ {
+				a := bandit.Arm(i)
+				arms[a.String()] = map[string]any{
+					"pulls":          st.Pulls[a],
+					"wins":           st.Wins[a],
+					"posterior_mean": st.Posterior(a).Mean(),
+				}
+			}
+			stats["bandit"] = arms
 		}
 		if local, ok := kv.(*kvstore.Local); ok {
 			snap := local.Stats().Snapshot()

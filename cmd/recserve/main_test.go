@@ -290,3 +290,85 @@ func TestQueryIntDefaults(t *testing.T) {
 		t.Errorf("absent = %d, want default", got)
 	}
 }
+
+// TestExploreEndpoints serves an exploring system and checks the HTTP
+// surface: /recommend carries the explored flag and per-slot arm names, and
+// /stats exposes the bandit posteriors.
+func TestExploreEndpoints(t *testing.T) {
+	kv := kvstore.NewLocal(16)
+	params := core.DefaultParams()
+	params.Factors = 8
+	opts := recommend.DefaultOptions()
+	opts.Explore = true
+	opts.ExploreSeed = 7
+	sys, err := recommend.NewSystem(kv, params, simtable.DefaultConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c", "d"} {
+		sys.Catalog.Put(context.Background(), catalog.Video{ID: id, Type: "movie", Length: 30 * time.Minute})
+	}
+	base := time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC)
+	min := 0
+	for _, u := range []string{"u1", "u2", "u3"} {
+		for _, v := range []string{"a", "b", "c"} {
+			sys.Ingest(context.Background(), feedback.Action{
+				UserID: u, VideoID: v, Type: feedback.PlayTime,
+				ViewTime: 30 * time.Minute, VideoLength: 30 * time.Minute,
+				Timestamp: base.Add(time.Duration(min) * time.Minute),
+			})
+			min++
+		}
+	}
+	srv := httptest.NewServer(newMux(sys, &storeStack{kv: kv, local: kv}, nil))
+	t.Cleanup(srv.Close)
+
+	var body struct {
+		Videos []struct {
+			ID string
+		}
+		Explored bool
+		Arms     []string
+	}
+	resp := getJSON(t, srv.URL+"/recommend?user=u1&video=a&n=3", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !body.Explored {
+		t.Error("explored = false on an exploring system")
+	}
+	if len(body.Arms) != len(body.Videos) {
+		t.Fatalf("%d arm names for %d videos", len(body.Arms), len(body.Videos))
+	}
+	for _, a := range body.Arms {
+		switch a {
+		case "mf", "sim", "hot":
+		default:
+			t.Errorf("unknown arm name %q", a)
+		}
+	}
+
+	var stats map[string]any
+	if resp := getJSON(t, srv.URL+"/stats", &stats); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	arms, ok := stats["bandit"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing bandit section: %v", stats)
+	}
+	var totalPulls float64
+	for _, name := range []string{"mf", "sim", "hot"} {
+		arm, ok := arms[name].(map[string]any)
+		if !ok {
+			t.Fatalf("bandit section missing %s arm: %v", name, arms)
+		}
+		pulls, _ := arm["pulls"].(float64)
+		totalPulls += pulls
+		if _, ok := arm["posterior_mean"]; !ok {
+			t.Errorf("%s arm stats missing posterior_mean", name)
+		}
+	}
+	if totalPulls != float64(len(body.Videos)) {
+		t.Errorf("total pulls %v, want one per served slot (%d)", totalPulls, len(body.Videos))
+	}
+}

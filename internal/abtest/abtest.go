@@ -58,6 +58,13 @@ type Config struct {
 	N int
 	// Seed drives user arrival and click sampling.
 	Seed uint64
+	// ClickFeedback closes the loop: every simulated click is also delivered
+	// back to the serving variant's Ingest hook as a feedback.Click action at
+	// request time. Exploring variants consume their slate attributions from
+	// exactly this stream, so bandit posteriors move on the same clicks the
+	// CTR counts. The click goes only to the variant that served it — it is
+	// that bucket's private reward signal, not shared organic history.
+	ClickFeedback bool
 }
 
 // DefaultConfig returns the paper-shaped test: ten days after one warmup.
@@ -219,6 +226,18 @@ func Run(d *dataset.Dataset, variants []Variant, cfg Config) (*Report, error) {
 			}
 			if rng.Float64() < p {
 				rec.Clicks++
+				if cfg.ClickFeedback && v.Ingest != nil {
+					click := feedback.Action{UserID: u, VideoID: video, Type: feedback.Click, Timestamp: now}
+					if err := v.Ingest(click); err != nil {
+						return fmt.Errorf("abtest: %s click feedback: %w", v.Name, err)
+					}
+					w := watched[u]
+					if w == nil {
+						w = make(map[string]bool)
+						watched[u] = w
+					}
+					w[video] = true
+				}
 			}
 		}
 		daily[v.Name] = rec

@@ -1,0 +1,83 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+
+	"vidrec/internal/kvstore"
+)
+
+// FuzzRewardCodec pins the decode contract: whatever bytes arrive, either
+// DecodeState errors, or the decoded state passes Validate and survives an
+// encode/decode roundtrip — a decoded State is always safe to sample from.
+func FuzzRewardCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Add(EncodeState(State{}, 0))
+	f.Add(EncodeState(State{
+		Pulls: [NumArms]float64{ArmMF: 10, ArmSim: 4, ArmHot: 7},
+		Wins:  [NumArms]float64{ArmMF: 3.5, ArmSim: 4},
+	}, 1_700_000_000_000))
+	// Hand-built poison: NaN pulls smuggled into otherwise valid framing.
+	f.Add(append(kvstore.EncodeInt64(1), kvstore.EncodeFloats([]float64{
+		math.NaN(), 0, 0, 0, 0, 0,
+	})...))
+	f.Add(append(kvstore.EncodeInt64(1), kvstore.EncodeFloats([]float64{
+		1, 1, 1, math.Inf(1), 0, 0,
+	})...))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		st, ms, err := DecodeState(b)
+		if err != nil {
+			if st != (State{}) {
+				t.Fatalf("error path leaked partial state %+v", st)
+			}
+			return
+		}
+		if verr := st.Validate(); verr != nil {
+			t.Fatalf("decoded state fails Validate: %v (bytes %x)", verr, b)
+		}
+		// Sampling from any accepted state must stay in range.
+		th := NewThompson(1)
+		for i := 0; i < 4; i++ {
+			a := th.Pick(&st)
+			if !a.Valid() {
+				t.Fatalf("Pick over decoded state returned invalid arm %d", uint8(a))
+			}
+		}
+		got, gotMs, rerr := DecodeState(EncodeState(st, ms))
+		if rerr != nil || got != st || gotMs != ms {
+			t.Fatalf("roundtrip mismatch: %+v @ %d vs %+v @ %d (err %v)", got, gotMs, st, ms, rerr)
+		}
+	})
+}
+
+// FuzzRewardEvent pins the ingest gate: Validate accepts exactly the events
+// whose Apply keeps a valid state valid, and non-finite rewards never pass.
+func FuzzRewardEvent(f *testing.F) {
+	f.Add(uint8(0), 0.25, int64(1000))
+	f.Add(uint8(2), 1.0, int64(0))
+	f.Add(uint8(9), 0.5, int64(-1))
+	f.Add(uint8(1), math.NaN(), int64(5))
+	f.Add(uint8(1), math.Inf(1), int64(5))
+	f.Add(uint8(0), -0.5, int64(5))
+
+	f.Fuzz(func(t *testing.T, arm uint8, reward float64, tsms int64) {
+		ev := RewardEvent{Arm: Arm(arm), Reward: reward, TsMs: tsms}
+		err := ev.Validate()
+		if math.IsNaN(reward) || math.IsInf(reward, 0) {
+			if err == nil {
+				t.Fatalf("non-finite reward %v validated", reward)
+			}
+			return
+		}
+		if err != nil {
+			return
+		}
+		st := State{Pulls: [NumArms]float64{ArmMF: 2, ArmSim: 2, ArmHot: 2}}
+		st.Apply(ev)
+		if verr := st.Validate(); verr != nil {
+			t.Fatalf("validated event %+v broke state: %v", ev, verr)
+		}
+	})
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package bandit
+
+// See race_test.go.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package bandit
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation inflates AllocsPerRun counts.
+const raceEnabled = true

@@ -1,0 +1,122 @@
+package bandit
+
+import (
+	"fmt"
+	"math"
+
+	"vidrec/internal/kvstore"
+)
+
+// RewardEvent is one unit of feedback flowing back to the bandit: the arm
+// that served a slot earned reward for it. Events ride the storm topology
+// (the BanditReward → BanditState line) and the sequential Ingest path
+// alike; Validate is the single gate both cross before any state changes.
+type RewardEvent struct {
+	// Arm is the candidate source being credited.
+	Arm Arm
+	// Reward is the bounded payoff in [0, 1] — an implicit-feedback
+	// confidence weight scaled by RewardFromWeight.
+	Reward float64
+	// TsMs is the action's UnixMilli timestamp, stamped into the state
+	// record for the sim tier's sanity sweep.
+	TsMs int64
+}
+
+// Validate rejects events that could poison the posteriors: unknown arms
+// and rewards that are NaN, infinite, or outside [0, 1]. Rewards above 1
+// would let wins outrun pulls, breaking the Beta parameterization.
+func (ev RewardEvent) Validate() error {
+	if !ev.Arm.Valid() {
+		return fmt.Errorf("bandit: unknown arm %d", uint8(ev.Arm))
+	}
+	if math.IsNaN(ev.Reward) || math.IsInf(ev.Reward, 0) {
+		return fmt.Errorf("bandit: reward must be finite, got %v", ev.Reward)
+	}
+	if ev.Reward < 0 || ev.Reward > 1 {
+		return fmt.Errorf("bandit: reward must be in [0,1], got %v", ev.Reward)
+	}
+	return nil
+}
+
+// maxConfidenceWeight is the largest implicit-feedback confidence the
+// pipeline emits: feedback.DefaultWeights' Share weight (Table 1 extended,
+// §3.2). RewardFromWeight normalizes against it so a share is full reward.
+const maxConfidenceWeight = 4.0
+
+// RewardFromWeight maps an implicit-feedback confidence weight w_ui to a
+// bounded [0, 1] bandit reward: w/4 clamped, so a bare click earns 0.25 and
+// a share earns 1. Non-finite or negative weights earn nothing — the weight
+// layer validates its own inputs, but the bandit never trusts that.
+func RewardFromWeight(w float64) float64 {
+	r := w / maxConfidenceWeight
+	switch {
+	case math.IsNaN(r) || r < 0:
+		return 0
+	case r > 1:
+		return 1
+	}
+	return r
+}
+
+// Apply folds one validated event into the state. Wins are capped at the
+// arm's pulls: a reward can never credit more than the slots actually
+// served, so a validated state stays validated under any event sequence.
+func (s *State) Apply(ev RewardEvent) {
+	if !ev.Arm.Valid() {
+		return
+	}
+	w := s.Wins[ev.Arm] + ev.Reward
+	if w > s.Pulls[ev.Arm] {
+		w = s.Pulls[ev.Arm]
+	}
+	s.Wins[ev.Arm] = w
+}
+
+// stateFloats is the payload width of an encoded State: pulls then wins.
+const stateFloats = 2 * NumArms
+
+// EncodeState renders the state as an 8-byte UnixMilli stamp followed by
+// the pull and win counters — the stamped-record layout the hot lists and
+// similar tables use, so the sim tier's store sweep can bound the timestamp
+// the same way.
+func EncodeState(st State, updatedAtMs int64) []byte {
+	var fs [stateFloats]float64
+	copy(fs[:NumArms], st.Pulls[:])
+	copy(fs[NumArms:], st.Wins[:])
+	return append(kvstore.EncodeInt64(updatedAtMs), kvstore.EncodeFloats(fs[:])...)
+}
+
+// DecodeState parses an encoded state record and validates it. Corrupt
+// bytes, wrong counter counts, and any non-finite / negative / wins>pulls
+// state are errors — a decoded State is always safe to sample from, which
+// is the property FuzzRewardCodec pins.
+func DecodeState(b []byte) (State, int64, error) {
+	var st State
+	if len(b) < 8 {
+		return st, 0, fmt.Errorf("bandit: state record shorter than its timestamp prefix")
+	}
+	ms, err := kvstore.DecodeInt64(b[:8])
+	if err != nil {
+		return st, 0, fmt.Errorf("bandit: corrupt state timestamp: %w", err)
+	}
+	fs, err := kvstore.DecodeFloats(b[8:])
+	if err != nil {
+		return st, 0, fmt.Errorf("bandit: corrupt state counters: %w", err)
+	}
+	if len(fs) != stateFloats {
+		return st, 0, fmt.Errorf("bandit: state has %d counters, want %d", len(fs), stateFloats)
+	}
+	copy(st.Pulls[:], fs[:NumArms])
+	copy(st.Wins[:], fs[NumArms:])
+	if err := st.Validate(); err != nil {
+		return State{}, 0, err
+	}
+	return st, ms, nil
+}
+
+// Attribution records which arm filled one served slot — the breadcrumb
+// that lets a later action on the video reward the right arm.
+type Attribution struct {
+	Video string
+	Arm   Arm
+}

@@ -1,0 +1,280 @@
+package bandit
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"vidrec/internal/kvstore"
+	"vidrec/internal/objcache"
+	"vidrec/internal/topn"
+)
+
+func newTestStore(t *testing.T) (*Store, kvstore.Store) {
+	t.Helper()
+	kv := kvstore.NewLocal(4)
+	cache := objcache.New(64)
+	wrapped := objcache.WrapStore(kv, cache)
+	s, err := New("sys", wrapped)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.SetCache(cache)
+	return s, wrapped
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", kvstore.NewLocal(1)); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New("sys", nil); err == nil {
+		t.Error("nil store accepted")
+	}
+}
+
+func TestStateFreshIsPrior(t *testing.T) {
+	s, _ := newTestStore(t)
+	st, err := s.State(context.Background())
+	if err != nil {
+		t.Fatalf("State: %v", err)
+	}
+	if st != (State{}) {
+		t.Errorf("fresh store state = %+v, want zero (uniform priors)", st)
+	}
+}
+
+func TestRecordPullsAndReward(t *testing.T) {
+	s, _ := newTestStore(t)
+	ctx := context.Background()
+	ts := time.UnixMilli(1_700_000_000_000)
+
+	pulls := [NumArms]int{ArmMF: 5, ArmSim: 2, ArmHot: 1}
+	if err := s.RecordPulls(ctx, &pulls, ts); err != nil {
+		t.Fatalf("RecordPulls: %v", err)
+	}
+	if err := s.Reward(ctx, RewardEvent{Arm: ArmSim, Reward: 0.25, TsMs: ts.UnixMilli() + 1000}); err != nil {
+		t.Fatalf("Reward: %v", err)
+	}
+
+	st, err := s.State(ctx)
+	if err != nil {
+		t.Fatalf("State: %v", err)
+	}
+	want := State{
+		Pulls: [NumArms]float64{ArmMF: 5, ArmSim: 2, ArmHot: 1},
+		Wins:  [NumArms]float64{ArmSim: 0.25},
+	}
+	if st != want {
+		t.Errorf("state after pulls+reward = %+v, want %+v", st, want)
+	}
+
+	// The write-through wrapper must have invalidated the cached decode:
+	// a second reward shows up in the very next read.
+	if err := s.Reward(ctx, RewardEvent{Arm: ArmSim, Reward: 0.5, TsMs: ts.UnixMilli() + 2000}); err != nil {
+		t.Fatalf("Reward: %v", err)
+	}
+	st, err = s.State(ctx)
+	if err != nil {
+		t.Fatalf("State: %v", err)
+	}
+	if st.Wins[ArmSim] != 0.75 {
+		t.Errorf("cached read missed the write-through invalidation: wins = %v, want 0.75", st.Wins[ArmSim])
+	}
+}
+
+func TestRecordPullsValidation(t *testing.T) {
+	s, _ := newTestStore(t)
+	ctx := context.Background()
+	bad := [NumArms]int{ArmMF: -1}
+	if err := s.RecordPulls(ctx, &bad, time.UnixMilli(1)); err == nil {
+		t.Error("negative pull count accepted")
+	}
+	var zero [NumArms]int
+	if err := s.RecordPulls(ctx, &zero, time.UnixMilli(1)); err != nil {
+		t.Errorf("zero pulls should be a no-op, got %v", err)
+	}
+	if st, _ := s.State(ctx); st != (State{}) {
+		t.Errorf("state mutated by rejected/no-op charges: %+v", st)
+	}
+}
+
+func TestRewardValidation(t *testing.T) {
+	s, _ := newTestStore(t)
+	ctx := context.Background()
+	for _, ev := range []RewardEvent{
+		{Arm: Arm(9), Reward: 0.5},
+		{Arm: ArmMF, Reward: -0.1},
+		{Arm: ArmMF, Reward: 1.5},
+	} {
+		if err := s.Reward(ctx, ev); err == nil {
+			t.Errorf("invalid event %+v accepted", ev)
+		}
+	}
+}
+
+// TestCorruptStateResets pins the poison-resistance contract: a corrupt
+// stored record is replaced by priors plus the incoming charge, and a
+// corrupt record behind State() is an error rather than garbage posteriors.
+func TestCorruptStateResets(t *testing.T) {
+	s, kv := newTestStore(t)
+	ctx := context.Background()
+	key := kvstore.Key("sys.bandit", stateID)
+
+	if err := kv.Set(ctx, key, []byte("garbage")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if _, err := s.State(ctx); err == nil {
+		t.Error("corrupt state decoded without error")
+	}
+
+	pulls := [NumArms]int{ArmHot: 3}
+	if err := s.RecordPulls(ctx, &pulls, time.UnixMilli(5000)); err != nil {
+		t.Fatalf("RecordPulls over corrupt record: %v", err)
+	}
+	st, err := s.State(ctx)
+	if err != nil {
+		t.Fatalf("State after reset: %v", err)
+	}
+	if st.Pulls[ArmHot] != 3 || st.Wins != ([NumArms]float64{}) {
+		t.Errorf("corrupt record not reset to priors+charge: %+v", st)
+	}
+}
+
+func TestAttributeTakeRoundtrip(t *testing.T) {
+	s, _ := newTestStore(t)
+	ctx := context.Background()
+	slate := []topn.Entry{{ID: "v1", Score: 0.9}, {ID: "v2", Score: 0.8}, {ID: "v3", Score: 0.7}}
+	arms := []Arm{ArmMF, ArmHot, ArmSim}
+
+	if err := s.Attribute(ctx, "u1", slate, arms); err != nil {
+		t.Fatalf("Attribute: %v", err)
+	}
+	attrs, err := s.Attributions(ctx, "u1")
+	if err != nil || len(attrs) != 3 {
+		t.Fatalf("Attributions = %v, %v; want 3 records", attrs, err)
+	}
+
+	arm, ok, err := s.Take(ctx, "u1", "v2")
+	if err != nil || !ok || arm != ArmHot {
+		t.Fatalf("Take(v2) = %v, %v, %v; want ArmHot, true, nil", arm, ok, err)
+	}
+	// Credit is consumed: the same action again earns nothing.
+	if _, ok, _ := s.Take(ctx, "u1", "v2"); ok {
+		t.Error("second Take of same video still credited")
+	}
+	// Unattributed video: no credit, record untouched.
+	if _, ok, _ := s.Take(ctx, "u1", "vX"); ok {
+		t.Error("unattributed video credited")
+	}
+	if attrs, _ := s.Attributions(ctx, "u1"); len(attrs) != 2 {
+		t.Errorf("after one Take, %d attributions remain, want 2", len(attrs))
+	}
+
+	// Draining the slate retires the record entirely.
+	s.Take(ctx, "u1", "v1")
+	s.Take(ctx, "u1", "v3")
+	if attrs, _ := s.Attributions(ctx, "u1"); attrs != nil {
+		t.Errorf("drained slate left a record: %v", attrs)
+	}
+}
+
+func TestAttributeReplacesPrevious(t *testing.T) {
+	s, _ := newTestStore(t)
+	ctx := context.Background()
+	if err := s.Attribute(ctx, "u1", []topn.Entry{{ID: "old"}}, []Arm{ArmMF}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attribute(ctx, "u1", []topn.Entry{{ID: "new"}}, []Arm{ArmSim}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Take(ctx, "u1", "old"); ok {
+		t.Error("stale attribution survived a re-serve")
+	}
+	if arm, ok, _ := s.Take(ctx, "u1", "new"); !ok || arm != ArmSim {
+		t.Errorf("latest attribution Take = %v, %v", arm, ok)
+	}
+}
+
+func TestAttributeValidation(t *testing.T) {
+	s, _ := newTestStore(t)
+	ctx := context.Background()
+	slate := []topn.Entry{{ID: "v1"}}
+	if err := s.Attribute(ctx, "", slate, []Arm{ArmMF}); err == nil {
+		t.Error("empty user accepted")
+	}
+	if err := s.Attribute(ctx, "u1", slate, []Arm{ArmMF, ArmSim}); err == nil {
+		t.Error("mismatched slate/arms lengths accepted")
+	}
+	if err := s.Attribute(ctx, "u1", slate, []Arm{Arm(9)}); err == nil {
+		t.Error("invalid arm accepted")
+	}
+	if err := s.Attribute(ctx, "u1", nil, nil); err != nil {
+		t.Errorf("empty slate should be a no-op, got %v", err)
+	}
+	if _, _, err := s.Take(ctx, "", "v"); err == nil {
+		t.Error("Take with empty user accepted")
+	}
+	if _, _, err := s.Take(ctx, "u", ""); err == nil {
+		t.Error("Take with empty video accepted")
+	}
+}
+
+// TestTakeDropsCorruptRecord: malformed attribution bytes cost the credit,
+// never an error on the ingest path and never a poisoned posterior.
+func TestTakeDropsCorruptRecord(t *testing.T) {
+	s, kv := newTestStore(t)
+	ctx := context.Background()
+	key := kvstore.Key("sys.battr", "u1")
+	if err := kv.Set(ctx, key, []byte{0xFF, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Take(ctx, "u1", "v1"); ok || err != nil {
+		t.Fatalf("Take over corrupt record = %v, %v; want false, nil", ok, err)
+	}
+	if _, ok, err := kv.Get(ctx, key); err != nil || ok {
+		t.Errorf("corrupt attribution record not dropped (ok=%v err=%v)", ok, err)
+	}
+	if _, err := s.Attributions(ctx, "u1"); err != nil {
+		t.Errorf("Attributions after drop: %v", err)
+	}
+}
+
+func TestStateCodecRoundtrip(t *testing.T) {
+	st := State{
+		Pulls: [NumArms]float64{ArmMF: 10, ArmSim: 4, ArmHot: 7},
+		Wins:  [NumArms]float64{ArmMF: 3.5, ArmSim: 4, ArmHot: 0},
+	}
+	got, ms, err := DecodeState(EncodeState(st, 123456))
+	if err != nil {
+		t.Fatalf("roundtrip: %v", err)
+	}
+	if got != st || ms != 123456 {
+		t.Errorf("roundtrip = %+v @ %d, want %+v @ 123456", got, ms, st)
+	}
+
+	for name, b := range map[string][]byte{
+		"empty":      {},
+		"short":      {1, 2, 3},
+		"no-floats":  kvstore.EncodeInt64(1),
+		"wrong-card": append(kvstore.EncodeInt64(1), kvstore.EncodeFloats([]float64{1, 2})...),
+		"wins>pulls": EncodeState(State{Wins: [NumArms]float64{ArmMF: 5}}, 1),
+	} {
+		if _, _, err := DecodeState(b); err == nil {
+			t.Errorf("%s: corrupt record decoded without error", name)
+		}
+	}
+}
+
+func TestApplyCapsWins(t *testing.T) {
+	var st State
+	st.Pulls[ArmMF] = 1
+	st.Apply(RewardEvent{Arm: ArmMF, Reward: 1})
+	st.Apply(RewardEvent{Arm: ArmMF, Reward: 1})
+	if st.Wins[ArmMF] != 1 {
+		t.Errorf("wins = %v, want capped at pulls (1)", st.Wins[ArmMF])
+	}
+	st.Apply(RewardEvent{Arm: Arm(9), Reward: 1}) // invalid arm: ignored
+	if err := st.Validate(); err != nil {
+		t.Errorf("state invalid after capped applies: %v", err)
+	}
+}

@@ -15,7 +15,7 @@ import (
 
 // EncodeFloats encodes a float64 slice as 8 bytes per element.
 func EncodeFloats(v []float64) []byte {
-	return AppendFloats(make([]byte, 0, 8*len(v)), v)
+	return AppendFloats(make([]byte, 0, 8*len(v)), v) // alloccheck: one record per write, sized by the caller's payload (bandit state: 6 floats)
 }
 
 // AppendFloats appends the EncodeFloats encoding of v to dst and returns the
@@ -83,7 +83,7 @@ func EncodeEntries(entries []topn.Entry) []byte {
 	for _, e := range entries {
 		size += binary.MaxVarintLen64 + len(e.ID) + 8
 	}
-	buf := make([]byte, 0, size)
+	buf := make([]byte, 0, size) // alloccheck: one record per write, sized by the caller's payload (attributions: one slate)
 	buf = binary.AppendUvarint(buf, uint64(len(entries)))
 	for _, e := range entries {
 		buf = binary.AppendUvarint(buf, uint64(len(e.ID)))

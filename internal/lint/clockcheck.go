@@ -33,7 +33,7 @@ func init() {
 			"internal/history", "internal/demographic", "internal/catalog",
 			"internal/feedback", "internal/dataset", "internal/lru",
 			"internal/topn", "internal/metrics", "internal/vecmath",
-			"internal/sim", "internal/objcache",
+			"internal/sim", "internal/objcache", "internal/bandit",
 			"fixtures/clockcheck",
 		},
 		Run: runClockcheck,

@@ -49,7 +49,7 @@ func init() {
 		Doc:  "acquired resources (conns, files, tickers, cancels, pool slots) must be released on every path",
 		Scope: []string{
 			"internal/kvstore", "internal/recommend", "internal/objcache",
-			"internal/core", "internal/storm",
+			"internal/core", "internal/storm", "internal/bandit",
 			"cmd",
 			"fixtures/leakcheck",
 		},

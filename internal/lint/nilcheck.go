@@ -35,7 +35,7 @@ func init() {
 		Doc:  "values that are nil on the error or !ok path must not be dereferenced there",
 		Scope: []string{
 			"internal/kvstore", "internal/recommend", "internal/objcache",
-			"internal/core", "internal/storm",
+			"internal/core", "internal/storm", "internal/bandit",
 			"cmd",
 			"fixtures/nilcheck",
 		},

@@ -14,9 +14,11 @@ package recommend
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
+	"vidrec/internal/bandit"
 	"vidrec/internal/catalog"
 	"vidrec/internal/core"
 	"vidrec/internal/demographic"
@@ -69,6 +71,23 @@ type Options struct {
 	// errors never fall back, and when the fallback itself cannot be built
 	// the original personalized-path error surfaces.
 	DegradedFallback bool
+	// Explore re-ranks the final slate through a bandit policy over the
+	// blended candidate sources (MF rank, sim-table expansion, demographic
+	// hot), records per-arm pulls and slate attributions, and feeds implicit
+	// rewards back into the policy's posteriors — the paper title's
+	// exploration, as an online-matching bandit. Degraded responses never
+	// explore: the fallback path serves exactly as before.
+	Explore bool
+	// ExplorePolicy selects the bandit policy: bandit.PolicyThompson
+	// (default when empty) or bandit.PolicyEpsilonGreedy.
+	ExplorePolicy string
+	// ExploreEpsilon is epsilon-greedy's exploration fraction in [0,1].
+	// Ignored by Thompson sampling.
+	ExploreEpsilon float64
+	// ExploreSeed seeds the policy's RNG. Equal seeds over equal reward
+	// histories replay identical explored slates — the determinism contract
+	// the golden explored slate and the sim digests pin.
+	ExploreSeed uint64
 }
 
 // DefaultOptions returns production-shaped settings.
@@ -88,6 +107,7 @@ func DefaultOptions() Options {
 		HotHalfLife:          24 * time.Hour,
 		HotCapacity:          100,
 		DegradedFallback:     true,
+		ExploreEpsilon:       0.1,
 	}
 }
 
@@ -111,6 +131,16 @@ func (o Options) Validate() error {
 	case o.HotCapacity <= 0:
 		return fmt.Errorf("recommend: HotCapacity must be positive, got %d", o.HotCapacity)
 	}
+	if o.Explore {
+		switch o.ExplorePolicy {
+		case "", bandit.PolicyThompson, bandit.PolicyEpsilonGreedy:
+		default:
+			return fmt.Errorf("recommend: unknown ExplorePolicy %q", o.ExplorePolicy)
+		}
+		if math.IsNaN(o.ExploreEpsilon) || o.ExploreEpsilon < 0 || o.ExploreEpsilon > 1 {
+			return fmt.Errorf("recommend: ExploreEpsilon must be in [0,1], got %v", o.ExploreEpsilon)
+		}
+	}
 	return nil
 }
 
@@ -125,10 +155,21 @@ type System struct {
 	Models   *demographic.ModelSet
 	Tables   *demographic.TableSet
 	Hot      *demographic.HotTracker
+	// Bandit persists the exploration layer's reward state and slate
+	// attributions. Always constructed; only an Options.Explore system
+	// writes to it.
+	Bandit *bandit.Store
 	// Latency records end-to-end serving latencies for every Recommend
 	// call (the paper's milliseconds-latency production claim is a tail
 	// statement; see metrics.Histogram).
 	Latency metrics.Histogram
+
+	// policy is the bandit policy re-ranking slates (nil unless
+	// Options.Explore). policyMu serializes its RNG: one slate's picks are
+	// an atomic run of draws, so concurrent serving stays valid and
+	// serialized serving stays byte-deterministic.
+	policy   bandit.Policy
+	policyMu sync.Mutex
 
 	// cache is the decoded-value read cache shared by every component
 	// (nil when Options.CacheCapacity < 0). kv is wrapped so all writes
@@ -189,12 +230,26 @@ func NewSystem(kv kvstore.Store, params core.Params, simCfg simtable.Config, opt
 	if err != nil {
 		return nil, err
 	}
+	bd, err := bandit.New("sys", kv)
+	if err != nil {
+		return nil, err
+	}
 	cat.SetCache(cache)
 	profiles.SetCache(cache)
 	hist.SetCache(cache)
 	models.SetCache(cache)
 	tables.SetCache(cache)
 	hot.SetCache(cache)
+	bd.SetCache(cache)
+	var policy bandit.Policy
+	if opts.Explore {
+		switch opts.ExplorePolicy {
+		case bandit.PolicyEpsilonGreedy:
+			policy = bandit.NewEpsilonGreedy(opts.ExploreSeed, opts.ExploreEpsilon)
+		default: // "" and bandit.PolicyThompson — Validate rejected the rest
+			policy = bandit.NewThompson(opts.ExploreSeed)
+		}
+	}
 	return &System{
 		kv:       kv,
 		opts:     opts,
@@ -205,7 +260,9 @@ func NewSystem(kv kvstore.Store, params core.Params, simCfg simtable.Config, opt
 		Models:   models,
 		Tables:   tables,
 		Hot:      hot,
+		Bandit:   bd,
 		cache:    cache,
+		policy:   policy,
 		// clockcheck: default wall clock; tests and the sim use SetWallClock.
 		wallClock: time.Now,
 	}, nil
@@ -289,6 +346,23 @@ func (s *System) Ingest(ctx context.Context, a feedback.Action) error {
 	weight := s.weights.Weight(a)
 	if weight <= 0 {
 		return nil // impressions update nothing beyond the global mean
+	}
+
+	// Exploration reward loop (sequential path; the topology's BanditReward/
+	// BanditState bolts are the streaming equivalent): if this action lands
+	// on a slot of the user's attributed explored slate, credit the arm that
+	// filled it with the action's confidence, scaled into [0,1].
+	if s.policy != nil {
+		arm, ok, err := s.Bandit.Take(ctx, a.UserID, a.VideoID)
+		if err != nil {
+			return err
+		}
+		if ok {
+			ev := bandit.RewardEvent{Arm: arm, Reward: bandit.RewardFromWeight(weight), TsMs: a.Timestamp.UnixMilli()}
+			if err := s.Bandit.Reward(ctx, ev); err != nil {
+				return err
+			}
+		}
 	}
 
 	if err := s.Hot.Record(ctx, demographic.GlobalGroup, a.VideoID, weight, a.Timestamp); err != nil {

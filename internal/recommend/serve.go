@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"vidrec/internal/bandit"
 	"vidrec/internal/demographic"
 	"vidrec/internal/topn"
 )
@@ -39,6 +40,12 @@ type Result struct {
 	// against whatever history was still readable) instead of MF-ranked
 	// candidates. Serving stayed up; quality, not availability, degraded.
 	Degraded bool
+	// Explored marks a slate re-ranked through the bandit policy
+	// (Options.Explore). Degraded responses are never explored.
+	Explored bool
+	// Arms tags each slot of an explored slate with the candidate source
+	// that filled it (parallel to Videos; nil unless Explored).
+	Arms []bandit.Arm
 	// Latency is the end-to-end serving time.
 	Latency time.Duration
 }
@@ -267,12 +274,108 @@ expand:
 		hotMerged = len(merged)
 	}
 
+	// 6. Exploration re-rank (Options.Explore): rebuild the slate slot by
+	// slot, each slot drawn by the bandit policy from one of three arms —
+	// the MF-ranked list, the sim-table expansion in seed order, the
+	// demographic hot list in popularity order. Every slot keeps its Eq. 2
+	// score, so Score's meaning is unchanged; only the composition moves
+	// with the posteriors. Pulls are charged to the arm that actually
+	// filled the slot, and the slate's attributions replace the user's
+	// previous breadcrumbs. Any storage error here propagates, so a failed
+	// explore request falls into the same degraded fallback as any other
+	// serving failure — and the fallback never samples.
+	if s.policy != nil {
+		st, err := s.Bandit.State(ctx)
+		if err != nil {
+			return nil, err
+		}
+		mf := videos[:len(videos)-hotMerged]
+		inList := scr.inList
+		clear(inList)
+		explored := make([]topn.Entry, 0, req.N) // alloccheck: explored slate escapes into the Result (explore budget)
+		arms := make([]bandit.Arm, 0, req.N)     // alloccheck: arm tags escape into the Result (explore budget)
+		var cursors, pulls [bandit.NumArms]int
+		s.policyMu.Lock()
+		for len(explored) < req.N {
+			filled := s.policy.Pick(&st)
+			e, ok := armNext(filled, &cursors, inList, mf, hot, hotIdx, toScore, scores, numCand)
+			for f := 0; f < bandit.NumArms && !ok; f++ {
+				// Picked arm exhausted: fall through the arms in fixed
+				// order so the slate still fills; the filling arm takes
+				// the pull (it did the serving work).
+				filled = bandit.Arm(f)
+				e, ok = armNext(filled, &cursors, inList, mf, hot, hotIdx, toScore, scores, numCand)
+			}
+			if !ok {
+				break // every pool dry: the slate is as long as it can be
+			}
+			inList[e.ID] = true
+			explored = append(explored, e)
+			arms = append(arms, filled)
+			pulls[filled]++
+		}
+		s.policyMu.Unlock()
+		if err := s.Bandit.RecordPulls(ctx, &pulls, now); err != nil {
+			return nil, err
+		}
+		if err := s.Bandit.Attribute(ctx, req.UserID, explored, arms); err != nil {
+			return nil, err
+		}
+		return &Result{ // alloccheck: the returned Result is the API contract (explore budget)
+			Videos:     explored,
+			Seeds:      len(seeds),
+			Candidates: numCand,
+			HotMerged:  pulls[bandit.ArmHot],
+			Explored:   true,
+			Arms:       arms,
+		}, nil
+	}
+
 	return &Result{ // alloccheck: the returned Result is the API contract (warm budget)
 		Videos:     videos,
 		Seeds:      len(seeds),
 		Candidates: numCand,
 		HotMerged:  hotMerged,
 	}, nil
+}
+
+// armNext returns arm a's next unserved slate entry, advancing its cursor
+// past entries already in the slate (inList) or excluded from the pool.
+// Pools: ArmMF walks the MF-ranked list, ArmSim walks the candidate
+// expansion in seed order carrying its Eq. 2 score, ArmHot walks the hot
+// list in popularity order carrying the score the fold assigned it
+// (hotIdx < 0 marks hot entries the exclusion set removed). A package-level
+// function rather than a closure: the explore loop calls it per slot inside
+// the serving alloc budget.
+func armNext(a bandit.Arm, cursors *[bandit.NumArms]int, inList map[string]bool,
+	mf, hot []topn.Entry, hotIdx []int, toScore []string, scores []float64, numCand int) (topn.Entry, bool) {
+	switch a {
+	case bandit.ArmMF:
+		for cursors[a] < len(mf) {
+			e := mf[cursors[a]]
+			cursors[a]++
+			if !inList[e.ID] {
+				return e, true
+			}
+		}
+	case bandit.ArmSim:
+		for cursors[a] < numCand {
+			i := cursors[a]
+			cursors[a]++
+			if !inList[toScore[i]] {
+				return topn.Entry{ID: toScore[i], Score: scores[i]}, true
+			}
+		}
+	case bandit.ArmHot:
+		for cursors[a] < len(hotIdx) {
+			i := cursors[a]
+			cursors[a]++
+			if hotIdx[i] >= 0 && !inList[hot[i].ID] {
+				return topn.Entry{ID: hot[i].ID, Score: scores[hotIdx[i]]}, true
+			}
+		}
+	}
+	return topn.Entry{}, false
 }
 
 // degraded builds the fallback response: the group's demographic hot list,

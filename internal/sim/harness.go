@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"vidrec/internal/bandit"
 	"vidrec/internal/core"
 	"vidrec/internal/dataset"
 	"vidrec/internal/feedback"
@@ -67,6 +68,12 @@ type Report struct {
 	Recommends      int // successful Recommend calls
 	RecommendErrors int // Recommend calls that returned an error
 	Degraded        int // served responses that came from the demographic fallback
+
+	// Exploration accounting, decoded from the final reward state (zero
+	// unless the scenario explores): total slate slots charged to bandit
+	// arms, and total reward mass credited back by the feedback phase.
+	ExplorePulls float64
+	ExploreWins  float64
 
 	// Digest is the SHA-256 of the canonical encoded model state (replica 0
 	// when the scenario replicates); two runs of the same scenario must
@@ -183,6 +190,10 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	if sc.DisableCache {
 		opts.CacheCapacity = -1
 	}
+	if sc.Explore {
+		opts.Explore = true
+		opts.ExploreSeed = sc.Seed ^ 0xBA17D
+	}
 	sys, err := recommend.NewSystem(store, params, simtable.DefaultConfig(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("sim: build system: %w", err)
@@ -248,6 +259,7 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	users := ds.Users()
 	videos := ds.Videos()
 	results := make([]*recommend.Result, 0, sc.Recommends)
+	servedUsers := make([]string, 0, sc.Recommends)
 	for i := 0; i < sc.Recommends; i++ {
 		req := recommend.Request{UserID: users[i%len(users)].ID, N: sc.TopN}
 		if i%2 == 1 {
@@ -261,10 +273,69 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 				rep.Degraded++
 			}
 			results = append(results, res)
+			servedUsers = append(servedUsers, req.UserID)
 		}
 		vclock.Advance(time.Second)
 	}
 	rep.Recommends = len(results)
+
+	// Feedback phase (Explore with FeedbackClicks): simulated clicks on the
+	// served slates stream through a second topology run, exercising the
+	// BanditReward → BanditState line the way production feedback would.
+	// Clicks walk the slates breadth-first — every slate's first slot, then
+	// every second slot — so the credit spreads across requests.
+	if sc.FeedbackClicks > 0 {
+		clicks := make([]feedback.Action, 0, sc.FeedbackClicks)
+		for j := 0; len(clicks) < sc.FeedbackClicks; j++ {
+			added := false
+			for i, res := range results {
+				if len(clicks) >= sc.FeedbackClicks {
+					break
+				}
+				if j >= len(res.Videos) {
+					continue
+				}
+				vclock.Advance(time.Second)
+				clicks = append(clicks, feedback.Action{
+					UserID:    servedUsers[i],
+					VideoID:   res.Videos[j].ID,
+					Type:      feedback.Click,
+					Timestamp: vclock.Now(),
+				})
+				added = true
+			}
+			if !added {
+				break // every slate fully clicked through
+			}
+		}
+		fbTopo, err := topology.BuildWithOptions(sys,
+			func(int) topology.Source { return topology.SliceSource(clicks) },
+			sc.Parallelism,
+			topology.Options{
+				Tracked:     sc.Tracked,
+				QueueSize:   sc.QueueSize,
+				MaxPending:  sc.MaxPending,
+				Synchronous: sc.Synchronous,
+				Seed:        sc.Seed ^ 0xFEED,
+				CacheClock:  vclock.Now,
+				WrapBolt:    boltWrapper(sc.BoltFaults),
+			})
+		if err != nil {
+			return nil, fmt.Errorf("sim: build feedback topology: %w", err)
+		}
+		if err := fbTopo.Run(ctx); err != nil {
+			return nil, fmt.Errorf("sim: feedback topology run: %w", err)
+		}
+		rep.Actions += len(clicks)
+		fbSpout, err := fbTopo.MetricsFor(topology.SpoutName)
+		if err != nil {
+			return nil, err
+		}
+		rep.Spouted += fbSpout.Emitted
+		rep.Acked += fbSpout.Acked
+		rep.FailedTrees += fbSpout.FailedTrees
+		rep.Unresolved += fbTopo.UnresolvedTrees()
+	}
 	for i := range chains {
 		rep.KVOps += chains[i].faulty.Ops()
 		rep.InjectedFaults += chains[i].faulty.Injected()
@@ -281,6 +352,18 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 		s := repl.Stats()
 		rep.ReadFallbacks = s.ReadFallbacks
 		rep.WriteSkips = s.WriteSkips
+	}
+
+	// Explore accounting: decode the final reward state straight off the
+	// authoritative replica. A missing record means nothing explored — the
+	// reward-starvation and blackout expectations assert on exactly that.
+	if raw, ok, err := chains[0].base.Get(ctx, kvstore.Key("sys.bandit", "arms")); err == nil && ok {
+		if st, _, err := bandit.DecodeState(raw); err == nil {
+			for a := 0; a < bandit.NumArms; a++ {
+				rep.ExplorePulls += st.Pulls[a]
+				rep.ExploreWins += st.Wins[a]
+			}
+		}
 	}
 
 	// Invariant checkers run against replica 0 — the backend every healthy
@@ -334,9 +417,12 @@ func replicaSchedule(sc Scenario, i int) []kvstore.FaultPhase {
 func serveDigest(results []*recommend.Result) string {
 	h := sha256.New()
 	for _, r := range results {
-		fmt.Fprintf(h, "%d|%d|%d|%t|", r.Seeds, r.Candidates, r.HotMerged, r.Degraded)
+		fmt.Fprintf(h, "%d|%d|%d|%t|%t|", r.Seeds, r.Candidates, r.HotMerged, r.Degraded, r.Explored)
 		for _, e := range r.Videos {
 			fmt.Fprintf(h, "%s=%.17g;", e.ID, e.Score)
+		}
+		for _, a := range r.Arms {
+			fmt.Fprintf(h, "a%d;", uint8(a))
 		}
 		h.Write([]byte{'\n'})
 	}

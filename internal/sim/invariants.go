@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"vidrec/internal/bandit"
 	"vidrec/internal/core"
 	"vidrec/internal/dataset"
 	"vidrec/internal/kvstore"
@@ -213,6 +214,39 @@ func checkStore(ds *dataset.Dataset, base *kvstore.Local, params core.Params, op
 			if !videos[id] {
 				v.addf("store: %s: catalog record for unknown video", key)
 			}
+		case "bandit":
+			// DecodeState runs bandit.State.Validate: finite, non-negative,
+			// wins never exceeding pulls.
+			_, ms, err := bandit.DecodeState(val)
+			if err != nil {
+				v.addf("store: %s: corrupt bandit state: %v", key, err)
+				return true
+			}
+			if id != "arms" {
+				v.addf("store: %s: unexpected bandit record id %q", key, id)
+			}
+			if !saneUnixMilli(ms) {
+				v.addf("store: %s: bandit stamp %d out of range", key, ms)
+			}
+		case "battr":
+			entries, err := kvstore.DecodeEntries(val)
+			if err != nil {
+				v.addf("store: %s: corrupt attribution record: %v", key, err)
+				return true
+			}
+			if !users[id] {
+				v.addf("store: %s: attributions for unknown user", key)
+			}
+			for _, e := range entries {
+				if !videos[e.ID] {
+					v.addf("store: %s: attribution for unknown video %q", key, e.ID)
+				}
+				// Score carries the arm id: integral and a real arm.
+				a := bandit.Arm(e.Score)
+				if float64(a) != e.Score || !a.Valid() {
+					v.addf("store: %s: attribution arm %v is not a valid arm id", key, e.Score)
+				}
+			}
 		default:
 			v.addf("store: %s: unknown record kind %q", key, kind)
 		}
@@ -314,9 +348,36 @@ func checkResults(ds *dataset.Dataset, results []*recommend.Result, topN int) []
 				v.addf("results[%d]: non-finite score for %q", ri, e.ID)
 			}
 		}
-		ranked := res.Videos[:len(res.Videos)-res.HotMerged]
-		if !sort.SliceIsSorted(ranked, func(i, j int) bool { return ranked[i].Score > ranked[j].Score }) {
-			v.addf("results[%d]: MF-ranked segment not sorted descending", ri)
+		if res.Explored {
+			// An explored slate is composed by the policy, not sorted — its
+			// contract is the arm tagging: one valid arm per slot, and
+			// HotMerged counting exactly the hot-armed slots.
+			if len(res.Arms) != len(res.Videos) {
+				v.addf("results[%d]: %d arm tags for %d videos", ri, len(res.Arms), len(res.Videos))
+			}
+			hot := 0
+			for _, a := range res.Arms {
+				if !a.Valid() {
+					v.addf("results[%d]: invalid arm %d", ri, uint8(a))
+				}
+				if a == bandit.ArmHot {
+					hot++
+				}
+			}
+			if len(res.Arms) == len(res.Videos) && res.HotMerged != hot {
+				v.addf("results[%d]: HotMerged %d but %d hot-armed slots", ri, res.HotMerged, hot)
+			}
+			if res.Degraded {
+				v.addf("results[%d]: response both Degraded and Explored — degraded serving must never sample", ri)
+			}
+		} else {
+			if res.Arms != nil {
+				v.addf("results[%d]: arm tags on an unexplored response", ri)
+			}
+			ranked := res.Videos[:len(res.Videos)-res.HotMerged]
+			if !sort.SliceIsSorted(ranked, func(i, j int) bool { return ranked[i].Score > ranked[j].Score }) {
+				v.addf("results[%d]: MF-ranked segment not sorted descending", ri)
+			}
 		}
 		if res.Latency < 0 {
 			v.addf("results[%d]: negative latency %v", ri, res.Latency)

@@ -86,6 +86,17 @@ type Scenario struct {
 	Recommends int
 	TopN       int
 
+	// Explore serves the request phase in bandit-exploration mode
+	// (recommend.Options.Explore, Thompson sampling seeded from Seed): the
+	// slate is re-ranked over the blended candidate sources and every slot
+	// is attributed to its arm.
+	Explore bool
+	// FeedbackClicks, with Explore, simulates that many clicks on the
+	// served slates after the request phase and streams them through a
+	// second topology run — the BanditReward → BanditState line — so the
+	// posteriors move inside the scenario. Requires Explore.
+	FeedbackClicks int
+
 	// DisableCache turns off the decoded-value read cache
 	// (recommend.Options.CacheCapacity = -1). The cache never changes
 	// results — the cache-transparency test runs a scenario both ways and
@@ -154,6 +165,12 @@ func (s Scenario) withDefaults() (Scenario, error) {
 	}
 	if s.TopN <= 0 {
 		s.TopN = 10
+	}
+	if s.FeedbackClicks < 0 {
+		return s, fmt.Errorf("sim: scenario %q has negative FeedbackClicks %d", s.Name, s.FeedbackClicks)
+	}
+	if s.FeedbackClicks > 0 && !s.Explore {
+		return s, fmt.Errorf("sim: scenario %q sets FeedbackClicks without Explore", s.Name)
 	}
 	return s, nil
 }

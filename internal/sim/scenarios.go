@@ -14,6 +14,7 @@ func serialParallelism() topology.Parallelism {
 	return topology.Parallelism{
 		Spout: 1, ComputeMF: 1, MFStorage: 1, UserHistory: 1,
 		GetItemPairs: 1, ItemPairSim: 1, ResultStorage: 1,
+		BanditReward: 1, BanditState: 1,
 	}
 }
 
@@ -212,6 +213,48 @@ func Scenarios() []Scenario {
 			Seed:         1414,
 			Tracked:      true,
 			DisableCache: true,
+			ServeFaults:  []kvstore.FaultPhase{{FailRate: 1, KeyPrefix: "sys/"}},
+		},
+		{
+			// Reward starvation: exploration serves every slate (pulls are
+			// charged, slots attributed) but no click ever comes back, so the
+			// posteriors must sit at their priors — wins exactly zero — and
+			// serving must never degrade on account of an empty reward state.
+			// Fully serialized so the replay-determinism test can demand
+			// byte-identical digests for the explored slates too.
+			Name:        "reward-starvation",
+			Seed:        1515,
+			Parallelism: serialParallelism(),
+			MaxPending:  1,
+			Tracked:     true,
+			Synchronous: true,
+			Explore:     true,
+		},
+		{
+			// The loop closed: after the request phase, 20 simulated clicks on
+			// served slots stream through a second topology run — the
+			// BanditReward → BanditState line consumes the attributions and
+			// the final reward state must show real wins.
+			Name:           "explore-feedback",
+			Seed:           1616,
+			Parallelism:    serialParallelism(),
+			MaxPending:     1,
+			Tracked:        true,
+			Synchronous:    true,
+			Explore:        true,
+			FeedbackClicks: 20,
+		},
+		{
+			// Exploration composed with the degraded-serving blackout: the
+			// "sys/" outage kills every personalized read before the explore
+			// re-rank is reached, so all requests fall back to demographic hot
+			// lists and the policy never samples — zero pulls, zero
+			// attributions, zero errors. Degraded responses never explore.
+			Name:         "explore-blackout",
+			Seed:         1717,
+			Tracked:      true,
+			DisableCache: true,
+			Explore:      true,
 			ServeFaults:  []kvstore.FaultPhase{{FailRate: 1, KeyPrefix: "sys/"}},
 		},
 	}

@@ -93,6 +93,48 @@ var expectations = map[string]func(t *testing.T, rep *Report){
 			t.Errorf("%d recommend errors despite a healthy replica", rep.RecommendErrors)
 		}
 	},
+	"reward-starvation": func(t *testing.T, rep *Report) {
+		if rep.ExplorePulls == 0 {
+			t.Error("exploration charged no pulls — the policy never served")
+		}
+		if rep.ExploreWins != 0 {
+			t.Errorf("starved run recorded %v wins, want 0 — a reward leaked in from nowhere", rep.ExploreWins)
+		}
+		if rep.RecommendErrors != 0 {
+			t.Errorf("%d recommend errors — an empty reward state broke serving", rep.RecommendErrors)
+		}
+		if rep.Degraded != 0 {
+			t.Errorf("%d responses degraded under starvation, want 0 — priors must be enough to serve", rep.Degraded)
+		}
+	},
+	"explore-feedback": func(t *testing.T, rep *Report) {
+		if rep.ExplorePulls == 0 {
+			t.Error("exploration charged no pulls — the policy never served")
+		}
+		if rep.ExploreWins == 0 {
+			t.Error("feedback clicks moved no posteriors — the reward line never closed the loop")
+		}
+		if rep.RecommendErrors != 0 {
+			t.Errorf("%d recommend errors during the explore-feedback run", rep.RecommendErrors)
+		}
+		if rep.FailedTrees != 0 {
+			t.Errorf("feedback run failed %d tuple trees, want 0", rep.FailedTrees)
+		}
+	},
+	"explore-blackout": func(t *testing.T, rep *Report) {
+		if rep.InjectedFaults == 0 {
+			t.Error("serving-phase blackout injected no faults — scenario is vacuous")
+		}
+		if rep.RecommendErrors != 0 {
+			t.Errorf("%d recommend errors — availability broke under the model blackout", rep.RecommendErrors)
+		}
+		if rep.Degraded != rep.Recommends {
+			t.Errorf("%d of %d responses degraded, want all", rep.Degraded, rep.Recommends)
+		}
+		if rep.ExplorePulls != 0 {
+			t.Errorf("degraded serving charged %v pulls, want 0 — a Degraded response sampled the policy", rep.ExplorePulls)
+		}
+	},
 	"degraded-serving": func(t *testing.T, rep *Report) {
 		if rep.InjectedFaults == 0 {
 			t.Error("serving-phase blackout injected no faults — scenario is vacuous")
@@ -275,6 +317,48 @@ func TestReplicaFailoverDigest(t *testing.T) {
 	}
 	if len(faulted.ReplicaDigests) == 2 && faulted.ReplicaDigests[0] == faulted.ReplicaDigests[1] {
 		t.Error("faulted replicas agree — the outage never happened")
+	}
+}
+
+// TestExploreDeterminism runs each exploration scenario twice and demands
+// byte-identical state AND served-output digests — the ServeDigest folds in
+// the per-slot arm tags, so a single diverging Thompson draw anywhere in the
+// request phase splits it. This is the replay guarantee for the seeded
+// policy RNG and the virtual-clock reward stamps.
+func TestExploreDeterminism(t *testing.T) {
+	for _, name := range []string{"reward-starvation", "explore-feedback"} {
+		t.Run(name, func(t *testing.T) {
+			var sc Scenario
+			for _, s := range Scenarios() {
+				if s.Name == name {
+					sc = s
+				}
+			}
+			if sc.Name == "" {
+				t.Fatalf("%s scenario missing from matrix", name)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+
+			first, err := Run(ctx, sc)
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			second, err := Run(ctx, sc)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if first.Digest != second.Digest {
+				t.Errorf("state digests differ across same-seed explore runs:\n  first:  %s\n  second: %s", first.Digest, second.Digest)
+			}
+			if first.ServeDigest != second.ServeDigest {
+				t.Errorf("served-output digests differ across same-seed explore runs:\n  first:  %s\n  second: %s", first.ServeDigest, second.ServeDigest)
+			}
+			if first.ExplorePulls != second.ExplorePulls || first.ExploreWins != second.ExploreWins {
+				t.Errorf("reward accounting differs: first {pulls %v wins %v}, second {pulls %v wins %v}",
+					first.ExplorePulls, first.ExploreWins, second.ExplorePulls, second.ExploreWins)
+			}
+		})
 	}
 }
 

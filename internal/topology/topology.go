@@ -4,6 +4,7 @@
 //	spout ─▶ ComputeMF ─▶ MFStorage            (model updates)
 //	spout ─▶ UserHistory                        (behaviour histories + hot lists)
 //	spout ─▶ GetItemPairs ─▶ ItemPairSim ─▶ ResultStorage   (similar-video tables)
+//	spout ─▶ BanditReward ─▶ BanditState        (exploration reward loop)
 //
 // with the groupings the paper specifies: action tuples are fields-grouped
 // by user id, freshly computed vectors are regrouped by their storage key on
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"vidrec/internal/bandit"
 	"vidrec/internal/core"
 	"vidrec/internal/demographic"
 	"vidrec/internal/feedback"
@@ -38,12 +40,18 @@ const (
 	GetItemPairsName  = "GetItemPairs"
 	ItemPairSimName   = "ItemPairSim"
 	ResultStorageName = "ResultStorage"
+	BanditRewardName  = "BanditReward"
+	BanditStateName   = "BanditState"
 )
 
 // Parallelism sets per-component task counts (the "parallelism of different
 // spout or bolts is determined by the data set").
 type Parallelism struct {
 	Spout, ComputeMF, MFStorage, UserHistory, GetItemPairs, ItemPairSim, ResultStorage int
+	// BanditReward and BanditState run the exploration reward line. Zero
+	// values are clamped to 1 by the storm builder, so existing literals
+	// that predate the bandit keep building.
+	BanditReward, BanditState int
 }
 
 // DefaultParallelism returns a small-machine layout.
@@ -56,6 +64,11 @@ func DefaultParallelism() Parallelism {
 		GetItemPairs:  2,
 		ItemPairSim:   4,
 		ResultStorage: 4,
+		BanditReward:  2,
+		// The reward state is one shared record; a single writer task keeps
+		// its read-modify-write serialized the way MFStorage's key grouping
+		// serializes vectors.
+		BanditState: 1,
 	}
 }
 
@@ -179,6 +192,13 @@ func BuildWithOptions(sys *recommend.System, sources func(task int) Source, par 
 
 	b.SetBolt(ResultStorageName, wrap(ResultStorageName, func() storm.Bolt { return &resultStorageBolt{sys: sys} }), par.ResultStorage).
 		FieldsGrouping(ItemPairSimName, "video1")
+
+	b.SetBolt(BanditRewardName, wrap(BanditRewardName, func() storm.Bolt { return &banditRewardBolt{sys: sys} }), par.BanditReward).
+		FieldsGrouping(SpoutName, "user").
+		OutputFields("arm", "reward", "tsms")
+
+	b.SetBolt(BanditStateName, wrap(BanditStateName, func() storm.Bolt { return &banditStateBolt{sys: sys} }), par.BanditState).
+		FieldsGrouping(BanditRewardName, "arm")
 
 	return b.Build()
 }
@@ -557,6 +577,91 @@ func (b *itemPairSimBolt) videoType(video string) (string, error) {
 	return b.types.GetOrLoad(video, func() (string, error) {
 		return b.sys.Catalog.Type(b.ctx, video)
 	})
+}
+
+// banditRewardBolt attributes incoming actions to explored slates: fields
+// grouping by user routes each user's actions (and their attribution record)
+// to one task, which consumes the matching slate breadcrumb and emits a
+// bounded reward tuple toward the state writer. On a system that is not
+// exploring, the bolt is a pure pass-through — no store traffic, so existing
+// scenarios' operation counts are untouched.
+type banditRewardBolt struct {
+	sys *recommend.System
+	ctx context.Context
+	out *storm.BoltCollector
+}
+
+func (b *banditRewardBolt) Prepare(cctx *storm.Context, out *storm.BoltCollector) error {
+	b.ctx = cctx.Ctx
+	b.out = out
+	return nil
+}
+func (b *banditRewardBolt) Cleanup() error { return nil }
+
+func (b *banditRewardBolt) Execute(t *storm.Tuple) error {
+	if !b.sys.Options().Explore {
+		return nil
+	}
+	a, err := actionOf(t)
+	if err != nil {
+		return err
+	}
+	weight := weightOf(b.sys, a)
+	if weight <= 0 {
+		return nil // impressions earn no reward
+	}
+	arm, ok, err := b.sys.Bandit.Take(b.ctx, a.UserID, a.VideoID)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil // action not on an attributed slot
+	}
+	b.out.Emit(storm.Values{int64(arm), bandit.RewardFromWeight(weight), a.Timestamp.UnixMilli()})
+	return nil
+}
+
+// banditStateBolt folds reward tuples into the shared posterior state. A
+// failed write fails the tuple tree, so tracked runs replay the action —
+// at-least-once, same as every storage bolt.
+type banditStateBolt struct {
+	sys *recommend.System
+	ctx context.Context
+}
+
+func (b *banditStateBolt) Prepare(cctx *storm.Context, _ *storm.BoltCollector) error {
+	b.ctx = cctx.Ctx
+	return nil
+}
+func (b *banditStateBolt) Cleanup() error { return nil }
+
+func (b *banditStateBolt) Execute(t *storm.Tuple) error {
+	armAny, err := t.Field("arm")
+	if err != nil {
+		return err
+	}
+	armID, ok := armAny.(int64)
+	if !ok {
+		return fmt.Errorf("topology: arm field is %T", armAny)
+	}
+	rewardAny, err := t.Field("reward")
+	if err != nil {
+		return err
+	}
+	reward, ok := rewardAny.(float64)
+	if !ok {
+		return fmt.Errorf("topology: reward field is %T", rewardAny)
+	}
+	tsAny, err := t.Field("tsms")
+	if err != nil {
+		return err
+	}
+	ts, ok := tsAny.(int64)
+	if !ok {
+		return fmt.Errorf("topology: tsms field is %T", tsAny)
+	}
+	ev := bandit.RewardEvent{Arm: bandit.Arm(armID), Reward: reward, TsMs: ts}
+	return b.sys.Bandit.Reward(b.ctx, ev)
 }
 
 // resultStorageBolt persists the top-N similar list updates; fields grouping
