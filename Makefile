@@ -75,27 +75,39 @@ fuzz:
 	$(GO) test ./internal/kvstore -run '^$$' -fuzz '^FuzzDecodeStrings$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/kvstore -run '^$$' -fuzz '^FuzzDecodeFloats$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/kvstore -run '^$$' -fuzz '^FuzzNetRequestFrame$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/kvstore -run '^$$' -fuzz '^FuzzDecodeQ8Vec$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/feedback -run '^$$' -fuzz '^FuzzWeight$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bandit -run '^$$' -fuzz '^FuzzRewardCodec$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bandit -run '^$$' -fuzz '^FuzzRewardEvent$$' -fuzztime $(FUZZTIME)
 
 # Serving-latency benchmark tier: the BenchmarkRecommend matrix (embedded vs
-# networked vs replicated store × cold vs warm object cache) with allocation
-# stats, recorded to BENCH_PR5.json via cmd/benchjson. The baseline field of
-# the JSON holds the BENCH_PR4 numbers and is preserved across runs; compare
-# against it before claiming a serving-path change is an improvement (the
-# warm-cache fast path must stay within 10%). BENCHTIME trades precision for
-# wall-clock time.
+# networked vs replicated store × cold vs warm object cache, plus the PR9
+# serving fast-path variants score=q8 and ann=on on the local store) with
+# allocation stats, recorded to BENCH_PR9.json via cmd/benchjson. The
+# baseline field of the JSON is preserved across runs; compare against it
+# before claiming a serving-path change is an improvement (the warm-cache
+# fast path must stay within 10%). BENCHTIME trades precision for wall-clock
+# time.
 BENCHTIME ?= 200x
 bench:
 	$(GO) test -run '^$$' -bench '^BenchmarkRecommend$$' -benchmem -benchtime $(BENCHTIME) . \
-		| $(GO) run ./cmd/benchjson -out BENCH_PR5.json
+		| $(GO) run ./cmd/benchjson -out BENCH_PR9.json
 
 # Benchmark regression gate: re-run the Recommend matrix into a scratch file
-# and compare against the committed BENCH_PR5.json record. Fails on any
-# benchmark more than 10% slower on ns/op, or on ANY allocs/op growth — the
-# alloc budget is exact (AllocsPerRun pins + alloccheck), so growth is never
-# noise. The fresh side runs -count=3 and benchjson -compare takes the best
+# and compare it twice — against the committed BENCH_PR5.json record (the
+# pre-PR9 float matrix: the historic warm-path gate keeps holding) and
+# against BENCH_PR9.json (the full matrix, with -require proving the q8 and
+# ANN columns actually ran instead of silently vanishing). The PR5 compare
+# fails on any benchmark more than 10% slower on ns/op; the PR9 self-compare
+# allows 75% because its record is a quiet-window reference for
+# microsecond-scale ops — the same binary drifts 50%+ run to run on a busy
+# shared box, while a real regression (losing the q8 kernel, say) costs
+# 170%+, so the loose ns/op bound still catches catastrophe and the real
+# day-to-day signal there is the allocs/op bound. Both compares fail on
+# allocs/op growth beyond 0.5%: exact on the pinned single-digit warm
+# budgets (AllocsPerRun pins + alloccheck — 0.5% of 3 rounds to zero), with
+# just enough slack for the ±1 wobble of the hundreds-of-allocs cold paths.
+# The fresh side runs -count=3 and benchjson -compare takes the best
 # of the repeats, which keeps scheduler noise from tripping the ns/op bound.
 # Not part of `make check` (benchmark timing still wants a quiet machine);
 # run it before claiming a serving-path change is safe.
@@ -105,6 +117,7 @@ bench-gate:
 	$(GO) test -run '^$$' -bench '^BenchmarkRecommend$$' -benchmem -benchtime $(BENCHTIME) -count=3 . \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_GATE_SCRATCH)
 	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json $(BENCH_GATE_SCRATCH) -max-regress 10
+	$(GO) run ./cmd/benchjson -compare BENCH_PR9.json $(BENCH_GATE_SCRATCH) -max-regress 75 -require score=q8,ann=on
 
 # Coverage floors: internal/lint is the merge bar for everything else, and
 # internal/bandit decides what users see — both must hold >= 85% statement

@@ -16,6 +16,7 @@ package vidrec
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -334,7 +335,11 @@ func BenchmarkRecommendLatency(b *testing.B) {
 // Resilient decorator per backend under write-all/read-first-healthy — and
 // prices what the fault tolerance costs on the healthy path. The dataset
 // shape matches BenchmarkRecommendLatency so numbers stay comparable across
-// revisions; `make bench` records this matrix in BENCH_PR5.json.
+// revisions; `make bench` records this matrix in BENCH_PR9.json. The local
+// store additionally runs the serving fast-path variants PR9 introduced —
+// int8 quantized scoring (score=q8) and LSH candidate retrieval (ann=on) —
+// against the same dataset; the unsuffixed names remain the float/ann-off
+// configurations so the matrix stays comparable with earlier baselines.
 func BenchmarkRecommend(b *testing.B) {
 	cfg := dataset.DefaultConfig()
 	cfg.Users = 400
@@ -347,9 +352,9 @@ func BenchmarkRecommend(b *testing.B) {
 	}
 	users := d.Users()
 
-	build := func(b *testing.B, kv kvstore.Store) *recommend.System {
+	build := func(b *testing.B, kv kvstore.Store, opts recommend.Options) *recommend.System {
 		sys, err := recommend.NewSystem(kv, core.DefaultParams(),
-			simtable.DefaultConfig(), recommend.DefaultOptions())
+			simtable.DefaultConfig(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -365,6 +370,18 @@ func BenchmarkRecommend(b *testing.B) {
 
 	run := func(sys *recommend.System, cold bool) func(b *testing.B) {
 		return func(b *testing.B) {
+			// Collect the garbage the builds and earlier sub-benchmarks left
+			// behind: ResetTimer excludes setup time but not the GC debt it
+			// created, and on small machines a collection landing inside the
+			// timed loop dominates a microsecond-scale op. Twice, because a
+			// single runtime.GC returns with the sweep still lazy — the next
+			// allocations (our timed loop) would pay to sweep the dead spans
+			// the cold variants left; starting a second cycle forces sweep
+			// termination of the first. Before priming, not after — a GC
+			// empties the scratch pools, and priming is what refills them
+			// for the warm measurement.
+			runtime.GC()
+			runtime.GC()
 			// Prime every rotating user once so the warm case measures
 			// steady-state cache hits rather than first-touch misses.
 			for i := range users {
@@ -377,7 +394,7 @@ func BenchmarkRecommend(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if cold {
 					b.StopTimer()
-					sys.Cache().Flush()
+					sys.FlushCaches()
 					b.StartTimer()
 				}
 				if _, err := sys.Recommend(context.Background(), recommend.Request{UserID: users[i%len(users)].ID, N: 10}); err != nil {
@@ -388,9 +405,26 @@ func BenchmarkRecommend(b *testing.B) {
 	}
 
 	b.Run("store=local", func(b *testing.B) {
-		sys := build(b, kvstore.NewLocal(64))
+		sys := build(b, kvstore.NewLocal(64), recommend.DefaultOptions())
 		b.Run("cache=warm", run(sys, false))
 		b.Run("cache=cold", run(sys, true))
+
+		q8Opts := recommend.DefaultOptions()
+		q8Opts.Quantized = true
+		sysQ8 := build(b, kvstore.NewLocal(64), q8Opts)
+		b.Run("cache=warm/score=q8", run(sysQ8, false))
+		b.Run("cache=cold/score=q8", run(sysQ8, true))
+
+		annOpts := recommend.DefaultOptions()
+		annOpts.ANN = true
+		sysANN := build(b, kvstore.NewLocal(64), annOpts)
+		b.Run("cache=warm/ann=on", run(sysANN, false))
+
+		bothOpts := recommend.DefaultOptions()
+		bothOpts.Quantized = true
+		bothOpts.ANN = true
+		sysBoth := build(b, kvstore.NewLocal(64), bothOpts)
+		b.Run("cache=warm/score=q8/ann=on", run(sysBoth, false))
 	})
 	b.Run("store=net", func(b *testing.B) {
 		srv, err := kvstore.NewServer(context.Background(), kvstore.NewLocal(64), "127.0.0.1:0")
@@ -403,7 +437,7 @@ func BenchmarkRecommend(b *testing.B) {
 			b.Fatal(err)
 		}
 		defer cli.Close()
-		sys := build(b, cli)
+		sys := build(b, cli, recommend.DefaultOptions())
 		b.Run("cache=warm", run(sys, false))
 		b.Run("cache=cold", run(sys, true))
 	})
@@ -416,7 +450,7 @@ func BenchmarkRecommend(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		sys := build(b, repl)
+		sys := build(b, repl, recommend.DefaultOptions())
 		b.Run("cache=warm", run(sys, false))
 		b.Run("cache=cold", run(sys, true))
 	})

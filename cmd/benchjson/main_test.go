@@ -132,7 +132,7 @@ func TestCompareFiles(t *testing.T) {
 		{Name: "BenchmarkNew", NsPerOp: 7, AllocsPerOp: 0},   // no old record
 	})
 	var out strings.Builder
-	n, err := compareFiles(oldPath, clean, 10, &out)
+	n, err := compareFiles(oldPath, clean, 10, nil, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestCompareFiles(t *testing.T) {
 		{Name: "BenchmarkB", NsPerOp: 2000, AllocsPerOp: 6},  // +1 alloc
 	})
 	out.Reset()
-	n, err = compareFiles(oldPath, slow, 10, &out)
+	n, err = compareFiles(oldPath, slow, 10, nil, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestCompareFiles(t *testing.T) {
 		{Name: "BenchmarkB", NsPerOp: 1900, AllocsPerOp: 5},
 	})
 	out.Reset()
-	n, err = compareFiles(oldPath, repeats, 10, &out)
+	n, err = compareFiles(oldPath, repeats, 10, nil, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,12 +185,78 @@ func TestCompareFiles(t *testing.T) {
 		t.Errorf("minimum repeat not used:\n%s", out.String())
 	}
 
+	// The 0.5% alloc slack forgives the ±1 run-to-run wobble of
+	// hundreds-of-allocs cold paths but stays exact on single-digit warm
+	// budgets (already pinned above: 5 -> 6 fails).
+	coldOld := writeBenchFile(t, "cold-old.json", []Benchmark{
+		{Name: "BenchmarkCold", NsPerOp: 100000, AllocsPerOp: 770},
+	})
+	coldWobble := writeBenchFile(t, "cold-wobble.json", []Benchmark{
+		{Name: "BenchmarkCold", NsPerOp: 100000, AllocsPerOp: 771}, // +0.13%
+	})
+	out.Reset()
+	n, err = compareFiles(coldOld, coldWobble, 10, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("±1 cold alloc wobble tripped the gate:\n%s", out.String())
+	}
+	coldGrown := writeBenchFile(t, "cold-grown.json", []Benchmark{
+		{Name: "BenchmarkCold", NsPerOp: 100000, AllocsPerOp: 780}, // +1.3%
+	})
+	out.Reset()
+	n, err = compareFiles(coldOld, coldGrown, 10, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("real cold alloc growth not caught (n=%d):\n%s", n, out.String())
+	}
+
 	// Disjoint benchmark sets cannot silently pass.
 	disjoint := writeBenchFile(t, "disjoint.json", []Benchmark{
 		{Name: "BenchmarkZ", NsPerOp: 1},
 	})
-	if _, err := compareFiles(oldPath, disjoint, 10, &out); err == nil {
+	if _, err := compareFiles(oldPath, disjoint, 10, nil, &out); err == nil {
 		t.Error("disjoint files compared without error")
+	}
+}
+
+func TestCompareFilesRequire(t *testing.T) {
+	oldPath := writeBenchFile(t, "old.json", []Benchmark{
+		{Name: "BenchmarkRecommend/store=local/cache=warm", NsPerOp: 1000, AllocsPerOp: 18},
+	})
+	fresh := writeBenchFile(t, "fresh.json", []Benchmark{
+		{Name: "BenchmarkRecommend/store=local/cache=warm", NsPerOp: 900, AllocsPerOp: 18},
+		{Name: "BenchmarkRecommend/store=local/cache=warm/score=q8", NsPerOp: 300, AllocsPerOp: 2},
+	})
+
+	// Present substrings pass; the gate still compares the intersection.
+	var out strings.Builder
+	n, err := compareFiles(oldPath, fresh, 10, []string{"score=q8", "cache=warm"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("require with present columns reported %d regressions:\n%s", n, out.String())
+	}
+
+	// A missing required column is an error, not a skipped comparison.
+	if _, err := compareFiles(oldPath, fresh, 10, []string{"ann=on"}, &out); err == nil {
+		t.Error("missing required column compared without error")
+	} else if !strings.Contains(err.Error(), "ann=on") {
+		t.Errorf("error does not name the missing column: %v", err)
+	}
+}
+
+func TestRequiredSubstrings(t *testing.T) {
+	if got := requiredSubstrings(""); got != nil {
+		t.Errorf("empty value parsed to %v, want nil", got)
+	}
+	got := requiredSubstrings(" score=q8, ann=on,,")
+	if len(got) != 2 || got[0] != "score=q8" || got[1] != "ann=on" {
+		t.Errorf("parsed %v, want [score=q8 ann=on]", got)
 	}
 }
 

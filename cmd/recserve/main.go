@@ -71,6 +71,10 @@ func main() {
 		explorePol = flag.String("explore-policy", bandit.PolicyThompson, "exploration policy: thompson or epsilon-greedy")
 		exploreEps = flag.Float64("explore-epsilon", recommend.DefaultOptions().ExploreEpsilon, "exploration rate for the epsilon-greedy policy")
 		exploreSd  = flag.Uint64("explore-seed", 1, "seed for the exploration policy's RNG (replayable slates)")
+
+		quantized = flag.Bool("quantized", false, "rank with int8-quantized item vectors (the sub-10µs serving fast path)")
+		ann       = flag.Bool("ann", false, "add LSH approximate-nearest-neighbour candidate retrieval as a third candidate source")
+		annSeed   = flag.Uint64("ann-seed", recommend.DefaultOptions().ANNSeed, "seed for the LSH hyperplanes (replayable probes)")
 	)
 	flag.Parse()
 	opts := recommend.DefaultOptions()
@@ -78,6 +82,9 @@ func main() {
 	opts.ExplorePolicy = *explorePol
 	opts.ExploreEpsilon = *exploreEps
 	opts.ExploreSeed = *exploreSd
+	opts.Quantized = *quantized
+	opts.ANN = *ann
+	opts.ANNSeed = *annSeed
 	rcfg := kvstore.DefaultResilienceConfig()
 	rcfg.OpTimeout = *kvTimeout
 	rcfg.MaxRetries = *kvRetries

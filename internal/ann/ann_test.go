@@ -1,0 +1,229 @@
+package ann
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"vidrec/internal/intern"
+	"vidrec/internal/vecmath"
+)
+
+func randVec(rng *rand.Rand, dims int) []float64 {
+	v := make([]float64, dims)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// TestProbeFindsSelf pins the LSH invariant that makes the index usable at
+// all: an indexed vector probed with itself hashes to its own signature in
+// every table, so it is always surfaced.
+func TestProbeFindsSelf(t *testing.T) {
+	it := intern.New()
+	idx, err := New(Config{Dims: 8, Seed: 7}, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	vecs := make(map[string][]float64)
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("v%03d", i)
+		vecs[id] = randVec(rng, 8)
+		idx.Upsert(id, vecs[id])
+	}
+	if idx.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", idx.Len())
+	}
+	for id, v := range vecs {
+		slot := it.Slot(id)
+		found := false
+		for _, s := range idx.Probe(v, nil) {
+			if s == slot {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("probe with %s's own vector did not surface it", id)
+		}
+	}
+}
+
+// TestUpsertRebuckets pins incremental maintenance: after an item's vector is
+// replaced by its negation (every sign bit flips, so every signature
+// changes), probing with the old vector must no longer surface it, and
+// probing with the new one must.
+func TestUpsertRebuckets(t *testing.T) {
+	it := intern.New()
+	idx, err := New(Config{Dims: 8, Seed: 3}, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	old := randVec(rng, 8)
+	idx.Upsert("flip", old)
+	neg := make([]float64, len(old))
+	for i, x := range old {
+		neg[i] = -x
+	}
+	idx.Upsert("flip", neg)
+	if idx.Len() != 1 {
+		t.Fatalf("Len after re-upsert = %d, want 1", idx.Len())
+	}
+	slot := it.Slot("flip")
+	for _, s := range idx.Probe(old, nil) {
+		if s == slot {
+			t.Fatal("probe with the superseded vector still surfaces the item")
+		}
+	}
+	found := false
+	for _, s := range idx.Probe(neg, nil) {
+		if s == slot {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("probe with the current vector does not surface the item")
+	}
+}
+
+// TestDeterministic pins that two indexes with equal config and insert
+// sequence produce identical probe results — the hyperplanes are a pure
+// function of the seed.
+func TestDeterministic(t *testing.T) {
+	build := func() (*Index, []float64) {
+		it := intern.New()
+		idx, err := New(Config{Dims: 12, Seed: 99, Tables: 3, Bits: 8}, it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(8, 9))
+		for i := 0; i < 300; i++ {
+			idx.Upsert(fmt.Sprintf("v%03d", i), randVec(rng, 12))
+		}
+		return idx, randVec(rng, 12)
+	}
+	a, qa := build()
+	b, qb := build()
+	pa, pb := a.Probe(qa, nil), b.Probe(qb, nil)
+	if len(pa) != len(pb) {
+		t.Fatalf("probe lengths differ: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("probe slot %d differs: %d vs %d", i, pa[i], pb[i])
+		}
+	}
+	if len(pa) == 0 {
+		t.Fatal("probe surfaced nothing; seeds or sizing are degenerate")
+	}
+}
+
+// TestNeighborsExactOrder pins the diagnostic API: neighbors come back in
+// exact descending cosine order, computed with the cached norms.
+func TestNeighborsExactOrder(t *testing.T) {
+	it := intern.New()
+	idx, err := New(Config{Dims: 8, Seed: 11, Tables: 6, Bits: 4}, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 4))
+	vecs := make(map[string][]float64)
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("v%03d", i)
+		vecs[id] = randVec(rng, 8)
+		idx.Upsert(id, vecs[id])
+	}
+	q := randVec(rng, 8)
+	got := idx.Neighbors(q, 10)
+	if len(got) == 0 {
+		t.Fatal("no neighbors surfaced")
+	}
+	prev := got[0].Score
+	for _, e := range got {
+		if e.Score > prev {
+			t.Fatalf("neighbors out of order: %v", got)
+		}
+		prev = e.Score
+		want := vecmath.Cosine(q, vecs[e.ID])
+		if e.Score != want {
+			t.Fatalf("neighbor %s score %v, exact cosine %v", e.ID, e.Score, want)
+		}
+	}
+}
+
+// TestBucketCapEvicts pins the bound: identical vectors all share one bucket
+// per table, and the bucket never exceeds BucketCap.
+func TestBucketCapEvicts(t *testing.T) {
+	it := intern.New()
+	idx, err := New(Config{Dims: 4, Seed: 1, Tables: 1, Bits: 4, BucketCap: 8}, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{1, 2, 3, 4}
+	for i := 0; i < 20; i++ {
+		idx.Upsert(fmt.Sprintf("v%02d", i), v)
+	}
+	got := idx.Probe(v, nil)
+	if len(got) != 8 {
+		t.Fatalf("bucket holds %d entries, want BucketCap=8", len(got))
+	}
+	// Oldest entries were evicted: the survivors are the 8 most recent.
+	if got[0] != it.Slot("v12") || got[7] != it.Slot("v19") {
+		t.Fatalf("unexpected survivors: %v", got)
+	}
+}
+
+// TestDimMismatchDropped pins that wrong-width vectors never enter the index.
+func TestDimMismatchDropped(t *testing.T) {
+	it := intern.New()
+	idx, err := New(Config{Dims: 4, Seed: 1}, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Upsert("bad", []float64{1, 2})
+	if idx.Len() != 0 || idx.Dropped() != 1 {
+		t.Fatalf("Len=%d Dropped=%d, want 0/1", idx.Len(), idx.Dropped())
+	}
+	if got := idx.Probe([]float64{1, 2}, nil); len(got) != 0 {
+		t.Fatalf("wrong-width probe returned %v", got)
+	}
+}
+
+// TestConfigValidate covers the rejection paths.
+func TestConfigValidate(t *testing.T) {
+	if _, err := New(Config{Dims: 0}, intern.New()); err == nil {
+		t.Fatal("Dims 0 accepted")
+	}
+	if _, err := New(Config{Dims: 4, Bits: 40}, intern.New()); err == nil {
+		t.Fatal("Bits 40 accepted")
+	}
+	if _, err := New(Config{Dims: 4}, nil); err == nil {
+		t.Fatal("nil interner accepted")
+	}
+}
+
+// TestProbeAllocationFree pins the serving contract: a warm probe into reused
+// scratch performs zero allocations.
+func TestProbeAllocationFree(t *testing.T) {
+	it := intern.New()
+	idx, err := New(Config{Dims: 8, Seed: 21}, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 1))
+	for i := 0; i < 500; i++ {
+		idx.Upsert(fmt.Sprintf("v%03d", i), randVec(rng, 8))
+	}
+	q := randVec(rng, 8)
+	dst := idx.Probe(q, nil)
+	dst = append(dst[:0], make([]int32, 256)...)[:0] // pre-grow scratch past any probe result
+	n := testing.AllocsPerRun(100, func() {
+		dst = idx.Probe(q, dst)
+	})
+	if n != 0 {
+		t.Fatalf("warm probe allocates %v per run, want 0", n)
+	}
+}

@@ -1,8 +1,9 @@
 // Package bandit implements the exploration layer the paper's title
 // promises: multi-armed bandit policies over the serving pipeline's blended
 // candidate sources. Each slot of a recommendation list is treated as one
-// pull of a three-armed bandit — the MF-ranked candidates (Eq. 2), the
-// similar-table expansion, and the demographic hot list — and implicit
+// pull of a four-armed bandit — the MF-ranked candidates (Eq. 2), the
+// similar-table expansion, the demographic hot list, and the ANN retrieval
+// (LSH over item factor vectors, when enabled) — and implicit
 // feedback on served videos flows back as bounded rewards, so the slate
 // composition shifts toward whichever source is earning clicks *right now*
 // (the online-matching formulation of PAPERS.md's real-time bandit system).
@@ -32,6 +33,11 @@ const (
 	ArmSim
 	// ArmHot is the demographic hot list (popularity order).
 	ArmHot
+	// ArmANN is the LSH approximate-nearest-neighbour retrieval over item
+	// factor vectors (probe order). The pool is empty unless the serving
+	// path runs with ANN retrieval enabled, in which case its candidates
+	// rank by the same Eq. 2 scores as every other arm.
+	ArmANN
 
 	numArms
 )
@@ -39,7 +45,7 @@ const (
 // NumArms is the number of candidate-source arms.
 const NumArms = int(numArms)
 
-var armNames = [NumArms]string{ArmMF: "mf", ArmSim: "sim", ArmHot: "hot"}
+var armNames = [NumArms]string{ArmMF: "mf", ArmSim: "sim", ArmHot: "hot", ArmANN: "ann"}
 
 // String returns the arm's wire name.
 func (a Arm) String() string {

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"fmt"
+	"math"
 	"testing"
 	"time"
 
@@ -153,6 +155,81 @@ func TestItemCFUnknownUser(t *testing.T) {
 	}
 	if _, err := cf.Recommend("u1", -1); err == nil {
 		t.Error("negative n accepted")
+	}
+}
+
+// TestItemCFInvSqrtEquivalence pins Train's precomputed-1/√count scoring to
+// the direct cosine formula sim(i,j) = c_ij/√(c_i·c_j): over a corpus with
+// many distinct count combinations, every stored similarity must match the
+// formula as written to within a few ulps. The precompute replaces a sqrt
+// and a division per pair with two multiplications; it must never replace
+// the value.
+func TestItemCFInvSqrtEquivalence(t *testing.T) {
+	var actions []feedback.Action
+	min := 0
+	add := func(u, v string) {
+		actions = append(actions, watch(u, v, t0.Add(time.Duration(min)*time.Minute)))
+		min++
+	}
+	// 24 users × varied baskets: item v<k> is watched by users u<j> with
+	// j%(k+2)==0, producing co-occurrence counts from 2 up and item counts
+	// that are mostly non-square (so √(a·b) actually rounds).
+	for j := 0; j < 24; j++ {
+		for k := 0; k < 8; k++ {
+			if j%(k+2) == 0 {
+				add(fmt.Sprintf("u%d", j), fmt.Sprintf("v%d", k))
+			}
+		}
+	}
+
+	// Recover the exact counts the trainer sees.
+	itemCount := make(map[string]int)
+	coCount := make(map[[2]string]int)
+	perUser := make(map[string][]string)
+	for _, a := range actions {
+		perUser[a.UserID] = append(perUser[a.UserID], a.VideoID)
+	}
+	for _, items := range perUser {
+		for _, v := range items {
+			itemCount[v]++
+		}
+		for x := 0; x < len(items); x++ {
+			for y := x + 1; y < len(items); y++ {
+				i, j := items[x], items[y]
+				if j < i {
+					i, j = j, i
+				}
+				coCount[[2]string{i, j}]++
+			}
+		}
+	}
+
+	cf := NewItemCF()
+	if err := cf.Train(actions); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for pair, n := range coCount {
+		if n < cf.MinCoCount {
+			continue
+		}
+		want := float64(n) / math.Sqrt(float64(itemCount[pair[0]])*float64(itemCount[pair[1]]))
+		got := 0.0
+		for _, e := range cf.Similar(pair[0]) {
+			if e.ID == pair[1] {
+				got = e.Score
+			}
+		}
+		if got == 0 {
+			t.Fatalf("pair %v (co-count %d) missing from similar lists", pair, n)
+		}
+		if diff := math.Abs(got - want); diff > 1e-12*want {
+			t.Errorf("sim%v = %v, direct formula gives %v (diff %g)", pair, got, want, diff)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d pairs checked — corpus too degenerate to prove equivalence", checked)
 	}
 }
 

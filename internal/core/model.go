@@ -90,21 +90,37 @@ type Model struct {
 	nsItemVec  string
 	nsUserBias string
 	nsItemBias string
+	nsItemQ8   string
 	keyMean    string
+
+	// quant, when non-nil, holds the quantized serving table (see quant.go):
+	// StoreItem publishes an int8 record per item and ScoreCandidatesQ8 scores
+	// from the dense slot-indexed table. itemHook observes every stored item
+	// vector (the ANN index's feed). Both are wired before traffic starts.
+	quant    *quantTable
+	itemHook func(id string, vec []float64)
 
 	// keyMemo interns the item-parameter store keys: they are pure functions
 	// of the item id, and serving composes the same few hundred on every
 	// request. Item ids are catalog-bounded, so the memo is too. User keys
-	// are NOT memoized — user ids are unbounded.
+	// memoize separately in ukVec/ukBias — each entry is an order of
+	// magnitude smaller than the user's stored vector under the same key, so
+	// the memo tracks the store's own per-user growth.
 	keyMu   sync.RWMutex
 	keyMemo map[string]itemKeys // guarded by keyMu
 
-	// scorePool recycles scoreCached's per-call working arrays.
+	ukVec  *kvstore.Keys
+	ukBias *kvstore.Keys
+
+	// scorePool recycles scoreCached's per-call working arrays; q8Pool does
+	// the same for ScoreCandidatesQ8.
 	scorePool sync.Pool
+	q8Pool    sync.Pool
 }
 
-// itemKeys is one item's pair of store keys (vector and bias namespaces).
-type itemKeys struct{ vec, bias string }
+// itemKeys is one item's store keys (vector, bias, and quantized-record
+// namespaces).
+type itemKeys struct{ vec, bias, q8 string }
 
 // itemKeysFor returns the item's memoized store keys, composing and
 // remembering them on first sight.
@@ -115,7 +131,11 @@ func (m *Model) itemKeysFor(id string) itemKeys {
 	if ok {
 		return k
 	}
-	k = itemKeys{vec: kvstore.Key(m.nsItemVec, id), bias: kvstore.Key(m.nsItemBias, id)}
+	k = itemKeys{
+		vec:  kvstore.Key(m.nsItemVec, id),
+		bias: kvstore.Key(m.nsItemBias, id),
+		q8:   kvstore.Key(m.nsItemQ8, id),
+	}
 	m.keyMu.Lock()
 	m.keyMemo[id] = k
 	m.keyMu.Unlock()
@@ -141,8 +161,11 @@ func NewModel(name string, store kvstore.Store, p Params) (*Model, error) {
 		nsItemVec:  name + ".iv",                      // alloccheck: once per model
 		nsUserBias: name + ".ub",                      // alloccheck: once per model
 		nsItemBias: name + ".ib",                      // alloccheck: once per model
+		nsItemQ8:   name + ".q8",                      // alloccheck: once per model
 		keyMean:    kvstore.Key(name+".meta", "mean"), // alloccheck: once per model
 		keyMemo:    make(map[string]itemKeys),         // alloccheck: once per model
+		ukVec:      kvstore.NewKeys(name + ".uv"),     // alloccheck: once per model
+		ukBias:     kvstore.NewKeys(name + ".ub"),     // alloccheck: once per model
 	}, nil
 }
 
@@ -196,12 +219,22 @@ func (p Params) initVector(kind, id string) []float64 {
 	return v
 }
 
-// loadVector fetches and decodes the vector stored under ns:id through the
-// cache (read-through; a nil cache goes straight to the store). The returned
-// slice may be cache-shared: treat it as read-only.
-func (m *Model) loadVector(ctx context.Context, kind, ns, id string) ([]float64, bool, error) {
-	key := kvstore.Key(ns, id)
-	// alloccheck: one loader closure per read-through is inside the warm budget
+// loadVector fetches and decodes the vector stored under the precomposed key
+// through the cache (read-through; a nil cache goes straight to the store).
+// The returned slice may be cache-shared: treat it as read-only. A cache hit
+// returns without building the loader closure.
+//
+// hotpath: every scored request loads the user vector through here
+func (m *Model) loadVector(ctx context.Context, kind, key, id string) ([]float64, bool, error) {
+	if m.cache != nil {
+		if tv, present, ok := m.cache.Lookup(key); ok {
+			if !present {
+				return nil, false, nil
+			}
+			return tv.([]float64), true, nil
+		}
+	}
+	// alloccheck: one loader closure per read-through MISS; warm hits return above
 	return objcache.Cached(m.cache, key, func() ([]float64, bool, error) {
 		b, ok, err := m.store.Get(ctx, key)
 		if err != nil {
@@ -221,14 +254,14 @@ func (m *Model) loadVector(ctx context.Context, kind, ns, id string) ([]float64,
 // userState loads (or cold-start initializes) the user's vector and bias.
 // The returned bool reports whether the user was new.
 func (m *Model) userState(ctx context.Context, id string) ([]float64, float64, bool, error) {
-	vec, ok, err := m.loadVector(ctx, "user", m.nsUserVec, id)
+	vec, ok, err := m.loadVector(ctx, "user", m.ukVec.Key(id), id)
 	if err != nil {
 		return nil, 0, false, err
 	}
 	if !ok {
 		return m.params.initVector("u", id), 0, true, nil
 	}
-	bias, err := m.loadBias(ctx, m.nsUserBias, id)
+	bias, err := m.loadBias(ctx, m.ukBias.Key(id))
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -236,23 +269,35 @@ func (m *Model) userState(ctx context.Context, id string) ([]float64, float64, b
 }
 
 func (m *Model) itemState(ctx context.Context, id string) ([]float64, float64, bool, error) {
-	vec, ok, err := m.loadVector(ctx, "item", m.nsItemVec, id)
+	ik := m.itemKeysFor(id)
+	vec, ok, err := m.loadVector(ctx, "item", ik.vec, id)
 	if err != nil {
 		return nil, 0, false, err
 	}
 	if !ok {
 		return m.params.initVector("i", id), 0, true, nil
 	}
-	bias, err := m.loadBias(ctx, m.nsItemBias, id)
+	bias, err := m.loadBias(ctx, ik.bias)
 	if err != nil {
 		return nil, 0, false, err
 	}
 	return vec, bias, false, nil
 }
 
-func (m *Model) loadBias(ctx context.Context, ns, id string) (float64, error) {
-	key := kvstore.Key(ns, id)
-	// alloccheck: one loader closure per read-through is inside the warm budget
+// loadBias fetches the bias stored under the precomposed key. A cache hit
+// returns without building the loader closure.
+//
+// hotpath: every scored request loads the user bias through here
+func (m *Model) loadBias(ctx context.Context, key string) (float64, error) {
+	if m.cache != nil {
+		if tv, present, ok := m.cache.Lookup(key); ok {
+			if !present {
+				return 0, nil
+			}
+			return tv.(float64), nil
+		}
+	}
+	// alloccheck: one loader closure per read-through MISS; warm hits return above
 	v, ok, err := objcache.Cached(m.cache, key, func() (float64, bool, error) {
 		b, ok, err := m.store.Get(ctx, key)
 		if err != nil {
@@ -308,13 +353,25 @@ func (m *Model) StoreUser(ctx context.Context, id string, vec []float64, bias fl
 	return nil
 }
 
-// StoreItem persists one item's vector and bias.
+// StoreItem persists one item's vector and bias. When quantized serving is
+// enabled it additionally publishes the item's compact q8 record (write-
+// through into the serving table), and it notifies the item-vector hook —
+// the ANN index tracks the online model through exactly this call, whether
+// the write came from Ingest or from a topology storage bolt.
 func (m *Model) StoreItem(ctx context.Context, id string, vec []float64, bias float64) error {
 	if err := m.store.Set(ctx, kvstore.Key(m.nsItemVec, id), kvstore.EncodeFloats(vec)); err != nil {
 		return fmt.Errorf("core: store item vector %s: %w", id, err)
 	}
 	if err := m.store.Set(ctx, kvstore.Key(m.nsItemBias, id), kvstore.EncodeFloat(bias)); err != nil {
 		return fmt.Errorf("core: store item bias %s: %w", id, err)
+	}
+	if m.quant != nil {
+		if err := m.publishQ8(ctx, id, vec, bias); err != nil {
+			return err
+		}
+	}
+	if m.itemHook != nil {
+		m.itemHook(id, vec)
 	}
 	return nil
 }
@@ -326,7 +383,15 @@ func (m *Model) globalMean(ctx context.Context) (float64, error) {
 	if !m.params.TrackGlobalMean {
 		return 0, nil
 	}
-	// alloccheck: one loader closure per read-through is inside the warm budget
+	if m.cache != nil {
+		if tv, present, ok := m.cache.Lookup(m.keyMean); ok {
+			if !present {
+				return 0, nil
+			}
+			return tv.(float64), nil
+		}
+	}
+	// alloccheck: one loader closure per read-through MISS; warm hits return above
 	mu, ok, err := objcache.Cached(m.cache, m.keyMean, func() (float64, bool, error) {
 		b, ok, err := m.store.Get(ctx, m.keyMean)
 		if err != nil {

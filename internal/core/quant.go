@@ -1,0 +1,283 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"vidrec/internal/intern"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/vecmath"
+)
+
+// Quantized serving support: alongside the float64 parameters, a model can
+// publish each item's serving state as one compact record — quantization
+// scale, bias, int8 vector (kvstore.EncodeQ8Vec) — and score candidates from
+// a dense in-memory table of those records. The table is indexed by the
+// shared intern slot, so the warm scoring loop is one RLock plus array reads
+// and integer dot products: no per-item string hashing, no per-item cache
+// lookups, and half the key traffic of the float path's vector + bias pair.
+//
+// Coherence follows the same single-writer discipline as objcache: StoreItem
+// writes through to the table, and read-through installs are guarded by a
+// version captured before the store fetch, so a racing publish can never be
+// overwritten by a stale decode. The version is table-global rather than
+// per-slot (a dense per-slot version array would double the table); under
+// heavy concurrent training some read-through installs are skipped and simply
+// re-resolve on the next request — correctness is unaffected.
+
+// qRec is one item's resolved quantized serving state.
+type qRec struct {
+	ready bool
+	scale float64
+	bias  float64
+	data  []int8
+}
+
+// quantTable is the dense slot-indexed record table.
+type quantTable struct {
+	it      *intern.Table
+	mu      sync.RWMutex
+	recs    []qRec // guarded by mu; indexed by intern slot
+	version uint64 // guarded by mu; bumped on every write-through and flush
+}
+
+// snapshotVersion returns the current install guard.
+func (t *quantTable) snapshotVersion() uint64 {
+	t.mu.RLock()
+	v := t.version
+	t.mu.RUnlock()
+	return v
+}
+
+// install writes one slot's record through unconditionally (the publish path:
+// the writer owns the freshest value) and bumps the version.
+func (t *quantTable) install(slot int32, rec qRec) {
+	t.mu.Lock()
+	t.growLocked(slot)
+	t.recs[slot] = rec
+	t.version++
+	t.mu.Unlock()
+}
+
+// installIfUnchanged installs a read-through decode only if no write raced
+// the fetch; a skipped install just re-resolves on the next request.
+func (t *quantTable) installIfUnchanged(slot int32, rec qRec, version uint64) {
+	t.mu.Lock()
+	if t.version == version {
+		t.growLocked(slot)
+		t.recs[slot] = rec
+	}
+	t.mu.Unlock()
+}
+
+// growLocked extends the record table to cover slot. The caller holds mu.
+func (t *quantTable) growLocked(slot int32) {
+	for int(slot) >= len(t.recs) {
+		t.recs = append(t.recs, qRec{}) // alloccheck: table growth is catalog-bounded, amortized over publishes
+	}
+}
+
+// flush empties every slot, forcing re-resolution — the cold-cache drill.
+func (t *quantTable) flush() {
+	t.mu.Lock()
+	clear(t.recs)
+	t.version++
+	t.mu.Unlock()
+}
+
+// EnableQuantized turns on quantize-on-publish and quantized scoring, with
+// slots drawn from the shared interner. Wire it before traffic starts
+// (NewSystem does); it is not safe to toggle under load.
+func (m *Model) EnableQuantized(it *intern.Table) {
+	if it == nil {
+		return
+	}
+	m.quant = &quantTable{it: it} // alloccheck: once per model at wiring time, never per request
+}
+
+// Quantized reports whether the quantized serving path is enabled.
+func (m *Model) Quantized() bool { return m.quant != nil }
+
+// FlushQ8 empties the quantized record table (no-op when quantization is
+// off), so the next scored batch re-resolves every item — the quantized
+// analogue of flushing the decoded-value cache.
+func (m *Model) FlushQ8() {
+	if m.quant != nil {
+		m.quant.flush()
+	}
+}
+
+// SetItemVectorHook registers fn to observe every item vector the model
+// stores — the ANN index's feed. StoreItem invokes it after a successful
+// write with the id and the stored float vector; fn must not retain or
+// mutate vec. Wire before traffic starts; not safe to swap under load.
+func (m *Model) SetItemVectorHook(fn func(id string, vec []float64)) { m.itemHook = fn }
+
+// publishQ8 writes one item's quantized record to the store and through to
+// the table. Called by StoreItem with the freshly stored float parameters.
+func (m *Model) publishQ8(ctx context.Context, id string, vec []float64, bias float64) error {
+	q := vecmath.Quantize(vec) // alloccheck: publish path; the record retains the data
+	if err := m.store.Set(ctx, m.itemKeysFor(id).q8, kvstore.EncodeQ8Vec(q.Scale, bias, q.Data)); err != nil {
+		return fmt.Errorf("core: store item q8 record %s: %w", id, err)
+	}
+	m.quant.install(m.quant.it.Slot(id), qRec{ready: true, scale: q.Scale, bias: bias, data: q.Data})
+	return nil
+}
+
+// q8Scratch is ScoreCandidatesQ8's pooled working memory.
+type q8Scratch struct {
+	qu     vecmath.QVec // the quantized user vector
+	datas  [][]int8     // per item: quantized vector (nil while unresolved)
+	dots   []int32      // DotQ8Batch output
+	scales []float64
+	biases []float64
+	miss   []int // indices into the batch still unresolved after the RLock pass
+	keys   []string
+}
+
+// sized resizes (and clears) the scratch for n items.
+func (s *q8Scratch) sized(n int) {
+	if cap(s.datas) < n {
+		s.datas = make([][]int8, n)   // alloccheck: grow-once; the pooled scratch is reused
+		s.scales = make([]float64, n) // alloccheck: grow-once; the pooled scratch is reused
+		s.biases = make([]float64, n) // alloccheck: grow-once; the pooled scratch is reused
+	} else {
+		s.datas = s.datas[:n]
+		s.scales = s.scales[:n]
+		s.biases = s.biases[:n]
+		clear(s.datas)
+		clear(s.scales)
+		clear(s.biases)
+	}
+}
+
+// ScoreCandidatesQ8 evaluates Eq. 2 for one user against many candidates
+// from the quantized record table: slots must be parallel to items (the
+// serving path resolves them once per request through the shared interner).
+// The scores are written into dst (reused when it has capacity) and returned.
+//
+// Items without a resolved record fall back in one batched pass: their q8
+// records are fetched in a single MGet, items that predate quantized
+// publishing are quantized from their cached float parameters, and items the
+// store has never seen quantize their deterministic cold-start vectors — so
+// after one resolution every path scores from the table. When quantization
+// is disabled the call degrades to the exact float path.
+//
+// hotpath: the quantized scoring loop is the sub-10µs serving budget's core
+func (m *Model) ScoreCandidatesQ8(ctx context.Context, userID string, items []string, slots []int32, dst []float64) ([]float64, error) {
+	if m.quant == nil {
+		// Float fallback: identical results to ScoreCandidates, copied into
+		// dst to honour the reuse contract.
+		scores, err := m.ScoreCandidates(ctx, userID, items)
+		if err != nil {
+			return nil, err
+		}
+		if cap(dst) < len(scores) {
+			dst = make([]float64, len(scores)) // alloccheck: fallback only; the quantized path reuses dst
+		} else {
+			dst = dst[:len(scores)]
+		}
+		copy(dst, scores)
+		return dst, nil
+	}
+	if len(slots) != len(items) {
+		return nil, fmt.Errorf("core: %d slots for %d items", len(slots), len(items))
+	}
+	uvec, ubias, _, err := m.userState(ctx, userID)
+	if err != nil {
+		return nil, err
+	}
+	mu, err := m.globalMean(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if cap(dst) < len(items) {
+		dst = make([]float64, len(items)) // alloccheck: grow-once; callers pass pooled scratch
+	} else {
+		dst = dst[:len(items)]
+	}
+	scr, _ := m.q8Pool.Get().(*q8Scratch)
+	if scr == nil {
+		scr = &q8Scratch{} // alloccheck: pool miss, cold start only
+	}
+	defer m.q8Pool.Put(scr)
+	scr.sized(len(items))
+	scr.qu = vecmath.QuantizeInto(scr.qu, uvec)
+
+	t := m.quant
+	miss := scr.miss[:0]
+	t.mu.RLock()
+	for i, slot := range slots {
+		if int(slot) < len(t.recs) {
+			if rec := &t.recs[slot]; rec.ready {
+				scr.datas[i] = rec.data
+				scr.scales[i] = rec.scale
+				scr.biases[i] = rec.bias
+				continue
+			}
+		}
+		miss = append(miss, i)
+	}
+	t.mu.RUnlock()
+	scr.miss = miss[:0]
+
+	if len(miss) > 0 {
+		if err := m.resolveQ8(ctx, items, slots, miss, scr); err != nil {
+			return nil, err
+		}
+	}
+
+	scr.dots = vecmath.DotQ8Batch(scr.qu.Data, scr.datas, scr.dots)
+	us := scr.qu.Scale
+	for i := range items {
+		dst[i] = mu + ubias + scr.biases[i] + float64(scr.dots[i])*us*scr.scales[i]
+	}
+	return dst, nil
+}
+
+// resolveQ8 fills the scratch rows listed in miss: one MGet over the q8
+// records, float-parameter fallback for items published before quantization,
+// deterministic cold-start quantization for unknown items. Every resolution
+// is installed into the table under the pre-fetch version guard.
+func (m *Model) resolveQ8(ctx context.Context, items []string, slots []int32, miss []int, scr *q8Scratch) error {
+	version := m.quant.snapshotVersion()
+	keys := scr.keys[:0]
+	for _, i := range miss {
+		keys = append(keys, m.itemKeysFor(items[i]).q8)
+	}
+	scr.keys = keys[:0]
+	vals, err := m.store.MGet(ctx, keys)
+	if err != nil {
+		return fmt.Errorf("core: batch load q8 records: %w", err)
+	}
+	for j, i := range miss {
+		var rec qRec
+		if b := vals[j]; b != nil {
+			scale, bias, data, err := kvstore.DecodeQ8VecInto(nil, b) // alloccheck: miss-path decode; the table retains the data
+			if err != nil {
+				return fmt.Errorf("core: decode q8 record %s: %w", items[i], err)
+			}
+			rec = qRec{ready: true, scale: scale, bias: bias, data: data}
+		} else if rec, err = m.quantizeFromFloat(ctx, items[i]); err != nil {
+			return err
+		}
+		scr.datas[i] = rec.data
+		scr.scales[i] = rec.scale
+		scr.biases[i] = rec.bias
+		m.quant.installIfUnchanged(slots[i], rec, version)
+	}
+	return nil
+}
+
+// quantizeFromFloat builds an item's record from its float parameters — the
+// bridge for state written before quantized publishing was enabled — or from
+// its deterministic cold-start vector when the store has never seen it.
+func (m *Model) quantizeFromFloat(ctx context.Context, id string) (qRec, error) {
+	vec, bias, _, err := m.itemState(ctx, id)
+	if err != nil {
+		return qRec{}, err
+	}
+	q := vecmath.Quantize(vec) // alloccheck: miss-path quantization; the table retains the data
+	return qRec{ready: true, scale: q.Scale, bias: bias, data: q.Data}, nil
+}

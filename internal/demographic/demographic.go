@@ -147,6 +147,7 @@ func (p Profile) Group() string {
 type Profiles struct {
 	kv    kvstore.Store
 	ns    string
+	keys  *kvstore.Keys   // memoized ns-qualified keys (user-id-bounded)
 	cache *objcache.Cache // nil disables the decoded-profile read cache
 }
 
@@ -162,7 +163,8 @@ func NewProfiles(name string, kv kvstore.Store) (*Profiles, error) {
 	if kv == nil {
 		return nil, fmt.Errorf("demographic: store must not be nil")
 	}
-	return &Profiles{kv: kv, ns: name + ".prof"}, nil
+	ns := name + ".prof"
+	return &Profiles{kv: kv, ns: ns, keys: kvstore.NewKeys(ns)}, nil
 }
 
 // Put stores a profile.
@@ -187,10 +189,21 @@ func (p *Profiles) Put(ctx context.Context, prof Profile) error {
 }
 
 // Get fetches a profile, reporting whether one exists. Profiles are small
-// value structs, so the cached copy is returned by value — no aliasing.
+// value structs, so the cached copy is returned by value — no aliasing. A
+// cache hit returns without building the loader closure.
+//
+// hotpath: every request resolves the user's group through here
 func (p *Profiles) Get(ctx context.Context, userID string) (Profile, bool, error) {
-	key := kvstore.Key(p.ns, userID)
-	// alloccheck: one loader closure per read-through is inside the warm budget
+	key := p.keys.Key(userID)
+	if p.cache != nil {
+		if tv, present, ok := p.cache.Lookup(key); ok {
+			if !present {
+				return Profile{}, false, nil
+			}
+			return tv.(Profile), true, nil
+		}
+	}
+	// alloccheck: one loader closure per read-through MISS; warm hits return above
 	return objcache.Cached(p.cache, key, func() (Profile, bool, error) {
 		raw, ok, err := p.kv.Get(ctx, key)
 		if err != nil {

@@ -23,6 +23,7 @@ import (
 type HotTracker struct {
 	kv       kvstore.Store
 	ns       string
+	keys     *kvstore.Keys // memoized ns-qualified keys (group-bounded)
 	halfLife time.Duration
 	size     int
 	floor    float64
@@ -56,7 +57,8 @@ func NewHotTracker(name string, kv kvstore.Store, halfLife time.Duration, size i
 	if size <= 0 {
 		return nil, fmt.Errorf("demographic: size must be positive, got %d", size)
 	}
-	return &HotTracker{kv: kv, ns: name + ".hot", halfLife: halfLife, size: size, floor: 1e-6}, nil
+	ns := name + ".hot"
+	return &HotTracker{kv: kv, ns: ns, keys: kvstore.NewKeys(ns), halfLife: halfLife, size: size, floor: 1e-6}, nil
 }
 
 func (h *HotTracker) damp(age time.Duration) float64 {
@@ -81,7 +83,7 @@ func (h *HotTracker) Record(ctx context.Context, group, videoID string, weight f
 	if weight <= 0 {
 		return nil // impressions carry no popularity signal
 	}
-	key := kvstore.Key(h.ns, group)
+	key := h.keys.Key(group)
 	return h.kv.Update(ctx, key, func(cur []byte, ok bool) ([]byte, bool) {
 		updatedAt := ts
 		list := topn.NewList(h.size)
@@ -115,8 +117,28 @@ func (h *HotTracker) Record(ctx context.Context, group, videoID string, weight f
 // The decoded record is read through the cache; every Record write to the
 // group invalidates it.
 func (h *HotTracker) Hot(ctx context.Context, group string, k int, now time.Time) ([]topn.Entry, error) {
-	key := kvstore.Key(h.ns, group)
-	// alloccheck: one loader closure per read-through is inside the warm budget
+	return h.HotInto(ctx, group, k, now, nil)
+}
+
+// HotInto is Hot appending into dst (reused when it has capacity) — the
+// serving path passes pooled scratch so a warm request's hot-list read
+// allocates nothing. A cache hit never builds a loader closure; only misses
+// take the read-through path.
+//
+// hotpath: the demographic merge reads the group's hot list through here
+func (h *HotTracker) HotInto(ctx context.Context, group string, k int, now time.Time, dst []topn.Entry) ([]topn.Entry, error) {
+	key := h.keys.Key(group)
+	var rec hotRecord
+	if h.cache != nil {
+		if tv, present, ok := h.cache.Lookup(key); ok {
+			if !present {
+				return dst[:0], nil
+			}
+			rec = tv.(hotRecord)
+			return h.appendDamped(rec, k, now, dst[:0]), nil
+		}
+	}
+	// alloccheck: one loader closure per read-through MISS; warm hits return above
 	rec, ok, err := objcache.Cached(h.cache, key, func() (hotRecord, bool, error) {
 		raw, ok, err := h.kv.Get(ctx, key)
 		if err != nil {
@@ -136,21 +158,30 @@ func (h *HotTracker) Hot(ctx context.Context, group string, k int, now time.Time
 		return hotRecord{updatedAt: time.UnixMilli(ms), entries: entries}, true, nil
 	})
 	if err != nil || !ok {
-		return nil, err
+		return dst[:0], err
 	}
+	return h.appendDamped(rec, k, now, dst[:0]), nil
+}
+
+// appendDamped appends up to k of rec's entries onto dst with the residual
+// decay applied, stopping at the floor. The cached record stays immutable;
+// the damped copies land in the caller's slice.
+//
+// hotpath: the hot list's damped copy-out, allocation-free on pooled dst
+func (h *HotTracker) appendDamped(rec hotRecord, k int, now time.Time, dst []topn.Entry) []topn.Entry {
 	factor := h.damp(now.Sub(rec.updatedAt))
 	if factor > 1 {
 		factor = 1
 	}
-	// alloccheck: damped copy-out keeps the cached record immutable (API contract)
-	out := make([]topn.Entry, 0, min(k, len(rec.entries)))
+	taken := 0
 	for _, e := range rec.entries {
-		if len(out) == k {
+		if taken == k {
 			break
 		}
 		if v := e.Score * factor; v >= h.floor {
-			out = append(out, topn.Entry{ID: e.ID, Score: v})
+			dst = append(dst, topn.Entry{ID: e.ID, Score: v}) // alloccheck: grow-once; dst extends the caller's pooled scratch
+			taken++
 		}
 	}
-	return out, nil
+	return dst
 }

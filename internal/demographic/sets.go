@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"vidrec/internal/core"
+	"vidrec/internal/intern"
 	"vidrec/internal/kvstore"
 	"vidrec/internal/objcache"
 	"vidrec/internal/simtable"
@@ -19,9 +20,10 @@ type ModelSet struct {
 	kv     kvstore.Store
 	params core.Params
 
-	mu     sync.RWMutex
-	models map[string]*core.Model // guarded by mu
-	cache  *objcache.Cache        // guarded by mu; applied to lazily created models
+	mu       sync.RWMutex
+	models   map[string]*core.Model // guarded by mu
+	cache    *objcache.Cache        // guarded by mu; applied to lazily created models
+	interner *intern.Table          // guarded by mu; non-nil enables quantized serving on every model
 }
 
 // SetCache attaches a decoded-value read cache, applied to every existing and
@@ -32,6 +34,19 @@ func (s *ModelSet) SetCache(c *objcache.Cache) {
 	s.cache = c
 	for _, m := range s.models {
 		m.SetCache(c)
+	}
+}
+
+// EnableQuantized turns on quantized publish/serving (core.Model's int8
+// record table) for every existing and future group model, with item slots
+// drawn from the shared serving interner. Like SetCache, wire it before
+// traffic starts.
+func (s *ModelSet) EnableQuantized(it *intern.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.interner = it
+	for _, m := range s.models {
+		m.EnableQuantized(it)
 	}
 }
 
@@ -71,6 +86,9 @@ func (s *ModelSet) For(group string) (*core.Model, error) {
 		return nil, err
 	}
 	m.SetCache(s.cache)
+	if s.interner != nil {
+		m.EnableQuantized(s.interner)
+	}
 	s.models[group] = m
 	return m, nil
 }

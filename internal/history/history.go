@@ -26,6 +26,7 @@ type Event struct {
 type Store struct {
 	kv    kvstore.Store
 	ns    string
+	keys  *kvstore.Keys // memoized ns-qualified keys (user-id-bounded)
 	limit int
 	cache *objcache.Cache // nil disables the decoded-history read cache
 }
@@ -48,7 +49,8 @@ func New(name string, kv kvstore.Store, limit int) (*Store, error) {
 	if limit <= 0 {
 		return nil, fmt.Errorf("history: limit must be positive, got %d", limit)
 	}
-	return &Store{kv: kv, ns: name + ".hist", limit: limit}, nil
+	ns := name + ".hist"
+	return &Store{kv: kv, ns: ns, keys: kvstore.NewKeys(ns), limit: limit}, nil
 }
 
 // Histories are stored as scored entry lists: ID = video, Score = unix
@@ -82,7 +84,7 @@ func (s *Store) Append(ctx context.Context, userID, videoID string, ts time.Time
 	if userID == "" || videoID == "" {
 		return fmt.Errorf("history: user and video ids must not be empty")
 	}
-	key := kvstore.Key(s.ns, userID)
+	key := s.keys.Key(userID)
 	return s.kv.Update(ctx, key, func(cur []byte, ok bool) ([]byte, bool) {
 		var events []Event
 		if ok {
@@ -129,10 +131,20 @@ func newRecord(events []Event) record {
 }
 
 // load fetches and decodes the user's record, through the cache when one is
-// attached.
+// attached. A cache hit returns without building the loader closure.
+//
+// hotpath: every serving request reads the user's history through here
 func (s *Store) load(ctx context.Context, userID string) (record, bool, error) {
-	key := kvstore.Key(s.ns, userID)
-	// alloccheck: one loader closure per read-through is inside the warm budget
+	key := s.keys.Key(userID)
+	if s.cache != nil {
+		if tv, present, ok := s.cache.Lookup(key); ok {
+			if !present {
+				return record{}, false, nil
+			}
+			return tv.(record), true, nil
+		}
+	}
+	// alloccheck: one loader closure per read-through MISS; warm hits return above
 	return objcache.Cached(s.cache, key, func() (record, bool, error) {
 		raw, ok, err := s.kv.Get(ctx, key)
 		if err != nil {

@@ -1,0 +1,96 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSlotAssignsDenseInOrder(t *testing.T) {
+	tb := New()
+	if got := tb.Slot("a"); got != 0 {
+		t.Fatalf("first slot = %d, want 0", got)
+	}
+	if got := tb.Slot("b"); got != 1 {
+		t.Fatalf("second slot = %d, want 1", got)
+	}
+	if got := tb.Slot("a"); got != 0 {
+		t.Fatalf("re-intern changed slot: %d", got)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+}
+
+func TestSlotsBatchAndIDsRoundTrip(t *testing.T) {
+	tb := New()
+	ids := []string{"x", "y", "x", "z", "y"}
+	slots := tb.Slots(ids, nil)
+	want := []int32{0, 1, 0, 2, 1}
+	for i := range want {
+		if slots[i] != want[i] {
+			t.Fatalf("slots = %v, want %v", slots, want)
+		}
+	}
+	back := tb.IDs(slots, nil)
+	for i := range ids {
+		if back[i] != ids[i] {
+			t.Fatalf("IDs round trip = %v, want %v", back, ids)
+		}
+	}
+	if got := tb.IDs([]int32{-1, 99}, nil); got[0] != "" || got[1] != "" {
+		t.Fatalf("out-of-range slots = %q, want empty strings", got)
+	}
+}
+
+func TestSlotsReusesDst(t *testing.T) {
+	tb := New()
+	tb.Slots([]string{"a", "b", "c"}, nil)
+	dst := make([]int32, 0, 8)
+	out := tb.Slots([]string{"b", "c"}, dst)
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("Slots did not reuse dst's backing array")
+	}
+	n := testing.AllocsPerRun(100, func() {
+		out = tb.Slots([]string{"a", "b", "c"}, out)
+	})
+	if n != 0 {
+		t.Fatalf("warm Slots allocates %v per run, want 0", n)
+	}
+	sdst := make([]string, 0, 8)
+	n = testing.AllocsPerRun(100, func() {
+		sdst = tb.IDs(out, sdst)
+	})
+	if n != 0 {
+		t.Fatalf("warm IDs allocates %v per run, want 0", n)
+	}
+}
+
+func TestConcurrentInternIsConsistent(t *testing.T) {
+	tb := New()
+	const workers = 8
+	var wg sync.WaitGroup
+	results := make([][]int32, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids := make([]string, 64)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("v%03d", i)
+			}
+			results[w] = tb.Slots(ids, nil)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range results[0] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d slot %d = %d, worker 0 got %d", w, i, results[w][i], results[0][i])
+			}
+		}
+	}
+	if tb.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", tb.Len())
+	}
+}

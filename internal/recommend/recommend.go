@@ -18,12 +18,14 @@ import (
 	"sync"
 	"time"
 
+	"vidrec/internal/ann"
 	"vidrec/internal/bandit"
 	"vidrec/internal/catalog"
 	"vidrec/internal/core"
 	"vidrec/internal/demographic"
 	"vidrec/internal/feedback"
 	"vidrec/internal/history"
+	"vidrec/internal/intern"
 	"vidrec/internal/kvstore"
 	"vidrec/internal/metrics"
 	"vidrec/internal/objcache"
@@ -88,6 +90,25 @@ type Options struct {
 	// histories replay identical explored slates — the determinism contract
 	// the golden explored slate and the sim digests pin.
 	ExploreSeed uint64
+	// Quantized serves Eq. 2 scores from int8-quantized item records
+	// (core.Model's dense record table) instead of float64 vectors: every
+	// item publish additionally writes one compact scale+bias+int8 record,
+	// and scoring runs integer dot products over a slot-indexed in-memory
+	// table. Items trained before the switch fall back to quantizing their
+	// float parameters on first read. The eval tier pins the recall cost of
+	// the quantization at ≤ 2%.
+	Quantized bool
+	// ANN adds a third candidate source beside the similar-table expansion
+	// and the hot list: a random-hyperplane LSH index over the global
+	// model's item factor vectors, maintained incrementally on every item
+	// publish and probed with the user's global factor vector. Explored
+	// slates expose it as the "ann" bandit arm.
+	ANN bool
+	// ANNTables and ANNBits size the LSH index (0 selects ann's defaults);
+	// ANNSeed derives its hyperplanes deterministically.
+	ANNTables int
+	ANNBits   int
+	ANNSeed   uint64
 }
 
 // DefaultOptions returns production-shaped settings.
@@ -141,6 +162,14 @@ func (o Options) Validate() error {
 			return fmt.Errorf("recommend: ExploreEpsilon must be in [0,1], got %v", o.ExploreEpsilon)
 		}
 	}
+	if o.ANN {
+		if o.ANNTables < 0 {
+			return fmt.Errorf("recommend: ANNTables must not be negative, got %d", o.ANNTables)
+		}
+		if o.ANNBits < 0 || o.ANNBits > 32 {
+			return fmt.Errorf("recommend: ANNBits must be in [0,32], got %d", o.ANNBits)
+		}
+	}
 	return nil
 }
 
@@ -175,6 +204,18 @@ type System struct {
 	// (nil when Options.CacheCapacity < 0). kv is wrapped so all writes
 	// invalidate it.
 	cache *objcache.Cache
+
+	// interner maps item ids to dense int32 slots shared by the serving
+	// scratch (mark arrays), the quantized record tables, and the ANN
+	// index — one string-hash per id per batch instead of per structure.
+	interner *intern.Table
+	// annIndex is the LSH candidate source (nil unless Options.ANN). It is
+	// fed by the global model's item-vector hook, so it tracks every item
+	// publish — Ingest's and the topology's alike.
+	annIndex *ann.Index
+	// global is the global-group model, resolved eagerly: the ANN probe
+	// uses its user vectors, and wiring its hook must precede traffic.
+	global *core.Model
 
 	// scratch recycles per-request serving buffers (*serveScratch); see
 	// Recommend. A pooled scratch is owned by exactly one request at a time.
@@ -241,6 +282,30 @@ func NewSystem(kv kvstore.Store, params core.Params, simCfg simtable.Config, opt
 	tables.SetCache(cache)
 	hot.SetCache(cache)
 	bd.SetCache(cache)
+	interner := intern.New()
+	if opts.Quantized {
+		models.EnableQuantized(interner)
+	}
+	// The global model is resolved eagerly: its item-vector hook (the ANN
+	// feed) and quantized table must exist before the first write, whether
+	// that write comes from Ingest or a topology bolt.
+	global, err := models.For(demographic.GlobalGroup)
+	if err != nil {
+		return nil, err
+	}
+	var annIndex *ann.Index
+	if opts.ANN {
+		annIndex, err = ann.New(ann.Config{
+			Dims:   params.Factors,
+			Tables: opts.ANNTables,
+			Bits:   opts.ANNBits,
+			Seed:   opts.ANNSeed,
+		}, interner)
+		if err != nil {
+			return nil, err
+		}
+		global.SetItemVectorHook(annIndex.Upsert)
+	}
 	var policy bandit.Policy
 	if opts.Explore {
 		switch opts.ExplorePolicy {
@@ -262,10 +327,31 @@ func NewSystem(kv kvstore.Store, params core.Params, simCfg simtable.Config, opt
 		Hot:      hot,
 		Bandit:   bd,
 		cache:    cache,
+		interner: interner,
+		annIndex: annIndex,
+		global:   global,
 		policy:   policy,
 		// clockcheck: default wall clock; tests and the sim use SetWallClock.
 		wallClock: time.Now,
 	}, nil
+}
+
+// ANN returns the LSH candidate index, or nil when Options.ANN is off.
+func (s *System) ANN() *ann.Index { return s.annIndex }
+
+// FlushCaches empties every decoded-value cache and every model's quantized
+// record table — the benchmark's cold-serving drill. A plain Cache().Flush()
+// only covers the float path; the quantized tables resolve through their own
+// read-through and need their own flush to measure a true cold request.
+func (s *System) FlushCaches() {
+	if s.cache != nil {
+		s.cache.Flush()
+	}
+	for _, g := range s.Models.Groups() {
+		if m, err := s.Models.For(g); err == nil {
+			m.FlushQ8()
+		}
+	}
 }
 
 // Cache returns the system's decoded-value read cache, or nil when disabled

@@ -30,8 +30,8 @@ type Result struct {
 	Videos []topn.Entry
 	// Seeds is the number of seed videos used.
 	Seeds int
-	// Candidates is how many distinct candidates the similar tables
-	// produced before ranking.
+	// Candidates is how many distinct candidates the similar tables and
+	// the ANN probe (when Options.ANN is on) produced before ranking.
 	Candidates int
 	// HotMerged counts entries contributed by demographic filtering.
 	HotMerged int
@@ -50,17 +50,65 @@ type Result struct {
 	Latency time.Duration
 }
 
+// markExcluded is the mark value for history/current-video exclusions;
+// non-negative marks are candidate indexes into the toScore batch.
+const markExcluded = -1
+
 // serveScratch is per-request working memory recycled across Recommend calls
 // through System.scratch. Nothing stored here may escape into a Result: ids
 // are immutable string headers owned by the cache or the store decode, and
 // every slice that escapes (the ranked list) is freshly allocated.
+//
+// Candidate bookkeeping runs on intern slots instead of string-keyed maps:
+// ids are batch-resolved to dense slots once per source (one interner RLock
+// per batch), and dedup/exclusion is a generation-stamped array lookup. The
+// warm-path profile that motivated this showed the per-candidate map churn —
+// hashing, assignment, growth — dominating the request; the mark arrays turn
+// all of it into integer indexing.
 type serveScratch struct {
-	ids    []string       // id scratch: candidates, then the folded toScore batch
-	hotIdx []int          // per hot entry: its index into scores, or -1 when excluded
-	merged []topn.Entry   // hot entries selected for the final list (values are copied out)
-	seen   map[string]int // candidate id → its index in toScore
-	inList map[string]bool
-	ranked *topn.List // reused ranking list; rebuilt when req.N changes
+	flat      []string // id scratch for batch slot resolution (sim entries, hot list)
+	slots     []int32  // slot scratch parallel to flat (also: watched slots)
+	ids       []string // the toScore batch: candidates, then merge-eligible hot
+	candSlots []int32  // slots parallel to ids
+	probe     []int32  // ANN probe output
+	scores    []float64
+	hot       []topn.Entry // hot-list scratch (damped copy-out target)
+	marks     []int32      // per intern slot: markExcluded or candidate index
+	markGen   []uint32     // generation stamp validating marks[slot]
+	gen       uint32
+	hotIdx    []int
+	merged    []topn.Entry
+	inList    map[string]bool
+	ranker    *topn.Ranker // reused ranking scratch; rebuilt when req.N changes
+}
+
+// nextGen starts a fresh mark generation, clearing stamps on wrap so a
+// four-billion-requests-old mark can never read as current.
+func (scr *serveScratch) nextGen() {
+	scr.gen++
+	if scr.gen == 0 {
+		clear(scr.markGen)
+		scr.gen = 1
+	}
+}
+
+// growMarks ensures the mark arrays cover slots [0, n). Backing beyond the
+// copied prefix is freshly zeroed, and generation 0 is never current, so
+// grown slots read as unmarked.
+func (scr *serveScratch) growMarks(n int) {
+	if n <= len(scr.marks) {
+		return
+	}
+	if n <= cap(scr.marks) && n <= cap(scr.markGen) {
+		scr.marks = scr.marks[:n]
+		scr.markGen = scr.markGen[:n]
+		return
+	}
+	marks := make([]int32, n, 2*n) // alloccheck: catalog-bounded grow-once; the pooled scratch is reused
+	copy(marks, scr.marks)
+	gens := make([]uint32, n, 2*n) // alloccheck: catalog-bounded grow-once; the pooled scratch is reused
+	copy(gens, scr.markGen)
+	scr.marks, scr.markGen = marks, gens
 }
 
 // Recommend runs the full Figure 1 pipeline for one request: the
@@ -71,7 +119,7 @@ type serveScratch struct {
 // fall back, and if the fallback cannot be built either, the personalized
 // path's error is the one returned.
 //
-// hotpath: the warm serving budget (18 allocs, ~30µs) is enforced from here
+// hotpath: the warm serving budget (18 allocs, sub-10µs quantized) is enforced from here
 func (s *System) Recommend(ctx context.Context, req Request) (*Result, error) {
 	start := s.wallClock()
 	if req.N <= 0 {
@@ -103,24 +151,32 @@ func (s *System) Recommend(ctx context.Context, req Request) (*Result, error) {
 // The store round trips are batched to a constant per request regardless of
 // seed or candidate count: one history fetch serves both seeding and the
 // exclusion set, all seeds' similar lists share one MGet (SimilarBatch), and
-// candidate scoring plus the hot-merge re-score fold into a single
-// ScoreCandidates batch. Per-item scores under Eq. 2 are independent of what
-// else is in the batch, so the folded call ranks identically to scoring the
-// two sets separately; with the decoded-value cache warm the whole request
-// runs with zero store round trips.
+// candidate scoring plus the hot-merge re-score fold into a single scoring
+// batch. Per-item scores under Eq. 2 are independent of what else is in the
+// batch, so the folded call ranks identically to scoring the two sets
+// separately; with the decoded-value cache warm the whole request runs with
+// zero store round trips.
+//
+// Dedup and exclusion run on intern slots: watched videos are marked
+// excluded up front (one batch resolve over the ~tens-deep history instead
+// of a map probe per candidate), each candidate source's ids resolve in one
+// batch, and admission is a mark-array read. Ranking uses topn.Ranker —
+// List's semantics without its id map — because the batch is distinct by
+// construction.
 func (s *System) personalized(ctx context.Context, req Request, group string, now time.Time) (*Result, error) {
 	scr, _ := s.scratch.Get().(*serveScratch)
 	if scr == nil {
-		scr = &serveScratch{seen: make(map[string]int, 64), inList: make(map[string]bool, 16)} // alloccheck: pool miss, cold start only
+		scr = &serveScratch{inList: make(map[string]bool, 16)} // alloccheck: pool miss, cold start only
 	}
 	defer s.scratch.Put(scr)
+	scr.nextGen()
+	gen := scr.gen
 
 	// 1. One history fetch serves every consumer: the prefix of the cached
-	// video list seeds the expansion ("Guess you like") and the cached
-	// membership set is the exclusion — never recommend anything the user
+	// video list seeds the expansion ("Guess you like") and the watched set
+	// becomes the exclusion marks — never recommend anything the user
 	// already watched; re-serving watched content wastes slots and triggers
-	// fatigue. Both views are derived once per history decode, not per
-	// request. When a current video is given it is the sole seed and a
+	// fatigue. When a current video is given it is the sole seed and a
 	// history fetch failure only shrinks the exclusion set (as before).
 	watched, histSet, histErr := s.History.Watched(ctx, req.UserID, s.opts.HistoryLimit)
 	var seeds []string
@@ -135,19 +191,46 @@ func (s *System) personalized(ctx context.Context, req Request, group string, no
 			seeds = seeds[:s.opts.SeedCount]
 		}
 	}
-	// The history-seeded case excludes exactly the stored history (seeds are
-	// its prefix); a current video additionally excludes itself.
-	excluded := func(id string) bool { // alloccheck: one exclusion closure per request (warm budget)
-		return histSet[id] || (req.CurrentVideo != "" && id == req.CurrentVideo)
+	wslots := s.interner.Slots(watched, scr.slots[:0])
+	scr.slots = wslots[:0]
+	scr.growMarks(s.interner.Len())
+	excludeLen := 0
+	for _, sl := range wslots {
+		if scr.markGen[sl] != gen {
+			scr.markGen[sl] = gen
+			scr.marks[sl] = markExcluded
+			excludeLen++
+		}
 	}
-	excludeLen := len(histSet)
-	if req.CurrentVideo != "" && !histSet[req.CurrentVideo] {
-		excludeLen++
+	if excludeLen < len(histSet) {
+		// The distinct-video view was truncated below the membership set (a
+		// history limit above the serve window — non-default configs); fold
+		// the remainder in so the exclusion still covers everything watched.
+		// alloccheck: defensive fold-in for non-default history limits, never taken when the serve window equals the store limit (the default)
+		for id := range histSet {
+			sl := s.interner.Slot(id)
+			scr.growMarks(s.interner.Len())
+			if scr.markGen[sl] != gen {
+				scr.markGen[sl] = gen
+				scr.marks[sl] = markExcluded
+			}
+		}
+		excludeLen = len(histSet)
+	}
+	if req.CurrentVideo != "" {
+		sl := s.interner.Slot(req.CurrentVideo)
+		scr.growMarks(s.interner.Len())
+		if scr.markGen[sl] != gen {
+			scr.markGen[sl] = gen
+			scr.marks[sl] = markExcluded
+			excludeLen++
+		}
 	}
 
 	// 2. Candidate expansion through the group's similar-video tables
 	// (fall back to the global tables when group training is off). All
-	// seeds' lists arrive in one batched fetch; dedup preserves seed order.
+	// seeds' lists arrive in one batched fetch; their ids resolve to slots
+	// in one batched intern pass; dedup preserves seed order.
 	tableGroup := group
 	if !s.opts.DemographicTraining {
 		tableGroup = demographic.GlobalGroup
@@ -156,35 +239,69 @@ func (s *System) personalized(ctx context.Context, req Request, group string, no
 	if err != nil {
 		return nil, err
 	}
-	similarLists, err := tables.SimilarBatch(ctx, seeds, s.opts.CandidatesPerSeed, now)
+	flat, err := tables.SimilarIDs(ctx, seeds, s.opts.CandidatesPerSeed, now, scr.flat[:0])
 	if err != nil {
 		return nil, err
 	}
-	seen := scr.seen
-	clear(seen)
+	scr.flat = flat
+	slots := s.interner.Slots(flat, scr.slots[:0])
+	scr.growMarks(s.interner.Len())
 	candidates := scr.ids[:0]
-expand:
-	for _, similar := range similarLists {
-		for _, e := range similar {
-			if excluded(e.ID) {
-				continue
-			}
-			if _, dup := seen[e.ID]; dup {
-				continue
-			}
-			seen[e.ID] = len(candidates)
-			candidates = append(candidates, e.ID)
-			if len(candidates) >= s.opts.MaxCandidates {
-				break expand
+	candSlots := scr.candSlots[:0]
+	for i, id := range flat {
+		sl := slots[i]
+		if scr.markGen[sl] == gen {
+			continue // excluded, or already a candidate
+		}
+		scr.markGen[sl] = gen
+		scr.marks[sl] = int32(len(candidates))
+		candidates = append(candidates, id)
+		candSlots = append(candSlots, sl) // alloccheck: grow-once; candSlots extends the pooled scratch
+		if len(candidates) >= s.opts.MaxCandidates {
+			break
+		}
+	}
+	scr.flat = flat[:0]
+	scr.slots = slots[:0]
+
+	// 2b. ANN retrieval (Options.ANN): probe the LSH index with the user's
+	// global factor vector and append whatever the matching buckets hold,
+	// after the sim expansion and under the same candidate cap. The probe
+	// returns slots — cross-table duplicates included — and the mark array
+	// absorbs them like any other dup. Unknown users skip the probe: their
+	// cold-start vector would hash to arbitrary buckets.
+	annStart := len(candidates)
+	if s.annIndex != nil && len(candidates) < s.opts.MaxCandidates {
+		uvec, _, known, err := s.global.UserVector(ctx, req.UserID)
+		if err != nil {
+			return nil, err
+		}
+		if known {
+			probe := s.annIndex.Probe(uvec, scr.probe)
+			scr.probe = probe
+			pids := s.interner.IDs(probe, scr.flat[:0])
+			scr.flat = pids[:0]
+			scr.growMarks(s.interner.Len())
+			for i, sl := range probe {
+				if scr.markGen[sl] == gen {
+					continue
+				}
+				scr.markGen[sl] = gen
+				scr.marks[sl] = int32(len(candidates))
+				candidates = append(candidates, pids[i])
+				candSlots = append(candSlots, sl)
+				if len(candidates) >= s.opts.MaxCandidates {
+					break
+				}
 			}
 		}
 	}
 
 	// 3. Decide the hot merge *before* scoring so the re-score can join the
 	// candidate batch. The ranked list's length is known without scores —
-	// topn keeps min(N, len(candidates)) distinct entries — so the wanted
-	// slot count (the HotShare reserve, or every slot MF cannot fill) is
-	// computable now.
+	// the ranker keeps min(N, len(candidates)) distinct entries — so the
+	// wanted slot count (the HotShare reserve, or every slot MF cannot
+	// fill) is computable now.
 	model, err := s.Models.For(tableGroup)
 	if err != nil {
 		return nil, err
@@ -200,9 +317,11 @@ expand:
 	var hot []topn.Entry
 	numCand := len(candidates)
 	toScore := candidates
+	toScoreSlots := candSlots
 	hotIdx := scr.hotIdx[:0]
 	if want > 0 {
-		hot, err = s.hotFor(ctx, group, req.N+excludeLen, now)
+		hot, err = s.hotFor(ctx, group, req.N+excludeLen, now, scr.hot[:0])
+		scr.hot = hot[:0]
 		if err != nil {
 			return nil, err
 		}
@@ -211,37 +330,60 @@ expand:
 		// ARE candidates reuse their candidate score — Eq. 2 is per-item,
 		// so the score is the same either way.) hotIdx remembers where each
 		// hot entry's score will land so the merge needs no id→score map.
+		flat = scr.flat[:0]
 		for _, e := range hot {
-			switch ci, dup := seen[e.ID]; {
-			case excluded(e.ID):
+			flat = append(flat, e.ID)
+		}
+		slots = s.interner.Slots(flat, scr.slots[:0])
+		scr.flat, scr.slots = flat[:0], slots[:0]
+		scr.growMarks(s.interner.Len())
+		for i := range hot {
+			sl := slots[i]
+			switch {
+			case scr.markGen[sl] == gen && scr.marks[sl] == markExcluded:
 				hotIdx = append(hotIdx, -1)
-			case dup:
-				hotIdx = append(hotIdx, ci)
+			case scr.markGen[sl] == gen:
+				hotIdx = append(hotIdx, int(scr.marks[sl]))
 			default:
 				hotIdx = append(hotIdx, len(toScore))
-				toScore = append(toScore, e.ID) // alloccheck: toScore extends the pooled scr.ids scratch
+				toScore = append(toScore, hot[i].ID) // alloccheck: toScore extends the pooled scr.ids scratch
+				toScoreSlots = append(toScoreSlots, sl)
 			}
 		}
 		scr.hotIdx = hotIdx
 	}
 	scr.ids = toScore[:0]
+	scr.candSlots = toScoreSlots[:0]
 
 	// 4. Preference prediction (Eq. 2) over candidates and merge-eligible
 	// hot videos only — the whole corpus is never scored — then ranking.
-	scores, err := model.ScoreCandidates(ctx, req.UserID, toScore)
-	if err != nil {
-		return nil, err
-	}
-	if scr.ranked == nil || scr.ranked.Limit() != req.N {
-		scr.ranked = topn.NewList(req.N)
+	// Quantized models score from the int8 record table through the batch's
+	// already-resolved slots; float models take the decoded-vector path.
+	// Both paths rank through the same allocation-free Ranker, whose
+	// admission semantics are pinned equal to topn.List's.
+	var scores []float64
+	if model.Quantized() {
+		scores, err = model.ScoreCandidatesQ8(ctx, req.UserID, toScore, toScoreSlots, scr.scores)
+		if err != nil {
+			return nil, err
+		}
+		scr.scores = scores
 	} else {
-		scr.ranked.Reset()
+		scores, err = model.ScoreCandidates(ctx, req.UserID, toScore)
+		if err != nil {
+			return nil, err
+		}
 	}
-	ranked := scr.ranked
+	if scr.ranker == nil || scr.ranker.Limit() != req.N {
+		scr.ranker = topn.NewRanker(req.N)
+	} else {
+		scr.ranker.Reset()
+	}
+	ranker := scr.ranker
 	for i := 0; i < numCand; i++ {
-		ranked.Update(toScore[i], scores[i])
+		ranker.Push(toScore[i], scores[i])
 	}
-	videos := ranked.All()
+	videos := ranker.All()
 
 	// 5. Demographic filtering: reserve part of the list for the group's
 	// hot videos, and fill every slot MF could not (new users get a full
@@ -275,15 +417,16 @@ expand:
 	}
 
 	// 6. Exploration re-rank (Options.Explore): rebuild the slate slot by
-	// slot, each slot drawn by the bandit policy from one of three arms —
+	// slot, each slot drawn by the bandit policy from one of the arms —
 	// the MF-ranked list, the sim-table expansion in seed order, the
-	// demographic hot list in popularity order. Every slot keeps its Eq. 2
-	// score, so Score's meaning is unchanged; only the composition moves
-	// with the posteriors. Pulls are charged to the arm that actually
-	// filled the slot, and the slate's attributions replace the user's
-	// previous breadcrumbs. Any storage error here propagates, so a failed
-	// explore request falls into the same degraded fallback as any other
-	// serving failure — and the fallback never samples.
+	// demographic hot list in popularity order, the ANN probe in bucket
+	// order. Every slot keeps its Eq. 2 score, so Score's meaning is
+	// unchanged; only the composition moves with the posteriors. Pulls are
+	// charged to the arm that actually filled the slot, and the slate's
+	// attributions replace the user's previous breadcrumbs. Any storage
+	// error here propagates, so a failed explore request falls into the
+	// same degraded fallback as any other serving failure — and the
+	// fallback never samples.
 	if s.policy != nil {
 		st, err := s.Bandit.State(ctx)
 		if err != nil {
@@ -298,13 +441,13 @@ expand:
 		s.policyMu.Lock()
 		for len(explored) < req.N {
 			filled := s.policy.Pick(&st)
-			e, ok := armNext(filled, &cursors, inList, mf, hot, hotIdx, toScore, scores, numCand)
+			e, ok := armNext(filled, &cursors, inList, mf, hot, hotIdx, toScore, scores, annStart, numCand)
 			for f := 0; f < bandit.NumArms && !ok; f++ {
 				// Picked arm exhausted: fall through the arms in fixed
 				// order so the slate still fills; the filling arm takes
 				// the pull (it did the serving work).
 				filled = bandit.Arm(f)
-				e, ok = armNext(filled, &cursors, inList, mf, hot, hotIdx, toScore, scores, numCand)
+				e, ok = armNext(filled, &cursors, inList, mf, hot, hotIdx, toScore, scores, annStart, numCand)
 			}
 			if !ok {
 				break // every pool dry: the slate is as long as it can be
@@ -341,14 +484,15 @@ expand:
 
 // armNext returns arm a's next unserved slate entry, advancing its cursor
 // past entries already in the slate (inList) or excluded from the pool.
-// Pools: ArmMF walks the MF-ranked list, ArmSim walks the candidate
-// expansion in seed order carrying its Eq. 2 score, ArmHot walks the hot
-// list in popularity order carrying the score the fold assigned it
-// (hotIdx < 0 marks hot entries the exclusion set removed). A package-level
-// function rather than a closure: the explore loop calls it per slot inside
-// the serving alloc budget.
+// Pools: ArmMF walks the MF-ranked list, ArmSim walks the similar-table
+// expansion in seed order carrying its Eq. 2 score (candidates [0, annStart)),
+// ArmANN walks the ANN-probed candidates in bucket order ([annStart,
+// numCand)), ArmHot walks the hot list in popularity order carrying the score
+// the fold assigned it (hotIdx < 0 marks hot entries the exclusion set
+// removed). A package-level function rather than a closure: the explore loop
+// calls it per slot inside the serving alloc budget.
 func armNext(a bandit.Arm, cursors *[bandit.NumArms]int, inList map[string]bool,
-	mf, hot []topn.Entry, hotIdx []int, toScore []string, scores []float64, numCand int) (topn.Entry, bool) {
+	mf, hot []topn.Entry, hotIdx []int, toScore []string, scores []float64, annStart, numCand int) (topn.Entry, bool) {
 	switch a {
 	case bandit.ArmMF:
 		for cursors[a] < len(mf) {
@@ -359,8 +503,16 @@ func armNext(a bandit.Arm, cursors *[bandit.NumArms]int, inList map[string]bool,
 			}
 		}
 	case bandit.ArmSim:
-		for cursors[a] < numCand {
+		for cursors[a] < annStart {
 			i := cursors[a]
+			cursors[a]++
+			if !inList[toScore[i]] {
+				return topn.Entry{ID: toScore[i], Score: scores[i]}, true
+			}
+		}
+	case bandit.ArmANN:
+		for annStart+cursors[a] < numCand {
+			i := annStart + cursors[a]
 			cursors[a]++
 			if !inList[toScore[i]] {
 				return topn.Entry{ID: toScore[i], Score: scores[i]}, true
@@ -389,7 +541,7 @@ func (s *System) degraded(ctx context.Context, req Request, group string, now ti
 	if histErr != nil {
 		histSet = nil
 	}
-	hot, err := s.hotFor(ctx, group, req.N+len(histSet)+1, now)
+	hot, err := s.hotFor(ctx, group, req.N+len(histSet)+1, now, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -408,20 +560,22 @@ func (s *System) degraded(ctx context.Context, req Request, group string, now ti
 	return &Result{Videos: videos, HotMerged: len(videos), Degraded: true}, nil // alloccheck: degraded path, availability fallback
 }
 
-// hotFor fetches the group's hot list, falling back to the global group when
-// the group has none — "for new unregistered users, we generate the hot
+// hotFor fetches the group's hot list into dst (pooled scratch on the warm
+// path, nil from the degraded fallback), falling back to the global group
+// when the group has none — "for new unregistered users, we generate the hot
 // videos of global demographic group".
-func (s *System) hotFor(ctx context.Context, group string, k int, now time.Time) ([]topn.Entry, error) {
+func (s *System) hotFor(ctx context.Context, group string, k int, now time.Time, dst []topn.Entry) ([]topn.Entry, error) {
 	if group != demographic.GlobalGroup {
-		hot, err := s.Hot.Hot(ctx, group, k, now)
+		hot, err := s.Hot.HotInto(ctx, group, k, now, dst)
 		if err != nil {
 			return nil, err
 		}
 		if len(hot) > 0 {
 			return hot, nil
 		}
+		dst = hot
 	}
-	return s.Hot.Hot(ctx, demographic.GlobalGroup, k, now)
+	return s.Hot.HotInto(ctx, demographic.GlobalGroup, k, now, dst)
 }
 
 // RecommendIDs implements eval.Recommender over the history-seeded scenario.

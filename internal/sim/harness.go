@@ -194,6 +194,13 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 		opts.Explore = true
 		opts.ExploreSeed = sc.Seed ^ 0xBA17D
 	}
+	if sc.Quantized {
+		opts.Quantized = true
+	}
+	if sc.ANN {
+		opts.ANN = true
+		opts.ANNSeed = sc.Seed ^ 0xA55
+	}
 	sys, err := recommend.NewSystem(store, params, simtable.DefaultConfig(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("sim: build system: %w", err)

@@ -104,6 +104,18 @@ type Scenario struct {
 	// reach the store, so fault-injection scenarios that count on faults
 	// landing at specific KV operations keep one setting per scenario.
 	DisableCache bool
+
+	// Quantized serves the request phase through the int8-quantized scoring
+	// path (recommend.Options.Quantized): item vectors resolve as q8 records
+	// and Eq. 2 runs on the integer kernel. Rankings may differ from the
+	// float path by at most the quantization error, so quantized scenarios
+	// carry their own digests rather than sharing a float scenario's.
+	Quantized bool
+	// ANN turns on the LSH candidate source (recommend.Options.ANN): the
+	// user vector probes the hyperplane index and the hits join the
+	// similar-table and hot-list candidates before ranking. The index is
+	// seeded from Seed so probe results replay exactly.
+	ANN bool
 }
 
 // withDefaults fills unset fields with the harness defaults: a workload

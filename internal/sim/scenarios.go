@@ -245,6 +245,36 @@ func Scenarios() []Scenario {
 			FeedbackClicks: 20,
 		},
 		{
+			// The quantized serving drill: the request phase scores through
+			// the int8 kernel (Eq. 2 on DotQ8) instead of the float path.
+			// Fully serialized so the quantized determinism test can demand
+			// byte-identical digests, and so the training-transparency test
+			// can compare its state digest against a float run — quantization
+			// is serve-only and must leave the trained state untouched.
+			Name:        "quantized-serving",
+			Seed:        1818,
+			Parallelism: serialParallelism(),
+			MaxPending:  1,
+			Tracked:     true,
+			Synchronous: true,
+			Quantized:   true,
+		},
+		{
+			// ANN retrieval stacked on quantized scoring — the full sub-10µs
+			// serving configuration: the user vector probes the LSH index,
+			// the hits join the similar-table and hot-list candidates, and
+			// the blend is scored on the integer kernel. Serialized for the
+			// same determinism and training-transparency comparisons.
+			Name:        "ann-retrieval",
+			Seed:        1919,
+			Parallelism: serialParallelism(),
+			MaxPending:  1,
+			Tracked:     true,
+			Synchronous: true,
+			Quantized:   true,
+			ANN:         true,
+		},
+		{
 			// Exploration composed with the degraded-serving blackout: the
 			// "sys/" outage kills every personalized read before the explore
 			// re-rank is reached, so all requests fall back to demographic hot

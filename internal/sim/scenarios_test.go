@@ -135,6 +135,28 @@ var expectations = map[string]func(t *testing.T, rep *Report){
 			t.Errorf("degraded serving charged %v pulls, want 0 — a Degraded response sampled the policy", rep.ExplorePulls)
 		}
 	},
+	"quantized-serving": func(t *testing.T, rep *Report) {
+		if rep.RecommendErrors != 0 {
+			t.Errorf("%d recommend errors on the quantized path, want 0", rep.RecommendErrors)
+		}
+		if rep.Degraded != 0 {
+			t.Errorf("%d responses degraded on the quantized path, want 0", rep.Degraded)
+		}
+		if rep.Recommends == 0 {
+			t.Error("quantized run served nothing")
+		}
+	},
+	"ann-retrieval": func(t *testing.T, rep *Report) {
+		if rep.RecommendErrors != 0 {
+			t.Errorf("%d recommend errors with ANN retrieval on, want 0", rep.RecommendErrors)
+		}
+		if rep.Degraded != 0 {
+			t.Errorf("%d responses degraded with ANN retrieval on, want 0", rep.Degraded)
+		}
+		if rep.Recommends == 0 {
+			t.Error("ANN run served nothing")
+		}
+	},
 	"degraded-serving": func(t *testing.T, rep *Report) {
 		if rep.InjectedFaults == 0 {
 			t.Error("serving-phase blackout injected no faults — scenario is vacuous")
@@ -359,6 +381,82 @@ func TestExploreDeterminism(t *testing.T) {
 					first.ExplorePulls, first.ExploreWins, second.ExplorePulls, second.ExploreWins)
 			}
 		})
+	}
+}
+
+// TestQuantizedDeterminism runs the quantized and ANN scenarios twice and
+// demands byte-identical state AND served-output digests: the integer
+// kernel is exact and the LSH probe is seed-derived, so neither path may
+// introduce a single diverging bit across same-seed replays.
+func TestQuantizedDeterminism(t *testing.T) {
+	for _, name := range []string{"quantized-serving", "ann-retrieval"} {
+		t.Run(name, func(t *testing.T) {
+			var sc Scenario
+			for _, s := range Scenarios() {
+				if s.Name == name {
+					sc = s
+				}
+			}
+			if sc.Name == "" {
+				t.Fatalf("%s scenario missing from matrix", name)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+
+			first, err := Run(ctx, sc)
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			second, err := Run(ctx, sc)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if first.Digest != second.Digest {
+				t.Errorf("state digests differ across same-seed quantized runs:\n  first:  %s\n  second: %s", first.Digest, second.Digest)
+			}
+			if first.ServeDigest != second.ServeDigest {
+				t.Errorf("served-output digests differ across same-seed quantized runs:\n  first:  %s\n  second: %s", first.ServeDigest, second.ServeDigest)
+			}
+		})
+	}
+}
+
+// TestANNTrainingTransparency proves the ANN knob is serve-only: running
+// the ann-retrieval scenario with ANN on and off must leave byte-identical
+// trained state, because the LSH index lives beside the store (fed by the
+// item-vector hook), never in it. Only the state digest is compared —
+// served output legitimately differs with an extra candidate source. The
+// quantized knob has no such pair test: it DOES add q8 records to the
+// store, and checkStore instead proves each one re-quantizes exactly from
+// the float state beside it.
+func TestANNTrainingTransparency(t *testing.T) {
+	var sc Scenario
+	for _, s := range Scenarios() {
+		if s.Name == "ann-retrieval" {
+			sc = s
+		}
+	}
+	if sc.Name == "" {
+		t.Fatal("ann-retrieval scenario missing from matrix")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	on, err := Run(ctx, sc)
+	if err != nil {
+		t.Fatalf("ANN run: %v", err)
+	}
+	sc.ANN = false
+	off, err := Run(ctx, sc)
+	if err != nil {
+		t.Fatalf("no-ANN run: %v", err)
+	}
+	if on.Digest != off.Digest {
+		t.Errorf("state digests differ with ANN on/off — the candidate index leaked into training state:\n  on:  %s\n  off: %s", on.Digest, off.Digest)
+	}
+	if on.Recommends != off.Recommends || on.RecommendErrors != off.RecommendErrors {
+		t.Errorf("serving accounting differs: on %d/%d errors, off %d/%d errors",
+			on.Recommends, on.RecommendErrors, off.Recommends, off.RecommendErrors)
 	}
 }
 

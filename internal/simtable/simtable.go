@@ -123,6 +123,7 @@ func CFSimilarity(ctx context.Context, m *core.Model, i, j string) (float64, err
 type Tables struct {
 	kv    kvstore.Store
 	ns    string
+	keys  *kvstore.Keys // memoized ns-qualified keys (video-id-bounded)
 	cfg   Config
 	cache *objcache.Cache // nil disables the decoded-table read cache
 }
@@ -144,7 +145,8 @@ func New(name string, kv kvstore.Store, cfg Config) (*Tables, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Tables{kv: kv, ns: name + ".sim", cfg: cfg}, nil // alloccheck: once per table set; TableSet memoizes
+	ns := name + ".sim"                                                      // alloccheck: once per table set; TableSet memoizes
+	return &Tables{kv: kv, ns: ns, keys: kvstore.NewKeys(ns), cfg: cfg}, nil // alloccheck: once per table set; TableSet memoizes
 }
 
 // Config returns the table configuration.
@@ -189,7 +191,7 @@ func (t *Tables) UpdateDirected(ctx context.Context, owner, other string, score 
 	if owner == other {
 		return fmt.Errorf("simtable: self-pair %q", owner)
 	}
-	key := kvstore.Key(t.ns, owner)
+	key := t.keys.Key(owner)
 	return t.kv.Update(ctx, key, func(cur []byte, ok bool) ([]byte, bool) {
 		tb := table{updatedAt: ts}
 		if ok {
@@ -229,7 +231,7 @@ func (t *Tables) UpdateDirected(ctx context.Context, owner, other string, score 
 // (read-through; nil cache goes straight to the store). The returned table's
 // entries may be cache-shared: read-only.
 func (t *Tables) loadTable(ctx context.Context, video string) (table, bool, error) {
-	key := kvstore.Key(t.ns, video)
+	key := t.keys.Key(video)
 	return objcache.Cached(t.cache, key, func() (table, bool, error) {
 		raw, ok, err := t.kv.Get(ctx, key)
 		if err != nil {
@@ -289,7 +291,7 @@ func (t *Tables) SimilarBatch(ctx context.Context, videos []string, k int, now t
 	if t.cache == nil {
 		keys := make([]string, len(videos)) // alloccheck: cacheless path; the warm path serves cache hits below
 		for i, v := range videos {
-			keys[i] = kvstore.Key(t.ns, v)
+			keys[i] = t.keys.Key(v)
 		}
 		vals, err := t.kv.MGet(ctx, keys)
 		if err != nil {
@@ -311,7 +313,7 @@ func (t *Tables) SimilarBatch(ctx context.Context, videos []string, k int, now t
 	var missVers []uint64
 	var missIdx []int
 	for i, v := range videos {
-		key := kvstore.Key(t.ns, v)
+		key := t.keys.Key(v)
 		if tv, present, ok := t.cache.Lookup(key); ok {
 			if present {
 				out[i] = t.truncateDecayed(tv.(table), k, now)
@@ -343,6 +345,67 @@ func (t *Tables) SimilarBatch(ctx context.Context, videos []string, k int, now t
 		out[i] = t.truncateDecayed(tb, k, now)
 	}
 	return out, nil
+}
+
+// appendDecayedIDs appends the ids of up to k entries of tb onto dst,
+// stopping at the score floor after decaying to now (entries are sorted, so
+// the rest are below it too) — truncateDecayed without materializing the
+// damped copy, for callers that only need the ids.
+//
+// hotpath: the serving path's seed expansion reads every warm table through here
+func (t *Tables) appendDecayedIDs(tb table, k int, now time.Time, dst []string) []string {
+	factor := t.cfg.Damp(now.Sub(tb.updatedAt))
+	if factor > 1 {
+		factor = 1
+	}
+	taken := 0
+	for _, e := range tb.entries {
+		if taken == k || e.Score*factor < t.cfg.ScoreFloor {
+			break
+		}
+		dst = append(dst, e.ID) // alloccheck: grow-once; dst extends the caller's pooled scratch
+		taken++
+	}
+	return dst
+}
+
+// SimilarIDs appends, for each seed video in order, the ids of up to k
+// similar videos decayed to now (best first, floor-truncated) onto dst and
+// returns it — SimilarBatch for callers that only need the ids, without the
+// per-seed result slices or the damped entry copies. With every table cached
+// the call allocates nothing beyond dst's amortized growth; any cache miss
+// falls back to SimilarBatch so the store round trip stays batched and the
+// decoded tables are installed for the next request.
+//
+// hotpath: one call per request feeds the candidate expansion (warm budget)
+func (t *Tables) SimilarIDs(ctx context.Context, videos []string, k int, now time.Time, dst []string) ([]string, error) {
+	if t.cache != nil {
+		allHit := true
+		for _, v := range videos {
+			tv, present, ok := t.cache.Lookup(t.keys.Key(v))
+			if !ok {
+				allHit = false
+				break
+			}
+			if present {
+				dst = t.appendDecayedIDs(tv.(table), k, now, dst)
+			}
+		}
+		if allHit {
+			return dst, nil
+		}
+		dst = dst[:0]
+	}
+	lists, err := t.SimilarBatch(ctx, videos, k, now) // alloccheck: cold path; warm requests take the all-hit loop above
+	if err != nil {
+		return nil, err
+	}
+	for _, similar := range lists {
+		for _, e := range similar {
+			dst = append(dst, e.ID) // alloccheck: grow-once; dst extends the caller's pooled scratch
+		}
+	}
+	return dst, nil
 }
 
 // PairScore computes the undamped fused similarity for (i, j) from the MF

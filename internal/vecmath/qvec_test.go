@@ -1,0 +1,173 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	v := []float64{0.5, -0.25, 0.125, -1, 1, 0.001}
+	q := Quantize(v)
+	if q.Scale <= 0 {
+		t.Fatalf("scale = %v, want positive", q.Scale)
+	}
+	got := Dequantize(q, nil)
+	for i := range v {
+		if err := math.Abs(got[i] - v[i]); err > q.Scale/2+1e-12 {
+			t.Errorf("component %d: %v -> %v, error %v exceeds scale/2 %v", i, v[i], got[i], err, q.Scale/2)
+		}
+	}
+	// The max-magnitude component maps exactly to ±QMax.
+	if q.Data[3] != -QMax || q.Data[4] != QMax {
+		t.Errorf("extremes quantized to %d,%d, want ±%d", q.Data[3], q.Data[4], QMax)
+	}
+}
+
+func TestQuantizeDegenerate(t *testing.T) {
+	for name, v := range map[string][]float64{
+		"zero":      {0, 0, 0, 0},
+		"subnormal": {5e-324, -5e-324, 0, 0},
+		"nan":       {1, math.NaN(), 2, 3},
+		"inf":       {1, math.Inf(1), 2, 3},
+		"empty":     {},
+	} {
+		q := Quantize(v)
+		if q.Scale != 0 {
+			t.Errorf("%s: scale = %v, want 0", name, q.Scale)
+		}
+		for i, b := range q.Data {
+			if b != 0 {
+				t.Errorf("%s: data[%d] = %d, want 0", name, i, b)
+			}
+		}
+		d := Dequantize(q, nil)
+		for i, x := range d {
+			if x != 0 {
+				t.Errorf("%s: dequantized[%d] = %v, want 0", name, i, x)
+			}
+		}
+	}
+}
+
+// TestDotQ8ApproximatesDot pins the kernel's accuracy: on unit-scale random
+// vectors the quantized dot must track the float dot within the combined
+// rounding budget.
+func TestDotQ8ApproximatesDot(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 200; trial++ {
+		dims := 1 + rng.IntN(64)
+		a := make([]float64, dims)
+		b := make([]float64, dims)
+		for i := range a {
+			a[i] = rng.Float64()*2 - 1
+			b[i] = rng.Float64()*2 - 1
+		}
+		qa, qb := Quantize(a), Quantize(b)
+		got := float64(DotQ8(qa.Data, qb.Data)) * qa.Scale * qb.Scale
+		want := Dot(a, b)
+		// Per-component error ≤ scale/2 each side; cross terms bound the
+		// total by dims·(|a|∞·sb/2 + |b|∞·sa/2 + sa·sb/4).
+		bound := float64(dims) * (qa.Scale*QMax*qb.Scale/2 + qb.Scale*QMax*qa.Scale/2 + qa.Scale*qb.Scale/4)
+		if math.Abs(got-want) > bound+1e-12 {
+			t.Fatalf("trial %d dims %d: DotQ8 = %v, Dot = %v, |err| %v > bound %v",
+				trial, dims, got, want, math.Abs(got-want), bound)
+		}
+	}
+}
+
+func TestDotQ8MatchesNaiveBlocking(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	for _, dims := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 40, 63} {
+		a := make([]int8, dims)
+		b := make([]int8, dims)
+		for i := range a {
+			a[i] = int8(rng.IntN(255) - 127)
+			b[i] = int8(rng.IntN(255) - 127)
+		}
+		var want int32
+		for i := range a {
+			want += int32(a[i]) * int32(b[i])
+		}
+		if got := DotQ8(a, b); got != want {
+			t.Fatalf("dims %d: DotQ8 = %d, naive = %d", dims, got, want)
+		}
+	}
+}
+
+func TestDotQ8PanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	DotQ8(make([]int8, 3), make([]int8, 4))
+}
+
+func TestDotQ8Batch(t *testing.T) {
+	a := []int8{1, -2, 3, -4}
+	bs := [][]int8{{1, 1, 1, 1}, nil, {-1, 2, -3, 4}}
+	got := DotQ8Batch(a, bs, nil)
+	want := []int32{-2, 0, -30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQ8KernelsAllocationFree pins the warm-path allocation contract: with
+// pre-sized scratch, quantize + batch dot run without a single allocation.
+func TestQ8KernelsAllocationFree(t *testing.T) {
+	v := make([]float64, 40)
+	for i := range v {
+		v[i] = math.Sin(float64(i))
+	}
+	q := QVec{Data: make([]int8, 0, 40)}
+	bs := make([][]int8, 8)
+	for i := range bs {
+		bs[i] = Quantize(v).Data
+	}
+	dst := make([]int32, 0, 8)
+	n := testing.AllocsPerRun(100, func() {
+		q = QuantizeInto(q, v)
+		dst = DotQ8Batch(q.Data, bs, dst)
+	})
+	if n != 0 {
+		t.Fatalf("warm quantize+batch-dot allocates %v per run, want 0", n)
+	}
+}
+
+// TestCosineNormedEquivalence pins the norm-precompute refactor: CosineNormed
+// with cached norms returns bit-identical results to Cosine, and the cached
+// form does not allocate.
+func TestCosineNormedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 19))
+	for trial := 0; trial < 100; trial++ {
+		dims := 1 + rng.IntN(32)
+		a := make([]float64, dims)
+		b := make([]float64, dims)
+		for i := range a {
+			a[i] = rng.Float64()*2 - 1
+			b[i] = rng.Float64()*2 - 1
+		}
+		na, nb := Norm(a), Norm(b)
+		if got, want := CosineNormed(a, b, na, nb), Cosine(a, b); got != want {
+			t.Fatalf("CosineNormed = %v, Cosine = %v", got, want)
+		}
+	}
+	zero := make([]float64, 4)
+	one := []float64{1, 0, 0, 0}
+	if got := CosineNormed(zero, one, 0, 1); got != 0 {
+		t.Fatalf("zero-norm CosineNormed = %v, want 0", got)
+	}
+	a := []float64{1, 2, 3, 4}
+	b := []float64{4, 3, 2, 1}
+	na, nb := Norm(a), Norm(b)
+	n := testing.AllocsPerRun(100, func() {
+		_ = CosineNormed(a, b, na, nb)
+	})
+	if n != 0 {
+		t.Fatalf("CosineNormed allocates %v per run, want 0", n)
+	}
+}

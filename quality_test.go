@@ -1,0 +1,107 @@
+package vidrec
+
+// Recall-parity guard for the PR9 serving fast paths: int8-quantized
+// scoring and LSH candidate retrieval buy latency, and this test pins what
+// they are allowed to cost in quality. Two full systems train over the same
+// §6.1-style corpus — one float, one quantized+ANN — and both serve the
+// held-out test day through the real Recommend path (candidate generation,
+// exclusions, hot-list merge included). The fast path must keep recall@10
+// within two percent of the float path, relative — the contract DESIGN.md
+// states and the quantization error analysis in vecmath predicts with
+// margin to spare.
+
+import (
+	"context"
+	"testing"
+
+	"vidrec/internal/core"
+	"vidrec/internal/eval"
+	"vidrec/internal/experiments"
+	"vidrec/internal/feedback"
+	"vidrec/internal/kvstore"
+	"vidrec/internal/recommend"
+	"vidrec/internal/simtable"
+)
+
+// recallTolerance is the maximum relative recall@10 loss the quantized+ANN
+// serving path may show against float serving.
+const recallTolerance = 0.02
+
+func TestQuantizedRecallParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two full systems; skipped in -short")
+	}
+	scale := experiments.SmallScale()
+	scale.Dataset.Users = 180
+	scale.Dataset.Videos = 100
+	scale.Dataset.Days = 4
+	scale.Dataset.EventsPerDay = 2500
+	scale.TrainDays = 3
+	scale.MinUserActions = 8
+	scale.MinVideoActions = 8
+	corpus, err := experiments.Prepare(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	build := func(opts recommend.Options) *recommend.System {
+		sys, err := recommend.NewSystem(kvstore.NewLocal(64), core.DefaultParams(),
+			simtable.DefaultConfig(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		if err := corpus.Data.FillCatalog(ctx, sys.Catalog); err != nil {
+			t.Fatal(err)
+		}
+		if err := corpus.Data.FillProfiles(ctx, sys.Profiles); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range corpus.Train {
+			if err := sys.Ingest(ctx, a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sys
+	}
+
+	serve := func(sys *recommend.System) eval.Recommender {
+		return eval.RecommenderFunc(func(userID string, n int) ([]string, error) {
+			res, err := sys.Recommend(context.Background(), recommend.Request{UserID: userID, N: n})
+			if err != nil {
+				return nil, err
+			}
+			ids := make([]string, len(res.Videos))
+			for i, e := range res.Videos {
+				ids[i] = e.ID
+			}
+			return ids, nil
+		})
+	}
+
+	fastOpts := recommend.DefaultOptions()
+	fastOpts.Quantized = true
+	fastOpts.ANN = true
+
+	floatSys := build(recommend.DefaultOptions())
+	fastSys := build(fastOpts)
+
+	ts := eval.BuildTestSet(corpus.Test, feedback.DefaultWeights())
+	const topN = 10
+	floatRecall, err := eval.RecallAtN(serve(floatSys), ts, topN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastRecall, err := eval.RecallAtN(serve(fastSys), ts, topN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recall@%d: float=%.4f quantized+ann=%.4f", topN, floatRecall, fastRecall)
+	if floatRecall <= 0 {
+		t.Fatal("float recall is zero — the corpus gives the parity check nothing to compare")
+	}
+	if loss := (floatRecall - fastRecall) / floatRecall; loss > recallTolerance {
+		t.Errorf("quantized+ANN serving loses %.2f%% recall@%d vs float (%.4f vs %.4f), tolerance %.0f%%",
+			loss*100, topN, fastRecall, floatRecall, recallTolerance*100)
+	}
+}
