@@ -76,14 +76,16 @@ fuzz:
 	$(GO) test ./internal/kvstore -run '^$$' -fuzz '^FuzzDecodeFloats$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/kvstore -run '^$$' -fuzz '^FuzzNetRequestFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/kvstore -run '^$$' -fuzz '^FuzzDecodeQ8Vec$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/kvstore -run '^$$' -fuzz '^FuzzDecodeShardMap$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/kvstore -run '^$$' -fuzz '^FuzzDecodeStateSync$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/feedback -run '^$$' -fuzz '^FuzzWeight$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bandit -run '^$$' -fuzz '^FuzzRewardCodec$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bandit -run '^$$' -fuzz '^FuzzRewardEvent$$' -fuzztime $(FUZZTIME)
 
 # Serving-latency benchmark tier: the BenchmarkRecommend matrix (embedded vs
-# networked vs replicated store × cold vs warm object cache, plus the PR9
-# serving fast-path variants score=q8 and ann=on on the local store) with
-# allocation stats, recorded to BENCH_PR9.json via cmd/benchjson. The
+# networked vs replicated vs sharded store × cold vs warm object cache, plus
+# the PR9 serving fast-path variants score=q8 and ann=on on the local store)
+# with allocation stats, recorded to BENCH_PR10.json via cmd/benchjson. The
 # baseline field of the JSON is preserved across runs; compare against it
 # before claiming a serving-path change is an improvement (the warm-cache
 # fast path must stay within 10%). BENCHTIME trades precision for wall-clock
@@ -91,26 +93,28 @@ fuzz:
 BENCHTIME ?= 200x
 bench:
 	$(GO) test -run '^$$' -bench '^BenchmarkRecommend$$' -benchmem -benchtime $(BENCHTIME) . \
-		| $(GO) run ./cmd/benchjson -out BENCH_PR9.json
+		| $(GO) run ./cmd/benchjson -out BENCH_PR10.json
 
 # Benchmark regression gate: re-run the Recommend matrix into a scratch file
-# and compare it twice — against the committed BENCH_PR5.json record (the
-# pre-PR9 float matrix: the historic warm-path gate keeps holding) and
-# against BENCH_PR9.json (the full matrix, with -require proving the q8 and
-# ANN columns actually ran instead of silently vanishing). The PR5 compare
-# fails on any benchmark more than 10% slower on ns/op; the PR9 self-compare
-# allows 75% because its record is a quiet-window reference for
-# microsecond-scale ops — the same binary drifts 50%+ run to run on a busy
-# shared box, while a real regression (losing the q8 kernel, say) costs
-# 170%+, so the loose ns/op bound still catches catastrophe and the real
-# day-to-day signal there is the allocs/op bound. Both compares fail on
-# allocs/op growth beyond 0.5%: exact on the pinned single-digit warm
-# budgets (AllocsPerRun pins + alloccheck — 0.5% of 3 rounds to zero), with
-# just enough slack for the ±1 wobble of the hundreds-of-allocs cold paths.
-# The fresh side runs -count=3 and benchjson -compare takes the best
-# of the repeats, which keeps scheduler noise from tripping the ns/op bound.
-# Not part of `make check` (benchmark timing still wants a quiet machine);
-# run it before claiming a serving-path change is safe.
+# and compare it three ways — against the committed BENCH_PR5.json record
+# (the pre-PR9 float matrix: the historic warm-path gate keeps holding),
+# against BENCH_PR9.json (the fast-path matrix, with -require proving the q8
+# and ANN columns actually ran instead of silently vanishing), and against
+# BENCH_PR10.json (the full matrix including the sharded column, -require
+# proving the partitioned tier ran). The PR5 compare fails on any benchmark
+# more than 10% slower on ns/op; the PR9/PR10 self-compares allow 75%
+# because their records are quiet-window references for microsecond-scale
+# ops — the same binary drifts 50%+ run to run on a busy shared box, while
+# a real regression (losing the q8 kernel, say) costs 170%+, so the loose
+# ns/op bound still catches catastrophe and the real day-to-day signal
+# there is the allocs/op bound. All compares fail on allocs/op growth
+# beyond 0.5%: exact on the pinned single-digit warm budgets (AllocsPerRun
+# pins + alloccheck — 0.5% of 3 rounds to zero), with just enough slack for
+# the ±1 wobble of the hundreds-of-allocs cold paths. The fresh side runs
+# -count=3 and benchjson -compare takes the best of the repeats, which
+# keeps scheduler noise from tripping the ns/op bound. Not part of
+# `make check` (benchmark timing still wants a quiet machine); run it
+# before claiming a serving-path change is safe.
 BENCH_GATE_SCRATCH ?= /tmp/vidrec-bench-gate.json
 bench-gate:
 	@rm -f $(BENCH_GATE_SCRATCH)
@@ -118,12 +122,20 @@ bench-gate:
 		| $(GO) run ./cmd/benchjson -out $(BENCH_GATE_SCRATCH)
 	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json $(BENCH_GATE_SCRATCH) -max-regress 10
 	$(GO) run ./cmd/benchjson -compare BENCH_PR9.json $(BENCH_GATE_SCRATCH) -max-regress 75 -require score=q8,ann=on
+	$(GO) run ./cmd/benchjson -compare BENCH_PR10.json $(BENCH_GATE_SCRATCH) -max-regress 75 -require store=sharded
 
 # Coverage floors: internal/lint is the merge bar for everything else, and
 # internal/bandit decides what users see — both must hold >= 85% statement
 # coverage. Each package's coverage line is checked individually; the awk
 # exit keeps the gate self-contained (no tooling beyond go test).
+#
+# The sharded tier gets its own floor: whole-package kvstore coverage would
+# let untested sharding code hide behind the mature codec/net/resilience
+# tests, so the gate recomputes statement coverage from the profile over
+# just the PR10 files (shardmap, statesync, shardgroup, sharded) and holds
+# them to the same >= 85%.
 COVER_FLOOR ?= 85
+SHARD_COVER_PROFILE ?= /tmp/vidrec-shard-cover.out
 cover:
 	@$(GO) test -cover ./internal/lint ./internal/bandit -count=1 | awk -v floor=$(COVER_FLOOR) ' \
 		{ print } \
@@ -131,5 +143,16 @@ cover:
 			if (pct + 0 < floor + 0) { bad = 1; low = $$2 " " pct "%" } } \
 		END { if (bad) { \
 			printf "coverage %s is below the %d%% floor\n", low, floor; exit 1 } }'
+	@$(GO) test -coverprofile=$(SHARD_COVER_PROFILE) -count=1 ./internal/kvstore >/dev/null
+	@awk -v floor=$(COVER_FLOOR) ' \
+		$$1 ~ /internal\/kvstore\/(shardmap|statesync|shardgroup|sharded)\.go:/ { \
+			total += $$2; if ($$3 + 0 > 0) covered += $$2 } \
+		END { if (total == 0) { \
+				print "cover: no sharding statements in profile"; exit 1 } \
+			pct = 100 * covered / total; \
+			printf "coverage: internal/kvstore sharding files %.1f%% of statements\n", pct; \
+			if (pct < floor + 0) { \
+				printf "sharding coverage %.1f%% is below the %d%% floor\n", pct, floor; exit 1 } }' \
+		$(SHARD_COVER_PROFILE)
 
 check: build vet fmt lint lint-stats cover test race test-sim test-resilience fuzz

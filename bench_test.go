@@ -328,14 +328,17 @@ func BenchmarkRecommendLatency(b *testing.B) {
 
 // BenchmarkRecommend measures end-to-end request serving across the
 // deployment matrix the serving fast path targets: embedded vs networked vs
-// replicated store × cold vs warm decoded-value cache. Warm is the
-// production steady state (every read served from the object cache); cold
-// flushes the cache before each request, so every object is fetched and
+// replicated vs sharded store × cold vs warm decoded-value cache. Warm is
+// the production steady state (every read served from the object cache);
+// cold flushes the cache before each request, so every object is fetched and
 // decoded again. The replicated column runs the full resilient stack — one
 // Resilient decorator per backend under write-all/read-first-healthy — and
-// prices what the fault tolerance costs on the healthy path. The dataset
+// prices what the fault tolerance costs on the healthy path. The sharded
+// column routes every request through the slot table into two primary/backup
+// shard groups under a coordinator, pricing the partitioned tier's routing,
+// dedup stamping, and synchronous replication. The dataset
 // shape matches BenchmarkRecommendLatency so numbers stay comparable across
-// revisions; `make bench` records this matrix in BENCH_PR9.json. The local
+// revisions; `make bench` records this matrix in BENCH_PR10.json. The local
 // store additionally runs the serving fast-path variants PR9 introduced —
 // int8 quantized scoring (score=q8) and LSH candidate retrieval (ann=on) —
 // against the same dataset; the unsuffixed names remain the float/ann-off
@@ -451,6 +454,28 @@ func BenchmarkRecommend(b *testing.B) {
 			b.Fatal(err)
 		}
 		sys := build(b, repl, recommend.DefaultOptions())
+		b.Run("cache=warm", run(sys, false))
+		b.Run("cache=cold", run(sys, true))
+	})
+	b.Run("store=sharded", func(b *testing.B) {
+		groups := make([]*kvstore.ShardGroup, 2)
+		for gi := range groups {
+			g, err := kvstore.NewShardGroup(fmt.Sprintf("g%d", gi),
+				kvstore.NewLocal(64), kvstore.NewLocal(64))
+			if err != nil {
+				b.Fatal(err)
+			}
+			groups[gi] = g
+		}
+		coord, err := kvstore.NewCoordinator(groups...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		router, err := kvstore.NewSharded(coord, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := build(b, router, recommend.DefaultOptions())
 		b.Run("cache=warm", run(sys, false))
 		b.Run("cache=cold", run(sys, true))
 	})

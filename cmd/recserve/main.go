@@ -10,11 +10,12 @@
 //	POST /action    body: TSV action line             ingest one action
 //	GET /similar?video=v00042&n=10                    similar-video table
 //	GET /stats                                        pipeline counters
+//	POST /rebalance?slot=N&to=group                   migrate a shard slot (-shards only)
 //	GET /healthz                                      liveness
 //
 // Usage:
 //
-//	recserve -addr :8080 [-data ./data] [-replay] [-kv addr1,addr2,...] [-snapshot state.snap]
+//	recserve -addr :8080 [-data ./data] [-replay] [-kv addr1,addr2,...] [-shards mem:N|'p1,b1;p2,b2'] [-snapshot state.snap]
 //
 // With -kv, each remote backend is wrapped in the resilient client stack
 // (per-attempt deadline, bounded retries with jittered backoff, per-backend
@@ -23,6 +24,13 @@
 // write-all/read-first-healthy replication. When every personalized read
 // path is down, /recommend answers from the demographic hot lists with
 // "degraded": true instead of an error.
+//
+// With -shards, the storage tier is horizontally partitioned instead: the
+// key space splits into 256 hash slots owned by primary/backup shard groups
+// ("mem:N" embeds N in-process pairs; "p1,b1;p2,b2" dials remote kvservers,
+// each behind the resilient client stack). /stats reports the shard map and
+// per-group counters, and POST /rebalance migrates a slot between groups
+// under live traffic with the freeze→transfer→flip handoff.
 package main
 
 import (
@@ -60,6 +68,7 @@ func main() {
 		data   = flag.String("data", "", "TSV data directory from recgen (empty: generate a small workload)")
 		replay = flag.Bool("replay", true, "stream the workload through the topology at startup")
 		kvAddr = flag.String("kv", "", "remote kvstore server address(es), comma-separated for replication (empty: embedded store)")
+		shards = flag.String("shards", "", "sharded storage tier: mem:N for N embedded primary/backup groups, or 'p1,b1;p2,b2' remote group addresses (first per group is primary); exclusive with -kv")
 		snap   = flag.String("snapshot", "", "snapshot file for the embedded store: loaded at startup if present, saved on shutdown")
 
 		kvTimeout  = flag.Duration("kv-timeout", kvstore.DefaultResilienceConfig().OpTimeout, "per-attempt deadline on remote kvstore operations (0 disables)")
@@ -93,7 +102,11 @@ func main() {
 	// Root context for the process: cancelled on the first SIGINT/SIGTERM.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	if err := run(ctx, *addr, *data, *replay, *kvAddr, *snap, rcfg, opts); err != nil {
+	if *shards != "" && *kvAddr != "" {
+		fmt.Fprintln(os.Stderr, "recserve: -shards and -kv are mutually exclusive")
+		os.Exit(2)
+	}
+	if err := run(ctx, *addr, *data, *replay, *kvAddr, *shards, *snap, rcfg, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "recserve:", err)
 		os.Exit(1)
 	}
@@ -108,6 +121,13 @@ type storeStack struct {
 	resilients []*kvstore.Resilient // one per remote backend
 	replicated *kvstore.Replicated  // non-nil only with >1 backend
 	addrs      []string
+
+	// Sharded tier (non-nil only with -shards): the router the pipeline
+	// writes through, its coordinator, and the shard groups for /stats and
+	// the /rebalance endpoint.
+	sharded *kvstore.Sharded
+	coord   *kvstore.Coordinator
+	groups  []*kvstore.ShardGroup
 }
 
 // buildStore assembles the storage tier: the embedded sharded store when no
@@ -161,8 +181,86 @@ func buildStore(ctx context.Context, kvAddr string, rcfg kvstore.ResilienceConfi
 	return st, closeAll, nil
 }
 
-func run(ctx context.Context, addr, dataDir string, replay bool, kvAddr, snapshot string, rcfg kvstore.ResilienceConfig, opts recommend.Options) error {
-	st, closeStore, err := buildStore(ctx, kvAddr, rcfg)
+// buildShardedStore assembles the partitioned tier from a -shards spec:
+// "mem:N" builds N embedded primary/backup pairs; otherwise each
+// semicolon-separated entry is one shard group's comma-separated replica
+// addresses (first is the initial primary), every dialed backend wrapped in
+// the same resilient client stack -kv uses.
+func buildShardedStore(ctx context.Context, spec string, rcfg kvstore.ResilienceConfig) (*storeStack, func(), error) {
+	var closers []func()
+	closeAll := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	st := &storeStack{}
+	if n, ok := strings.CutPrefix(spec, "mem:"); ok {
+		count, err := strconv.Atoi(n)
+		if err != nil || count < 1 || count > 256 {
+			return nil, nil, fmt.Errorf("bad -shards %q: mem:N needs N in 1..256", spec)
+		}
+		for gi := 0; gi < count; gi++ {
+			g, err := kvstore.NewShardGroup(fmt.Sprintf("g%d", gi), kvstore.NewLocal(16), kvstore.NewLocal(16))
+			if err != nil {
+				return nil, nil, err
+			}
+			st.groups = append(st.groups, g)
+		}
+	} else {
+		for gi, groupSpec := range strings.Split(spec, ";") {
+			var replicas []kvstore.Store
+			for _, a := range strings.Split(groupSpec, ",") {
+				a = strings.TrimSpace(a)
+				if a == "" {
+					closeAll()
+					return nil, nil, fmt.Errorf("empty address in -shards group %d", gi)
+				}
+				dialCtx, dialCancel := context.WithTimeout(ctx, 10*time.Second)
+				cli, err := kvstore.DialContext(dialCtx, a)
+				dialCancel()
+				if err != nil {
+					closeAll()
+					return nil, nil, err
+				}
+				closers = append(closers, func() { _ = cli.Close() }) // process exit: pooled conns die either way
+				r := kvstore.NewResilient(cli, rcfg, uint64(gi*8+len(replicas))+1)
+				st.resilients = append(st.resilients, r)
+				st.addrs = append(st.addrs, a)
+				replicas = append(replicas, r)
+			}
+			g, err := kvstore.NewShardGroup(fmt.Sprintf("g%d", gi), replicas...)
+			if err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+			st.groups = append(st.groups, g)
+		}
+	}
+	coord, err := kvstore.NewCoordinator(st.groups...)
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	// The client id stamps every write for exactly-once dedup; distinct
+	// recserve processes must not share one, so derive it from the pid.
+	router, err := kvstore.NewSharded(coord, uint64(os.Getpid())<<8|1)
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	st.kv, st.coord, st.sharded = router, coord, router
+	return st, closeAll, nil
+}
+
+func run(ctx context.Context, addr, dataDir string, replay bool, kvAddr, shards, snapshot string, rcfg kvstore.ResilienceConfig, opts recommend.Options) error {
+	var st *storeStack
+	var closeStore func()
+	var err error
+	if shards != "" {
+		st, closeStore, err = buildShardedStore(ctx, shards, rcfg)
+	} else {
+		st, closeStore, err = buildStore(ctx, kvAddr, rcfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -316,6 +414,31 @@ func newMux(sys *recommend.System, st *storeStack, replayMetrics map[string]stor
 		}
 		writeJSON(w, map[string]int{"ingested": len(parsed)})
 	})
+	if st.sharded != nil {
+		// Operator-driven slot migration: move one slot to a named group with
+		// the freeze→transfer→flip handoff, under live traffic.
+		mux.HandleFunc("POST /rebalance", func(w http.ResponseWriter, r *http.Request) {
+			slot, err := strconv.Atoi(r.URL.Query().Get("slot"))
+			if err != nil || slot < 0 || slot >= kvstore.NumShardSlots {
+				http.Error(w, fmt.Sprintf("slot must be in 0..%d", kvstore.NumShardSlots-1), http.StatusBadRequest)
+				return
+			}
+			to := r.URL.Query().Get("to")
+			if to == "" {
+				http.Error(w, "missing to parameter (target group name)", http.StatusBadRequest)
+				return
+			}
+			moved, err := st.coord.Rebalance(r.Context(), slot, to)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			writeJSON(w, map[string]any{
+				"slot": slot, "to": to, "moved_keys": moved,
+				"map_version": st.coord.Stats().Version,
+			})
+		})
+	}
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		lat := sys.Latency.Snapshot()
 		stats := map[string]any{
@@ -354,6 +477,32 @@ func newMux(sys *recommend.System, st *storeStack, replayMetrics map[string]stor
 			stats["kv"] = map[string]any{
 				"keys": keys, "gets": snap.Gets, "sets": snap.Sets,
 				"hit_rate": snap.HitRate(),
+			}
+		}
+		if st.sharded != nil {
+			cs := st.coord.Stats()
+			rs := st.sharded.Stats()
+			groups := make([]map[string]any, 0, len(st.groups))
+			for _, g := range st.groups {
+				gs := g.Stats()
+				groups = append(groups, map[string]any{
+					"name":        g.Name(),
+					"primary":     g.PrimaryIndex(),
+					"replicas":    g.Replicas(),
+					"owned_slots": g.OwnedSlots(),
+					"promotes":    gs.Promotes,
+					"sync_skips":  gs.SyncSkips,
+					"dedup_hits":  gs.DedupHits,
+				})
+			}
+			stats["sharding"] = map[string]any{
+				"map_version":   cs.Version,
+				"rebalances":    cs.Rebalances,
+				"moved_keys":    cs.MovedKeys,
+				"redirects":     rs.Redirects,
+				"frozen_waits":  rs.FrozenWaits,
+				"map_refreshes": rs.MapRefreshes,
+				"groups":        groups,
 			}
 		}
 		if len(st.resilients) > 0 {

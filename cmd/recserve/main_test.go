@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -370,5 +371,131 @@ func TestExploreEndpoints(t *testing.T) {
 	}
 	if totalPulls != float64(len(body.Videos)) {
 		t.Errorf("total pulls %v, want one per served slot (%d)", totalPulls, len(body.Videos))
+	}
+}
+
+// TestShardedStack builds the embedded -shards mem:2 tier, serves the full
+// HTTP surface over it, migrates a slot through POST /rebalance under live
+// state, and checks /stats reports the sharding section with the bumped map
+// version.
+func TestShardedStack(t *testing.T) {
+	st, closeStore, err := buildShardedStore(context.Background(), "mem:2", kvstore.DefaultResilienceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(closeStore)
+	if st.sharded == nil || st.coord == nil || len(st.groups) != 2 {
+		t.Fatalf("buildShardedStore composed %d groups, sharded=%v", len(st.groups), st.sharded != nil)
+	}
+	params := core.DefaultParams()
+	params.Factors = 8
+	sys, err := recommend.NewSystem(st.kv, params, simtable.DefaultConfig(), recommend.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		sys.Catalog.Put(context.Background(), catalog.Video{ID: id, Type: "movie", Length: 30 * time.Minute})
+	}
+	base := time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC)
+	min := 0
+	for _, u := range []string{"u1", "u2", "u3"} {
+		for _, v := range []string{"a", "b"} {
+			sys.Ingest(context.Background(), feedback.Action{
+				UserID: u, VideoID: v, Type: feedback.PlayTime,
+				ViewTime: 30 * time.Minute, VideoLength: 30 * time.Minute,
+				Timestamp: base.Add(time.Duration(min) * time.Minute),
+			})
+			min++
+		}
+	}
+	srv := httptest.NewServer(newMux(sys, st, nil))
+	t.Cleanup(srv.Close)
+
+	var rec struct {
+		Videos []struct{ ID string }
+	}
+	if resp := getJSON(t, srv.URL+"/recommend?user=visitor&video=a&n=2", &rec); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recommend status = %d", resp.StatusCode)
+	}
+	if len(rec.Videos) == 0 {
+		t.Fatal("sharded store served no videos")
+	}
+
+	// Move one slot owned by group 0 to group 1, then serve again: routing
+	// must follow the new map with no visible difference.
+	m, _ := st.coord.View()
+	slot := -1
+	for s := 0; s < kvstore.NumShardSlots; s++ {
+		if m.GroupFor(s) == 0 {
+			slot = s
+			break
+		}
+	}
+	resp, err := http.Post(srv.URL+"/rebalance?slot="+strconv.Itoa(slot)+"&to=g1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebalance status = %d", resp.StatusCode)
+	}
+	var moved struct {
+		MapVersion uint64 `json:"map_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&moved); err != nil {
+		t.Fatal(err)
+	}
+	if moved.MapVersion != 2 {
+		t.Errorf("map_version after rebalance = %d, want 2", moved.MapVersion)
+	}
+	if resp := getJSON(t, srv.URL+"/recommend?user=visitor&video=a&n=2", &rec); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-rebalance recommend status = %d", resp.StatusCode)
+	}
+
+	// Bad rebalance requests are 400s; unknown target group is a 500.
+	if resp := postStatus(t, srv.URL+"/rebalance?slot=9999&to=g1"); resp != http.StatusBadRequest {
+		t.Errorf("out-of-range slot: status = %d, want 400", resp)
+	}
+	if resp := postStatus(t, srv.URL+"/rebalance?slot=0"); resp != http.StatusBadRequest {
+		t.Errorf("missing target: status = %d, want 400", resp)
+	}
+	if resp := postStatus(t, srv.URL+"/rebalance?slot="+strconv.Itoa(slot)+"&to=nope"); resp != http.StatusInternalServerError {
+		t.Errorf("unknown group: status = %d, want 500", resp)
+	}
+
+	var stats map[string]any
+	if resp := getJSON(t, srv.URL+"/stats", &stats); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	sh, ok := stats["sharding"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing sharding section: %v", stats)
+	}
+	if v, _ := sh["map_version"].(float64); v != 2 {
+		t.Errorf("sharding map_version = %v, want 2", sh["map_version"])
+	}
+	groups, ok := sh["groups"].([]any)
+	if !ok || len(groups) != 2 {
+		t.Fatalf("sharding groups = %v, want 2 entries", sh["groups"])
+	}
+}
+
+// postStatus POSTs with an empty body and returns just the status code.
+func postStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestBuildShardedStoreRejectsBadSpecs pins the -shards spec validation.
+func TestBuildShardedStoreRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{"mem:0", "mem:257", "mem:x", ";", "a,;b"} {
+		if _, _, err := buildShardedStore(context.Background(), spec, kvstore.DefaultResilienceConfig()); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
 	}
 }

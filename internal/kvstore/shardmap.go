@@ -1,0 +1,210 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Horizontal sharding: the key space is divided into NumShardSlots fixed
+// slots by FNV-1a hash, and a ShardMap assigns every slot to exactly one
+// shard group (a primary/backup replica pair, shardgroup.go). Routing on a
+// fixed slot table rather than hashing group names directly means ownership
+// can move one slot at a time — the unit of the online rebalance protocol
+// (sharded.go) — while every key's slot stays eternally stable.
+//
+// The initial slot→group assignment uses rendezvous (highest-random-weight)
+// hashing, so growing a cluster from N to N+1 groups reassigns only the
+// slots the new group wins — the consistent-hash stability bound the
+// property test pins: at most ⌈slots/(N+1)⌉ slots move.
+
+// NumShardSlots is the fixed number of hash slots keys are partitioned
+// into. 256 slots keeps the map one byte per slot on the wire while still
+// giving a 16-group cluster 16 slots per group to balance with.
+const NumShardSlots = 256
+
+// SlotForKey returns the shard slot a key routes to. Every key maps to
+// exactly one slot, forever: the slot table is fixed and the hash is the
+// same inlined FNV-1a the Local store uses (pinned bit-identical to
+// hash/fnv by a test).
+func SlotForKey(key string) int {
+	return int(fnv1a32(key) % NumShardSlots)
+}
+
+// ShardMap is the routing table: the cluster's group names and the owner
+// group index for each slot. Maps are immutable once published — the
+// coordinator installs a new map (Version+1) to move ownership, and a
+// client holding an old version discovers it through ErrWrongServer.
+type ShardMap struct {
+	// Version orders map revisions; rebalances publish Version+1.
+	Version uint64
+	// Groups are the shard-group names, index-aligned with Slots values.
+	Groups []string
+	// Slots[s] is the index into Groups of slot s's owner.
+	Slots []uint8
+}
+
+// NewShardMap builds the version-1 map for the given group names, assigning
+// every slot to its rendezvous winner.
+func NewShardMap(groups []string) (*ShardMap, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("kvstore: shard map needs at least one group")
+	}
+	if len(groups) > 256 {
+		return nil, fmt.Errorf("kvstore: shard map supports at most 256 groups, got %d", len(groups))
+	}
+	seen := make(map[string]struct{}, len(groups))
+	for _, g := range groups {
+		if g == "" {
+			return nil, fmt.Errorf("kvstore: shard group name must be non-empty")
+		}
+		if _, dup := seen[g]; dup {
+			return nil, fmt.Errorf("kvstore: duplicate shard group name %q", g)
+		}
+		seen[g] = struct{}{}
+	}
+	m := &ShardMap{
+		Version: 1,
+		Groups:  append([]string(nil), groups...),
+		Slots:   make([]uint8, NumShardSlots),
+	}
+	for s := range m.Slots {
+		m.Slots[s] = uint8(rendezvousOwner(s, groups))
+	}
+	return m, nil
+}
+
+// rendezvousOwner returns the index of the group with the highest hash
+// weight for the slot. Each (group, slot) pair hashes independently, so
+// adding a group only moves the slots the newcomer wins — no other
+// assignment changes.
+func rendezvousOwner(slot int, groups []string) int {
+	best := 0
+	bestW := rendezvousWeight(groups[0], slot)
+	for i := 1; i < len(groups); i++ {
+		if w := rendezvousWeight(groups[i], slot); w > bestW {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
+// rendezvousWeight is FNV-1a 64 over the group name and the slot index,
+// finished with a splitmix64 avalanche. The avalanche matters: raw FNV of a
+// one-byte slot suffix only stirs the low bits, leaving the weight ordering
+// between groups nearly constant across slots — one group would win the
+// whole table.
+func rendezvousWeight(group string, slot int) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(group); i++ {
+		h = (h ^ uint64(group[i])) * 1099511628211
+	}
+	h = (h ^ uint64(slot)) * 1099511628211
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// GroupFor returns the owner group index for a slot.
+func (m *ShardMap) GroupFor(slot int) int { return int(m.Slots[slot]) }
+
+// Clone returns a deep copy, the starting point for publishing a revision.
+func (m *ShardMap) Clone() *ShardMap {
+	return &ShardMap{
+		Version: m.Version,
+		Groups:  append([]string(nil), m.Groups...),
+		Slots:   append([]uint8(nil), m.Slots...),
+	}
+}
+
+// Validate checks structural integrity: group names present and unique,
+// exactly NumShardSlots slot entries, every owner index in range.
+func (m *ShardMap) Validate() error {
+	if len(m.Groups) == 0 {
+		return fmt.Errorf("kvstore: shard map has no groups")
+	}
+	if len(m.Groups) > 256 {
+		return fmt.Errorf("kvstore: shard map has %d groups, max 256", len(m.Groups))
+	}
+	seen := make(map[string]struct{}, len(m.Groups))
+	for _, g := range m.Groups {
+		if g == "" {
+			return fmt.Errorf("kvstore: shard map has empty group name")
+		}
+		if _, dup := seen[g]; dup {
+			return fmt.Errorf("kvstore: shard map has duplicate group %q", g)
+		}
+		seen[g] = struct{}{}
+	}
+	if len(m.Slots) != NumShardSlots {
+		return fmt.Errorf("kvstore: shard map has %d slots, want %d", len(m.Slots), NumShardSlots)
+	}
+	for s, g := range m.Slots {
+		if int(g) >= len(m.Groups) {
+			return fmt.Errorf("kvstore: slot %d owned by group %d, only %d groups", s, g, len(m.Groups))
+		}
+	}
+	return nil
+}
+
+// EncodeShardMap encodes a map for the wire: uvarint version, uvarint group
+// count, uvarint-length-prefixed group names, then the raw slot bytes.
+func EncodeShardMap(m *ShardMap) []byte {
+	size := 2*binary.MaxVarintLen64 + NumShardSlots
+	for _, g := range m.Groups {
+		size += binary.MaxVarintLen64 + len(g)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, m.Version)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Groups)))
+	for _, g := range m.Groups {
+		buf = binary.AppendUvarint(buf, uint64(len(g)))
+		buf = append(buf, g...)
+	}
+	buf = append(buf, m.Slots...)
+	return buf
+}
+
+// DecodeShardMap decodes a value produced by EncodeShardMap, validating the
+// result so a corrupt map can never be installed.
+func DecodeShardMap(b []byte) (*ShardMap, error) {
+	version, off := binary.Uvarint(b)
+	if off <= 0 {
+		return nil, fmt.Errorf("kvstore: corrupt shard map version")
+	}
+	n, m := binary.Uvarint(b[off:])
+	if m <= 0 {
+		return nil, fmt.Errorf("kvstore: corrupt shard map group count")
+	}
+	off += m
+	if n > uint64(len(b)) { // each group needs at least 1 byte; cheap sanity bound
+		return nil, fmt.Errorf("kvstore: shard map claims %d groups in %d bytes", n, len(b))
+	}
+	groups := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, m := binary.Uvarint(b[off:])
+		if m <= 0 {
+			return nil, fmt.Errorf("kvstore: corrupt shard map group %d length", i)
+		}
+		off += m
+		if uint64(len(b)-off) < l {
+			return nil, fmt.Errorf("kvstore: truncated shard map group %d", i)
+		}
+		groups = append(groups, string(b[off:off+int(l)]))
+		off += int(l)
+	}
+	if len(b)-off != NumShardSlots {
+		return nil, fmt.Errorf("kvstore: shard map has %d slot bytes, want %d", len(b)-off, NumShardSlots)
+	}
+	sm := &ShardMap{
+		Version: version,
+		Groups:  groups,
+		Slots:   append([]uint8(nil), b[off:]...),
+	}
+	if err := sm.Validate(); err != nil {
+		return nil, err
+	}
+	return sm, nil
+}

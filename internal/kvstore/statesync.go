@@ -1,0 +1,160 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// StateSync is the bulk state-transfer payload of the sharded tier, used in
+// two places (both grounded in the primary/backup protocol this package
+// models): catching a rejoining backup up to its primary, and handing a
+// slot's data from the source group to the destination group during a
+// rebalance. The payload carries the map version it was built against, the
+// slots it covers, every key/value in those slots, and the duplicate-
+// detection table — moving the dedup entries with the data is what keeps
+// exactly-once write semantics across a handoff: a client retrying a write
+// against the new owner still deduplicates.
+type StateSync struct {
+	// MapVersion is the shard-map version this payload belongs to.
+	MapVersion uint64
+	// Slots lists the slots the payload covers.
+	Slots []uint16
+	// Entries are the key/value pairs, in sorted key order so payload bytes
+	// are a deterministic function of state.
+	Entries []SyncEntry
+	// Dedup is the applied-write table to merge into the receiver.
+	Dedup []DedupEntry
+}
+
+// SyncEntry is one key/value pair in a StateSync payload.
+type SyncEntry struct {
+	Key string
+	Val []byte
+}
+
+// DedupEntry identifies one applied client write: the client id and the
+// client-assigned sequence number.
+type DedupEntry struct {
+	CID uint64
+	Seq uint64
+}
+
+// EncodeStateSync encodes a payload: uvarint map version, uvarint slot
+// count + 2-byte little-endian slots, uvarint entry count + length-prefixed
+// key/value pairs, uvarint dedup count + uvarint CID/Seq pairs.
+func EncodeStateSync(s *StateSync) []byte {
+	size := 4*binary.MaxVarintLen64 + 2*len(s.Slots)
+	for _, e := range s.Entries {
+		size += 2*binary.MaxVarintLen64 + len(e.Key) + len(e.Val)
+	}
+	size += 2 * binary.MaxVarintLen64 * len(s.Dedup)
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, s.MapVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(s.Slots)))
+	for _, slot := range s.Slots {
+		var sb [2]byte
+		binary.LittleEndian.PutUint16(sb[:], slot)
+		buf = append(buf, sb[:]...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Entries)))
+	for _, e := range s.Entries {
+		buf = binary.AppendUvarint(buf, uint64(len(e.Key)))
+		buf = append(buf, e.Key...)
+		buf = binary.AppendUvarint(buf, uint64(len(e.Val)))
+		buf = append(buf, e.Val...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Dedup)))
+	for _, d := range s.Dedup {
+		buf = binary.AppendUvarint(buf, d.CID)
+		buf = binary.AppendUvarint(buf, d.Seq)
+	}
+	return buf
+}
+
+// DecodeStateSync decodes a value produced by EncodeStateSync.
+func DecodeStateSync(b []byte) (*StateSync, error) {
+	s := &StateSync{}
+	version, off := binary.Uvarint(b)
+	if off <= 0 {
+		return nil, fmt.Errorf("kvstore: corrupt state sync version")
+	}
+	s.MapVersion = version
+	ns, m := binary.Uvarint(b[off:])
+	if m <= 0 {
+		return nil, fmt.Errorf("kvstore: corrupt state sync slot count")
+	}
+	off += m
+	if ns > NumShardSlots {
+		return nil, fmt.Errorf("kvstore: state sync claims %d slots, max %d", ns, NumShardSlots)
+	}
+	if uint64(len(b)-off) < 2*ns {
+		return nil, fmt.Errorf("kvstore: truncated state sync slot list")
+	}
+	s.Slots = make([]uint16, 0, ns)
+	for i := uint64(0); i < ns; i++ {
+		slot := binary.LittleEndian.Uint16(b[off:])
+		if slot >= NumShardSlots {
+			return nil, fmt.Errorf("kvstore: state sync slot %d out of range", slot)
+		}
+		s.Slots = append(s.Slots, slot)
+		off += 2
+	}
+	ne, m := binary.Uvarint(b[off:])
+	if m <= 0 {
+		return nil, fmt.Errorf("kvstore: corrupt state sync entry count")
+	}
+	off += m
+	if ne > uint64(len(b)) { // each entry needs at least 2 bytes; cheap sanity bound
+		return nil, fmt.Errorf("kvstore: state sync claims %d entries in %d bytes", ne, len(b))
+	}
+	s.Entries = make([]SyncEntry, 0, ne)
+	for i := uint64(0); i < ne; i++ {
+		kl, m := binary.Uvarint(b[off:])
+		if m <= 0 {
+			return nil, fmt.Errorf("kvstore: corrupt state sync entry %d key length", i)
+		}
+		off += m
+		if uint64(len(b)-off) < kl {
+			return nil, fmt.Errorf("kvstore: truncated state sync entry %d key", i)
+		}
+		key := string(b[off : off+int(kl)])
+		off += int(kl)
+		vl, m := binary.Uvarint(b[off:])
+		if m <= 0 {
+			return nil, fmt.Errorf("kvstore: corrupt state sync entry %d value length", i)
+		}
+		off += m
+		if uint64(len(b)-off) < vl {
+			return nil, fmt.Errorf("kvstore: truncated state sync entry %d value", i)
+		}
+		val := append([]byte(nil), b[off:off+int(vl)]...)
+		off += int(vl)
+		s.Entries = append(s.Entries, SyncEntry{Key: key, Val: val})
+	}
+	nd, m := binary.Uvarint(b[off:])
+	if m <= 0 {
+		return nil, fmt.Errorf("kvstore: corrupt state sync dedup count")
+	}
+	off += m
+	if nd > uint64(len(b)) { // each dedup pair needs at least 2 bytes; cheap sanity bound
+		return nil, fmt.Errorf("kvstore: state sync claims %d dedup entries in %d bytes", nd, len(b))
+	}
+	s.Dedup = make([]DedupEntry, 0, nd)
+	for i := uint64(0); i < nd; i++ {
+		cid, m := binary.Uvarint(b[off:])
+		if m <= 0 {
+			return nil, fmt.Errorf("kvstore: corrupt state sync dedup %d cid", i)
+		}
+		off += m
+		seq, m := binary.Uvarint(b[off:])
+		if m <= 0 {
+			return nil, fmt.Errorf("kvstore: corrupt state sync dedup %d seq", i)
+		}
+		off += m
+		s.Dedup = append(s.Dedup, DedupEntry{CID: cid, Seq: seq})
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("kvstore: state sync has %d trailing bytes", len(b)-off)
+	}
+	return s, nil
+}

@@ -1,0 +1,107 @@
+package recommend_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vidrec/internal/kvstore"
+)
+
+// The sharded golden pins storage-tier transparency at the serving API: the
+// exact workload and request mix of golden_topn.json, replayed through a
+// three-group sharded cluster (primary/backup pairs under a Coordinator,
+// fronted by a Sharded router) with a four-slot rebalance in the middle of
+// the replay. The file must be byte-identical to the local-store golden —
+// partitioning, synchronous replication, and a live slot migration may not
+// move a single score bit. Refresh with the same convention:
+//
+//	go test ./internal/recommend -run Golden -update
+const goldenShardedPath = "testdata/golden_sharded.json"
+
+// buildShardedStore assembles the 3×2 sharded cluster the golden replays
+// against, returning the router and a rebalance hook the test fires
+// mid-replay.
+func buildShardedStore(t *testing.T) (*kvstore.Sharded, func()) {
+	t.Helper()
+	groups := make([]*kvstore.ShardGroup, 3)
+	for gi := range groups {
+		g, err := kvstore.NewShardGroup(fmt.Sprintf("g%d", gi), kvstore.NewLocal(16), kvstore.NewLocal(16))
+		if err != nil {
+			t.Fatalf("build group %d: %v", gi, err)
+		}
+		groups[gi] = g
+	}
+	coord, err := kvstore.NewCoordinator(groups...)
+	if err != nil {
+		t.Fatalf("build coordinator: %v", err)
+	}
+	router, err := kvstore.NewSharded(coord, 7)
+	if err != nil {
+		t.Fatalf("build router: %v", err)
+	}
+	rebalance := func() {
+		ctx := context.Background()
+		m, _ := coord.View()
+		moved := 0
+		for s := 0; s < kvstore.NumShardSlots && moved < 4; s++ {
+			if m.GroupFor(s) != 0 {
+				continue
+			}
+			if _, err := coord.Rebalance(ctx, s, groups[1].Name()); err != nil {
+				t.Fatalf("rebalance slot %d: %v", s, err)
+			}
+			moved++
+		}
+	}
+	return router, rebalance
+}
+
+func TestGoldenSharded(t *testing.T) {
+	router, rebalance := buildShardedStore(t)
+	got := buildGoldenOnWithHook(t, router, rebalance)
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenShardedPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenShardedPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d results)", goldenShardedPath, len(got.Results))
+		return
+	}
+
+	want, err := os.ReadFile(goldenShardedPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		var old goldenFile
+		if err := json.Unmarshal(want, &old); err != nil {
+			t.Fatalf("golden file is not valid JSON: %v", err)
+		}
+		t.Errorf("sharded serving output diverged from %s — if the change is intended, refresh with -update", goldenShardedPath)
+		logGoldenDiff(t, old, got)
+	}
+
+	// The transparency claim itself: the sharded golden must be byte-for-byte
+	// the local-store golden. A sharded-only divergence would pass the pinned
+	// comparison above while silently breaking storage-tier transparency.
+	local, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read local golden: %v", err)
+	}
+	if !bytes.Equal(want, local) {
+		t.Errorf("%s and %s differ — the sharded tier is not transparent to serving", goldenShardedPath, goldenPath)
+	}
+}

@@ -56,7 +56,27 @@ type goldenFile struct {
 	Results []goldenResult `json:"results"`
 }
 
+// buildGolden replays the fixed workload against a plain Local store — the
+// baseline every storage-tier golden (see golden_sharded_test.go) must match
+// byte for byte.
 func buildGolden(t *testing.T) goldenFile {
+	t.Helper()
+	return buildGoldenOn(t, kvstore.NewLocal(16))
+}
+
+// buildGoldenOn replays the fixed seed-7 workload and request mix against an
+// arbitrary store composition and returns the golden output. The store is a
+// pure parameter: any composition that is transparent to clients (sharded,
+// replicated, cached) must produce identical bytes.
+func buildGoldenOn(t *testing.T, store kvstore.Store) goldenFile {
+	t.Helper()
+	return buildGoldenOnWithHook(t, store, nil)
+}
+
+// buildGoldenOnWithHook additionally fires hook once, forty actions into the
+// replay — the sharded golden uses it to run a live slot migration with
+// ingest traffic on both sides of it.
+func buildGoldenOnWithHook(t *testing.T, store kvstore.Store, hook func()) goldenFile {
 	t.Helper()
 	ctx := context.Background()
 	ds, err := dataset.Generate(dataset.Config{
@@ -78,7 +98,7 @@ func buildGolden(t *testing.T) goldenFile {
 	}
 	params := core.DefaultParams()
 	params.Factors = 8
-	sys, err := recommend.NewSystem(kvstore.NewLocal(16), params, simtable.DefaultConfig(), recommend.DefaultOptions())
+	sys, err := recommend.NewSystem(store, params, simtable.DefaultConfig(), recommend.DefaultOptions())
 	if err != nil {
 		t.Fatalf("build system: %v", err)
 	}
@@ -102,6 +122,10 @@ func buildGolden(t *testing.T) goldenFile {
 			t.Fatalf("ingest action %d: %v", out.Actions, err)
 		}
 		out.Actions++
+		if hook != nil && out.Actions == 40 {
+			hook()
+			hook = nil
+		}
 	}
 
 	// Fixed request mix: each sampled user once history-seeded ("Guess you

@@ -64,6 +64,14 @@ type Report struct {
 	ReadFallbacks uint64 // replicated reads answered by a non-primary backend
 	WriteSkips    uint64 // per-backend write failures absorbed by write-all
 
+	// Sharding accounting (zero unless the scenario sets Shards > 1).
+	ShardRedirects  uint64 // client retries after ErrWrongServer
+	ShardPromotes   uint64 // primary failovers across all groups
+	ShardRebalances uint64 // completed slot migrations
+	ShardMovedKeys  uint64 // keys carried by those migrations
+	ShardSyncSkips  uint64 // backup replications skipped (replica down)
+	ShardDedupHits  uint64 // duplicate client writes absorbed by CID/SeqNo dedup
+
 	// Serving accounting.
 	Recommends      int // successful Recommend calls
 	RecommendErrors int // Recommend calls that returned an error
@@ -130,13 +138,30 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	// retries genuinely re-roll the injector. With Replicas > 1 the chains
 	// compose under Replicated (write-all / read-first-healthy), mirroring
 	// the production stack recserve assembles.
+	// With Shards > 1 the stack is the sharded tier instead: per-group
+	// primary/backup chains under a Coordinator, fronted by the Sharded
+	// router (shard.go). The replica-chain machinery below is skipped.
+	var cluster *shardCluster
+	var chains []replicaChain
+	var repl *kvstore.Replicated
+	var store kvstore.Store
+	if sc.Shards > 1 {
+		cluster, err = newShardCluster(sc, vclock)
+		if err != nil {
+			return nil, err
+		}
+		store = cluster.router
+	}
+
 	replicas := sc.Replicas
 	if replicas < 1 {
 		replicas = 1
 	}
-	chains := make([]replicaChain, replicas)
+	if cluster == nil {
+		chains = make([]replicaChain, replicas)
+	}
 	backends := make([]kvstore.Store, replicas)
-	for i := 0; i < replicas; i++ {
+	for i := 0; cluster == nil && i < replicas; i++ {
 		base := kvstore.NewLocal(32)
 		var store kvstore.Store = base
 		if sc.Transport == TransportTCP {
@@ -173,15 +198,16 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 			backends[i] = r
 		}
 	}
-	store := backends[0]
-	var repl *kvstore.Replicated
-	if replicas > 1 {
-		var err error
-		repl, err = kvstore.NewReplicated(backends...)
-		if err != nil {
-			return nil, fmt.Errorf("sim: compose replicated store: %w", err)
+	if cluster == nil {
+		store = backends[0]
+		if replicas > 1 {
+			var err error
+			repl, err = kvstore.NewReplicated(backends...)
+			if err != nil {
+				return nil, fmt.Errorf("sim: compose replicated store: %w", err)
+			}
+			store = repl
 		}
-		store = repl
 	}
 
 	params := core.DefaultParams()
@@ -216,11 +242,23 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	if err := ds.FillProfiles(ctx, sys.Profiles); err != nil {
 		return nil, fmt.Errorf("sim: fill profiles: %w", err)
 	}
+	if cluster != nil {
+		cluster.arm(sc)
+	}
 	for i := range chains {
 		chains[i].faulty.SetSchedule(replicaSchedule(sc, i))
 	}
 
-	src := &clockSource{stream: ds.Stream(), clock: vclock}
+	// Mid-replay rebalance: the hook fires between two actions (after the
+	// Nth action's tuple tree, before the N+1th feeds the spout on the
+	// serialized scenarios), so the migration runs under live write
+	// traffic at a deterministic point in the stream.
+	var rebalanceHook func()
+	if cluster != nil && sc.RebalanceAfterActions > 0 {
+		rebalanceHook = func() { cluster.moveSlots(ctx, sc.RebalanceSlots) }
+	}
+	src := &clockSource{stream: ds.Stream(), clock: vclock,
+		after: sc.RebalanceAfterActions, hook: rebalanceHook}
 	topo, err := topology.BuildWithOptions(sys,
 		func(int) topology.Source { return src },
 		sc.Parallelism,
@@ -268,6 +306,13 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	results := make([]*recommend.Result, 0, sc.Recommends)
 	servedUsers := make([]string, 0, sc.Recommends)
 	for i := 0; i < sc.Recommends; i++ {
+		if cluster != nil && sc.RebalanceDuringServe && i > 0 &&
+			(i == sc.Recommends/3 || i == 2*sc.Recommends/3) {
+			// Slot migration with requests in flight either side of it: the
+			// freeze→transfer→flip handoff must never fail a read, so the
+			// RecommendErrors count below doubles as the assertion.
+			cluster.moveSlots(ctx, sc.RebalanceSlots)
+		}
 		req := recommend.Request{UserID: users[i%len(users)].ID, N: sc.TopN}
 		if i%2 == 1 {
 			req.CurrentVideo = videos[i%len(videos)].Meta.ID
@@ -360,11 +405,59 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 		rep.ReadFallbacks = s.ReadFallbacks
 		rep.WriteSkips = s.WriteSkips
 	}
+	if cluster != nil {
+		for gi := range cluster.faulties {
+			for _, f := range cluster.faulties[gi] {
+				rep.KVOps += f.Ops()
+				rep.InjectedFaults += f.Injected()
+			}
+		}
+		for _, r := range cluster.resilient {
+			s := r.Stats()
+			rep.Retries += s.Retries
+			rep.Exhausted += s.Exhausted
+			rep.BreakerTrips += s.Breaker.Trips
+			rep.BreakerResets += s.Breaker.Resets
+		}
+		for _, g := range cluster.groups {
+			gs := g.Stats()
+			rep.ShardPromotes += gs.Promotes
+			rep.ShardSyncSkips += gs.SyncSkips
+			rep.ShardDedupHits += gs.DedupHits
+			rep.ReadFallbacks += gs.ReadFallbacks
+		}
+		rep.ShardRedirects = cluster.router.Stats().Redirects
+		if cluster.stale != nil {
+			rep.ShardRedirects += cluster.stale.Stats().Redirects
+		}
+		cs := cluster.coord.Stats()
+		rep.ShardRebalances = cs.Rebalances
+		rep.ShardMovedKeys = cs.MovedKeys
+		// ReplicaDigests carries each group's acting-primary digest; on a
+		// sharded run the entries are per-shard partitions, not copies.
+		rep.ReplicaDigests = cluster.groupDigests()
+		rep.Violations = append(rep.Violations, cluster.hookViolations()...)
+		rep.Violations = append(rep.Violations, cluster.probeStale(ctx)...)
+	}
+
+	// The authoritative state for digests, checkers, and explore accounting:
+	// replica 0's base unsharded, the merged union of every group's acting
+	// primary when sharded (disjoint slots make the union exactly the state
+	// an unpartitioned run holds — the digest tests pin this).
+	var authBase *kvstore.Local
+	if cluster != nil {
+		authBase, err = cluster.merged(ctx)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		authBase = chains[0].base
+	}
 
 	// Explore accounting: decode the final reward state straight off the
-	// authoritative replica. A missing record means nothing explored — the
+	// authoritative state. A missing record means nothing explored — the
 	// reward-starvation and blackout expectations assert on exactly that.
-	if raw, ok, err := chains[0].base.Get(ctx, kvstore.Key("sys.bandit", "arms")); err == nil && ok {
+	if raw, ok, err := authBase.Get(ctx, kvstore.Key("sys.bandit", "arms")); err == nil && ok {
 		if st, _, err := bandit.DecodeState(raw); err == nil {
 			for a := 0; a < bandit.NumArms; a++ {
 				rep.ExplorePulls += st.Pulls[a]
@@ -373,14 +466,16 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 		}
 	}
 
-	// Invariant checkers run against replica 0 — the backend every healthy
-	// read answers from, so its state is the authoritative one.
 	rep.Violations = append(rep.Violations, checkConservation(sc, topo, rep)...)
-	rep.Violations = append(rep.Violations, checkStore(ds, chains[0].base, params, opts, simtable.DefaultConfig())...)
+	rep.Violations = append(rep.Violations, checkStore(ds, authBase, params, opts, simtable.DefaultConfig())...)
 	rep.Violations = append(rep.Violations, checkResults(ds, results, sc.TopN)...)
 	rep.Violations = append(rep.Violations, checkLatency(sys, len(results))...)
 
-	rep.Digest = rep.ReplicaDigests[0]
+	if cluster != nil {
+		rep.Digest = StateDigest(authBase)
+	} else {
+		rep.Digest = rep.ReplicaDigests[0]
+	}
 	rep.ServeDigest = serveDigest(results)
 	return rep, nil
 }
@@ -443,11 +538,24 @@ type clockSource struct {
 	mu      sync.Mutex
 	stream  *dataset.Stream // guarded by mu
 	clock   *VirtualClock
-	actions int // guarded by mu
+	actions int    // guarded by mu
+	after   int    // fire hook once when this many actions have been drawn
+	hook    func() // guarded by mu (fired at most once, under the action count check)
 }
 
 // Next implements topology.Source.
 func (s *clockSource) Next() (feedback.Action, bool) {
+	s.mu.Lock()
+	var fire func()
+	if s.hook != nil && s.actions >= s.after {
+		fire, s.hook = s.hook, nil
+	}
+	s.mu.Unlock()
+	if fire != nil {
+		// Run outside the source lock: the hook reaches into the storage
+		// tier (slot rebalance) and must not nest under mu.
+		fire()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	a, ok := s.stream.Next()

@@ -82,6 +82,33 @@ type Scenario struct {
 	// operation.
 	ServeFaults []kvstore.FaultPhase
 
+	// Sharded storage tier. Shards > 1 partitions the key space across that
+	// many primary/backup shard groups (kvstore.ShardGroup) under a
+	// Coordinator, and routes the pipeline through a kvstore.Sharded client.
+	// Requires TransportLocal; mutually exclusive with Replicas > 1, KVFaults,
+	// ReplicaFaults, and ServeFaults — shard scenarios schedule faults per
+	// shard replica via ShardFaults.
+	Shards int
+	// ShardFaults is the per-shard-replica fault schedule, indexed by
+	// group*2 + role (role 0 primary, 1 backup); missing or nil entries run
+	// fault-free. Only valid with Shards > 1.
+	ShardFaults [][]kvstore.FaultPhase
+	// RebalanceAfterActions, when > 0, migrates RebalanceSlots slots from
+	// group 0 to group 1 mid-replay, right before that action number feeds
+	// the spout — an ownership move under live write traffic.
+	RebalanceAfterActions int
+	// RebalanceDuringServe fires the same migration twice during the serving
+	// phase (at Recommends/3 and 2·Recommends/3), moving slots while reads
+	// are in flight.
+	RebalanceDuringServe bool
+	// RebalanceSlots is how many slots each migration hook moves (default 4).
+	RebalanceSlots int
+	// StaleRouter builds a second Sharded client before any rebalance and,
+	// after quiescence, reads every stored key through it: the client must
+	// absorb ErrWrongServer redirects, refresh its map, and answer every
+	// read — the split-brain recovery drill.
+	StaleRouter bool
+
 	// Serving phase: Recommends requests of size TopN after the replay.
 	Recommends int
 	TopN       int
@@ -171,6 +198,34 @@ func (s Scenario) withDefaults() (Scenario, error) {
 	}
 	if len(s.ReplicaFaults) > s.Replicas {
 		return s, fmt.Errorf("sim: scenario %q has %d replica fault schedules for %d replicas", s.Name, len(s.ReplicaFaults), s.Replicas)
+	}
+	if s.Shards < 0 || s.Shards == 1 {
+		return s, fmt.Errorf("sim: scenario %q has Shards %d, want 0 or >= 2", s.Name, s.Shards)
+	}
+	if s.Shards > 1 {
+		if s.Transport == TransportTCP {
+			return s, fmt.Errorf("sim: scenario %q combines Shards with the TCP transport", s.Name)
+		}
+		if s.Replicas > 1 {
+			return s, fmt.Errorf("sim: scenario %q combines Shards with Replicas; shard groups replicate internally", s.Name)
+		}
+		if len(s.KVFaults) > 0 || len(s.ReplicaFaults) > 0 || len(s.ServeFaults) > 0 {
+			return s, fmt.Errorf("sim: scenario %q must schedule faults via ShardFaults when Shards > 1", s.Name)
+		}
+		if len(s.ShardFaults) > 2*s.Shards {
+			return s, fmt.Errorf("sim: scenario %q has %d shard fault schedules for %d shard replicas", s.Name, len(s.ShardFaults), 2*s.Shards)
+		}
+		if s.RebalanceSlots == 0 {
+			s.RebalanceSlots = 4
+		}
+		if s.RebalanceSlots < 0 {
+			return s, fmt.Errorf("sim: scenario %q has negative RebalanceSlots %d", s.Name, s.RebalanceSlots)
+		}
+	} else if len(s.ShardFaults) > 0 || s.RebalanceAfterActions > 0 || s.RebalanceDuringServe || s.RebalanceSlots > 0 || s.StaleRouter {
+		return s, fmt.Errorf("sim: scenario %q sets shard knobs without Shards > 1", s.Name)
+	}
+	if s.RebalanceAfterActions < 0 {
+		return s, fmt.Errorf("sim: scenario %q has negative RebalanceAfterActions %d", s.Name, s.RebalanceAfterActions)
 	}
 	if s.Recommends <= 0 {
 		s.Recommends = 30

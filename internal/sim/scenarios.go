@@ -287,5 +287,63 @@ func Scenarios() []Scenario {
 			Explore:      true,
 			ServeFaults:  []kvstore.FaultPhase{{FailRate: 1, KeyPrefix: "sys/"}},
 		},
+		{
+			// Shard-loss transparency: two shard groups, and group 1's primary
+			// dies permanently 800 ops into the replay. The group absorbs the
+			// loss internally — the backup (which replicated every prior write
+			// synchronously) promotes, writes and reads continue against it —
+			// so this run's Digest AND ServeDigest must be byte-identical to
+			// the same scenario unsharded and fault-free (the shard-loss
+			// digest test runs both). Fully serialized for that comparison;
+			// cache disabled so faults land at deterministic store ops.
+			Name:         "shard-loss",
+			Seed:         2020,
+			Parallelism:  serialParallelism(),
+			MaxPending:   1,
+			Tracked:      true,
+			Synchronous:  true,
+			DisableCache: true,
+			Shards:       2,
+			ShardFaults: [][]kvstore.FaultPhase{
+				nil, nil,
+				{{Ops: 800}, {FailRate: 1}},
+				nil,
+			},
+		},
+		{
+			// Live rebalance under serving traffic: slot migrations fire at
+			// one third and two thirds of the request phase, with Recommend
+			// reads in flight on either side. The freeze→transfer→flip
+			// handoff blocks only writes, so every request must succeed, and
+			// the moved state must be byte-for-byte intact: Digest and
+			// ServeDigest must match the same scenario unsharded with no
+			// rebalance at all (the rebalance digest test runs both).
+			Name:                 "rebalance-mid-serving",
+			Seed:                 2121,
+			Parallelism:          serialParallelism(),
+			MaxPending:           1,
+			Tracked:              true,
+			Synchronous:          true,
+			DisableCache:         true,
+			Shards:               2,
+			RebalanceDuringServe: true,
+			RebalanceSlots:       4,
+		},
+		{
+			// Split-brain recovery: a second router is built on the version-1
+			// map, then a mid-replay rebalance (under live write traffic —
+			// writes that land in the freeze window park on the coordinator
+			// and retry) moves four slots and obsoletes that map. After
+			// quiescence the stale router reads every stored key: each read
+			// into a moved slot draws ErrWrongServer from the old owner,
+			// refreshes, and must answer correctly from the new one.
+			Name:                  "split-brain",
+			Seed:                  2222,
+			Tracked:               true,
+			Shards:                2,
+			RebalanceAfterActions: 150,
+			RebalanceSlots:        4,
+			StaleRouter:           true,
+		},
 	}
 }

@@ -157,6 +157,54 @@ var expectations = map[string]func(t *testing.T, rep *Report){
 			t.Error("ANN run served nothing")
 		}
 	},
+	"shard-loss": func(t *testing.T, rep *Report) {
+		if rep.InjectedFaults == 0 {
+			t.Error("shard primary outage injected no faults — scenario is vacuous")
+		}
+		if rep.ShardPromotes == 0 {
+			t.Error("dead primary never promoted its backup")
+		}
+		if rep.FailedTrees != 0 {
+			t.Errorf("shard loss failed %d tuple trees despite a live backup", rep.FailedTrees)
+		}
+		if rep.RecommendErrors != 0 {
+			t.Errorf("%d recommend errors despite a live backup", rep.RecommendErrors)
+		}
+		if len(rep.ReplicaDigests) != 2 {
+			t.Fatalf("got %d group digests, want 2", len(rep.ReplicaDigests))
+		}
+	},
+	"rebalance-mid-serving": func(t *testing.T, rep *Report) {
+		if want := uint64(2 * rep.Scenario.RebalanceSlots); rep.ShardRebalances != want {
+			t.Errorf("completed %d slot migrations, want %d", rep.ShardRebalances, want)
+		}
+		if rep.ShardMovedKeys == 0 {
+			t.Error("migrations moved no keys — scenario is vacuous")
+		}
+		if rep.RecommendErrors != 0 {
+			t.Errorf("%d recommend errors during live rebalance, want 0 — a read was dropped", rep.RecommendErrors)
+		}
+		if rep.Degraded != 0 {
+			t.Errorf("%d responses degraded during live rebalance, want 0", rep.Degraded)
+		}
+	},
+	"split-brain": func(t *testing.T, rep *Report) {
+		if want := uint64(rep.Scenario.RebalanceSlots); rep.ShardRebalances != want {
+			t.Errorf("completed %d slot migrations, want %d", rep.ShardRebalances, want)
+		}
+		if rep.ShardMovedKeys == 0 {
+			t.Error("migration moved no keys — scenario is vacuous")
+		}
+		if rep.ShardRedirects == 0 {
+			t.Error("no client ever drew an ErrWrongServer redirect")
+		}
+		if rep.FailedTrees != 0 {
+			t.Errorf("mid-replay migration failed %d tuple trees, want 0 — frozen writes must park and retry", rep.FailedTrees)
+		}
+		if rep.RecommendErrors != 0 {
+			t.Errorf("%d recommend errors after the migration, want 0", rep.RecommendErrors)
+		}
+	},
 	"degraded-serving": func(t *testing.T, rep *Report) {
 		if rep.InjectedFaults == 0 {
 			t.Error("serving-phase blackout injected no faults — scenario is vacuous")
@@ -339,6 +387,98 @@ func TestReplicaFailoverDigest(t *testing.T) {
 	}
 	if len(faulted.ReplicaDigests) == 2 && faulted.ReplicaDigests[0] == faulted.ReplicaDigests[1] {
 		t.Error("faulted replicas agree — the outage never happened")
+	}
+}
+
+// TestShardLossDigest is the sharding-transparency proof, fault edition: the
+// shard-loss scenario (group 1's primary dies mid-replay, backup promotes)
+// must produce byte-identical trained state AND served output to the very
+// same workload running against a single unpartitioned store with no faults
+// at all. Synchronous replication means the backup holds every write the
+// dead primary ever acknowledged, and promotion surfaces no error to the
+// pipeline — so neither the partitioning nor the failover may shift a single
+// byte of state or serving.
+func TestShardLossDigest(t *testing.T) {
+	var sc Scenario
+	for _, s := range Scenarios() {
+		if s.Name == "shard-loss" {
+			sc = s
+		}
+	}
+	if sc.Name == "" {
+		t.Fatal("shard-loss scenario missing from matrix")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	faulted, err := Run(ctx, sc)
+	if err != nil {
+		t.Fatalf("sharded faulted run: %v", err)
+	}
+	sc.Shards = 0
+	sc.ShardFaults = nil
+	clean, err := Run(ctx, sc)
+	if err != nil {
+		t.Fatalf("unpartitioned fault-free run: %v", err)
+	}
+	if faulted.Digest != clean.Digest {
+		t.Errorf("state digests differ between the sharded faulted run and the unpartitioned clean run:\n  sharded: %s\n  local:   %s",
+			faulted.Digest, clean.Digest)
+	}
+	if faulted.ServeDigest != clean.ServeDigest {
+		t.Errorf("served-output digests differ between the sharded faulted run and the unpartitioned clean run:\n  sharded: %s\n  local:   %s",
+			faulted.ServeDigest, clean.ServeDigest)
+	}
+	// Negative controls: the comparison is vacuous unless the outage really
+	// happened and really cost a failover.
+	if faulted.InjectedFaults == 0 {
+		t.Error("faulted run injected nothing — transparency comparison is vacuous")
+	}
+	if faulted.ShardPromotes == 0 {
+		t.Error("no promotion happened — transparency comparison is vacuous")
+	}
+}
+
+// TestRebalanceDigest is the sharding-transparency proof, migration edition:
+// rebalance-mid-serving (slots migrate between groups with Recommend traffic
+// in flight) must produce byte-identical trained state AND served output to
+// the same workload on a single unpartitioned store with no migration. The
+// freeze→transfer→flip handoff never fails a read and moves state
+// byte-for-byte, so serving cannot observe the move.
+func TestRebalanceDigest(t *testing.T) {
+	var sc Scenario
+	for _, s := range Scenarios() {
+		if s.Name == "rebalance-mid-serving" {
+			sc = s
+		}
+	}
+	if sc.Name == "" {
+		t.Fatal("rebalance-mid-serving scenario missing from matrix")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	rebalanced, err := Run(ctx, sc)
+	if err != nil {
+		t.Fatalf("sharded rebalancing run: %v", err)
+	}
+	sc.Shards = 0
+	sc.RebalanceDuringServe = false
+	sc.RebalanceSlots = 0
+	still, err := Run(ctx, sc)
+	if err != nil {
+		t.Fatalf("unpartitioned run: %v", err)
+	}
+	if rebalanced.Digest != still.Digest {
+		t.Errorf("state digests differ between the rebalanced sharded run and the unpartitioned run:\n  sharded: %s\n  local:   %s",
+			rebalanced.Digest, still.Digest)
+	}
+	if rebalanced.ServeDigest != still.ServeDigest {
+		t.Errorf("served-output digests differ between the rebalanced sharded run and the unpartitioned run:\n  sharded: %s\n  local:   %s",
+			rebalanced.ServeDigest, still.ServeDigest)
+	}
+	if rebalanced.ShardMovedKeys == 0 {
+		t.Error("rebalanced run moved no keys — transparency comparison is vacuous")
 	}
 }
 
